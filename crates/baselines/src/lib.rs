@@ -1,0 +1,17 @@
+//! Baseline algorithms for continuous k-NN monitoring: YPK-CNN and
+//! SEA-CNN, the two state-of-the-art competitors the CPM paper evaluates
+//! against (Sections 2, 4.2 and 6).
+//!
+//! Both share the grid index of [`cpm_grid`] and the result-list types of
+//! [`cpm_core`], so the simulation harness can drive CPM and the baselines
+//! with identical update streams and compare work counters one-to-one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod search;
+pub mod sea;
+pub mod ypk;
+
+pub use sea::SeaCnnMonitor;
+pub use ypk::YpkCnnMonitor;

@@ -1,0 +1,608 @@
+//! SEA-CNN (Xiong, Mokbel, Aref — ICDE 2005), as described in Section 2 /
+//! Figure 2.2 of the CPM paper.
+//!
+//! SEA-CNN is a pure maintenance method: it book-keeps, for each query,
+//! the *answer region* — the circle centered at `q` with radius
+//! `best_dist` — by marking the grid cells that intersect it. A query is
+//! affected only when an update touches its answer region or one of its
+//! NNs. Per affected query it determines a circular search region `SR` and
+//! recomputes the k NN set from the objects inside:
+//!
+//! * **(i)** NNs moved within the region and/or outer objects entered it:
+//!   `r = best_dist`;
+//! * **(ii)** some NN left the region: `r = d_max`, the new distance of the
+//!   previous NN that moved furthest;
+//! * **(iii)** the query moved to `q′`: `r = best_dist + dist(q, q′)`,
+//!   centered at `q′`.
+//!
+//! SEA-CNN has no first-time evaluation module, and it "does not handle
+//! the case where some of the current NNs go off-line"; following the CPM
+//! paper's experimental setup, both gaps are filled with YPK-CNN's
+//! two-step search.
+
+use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
+use cpm_grid::{CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, QueryEvent};
+
+use cpm_core::neighbors::{Neighbor, NeighborList};
+
+use crate::search::{scan_circle, two_step_search};
+
+#[derive(Debug)]
+struct SeaQueryState {
+    q: Point,
+    best: NeighborList,
+    /// Cells currently marked as intersecting the answer region.
+    marked: Vec<CellCoord>,
+    // --- per-batch transient state ---
+    epoch: u64,
+    /// Case (i): within-region movement or incomer.
+    affected: bool,
+    /// Case (ii): max new distance of NNs that left the answer region.
+    d_max: f64,
+    /// An NN went off-line: fall back to the two-step search.
+    needs_full: bool,
+}
+
+impl SeaQueryState {
+    fn best_dist_or_inf(&self) -> f64 {
+        self.best.best_dist()
+    }
+}
+
+/// The SEA-CNN continuous k-NN monitor.
+#[derive(Debug)]
+pub struct SeaCnnMonitor {
+    grid: Grid,
+    answer_regions: InfluenceTable,
+    queries: FastHashMap<QueryId, SeaQueryState>,
+    /// Queries whose result holds fewer than `k` objects (the whole
+    /// workspace influences them).
+    starved: FastHashSet<QueryId>,
+    metrics: Metrics,
+    epoch: u64,
+    touched: Vec<QueryId>,
+    ignored: FastHashSet<QueryId>,
+    qid_buf: Vec<QueryId>,
+}
+
+impl SeaCnnMonitor {
+    /// Create a monitor over an empty `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            grid: Grid::new(dim),
+            answer_regions: InfluenceTable::new(dim),
+            queries: FastHashMap::default(),
+            starved: FastHashSet::default(),
+            metrics: Metrics::default(),
+            epoch: 0,
+            touched: Vec::new(),
+            ignored: FastHashSet::default(),
+            qid_buf: Vec::new(),
+        }
+    }
+
+    /// Bulk-load objects before any query is installed.
+    ///
+    /// # Panics
+    /// Panics if queries are already installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        assert!(
+            self.queries.is_empty(),
+            "populate() is only valid before queries are installed"
+        );
+        for (oid, pos) in objects {
+            self.grid.insert(oid, pos);
+        }
+    }
+
+    /// The object index.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of installed queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Current result of query `id`, ascending by distance.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|st| st.best.neighbors())
+    }
+
+    /// Work counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.metrics.take()
+    }
+
+    /// Install a new query (initial result via YPK-CNN's two-step search,
+    /// as in the paper's experiments).
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed.
+    pub fn install_query(&mut self, id: QueryId, pos: Point, k: usize) -> &[Neighbor] {
+        assert!(
+            !self.queries.contains_key(&id),
+            "query {id} is already installed"
+        );
+        let best = two_step_search(&self.grid, pos, k, &mut self.metrics);
+        let mut st = SeaQueryState {
+            q: pos,
+            best,
+            marked: Vec::new(),
+            epoch: 0,
+            affected: false,
+            d_max: 0.0,
+            needs_full: false,
+        };
+        Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, id, &mut st);
+        self.queries.entry(id).or_insert(st).best.neighbors()
+    }
+
+    /// Terminate a query; `true` if it was installed.
+    pub fn terminate_query(&mut self, id: QueryId) -> bool {
+        match self.queries.remove(&id) {
+            Some(st) => {
+                for cell in st.marked {
+                    self.answer_regions.remove(cell, id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run one processing cycle. Returns the queries whose result changed.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[QueryEvent],
+    ) -> Vec<QueryId> {
+        self.epoch += 1;
+        self.touched.clear();
+        self.ignored.clear();
+        for ev in query_events {
+            self.ignored.insert(ev.id());
+        }
+
+        // Phase 1: apply object updates, classifying affected queries.
+        for ev in object_events {
+            match *ev {
+                ObjectEvent::Move { id, to } => {
+                    let (_, old_cell, new_cell) = self.grid.update_position(id, to);
+                    self.metrics.updates_applied += 1;
+                    let new_pos = self.grid.position(id).expect("just inserted");
+                    self.classify_departure(id, old_cell, Some(new_pos));
+                    self.classify_arrival(id, new_cell, new_pos);
+                }
+                ObjectEvent::Appear { id, pos } => {
+                    let cell = self.grid.insert(id, pos);
+                    self.metrics.updates_applied += 1;
+                    let pos = self.grid.position(id).expect("just inserted");
+                    self.classify_arrival(id, cell, pos);
+                }
+                ObjectEvent::Disappear { id } => {
+                    let (_, cell) = self
+                        .grid
+                        .remove(id)
+                        .unwrap_or_else(|| panic!("disappear of off-line object {id}"));
+                    self.metrics.updates_applied += 1;
+                    self.classify_departure(id, cell, None);
+                }
+            }
+        }
+
+        // Phase 2: recompute every affected query within its search region.
+        let mut changed = Vec::new();
+        let touched = std::mem::take(&mut self.touched);
+        for &qid in &touched {
+            let st = self.queries.get_mut(&qid).expect("touched query installed");
+            let old: Vec<Neighbor> = st.best.neighbors().to_vec();
+            let k = st.best.k();
+            if st.needs_full || !st.best.is_full() {
+                st.best = two_step_search(&self.grid, st.q, k, &mut self.metrics);
+            } else {
+                let r = if st.d_max > 0.0 {
+                    st.d_max // case (ii), covers any concurrent case-(i) updates
+                } else {
+                    st.best_dist_or_inf() // case (i)
+                };
+                st.best = scan_circle(&self.grid, st.q, st.q, r, k, &mut self.metrics);
+                self.metrics.recomputations += 1;
+            }
+            Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, qid, st);
+            if old != st.best.neighbors() {
+                changed.push(qid);
+            }
+        }
+        self.touched = touched;
+
+        // Phase 3: query updates.
+        for ev in query_events {
+            match *ev {
+                QueryEvent::Terminate { id } => {
+                    self.terminate_query(id);
+                }
+                QueryEvent::Move { id, to } => {
+                    self.move_query(id, to);
+                    changed.push(id);
+                }
+                QueryEvent::Install { id, pos, k } => {
+                    self.install_query(id, pos, k);
+                    changed.push(id);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Case (iii): the query moves to `q′`; the new result is computed from
+    /// the circle at `q′` with radius `best_dist + dist(q, q′)`.
+    fn move_query(&mut self, id: QueryId, to: Point) -> &[Neighbor] {
+        let st = self
+            .queries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("move of unknown query {id}"));
+        let k = st.best.k();
+        if st.best.is_full() {
+            let r = st.best.best_dist() + st.q.dist(to);
+            st.q = to;
+            st.best = scan_circle(&self.grid, to, to, r, k, &mut self.metrics);
+            self.metrics.recomputations += 1;
+            if !st.best.is_full() || st.best.best_dist() > r {
+                // The radius was derived from the *pre-batch* best_dist;
+                // if the previous NNs also moved this cycle the circle can
+                // hold fewer than k objects (a k-th hit beyond r comes
+                // from a partially-covered cell and proves nothing).
+                // Recover with a full search.
+                st.best = two_step_search(&self.grid, st.q, k, &mut self.metrics);
+            }
+        } else {
+            st.q = to;
+            st.best = two_step_search(&self.grid, to, k, &mut self.metrics);
+        }
+        Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, id, st);
+        self.queries[&id].best.neighbors()
+    }
+
+    fn classify_departure(&mut self, id: ObjectId, old_cell: CellCoord, new_pos: Option<Point>) {
+        let Some(qids) = self.answer_regions.queries_at(old_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("answer region in sync");
+            Self::touch(st, qid, self.epoch, &mut self.touched);
+            if st.best.contains(id) {
+                match new_pos {
+                    Some(p) => {
+                        let d = st.q.dist(p);
+                        if d > st.best.best_dist() {
+                            st.d_max = st.d_max.max(d); // case (ii)
+                        } else {
+                            st.affected = true; // case (i): moved within
+                        }
+                    }
+                    None => st.needs_full = true, // off-line NN
+                }
+            }
+        }
+    }
+
+    fn classify_arrival(&mut self, id: ObjectId, new_cell: CellCoord, new_pos: Point) {
+        let Some(qids) = self.answer_regions.queries_at(new_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("answer region in sync");
+            Self::touch(st, qid, self.epoch, &mut self.touched);
+            if !st.best.contains(id) && st.q.dist(new_pos) <= st.best.best_dist() {
+                st.affected = true; // case (i): incoming object
+            }
+        }
+        // Starved queries (fewer than k objects in the system) conceptually
+        // have an unbounded answer region: any arrival affects them, even
+        // in cells that were empty (and therefore unmarked) before.
+        if !self.starved.is_empty() {
+            self.qid_buf.clear();
+            self.qid_buf.extend(
+                self.starved
+                    .iter()
+                    .copied()
+                    .filter(|q| !self.ignored.contains(q)),
+            );
+            for i in 0..self.qid_buf.len() {
+                let qid = self.qid_buf[i];
+                let st = self.queries.get_mut(&qid).expect("starved query installed");
+                Self::touch(st, qid, self.epoch, &mut self.touched);
+                st.affected = true;
+            }
+        }
+    }
+
+    fn touch(st: &mut SeaQueryState, qid: QueryId, epoch: u64, touched: &mut Vec<QueryId>) {
+        if st.epoch != epoch {
+            st.epoch = epoch;
+            st.affected = false;
+            st.d_max = 0.0;
+            st.needs_full = false;
+            touched.push(qid);
+        }
+    }
+
+    /// Replace the answer-region cell marks with the cells intersecting the
+    /// current circle `(q, best_dist)`, and keep the starved set in sync.
+    fn remark_answer_region(
+        grid: &Grid,
+        regions: &mut InfluenceTable,
+        starved: &mut FastHashSet<QueryId>,
+        id: QueryId,
+        st: &mut SeaQueryState,
+    ) {
+        for &cell in &st.marked {
+            regions.remove(cell, id);
+        }
+        let bd = st.best.best_dist();
+        if bd.is_finite() {
+            starved.remove(&id);
+            st.marked = grid.cells_intersecting_circle(st.q, bd);
+        } else {
+            // Fewer than k objects exist: the whole workspace influences
+            // the result. Departures/disappearances are caught through the
+            // occupied-cell marks; arrivals anywhere are caught through the
+            // starved set in `classify_arrival`.
+            starved.insert(id);
+            st.marked = grid.occupied_cells().chain([grid.cell_of(st.q)]).collect();
+        }
+        for &cell in &st.marked {
+            regions.add(cell, id);
+        }
+    }
+
+    /// Memory footprint in the paper's memory units: `3·N` for the grid
+    /// data, one unit per answer-region cell mark, plus `3 + 2k` per
+    /// query-table entry.
+    pub fn space_units(&self) -> usize {
+        self.grid.space_units()
+            + self.answer_regions.total_entries()
+            + self
+                .queries
+                .values()
+                .map(|st| 3 + 2 * st.best.k())
+                .sum::<usize>()
+    }
+
+    /// Verify answer-region book-keeping invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut total = 0usize;
+        for (qid, st) in &self.queries {
+            total += st.marked.len();
+            for &cell in &st.marked {
+                assert!(
+                    self.answer_regions.contains(cell, *qid),
+                    "mark list out of sync for {qid}"
+                );
+            }
+            let bd = st.best.best_dist();
+            if bd.is_finite() {
+                for &cell in &st.marked {
+                    assert!(
+                        self.grid.cell_rect(cell).intersects_circle(st.q, bd),
+                        "marked cell outside answer region"
+                    );
+                }
+            }
+            for n in st.best.neighbors() {
+                let p = self.grid.position(n.id).expect("result object live");
+                assert!((st.q.dist(p) - n.dist).abs() < 1e-9, "stale distance");
+            }
+        }
+        assert_eq!(self.answer_regions.total_entries(), total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute(grid: &Grid, q: Point, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = grid.iter_objects().map(|(_, p)| q.dist(p)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    fn assert_matches(m: &SeaCnnMonitor, id: QueryId) {
+        let st = m.queries.get(&id).unwrap();
+        let expect = brute(&m.grid, st.q, st.best.k());
+        let got: Vec<f64> = st.best.neighbors().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "{got:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn unaffected_queries_do_no_work() {
+        let mut m = SeaCnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.1, 0.1)),
+            (ObjectId(1), Point::new(0.12, 0.12)),
+            (ObjectId(2), Point::new(0.9, 0.9)),
+        ]);
+        m.install_query(QueryId(0), Point::new(0.1, 0.11), 1);
+        m.take_metrics();
+        // An update far from the answer region: SEA-CNN must not touch q.
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(2),
+                to: Point::new(0.85, 0.85),
+            }],
+            &[],
+        );
+        assert!(changed.is_empty());
+        assert_eq!(m.metrics().cell_accesses, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn incomer_triggers_answer_region_rescan_fig_4_3a() {
+        let mut m = SeaCnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.50, 0.55)),
+            (ObjectId(1), Point::new(0.9, 0.9)),
+        ]);
+        m.install_query(QueryId(0), Point::new(0.5, 0.5), 1);
+        m.take_metrics();
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(1),
+                to: Point::new(0.5, 0.52),
+            }],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        // SEA-CNN pays cell accesses for this (CPM would resolve it from
+        // the update alone — the Figure 4.3a contrast).
+        assert!(m.metrics().cell_accesses > 0);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn outgoing_nn_uses_dmax_region_fig_2_2a() {
+        let mut m = SeaCnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.50, 0.55)), // p2: NN
+            (ObjectId(1), Point::new(0.42, 0.42)), // p1: next best
+        ]);
+        m.install_query(QueryId(0), Point::new(0.5, 0.5), 1);
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(0),
+                to: Point::new(0.8, 0.8),
+            }],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn query_move_uses_expanded_circle_fig_2_2b() {
+        let mut m = SeaCnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.3, 0.3)),
+            (ObjectId(1), Point::new(0.62, 0.62)),
+        ]);
+        m.install_query(QueryId(0), Point::new(0.3, 0.32), 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(0));
+        let changed = m.process_cycle(
+            &[],
+            &[QueryEvent::Move {
+                id: QueryId(0),
+                to: Point::new(0.6, 0.6),
+            }],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn offline_nn_falls_back_to_two_step_search() {
+        let mut m = SeaCnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.5, 0.52)),
+            (ObjectId(1), Point::new(0.2, 0.8)),
+        ]);
+        m.install_query(QueryId(0), Point::new(0.5, 0.5), 1);
+        let changed = m.process_cycle(&[ObjectEvent::Disappear { id: ObjectId(0) }], &[]);
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn randomized_stream_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(0x5EA);
+        let mut m = SeaCnnMonitor::new(32);
+        m.populate((0..80u32).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+        for qi in 0..5u32 {
+            m.install_query(
+                QueryId(qi),
+                Point::new(rng.gen(), rng.gen()),
+                1 + (qi as usize % 3) * 4,
+            );
+        }
+        let mut live: Vec<u32> = (0..80).collect();
+        let mut next = 80u32;
+        for _ in 0..25 {
+            let mut evs = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range(0..12) {
+                match rng.gen_range(0..10) {
+                    0 if live.len() > 10 => {
+                        let id = live.swap_remove(rng.gen_range(0..live.len()));
+                        if seen.insert(id) {
+                            evs.push(ObjectEvent::Disappear { id: ObjectId(id) });
+                        } else {
+                            live.push(id);
+                        }
+                    }
+                    1 => {
+                        live.push(next);
+                        seen.insert(next);
+                        evs.push(ObjectEvent::Appear {
+                            id: ObjectId(next),
+                            pos: Point::new(rng.gen(), rng.gen()),
+                        });
+                        next += 1;
+                    }
+                    _ => {
+                        let id = live[rng.gen_range(0..live.len())];
+                        if seen.insert(id) {
+                            evs.push(ObjectEvent::Move {
+                                id: ObjectId(id),
+                                to: Point::new(rng.gen(), rng.gen()),
+                            });
+                        }
+                    }
+                }
+            }
+            let qev = if rng.gen_bool(0.25) {
+                vec![QueryEvent::Move {
+                    id: QueryId(rng.gen_range(0..5)),
+                    to: Point::new(rng.gen(), rng.gen()),
+                }]
+            } else {
+                Vec::new()
+            };
+            m.process_cycle(&evs, &qev);
+            m.check_invariants();
+            for qi in 0..5u32 {
+                assert_matches(&m, QueryId(qi));
+            }
+        }
+    }
+}

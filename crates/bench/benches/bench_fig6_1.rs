@@ -1,0 +1,43 @@
+//! Criterion version of Figure 6.1: full-run cost of each algorithm as
+//! the grid granularity varies (micro scale; the `experiments` binary
+//! runs the paper-scale sweep).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn params() -> SimParams {
+    SimParams {
+        n_objects: 2_000,
+        n_queries: 50,
+        k: 8,
+        timestamps: 5,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut input = SimulationInput::generate(&params());
+    let mut group = c.benchmark_group("fig6_1_grid_granularity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for dim in [32u32, 128, 1024] {
+        input.params.grid_dim = dim;
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), dim),
+                &input,
+                |b, input| b.iter(|| run(algo, input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion version of Figure 6.2: scalability in the object population
+//! N (a) and the query count n (b).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn base() -> SimParams {
+    SimParams {
+        n_objects: 2_000,
+        n_queries: 50,
+        k: 8,
+        timestamps: 5,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_2a_population");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for n in [500usize, 2_000, 8_000] {
+        let input = SimulationInput::generate(&SimParams {
+            n_objects: n,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), n), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_2b_queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for n in [20usize, 100, 400] {
+        let input = SimulationInput::generate(&SimParams {
+            n_queries: n,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), n), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion version of Figure 6.3: cost as a function of k.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_3_k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for k in [1usize, 16, 64] {
+        let input = SimulationInput::generate(&SimParams {
+            n_objects: 2_000,
+            n_queries: 50,
+            k,
+            timestamps: 5,
+            workload: WorkloadKind::Network { grid_streets: 16 },
+            ..SimParams::default()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), k), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

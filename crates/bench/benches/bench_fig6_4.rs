@@ -1,0 +1,68 @@
+//! Criterion version of Figure 6.4: cost vs object speed (a) and query
+//! speed (b). The paper's headline: CPM is flat in both, the baselines
+//! are not.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_gen::SpeedClass;
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn base() -> SimParams {
+    SimParams {
+        n_objects: 2_000,
+        n_queries: 50,
+        k: 8,
+        timestamps: 5,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+fn bench_object_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_4a_object_speed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for speed in SpeedClass::ALL {
+        let input = SimulationInput::generate(&SimParams {
+            object_speed: speed,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), speed.label()),
+                &input,
+                |b, input| b.iter(|| run(algo, input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_query_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_4b_query_speed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for speed in SpeedClass::ALL {
+        let input = SimulationInput::generate(&SimParams {
+            query_speed: speed,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), speed.label()),
+                &input,
+                |b, input| b.iter(|| run(algo, input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_object_speed, bench_query_speed);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion version of Figure 6.5: cost vs object agility (a) and query
+//! agility (b).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn base() -> SimParams {
+    SimParams {
+        n_objects: 2_000,
+        n_queries: 50,
+        k: 8,
+        timestamps: 5,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+fn bench_object_agility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_5a_object_agility");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for pct in [10u32, 30, 50] {
+        let input = SimulationInput::generate(&SimParams {
+            f_obj: pct as f64 / 100.0,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), pct), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_query_agility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_5b_query_agility");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for pct in [10u32, 30, 50] {
+        let input = SimulationInput::generate(&SimParams {
+            f_qry: pct as f64 / 100.0,
+            ..base()
+        });
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), pct), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_object_agility, bench_query_agility);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion version of Figure 6.6: the NN computation module alone
+//! (constantly moving queries; CPM vs YPK-CNN) and pure maintenance
+//! (static queries; all three).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn base(n_objects: usize, f_qry: f64) -> SimParams {
+    SimParams {
+        n_objects,
+        n_queries: 50,
+        k: 8,
+        timestamps: 5,
+        f_qry,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+fn bench_moving_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_6a_constantly_moving_queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for n in [1_000usize, 4_000] {
+        let input = SimulationInput::generate(&base(n, 1.0));
+        for algo in [AlgoKind::Cpm, AlgoKind::Ypk] {
+            group.bench_with_input(BenchmarkId::new(algo.label(), n), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_static_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_6b_static_queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for n in [1_000usize, 4_000] {
+        let input = SimulationInput::generate(&base(n, 0.0));
+        for algo in AlgoKind::CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(algo.label(), n), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_moving_queries, bench_static_queries);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Plain-text tables for experiment output (one per paper figure).
+
+use std::fmt::Write as _;
+
+/// A result table: one row per x-axis value, one column per series
+/// (typically one per algorithm), plus free-form notes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title (e.g. "Figure 6.1 — CPU time vs grid granularity").
+    pub title: String,
+    /// Label of the x axis (the row key).
+    pub x_label: String,
+    /// Unit of the cells (e.g. "ms", "cells/query/ts").
+    pub unit: String,
+    /// Series names.
+    pub columns: Vec<String>,
+    /// `(x value, one cell per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Context lines printed under the table (parameters, expectations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        unit: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            unit: unit.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn push_row(&mut self, x: impl Into<String>, cells: Vec<f64>) {
+        let x = x.into();
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x, cells));
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render to a string (fixed-width columns).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} [{}]", self.title, self.unit);
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(6);
+        let cw = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(12);
+        let _ = write!(out, "{:<xw$}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, " | {c:>cw$}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(xw + (cw + 3) * self.columns.len()));
+        for (x, cells) in &self.rows {
+            let _ = write!(out, "{x:<xw$}");
+            for v in cells {
+                if v.abs() >= 1000.0 {
+                    let _ = write!(out, " | {v:>cw$.0}");
+                } else {
+                    let _ = write!(out, " | {v:>cw$.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// The cell at `(row, column)` (test helper).
+    pub fn cell(&self, row: usize, col: usize) -> f64 {
+        self.rows[row].1[col]
+    }
+
+    /// Column index by name (test helper).
+    pub fn col_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = Table::new(
+            "Demo",
+            "k",
+            "ms",
+            vec!["CPM".into(), "YPK-CNN".into()],
+        );
+        t.push_row("1", vec![0.5, 1200.0]);
+        t.push_row("256", vec![12.25, 34567.0]);
+        t.note("just a demo");
+        let s = t.render();
+        assert!(s.contains("## Demo [ms]"));
+        assert!(s.contains("YPK-CNN"));
+        assert!(s.contains("34567"));
+        assert!(s.contains("note: just a demo"));
+        assert_eq!(t.cell(0, 1), 1200.0);
+        assert_eq!(t.col_index("CPM"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("x", "y", "z", vec!["a".into()]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! The closed-form cost model of Section 4.1.
+//!
+//! Under a uniformity assumption (objects and queries uniform in the unit
+//! square), the paper derives estimates for the quantities that govern
+//! CPM's space and time costs as functions of the cell side `δ`:
+//!
+//! * `best_dist ≈ √(k / (π·N))` — radius of the circle `Θ_q` expected to
+//!   contain exactly `k` objects;
+//! * `C_inf ≈ π·⌈best_dist/δ⌉²` — cells in the influence region;
+//! * `O_inf = C_inf · N · δ²` — objects in those cells;
+//! * `C_SH ≈ 4·⌈best_dist/δ⌉²` — cells held in the visit list + search
+//!   heap.
+//!
+//! From these follow the space budget (`Space_CPM = 3N +
+//! n·(15 + 2k + 3·C_SH + C_inf)` memory units) and the per-cycle time model
+//! (`Time_CPM = 2·N·f_obj + n·f_qry·(C_SH·log C_SH + O_inf·log k + 2·C_inf)
+//! + n·(1−f_qry)·k·log k` abstract operations).
+//!
+//! The `analysis` experiment (`experiments analysis`) and the
+//! `bench_analysis` Criterion target compare these predictions against
+//! measured values from live monitors — the Figure 4.1 discussion made
+//! quantitative.
+
+/// Parameters of the analytical model (Table 6.1 symbols).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Number of objects `N`.
+    pub n_objects: usize,
+    /// Number of queries `n`.
+    pub n_queries: usize,
+    /// Neighbors monitored per query `k`.
+    pub k: usize,
+    /// Cell side `δ` (grid is `1/δ × 1/δ`).
+    pub delta: f64,
+    /// Fraction of objects issuing an update per cycle (`f_obj ∈ [0,1]`).
+    pub f_obj: f64,
+    /// Fraction of queries issuing an update per cycle (`f_qry ∈ [0,1]`).
+    pub f_qry: f64,
+}
+
+impl CostModel {
+    /// Expected `best_dist` for uniform data: the ratio of the area of
+    /// `Θ_q` to the workspace equals `k/N`, so `best_dist = √(k/(π·N))`.
+    pub fn best_dist(&self) -> f64 {
+        (self.k as f64 / (std::f64::consts::PI * self.n_objects as f64)).sqrt()
+    }
+
+    /// Influence-circle radius in cells: `⌈best_dist/δ⌉`.
+    pub fn radius_cells(&self) -> f64 {
+        (self.best_dist() / self.delta).ceil()
+    }
+
+    /// `C_inf ≈ π·⌈best_dist/δ⌉²`: cells in the influence region.
+    pub fn c_inf(&self) -> f64 {
+        std::f64::consts::PI * self.radius_cells().powi(2)
+    }
+
+    /// `O_inf = C_inf·N·δ²`: objects in the influence region (each cell
+    /// holds `N·δ²` objects on average). Approaches `k` as `δ → 0`.
+    pub fn o_inf(&self) -> f64 {
+        self.c_inf() * self.n_objects as f64 * self.delta * self.delta
+    }
+
+    /// `C_SH ≈ 4·⌈best_dist/δ⌉²`: cells kept in the visit list and search
+    /// heap combined (the circumscribed square of `Θ_q`).
+    pub fn c_sh(&self) -> f64 {
+        4.0 * self.radius_cells().powi(2)
+    }
+
+    /// Grid-side space: `Space_G = 3·N + n·C_inf` memory units.
+    pub fn space_grid(&self) -> f64 {
+        3.0 * self.n_objects as f64 + self.n_queries as f64 * self.c_inf()
+    }
+
+    /// Query-table space: `Space_QT = n·(15 + 2k + 3·C_SH)` memory units
+    /// (per entry: 3 for id + coordinates, `2k` for the result,
+    /// `3·(C_SH + 4)` for visit list + heap incl. four boundary boxes).
+    pub fn space_query_table(&self) -> f64 {
+        self.n_queries as f64 * (15.0 + 2.0 * self.k as f64 + 3.0 * self.c_sh())
+    }
+
+    /// Total space `Space_CPM = Space_G + Space_QT`.
+    pub fn space_total(&self) -> f64 {
+        self.space_grid() + self.space_query_table()
+    }
+
+    /// `Time_mq = C_SH·log C_SH + O_inf·log k + 2·C_inf`: abstract cost of
+    /// one NN computation (moving or new query).
+    pub fn time_moving_query(&self) -> f64 {
+        let c_sh = self.c_sh().max(2.0);
+        let logk = (self.k as f64).max(2.0).log2();
+        c_sh * c_sh.log2() + self.o_inf() * logk + 2.0 * self.c_inf()
+    }
+
+    /// `Time_sq = k·log k`: worst-case result maintenance for a static
+    /// query under uniform drift (as many incomers as outgoers).
+    pub fn time_static_query(&self) -> f64 {
+        let k = self.k as f64;
+        k * k.max(2.0).log2()
+    }
+
+    /// Per-cycle total:
+    /// `Time_CPM = 2·N·f_obj + n·f_qry·Time_mq + n·(1−f_qry)·Time_sq`.
+    pub fn time_cycle(&self) -> f64 {
+        2.0 * self.n_objects as f64 * self.f_obj
+            + self.n_queries as f64 * self.f_qry * self.time_moving_query()
+            + self.n_queries as f64 * (1.0 - self.f_qry) * self.time_static_query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(delta: f64) -> CostModel {
+        CostModel {
+            n_objects: 100_000,
+            n_queries: 5_000,
+            k: 16,
+            delta,
+            f_obj: 0.5,
+            f_qry: 0.3,
+        }
+    }
+
+    #[test]
+    fn best_dist_contains_k_objects_in_expectation() {
+        let m = model(1.0 / 128.0);
+        let bd = m.best_dist();
+        // Area of the circle × N == k.
+        let expected = std::f64::consts::PI * bd * bd * m.n_objects as f64;
+        assert!((expected - m.k as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_4_1_shape_small_delta_many_cells_few_objects() {
+        // Figure 4.1: small δ → many influence cells, O_inf → k;
+        // large δ → few cells, many objects.
+        let fine = model(1.0 / 1024.0);
+        let coarse = model(1.0 / 32.0);
+        assert!(fine.c_inf() > coarse.c_inf());
+        assert!(fine.o_inf() < coarse.o_inf());
+        // O_inf approaches k from above as δ shrinks.
+        assert!(fine.o_inf() >= fine.k as f64);
+        assert!(fine.o_inf() < 2.0 * fine.k as f64);
+    }
+
+    #[test]
+    fn space_is_inverse_quadratic_in_delta() {
+        // Halving δ should roughly quadruple the per-query cell costs.
+        let a = model(1.0 / 256.0);
+        let b = model(1.0 / 512.0);
+        let ratio = (b.c_inf() / a.c_inf()).sqrt();
+        assert!((ratio - 2.0).abs() < 0.35, "ratio {ratio}");
+        assert!(b.space_total() > a.space_total());
+    }
+
+    #[test]
+    fn time_cycle_splits_match_components() {
+        let m = model(1.0 / 128.0);
+        let manual = 2.0 * 100_000.0 * 0.5
+            + 5_000.0 * 0.3 * m.time_moving_query()
+            + 5_000.0 * 0.7 * m.time_static_query();
+        assert!((m.time_cycle() - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_grows_with_agility_and_population() {
+        let base = model(1.0 / 128.0);
+        let mut busier = base;
+        busier.f_obj = 0.9;
+        assert!(busier.time_cycle() > base.time_cycle());
+        let mut bigger = base;
+        bigger.n_objects = 200_000;
+        assert!(bigger.time_cycle() > base.time_cycle());
+    }
+}

@@ -1,0 +1,316 @@
+//! Constrained NN monitoring: k nearest neighbors inside a user-specified
+//! region (Section 5, after Figure 5.2; the static-data problem is due to
+//! Ferhatosmanoglu et al. [FSAA01]).
+//!
+//! "The adaptation of CPM to this problem inserts into the search heap only
+//! cells and conceptual rectangles that intersect the constraint region."
+//! We filter cells at en-heap time through [`QuerySpec::admits_cell`];
+//! rectangle markers are kept (they are four cheap heap entries and their
+//! levels may re-enter the region), while objects outside the region are
+//! excluded by an infinite distance. Update handling is untouched: an
+//! object leaving the region is an outgoing NN, one entering it is an
+//! incomer.
+
+use cpm_geom::{Point, QueryId, Rect};
+use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
+
+use crate::engine::{CpmEngine, QuerySpec, SpecEvent, SpecQueryState};
+use crate::neighbors::Neighbor;
+use crate::partition::{Direction, Pinwheel};
+
+/// A point query with a rectangular constraint region: report the k objects
+/// inside `region` that lie closest to `q`.
+#[derive(Debug, Clone)]
+pub struct ConstrainedQuery {
+    /// The query point.
+    pub q: Point,
+    /// The constraint region (objects outside never qualify).
+    pub region: Rect,
+}
+
+impl ConstrainedQuery {
+    /// Build a constrained query.
+    pub fn new(q: Point, region: Rect) -> Self {
+        Self { q, region }
+    }
+
+    /// Convenience: the quadrant of the workspace to the north-east of `q`
+    /// (the example of Figure 5.3).
+    pub fn northeast_of(q: Point) -> Self {
+        Self::new(q, Rect::new(q, Point::new(1.0, 1.0)))
+    }
+}
+
+impl QuerySpec for ConstrainedQuery {
+    #[inline]
+    fn dist(&self, p: Point) -> f64 {
+        if self.region.contains(p) {
+            self.q.dist(p)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
+        let c = grid.cell_of(self.q);
+        (c, c)
+    }
+
+    #[inline]
+    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
+        grid.mindist(cell, self.q)
+    }
+
+    #[inline]
+    fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64 {
+        pw.strip_mindist(dir, lvl, self.q)
+    }
+
+    #[inline]
+    fn strip_increment(&self, delta: f64) -> f64 {
+        delta
+    }
+
+    #[inline]
+    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
+        grid.cell_rect(cell).intersects(&self.region)
+    }
+}
+
+/// Continuous constrained-NN monitor: the CPM machinery over
+/// [`ConstrainedQuery`] geometries.
+///
+/// # Example
+///
+/// ```
+/// use cpm_core::constrained::{ConstrainedQuery, CpmConstrainedMonitor};
+/// use cpm_geom::{ObjectId, Point, QueryId};
+///
+/// let mut monitor = CpmConstrainedMonitor::new(64);
+/// monitor.populate([
+///     (ObjectId(0), Point::new(0.49, 0.49)), // closest, but south-west
+///     (ObjectId(1), Point::new(0.60, 0.60)), // the constrained NN
+/// ]);
+/// let q = ConstrainedQuery::northeast_of(Point::new(0.5, 0.5));
+/// monitor.install_query(QueryId(0), q, 1);
+/// assert_eq!(monitor.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+/// ```
+#[derive(Debug)]
+pub struct CpmConstrainedMonitor {
+    engine: CpmEngine<ConstrainedQuery>,
+}
+
+impl CpmConstrainedMonitor {
+    /// Create a monitor over an empty `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            engine: CpmEngine::new(dim),
+        }
+    }
+
+    /// Bulk-load objects before any query is installed.
+    pub fn populate<I: IntoIterator<Item = (cpm_geom::ObjectId, Point)>>(&mut self, objects: I) {
+        self.engine.populate(objects);
+    }
+
+    /// Install a continuous constrained k-NN query.
+    pub fn install_query(
+        &mut self,
+        id: QueryId,
+        query: ConstrainedQuery,
+        k: usize,
+    ) -> &[Neighbor] {
+        self.engine.install(id, query, k)
+    }
+
+    /// Terminate a query; `true` if it was installed.
+    pub fn terminate_query(&mut self, id: QueryId) -> bool {
+        self.engine.terminate(id)
+    }
+
+    /// Replace the query point and/or constraint region.
+    pub fn move_query(&mut self, id: QueryId, query: ConstrainedQuery) -> &[Neighbor] {
+        self.engine.update_spec(id, query)
+    }
+
+    /// Run one processing cycle over object and query events.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<ConstrainedQuery>],
+    ) -> Vec<QueryId> {
+        self.engine.process_cycle(object_events, query_events)
+    }
+
+    /// Current result of query `id`.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.engine.result(id)
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<ConstrainedQuery>> {
+        self.engine.query_state(id)
+    }
+
+    /// The object index.
+    pub fn grid(&self) -> &Grid {
+        self.engine.grid()
+    }
+
+    /// Work counters.
+    pub fn metrics(&self) -> &Metrics {
+        self.engine.metrics()
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.engine.take_metrics()
+    }
+
+    /// Verify internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_geom::ObjectId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(m: &CpmConstrainedMonitor, q: &ConstrainedQuery, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = m
+            .grid()
+            .iter_objects()
+            .filter(|&(_, p)| q.region.contains(p))
+            .map(|(_, p)| q.q.dist(p))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    fn assert_matches(m: &CpmConstrainedMonitor, qid: QueryId) {
+        let st = m.query_state(qid).unwrap();
+        let expect = brute_force(m, &st.spec, st.k());
+        let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "{got:?} vs {expect:?}");
+        }
+    }
+
+    /// Figure 5.3: monitoring the NN to the north-east of q. The
+    /// unconstrained NN (west of q) must not be reported.
+    #[test]
+    fn northeast_constraint_fig_5_3() {
+        let mut m = CpmConstrainedMonitor::new(8);
+        m.populate([
+            (ObjectId(1), Point::new(0.45, 0.55)), // p1: unconstrained NN, NW
+            (ObjectId(2), Point::new(0.58, 0.45)), // p2: east but south
+            (ObjectId(3), Point::new(0.70, 0.70)), // p3: the constrained NN
+        ]);
+        let q = ConstrainedQuery::northeast_of(Point::new(0.52, 0.52));
+        m.install_query(QueryId(0), q, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(3));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn object_leaving_region_is_outgoing() {
+        let mut m = CpmConstrainedMonitor::new(8);
+        m.populate([
+            (ObjectId(1), Point::new(0.6, 0.6)),
+            (ObjectId(2), Point::new(0.8, 0.8)),
+        ]);
+        let q = ConstrainedQuery::northeast_of(Point::new(0.5, 0.5));
+        m.install_query(QueryId(0), q, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        // The NN drifts out of the constraint region (still near q!).
+        m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(1),
+                to: Point::new(0.45, 0.55),
+            }],
+            &[],
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(2));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn object_entering_region_is_incoming() {
+        let mut m = CpmConstrainedMonitor::new(8);
+        m.populate([
+            (ObjectId(1), Point::new(0.9, 0.9)),
+            (ObjectId(2), Point::new(0.45, 0.55)),
+        ]);
+        let q = ConstrainedQuery::northeast_of(Point::new(0.5, 0.5));
+        m.install_query(QueryId(0), q, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(2),
+                to: Point::new(0.55, 0.56),
+            }],
+            &[],
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(2));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn region_with_too_few_objects_returns_partial_result() {
+        let mut m = CpmConstrainedMonitor::new(8);
+        m.populate([
+            (ObjectId(1), Point::new(0.1, 0.1)),
+            (ObjectId(2), Point::new(0.7, 0.7)),
+        ]);
+        let q = ConstrainedQuery::northeast_of(Point::new(0.5, 0.5));
+        m.install_query(QueryId(0), q, 4);
+        assert_eq!(m.result(QueryId(0)).unwrap().len(), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn randomized_stream_matches_filtered_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let region = Rect::new(Point::new(0.3, 0.2), Point::new(0.8, 0.7));
+        let mut m = CpmConstrainedMonitor::new(16);
+        m.populate((0..50u32).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+        m.install_query(
+            QueryId(0),
+            ConstrainedQuery::new(Point::new(0.5, 0.5), region),
+            3,
+        );
+        // A second query whose point lies *outside* its region.
+        m.install_query(
+            QueryId(1),
+            ConstrainedQuery::new(Point::new(0.05, 0.95), region),
+            2,
+        );
+        for _ in 0..25 {
+            let mut evs = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range(1..8) {
+                let id = rng.gen_range(0..50u32);
+                if seen.insert(id) {
+                    evs.push(ObjectEvent::Move {
+                        id: ObjectId(id),
+                        to: Point::new(rng.gen(), rng.gen()),
+                    });
+                }
+            }
+            m.process_cycle(&evs, &[]);
+            m.check_invariants();
+            assert_matches(&m, QueryId(0));
+            assert_matches(&m, QueryId(1));
+        }
+    }
+}

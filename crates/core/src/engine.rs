@@ -1,0 +1,613 @@
+//! The generic CPM engine: conceptual-partitioning monitoring over any
+//! query geometry.
+//!
+//! Section 5 argues that "CPM provides a general methodology that can be
+//! applied to several types of spatial queries". This module is that claim
+//! made executable: the search/maintenance machinery of Section 3 —
+//! best-first traversal of cells and conceptual rectangles, visit list,
+//! search heap, influence lists, batched in/out update handling — written
+//! once, parameterized by a [`QuerySpec`] that supplies:
+//!
+//! * the (aggregate) distance from the query to a point,
+//! * the lower-bound key of a cell (`mindist` / `amindist`),
+//! * the key of a conceptual rectangle and its per-level increment
+//!   (Lemma 3.1, Corollaries 5.1 and 5.2),
+//! * the base block of cells that seeds the search (the query cell for a
+//!   point query, the cells covering the MBR `M` for an aggregate query),
+//! * optional admission predicates for constrained variants.
+//!
+//! [`crate::CpmKnnMonitor`] remains the specialized, paper-exact point-query
+//! implementation used in the head-to-head benchmarks against YPK-CNN and
+//! SEA-CNN; the aggregate and constrained monitors are instantiations of
+//! this engine ([`crate::ann`], [`crate::constrained`]).
+
+use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
+use cpm_grid::{CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent};
+
+use crate::heap::{HeapEntry, SearchHeap};
+use crate::inlist::InList;
+use crate::neighbors::{Neighbor, NeighborList};
+use crate::partition::{Direction, Pinwheel};
+
+/// Query geometry: everything the CPM machinery needs to know about a
+/// query in order to search for it and maintain its result.
+///
+/// Implementations must uphold two contracts, both property-tested by the
+/// monitors built on the engine:
+///
+/// 1. **Lower bound**: `cell_key(grid, c) ≤ dist(p)` for every point `p`
+///    inside cell `c`, and `strip_key(pw, dir, lvl) ≤ cell_key(grid, c)`
+///    for every cell `c` of strip `DIR_lvl`.
+/// 2. **Increment** (Lemma 3.1 / Corollaries 5.1, 5.2):
+///    `strip_key(pw, dir, lvl+1) = strip_key(pw, dir, lvl) +
+///    strip_increment(δ)`.
+pub trait QuerySpec: std::fmt::Debug + Clone {
+    /// The (aggregate) distance from the query to point `p`. May be
+    /// `+∞` to signal that `p` can never be part of the result
+    /// (constrained queries).
+    fn dist(&self, p: Point) -> f64;
+
+    /// The inclusive cell block that seeds the search: `(lo, hi)` corners.
+    /// For a point query this is the query cell twice.
+    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord);
+
+    /// Lower-bound key of a cell (`mindist` or `amindist`).
+    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64;
+
+    /// Lower-bound key of conceptual rectangle `DIR_lvl`.
+    fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64;
+
+    /// Key increment between consecutive levels of one direction
+    /// (`δ` for point/min/max queries, `m·δ` for sum).
+    fn strip_increment(&self, delta: f64) -> f64;
+
+    /// Whether a cell may contain qualifying objects. Non-admitted cells
+    /// are not en-heaped (constrained search, Section 5 / Figure 5.3).
+    fn admits_cell(&self, _grid: &Grid, _cell: CellCoord) -> bool {
+        true
+    }
+}
+
+/// Query events understood by the generic engine.
+#[derive(Debug, Clone)]
+pub enum SpecEvent<S> {
+    /// Register a new continuous query.
+    Install {
+        /// Query identifier (must be fresh).
+        id: QueryId,
+        /// Query geometry.
+        spec: S,
+        /// Result size `k ≥ 1`.
+        k: usize,
+    },
+    /// Replace the geometry of an installed query (e.g. the query points
+    /// moved). Handled as terminate + reinstall, like Section 3.3.
+    Update {
+        /// Query identifier (must be installed).
+        id: QueryId,
+        /// New geometry.
+        spec: S,
+    },
+    /// Terminate an installed query.
+    Terminate {
+        /// Query identifier (must be installed).
+        id: QueryId,
+    },
+}
+
+impl<S> SpecEvent<S> {
+    /// The query this event concerns.
+    pub fn id(&self) -> QueryId {
+        match *self {
+            SpecEvent::Install { id, .. }
+            | SpecEvent::Update { id, .. }
+            | SpecEvent::Terminate { id } => id,
+        }
+    }
+}
+
+/// Book-keeping for one engine-managed query (mirrors
+/// [`crate::KnnQueryState`], with the point replaced by a [`QuerySpec`]).
+#[derive(Debug, Clone)]
+pub struct SpecQueryState<S> {
+    /// Query identifier.
+    pub id: QueryId,
+    /// Query geometry.
+    pub spec: S,
+    /// Current result, ascending by (aggregate) distance.
+    pub best: NeighborList,
+    /// Cells processed during search, ascending by key; superset of the
+    /// influence region.
+    pub visit_list: Vec<(CellCoord, f64)>,
+    /// Prefix of `visit_list` registered in the influence table.
+    pub influence_len: usize,
+    /// Left-over search frontier.
+    pub heap: SearchHeap,
+    /// Pinwheel around the base block.
+    pub pinwheel: Pinwheel,
+    epoch: u64,
+    bd_orig: f64,
+    out_count: usize,
+    in_list: InList,
+    in_removed: bool,
+    dirty: bool,
+}
+
+impl<S: QuerySpec> SpecQueryState<S> {
+    fn new(id: QueryId, spec: S, k: usize, dim: u32) -> Self {
+        Self {
+            id,
+            spec,
+            best: NeighborList::new(k),
+            visit_list: Vec::new(),
+            influence_len: 0,
+            heap: SearchHeap::new(),
+            pinwheel: Pinwheel::around_cell(CellCoord::new(0, 0), dim),
+            epoch: 0,
+            bd_orig: f64::INFINITY,
+            out_count: 0,
+            in_list: InList::with_cap(k),
+            in_removed: false,
+            dirty: false,
+        }
+    }
+
+    /// The monitored `k`.
+    pub fn k(&self) -> usize {
+        self.best.k()
+    }
+
+    /// Distance of the k-th result entry (`+∞` while unfull).
+    pub fn best_dist(&self) -> f64 {
+        self.best.best_dist()
+    }
+
+    /// Current result, ascending by (aggregate) distance.
+    pub fn result(&self) -> &[Neighbor] {
+        self.best.neighbors()
+    }
+}
+
+/// The generic conceptual-partitioning monitor.
+///
+/// All queries in one engine share the same [`QuerySpec`] type (one engine
+/// per query class); heterogeneous workloads use several engines over
+/// separate grids or share a grid externally.
+#[derive(Debug)]
+pub struct CpmEngine<S: QuerySpec> {
+    grid: Grid,
+    influence: InfluenceTable,
+    queries: FastHashMap<QueryId, SpecQueryState<S>>,
+    metrics: Metrics,
+    epoch: u64,
+    touched: Vec<QueryId>,
+    ignored: FastHashSet<QueryId>,
+    qid_buf: Vec<QueryId>,
+    snapshot: Vec<Neighbor>,
+}
+
+impl<S: QuerySpec> CpmEngine<S> {
+    /// Create an engine over an empty `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            grid: Grid::new(dim),
+            influence: InfluenceTable::new(dim),
+            queries: FastHashMap::default(),
+            metrics: Metrics::default(),
+            epoch: 0,
+            touched: Vec::new(),
+            ignored: FastHashSet::default(),
+            qid_buf: Vec::new(),
+            snapshot: Vec::new(),
+        }
+    }
+
+    /// Bulk-load objects before any query is installed.
+    ///
+    /// # Panics
+    /// Panics if queries are already installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        assert!(
+            self.queries.is_empty(),
+            "populate() is only valid before queries are installed"
+        );
+        for (oid, pos) in objects {
+            self.grid.insert(oid, pos);
+        }
+    }
+
+    /// The object index.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of installed queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The current result of query `id`.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|st| st.result())
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
+        self.queries.get(&id)
+    }
+
+    /// Work counters accumulated since the last [`CpmEngine::take_metrics`].
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.metrics.take()
+    }
+
+    /// Install a new query and compute its initial result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
+    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+        assert!(
+            !self.queries.contains_key(&id),
+            "query {id} is already installed"
+        );
+        let mut st = SpecQueryState::new(id, spec, k, self.grid.dim());
+        Self::compute_from_scratch(&self.grid, &mut self.influence, &mut st, &mut self.metrics);
+        self.queries.entry(id).or_insert(st).result()
+    }
+
+    /// Terminate query `id`; returns `true` if it was installed.
+    pub fn terminate(&mut self, id: QueryId) -> bool {
+        match self.queries.remove(&id) {
+            Some(st) => {
+                for &(cell, _) in &st.visit_list[..st.influence_len] {
+                    self.influence.remove(cell, id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the geometry of query `id` (terminate + reinstall).
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
+    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+        let st = self
+            .queries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("update of unknown query {id}"));
+        for &(cell, _) in &st.visit_list[..st.influence_len] {
+            self.influence.remove(cell, id);
+        }
+        st.influence_len = 0;
+        st.spec = spec;
+        Self::compute_from_scratch(&self.grid, &mut self.influence, st, &mut self.metrics);
+        st.result()
+    }
+
+    /// Run one processing cycle: object events (batched update handling),
+    /// then query events. Returns ids of queries whose result changed.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+    ) -> Vec<QueryId> {
+        self.ignored.clear();
+        for ev in query_events {
+            self.ignored.insert(ev.id());
+        }
+
+        let mut changed = Vec::new();
+        self.handle_object_updates(object_events, &mut changed);
+
+        for ev in query_events {
+            match ev {
+                SpecEvent::Terminate { id } => {
+                    self.terminate(*id);
+                }
+                SpecEvent::Update { id, spec } => {
+                    self.update_spec(*id, spec.clone());
+                    changed.push(*id);
+                }
+                SpecEvent::Install { id, spec, k } => {
+                    self.install(*id, spec.clone(), *k);
+                    changed.push(*id);
+                }
+            }
+        }
+        changed
+    }
+
+    // ---- search ----
+
+    fn compute_from_scratch(
+        grid: &Grid,
+        inf: &mut InfluenceTable,
+        st: &mut SpecQueryState<S>,
+        metrics: &mut Metrics,
+    ) {
+        debug_assert_eq!(st.influence_len, 0, "stale influence registrations");
+        st.best.clear();
+        st.visit_list.clear();
+        st.heap.clear();
+
+        let (lo, hi) = st.spec.base_block(grid);
+        st.pinwheel = Pinwheel::around_block(lo, hi, grid.dim());
+
+        for cell in st.pinwheel.base_cells() {
+            if st.spec.admits_cell(grid, cell) {
+                st.heap.push_cell(cell, st.spec.cell_key(grid, cell));
+                metrics.heap_pushes += 1;
+            }
+        }
+        for dir in Direction::ALL {
+            if st.pinwheel.strip(dir, 0).is_some() {
+                st.heap
+                    .push_rect(dir, 0, st.spec.strip_key(&st.pinwheel, dir, 0));
+                metrics.heap_pushes += 1;
+            }
+        }
+
+        Self::drain_heap(grid, st, metrics);
+        metrics.computations += 1;
+        Self::sync_influence(inf, st);
+    }
+
+    fn recompute(
+        grid: &Grid,
+        inf: &mut InfluenceTable,
+        st: &mut SpecQueryState<S>,
+        metrics: &mut Metrics,
+    ) {
+        st.best.clear();
+
+        let mut exhausted = true;
+        for i in 0..st.visit_list.len() {
+            let (cell, key) = st.visit_list[i];
+            if key > st.best.best_dist() {
+                exhausted = false;
+                break;
+            }
+            metrics.cell_accesses += 1;
+            if let Some(objects) = grid.objects_in(cell) {
+                for &oid in objects {
+                    let p = grid.position(oid).expect("indexed object has position");
+                    metrics.objects_processed += 1;
+                    let d = st.spec.dist(p);
+                    if d.is_finite() {
+                        st.best.offer(oid, d);
+                    }
+                }
+            }
+        }
+        if exhausted {
+            Self::drain_heap(grid, st, metrics);
+        }
+        metrics.recomputations += 1;
+        Self::sync_influence(inf, st);
+    }
+
+    fn drain_heap(grid: &Grid, st: &mut SpecQueryState<S>, metrics: &mut Metrics) {
+        let increment = st.spec.strip_increment(grid.delta());
+        while let Some(key) = st.heap.peek_key() {
+            if key > st.best.best_dist() {
+                break;
+            }
+            let (key, entry) = st.heap.pop().expect("peeked entry");
+            metrics.heap_pops += 1;
+            match entry {
+                HeapEntry::Cell(cell) => {
+                    metrics.cell_accesses += 1;
+                    if let Some(objects) = grid.objects_in(cell) {
+                        for &oid in objects {
+                            let p = grid.position(oid).expect("indexed object has position");
+                            metrics.objects_processed += 1;
+                            let d = st.spec.dist(p);
+                            if d.is_finite() {
+                                st.best.offer(oid, d);
+                            }
+                        }
+                    }
+                    st.visit_list.push((cell, key));
+                }
+                HeapEntry::Rect(dir, lvl) => {
+                    let strip = st.pinwheel.strip(dir, lvl).expect("en-heaped strip exists");
+                    for cell in strip.cells() {
+                        if st.spec.admits_cell(grid, cell) {
+                            st.heap.push_cell(cell, st.spec.cell_key(grid, cell));
+                            metrics.heap_pushes += 1;
+                        }
+                    }
+                    if st.pinwheel.strip(dir, lvl + 1).is_some() {
+                        st.heap.push_rect(dir, lvl + 1, key + increment);
+                        metrics.heap_pushes += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn sync_influence(inf: &mut InfluenceTable, st: &mut SpecQueryState<S>) {
+        let bd = st.best.best_dist();
+        let new_len = if bd.is_finite() {
+            st.visit_list.partition_point(|&(_, key)| key <= bd)
+        } else {
+            st.visit_list.len()
+        };
+        for i in st.influence_len..new_len {
+            inf.add(st.visit_list[i].0, st.id);
+        }
+        for i in new_len..st.influence_len {
+            inf.remove(st.visit_list[i].0, st.id);
+        }
+        st.influence_len = new_len;
+    }
+
+    // ---- update handling (Figure 3.8, aggregate distances) ----
+
+    fn handle_object_updates(&mut self, events: &[ObjectEvent], changed: &mut Vec<QueryId>) {
+        self.epoch += 1;
+        self.touched.clear();
+
+        for ev in events {
+            match *ev {
+                ObjectEvent::Move { id, to } => {
+                    let (_, old_cell, new_cell) = self.grid.update_position(id, to);
+                    self.metrics.updates_applied += 1;
+                    let new_pos = self.grid.position(id).expect("just inserted");
+                    self.process_departure(id, old_cell, Some(new_pos));
+                    self.process_arrival(id, new_cell, new_pos);
+                }
+                ObjectEvent::Appear { id, pos } => {
+                    let cell = self.grid.insert(id, pos);
+                    self.metrics.updates_applied += 1;
+                    let pos = self.grid.position(id).expect("just inserted");
+                    self.process_arrival(id, cell, pos);
+                }
+                ObjectEvent::Disappear { id } => {
+                    let (_, cell) = self
+                        .grid
+                        .remove(id)
+                        .unwrap_or_else(|| panic!("disappear of off-line object {id}"));
+                    self.metrics.updates_applied += 1;
+                    self.process_departure(id, cell, None);
+                }
+            }
+        }
+
+        self.finalize_touched(changed);
+    }
+
+    fn process_departure(&mut self, id: ObjectId, old_cell: CellCoord, new_pos: Option<Point>) {
+        let Some(qids) = self.influence.queries_at(old_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("influence list in sync");
+            Self::touch(st, self.epoch, &mut self.touched);
+            if st.in_list.remove(id) {
+                st.in_removed = true;
+            }
+            if st.best.contains(id) {
+                let still_in = new_pos
+                    .map(|p| st.spec.dist(p))
+                    .filter(|d| *d <= st.bd_orig);
+                match still_in {
+                    Some(d) => st.best.update_dist(id, d),
+                    None => {
+                        st.best.remove(id);
+                        st.out_count += 1;
+                    }
+                }
+                st.dirty = true;
+            }
+        }
+    }
+
+    fn process_arrival(&mut self, id: ObjectId, new_cell: CellCoord, new_pos: Point) {
+        let Some(qids) = self.influence.queries_at(new_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("influence list in sync");
+            Self::touch(st, self.epoch, &mut self.touched);
+            let d = st.spec.dist(new_pos);
+            if d <= st.bd_orig && d.is_finite() && !st.best.contains(id) {
+                st.in_list.update(id, d);
+            }
+        }
+    }
+
+    fn touch(st: &mut SpecQueryState<S>, epoch: u64, touched: &mut Vec<QueryId>) {
+        if st.epoch != epoch {
+            st.epoch = epoch;
+            st.bd_orig = st.best_dist();
+            st.out_count = 0;
+            st.in_list.clear();
+            st.in_removed = false;
+            st.dirty = false;
+            touched.push(st.id);
+        }
+    }
+
+    fn finalize_touched(&mut self, changed: &mut Vec<QueryId>) {
+        let touched = std::mem::take(&mut self.touched);
+        for &qid in &touched {
+            let st = self.queries.get_mut(&qid).expect("touched query installed");
+            let unsound_in_list = st.in_list.evicted_since_clear() && st.in_removed;
+
+            if unsound_in_list || st.in_list.len() < st.out_count {
+                self.snapshot.clear();
+                self.snapshot.extend_from_slice(st.best.neighbors());
+                Self::recompute(&self.grid, &mut self.influence, st, &mut self.metrics);
+                if self.snapshot != st.best.neighbors() {
+                    changed.push(qid);
+                }
+            } else if st.out_count > 0 || st.in_list.len() > 0 {
+                self.snapshot.clear();
+                self.snapshot.extend_from_slice(st.best.neighbors());
+                let mut candidates = Vec::with_capacity(self.snapshot.len() + st.in_list.len());
+                candidates.extend_from_slice(&self.snapshot);
+                candidates.extend_from_slice(st.in_list.entries());
+                st.best.rebuild_from(candidates);
+                self.metrics.merge_resolutions += 1;
+                Self::sync_influence(&mut self.influence, st);
+                if st.dirty || self.snapshot != st.best.neighbors() {
+                    changed.push(qid);
+                }
+            } else if st.dirty {
+                Self::sync_influence(&mut self.influence, st);
+                changed.push(qid);
+            }
+        }
+        self.touched = touched;
+    }
+
+    /// Verify all cross-structure invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (qid, st) in &self.queries {
+            assert_eq!(*qid, st.id);
+            st.best.check_invariants();
+            for w in st.visit_list.windows(2) {
+                assert!(w[0].1 <= w[1].1, "visit list out of order");
+            }
+            let bd = st.best_dist();
+            for (i, &(cell, key)) in st.visit_list.iter().enumerate() {
+                let registered = self.influence.contains(cell, *qid);
+                assert_eq!(registered, i < st.influence_len, "registration mismatch");
+                if bd.is_finite() {
+                    assert_eq!(key <= bd, i < st.influence_len, "prefix mismatch");
+                }
+            }
+            for n in st.result() {
+                let p = self
+                    .grid
+                    .position(n.id)
+                    .unwrap_or_else(|| panic!("result contains off-line object {}", n.id));
+                assert!(
+                    (st.spec.dist(p) - n.dist).abs() < 1e-9,
+                    "stale distance for {}",
+                    n.id
+                );
+            }
+            assert!(st.heap.boundary_boxes() <= 4);
+        }
+        let total: usize = self.queries.values().map(|st| st.influence_len).sum();
+        assert_eq!(self.influence.total_entries(), total);
+    }
+}

@@ -1,0 +1,143 @@
+//! The search heap `H` of the NN computation module (Figure 3.4).
+//!
+//! The heap holds two kinds of entries keyed by `mindist` (or `amindist`
+//! for aggregate queries): grid cells, and conceptual-rectangle markers.
+//! The proof of correctness in Section 3.1 relies on the invariant that at
+//! most one rectangle marker per direction (the *boundary box*) is in the
+//! heap at any time; [`SearchHeap::boundary_boxes`] exposes the count so
+//! tests can assert it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cpm_geom::TotalF64;
+use cpm_grid::CellCoord;
+
+use crate::partition::Direction;
+
+/// A search-heap entry: a cell or a conceptual rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HeapEntry {
+    /// A grid cell (ties order cells before rectangle markers and then by
+    /// coordinate, for deterministic traversal).
+    Cell(CellCoord),
+    /// The conceptual rectangle `DIR_lvl`.
+    Rect(Direction, u32),
+}
+
+/// Min-heap over `(key, entry)` with a total order on keys.
+#[derive(Debug, Clone, Default)]
+pub struct SearchHeap {
+    heap: BinaryHeap<Reverse<(TotalF64, HeapEntry)>>,
+    rect_entries: usize,
+}
+
+impl SearchHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.rect_entries = 0;
+    }
+
+    /// Push a cell with its `mindist` key.
+    #[inline]
+    pub fn push_cell(&mut self, cell: CellCoord, key: f64) {
+        self.heap
+            .push(Reverse((TotalF64::new(key), HeapEntry::Cell(cell))));
+    }
+
+    /// Push a rectangle marker with its `mindist` key.
+    #[inline]
+    pub fn push_rect(&mut self, dir: Direction, lvl: u32, key: f64) {
+        self.heap
+            .push(Reverse((TotalF64::new(key), HeapEntry::Rect(dir, lvl))));
+        self.rect_entries += 1;
+    }
+
+    /// Smallest key currently in the heap.
+    #[inline]
+    pub fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((k, _))| k.get())
+    }
+
+    /// Pop the entry with the smallest key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(f64, HeapEntry)> {
+        let Reverse((k, e)) = self.heap.pop()?;
+        if matches!(e, HeapEntry::Rect(..)) {
+            self.rect_entries -= 1;
+        }
+        Some((k.get(), e))
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of rectangle markers currently enqueued (the boundary boxes).
+    /// Invariant: `≤ 4`, one per non-exhausted direction.
+    #[inline]
+    pub fn boundary_boxes(&self) -> usize {
+        self.rect_entries
+    }
+
+    /// Number of cell entries currently enqueued (the `C_SH` residue that
+    /// the space analysis of Section 4.1 charges to the query table).
+    #[inline]
+    pub fn cell_entries(&self) -> usize {
+        self.heap.len() - self.rect_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_key_order() {
+        let mut h = SearchHeap::new();
+        h.push_cell(CellCoord::new(0, 0), 0.5);
+        h.push_rect(Direction::Up, 0, 0.1);
+        h.push_cell(CellCoord::new(1, 1), 0.3);
+        h.push_rect(Direction::Down, 2, 0.9);
+        let keys: Vec<f64> = std::iter::from_fn(|| h.pop().map(|(k, _)| k)).collect();
+        assert_eq!(keys, vec![0.1, 0.3, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn equal_keys_prefer_cells() {
+        let mut h = SearchHeap::new();
+        h.push_rect(Direction::Left, 1, 0.25);
+        h.push_cell(CellCoord::new(2, 3), 0.25);
+        assert!(matches!(h.pop(), Some((_, HeapEntry::Cell(_)))));
+        assert!(matches!(h.pop(), Some((_, HeapEntry::Rect(..)))));
+    }
+
+    #[test]
+    fn tracks_boundary_box_count() {
+        let mut h = SearchHeap::new();
+        assert_eq!(h.boundary_boxes(), 0);
+        h.push_rect(Direction::Up, 0, 0.0);
+        h.push_rect(Direction::Down, 0, 0.0);
+        h.push_cell(CellCoord::new(0, 0), 0.0);
+        assert_eq!(h.boundary_boxes(), 2);
+        assert_eq!(h.cell_entries(), 1);
+        while h.pop().is_some() {}
+        assert_eq!(h.boundary_boxes(), 0);
+        h.clear();
+        assert!(h.is_empty());
+    }
+}

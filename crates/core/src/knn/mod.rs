@@ -1,0 +1,13 @@
+//! Continuous k-NN monitoring with Conceptual Partitioning (Section 3).
+//!
+//! * [`state`] — the query-table entry (best_NN, visit list, search heap).
+//! * [`search`] (private) — NN computation (Fig. 3.4) and re-computation
+//!   (Fig. 3.6).
+//! * [`monitor`] — the full update-handling pipeline (Figs. 3.8, 3.9).
+
+pub mod monitor;
+mod search;
+pub mod state;
+
+pub use monitor::{CpmConfig, CpmKnnMonitor};
+pub use state::KnnQueryState;

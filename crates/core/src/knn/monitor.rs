@@ -1,0 +1,854 @@
+//! The complete CPM continuous k-NN monitor (Figures 3.8 and 3.9).
+//!
+//! [`CpmKnnMonitor`] owns the object grid, the per-cell influence lists and
+//! the query table. Each processing cycle consumes a batch of object events
+//! and a batch of query events:
+//!
+//! 1. Object updates are applied to the grid. Through the influence lists,
+//!    only queries whose influence region is touched do any work: outgoing
+//!    NNs bump `out_count`, incoming objects enter the capped `in_list`.
+//! 2. Per touched query, if the incomers can cover the outgoers the new
+//!    result is merged directly from `best_NN − O ∪ I` — *no grid access at
+//!    all*. Otherwise the re-computation module resumes the stored visit
+//!    list / search heap.
+//! 3. Query terminations, movements (terminate + reinstall) and new
+//!    installations run last, using the NN computation module.
+//!
+//! Queries that received an update in the same cycle are ignored during
+//! object-update handling "to avoid waste of computations for obsolete
+//! queries" (Section 3.3).
+
+use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
+use cpm_grid::{Grid, InfluenceTable, Metrics, ObjectEvent, QueryEvent};
+
+use crate::knn::search::{compute_from_scratch, recompute, sync_influence};
+use crate::knn::state::KnnQueryState;
+use crate::neighbors::Neighbor;
+
+/// Ablation switches for the two book-keeping optimizations the paper
+/// introduces on top of plain conceptual-partitioning search. Both default
+/// to on; the `ablation` experiment of the bench crate measures what each
+/// buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpmConfig {
+    /// Resolve updates from `best_NN − O ∪ I` when `|I| ≥ |O|` (Section
+    /// 3.3, Figure 3.8 lines 18-22). Off = every affected query searches
+    /// the grid again.
+    pub merge_optimization: bool,
+    /// Re-computation resumes the stored visit list and search heap
+    /// (Figure 3.6). Off = affected queries recompute from scratch with
+    /// Figure 3.4 (the paper's own memory-pressure fallback, Section 3.3
+    /// last paragraph).
+    pub reuse_visit_list: bool,
+}
+
+impl Default for CpmConfig {
+    fn default() -> Self {
+        Self {
+            merge_optimization: true,
+            reuse_visit_list: true,
+        }
+    }
+}
+
+/// A continuous k-NN monitor implementing Conceptual Partitioning
+/// Monitoring over a uniform grid index.
+///
+/// # Example
+///
+/// ```
+/// use cpm_core::CpmKnnMonitor;
+/// use cpm_geom::{ObjectId, Point, QueryId};
+/// use cpm_grid::ObjectEvent;
+///
+/// let mut monitor = CpmKnnMonitor::new(64);
+/// monitor.populate((0..100).map(|i| {
+///     (ObjectId(i), Point::new((i as f64 + 0.5) / 100.0, 0.5))
+/// }));
+/// monitor.install_query(QueryId(0), Point::new(0.1042, 0.5), 2);
+/// let nn = monitor.result(QueryId(0)).unwrap();
+/// assert_eq!(nn[0].id, ObjectId(10)); // object at x = 0.105
+///
+/// // One object teleports right next to the query point.
+/// let changed = monitor.process_cycle(
+///     &[ObjectEvent::Move { id: ObjectId(50), to: Point::new(0.104, 0.5) }],
+///     &[],
+/// );
+/// assert_eq!(changed, vec![QueryId(0)]);
+/// assert_eq!(monitor.result(QueryId(0)).unwrap()[0].id, ObjectId(50));
+/// ```
+#[derive(Debug)]
+pub struct CpmKnnMonitor {
+    grid: Grid,
+    influence: InfluenceTable,
+    queries: FastHashMap<QueryId, KnnQueryState>,
+    metrics: Metrics,
+    epoch: u64,
+    /// Queries touched by the current batch (have valid transient fields).
+    touched: Vec<QueryId>,
+    /// Queries with pending query-events this cycle (skipped during object
+    /// update handling).
+    ignored: FastHashSet<QueryId>,
+    /// Scratch: query ids copied out of an influence list.
+    qid_buf: Vec<QueryId>,
+    /// Scratch: result snapshot for change detection.
+    snapshot: Vec<Neighbor>,
+    config: CpmConfig,
+}
+
+impl CpmKnnMonitor {
+    /// Create a monitor over an empty `dim × dim` grid (δ = 1/dim).
+    pub fn new(dim: u32) -> Self {
+        Self::with_config(dim, CpmConfig::default())
+    }
+
+    /// Create a monitor with explicit ablation switches.
+    pub fn with_config(dim: u32, config: CpmConfig) -> Self {
+        Self {
+            grid: Grid::new(dim),
+            influence: InfluenceTable::new(dim),
+            queries: FastHashMap::default(),
+            metrics: Metrics::default(),
+            epoch: 0,
+            touched: Vec::new(),
+            ignored: FastHashSet::default(),
+            qid_buf: Vec::new(),
+            snapshot: Vec::new(),
+            config,
+        }
+    }
+
+    /// Bulk-load objects before any query is installed (initial dataset).
+    ///
+    /// # Panics
+    /// Panics if queries are already installed — later arrivals must go
+    /// through [`ObjectEvent::Appear`] so results stay consistent.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        assert!(
+            self.queries.is_empty(),
+            "populate() is only valid before queries are installed"
+        );
+        for (oid, pos) in objects {
+            self.grid.insert(oid, pos);
+        }
+    }
+
+    /// The object index.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of installed queries.
+    #[inline]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Iterate over installed query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// The current result of query `id` (ascending by distance), if
+    /// installed.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|st| st.result())
+    }
+
+    /// Full book-keeping state of query `id`, if installed.
+    pub fn query_state(&self, id: QueryId) -> Option<&KnnQueryState> {
+        self.queries.get(&id)
+    }
+
+    /// Work counters accumulated since the last [`CpmKnnMonitor::take_metrics`].
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.metrics.take()
+    }
+
+    /// Install a new continuous k-NN query and compute its initial result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
+    pub fn install_query(&mut self, id: QueryId, pos: Point, k: usize) -> &[Neighbor] {
+        assert!(
+            !self.queries.contains_key(&id),
+            "query {id} is already installed"
+        );
+        let mut st = KnnQueryState::new(id, pos, k, self.grid.dim());
+        compute_from_scratch(&self.grid, &mut self.influence, &mut st, &mut self.metrics);
+        self.queries.entry(id).or_insert(st).result()
+    }
+
+    /// Terminate query `id`, removing all its book-keeping.
+    /// Returns `true` if it was installed.
+    pub fn terminate_query(&mut self, id: QueryId) -> bool {
+        match self.queries.remove(&id) {
+            Some(st) => {
+                for &(cell, _) in &st.visit_list[..st.influence_len] {
+                    self.influence.remove(cell, id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move query `id` to a new location: terminate + reinstall with the
+    /// same `k` (Section 3.3).
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
+    pub fn move_query(&mut self, id: QueryId, to: Point) -> &[Neighbor] {
+        let st = self
+            .queries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("move of unknown query {id}"));
+        for &(cell, _) in &st.visit_list[..st.influence_len] {
+            self.influence.remove(cell, id);
+        }
+        st.influence_len = 0;
+        st.q = to;
+        compute_from_scratch(&self.grid, &mut self.influence, st, &mut self.metrics);
+        st.result()
+    }
+
+    /// Run one processing cycle (Figure 3.9): apply all object events with
+    /// batched update handling, then all query events. Returns the ids of
+    /// queries whose reported result changed this cycle (including new and
+    /// moved queries; terminated queries are not reported).
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[QueryEvent],
+    ) -> Vec<QueryId> {
+        self.ignored.clear();
+        for ev in query_events {
+            self.ignored.insert(ev.id());
+        }
+
+        let mut changed = Vec::new();
+        self.handle_object_updates(object_events, &mut changed);
+
+        for ev in query_events {
+            match *ev {
+                QueryEvent::Terminate { id } => {
+                    self.terminate_query(id);
+                }
+                QueryEvent::Move { id, to } => {
+                    self.move_query(id, to);
+                    changed.push(id);
+                }
+                QueryEvent::Install { id, pos, k } => {
+                    self.install_query(id, pos, k);
+                    changed.push(id);
+                }
+            }
+        }
+        changed
+    }
+
+    /// The update-handling module (Figure 3.8) over a batch `U_P`.
+    fn handle_object_updates(&mut self, events: &[ObjectEvent], changed: &mut Vec<QueryId>) {
+        self.epoch += 1;
+        self.touched.clear();
+
+        for ev in events {
+            match *ev {
+                ObjectEvent::Move { id, to } => {
+                    let (_, old_cell, new_cell) = self.grid.update_position(id, to);
+                    self.metrics.updates_applied += 1;
+                    let new_pos = self.grid.position(id).expect("just inserted");
+                    self.process_departure(id, old_cell, Some(new_pos));
+                    self.process_arrival(id, new_cell, new_pos);
+                }
+                ObjectEvent::Appear { id, pos } => {
+                    let cell = self.grid.insert(id, pos);
+                    self.metrics.updates_applied += 1;
+                    let pos = self.grid.position(id).expect("just inserted");
+                    self.process_arrival(id, cell, pos);
+                }
+                ObjectEvent::Disappear { id } => {
+                    let (_, cell) = self
+                        .grid
+                        .remove(id)
+                        .unwrap_or_else(|| panic!("disappear of off-line object {id}"));
+                    self.metrics.updates_applied += 1;
+                    self.process_departure(id, cell, None);
+                }
+            }
+        }
+
+        self.finalize_touched(changed);
+    }
+
+    /// Old-cell side of an update (Figure 3.8 lines 5-12). `new_pos` is
+    /// `None` when the object went off-line, which is treated as an
+    /// outgoing NN (Section 4.2).
+    fn process_departure(&mut self, id: ObjectId, old_cell: cpm_grid::CellCoord, new_pos: Option<Point>) {
+        let Some(qids) = self.influence.queries_at(old_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("influence list in sync");
+            Self::touch(st, self.epoch, &mut self.touched);
+            if st.in_list.remove(id) {
+                st.in_removed = true;
+            }
+            if st.best.contains(id) {
+                match new_pos {
+                    Some(p) => {
+                        let d = st.q.dist(p);
+                        if d <= st.bd_orig {
+                            // p remains in the NN set; update its rank.
+                            st.best.update_dist(id, d);
+                        } else {
+                            // Outgoing NN.
+                            st.best.remove(id);
+                            st.out_count += 1;
+                        }
+                    }
+                    None => {
+                        // Off-line NN = outgoing NN.
+                        st.best.remove(id);
+                        st.out_count += 1;
+                    }
+                }
+                st.dirty = true;
+            }
+        }
+    }
+
+    /// New-cell side of an update (Figure 3.8 lines 13-16).
+    fn process_arrival(&mut self, id: ObjectId, new_cell: cpm_grid::CellCoord, new_pos: Point) {
+        let Some(qids) = self.influence.queries_at(new_cell) else {
+            return;
+        };
+        self.qid_buf.clear();
+        self.qid_buf
+            .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
+        for i in 0..self.qid_buf.len() {
+            let qid = self.qid_buf[i];
+            let st = self.queries.get_mut(&qid).expect("influence list in sync");
+            Self::touch(st, self.epoch, &mut self.touched);
+            let d = st.q.dist(new_pos);
+            if d <= st.bd_orig && !st.best.contains(id) {
+                st.in_list.update(id, d);
+            }
+        }
+    }
+
+    /// Reset the transient batch fields on first contact in this cycle
+    /// (Figure 3.8 lines 1-3, done lazily per touched query).
+    fn touch(st: &mut KnnQueryState, epoch: u64, touched: &mut Vec<QueryId>) {
+        if st.epoch != epoch {
+            st.epoch = epoch;
+            st.bd_orig = st.best_dist();
+            st.out_count = 0;
+            st.in_list.clear();
+            st.in_removed = false;
+            st.dirty = false;
+            touched.push(st.id);
+        }
+    }
+
+    /// Per-query resolution after the whole batch (Figure 3.8 lines 17-24).
+    fn finalize_touched(&mut self, changed: &mut Vec<QueryId>) {
+        let touched = std::mem::take(&mut self.touched);
+        for &qid in &touched {
+            let st = self.queries.get_mut(&qid).expect("touched query installed");
+
+            // A removal from an overflowed in_list may have discarded a
+            // candidate that now belongs in the merge set; fall back to
+            // re-computation (conservative; unreachable with one update per
+            // object per cycle).
+            let unsound_in_list = st.in_list.evicted_since_clear() && st.in_removed;
+            // Ablation: with the merge optimization disabled, any touched
+            // query with a potential result change searches the grid.
+            let forced = !self.config.merge_optimization
+                && (st.out_count > 0 || st.in_list.len() > 0 || st.dirty);
+
+            if forced || unsound_in_list || st.in_list.len() < st.out_count {
+                // Line 23-24: not enough incoming objects.
+                self.snapshot.clear();
+                self.snapshot.extend_from_slice(st.best.neighbors());
+                if self.config.reuse_visit_list {
+                    recompute(&self.grid, &mut self.influence, st, &mut self.metrics);
+                } else {
+                    // Memory-pressure fallback of Section 3.3: drop the
+                    // book-kept search state and run Figure 3.4 afresh.
+                    for i in 0..st.influence_len {
+                        self.influence.remove(st.visit_list[i].0, qid);
+                    }
+                    st.influence_len = 0;
+                    compute_from_scratch(&self.grid, &mut self.influence, st, &mut self.metrics);
+                    self.metrics.recomputations += 1;
+                    self.metrics.computations -= 1;
+                }
+                if self.snapshot != st.best.neighbors() {
+                    changed.push(qid);
+                }
+            } else if st.out_count > 0 || st.in_list.len() > 0 {
+                // Lines 18-22: merge best_NN − O with the incomers.
+                self.snapshot.clear();
+                self.snapshot.extend_from_slice(st.best.neighbors());
+                let mut candidates = Vec::with_capacity(self.snapshot.len() + st.in_list.len());
+                candidates.extend_from_slice(&self.snapshot);
+                candidates.extend_from_slice(st.in_list.entries());
+                st.best.rebuild_from(candidates);
+                self.metrics.merge_resolutions += 1;
+                sync_influence(&mut self.influence, st);
+                if st.dirty || self.snapshot != st.best.neighbors() {
+                    changed.push(qid);
+                }
+            } else if st.dirty {
+                // Only rank changes among surviving NNs; the result set is
+                // unchanged but the reported order (and best_dist) may be.
+                sync_influence(&mut self.influence, st);
+                changed.push(qid);
+            }
+        }
+        self.touched = touched;
+    }
+
+    /// Total memory footprint in the paper's memory units (Section 4.1):
+    /// `3·N` for the grid data, one unit per influence-list entry, and
+    /// `3 + 2k + 3·(C_SH + 4)` per query-table entry.
+    pub fn space_units(&self) -> usize {
+        let grid_units = self.grid.space_units() + self.influence.total_entries();
+        let qt_units: usize = self
+            .queries
+            .values()
+            .map(|st| {
+                let c_sh = st.visit_list.len() + st.heap.cell_entries();
+                3 + 2 * st.k() + 3 * (c_sh + 4)
+            })
+            .sum();
+        grid_units + qt_units
+    }
+
+    /// Verify all cross-structure invariants (test helper; O(total state)).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (qid, st) in &self.queries {
+            assert_eq!(*qid, st.id);
+            st.check_invariants();
+            // Registered prefix must match the influence table.
+            for (i, &(cell, _)) in st.visit_list.iter().enumerate() {
+                let registered = self.influence.contains(cell, *qid);
+                assert_eq!(
+                    registered,
+                    i < st.influence_len,
+                    "query {qid} cell {cell}: registration mismatch"
+                );
+            }
+            // Every reported neighbor must be live and at the recorded
+            // distance.
+            for n in st.result() {
+                let p = self
+                    .grid
+                    .position(n.id)
+                    .unwrap_or_else(|| panic!("result contains off-line object {}", n.id));
+                assert!((st.q.dist(p) - n.dist).abs() < 1e-9, "stale distance");
+            }
+        }
+        // No dangling registrations: every influence entry belongs to an
+        // installed query's current prefix.
+        let total: usize = self
+            .queries
+            .values()
+            .map(|st| st.influence_len)
+            .sum();
+        assert_eq!(self.influence.total_entries(), total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force k-NN over the monitor's own grid.
+    fn oracle(grid: &Grid, q: Point, k: usize) -> Vec<f64> {
+        let mut d: Vec<f64> = grid.iter_objects().map(|(_, p)| q.dist(p)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    fn assert_matches_oracle(m: &CpmKnnMonitor, qid: QueryId) {
+        let st = m.query_state(qid).unwrap();
+        let expect = oracle(m.grid(), st.q, st.k());
+        let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), expect.len().min(st.k()), "result size");
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-9, "distance mismatch: {got:?} vs {expect:?}");
+        }
+    }
+
+    /// δ = 1/8 grid with the Figure 3.2 layout (coordinates scaled by δ):
+    /// q = (4.2, 4.9)·δ in cell c4,4; p1 ∈ c3,3; p2 ∈ c2,4 is the NN.
+    fn fig_3_2_monitor() -> CpmKnnMonitor {
+        let d = 1.0 / 8.0;
+        let mut m = CpmKnnMonitor::new(8);
+        m.populate([
+            (ObjectId(1), Point::new(3.3 * d, 3.5 * d)),  // p1
+            (ObjectId(2), Point::new(2.9 * d, 4.5 * d)),  // p2 (the NN)
+            (ObjectId(3), Point::new(2.2 * d, 6.5 * d)),  // p3, farther
+            (ObjectId(4), Point::new(5.5 * d, 6.6 * d)),  // p4, farther
+        ]);
+        m.install_query(QueryId(0), Point::new(4.2 * d, 4.9 * d), 1);
+        m
+    }
+
+    #[test]
+    fn nn_computation_example_fig_3_2() {
+        let m = fig_3_2_monitor();
+        let res = m.result(QueryId(0)).unwrap();
+        assert_eq!(res[0].id, ObjectId(2));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+        let st = m.query_state(QueryId(0)).unwrap();
+        // The search processed only a neighborhood, not the whole grid.
+        assert!(st.visit_list.len() < 30, "visited {}", st.visit_list.len());
+        assert!(st.heap.boundary_boxes() <= 4);
+    }
+
+    #[test]
+    fn update_outside_best_dist_changes_nothing_fig_3_5a() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        m.take_metrics();
+        // p4 moves from c5,6 into the influence region's vicinity (c5,3)
+        // but farther than best_dist: no result change, no recomputation.
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(4),
+                to: Point::new(5.5 * d, 3.4 * d),
+            }],
+            &[],
+        );
+        assert!(changed.is_empty());
+        assert_eq!(m.metrics().recomputations, 0);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(2));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn outgoing_nn_triggers_recomputation_fig_3_5b() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        // First p4 comes nearer (as in Figure 3.5a): outside best_dist but
+        // closer to q than p1, so it becomes the NN once p2 departs.
+        m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(4),
+                to: Point::new(4.6 * d, 3.5 * d),
+            }],
+            &[],
+        );
+        m.take_metrics();
+        // Then the current NN p2 moves far away: q is affected and the
+        // re-computation module must find p4 as the new NN.
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(2),
+                to: Point::new(0.5 * d, 6.5 * d),
+            }],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.metrics().recomputations, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(4));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn incomer_covers_outgoer_without_recomputation_fig_3_7() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        m.take_metrics();
+        // p2 (the NN) leaves; p3 moves closer than best_dist in the same
+        // batch. CPM must resolve this by merging, without grid search.
+        let changed = m.process_cycle(
+            &[
+                ObjectEvent::Move {
+                    id: ObjectId(2),
+                    to: Point::new(0.5 * d, 6.5 * d),
+                },
+                ObjectEvent::Move {
+                    id: ObjectId(3),
+                    to: Point::new(3.6 * d, 4.5 * d),
+                },
+            ],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.metrics().recomputations, 0);
+        assert_eq!(m.metrics().merge_resolutions, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(3));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn offline_nn_is_treated_as_outgoing() {
+        let mut m = fig_3_2_monitor();
+        let changed = m.process_cycle(&[ObjectEvent::Disappear { id: ObjectId(2) }], &[]);
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn appearing_object_can_become_nn() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        let changed = m.process_cycle(
+            &[ObjectEvent::Appear {
+                id: ObjectId(9),
+                pos: Point::new(4.3 * d, 4.8 * d),
+            }],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(9));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn query_move_recomputes_from_scratch() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        m.take_metrics();
+        let changed = m.process_cycle(
+            &[],
+            &[QueryEvent::Move {
+                id: QueryId(0),
+                to: Point::new(5.4 * d, 6.4 * d),
+            }],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.metrics().computations, 1);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(4));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn moving_query_is_ignored_during_object_updates() {
+        let mut m = fig_3_2_monitor();
+        let d = 1.0 / 8.0;
+        m.take_metrics();
+        // The NN departs *and* the query moves in the same cycle; the
+        // object update must not trigger work for the obsolete query.
+        let changed = m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(2),
+                to: Point::new(0.5 * d, 6.5 * d),
+            }],
+            &[QueryEvent::Move {
+                id: QueryId(0),
+                to: Point::new(5.4 * d, 6.4 * d),
+            }],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(m.metrics().recomputations, 0, "obsolete query recomputed");
+        assert_eq!(m.metrics().computations, 1);
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn terminate_clears_all_bookkeeping() {
+        let mut m = fig_3_2_monitor();
+        assert!(m.terminate_query(QueryId(0)));
+        assert!(!m.terminate_query(QueryId(0)));
+        assert_eq!(m.query_count(), 0);
+        m.check_invariants(); // influence table must be empty again
+        assert_eq!(m.space_units(), m.grid().space_units());
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let mut m = CpmKnnMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.1, 0.1)),
+            (ObjectId(1), Point::new(0.9, 0.9)),
+        ]);
+        m.install_query(QueryId(0), Point::new(0.5, 0.5), 5);
+        assert_eq!(m.result(QueryId(0)).unwrap().len(), 2);
+        assert!(m.query_state(QueryId(0)).unwrap().best_dist().is_infinite());
+        m.check_invariants();
+        // A third object appears and must join the (still unfull) result.
+        m.process_cycle(
+            &[ObjectEvent::Appear {
+                id: ObjectId(2),
+                pos: Point::new(0.51, 0.5),
+            }],
+            &[],
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap().len(), 3);
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(2));
+        assert_matches_oracle(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn empty_grid_query_is_legal() {
+        let mut m = CpmKnnMonitor::new(8);
+        m.install_query(QueryId(0), Point::new(0.5, 0.5), 3);
+        assert!(m.result(QueryId(0)).unwrap().is_empty());
+        m.check_invariants();
+        m.process_cycle(
+            &[ObjectEvent::Appear {
+                id: ObjectId(0),
+                pos: Point::new(0.2, 0.2),
+            }],
+            &[],
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap().len(), 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn ablated_configurations_remain_exact() {
+        // Correctness must not depend on either optimization.
+        let mut rng = StdRng::seed_from_u64(0xAB1A);
+        for config in [
+            CpmConfig {
+                merge_optimization: false,
+                reuse_visit_list: true,
+            },
+            CpmConfig {
+                merge_optimization: true,
+                reuse_visit_list: false,
+            },
+            CpmConfig {
+                merge_optimization: false,
+                reuse_visit_list: false,
+            },
+        ] {
+            let mut m = CpmKnnMonitor::with_config(16, config);
+            m.populate((0..40u32).map(|i| {
+                (
+                    ObjectId(i),
+                    Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                )
+            }));
+            m.install_query(QueryId(0), Point::new(0.5, 0.5), 5);
+            for _ in 0..20 {
+                let mut events = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(1..8) {
+                    let id = rng.gen_range(0..40u32);
+                    if seen.insert(id) {
+                        events.push(ObjectEvent::Move {
+                            id: ObjectId(id),
+                            to: Point::new(rng.gen(), rng.gen()),
+                        });
+                    }
+                }
+                m.process_cycle(&events, &[]);
+                m.check_invariants();
+                assert_matches_oracle(&m, QueryId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_stream_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for trial in 0..8 {
+            let dim = [4u32, 8, 16, 64][trial % 4];
+            let n_obj = 60;
+            let mut m = CpmKnnMonitor::new(dim);
+            m.populate((0..n_obj).map(|i| {
+                (
+                    ObjectId(i),
+                    Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                )
+            }));
+            for qi in 0..6u32 {
+                let k = 1 + (qi as usize % 5) * 3;
+                m.install_query(
+                    QueryId(qi),
+                    Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
+                    k,
+                );
+            }
+            let mut live: Vec<u32> = (0..n_obj).collect();
+            let mut next_id = n_obj;
+            for _cycle in 0..30 {
+                let mut events = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(0..12) {
+                    match rng.gen_range(0..10) {
+                        0 if !live.is_empty() => {
+                            let idx = rng.gen_range(0..live.len());
+                            let id = live.swap_remove(idx);
+                            if seen.insert(id) {
+                                events.push(ObjectEvent::Disappear { id: ObjectId(id) });
+                            } else {
+                                live.push(id);
+                            }
+                        }
+                        1 => {
+                            let id = next_id;
+                            next_id += 1;
+                            live.push(id);
+                            seen.insert(id);
+                            events.push(ObjectEvent::Appear {
+                                id: ObjectId(id),
+                                pos: Point::new(rng.gen(), rng.gen()),
+                            });
+                        }
+                        _ if !live.is_empty() => {
+                            let id = live[rng.gen_range(0..live.len())];
+                            if seen.insert(id) {
+                                // Mix of local jitters and teleports.
+                                let to = if rng.gen_bool(0.7) {
+                                    let p = m.grid().position(ObjectId(id)).unwrap();
+                                    Point::new(
+                                        (p.x + rng.gen_range(-0.05..0.05)).clamp(0.0, 0.999),
+                                        (p.y + rng.gen_range(-0.05..0.05)).clamp(0.0, 0.999),
+                                    )
+                                } else {
+                                    Point::new(rng.gen(), rng.gen())
+                                };
+                                events.push(ObjectEvent::Move { id: ObjectId(id), to });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let mut qevents = Vec::new();
+                if rng.gen_bool(0.2) {
+                    qevents.push(QueryEvent::Move {
+                        id: QueryId(rng.gen_range(0..6)),
+                        to: Point::new(rng.gen(), rng.gen()),
+                    });
+                }
+                m.process_cycle(&events, &qevents);
+                m.check_invariants();
+                for qid in 0..6u32 {
+                    assert_matches_oracle(&m, QueryId(qid));
+                }
+            }
+        }
+    }
+}

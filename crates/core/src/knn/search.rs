@@ -1,0 +1,156 @@
+//! The NN computation (Figure 3.4) and re-computation (Figure 3.6) modules.
+//!
+//! Both share one best-first loop over the search heap; re-computation
+//! first replays the visit list (whose `mindist` values are all ≤ the keys
+//! left in the heap) before touching the heap, which is what makes it
+//! cheaper than a search from scratch: the stored `mindist` values are
+//! reused and heap operations are mostly avoided.
+//!
+//! One deliberate deviation from the paper's pseudo-code: the loops here
+//! terminate when the next key is *strictly greater* than `best_dist`
+//! (the paper stops at `≥`). Processing equal-key cells costs nothing in
+//! non-degenerate configurations (exact ties have measure zero) and makes
+//! the visit list cover *every* cell of the closed influence circle, so a
+//! neighbor sitting at distance exactly `best_dist` always lives in a
+//! registered cell and its future updates cannot be missed.
+
+use cpm_grid::{Grid, InfluenceTable, Metrics};
+
+use crate::heap::HeapEntry;
+use crate::knn::state::KnnQueryState;
+use crate::partition::{Direction, Pinwheel};
+
+/// Compute the result of `st` from scratch (Figure 3.4): used for newly
+/// installed queries and for queries that changed location.
+///
+/// The caller must have cleared any previous influence-region
+/// registrations (see `CpmKnnMonitor::unregister_influence`).
+pub(crate) fn compute_from_scratch(
+    grid: &Grid,
+    inf: &mut InfluenceTable,
+    st: &mut KnnQueryState,
+    metrics: &mut Metrics,
+) {
+    debug_assert_eq!(st.influence_len, 0, "stale influence registrations");
+    st.best.clear();
+    st.visit_list.clear();
+    st.heap.clear();
+
+    let cq = grid.cell_of(st.q);
+    st.pinwheel = Pinwheel::around_cell(cq, grid.dim());
+
+    // Line 4: the query cell with key mindist(c_q, q) = 0.
+    st.heap.push_cell(cq, 0.0);
+    metrics.heap_pushes += 1;
+    // Line 5: the level-zero rectangle of every (non-exhausted) direction.
+    for dir in Direction::ALL {
+        if st.pinwheel.strip(dir, 0).is_some() {
+            st.heap
+                .push_rect(dir, 0, st.pinwheel.strip_mindist(dir, 0, st.q));
+            metrics.heap_pushes += 1;
+        }
+    }
+
+    drain_heap(grid, st, metrics);
+    metrics.computations += 1;
+    sync_influence(inf, st);
+}
+
+/// Re-compute the result of an affected query (Figure 3.6): replay the
+/// visit list, then resume the heap search if still short of `k`.
+pub(crate) fn recompute(
+    grid: &Grid,
+    inf: &mut InfluenceTable,
+    st: &mut KnnQueryState,
+    metrics: &mut Metrics,
+) {
+    st.best.clear();
+
+    // Lines 2-6: sequential scan of the visit list (O(1) per "get next").
+    let mut exhausted = true;
+    for i in 0..st.visit_list.len() {
+        let (cell, md) = st.visit_list[i];
+        if md > st.best.best_dist() {
+            exhausted = false;
+            break;
+        }
+        metrics.cell_accesses += 1;
+        if let Some(objects) = grid.objects_in(cell) {
+            for &oid in objects {
+                let p = grid.position(oid).expect("indexed object has position");
+                metrics.objects_processed += 1;
+                st.best.offer(oid, st.q.dist(p));
+            }
+        }
+    }
+
+    // Lines 7-8: continue into the search heap only if it could still
+    // contribute (its smallest key is within best_dist).
+    if exhausted {
+        drain_heap(grid, st, metrics);
+    }
+    metrics.recomputations += 1;
+    sync_influence(inf, st);
+}
+
+/// The shared best-first loop (Figure 3.4 lines 7-17): pop cells and
+/// rectangles in ascending key order until the next key exceeds
+/// `best_dist`; processed cells are appended to the visit list.
+fn drain_heap(grid: &Grid, st: &mut KnnQueryState, metrics: &mut Metrics) {
+    let delta = grid.delta();
+    while let Some(key) = st.heap.peek_key() {
+        if key > st.best.best_dist() {
+            break;
+        }
+        let (key, entry) = st.heap.pop().expect("peeked entry");
+        metrics.heap_pops += 1;
+        match entry {
+            HeapEntry::Cell(cell) => {
+                metrics.cell_accesses += 1;
+                if let Some(objects) = grid.objects_in(cell) {
+                    for &oid in objects {
+                        let p = grid.position(oid).expect("indexed object has position");
+                        metrics.objects_processed += 1;
+                        st.best.offer(oid, st.q.dist(p));
+                    }
+                }
+                st.visit_list.push((cell, key));
+            }
+            HeapEntry::Rect(dir, lvl) => {
+                let strip = st
+                    .pinwheel
+                    .strip(dir, lvl)
+                    .expect("en-heaped strip exists");
+                for cell in strip.cells() {
+                    st.heap.push_cell(cell, grid.mindist(cell, st.q));
+                    metrics.heap_pushes += 1;
+                }
+                // Line 16: next-level rectangle with key + δ (Lemma 3.1).
+                if st.pinwheel.strip(dir, lvl + 1).is_some() {
+                    st.heap.push_rect(dir, lvl + 1, key + delta);
+                    metrics.heap_pushes += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Synchronize the influence-region registrations with the current
+/// `best_dist`: exactly the visit-list prefix with `mindist ≤ best_dist`
+/// is registered (grows after re-computation, shrinks after a merge —
+/// Figure 3.8 line 22).
+pub(crate) fn sync_influence(inf: &mut InfluenceTable, st: &mut KnnQueryState) {
+    let bd = st.best.best_dist();
+    let new_len = if bd.is_finite() {
+        st.visit_list.partition_point(|&(_, md)| md <= bd)
+    } else {
+        st.visit_list.len()
+    };
+    for i in st.influence_len..new_len {
+        inf.add(st.visit_list[i].0, st.id);
+    }
+    for i in new_len..st.influence_len {
+        inf.remove(st.visit_list[i].0, st.id);
+    }
+    st.influence_len = new_len;
+}

@@ -1,0 +1,166 @@
+//! Per-query book-keeping: the query-table entry of Figure 3.3a.
+
+use cpm_geom::{Point, QueryId};
+#[cfg(test)]
+use cpm_geom::ObjectId;
+use cpm_grid::CellCoord;
+
+use crate::heap::SearchHeap;
+use crate::inlist::InList;
+use crate::neighbors::{Neighbor, NeighborList};
+use crate::partition::Pinwheel;
+
+/// The complete query-table entry for one continuous k-NN query:
+/// coordinates, current result, `best_dist`, visit list and search heap
+/// (Section 3.1), plus the transient per-batch fields of Figure 3.8.
+#[derive(Debug, Clone)]
+pub struct KnnQueryState {
+    /// Query identifier.
+    pub id: QueryId,
+    /// Query point.
+    pub q: Point,
+    /// Current result (`best_NN`), ascending by distance.
+    pub best: NeighborList,
+    /// Cells processed during NN (re-)computation, ascending by `mindist`.
+    /// Always a superset of the influence region (Section 3.3).
+    pub visit_list: Vec<(CellCoord, f64)>,
+    /// Length of the visit-list prefix currently registered in the
+    /// influence table (exactly the cells with `mindist ≤ best_dist`).
+    pub influence_len: usize,
+    /// Entries en-heaped but not processed during the last search.
+    pub heap: SearchHeap,
+    /// The conceptual partitioning around the query cell.
+    pub pinwheel: Pinwheel,
+
+    // --- transient per-batch fields (Figure 3.8 lines 1-3) ---
+    /// Batch stamp: fields below are valid only when this equals the
+    /// monitor's current epoch.
+    pub(crate) epoch: u64,
+    /// `best_dist` recorded before the batch (Section 3.3).
+    pub(crate) bd_orig: f64,
+    /// Number of outgoing NNs (`q.out_count`).
+    pub(crate) out_count: usize,
+    /// The k best incoming objects (`q.in_list`).
+    pub(crate) in_list: InList,
+    /// An entry was removed from `in_list` this batch (multi-update guard;
+    /// see [`InList::evicted_since_clear`]).
+    pub(crate) in_removed: bool,
+    /// Result contents changed during the batch (evictions/reorders).
+    pub(crate) dirty: bool,
+}
+
+impl KnnQueryState {
+    /// Fresh state for a query at `q` with parameter `k`, on a `dim×dim`
+    /// grid. The result is empty until the first NN computation.
+    pub fn new(id: QueryId, q: Point, k: usize, dim: u32) -> Self {
+        Self {
+            id,
+            q,
+            best: NeighborList::new(k),
+            visit_list: Vec::new(),
+            influence_len: 0,
+            heap: SearchHeap::new(),
+            pinwheel: Pinwheel::around_cell(CellCoord::new(0, 0), dim),
+            epoch: 0,
+            bd_orig: f64::INFINITY,
+            out_count: 0,
+            in_list: InList::with_cap(k),
+            in_removed: false,
+            dirty: false,
+        }
+    }
+
+    /// The monitored `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.best.k()
+    }
+
+    /// `best_dist`: distance of the k-th NN (`+∞` while fewer than `k`
+    /// objects exist).
+    #[inline]
+    pub fn best_dist(&self) -> f64 {
+        self.best.best_dist()
+    }
+
+    /// Current result, ascending by distance.
+    #[inline]
+    pub fn result(&self) -> &[Neighbor] {
+        self.best.neighbors()
+    }
+
+    /// Verify book-keeping invariants (test helper): visit list sorted,
+    /// influence prefix consistent with `best_dist`, at most four boundary
+    /// boxes in the heap.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.best.check_invariants();
+        for w in self.visit_list.windows(2) {
+            assert!(w[0].1 <= w[1].1, "visit list out of order");
+        }
+        assert!(self.influence_len <= self.visit_list.len());
+        let bd = self.best_dist();
+        if bd.is_finite() {
+            for (i, &(_, md)) in self.visit_list.iter().enumerate() {
+                if i < self.influence_len {
+                    assert!(md <= bd, "registered cell beyond best_dist");
+                } else {
+                    assert!(md > bd, "unregistered cell inside influence region");
+                }
+            }
+        } else {
+            assert_eq!(self.influence_len, self.visit_list.len());
+        }
+        assert!(self.heap.boundary_boxes() <= 4, "more than 4 boundary boxes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_list_keeps_best_cap_by_distance() {
+        let mut l = InList::with_cap(2);
+        l.update(ObjectId(1), 0.5);
+        l.update(ObjectId(2), 0.3);
+        l.update(ObjectId(3), 0.4); // evicts 0.5
+        assert_eq!(l.len(), 2);
+        assert!(l.evicted_since_clear());
+        let ids: Vec<u32> = l.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn in_list_replaces_on_repeated_update() {
+        let mut l = InList::with_cap(4);
+        l.update(ObjectId(1), 0.5);
+        l.update(ObjectId(1), 0.1);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.entries()[0].dist, 0.1);
+        assert!(l.remove(ObjectId(1)));
+        assert!(!l.remove(ObjectId(1)));
+        assert!(!l.evicted_since_clear());
+    }
+
+    #[test]
+    fn worse_than_full_list_sets_evicted() {
+        let mut l = InList::with_cap(1);
+        l.update(ObjectId(1), 0.1);
+        l.update(ObjectId(2), 0.9);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.entries()[0].id, ObjectId(1));
+        assert!(l.evicted_since_clear());
+        l.clear();
+        assert!(!l.evicted_since_clear());
+    }
+
+    #[test]
+    fn fresh_state_invariants() {
+        let st = KnnQueryState::new(QueryId(0), Point::new(0.5, 0.5), 4, 64);
+        st.check_invariants();
+        assert_eq!(st.k(), 4);
+        assert!(st.best_dist().is_infinite());
+        assert!(st.result().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Conceptual Partitioning Monitoring (CPM) — the primary contribution of
+//! *"Conceptual Partitioning: An Efficient Method for Continuous Nearest
+//! Neighbor Monitoring"* (Mouratidis, Hadjieleftheriou, Papadias; SIGMOD
+//! 2005), implemented in full:
+//!
+//! * [`partition`] — the conceptual space partitioning into direction/level
+//!   rectangles around a query (Section 3.1, Lemma 3.1), generalized to
+//!   rectangular bases for aggregate queries (Section 5).
+//! * [`knn`] — continuous k-NN monitoring: NN computation (Fig. 3.4),
+//!   re-computation (Fig. 3.6), batched update handling with the
+//!   incoming/outgoing optimization (Fig. 3.8), and the complete monitoring
+//!   cycle (Fig. 3.9). Entry point: [`CpmKnnMonitor`].
+//! * [`ann`] — continuous aggregate-NN monitoring for `sum`, `min` and
+//!   `max` (Section 5). Entry point: [`CpmAnnMonitor`].
+//! * [`constrained`] — constrained NN monitoring restricted to a
+//!   rectangular region (Section 5). Entry point: [`CpmConstrainedMonitor`].
+//! * [`analysis`] — the closed-form cost model of Section 4.1.
+//!
+//! The substrate (grid index, influence lists, metrics) lives in
+//! [`cpm_grid`]; geometry primitives in [`cpm_geom`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod ann;
+pub mod constrained;
+pub mod engine;
+pub mod heap;
+mod inlist;
+pub mod knn;
+pub mod neighbors;
+pub mod partition;
+pub mod rnn;
+
+pub use analysis::CostModel;
+pub use ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
+pub use constrained::{ConstrainedQuery, CpmConstrainedMonitor};
+pub use engine::{CpmEngine, QuerySpec, SpecEvent, SpecQueryState};
+pub use knn::{CpmConfig, CpmKnnMonitor, KnnQueryState};
+pub use neighbors::{Neighbor, NeighborList};
+pub use partition::{Direction, Pinwheel, Strip};
+pub use rnn::CpmRnnMonitor;

@@ -1,0 +1,285 @@
+//! The `best_NN` list: the k best neighbors found so far, sorted by
+//! distance (Table 3.1).
+//!
+//! The paper's analysis assumes a balanced tree (`log k` updates); for the
+//! experimental range `k ≤ 256` a sorted vector with binary-search insertion
+//! is faster in practice (see DESIGN.md §3). Membership tests — the hottest
+//! operation during update handling — are O(1) through a side hash set.
+
+use cpm_geom::{FastHashSet, ObjectId};
+
+/// One result entry: object id plus its (aggregate) distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The object.
+    pub id: ObjectId,
+    /// Its current (aggregate) distance to the query.
+    pub dist: f64,
+}
+
+/// A capacity-`k` list of the best neighbors found so far, ascending by
+/// `(dist, id)`; ties broken by id for determinism.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborList {
+    k: usize,
+    entries: Vec<Neighbor>,
+    members: FastHashSet<ObjectId>,
+}
+
+impl NeighborList {
+    /// An empty list with capacity `k ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            k,
+            entries: Vec::with_capacity(k),
+            members: FastHashSet::default(),
+        }
+    }
+
+    /// The capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of neighbors (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no neighbors are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the list holds `k` neighbors.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// `best_dist`: distance of the k-th neighbor, or `+∞` while the list
+    /// is not yet full (so every candidate qualifies, as in Figure 3.4
+    /// line 1).
+    #[inline]
+    pub fn best_dist(&self) -> f64 {
+        if self.is_full() {
+            self.entries[self.k - 1].dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.members.contains(&id)
+    }
+
+    /// The neighbors, ascending by distance.
+    #[inline]
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.entries
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.members.clear();
+    }
+
+    fn insertion_point(&self, n: Neighbor) -> usize {
+        self.entries
+            .partition_point(|e| (e.dist, e.id) < (n.dist, n.id))
+    }
+
+    /// Offer a candidate: inserted if the list is not full or if it beats
+    /// the current k-th neighbor (which is then evicted). Returns `true`
+    /// if the list changed.
+    ///
+    /// # Panics
+    /// Debug-panics if `id` is already a member — callers distinguish
+    /// candidate insertion from [`NeighborList::update_dist`].
+    pub fn offer(&mut self, id: ObjectId, dist: f64) -> bool {
+        debug_assert!(!self.contains(id), "offer of existing member {id}");
+        let n = Neighbor { id, dist };
+        if self.is_full() {
+            let last = self.entries[self.k - 1];
+            if (dist, id) >= (last.dist, last.id) {
+                return false;
+            }
+            self.entries.pop();
+            self.members.remove(&last.id);
+        }
+        let at = self.insertion_point(n);
+        self.entries.insert(at, n);
+        self.members.insert(id);
+        true
+    }
+
+    /// Remove a member (an outgoing NN). Returns its entry if present.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Neighbor> {
+        if !self.members.remove(&id) {
+            return None;
+        }
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            .expect("member set out of sync");
+        Some(self.entries.remove(idx))
+    }
+
+    /// Update the stored distance of a member that moved but remains in the
+    /// result ("update the order in `q.best_NN`", Figure 3.8 line 9).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member.
+    pub fn update_dist(&mut self, id: ObjectId, dist: f64) {
+        let old = self.remove(id).expect("update_dist of non-member");
+        let n = Neighbor { id, dist: old.dist };
+        let _ = n; // old entry discarded; reinsert at the new rank
+        let at = self.insertion_point(Neighbor { id, dist });
+        self.entries.insert(at, Neighbor { id, dist });
+        self.members.insert(id);
+    }
+
+    /// Rebuild from an iterator of candidates, keeping the best `k`.
+    /// Used by the merge step of update handling (Figure 3.8 lines 19–20).
+    pub fn rebuild_from<I: IntoIterator<Item = Neighbor>>(&mut self, candidates: I) {
+        self.clear();
+        let mut all: Vec<Neighbor> = candidates.into_iter().collect();
+        all.sort_unstable_by(|a, b| {
+            (a.dist, a.id)
+                .partial_cmp(&(b.dist, b.id))
+                .expect("distances are never NaN")
+        });
+        all.dedup_by_key(|n| n.id);
+        all.truncate(self.k);
+        for n in &all {
+            self.members.insert(n.id);
+        }
+        self.entries = all;
+    }
+
+    /// Verify internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(self.entries.len() <= self.k);
+        assert_eq!(self.entries.len(), self.members.len());
+        for w in self.entries.windows(2) {
+            assert!(
+                (w[0].dist, w[0].id) <= (w[1].dist, w[1].id),
+                "entries out of order"
+            );
+        }
+        for e in &self.entries {
+            assert!(self.members.contains(&e.id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fills_then_evicts_worst() {
+        let mut l = NeighborList::new(2);
+        assert_eq!(l.best_dist(), f64::INFINITY);
+        assert!(l.offer(ObjectId(1), 0.5));
+        assert!(l.offer(ObjectId(2), 0.3));
+        assert!(l.is_full());
+        assert_eq!(l.best_dist(), 0.5);
+        // Worse candidate rejected.
+        assert!(!l.offer(ObjectId(3), 0.6));
+        // Better candidate evicts the current 2nd.
+        assert!(l.offer(ObjectId(4), 0.1));
+        assert_eq!(l.best_dist(), 0.3);
+        assert!(!l.contains(ObjectId(1)));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn remove_and_update_dist() {
+        let mut l = NeighborList::new(3);
+        l.offer(ObjectId(1), 0.1);
+        l.offer(ObjectId(2), 0.2);
+        l.offer(ObjectId(3), 0.3);
+        l.update_dist(ObjectId(1), 0.25);
+        assert_eq!(l.neighbors()[1].id, ObjectId(1));
+        let removed = l.remove(ObjectId(2)).unwrap();
+        assert_eq!(removed.dist, 0.2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.best_dist(), f64::INFINITY); // no longer full
+        l.check_invariants();
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut l = NeighborList::new(2);
+        l.offer(ObjectId(9), 0.5);
+        l.offer(ObjectId(3), 0.5);
+        assert_eq!(l.neighbors()[0].id, ObjectId(3));
+        // Equal (dist, id) worse than last => rejected.
+        assert!(!l.offer(ObjectId(10), 0.5));
+        // Equal dist, smaller id => accepted.
+        assert!(l.offer(ObjectId(1), 0.5));
+        assert_eq!(l.neighbors()[1].id, ObjectId(3));
+    }
+
+    #[test]
+    fn rebuild_keeps_best_k_and_dedups() {
+        let mut l = NeighborList::new(2);
+        l.rebuild_from(vec![
+            Neighbor {
+                id: ObjectId(1),
+                dist: 0.9,
+            },
+            Neighbor {
+                id: ObjectId(2),
+                dist: 0.1,
+            },
+            Neighbor {
+                id: ObjectId(2),
+                dist: 0.1,
+            },
+            Neighbor {
+                id: ObjectId(3),
+                dist: 0.5,
+            },
+        ]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.neighbors()[0].id, ObjectId(2));
+        assert_eq!(l.neighbors()[1].id, ObjectId(3));
+        l.check_invariants();
+    }
+
+    proptest! {
+        #[test]
+        fn offer_stream_matches_sort(
+            k in 1usize..8,
+            dists in proptest::collection::vec(0.0..1.0f64, 0..64),
+        ) {
+            let mut l = NeighborList::new(k);
+            for (i, d) in dists.iter().enumerate() {
+                l.offer(ObjectId(i as u32), *d);
+                l.check_invariants();
+            }
+            let mut expect: Vec<(f64, u32)> = dists
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (*d, i as u32))
+                .collect();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expect.truncate(k);
+            let got: Vec<(f64, u32)> =
+                l.neighbors().iter().map(|n| (n.dist, n.id.0)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Network-based moving-object workload generator for continuous spatial
+//! query benchmarks — the Brinkhoff [B02] substitute of this suite (see
+//! DESIGN.md §3 for the substitution rationale).
+//!
+//! * [`network`] — synthetic road networks (perturbed street grid and
+//!   random geometric graph), connectivity-repaired.
+//! * [`path`] — Dijkstra shortest paths and the [`Traveler`] polyline
+//!   walker.
+//! * [`workload`] — the object/query life cycle of Section 6: appear →
+//!   shortest path → disappear for objects; persistent re-targeting
+//!   queries; agility (`f_obj`, `f_qry`) and speed classes per Table 6.1.
+//! * [`uniform`] — the uniform random-displacement model assumed by the
+//!   Section 4.1 analysis.
+//! * [`skewed`] — Gaussian-hotspot data with drifting centers, the skewed
+//!   regime the paper points at hierarchical grids for.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod network;
+pub mod path;
+pub mod skewed;
+pub mod speed;
+pub mod uniform;
+pub mod workload;
+
+pub use network::{NodeId, RoadNetwork};
+pub use path::{path_length, shortest_path, Traveler};
+pub use skewed::{SkewConfig, SkewedWorkload};
+pub use speed::SpeedClass;
+pub use uniform::UniformWorkload;
+pub use workload::{NetworkWorkload, TickEvents, WorkloadConfig};

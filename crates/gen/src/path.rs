@@ -1,0 +1,227 @@
+//! Shortest paths on road networks (Dijkstra) and the traveler abstraction
+//! that advances along a path polyline at a fixed speed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cpm_geom::{Point, TotalF64};
+
+use crate::network::{NodeId, RoadNetwork};
+
+/// Dijkstra shortest path from `from` to `to`.
+///
+/// Returns the node sequence including both endpoints, or `None` if `to`
+/// is unreachable (never the case for the connected networks built by this
+/// crate). `from == to` yields a single-node path.
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[from as usize] = 0.0;
+    heap.push(Reverse((TotalF64::new(0.0), from)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if u == to {
+            break;
+        }
+        if d.get() > dist[u as usize] {
+            continue; // stale entry
+        }
+        for &(v, w) in net.neighbors(u) {
+            let nd = d.get() + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                prev[v as usize] = u;
+                heap.push(Reverse((TotalF64::new(nd), v)));
+            }
+        }
+    }
+    if dist[to as usize].is_infinite() {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Network distance of a node path (sum of segment lengths).
+pub fn path_length(net: &RoadNetwork, path: &[NodeId]) -> f64 {
+    path.windows(2)
+        .map(|w| net.position(w[0]).dist(net.position(w[1])))
+        .sum()
+}
+
+/// An entity moving along a polyline at per-tick step lengths: the motion
+/// model of the Brinkhoff generator ("an object appears on a network node,
+/// completes the shortest path to a random destination, and then
+/// disappears").
+#[derive(Debug, Clone)]
+pub struct Traveler {
+    polyline: Vec<Point>,
+    /// Index of the segment currently being traversed.
+    seg: usize,
+    /// Distance already covered within the current segment.
+    offset: f64,
+    pos: Point,
+}
+
+impl Traveler {
+    /// Start a traveler at the beginning of `polyline`.
+    ///
+    /// # Panics
+    /// Panics if the polyline is empty.
+    pub fn new(polyline: Vec<Point>) -> Self {
+        assert!(!polyline.is_empty(), "empty polyline");
+        let pos = polyline[0];
+        Self {
+            polyline,
+            seg: 0,
+            offset: 0.0,
+            pos,
+        }
+    }
+
+    /// Current position.
+    #[inline]
+    pub fn position(&self) -> Point {
+        self.pos
+    }
+
+    /// `true` once the destination has been reached.
+    pub fn arrived(&self) -> bool {
+        self.seg + 1 >= self.polyline.len()
+    }
+
+    /// Advance `step` distance units along the polyline. Returns `true`
+    /// if the destination was reached (the position clamps there).
+    pub fn advance(&mut self, step: f64) -> bool {
+        let mut remaining = step;
+        while !self.arrived() {
+            let a = self.polyline[self.seg];
+            let b = self.polyline[self.seg + 1];
+            let seg_len = a.dist(b);
+            let left_in_seg = seg_len - self.offset;
+            if remaining < left_in_seg {
+                self.offset += remaining;
+                let t = if seg_len > 0.0 {
+                    self.offset / seg_len
+                } else {
+                    1.0
+                };
+                self.pos = a.lerp(b, t);
+                return false;
+            }
+            remaining -= left_in_seg;
+            self.seg += 1;
+            self.offset = 0.0;
+            self.pos = b;
+        }
+        true
+    }
+
+    /// Remaining distance to the destination.
+    pub fn remaining(&self) -> f64 {
+        if self.arrived() {
+            return 0.0;
+        }
+        let mut total =
+            self.polyline[self.seg].dist(self.polyline[self.seg + 1]) - self.offset;
+        for w in self.polyline[self.seg + 1..].windows(2) {
+            total += w[0].dist(w[1]);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadNetwork;
+
+    #[test]
+    fn dijkstra_on_a_line_graph() {
+        // grid_city(3, 1) gives a 4×2 lattice; shortest paths follow it.
+        let net = RoadNetwork::grid_city(3, 1, 0.0, 0.0, 0, 1);
+        let p = shortest_path(&net, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert!((path_length(&net, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_trivial_and_unreachable() {
+        let net = RoadNetwork::grid_city(2, 2, 0.0, 0.0, 0, 1);
+        assert_eq!(shortest_path(&net, 4, 4).unwrap(), vec![4]);
+        // All nodes reachable in a repaired network.
+        for t in 0..net.node_count() as u32 {
+            assert!(shortest_path(&net, 0, t).is_some());
+        }
+    }
+
+    #[test]
+    fn dijkstra_is_no_longer_than_any_explicit_route() {
+        let net = RoadNetwork::grid_city(5, 5, 0.3, 0.25, 6, 9);
+        for (from, to) in [(0u32, 35u32), (3, 20), (7, 31)] {
+            let best = path_length(&net, &shortest_path(&net, from, to).unwrap());
+            // Compare against the greedy route through a random midpoint.
+            for mid in [5u32, 12, 18] {
+                let via = path_length(&net, &shortest_path(&net, from, mid).unwrap())
+                    + path_length(&net, &shortest_path(&net, mid, to).unwrap());
+                assert!(best <= via + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn traveler_advances_by_exact_distances() {
+        let mut t = Traveler::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.3, 0.0),
+            Point::new(0.3, 0.4),
+        ]);
+        assert!(!t.advance(0.1));
+        assert!((t.position().x - 0.1).abs() < 1e-12);
+        assert!(!t.advance(0.3)); // crosses the corner, 0.1 into segment 2
+        assert!((t.position().x - 0.3).abs() < 1e-12);
+        assert!((t.position().y - 0.1).abs() < 1e-12);
+        assert!((t.remaining() - 0.3).abs() < 1e-12);
+        assert!(t.advance(0.5)); // overshoots: clamp at destination
+        assert!(t.arrived());
+        assert_eq!(t.position(), Point::new(0.3, 0.4));
+        assert_eq!(t.remaining(), 0.0);
+    }
+
+    #[test]
+    fn traveler_single_point_path_is_arrived() {
+        let mut t = Traveler::new(vec![Point::new(0.5, 0.5)]);
+        assert!(t.arrived());
+        assert!(t.advance(1.0));
+        assert_eq!(t.position(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn traveler_total_distance_is_conserved() {
+        let poly = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.5, 0.1),
+            Point::new(0.5, 0.9),
+            Point::new(0.7, 0.9),
+        ];
+        let total: f64 = poly.windows(2).map(|w| w[0].dist(w[1])).sum();
+        let mut t = Traveler::new(poly);
+        let mut steps = 0;
+        while !t.advance(0.05) {
+            steps += 1;
+            assert!(steps < 1000, "no forward progress");
+        }
+        let travelled = 0.05 * steps as f64;
+        assert!(travelled <= total && total <= travelled + 0.05 + 1e-9);
+    }
+}

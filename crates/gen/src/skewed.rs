@@ -1,0 +1,269 @@
+//! A skewed (Gaussian hotspot) workload.
+//!
+//! The paper notes that highly skewed data is the regime where a regular
+//! grid suffers and hierarchical grids pay off ([YPK05], Section 2). This
+//! generator produces that regime: objects cluster around a handful of
+//! hotspots (Gaussian spread), random-walk around them with a pull toward
+//! the center, and the hotspots themselves drift slowly. Queries
+//! concentrate on the hotspots too, as real monitoring queries do.
+//!
+//! Used by the `skew` experiment to chart how all three algorithms react
+//! to density skew across grid granularities.
+
+use cpm_geom::{clamp_coord, ObjectId, Point, QueryId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{TickEvents, WorkloadConfig};
+
+/// Configuration of the hotspot model.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewConfig {
+    /// Number of Gaussian hotspots.
+    pub hotspots: usize,
+    /// Standard deviation of object positions around their hotspot.
+    pub sigma: f64,
+    /// Per-tick drift speed of the hotspot centers.
+    pub hotspot_drift: f64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        Self {
+            hotspots: 5,
+            sigma: 0.03,
+            hotspot_drift: 0.002,
+        }
+    }
+}
+
+/// Sample a standard normal via Box–Muller (rand itself ships no normal
+/// distribution and `rand_distr` is outside the approved dependency set).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entity {
+    pos: Point,
+    hotspot: usize,
+}
+
+/// The skewed workload generator.
+#[derive(Debug)]
+pub struct SkewedWorkload {
+    config: WorkloadConfig,
+    skew: SkewConfig,
+    rng: StdRng,
+    centers: Vec<Point>,
+    center_headings: Vec<f64>,
+    objects: Vec<Entity>,
+    queries: Vec<Entity>,
+}
+
+impl SkewedWorkload {
+    /// Build a skewed workload.
+    pub fn new(config: WorkloadConfig, skew: SkewConfig) -> Self {
+        assert!(skew.hotspots >= 1, "need at least one hotspot");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let centers: Vec<Point> = (0..skew.hotspots)
+            .map(|_| Point::new(rng.gen_range(0.15..0.85), rng.gen_range(0.15..0.85)))
+            .collect();
+        let center_headings = (0..skew.hotspots)
+            .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+            .collect();
+        let spawn = |rng: &mut StdRng, centers: &[Point]| {
+            let hotspot = rng.gen_range(0..centers.len());
+            let c = centers[hotspot];
+            Entity {
+                pos: Point::new(
+                    clamp_coord(c.x + skew.sigma * normal(rng)),
+                    clamp_coord(c.y + skew.sigma * normal(rng)),
+                ),
+                hotspot,
+            }
+        };
+        let objects = (0..config.n_objects)
+            .map(|_| spawn(&mut rng, &centers))
+            .collect();
+        let queries = (0..config.n_queries)
+            .map(|_| spawn(&mut rng, &centers))
+            .collect();
+        Self {
+            config,
+            skew,
+            rng,
+            centers,
+            center_headings,
+            objects,
+            queries,
+        }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Current hotspot centers (for visualization / tests).
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Initial object placements.
+    pub fn initial_objects(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ObjectId(i as u32), e.pos))
+    }
+
+    /// Initial query placements (install with `config.k`).
+    pub fn initial_queries(&self) -> impl Iterator<Item = (QueryId, Point, usize)> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (QueryId(i as u32), e.pos, self.config.k))
+    }
+
+    fn step_entity(rng: &mut StdRng, e: &mut Entity, centers: &[Point], step: f64) -> Point {
+        // Ornstein-Uhlenbeck-flavored walk: a random step plus a mean
+        // reversion of a fixed fraction of the offset from the hotspot.
+        // With λ = 0.25 the stationary spread stays at roughly
+        // step / √(1 − (1−λ)²) ≈ 1.5 · step around the (drifting) center
+        // (`sigma` controls the initial placement spread).
+        let c = centers[e.hotspot];
+        const LAMBDA: f64 = 0.25;
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let nx = e.pos.x + step * angle.cos() + LAMBDA * (c.x - e.pos.x);
+        let ny = e.pos.y + step * angle.sin() + LAMBDA * (c.y - e.pos.y);
+        e.pos = Point::new(clamp_coord(nx), clamp_coord(ny));
+        e.pos
+    }
+
+    /// Advance one timestamp.
+    pub fn tick(&mut self) -> TickEvents {
+        let mut out = TickEvents::default();
+        // Hotspots drift (and bounce off a margin).
+        for (c, heading) in self.centers.iter_mut().zip(&mut self.center_headings) {
+            let nx = c.x + self.skew.hotspot_drift * heading.cos();
+            let ny = c.y + self.skew.hotspot_drift * heading.sin();
+            if !(0.1..=0.9).contains(&nx) || !(0.1..=0.9).contains(&ny) {
+                *heading += std::f64::consts::FRAC_PI_2;
+            } else {
+                *c = Point::new(nx, ny);
+            }
+        }
+        let step_obj = self.config.object_speed.distance_per_tick();
+        let step_qry = self.config.query_speed.distance_per_tick();
+        for i in 0..self.objects.len() {
+            if !self.rng.gen_bool(self.config.f_obj) {
+                continue;
+            }
+            let to =
+                Self::step_entity(&mut self.rng, &mut self.objects[i], &self.centers, step_obj);
+            out.object_events.push(cpm_grid::ObjectEvent::Move {
+                id: ObjectId(i as u32),
+                to,
+            });
+        }
+        for i in 0..self.queries.len() {
+            if !self.rng.gen_bool(self.config.f_qry) {
+                continue;
+            }
+            let to =
+                Self::step_entity(&mut self.rng, &mut self.queries[i], &self.centers, step_qry);
+            out.query_events.push(cpm_grid::QueryEvent::Move {
+                id: QueryId(i as u32),
+                to,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            n_objects: 2_000,
+            n_queries: 20,
+            k: 4,
+            seed: 11,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn objects_concentrate_around_hotspots() {
+        let w = SkewedWorkload::new(config(), SkewConfig::default());
+        let centers = w.centers().to_vec();
+        let close = w
+            .initial_objects()
+            .filter(|&(_, p)| {
+                centers
+                    .iter()
+                    .any(|c| c.dist(p) < 4.0 * SkewConfig::default().sigma)
+            })
+            .count();
+        // ~all mass within 4σ of some hotspot.
+        assert!(close as f64 > 0.95 * 2_000.0, "only {close} close");
+    }
+
+    #[test]
+    fn skew_is_much_higher_than_uniform() {
+        // Measure max cell occupancy on a 32² histogram; the hotspot model
+        // must be far above the uniform expectation.
+        let w = SkewedWorkload::new(config(), SkewConfig::default());
+        let mut histogram = vec![0usize; 32 * 32];
+        for (_, p) in w.initial_objects() {
+            let col = (p.x * 32.0) as usize;
+            let row = (p.y * 32.0) as usize;
+            histogram[row.min(31) * 32 + col.min(31)] += 1;
+        }
+        let max = *histogram.iter().max().unwrap();
+        let uniform_expectation = 2_000.0 / 1024.0;
+        assert!(
+            max as f64 > 20.0 * uniform_expectation,
+            "max occupancy {max} vs uniform {uniform_expectation}"
+        );
+    }
+
+    #[test]
+    fn stream_stays_in_workspace_and_deterministic() {
+        let mut a = SkewedWorkload::new(config(), SkewConfig::default());
+        let mut b = SkewedWorkload::new(config(), SkewConfig::default());
+        for _ in 0..10 {
+            let (ta, tb) = (a.tick(), b.tick());
+            assert_eq!(ta.object_events, tb.object_events);
+            for ev in &ta.object_events {
+                if let cpm_grid::ObjectEvent::Move { to, .. } = ev {
+                    assert!((0.0..1.0).contains(&to.x) && (0.0..1.0).contains(&to.y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entities_stay_near_their_hotspot_over_time() {
+        let mut w = SkewedWorkload::new(config(), SkewConfig::default());
+        for _ in 0..50 {
+            w.tick();
+        }
+        let centers = w.centers().to_vec();
+        let close = w
+            .objects
+            .iter()
+            .filter(|e| centers[e.hotspot].dist(e.pos) < 6.0 * SkewConfig::default().sigma)
+            .count();
+        assert!(
+            close as f64 > 0.9 * w.objects.len() as f64,
+            "only {close}/{} still clustered",
+            w.objects.len()
+        );
+    }
+}

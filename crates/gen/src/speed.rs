@@ -1,0 +1,58 @@
+//! Speed classes of the Brinkhoff generator, as used in Section 6.
+//!
+//! "Objects with slow speed cover a distance that equals 1/250 of the sum
+//! of the workspace extents per timestamp. Medium and fast speeds
+//! correspond to distances that are 5 and 25 times larger, respectively."
+//! The workspace is the unit square, so the extent sum is 2.0.
+
+/// Sum of the workspace extents (unit square: 1 + 1).
+const EXTENT_SUM: f64 = 2.0;
+
+/// A speed class for moving objects or queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpeedClass {
+    /// 1/250 of the workspace extent sum per timestamp (0.008).
+    Slow,
+    /// 5× slow (0.04) — the Table 6.1 default.
+    #[default]
+    Medium,
+    /// 25× slow (0.2).
+    Fast,
+}
+
+impl SpeedClass {
+    /// Distance covered per timestamp by a mover of this class.
+    #[inline]
+    pub fn distance_per_tick(self) -> f64 {
+        match self {
+            SpeedClass::Slow => EXTENT_SUM / 250.0,
+            SpeedClass::Medium => 5.0 * EXTENT_SUM / 250.0,
+            SpeedClass::Fast => 25.0 * EXTENT_SUM / 250.0,
+        }
+    }
+
+    /// All classes in increasing speed order (experiment sweeps).
+    pub const ALL: [SpeedClass; 3] = [SpeedClass::Slow, SpeedClass::Medium, SpeedClass::Fast];
+
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpeedClass::Slow => "slow",
+            SpeedClass::Medium => "medium",
+            SpeedClass::Fast => "fast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios() {
+        let slow = SpeedClass::Slow.distance_per_tick();
+        assert!((slow - 0.008).abs() < 1e-12);
+        assert!((SpeedClass::Medium.distance_per_tick() - 5.0 * slow).abs() < 1e-12);
+        assert!((SpeedClass::Fast.distance_per_tick() - 25.0 * slow).abs() < 1e-12);
+    }
+}

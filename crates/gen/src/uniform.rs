@@ -1,0 +1,159 @@
+//! A uniform random-displacement workload.
+//!
+//! The performance analysis of Section 4.1 assumes objects uniformly
+//! distributed in the unit square issuing "random displacement vectors".
+//! This generator realizes exactly that model, so measured values of
+//! `C_inf`, `O_inf` and `C_SH` can be compared against the closed-form
+//! predictions of [`cpm_core::analysis`] (the `analysis` experiment). It
+//! is also a useful stress generator: unlike network motion, uniform jumps
+//! decorrelate consecutive positions.
+
+use cpm_geom::{clamp_coord, ObjectId, Point, QueryId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{TickEvents, WorkloadConfig};
+
+/// Uniform-displacement workload generator (objects and queries jump by a
+/// fixed-length vector in a random direction each time they move).
+#[derive(Debug)]
+pub struct UniformWorkload {
+    config: WorkloadConfig,
+    rng: StdRng,
+    objects: Vec<Point>,
+    queries: Vec<Point>,
+}
+
+impl UniformWorkload {
+    /// Build a workload with uniformly placed objects and queries.
+    pub fn new(config: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let objects = (0..config.n_objects)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
+        let queries = (0..config.n_queries)
+            .map(|_| Point::new(rng.gen(), rng.gen()))
+            .collect();
+        Self {
+            config,
+            rng,
+            objects,
+            queries,
+        }
+    }
+
+    /// The configuration this workload was built with.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Initial object placements.
+    pub fn initial_objects(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (ObjectId(i as u32), p))
+    }
+
+    /// Initial query placements (install with `config.k`).
+    pub fn initial_queries(&self) -> impl Iterator<Item = (QueryId, Point, usize)> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (QueryId(i as u32), p, self.config.k))
+    }
+
+    fn displaced(rng: &mut StdRng, from: Point, step: f64) -> Point {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        Point::new(
+            clamp_coord(from.x + step * angle.cos()),
+            clamp_coord(from.y + step * angle.sin()),
+        )
+    }
+
+    /// Advance one timestamp: every object jumps with probability `f_obj`,
+    /// every query with probability `f_qry`.
+    pub fn tick(&mut self) -> TickEvents {
+        let mut out = TickEvents::default();
+        let step_obj = self.config.object_speed.distance_per_tick();
+        let step_qry = self.config.query_speed.distance_per_tick();
+        for i in 0..self.objects.len() {
+            if !self.rng.gen_bool(self.config.f_obj) {
+                continue;
+            }
+            let to = Self::displaced(&mut self.rng, self.objects[i], step_obj);
+            self.objects[i] = to;
+            out.object_events.push(cpm_grid::ObjectEvent::Move {
+                id: ObjectId(i as u32),
+                to,
+            });
+        }
+        for i in 0..self.queries.len() {
+            if !self.rng.gen_bool(self.config.f_qry) {
+                continue;
+            }
+            let to = Self::displaced(&mut self.rng, self.queries[i], step_qry);
+            self.queries[i] = to;
+            out.query_events.push(cpm_grid::QueryEvent::Move {
+                id: QueryId(i as u32),
+                to,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speed::SpeedClass;
+    use cpm_grid::ObjectEvent;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            n_objects: 500,
+            n_queries: 10,
+            k: 4,
+            f_obj: 0.4,
+            f_qry: 0.5,
+            object_speed: SpeedClass::Slow,
+            query_speed: SpeedClass::Slow,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn displacement_length_is_the_speed_step() {
+        let mut w = UniformWorkload::new(config());
+        let before: Vec<Point> = w.objects.clone();
+        let ev = w.tick();
+        let step = SpeedClass::Slow.distance_per_tick();
+        for e in &ev.object_events {
+            if let ObjectEvent::Move { id, to } = *e {
+                let d = before[id.index()].dist(to);
+                // Clamping at the border can shorten the jump.
+                assert!(d <= step + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn agility_fraction_is_respected() {
+        let mut w = UniformWorkload::new(config());
+        let mut movers = 0usize;
+        for _ in 0..50 {
+            movers += w.tick().object_events.len();
+        }
+        let avg = movers as f64 / 50.0 / 500.0;
+        assert!((avg - 0.4).abs() < 0.05, "measured agility {avg}");
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = UniformWorkload::new(config());
+        let mut b = UniformWorkload::new(config());
+        for _ in 0..5 {
+            assert_eq!(a.tick().object_events, b.tick().object_events);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Geometry and utility substrate for the CPM continuous NN monitoring suite.
+//!
+//! This crate provides the low-level building blocks shared by every other
+//! crate in the workspace:
+//!
+//! * [`Point`] — a 2D point in the unit-square workspace, with Euclidean
+//!   distance helpers.
+//! * [`Rect`] — an axis-aligned rectangle with the `mindist`/`maxdist`
+//!   primitives that drive grid-cell pruning (Table 3.1 of the paper).
+//! * [`TotalF64`] — a totally ordered `f64` wrapper used as a heap key.
+//! * [`fxhash`] — a deterministic, dependency-free FxHash-style hasher and
+//!   the [`FastHashMap`]/[`FastHashSet`] aliases built on it. The paper's
+//!   analysis assumes O(1) hash tables for cell object lists and influence
+//!   lists; SipHash would burn most of the monitoring budget on hashing
+//!   4-byte ids.
+//! * [`ObjectId`]/[`QueryId`] — typed identifiers for moving objects and
+//!   installed queries.
+//!
+//! Everything in this crate is deterministic and allocation-conscious: these
+//! types sit on the hot path of every processing cycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fxhash;
+mod ids;
+mod point;
+mod rect;
+mod total;
+
+pub use fxhash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
+pub use ids::{ObjectId, QueryId};
+pub use point::Point;
+pub use rect::Rect;
+pub use total::TotalF64;
+
+/// The workspace is the unit square `[0,1) × [0,1)`, as in the paper's
+/// experimental setup (Section 6: datasets are normalized to a unit
+/// workspace).
+pub const WORKSPACE_EXTENT: f64 = 1.0;
+
+/// Clamp a coordinate into the half-open workspace range `[0, 1)`.
+///
+/// Objects that would leave the workspace are snapped to its edge; the grid
+/// index requires every indexed position to map to a valid cell.
+#[inline]
+pub fn clamp_coord(v: f64) -> f64 {
+    // `f64::EPSILON` is too small to survive the `x / delta` floor for tiny
+    // delta, so back off by the smallest amount that keeps `floor(v/δ) < dim`
+    // for every grid dimension used in practice (δ ≥ 1/4096).
+    const UPPER: f64 = 1.0 - 1e-9;
+    v.clamp(0.0, UPPER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_keeps_interior_points() {
+        assert_eq!(clamp_coord(0.5), 0.5);
+        assert_eq!(clamp_coord(0.0), 0.0);
+    }
+
+    #[test]
+    fn clamp_snaps_outside_points() {
+        assert_eq!(clamp_coord(-0.25), 0.0);
+        assert!(clamp_coord(1.5) < 1.0);
+        assert!(clamp_coord(1.0) < 1.0);
+    }
+
+    #[test]
+    fn clamped_coordinate_always_maps_to_a_cell() {
+        for dim in [32usize, 128, 1024, 4096] {
+            let delta = 1.0 / dim as f64;
+            let idx = (clamp_coord(1.0) / delta).floor() as usize;
+            assert!(idx < dim, "dim={dim} idx={idx}");
+        }
+    }
+}

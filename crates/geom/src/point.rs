@@ -1,0 +1,149 @@
+//! 2D points and Euclidean distance helpers.
+
+use std::fmt;
+
+/// A point in the two-dimensional unit-square workspace.
+///
+/// The paper (Section 3, footnote 3) focuses on 2D Euclidean space; all
+/// algorithms in this suite operate on `Point`s. Distances are Euclidean
+/// (`dist(p, q)` in Table 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1)`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1)`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point from raw coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] when only comparisons are needed:
+    /// it avoids the square root on the hot path.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other` (`dist(p, q)` of Table 3.1).
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Linear interpolation from `self` towards `to` by fraction `t ∈ [0,1]`.
+    ///
+    /// Used by the workload generator to advance objects along road segments.
+    #[inline]
+    pub fn lerp(&self, to: Point, t: f64) -> Point {
+        Point::new(self.x + (to.x - self.x) * t, self.y + (to.y - self.y) * t)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// `true` if both coordinates are finite (no NaN/∞ ever enters the
+    /// index; generators and tests uphold this).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_identities() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.2, 0.4);
+        let b = Point::new(0.6, 0.8);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 0.4).abs() < 1e-12);
+        assert!((mid.y - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.5, 0.2);
+        assert_eq!(a.min(b), Point::new(0.1, 0.2));
+        assert_eq!(a.max(b), Point::new(0.5, 0.9));
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in 0.0..1.0f64, ay in 0.0..1.0f64,
+                                 bx in 0.0..1.0f64, by in 0.0..1.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in 0.0..1.0f64, ay in 0.0..1.0f64,
+                               bx in 0.0..1.0f64, by in 0.0..1.0f64,
+                               cx in 0.0..1.0f64, cy in 0.0..1.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-12);
+        }
+
+        #[test]
+        fn lerp_stays_on_segment(ax in 0.0..1.0f64, ay in 0.0..1.0f64,
+                                 bx in 0.0..1.0f64, by in 0.0..1.0f64,
+                                 t in 0.0..1.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let p = a.lerp(b, t);
+            // |ap| + |pb| == |ab| for collinear p between a and b.
+            prop_assert!((a.dist(p) + p.dist(b) - a.dist(b)).abs() < 1e-9);
+        }
+    }
+}

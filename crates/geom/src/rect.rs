@@ -1,0 +1,238 @@
+//! Axis-aligned rectangles and the `mindist` pruning primitive.
+
+use crate::Point;
+
+/// An axis-aligned rectangle `[lo.x, hi.x] × [lo.y, hi.y]`.
+///
+/// Rectangles model grid cells, conceptual-partitioning strips, query MBRs
+/// (for aggregate NN), and constraint regions. The central primitive is
+/// [`Rect::mindist`], the minimum possible distance between any point inside
+/// the rectangle and a query point — the pruning bound of Section 3.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Create a rectangle from its corners. `lo` must be component-wise
+    /// `<= hi`; violated only by programmer error, so this is a debug
+    /// assertion rather than a `Result`.
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        debug_assert!(lo.x <= hi.x && lo.y <= hi.y, "invalid rect {lo} .. {hi}");
+        Self { lo, hi }
+    }
+
+    /// Rectangle covering the whole unit-square workspace.
+    pub const WORKSPACE: Rect = Rect {
+        lo: Point::new(0.0, 0.0),
+        hi: Point::new(1.0, 1.0),
+    };
+
+    /// The minimum bounding rectangle of a non-empty point set.
+    ///
+    /// Used to compute the MBR `M` of an aggregate query `Q` (Section 5).
+    /// Returns `None` for an empty iterator.
+    pub fn mbr_of<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in it {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some(Rect::new(lo, hi))
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
+    }
+
+    /// `true` if `p` lies inside the closed rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// `true` if the closed rectangles overlap (sharing an edge counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Squared minimum distance from `q` to any point of the rectangle.
+    ///
+    /// Zero when `q` is inside. This is `mindist(c, q)²` without the square
+    /// root; use it for comparisons on the hot path.
+    #[inline]
+    pub fn mindist_sq(&self, q: Point) -> f64 {
+        let dx = if q.x < self.lo.x {
+            self.lo.x - q.x
+        } else if q.x > self.hi.x {
+            q.x - self.hi.x
+        } else {
+            0.0
+        };
+        let dy = if q.y < self.lo.y {
+            self.lo.y - q.y
+        } else if q.y > self.hi.y {
+            q.y - self.hi.y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// `mindist(c, q)` of Table 3.1: the minimum possible distance between
+    /// any object inside cell/rectangle `c` and the query point `q`.
+    #[inline]
+    pub fn mindist(&self, q: Point) -> f64 {
+        self.mindist_sq(q).sqrt()
+    }
+
+    /// Maximum distance from `q` to any point of the rectangle (the farthest
+    /// corner). Used by tests and by the analysis module.
+    #[inline]
+    pub fn maxdist(&self, q: Point) -> f64 {
+        let dx = (q.x - self.lo.x).abs().max((q.x - self.hi.x).abs());
+        let dy = (q.y - self.lo.y).abs().max((q.y - self.hi.y).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// `true` if the rectangle intersects the closed disk centered at `q`
+    /// with radius `r` — the "cell intersects the influence circle" test.
+    #[inline]
+    pub fn intersects_circle(&self, q: Point, r: f64) -> bool {
+        self.mindist_sq(q) <= r * r
+    }
+
+    /// Intersection of two rectangles, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(self.lo.max(other.lo), self.hi.min(other.hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_rect() -> Rect {
+        Rect::new(Point::new(0.25, 0.25), Point::new(0.75, 0.75))
+    }
+
+    #[test]
+    fn mindist_zero_inside() {
+        assert_eq!(unit_rect().mindist(Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(unit_rect().mindist(Point::new(0.25, 0.75)), 0.0); // corner
+    }
+
+    #[test]
+    fn mindist_axis_and_corner_cases() {
+        let r = unit_rect();
+        // Pure horizontal gap.
+        assert!((r.mindist(Point::new(0.0, 0.5)) - 0.25).abs() < 1e-12);
+        // Pure vertical gap.
+        assert!((r.mindist(Point::new(0.5, 1.0)) - 0.25).abs() < 1e-12);
+        // Diagonal to the lower-left corner.
+        let d = r.mindist(Point::new(0.0, 0.0));
+        assert!((d - (2.0f64 * 0.25 * 0.25).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxdist_is_farthest_corner() {
+        let r = unit_rect();
+        let q = Point::new(0.0, 0.0);
+        let far = Point::new(0.75, 0.75);
+        assert!((r.maxdist(q) - q.dist(far)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_of_points() {
+        let pts = [
+            Point::new(0.3, 0.8),
+            Point::new(0.1, 0.5),
+            Point::new(0.6, 0.6),
+        ];
+        let m = Rect::mbr_of(pts).unwrap();
+        assert_eq!(m.lo, Point::new(0.1, 0.5));
+        assert_eq!(m.hi, Point::new(0.6, 0.8));
+        assert!(Rect::mbr_of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn intersection_basics() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5));
+        let b = Rect::new(Point::new(0.25, 0.25), Point::new(1.0, 1.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.lo, Point::new(0.25, 0.25));
+        assert_eq!(i.hi, Point::new(0.5, 0.5));
+        let c = Rect::new(Point::new(0.9, 0.9), Point::new(1.0, 1.0));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn circle_intersection_edge_cases() {
+        let r = unit_rect();
+        // Circle exactly touching the left edge.
+        assert!(r.intersects_circle(Point::new(0.0, 0.5), 0.25));
+        assert!(!r.intersects_circle(Point::new(0.0, 0.5), 0.2499));
+    }
+
+    proptest! {
+        #[test]
+        fn mindist_lower_bounds_all_inner_points(
+            qx in -0.5..1.5f64, qy in -0.5..1.5f64,
+            px in 0.25..0.75f64, py in 0.25..0.75f64,
+        ) {
+            let r = unit_rect();
+            let q = Point::new(qx, qy);
+            let p = Point::new(px, py);
+            prop_assert!(r.mindist(q) <= q.dist(p) + 1e-12);
+        }
+
+        #[test]
+        fn maxdist_upper_bounds_all_inner_points(
+            qx in -0.5..1.5f64, qy in -0.5..1.5f64,
+            px in 0.25..0.75f64, py in 0.25..0.75f64,
+        ) {
+            let r = unit_rect();
+            let q = Point::new(qx, qy);
+            let p = Point::new(px, py);
+            prop_assert!(r.maxdist(q) + 1e-12 >= q.dist(p));
+        }
+
+        #[test]
+        fn contains_implies_zero_mindist(
+            px in 0.25..0.75f64, py in 0.25..0.75f64,
+        ) {
+            let r = unit_rect();
+            let p = Point::new(px, py);
+            prop_assert!(r.contains(p));
+            prop_assert_eq!(r.mindist(p), 0.0);
+        }
+    }
+}

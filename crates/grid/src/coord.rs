@@ -1,0 +1,91 @@
+//! Grid cell coordinates.
+
+use std::fmt;
+
+/// Column/row address of a grid cell (`c_{i,j}` in the paper; `col` = `i`,
+/// `row` = `j`, counted from the lower-left corner of the workspace).
+///
+/// Stored as `u32` pairs; a packed [`CellCoord::id`] form is available for
+/// hash keys. Grids are at most 4096×4096 in this suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellCoord {
+    /// Column index `i` (x direction).
+    pub col: u32,
+    /// Row index `j` (y direction).
+    pub row: u32,
+}
+
+impl CellCoord {
+    /// Create a coordinate.
+    #[inline]
+    pub const fn new(col: u32, row: u32) -> Self {
+        Self { col, row }
+    }
+
+    /// Pack into a single `u64` key (row-major).
+    #[inline]
+    pub fn id(self, dim: u32) -> u64 {
+        debug_assert!(self.col < dim && self.row < dim);
+        self.row as u64 * dim as u64 + self.col as u64
+    }
+
+    /// Offset by a signed delta, returning `None` if the result falls
+    /// outside a `dim × dim` grid. Used by the pinwheel partitioning and by
+    /// the square-region scans of the baselines.
+    #[inline]
+    pub fn offset(self, dc: i64, dr: i64, dim: u32) -> Option<CellCoord> {
+        let col = self.col as i64 + dc;
+        let row = self.row as i64 + dr;
+        if col < 0 || row < 0 || col >= dim as i64 || row >= dim as i64 {
+            None
+        } else {
+            Some(CellCoord::new(col as u32, row as u32))
+        }
+    }
+
+    /// Chebyshev (ring) distance between two cells: the ring index at which
+    /// `other` appears when expanding square rings around `self`.
+    #[inline]
+    pub fn chebyshev(self, other: CellCoord) -> u32 {
+        let dc = self.col.abs_diff(other.col);
+        let dr = self.row.abs_diff(other.row);
+        dc.max(dr)
+    }
+}
+
+impl fmt::Display for CellCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{},{}", self.col, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_is_row_major_and_unique() {
+        let dim = 128;
+        let a = CellCoord::new(3, 5).id(dim);
+        let b = CellCoord::new(5, 3).id(dim);
+        assert_ne!(a, b);
+        assert_eq!(a, 5 * 128 + 3);
+    }
+
+    #[test]
+    fn offset_respects_bounds() {
+        let c = CellCoord::new(0, 127);
+        assert_eq!(c.offset(1, 0, 128), Some(CellCoord::new(1, 127)));
+        assert_eq!(c.offset(-1, 0, 128), None);
+        assert_eq!(c.offset(0, 1, 128), None);
+        assert_eq!(c.offset(0, -127, 128), Some(CellCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        let a = CellCoord::new(4, 4);
+        assert_eq!(a.chebyshev(CellCoord::new(4, 4)), 0);
+        assert_eq!(a.chebyshev(CellCoord::new(5, 4)), 1);
+        assert_eq!(a.chebyshev(CellCoord::new(1, 6)), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Update-stream event types shared by all monitoring algorithms.
+//!
+//! A processing cycle (one timestamp) delivers a batch `U_P` of object
+//! events and a batch `U_q` of query events (Figure 3.9). The paper's object
+//! update tuple is `<p.id, x_old, y_old, x_new, y_new>`; since the grid
+//! already stores current positions, events carry only the new state and the
+//! old position is read from the index. Appear/disappear events model the
+//! Brinkhoff-style object life cycle (an object "appears on a network node
+//! … and then disappears") and the off-line NNs of Section 4.2.
+
+use cpm_geom::{ObjectId, Point, QueryId};
+
+/// A single object update within a processing cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectEvent {
+    /// A new (or returning) object enters the system at `pos`.
+    Appear {
+        /// Object identifier; must not be currently live.
+        id: ObjectId,
+        /// Initial position.
+        pos: Point,
+    },
+    /// A live object reports a new location.
+    Move {
+        /// Object identifier; must be currently live.
+        id: ObjectId,
+        /// New position.
+        to: Point,
+    },
+    /// A live object goes off-line (leaves the system).
+    Disappear {
+        /// Object identifier; must be currently live.
+        id: ObjectId,
+    },
+}
+
+impl ObjectEvent {
+    /// The object this event concerns.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        match *self {
+            ObjectEvent::Appear { id, .. }
+            | ObjectEvent::Move { id, .. }
+            | ObjectEvent::Disappear { id } => id,
+        }
+    }
+}
+
+/// A single k-NN query update within a processing cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryEvent {
+    /// Register a new continuous k-NN query.
+    Install {
+        /// Query identifier; must not be currently installed.
+        id: QueryId,
+        /// Query point.
+        pos: Point,
+        /// Number of neighbors to monitor (`k ≥ 1`).
+        k: usize,
+    },
+    /// An installed query changes location. Handled as terminate+reinstall
+    /// (Section 3.3: "we treat the update as a termination of the old query,
+    /// and an insertion of a new one").
+    Move {
+        /// Query identifier; must be currently installed.
+        id: QueryId,
+        /// New query point.
+        to: Point,
+    },
+    /// An installed query is terminated.
+    Terminate {
+        /// Query identifier; must be currently installed.
+        id: QueryId,
+    },
+}
+
+impl QueryEvent {
+    /// The query this event concerns.
+    #[inline]
+    pub fn id(&self) -> QueryId {
+        match *self {
+            QueryEvent::Install { id, .. }
+            | QueryEvent::Move { id, .. }
+            | QueryEvent::Terminate { id } => id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ids() {
+        assert_eq!(
+            ObjectEvent::Appear {
+                id: ObjectId(3),
+                pos: Point::ORIGIN
+            }
+            .id(),
+            ObjectId(3)
+        );
+        assert_eq!(ObjectEvent::Disappear { id: ObjectId(9) }.id(), ObjectId(9));
+        assert_eq!(
+            QueryEvent::Move {
+                id: QueryId(2),
+                to: Point::ORIGIN
+            }
+            .id(),
+            QueryId(2)
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The grid index proper: cell object lists plus the central position table.
+
+use cpm_geom::{clamp_coord, FastHashMap, FastHashSet, ObjectId, Point, Rect};
+
+use crate::CellCoord;
+
+/// The main-memory grid index `G` over the set `P` of moving objects.
+///
+/// Non-empty cells are stored sparsely (hash map keyed by packed cell id):
+/// at the paper's largest granularity (1024², one million cells) only ~10%
+/// of cells are occupied by the default 100K objects, and a dense `Vec` of
+/// hash sets would waste ~100 MB on empty table headers.
+///
+/// All mutation goes through [`Grid::insert`], [`Grid::remove`] and
+/// [`Grid::update_position`]; each is O(1) expected (`Time_ind = 2` in the
+/// Section 4.1 cost model: one deletion plus one insertion).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    dim: u32,
+    delta: f64,
+    /// Sparse map: packed cell id → objects currently inside the cell.
+    cells: FastHashMap<u64, FastHashSet<ObjectId>>,
+    /// Central position table, one slot per object id. `None` = off-line.
+    positions: Vec<Option<Point>>,
+    /// Number of live (indexed) objects.
+    live: usize,
+}
+
+/// Occupancy statistics, used by the space-accounting experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridStats {
+    /// Total number of cells (`dim²`).
+    pub total_cells: usize,
+    /// Number of non-empty cells.
+    pub occupied_cells: usize,
+    /// Number of live objects.
+    pub live_objects: usize,
+}
+
+impl Grid {
+    /// Create an empty grid with `dim × dim` cells over the unit square.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `dim > 4096` (the packed-coordinate and
+    /// clamping assumptions hold for `δ ≥ 1/4096`; the paper uses at most
+    /// 1024).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim > 0 && dim <= 4096, "grid dimension out of range: {dim}");
+        Self {
+            dim,
+            delta: 1.0 / dim as f64,
+            cells: FastHashMap::default(),
+            positions: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Grid dimension (cells per axis).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Cell side length `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of live objects in the index.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no objects are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The cell containing point `p` (`i = ⌊x/δ⌋`, `j = ⌊y/δ⌋`), with
+    /// coordinates clamped into the workspace first.
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> CellCoord {
+        let col = (clamp_coord(p.x) / self.delta) as u32;
+        let row = (clamp_coord(p.y) / self.delta) as u32;
+        // Guard against floating rounding right at the upper edge.
+        CellCoord::new(col.min(self.dim - 1), row.min(self.dim - 1))
+    }
+
+    /// The spatial extent of cell `c`.
+    #[inline]
+    pub fn cell_rect(&self, c: CellCoord) -> Rect {
+        let lo = Point::new(c.col as f64 * self.delta, c.row as f64 * self.delta);
+        let hi = Point::new(lo.x + self.delta, lo.y + self.delta);
+        Rect::new(lo, hi)
+    }
+
+    /// `mindist(c, q)`: minimum distance between cell `c` and point `q`
+    /// (Table 3.1).
+    #[inline]
+    pub fn mindist(&self, c: CellCoord, q: Point) -> f64 {
+        self.cell_rect(c).mindist(q)
+    }
+
+    /// Squared `mindist(c, q)`, for comparison-only call sites.
+    #[inline]
+    pub fn mindist_sq(&self, c: CellCoord, q: Point) -> f64 {
+        self.cell_rect(c).mindist_sq(q)
+    }
+
+    /// Current position of object `oid`, or `None` if it is off-line.
+    #[inline]
+    pub fn position(&self, oid: ObjectId) -> Option<Point> {
+        self.positions.get(oid.index()).copied().flatten()
+    }
+
+    /// Insert a (new or re-appearing) object at `p`.
+    ///
+    /// Returns the cell it was placed in.
+    ///
+    /// # Panics
+    /// Panics if the object is already indexed — callers must route moves
+    /// through [`Grid::update_position`] so old-cell bookkeeping stays
+    /// consistent.
+    pub fn insert(&mut self, oid: ObjectId, p: Point) -> CellCoord {
+        debug_assert!(p.is_finite(), "object position must be finite");
+        let idx = oid.index();
+        if idx >= self.positions.len() {
+            self.positions.resize(idx + 1, None);
+        }
+        assert!(
+            self.positions[idx].is_none(),
+            "object {oid} is already indexed"
+        );
+        let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
+        self.positions[idx] = Some(p);
+        let cell = self.cell_of(p);
+        self.cells.entry(cell.id(self.dim)).or_default().insert(oid);
+        self.live += 1;
+        cell
+    }
+
+    /// Remove object `oid` from the index (it goes off-line).
+    ///
+    /// Returns its last position and cell, or `None` if it was not indexed.
+    pub fn remove(&mut self, oid: ObjectId) -> Option<(Point, CellCoord)> {
+        let slot = self.positions.get_mut(oid.index())?;
+        let p = slot.take()?;
+        let cell = self.cell_of(p);
+        let id = cell.id(self.dim);
+        let occupants = self
+            .cells
+            .get_mut(&id)
+            .expect("indexed object must have a cell entry");
+        let removed = occupants.remove(&oid);
+        debug_assert!(removed, "cell entry missing object {oid}");
+        if occupants.is_empty() {
+            self.cells.remove(&id);
+        }
+        self.live -= 1;
+        Some((p, cell))
+    }
+
+    /// Apply a location update `<oid, old, new>`: delete from the old cell,
+    /// insert into the new one (Section 3.2, first step).
+    ///
+    /// Returns `(old_position, old_cell, new_cell)`.
+    ///
+    /// # Panics
+    /// Panics if the object is not currently indexed; the monitoring
+    /// algorithms treat moves of off-line objects as appearances and must
+    /// not reach this call.
+    pub fn update_position(&mut self, oid: ObjectId, new: Point) -> (Point, CellCoord, CellCoord) {
+        let (old, old_cell) = self
+            .remove(oid)
+            .unwrap_or_else(|| panic!("update for off-line object {oid}"));
+        let new_cell = self.insert(oid, new);
+        (old, old_cell, new_cell)
+    }
+
+    /// The objects currently inside cell `c`, if any.
+    ///
+    /// A full scan of the returned set is what the experiments count as one
+    /// *cell access* (Section 6, Figure 6.3b).
+    #[inline]
+    pub fn objects_in(&self, c: CellCoord) -> Option<&FastHashSet<ObjectId>> {
+        self.cells.get(&c.id(self.dim))
+    }
+
+    /// Number of objects in cell `c`.
+    #[inline]
+    pub fn cell_len(&self, c: CellCoord) -> usize {
+        self.objects_in(c).map_or(0, |s| s.len())
+    }
+
+    /// Iterate over `(oid, position)` for every live object.
+    pub fn iter_objects(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (ObjectId(i as u32), p)))
+    }
+
+    /// Iterate over the coordinates of all non-empty cells.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        let dim = self.dim as u64;
+        self.cells
+            .keys()
+            .map(move |&id| CellCoord::new((id % dim) as u32, (id / dim) as u32))
+    }
+
+    /// All cells (occupied or not) whose extent intersects `region`,
+    /// in row-major order. Used by the baselines' square/circle scans and by
+    /// the ANN search to seed the heap with the cells covering the MBR `M`.
+    pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
+        let lo_col = (clamp_coord(region.lo.x) / self.delta) as u32;
+        let lo_row = (clamp_coord(region.lo.y) / self.delta) as u32;
+        let hi_col = ((clamp_coord(region.hi.x)) / self.delta) as u32;
+        let hi_row = ((clamp_coord(region.hi.y)) / self.delta) as u32;
+        let hi_col = hi_col.min(self.dim - 1);
+        let hi_row = hi_row.min(self.dim - 1);
+        let mut out =
+            Vec::with_capacity(((hi_col - lo_col + 1) * (hi_row - lo_row + 1)) as usize);
+        for row in lo_row..=hi_row {
+            for col in lo_col..=hi_col {
+                out.push(CellCoord::new(col, row));
+            }
+        }
+        out
+    }
+
+    /// All cells whose extent intersects the closed disk `(center, radius)`.
+    pub fn cells_intersecting_circle(&self, center: Point, radius: f64) -> Vec<CellCoord> {
+        let bbox = Rect::new(
+            Point::new(center.x - radius, center.y - radius),
+            Point::new(center.x + radius, center.y + radius),
+        );
+        let mut cells = self.cells_intersecting_rect(&bbox);
+        let r_sq = radius * radius;
+        cells.retain(|&c| self.cell_rect(c).mindist_sq(center) <= r_sq);
+        cells
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> GridStats {
+        GridStats {
+            total_cells: (self.dim as usize) * (self.dim as usize),
+            occupied_cells: self.cells.len(),
+            live_objects: self.live,
+        }
+    }
+
+    /// Memory footprint estimate in the paper's "memory units" (one unit =
+    /// one number; Section 4.1 charges `s_obj = 3·N` for the object data).
+    pub fn space_units(&self) -> usize {
+        3 * self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid8() -> Grid {
+        Grid::new(8)
+    }
+
+    #[test]
+    fn cell_of_matches_floor_formula() {
+        let g = grid8();
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(Point::new(0.124, 0.126)), CellCoord::new(0, 1));
+        // Lower-inclusive, upper-exclusive cell boundaries.
+        assert_eq!(g.cell_of(Point::new(0.125, 0.5)), CellCoord::new(1, 4));
+        // Workspace edge clamps into the last cell.
+        assert_eq!(g.cell_of(Point::new(1.0, 1.0)), CellCoord::new(7, 7));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = grid8();
+        let p = Point::new(0.3, 0.7);
+        let cell = g.insert(ObjectId(4), p);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(ObjectId(4)), Some(p));
+        assert_eq!(g.cell_len(cell), 1);
+        let (old, old_cell) = g.remove(ObjectId(4)).unwrap();
+        assert_eq!(old, p);
+        assert_eq!(old_cell, cell);
+        assert!(g.is_empty());
+        assert!(g.remove(ObjectId(4)).is_none());
+        assert_eq!(g.stats().occupied_cells, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn double_insert_panics() {
+        let mut g = grid8();
+        g.insert(ObjectId(0), Point::new(0.1, 0.1));
+        g.insert(ObjectId(0), Point::new(0.2, 0.2));
+    }
+
+    #[test]
+    fn update_position_moves_between_cells() {
+        let mut g = grid8();
+        g.insert(ObjectId(1), Point::new(0.05, 0.05));
+        let (old, from, to) = g.update_position(ObjectId(1), Point::new(0.95, 0.95));
+        assert_eq!(old, Point::new(0.05, 0.05));
+        assert_eq!(from, CellCoord::new(0, 0));
+        assert_eq!(to, CellCoord::new(7, 7));
+        assert_eq!(g.cell_len(from), 0);
+        assert_eq!(g.cell_len(to), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn mindist_zero_for_own_cell() {
+        let g = grid8();
+        let p = Point::new(0.4, 0.4);
+        assert_eq!(g.mindist(g.cell_of(p), p), 0.0);
+    }
+
+    #[test]
+    fn rect_cover_includes_boundary_cells() {
+        let g = grid8();
+        let r = Rect::new(Point::new(0.20, 0.20), Point::new(0.30, 0.30));
+        let cells = g.cells_intersecting_rect(&r);
+        // 0.20 is inside cell 1 ([0.125,0.25)), 0.30 inside cell 2.
+        assert!(cells.contains(&CellCoord::new(1, 1)));
+        assert!(cells.contains(&CellCoord::new(2, 2)));
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn circle_cover_is_exactly_intersecting_cells() {
+        let g = grid8();
+        let q = Point::new(0.5, 0.5);
+        let cells = g.cells_intersecting_circle(q, 0.13);
+        for &c in &cells {
+            assert!(g.cell_rect(c).intersects_circle(q, 0.13));
+        }
+        // A radius slightly over one cell reaches the 4-neighborhood.
+        assert!(cells.len() >= 5);
+        // And no intersecting cell is missed.
+        for row in 0..8 {
+            for col in 0..8 {
+                let c = CellCoord::new(col, row);
+                if g.cell_rect(c).intersects_circle(q, 0.13) {
+                    assert!(cells.contains(&c), "missing {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_objects_sees_everything() {
+        let mut g = grid8();
+        for i in 0..10u32 {
+            g.insert(ObjectId(i), Point::new(i as f64 / 10.0, 0.5));
+        }
+        g.remove(ObjectId(3)).unwrap();
+        let ids: Vec<u32> = g.iter_objects().map(|(o, _)| o.0).collect();
+        assert_eq!(ids.len(), 9);
+        assert!(!ids.contains(&3));
+    }
+
+    proptest! {
+        #[test]
+        fn every_point_maps_to_cell_containing_it(
+            x in 0.0..1.0f64, y in 0.0..1.0f64, dim in 1u32..256,
+        ) {
+            let g = Grid::new(dim);
+            let p = Point::new(x, y);
+            let c = g.cell_of(p);
+            prop_assert!(g.cell_rect(c).contains(p));
+            prop_assert_eq!(g.mindist(c, p), 0.0);
+        }
+
+        #[test]
+        fn moves_preserve_population(
+            moves in proptest::collection::vec(
+                (0u32..20, 0.0..1.0f64, 0.0..1.0f64), 1..200),
+        ) {
+            let mut g = Grid::new(16);
+            let mut live = std::collections::HashSet::new();
+            for (id, x, y) in moves {
+                let oid = ObjectId(id);
+                let p = Point::new(x, y);
+                if live.contains(&id) {
+                    g.update_position(oid, p);
+                } else {
+                    g.insert(oid, p);
+                    live.insert(id);
+                }
+                prop_assert_eq!(g.position(oid), Some(p));
+            }
+            prop_assert_eq!(g.len(), live.len());
+            // Sum of cell populations equals the live count.
+            let total: usize = g.occupied_cells().map(|c| g.cell_len(c)).sum();
+            prop_assert_eq!(total, live.len());
+        }
+    }
+}

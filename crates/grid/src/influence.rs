@@ -1,0 +1,139 @@
+//! Per-cell influence lists (query-side book-keeping).
+//!
+//! "Each cell `c` of the grid is associated with … (ii) the list of queries
+//! whose influence region contains `c`" (Section 3.1, Figure 3.3b). When a
+//! location update touches a cell, only the queries in that cell's influence
+//! list can be affected — this is the mechanism that lets CPM (and SEA-CNN's
+//! answer-region variant) ignore irrelevant updates entirely.
+
+use cpm_geom::{FastHashMap, FastHashSet, QueryId};
+
+use crate::CellCoord;
+
+/// A sparse table mapping grid cells to the set of queries whose influence
+/// region covers them.
+///
+/// Kept outside [`crate::Grid`] so that independent monitors (k-NN,
+/// aggregate-NN, constrained-NN, SEA-CNN) can each maintain their own lists
+/// over one shared object index.
+#[derive(Debug, Default, Clone)]
+pub struct InfluenceTable {
+    dim: u32,
+    lists: FastHashMap<u64, FastHashSet<QueryId>>,
+}
+
+impl InfluenceTable {
+    /// Create an empty table for a `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            lists: FastHashMap::default(),
+        }
+    }
+
+    /// Register query `q` in the influence list of `cell`.
+    /// Idempotent: re-registration is a no-op (the NN re-computation module
+    /// re-scans visit-list cells that are already registered).
+    #[inline]
+    pub fn add(&mut self, cell: CellCoord, q: QueryId) {
+        self.lists.entry(cell.id(self.dim)).or_default().insert(q);
+    }
+
+    /// Remove query `q` from the influence list of `cell` (no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, cell: CellCoord, q: QueryId) {
+        if let Some(set) = self.lists.get_mut(&cell.id(self.dim)) {
+            set.remove(&q);
+            if set.is_empty() {
+                self.lists.remove(&cell.id(self.dim));
+            }
+        }
+    }
+
+    /// The queries influenced by `cell`, if any.
+    #[inline]
+    pub fn queries_at(&self, cell: CellCoord) -> Option<&FastHashSet<QueryId>> {
+        self.lists.get(&cell.id(self.dim))
+    }
+
+    /// `true` if `q` is registered at `cell`.
+    #[inline]
+    pub fn contains(&self, cell: CellCoord, q: QueryId) -> bool {
+        self.queries_at(cell).is_some_and(|s| s.contains(&q))
+    }
+
+    /// Total number of `(cell, query)` registrations — `n · C_inf` in the
+    /// space analysis of Section 4.1.
+    pub fn total_entries(&self) -> usize {
+        self.lists.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of cells with a non-empty influence list.
+    pub fn occupied_cells(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Remove every registration of `q` (used when a query terminates and
+    /// the caller does not track its influence region — O(cells); the
+    /// monitors prefer targeted [`InfluenceTable::remove`] calls).
+    pub fn purge_query(&mut self, q: QueryId) {
+        self.lists.retain(|_, set| {
+            set.remove(&q);
+            !set.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut t = InfluenceTable::new(16);
+        let c = CellCoord::new(3, 4);
+        t.add(c, QueryId(1));
+        t.add(c, QueryId(2));
+        t.add(c, QueryId(1)); // idempotent
+        assert_eq!(t.queries_at(c).unwrap().len(), 2);
+        assert!(t.contains(c, QueryId(1)));
+        t.remove(c, QueryId(1));
+        assert!(!t.contains(c, QueryId(1)));
+        t.remove(c, QueryId(2));
+        assert!(t.queries_at(c).is_none());
+        assert_eq!(t.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn counts_entries_across_cells() {
+        let mut t = InfluenceTable::new(16);
+        t.add(CellCoord::new(0, 0), QueryId(1));
+        t.add(CellCoord::new(0, 1), QueryId(1));
+        t.add(CellCoord::new(0, 1), QueryId(2));
+        assert_eq!(t.total_entries(), 3);
+        assert_eq!(t.occupied_cells(), 2);
+    }
+
+    #[test]
+    fn purge_removes_all_traces() {
+        let mut t = InfluenceTable::new(16);
+        for i in 0..8 {
+            t.add(CellCoord::new(i, i), QueryId(7));
+            t.add(CellCoord::new(i, i), QueryId(9));
+        }
+        t.purge_query(QueryId(7));
+        assert_eq!(t.total_entries(), 8);
+        for i in 0..8 {
+            assert!(!t.contains(CellCoord::new(i, i), QueryId(7)));
+            assert!(t.contains(CellCoord::new(i, i), QueryId(9)));
+        }
+    }
+
+    #[test]
+    fn distinct_cells_do_not_alias() {
+        // Regression guard for the packed-id scheme: (col,row) vs (row,col).
+        let mut t = InfluenceTable::new(64);
+        t.add(CellCoord::new(2, 5), QueryId(1));
+        assert!(!t.contains(CellCoord::new(5, 2), QueryId(1)));
+    }
+}

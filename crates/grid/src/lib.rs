@@ -1,0 +1,34 @@
+//! Uniform main-memory grid index over moving objects.
+//!
+//! This is the object index `G` of Section 3: a regular grid of `dim × dim`
+//! cells with side `δ = 1/dim` over the unit-square workspace. Cell `c_{i,j}`
+//! (column `i`, row `j`, counted from the lower-left corner) contains every
+//! object with `x ∈ [i·δ, (i+1)·δ)` and `y ∈ [j·δ, (j+1)·δ)`; conversely an
+//! object at `(x, y)` belongs to cell `(⌊x/δ⌋, ⌊y/δ⌋)`.
+//!
+//! The same grid instance is shared by CPM and by the YPK-CNN / SEA-CNN
+//! baselines — all three assume exactly this index (the paper compares the
+//! algorithms, not the indexes). Cell object lists are hash sets (O(1)
+//! insert/delete per location update, as the cost model of Section 4.1
+//! assumes); object positions are stored once in a central slot table so an
+//! object costs the `s_obj = 3` memory units of the space analysis.
+//!
+//! Query-side book-keeping (the per-cell *influence lists*) lives in
+//! [`InfluenceTable`], kept separate from the grid so that several monitors
+//! (k-NN, aggregate-NN, constrained) can share one object index while each
+//! maintains its own influence information.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coord;
+pub mod events;
+mod grid;
+mod influence;
+mod metrics;
+
+pub use coord::CellCoord;
+pub use events::{ObjectEvent, QueryEvent};
+pub use grid::{Grid, GridStats};
+pub use influence::InfluenceTable;
+pub use metrics::Metrics;

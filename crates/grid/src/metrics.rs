@@ -1,0 +1,86 @@
+//! Hardware-independent work counters shared by all monitoring algorithms.
+//!
+//! The paper evaluates algorithms by CPU time and by *cell accesses* ("a
+//! cell visit corresponds to a complete scan over the object list in the
+//! cell", Section 6 / Figure 6.3b). Counters here are incremented by the
+//! algorithms themselves; the simulation driver snapshots them per cycle.
+
+/// Work counters for one monitoring algorithm instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Complete scans of a cell's object list (a cell may be counted many
+    /// times per cycle if several queries process it).
+    pub cell_accesses: u64,
+    /// Objects whose distance to some query was evaluated.
+    pub objects_processed: u64,
+    /// Search-heap insertions.
+    pub heap_pushes: u64,
+    /// Search-heap removals.
+    pub heap_pops: u64,
+    /// NN computations from scratch (new or moving queries).
+    pub computations: u64,
+    /// NN re-computations (affected queries resuming book-kept state).
+    pub recomputations: u64,
+    /// Results maintained purely from the update batch (no grid search).
+    pub merge_resolutions: u64,
+    /// Object location updates applied to the index.
+    pub updates_applied: u64,
+}
+
+impl Metrics {
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// Take the current values, leaving zeros behind.
+    pub fn take(&mut self) -> Metrics {
+        std::mem::take(self)
+    }
+
+    /// Accumulate another snapshot into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.cell_accesses += other.cell_accesses;
+        self.objects_processed += other.objects_processed;
+        self.heap_pushes += other.heap_pushes;
+        self.heap_pops += other.heap_pops;
+        self.computations += other.computations;
+        self.recomputations += other.recomputations;
+        self.merge_resolutions += other.merge_resolutions;
+        self.updates_applied += other.updates_applied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_resets() {
+        let mut m = Metrics {
+            cell_accesses: 5,
+            ..Default::default()
+        };
+        let snap = m.take();
+        assert_eq!(snap.cell_accesses, 5);
+        assert_eq!(m.cell_accesses, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            cell_accesses: 1,
+            heap_pushes: 2,
+            ..Default::default()
+        };
+        let b = Metrics {
+            cell_accesses: 3,
+            merge_resolutions: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cell_accesses, 4);
+        assert_eq!(a.heap_pushes, 2);
+        assert_eq!(a.merge_resolutions, 4);
+    }
+}

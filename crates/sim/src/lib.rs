@@ -1,0 +1,28 @@
+//! Simulation driver, ground-truth oracle, metrics collection and
+//! experiment parameterization for the CPM reproduction suite.
+//!
+//! * [`algo`] — the [`KnnMonitorAlgo`] trait unifying CPM, YPK-CNN,
+//!   SEA-CNN and the oracle behind one driving surface.
+//! * [`oracle`] — brute-force ground truth.
+//! * [`params`] — Table 6.1 parameters with paper defaults and scaling.
+//! * [`stream`] — pre-generated update streams so every contender replays
+//!   the identical workload.
+//! * [`runner`] — timed replay, per-run reports, and the
+//!   oracle-verification harness used by the integration tests.
+//! * [`viz`] — ASCII rendering of grids and query book-keeping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod oracle;
+pub mod params;
+pub mod runner;
+pub mod stream;
+pub mod viz;
+
+pub use algo::{AlgoKind, KnnMonitorAlgo};
+pub use oracle::OracleMonitor;
+pub use params::{SimParams, WorkloadKind};
+pub use runner::{run, run_boxed, run_contenders, verify_against_oracle, RunReport};
+pub use stream::SimulationInput;

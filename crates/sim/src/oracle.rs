@@ -1,0 +1,164 @@
+//! Brute-force ground-truth monitor.
+//!
+//! Re-evaluates every query by a full scan over all objects at every
+//! cycle. Obviously not a contender — it exists so that integration tests
+//! can assert that CPM, YPK-CNN and SEA-CNN all report exact results on
+//! identical update streams.
+
+use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
+use cpm_grid::{Metrics, ObjectEvent, QueryEvent};
+
+use cpm_core::neighbors::{Neighbor, NeighborList};
+
+use crate::algo::{AlgoKind, KnnMonitorAlgo};
+
+#[derive(Debug)]
+struct OracleQuery {
+    q: Point,
+    best: NeighborList,
+}
+
+/// The brute-force monitor.
+#[derive(Debug, Default)]
+pub struct OracleMonitor {
+    positions: Vec<Option<Point>>,
+    queries: FastHashMap<QueryId, OracleQuery>,
+    metrics: Metrics,
+}
+
+impl OracleMonitor {
+    /// Create an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn set_position(&mut self, id: ObjectId, p: Option<Point>) {
+        let idx = id.index();
+        if idx >= self.positions.len() {
+            self.positions.resize(idx + 1, None);
+        }
+        self.positions[idx] = p;
+    }
+
+    fn evaluate(positions: &[Option<Point>], st: &mut OracleQuery) {
+        let k = st.best.k();
+        let mut best = NeighborList::new(k);
+        for (i, p) in positions.iter().enumerate() {
+            if let Some(p) = p {
+                best.offer(ObjectId(i as u32), st.q.dist(*p));
+            }
+        }
+        st.best = best;
+    }
+}
+
+impl KnnMonitorAlgo for OracleMonitor {
+    fn name(&self) -> &'static str {
+        AlgoKind::Oracle.label()
+    }
+
+    fn populate(&mut self, objects: &[(ObjectId, Point)]) {
+        for &(id, p) in objects {
+            self.set_position(id, Some(p));
+        }
+    }
+
+    fn install_query(&mut self, id: QueryId, pos: Point, k: usize) {
+        let mut st = OracleQuery {
+            q: pos,
+            best: NeighborList::new(k),
+        };
+        Self::evaluate(&self.positions, &mut st);
+        self.queries.insert(id, st);
+    }
+
+    fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[QueryEvent],
+    ) -> Vec<QueryId> {
+        for ev in object_events {
+            match *ev {
+                ObjectEvent::Move { id, to } => self.set_position(id, Some(to)),
+                ObjectEvent::Appear { id, pos } => self.set_position(id, Some(pos)),
+                ObjectEvent::Disappear { id } => self.set_position(id, None),
+            }
+            self.metrics.updates_applied += 1;
+        }
+        for ev in query_events {
+            match *ev {
+                QueryEvent::Terminate { id } => {
+                    self.queries.remove(&id);
+                }
+                QueryEvent::Move { id, to } => {
+                    if let Some(st) = self.queries.get_mut(&id) {
+                        st.q = to;
+                    }
+                }
+                QueryEvent::Install { id, pos, k } => {
+                    self.queries.insert(
+                        id,
+                        OracleQuery {
+                            q: pos,
+                            best: NeighborList::new(k),
+                        },
+                    );
+                }
+            }
+        }
+        let mut changed = Vec::new();
+        for (&qid, st) in self.queries.iter_mut() {
+            let old: Vec<Neighbor> = st.best.neighbors().to_vec();
+            Self::evaluate(&self.positions, st);
+            if old != st.best.neighbors() {
+                changed.push(qid);
+            }
+        }
+        changed.sort_unstable();
+        changed
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.queries.get(&id).map(|st| st.best.neighbors())
+    }
+
+    fn take_metrics(&mut self) -> Metrics {
+        self.metrics.take()
+    }
+
+    fn space_units(&self) -> usize {
+        3 * self.positions.iter().flatten().count()
+            + self
+                .queries
+                .values()
+                .map(|st| 3 + 2 * st.best.k())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_tracks_exact_results() {
+        let mut o = OracleMonitor::new();
+        o.populate(&[
+            (ObjectId(0), Point::new(0.1, 0.1)),
+            (ObjectId(1), Point::new(0.9, 0.9)),
+        ]);
+        o.install_query(QueryId(0), Point::new(0.2, 0.2), 1);
+        assert_eq!(o.result(QueryId(0)).unwrap()[0].id, ObjectId(0));
+        let changed = o.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(1),
+                to: Point::new(0.21, 0.21),
+            }],
+            &[],
+        );
+        assert_eq!(changed, vec![QueryId(0)]);
+        assert_eq!(o.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        o.process_cycle(&[ObjectEvent::Disappear { id: ObjectId(1) }], &[]);
+        assert_eq!(o.result(QueryId(0)).unwrap()[0].id, ObjectId(0));
+    }
+}

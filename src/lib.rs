@@ -1,0 +1,51 @@
+//! # cpm-suite
+//!
+//! A complete, from-scratch reproduction of *"Conceptual Partitioning: An
+//! Efficient Method for Continuous Nearest Neighbor Monitoring"*
+//! (Mouratidis, Hadjieleftheriou, Papadias — SIGMOD 2005).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geom`] — geometry & utility substrate ([`cpm_geom`]).
+//! * [`grid`] — the uniform main-memory object index ([`cpm_grid`]).
+//! * [`core`] — CPM itself: continuous k-NN, aggregate-NN and
+//!   constrained-NN monitoring ([`cpm_core`]).
+//! * [`baselines`] — YPK-CNN and SEA-CNN ([`cpm_baselines`]).
+//! * [`gen`] — Brinkhoff-style network workloads ([`cpm_gen`]).
+//! * [`sim`] — simulation driver, oracle and experiment harness
+//!   ([`cpm_sim`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpm_suite::core::CpmKnnMonitor;
+//! use cpm_suite::geom::{ObjectId, Point, QueryId};
+//! use cpm_suite::grid::ObjectEvent;
+//!
+//! // A 128×128 grid over the unit square, three taxis, one query.
+//! let mut monitor = CpmKnnMonitor::new(128);
+//! monitor.populate([
+//!     (ObjectId(0), Point::new(0.21, 0.35)),
+//!     (ObjectId(1), Point::new(0.57, 0.60)),
+//!     (ObjectId(2), Point::new(0.80, 0.10)),
+//! ]);
+//! monitor.install_query(QueryId(0), Point::new(0.5, 0.5), 2);
+//!
+//! // Taxi 2 drives next to the query point.
+//! monitor.process_cycle(
+//!     &[ObjectEvent::Move { id: ObjectId(2), to: Point::new(0.52, 0.48) }],
+//!     &[],
+//! );
+//! let result = monitor.result(QueryId(0)).unwrap();
+//! assert_eq!(result[0].id, ObjectId(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cpm_baselines as baselines;
+pub use cpm_core as core;
+pub use cpm_gen as gen;
+pub use cpm_geom as geom;
+pub use cpm_grid as grid;
+pub use cpm_sim as sim;

@@ -1,0 +1,142 @@
+//! The generic CPM engine and the specialized k-NN monitor implement the
+//! same algorithm: a constrained query whose region is the whole workspace
+//! must report exactly the same result distances as the dedicated
+//! `CpmKnnMonitor` on identical streams — and a single-point aggregate
+//! query likewise, for every aggregate function.
+
+use cpm_suite::core::ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
+use cpm_suite::core::constrained::{ConstrainedQuery, CpmConstrainedMonitor};
+use cpm_suite::core::CpmKnnMonitor;
+use cpm_suite::geom::{Point, QueryId, Rect};
+use cpm_suite::sim::{SimParams, SimulationInput, WorkloadKind};
+
+fn params(seed: u64) -> SimParams {
+    SimParams {
+        n_objects: 500,
+        n_queries: 0, // queries installed manually below
+        k: 5,
+        timestamps: 15,
+        grid_dim: 32,
+        seed,
+        workload: WorkloadKind::Network { grid_streets: 10 },
+        ..SimParams::default()
+    }
+}
+
+fn query_points(seed: u64) -> Vec<Point> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..8).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+#[test]
+fn workspace_constrained_equals_plain_knn() {
+    let input = SimulationInput::generate(&params(42));
+    let points = query_points(7);
+
+    let mut plain = CpmKnnMonitor::new(input.params.grid_dim);
+    let mut constrained = CpmConstrainedMonitor::new(input.params.grid_dim);
+    plain.populate(input.initial_objects.iter().copied());
+    constrained.populate(input.initial_objects.iter().copied());
+
+    for (i, &p) in points.iter().enumerate() {
+        let qid = QueryId(i as u32);
+        plain.install_query(qid, p, 5);
+        constrained.install_query(qid, ConstrainedQuery::new(p, Rect::WORKSPACE), 5);
+    }
+
+    for tick in &input.ticks {
+        plain.process_cycle(&tick.object_events, &[]);
+        constrained.process_cycle(&tick.object_events, &[]);
+        for i in 0..points.len() as u32 {
+            let a: Vec<f64> = plain
+                .result(QueryId(i))
+                .unwrap()
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            let b: Vec<f64> = constrained
+                .result(QueryId(i))
+                .unwrap()
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12, "q{i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn singleton_aggregate_equals_plain_knn() {
+    for f in [AggregateFn::Sum, AggregateFn::Min, AggregateFn::Max] {
+        let input = SimulationInput::generate(&params(43));
+        let points = query_points(11);
+
+        let mut plain = CpmKnnMonitor::new(input.params.grid_dim);
+        let mut ann = CpmAnnMonitor::new(input.params.grid_dim);
+        plain.populate(input.initial_objects.iter().copied());
+        ann.populate(input.initial_objects.iter().copied());
+
+        for (i, &p) in points.iter().enumerate() {
+            let qid = QueryId(i as u32);
+            plain.install_query(qid, p, 4);
+            ann.install_query(qid, AnnQuery::new(vec![p], f), 4);
+        }
+
+        for tick in &input.ticks {
+            plain.process_cycle(&tick.object_events, &[]);
+            ann.process_cycle(&tick.object_events, &[]);
+            for i in 0..points.len() as u32 {
+                let a: Vec<_> = plain
+                    .result(QueryId(i))
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                let b: Vec<_> = ann
+                    .result(QueryId(i))
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                assert_eq!(a, b, "{f:?} q{i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_metrics_match_specialized_shape() {
+    // Work counters need not be identical (the generic engine en-heaps
+    // base blocks differently), but the big picture must agree: same
+    // searches, same order of magnitude of cell accesses.
+    let input = SimulationInput::generate(&params(44));
+    let points = query_points(13);
+
+    let mut plain = CpmKnnMonitor::new(input.params.grid_dim);
+    let mut constrained = CpmConstrainedMonitor::new(input.params.grid_dim);
+    plain.populate(input.initial_objects.iter().copied());
+    constrained.populate(input.initial_objects.iter().copied());
+    for (i, &p) in points.iter().enumerate() {
+        plain.install_query(QueryId(i as u32), p, 5);
+        constrained.install_query(
+            QueryId(i as u32),
+            ConstrainedQuery::new(p, Rect::WORKSPACE),
+            5,
+        );
+    }
+    for tick in &input.ticks {
+        plain.process_cycle(&tick.object_events, &[]);
+        constrained.process_cycle(&tick.object_events, &[]);
+    }
+    let a = plain.metrics();
+    let b = constrained.metrics();
+    assert_eq!(a.computations, b.computations);
+    assert_eq!(a.recomputations, b.recomputations);
+    assert_eq!(a.merge_resolutions, b.merge_resolutions);
+    assert_eq!(a.cell_accesses, b.cell_accesses);
+}

@@ -1,0 +1,243 @@
+//! Failure injection and degenerate configurations: disappearance bursts,
+//! mass teleports, single-cell pile-ups, workspace corners/edges, and
+//! out-of-range coordinates.
+
+use cpm_suite::core::CpmKnnMonitor;
+use cpm_suite::geom::{ObjectId, Point, QueryId};
+use cpm_suite::grid::{ObjectEvent, QueryEvent};
+use cpm_suite::sim::{run, AlgoKind, KnnMonitorAlgo, OracleMonitor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_all_match(
+    monitors: &mut [Box<dyn KnnMonitorAlgo>],
+    oracle: &OracleMonitor,
+    queries: &[QueryId],
+) {
+    for qid in queries {
+        let truth: Vec<f64> = oracle
+            .result(*qid)
+            .unwrap()
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        for m in monitors.iter() {
+            let got: Vec<f64> = m.result(*qid).unwrap().iter().map(|n| n.dist).collect();
+            assert_eq!(got.len(), truth.len(), "{} on {qid}", m.name());
+            for (g, e) in got.iter().zip(&truth) {
+                assert!((g - e).abs() < 1e-9, "{} on {qid}", m.name());
+            }
+        }
+    }
+}
+
+fn harness(objects: &[(ObjectId, Point)], queries: &[(QueryId, Point, usize)])
+    -> (Vec<Box<dyn KnnMonitorAlgo>>, OracleMonitor, Vec<QueryId>)
+{
+    let mut monitors: Vec<Box<dyn KnnMonitorAlgo>> = AlgoKind::CONTENDERS
+        .iter()
+        .map(|&a| a.build(32))
+        .collect();
+    let mut oracle = OracleMonitor::new();
+    for m in monitors.iter_mut() {
+        m.populate(objects);
+    }
+    oracle.populate(objects);
+    for &(qid, p, k) in queries {
+        for m in monitors.iter_mut() {
+            m.install_query(qid, p, k);
+        }
+        oracle.install_query(qid, p, k);
+    }
+    let qids = queries.iter().map(|&(q, _, _)| q).collect();
+    (monitors, oracle, qids)
+}
+
+fn step(
+    monitors: &mut [Box<dyn KnnMonitorAlgo>],
+    oracle: &mut OracleMonitor,
+    obj: &[ObjectEvent],
+    qry: &[QueryEvent],
+) {
+    for m in monitors.iter_mut() {
+        m.process_cycle(obj, qry);
+    }
+    oracle.process_cycle(obj, qry);
+}
+
+#[test]
+fn disappearance_burst_wipes_out_every_result_member() {
+    let objects: Vec<(ObjectId, Point)> = (0..40u32)
+        .map(|i| {
+            let t = i as f64 / 40.0;
+            (ObjectId(i), Point::new(0.3 + 0.4 * t, 0.5))
+        })
+        .collect();
+    let queries = [(QueryId(0), Point::new(0.5, 0.5), 8)];
+    let (mut monitors, mut oracle, qids) = harness(&objects, &queries);
+
+    // Kill the 20 objects nearest the query in one batch.
+    let mut by_dist: Vec<(f64, u32)> = objects
+        .iter()
+        .map(|&(id, p)| (p.dist(Point::new(0.5, 0.5)), id.0))
+        .collect();
+    by_dist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let burst: Vec<ObjectEvent> = by_dist[..20]
+        .iter()
+        .map(|&(_, id)| ObjectEvent::Disappear { id: ObjectId(id) })
+        .collect();
+    step(&mut monitors, &mut oracle, &burst, &[]);
+    assert_all_match(&mut monitors, &oracle, &qids);
+
+    // And a second burst that drops the population below k.
+    let burst2: Vec<ObjectEvent> = by_dist[20..35]
+        .iter()
+        .map(|&(_, id)| ObjectEvent::Disappear { id: ObjectId(id) })
+        .collect();
+    step(&mut monitors, &mut oracle, &burst2, &[]);
+    assert_all_match(&mut monitors, &oracle, &qids);
+
+    // Population recovers.
+    let revive: Vec<ObjectEvent> = (100..130u32)
+        .map(|id| ObjectEvent::Appear {
+            id: ObjectId(id),
+            pos: Point::new(0.45 + (id as f64 - 100.0) / 300.0, 0.52),
+        })
+        .collect();
+    step(&mut monitors, &mut oracle, &revive, &[]);
+    assert_all_match(&mut monitors, &oracle, &qids);
+}
+
+#[test]
+fn mass_teleport_across_the_workspace() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let objects: Vec<(ObjectId, Point)> = (0..60u32)
+        .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+        .collect();
+    let queries = [
+        (QueryId(0), Point::new(0.25, 0.25), 4),
+        (QueryId(1), Point::new(0.75, 0.75), 4),
+    ];
+    let (mut monitors, mut oracle, qids) = harness(&objects, &queries);
+    for _ in 0..5 {
+        // Everybody teleports to a fresh uniform position at once.
+        let burst: Vec<ObjectEvent> = (0..60u32)
+            .map(|id| ObjectEvent::Move {
+                id: ObjectId(id),
+                to: Point::new(rng.gen(), rng.gen()),
+            })
+            .collect();
+        step(&mut monitors, &mut oracle, &burst, &[]);
+        assert_all_match(&mut monitors, &oracle, &qids);
+    }
+}
+
+#[test]
+fn single_cell_pileup_and_dispersal() {
+    // All objects collapse into one cell, then scatter.
+    let objects: Vec<(ObjectId, Point)> = (0..30u32)
+        .map(|i| (ObjectId(i), Point::new(0.1 + 0.025 * i as f64, 0.8)))
+        .collect();
+    let queries = [(QueryId(0), Point::new(0.515, 0.515), 5)];
+    let (mut monitors, mut oracle, qids) = harness(&objects, &queries);
+
+    let collapse: Vec<ObjectEvent> = (0..30u32)
+        .map(|id| ObjectEvent::Move {
+            id: ObjectId(id),
+            to: Point::new(0.51 + id as f64 * 1e-4, 0.51),
+        })
+        .collect();
+    step(&mut monitors, &mut oracle, &collapse, &[]);
+    assert_all_match(&mut monitors, &oracle, &qids);
+
+    let scatter: Vec<ObjectEvent> = (0..30u32)
+        .map(|id| ObjectEvent::Move {
+            id: ObjectId(id),
+            to: Point::new((id as f64 * 0.033) % 1.0, (id as f64 * 0.071) % 1.0),
+        })
+        .collect();
+    step(&mut monitors, &mut oracle, &scatter, &[]);
+    assert_all_match(&mut monitors, &oracle, &qids);
+}
+
+#[test]
+fn queries_on_corners_edges_and_cell_boundaries() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let objects: Vec<(ObjectId, Point)> = (0..50u32)
+        .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+        .collect();
+    // Corners, edges and exact cell-boundary coordinates of a 32-grid.
+    let spots = [
+        Point::new(0.0, 0.0),
+        Point::new(0.999999, 0.999999),
+        Point::new(0.0, 0.999999),
+        Point::new(0.5, 0.0),
+        Point::new(0.25, 0.25),       // exact cell corner (8/32, 8/32)
+        Point::new(0.5, 0.71875),     // exact cell edge x
+    ];
+    let queries: Vec<(QueryId, Point, usize)> = spots
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (QueryId(i as u32), p, 3))
+        .collect();
+    let (mut monitors, mut oracle, qids) = harness(&objects, &queries);
+    for _ in 0..6 {
+        let mut burst = Vec::new();
+        for id in 0..50u32 {
+            if rng.gen_bool(0.4) {
+                burst.push(ObjectEvent::Move {
+                    id: ObjectId(id),
+                    to: Point::new(rng.gen(), rng.gen()),
+                });
+            }
+        }
+        step(&mut monitors, &mut oracle, &burst, &[]);
+        assert_all_match(&mut monitors, &oracle, &qids);
+    }
+}
+
+#[test]
+fn out_of_range_coordinates_are_clamped_not_fatal() {
+    let mut m = CpmKnnMonitor::new(16);
+    m.populate([(ObjectId(0), Point::new(0.5, 0.5))]);
+    m.install_query(QueryId(0), Point::new(0.5, 0.5), 1);
+    // An update wildly outside the workspace is snapped to the boundary.
+    m.process_cycle(
+        &[ObjectEvent::Move {
+            id: ObjectId(0),
+            to: Point::new(7.3, -2.0),
+        }],
+        &[],
+    );
+    let n = &m.result(QueryId(0)).unwrap()[0];
+    let clamped = m.grid().position(ObjectId(0)).unwrap();
+    assert!(clamped.x < 1.0 && clamped.y == 0.0);
+    assert!((n.dist - Point::new(0.5, 0.5).dist(clamped)).abs() < 1e-9);
+    m.check_invariants();
+}
+
+#[test]
+fn wall_time_reports_are_monotone_in_workload() {
+    // Sanity for the harness itself: more work -> more measured time.
+    use cpm_suite::sim::{SimParams, SimulationInput, WorkloadKind};
+    let small = SimulationInput::generate(&SimParams {
+        n_objects: 300,
+        n_queries: 10,
+        timestamps: 8,
+        grid_dim: 32,
+        workload: WorkloadKind::Uniform,
+        ..SimParams::default()
+    });
+    let big = SimulationInput::generate(&SimParams {
+        n_objects: 3_000,
+        n_queries: 100,
+        timestamps: 8,
+        grid_dim: 32,
+        workload: WorkloadKind::Uniform,
+        ..SimParams::default()
+    });
+    let a = run(AlgoKind::Cpm, &small);
+    let b = run(AlgoKind::Cpm, &big);
+    assert!(b.metrics.updates_applied > a.metrics.updates_applied);
+    assert!(b.metrics.cell_accesses >= a.metrics.cell_accesses);
+}

@@ -1,0 +1,180 @@
+//! Hardware-independent versions of the paper's comparative claims
+//! (Sections 4.2 and 6), asserted on work counters rather than wall time
+//! so they are stable in CI:
+//!
+//! * CPM never scans more cells than YPK-CNN or SEA-CNN on the default
+//!   maintenance workload (Figs. 6.1-6.3).
+//! * CPM's work is insensitive to object speed, while YPK-CNN's grows
+//!   with it (Fig. 6.4a).
+//! * With static queries and in-region churn, CPM resolves results from
+//!   the update stream alone (Fig. 4.3a's contrast).
+
+use cpm_suite::gen::SpeedClass;
+use cpm_suite::sim::{run, AlgoKind, SimParams, SimulationInput, WorkloadKind};
+
+fn base() -> SimParams {
+    SimParams {
+        n_objects: 3_000,
+        n_queries: 60,
+        k: 8,
+        timestamps: 20,
+        grid_dim: 64,
+        workload: WorkloadKind::Network { grid_streets: 16 },
+        ..SimParams::default()
+    }
+}
+
+#[test]
+fn cpm_scans_fewest_cells_on_default_workload() {
+    let input = SimulationInput::generate(&base());
+    let cpm = run(AlgoKind::Cpm, &input);
+    let ypk = run(AlgoKind::Ypk, &input);
+    let sea = run(AlgoKind::Sea, &input);
+    assert!(
+        cpm.metrics.cell_accesses < ypk.metrics.cell_accesses,
+        "CPM {} vs YPK {}",
+        cpm.metrics.cell_accesses,
+        ypk.metrics.cell_accesses
+    );
+    assert!(
+        cpm.metrics.cell_accesses < sea.metrics.cell_accesses,
+        "CPM {} vs SEA {}",
+        cpm.metrics.cell_accesses,
+        sea.metrics.cell_accesses
+    );
+    // And by a wide margin, as the paper reports (≥ 5× here; the paper
+    // shows one or more orders of magnitude at full scale).
+    assert!(cpm.metrics.cell_accesses * 5 < ypk.metrics.cell_accesses);
+}
+
+#[test]
+fn cpm_work_is_insensitive_to_object_speed_fig_6_4a() {
+    let mut accesses = Vec::new();
+    let mut ypk_accesses = Vec::new();
+    for speed in SpeedClass::ALL {
+        let params = SimParams {
+            object_speed: speed,
+            f_qry: 0.0, // isolate object-update handling
+            ..base()
+        };
+        let input = SimulationInput::generate(&params);
+        accesses.push(run(AlgoKind::Cpm, &input).metrics.cell_accesses);
+        ypk_accesses.push(run(AlgoKind::Ypk, &input).metrics.cell_accesses);
+    }
+    // CPM: flat in speed (allow 3× wiggle — churn differs per stream).
+    let (cpm_slow, cpm_fast) = (accesses[0].max(1), accesses[2].max(1));
+    assert!(
+        cpm_fast < 3 * cpm_slow,
+        "CPM slow {cpm_slow} vs fast {cpm_fast}"
+    );
+    // YPK-CNN: clearly grows with speed (d_max grows with displacement).
+    assert!(
+        ypk_accesses[2] > 2 * ypk_accesses[0],
+        "YPK slow {} vs fast {}",
+        ypk_accesses[0],
+        ypk_accesses[2]
+    );
+    // And CPM stays below YPK at every speed.
+    for (c, y) in accesses.iter().zip(&ypk_accesses) {
+        assert!(c < y);
+    }
+}
+
+#[test]
+fn static_queries_resolve_mostly_without_search_fig_6_6b() {
+    let params = SimParams {
+        f_qry: 0.0,
+        // Match the paper's object density per cell (N/dim² ≈ 100K/128²
+        // ≈ 6): at 3K objects that means a 22² grid; 32² keeps
+        // best_dist within about one cell radius as in the paper.
+        grid_dim: 32,
+        ..base()
+    };
+    let input = SimulationInput::generate(&params);
+    let cpm = run(AlgoKind::Cpm, &input);
+    // A substantial share of affected queries is maintained by merging
+    // the update batch alone (no grid access); the rest fall to the cheap
+    // re-computation module. At medium speed the in/out balance is close
+    // to even (movers typically cross the whole influence region).
+    let merges = cpm.metrics.merge_resolutions;
+    let recomputes = cpm.metrics.recomputations;
+    assert!(
+        merges * 3 >= recomputes,
+        "merges {merges} vs recomputations {recomputes}"
+    );
+    // Re-computations resume the stored visit list: their amortized cost
+    // stays at a handful of cell accesses per query per timestamp
+    // (Fig. 6.3b shows < 1 for small k; k = 8 here).
+    assert!(
+        cpm.cell_accesses_per_query_per_cycle() < 8.0,
+        "cells/query/cycle {}",
+        cpm.cell_accesses_per_query_per_cycle()
+    );
+    // No from-scratch computations beyond the initial installs (counted
+    // before process_cycle, so zero inside the run's cycles).
+    assert_eq!(
+        cpm.metrics.computations, input.initial_queries.len() as u64,
+        "static queries must never be recomputed from scratch"
+    );
+}
+
+#[test]
+fn ypk_reevaluates_everything_even_when_idle() {
+    // Zero agility: nothing moves at all.
+    let params = SimParams {
+        f_obj: 0.0,
+        f_qry: 0.0,
+        ..base()
+    };
+    let input = SimulationInput::generate(&params);
+    let cpm = run(AlgoKind::Cpm, &input);
+    let ypk = run(AlgoKind::Ypk, &input);
+    let sea = run(AlgoKind::Sea, &input);
+
+    // CPM and SEA-CNN are event-driven: after the initial evaluations,
+    // an idle stream costs them nothing.
+    assert_eq!(cpm.metrics.computations as usize, input.initial_queries.len());
+    assert_eq!(cpm.metrics.recomputations, 0);
+    assert_eq!(cpm.metrics.merge_resolutions, 0);
+    assert_eq!(sea.metrics.recomputations, 0);
+
+    // YPK-CNN still re-scans every query every timestamp ("it does not
+    // include a mechanism for detecting queries influenced by updates").
+    let evaluations = (input.initial_queries.len() * input.ticks.len()) as u64;
+    assert!(
+        ypk.metrics.recomputations >= evaluations,
+        "YPK recomputed {} times for {} query-timestamps",
+        ypk.metrics.recomputations,
+        evaluations
+    );
+}
+
+#[test]
+fn sea_moving_query_cost_grows_with_query_speed_fig_6_4b() {
+    let mut sea_work = Vec::new();
+    let mut cpm_work = Vec::new();
+    for speed in SpeedClass::ALL {
+        let params = SimParams {
+            query_speed: speed,
+            f_obj: 0.1, // keep object churn small to isolate query motion
+            ..base()
+        };
+        let input = SimulationInput::generate(&params);
+        sea_work.push(run(AlgoKind::Sea, &input).metrics.objects_processed);
+        cpm_work.push(run(AlgoKind::Cpm, &input).metrics.objects_processed);
+    }
+    // SEA-CNN's search region r = best_dist + dist(q, q′) grows with query
+    // displacement; CPM computes moving queries from scratch at a cost
+    // independent of the displacement.
+    assert!(
+        sea_work[2] > sea_work[0],
+        "SEA slow {} vs fast {}",
+        sea_work[0],
+        sea_work[2]
+    );
+    let (c_slow, c_fast) = (cpm_work[0].max(1), cpm_work[2].max(1));
+    assert!(
+        c_fast < 2 * c_slow && c_slow < 2 * c_fast,
+        "CPM slow {c_slow} vs fast {c_fast}"
+    );
+}
