@@ -9,8 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod search;
 pub mod sea;
+mod search;
 pub mod ypk;
 
 pub use sea::SeaCnnMonitor;

@@ -140,7 +140,13 @@ impl SeaCnnMonitor {
             d_max: 0.0,
             needs_full: false,
         };
-        Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, id, &mut st);
+        Self::remark_answer_region(
+            &self.grid,
+            &mut self.answer_regions,
+            &mut self.starved,
+            id,
+            &mut st,
+        );
         self.queries.entry(id).or_insert(st).best.neighbors()
     }
 
@@ -215,7 +221,13 @@ impl SeaCnnMonitor {
                 st.best = scan_circle(&self.grid, st.q, st.q, r, k, &mut self.metrics);
                 self.metrics.recomputations += 1;
             }
-            Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, qid, st);
+            Self::remark_answer_region(
+                &self.grid,
+                &mut self.answer_regions,
+                &mut self.starved,
+                qid,
+                st,
+            );
             if old != st.best.neighbors() {
                 changed.push(qid);
             }
@@ -266,14 +278,21 @@ impl SeaCnnMonitor {
             st.q = to;
             st.best = two_step_search(&self.grid, to, k, &mut self.metrics);
         }
-        Self::remark_answer_region(&self.grid, &mut self.answer_regions, &mut self.starved, id, st);
+        Self::remark_answer_region(
+            &self.grid,
+            &mut self.answer_regions,
+            &mut self.starved,
+            id,
+            st,
+        );
         self.queries[&id].best.neighbors()
     }
 
     fn classify_departure(&mut self, id: ObjectId, old_cell: CellCoord, new_pos: Option<Point>) {
-        let Some(qids) = self.answer_regions.queries_at(old_cell) else {
+        let qids = self.answer_regions.queries_at(old_cell);
+        if qids.is_empty() {
             return;
-        };
+        }
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
@@ -298,9 +317,7 @@ impl SeaCnnMonitor {
     }
 
     fn classify_arrival(&mut self, id: ObjectId, new_cell: CellCoord, new_pos: Point) {
-        let Some(qids) = self.answer_regions.queries_at(new_cell) else {
-            return;
-        };
+        let qids = self.answer_regions.queries_at(new_cell);
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));

@@ -21,12 +21,10 @@ pub(crate) fn scan_cell(
     metrics: &mut Metrics,
 ) {
     metrics.cell_accesses += 1;
-    if let Some(objects) = grid.objects_in(cell) {
-        for &oid in objects {
-            let p = grid.position(oid).expect("indexed object has position");
-            metrics.objects_processed += 1;
-            best.offer(oid, q.dist(p));
-        }
+    for &oid in grid.objects_in(cell) {
+        let p = grid.position(oid).expect("indexed object has position");
+        metrics.objects_processed += 1;
+        best.offer(oid, q.dist(p));
     }
 }
 
@@ -112,7 +110,7 @@ pub(crate) fn scan_square(
         Point::new(center.x - half, center.y - half),
         Point::new(center.x + half, center.y + half),
     );
-    for cell in grid.cells_intersecting_rect(&sr) {
+    for cell in grid.cells_in_rect(&sr) {
         if let Some(skip) = skip_within {
             if cq.chebyshev(cell) <= skip {
                 continue; // already contributed its objects in step 1
@@ -154,7 +152,7 @@ pub(crate) fn scan_circle(
     metrics: &mut Metrics,
 ) -> NeighborList {
     let mut best = NeighborList::new(k);
-    for cell in grid.cells_intersecting_circle(center, r) {
+    for cell in grid.cells_in_circle(center, r) {
         scan_cell(grid, q, cell, &mut best, metrics);
     }
     best
@@ -237,7 +235,7 @@ mod tests {
         let mut m = Metrics::default();
         let best = two_step_search(&g, q, 1, &mut m);
         assert_eq!(best.neighbors()[0].id, ObjectId(1)); // dist ≈ 0.085 < 0.099
-        // Never more than the 5×5 square around cq.
+                                                         // Never more than the 5×5 square around cq.
         assert!(m.cell_accesses <= 25, "accesses {}", m.cell_accesses);
     }
 
@@ -253,10 +251,7 @@ mod tests {
         let best = scan_circle(&g, q, q, 0.3, 4, &mut m);
         // Everything within 0.3 of q must be considered; the 4 best overall
         // within that radius equal the global 4 best if they are ≤ 0.3.
-        let expect: Vec<f64> = brute(&g, q, 4)
-            .into_iter()
-            .filter(|d| *d <= 0.3)
-            .collect();
+        let expect: Vec<f64> = brute(&g, q, 4).into_iter().filter(|d| *d <= 0.3).collect();
         let got: Vec<f64> = best
             .neighbors()
             .iter()

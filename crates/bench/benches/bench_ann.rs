@@ -85,11 +85,7 @@ fn bench_constrained(c: &mut Criterion) {
                 let q = Point::new(rng.gen(), rng.gen());
                 let lo = Point::new((q.x - 0.15).clamp(0.0, 0.7), (q.y - 0.15).clamp(0.0, 0.7));
                 let hi = Point::new(lo.x + 0.3, lo.y + 0.3);
-                m.install_query(
-                    QueryId(i),
-                    ConstrainedQuery::new(q, Rect::new(lo, hi)),
-                    4,
-                );
+                m.install_query(QueryId(i), ConstrainedQuery::new(q, Rect::new(lo, hi)), 4);
             }
             for tick in &input.ticks {
                 m.process_cycle(&tick.object_events, &[]);

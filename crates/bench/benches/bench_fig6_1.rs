@@ -29,11 +29,9 @@ fn bench(c: &mut Criterion) {
     for dim in [32u32, 128, 1024] {
         input.params.grid_dim = dim;
         for algo in AlgoKind::CONTENDERS {
-            group.bench_with_input(
-                BenchmarkId::new(algo.label(), dim),
-                &input,
-                |b, input| b.iter(|| run(algo, input)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.label(), dim), &input, |b, input| {
+                b.iter(|| run(algo, input))
+            });
         }
     }
     group.finish();

@@ -65,11 +65,7 @@ fn bench_update_cycle(c: &mut Criterion) {
                         let mut rng = StdRng::seed_from_u64(4);
                         let mut m = populated_monitor(10_000, 128, 2);
                         for q in 0..50u32 {
-                            m.install_query(
-                                QueryId(q),
-                                Point::new(rng.gen(), rng.gen()),
-                                16,
-                            );
+                            m.install_query(QueryId(q), Point::new(rng.gen(), rng.gen()), 16);
                         }
                         m
                     },

@@ -50,9 +50,25 @@ fn main() {
     }
     if names.iter().any(|n| n == "all") {
         names = vec![
-            "table2_1", "table6_1", "fig6_1", "fig6_2a", "fig6_2b", "fig6_3", "fig6_4a",
-            "fig6_4b", "fig6_5a", "fig6_5b", "fig6_6a", "fig6_6b", "space", "analysis",
-            "ablation", "ann", "constrained", "skew", "rnn",
+            "table2_1",
+            "table6_1",
+            "fig6_1",
+            "fig6_2a",
+            "fig6_2b",
+            "fig6_3",
+            "fig6_4a",
+            "fig6_4b",
+            "fig6_5a",
+            "fig6_5b",
+            "fig6_6a",
+            "fig6_6b",
+            "space",
+            "analysis",
+            "ablation",
+            "ann",
+            "constrained",
+            "skew",
+            "rnn",
         ]
         .into_iter()
         .map(String::from)
@@ -139,7 +155,10 @@ fn print_table_6_1(scale: f64) {
         "query agility f_qry   | {:<15} | 10..50 (%)",
         format!("{:.0}%", p.f_qry * 100.0)
     );
-    println!("grid                  | {0}x{0}         | 32²..1024²", p.grid_dim);
+    println!(
+        "grid                  | {0}x{0}         | 32²..1024²",
+        p.grid_dim
+    );
     println!("timestamps            | {:<15} | 100\n", p.timestamps);
 }
 

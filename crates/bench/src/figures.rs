@@ -13,8 +13,8 @@ use std::time::Instant;
 use cpm_core::ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
 use cpm_core::constrained::{ConstrainedQuery, CpmConstrainedMonitor};
 use cpm_core::{CpmConfig, CpmKnnMonitor, SpecEvent};
-use cpm_geom::{Point, QueryId, Rect};
 use cpm_gen::SpeedClass;
+use cpm_geom::{Point, QueryId, Rect};
 use cpm_sim::{
     run, run_boxed, run_contenders, AlgoKind, RunReport, SimParams, SimulationInput, WorkloadKind,
 };
@@ -309,7 +309,9 @@ pub fn space(scale: f64) -> Table {
         );
     }
     note_params(&mut t, &params);
-    t.note("expected order: YPK-CNN < SEA-CNN < CPM (paper: 2.854 / 3.074 / 3.314 MB at full scale)");
+    t.note(
+        "expected order: YPK-CNN < SEA-CNN < CPM (paper: 2.854 / 3.074 / 3.314 MB at full scale)",
+    );
     t
 }
 
@@ -429,7 +431,9 @@ pub fn ablation(scale: f64) -> Table {
         t.push_row(format!("{k}"), cells);
     }
     note_params(&mut t, &base_params(scale));
-    t.note("'no merge': every affected query searches; 'no visit reuse': Figure 3.4 instead of 3.6");
+    t.note(
+        "'no merge': every affected query searches; 'no visit reuse': Figure 3.4 instead of 3.6",
+    );
     t
 }
 
@@ -479,8 +483,11 @@ pub fn ann(scale: f64) -> Table {
         let cpm_ms = start.elapsed().as_secs_f64() * 1e3;
 
         // Naive: recompute every adist from scratch each cycle.
-        let mut positions: Vec<Option<Point>> =
-            input.initial_objects.iter().map(|&(_, p)| Some(p)).collect();
+        let mut positions: Vec<Option<Point>> = input
+            .initial_objects
+            .iter()
+            .map(|&(_, p)| Some(p))
+            .collect();
         let start = Instant::now();
         let kk = params.k.min(8);
         let mut sink = 0.0f64;
@@ -503,11 +510,7 @@ pub fn ann(scale: f64) -> Table {
                 }
             }
             for q in &specs {
-                let mut dists: Vec<f64> = positions
-                    .iter()
-                    .flatten()
-                    .map(|&p| q.adist(p))
-                    .collect();
+                let mut dists: Vec<f64> = positions.iter().flatten().map(|&p| q.adist(p)).collect();
                 dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 sink += dists.iter().take(kk).sum::<f64>();
             }
@@ -565,8 +568,11 @@ pub fn constrained(scale: f64) -> Table {
     }
     t.push_row("CPM-constrained", vec![start.elapsed().as_secs_f64() * 1e3]);
 
-    let mut positions: Vec<Option<Point>> =
-        input.initial_objects.iter().map(|&(_, p)| Some(p)).collect();
+    let mut positions: Vec<Option<Point>> = input
+        .initial_objects
+        .iter()
+        .map(|&(_, p)| Some(p))
+        .collect();
     let start = Instant::now();
     let kk = params.k.min(8);
     let mut sink = 0.0f64;
@@ -666,8 +672,11 @@ pub fn rnn(scale: f64) -> Table {
 
     // Naive: O(N²-flavored) re-evaluation — for each object its global NN
     // distance, then membership per query.
-    let mut positions: Vec<Option<Point>> =
-        input.initial_objects.iter().map(|&(_, p)| Some(p)).collect();
+    let mut positions: Vec<Option<Point>> = input
+        .initial_objects
+        .iter()
+        .map(|&(_, p)| Some(p))
+        .collect();
     let start = Instant::now();
     let mut sink = 0usize;
     for tick in &input.ticks {

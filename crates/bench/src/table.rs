@@ -117,12 +117,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_rows() {
-        let mut t = Table::new(
-            "Demo",
-            "k",
-            "ms",
-            vec!["CPM".into(), "YPK-CNN".into()],
-        );
+        let mut t = Table::new("Demo", "k", "ms", vec!["CPM".into(), "YPK-CNN".into()]);
         t.push_row("1", vec![0.5, 1200.0]);
         t.push_row("256", vec![12.25, 34567.0]);
         t.note("just a demo");

@@ -350,8 +350,18 @@ mod tests {
             let mut ann = CpmAnnMonitor::new(16);
             ann.populate(objs.iter().copied());
             ann.install_query(QueryId(0), AnnQuery::new(vec![qp], f), 5);
-            let a: Vec<_> = ann.result(QueryId(0)).unwrap().iter().map(|n| n.id).collect();
-            let p: Vec<_> = plain.result(QueryId(0)).unwrap().iter().map(|n| n.id).collect();
+            let a: Vec<_> = ann
+                .result(QueryId(0))
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let p: Vec<_> = plain
+                .result(QueryId(0))
+                .unwrap()
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(a, p, "aggregate {f:?}");
         }
     }
@@ -451,8 +461,7 @@ mod tests {
                         let pw = Pinwheel::around_block(lo, hi, grid.dim());
                         for dir in Direction::ALL {
                             let fast = q.strip_key(&pw, dir, lvl);
-                            let slow = f
-                                .fold(pts.iter().map(|&p| pw.strip_mindist(dir, lvl, p)));
+                            let slow = f.fold(pts.iter().map(|&p| pw.strip_mindist(dir, lvl, p)));
                             prop_assert!(
                                 (fast - slow).abs() < 1e-12,
                                 "{f:?} {dir:?} lvl {lvl}: {fast} vs {slow}"

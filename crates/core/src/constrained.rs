@@ -114,12 +114,7 @@ impl CpmConstrainedMonitor {
     }
 
     /// Install a continuous constrained k-NN query.
-    pub fn install_query(
-        &mut self,
-        id: QueryId,
-        query: ConstrainedQuery,
-        k: usize,
-    ) -> &[Neighbor] {
+    pub fn install_query(&mut self, id: QueryId, query: ConstrainedQuery, k: usize) -> &[Neighbor] {
         self.engine.install(id, query, k)
     }
 

@@ -375,14 +375,12 @@ impl<S: QuerySpec> CpmEngine<S> {
                 break;
             }
             metrics.cell_accesses += 1;
-            if let Some(objects) = grid.objects_in(cell) {
-                for &oid in objects {
-                    let p = grid.position(oid).expect("indexed object has position");
-                    metrics.objects_processed += 1;
-                    let d = st.spec.dist(p);
-                    if d.is_finite() {
-                        st.best.offer(oid, d);
-                    }
+            for &oid in grid.objects_in(cell) {
+                let p = grid.position(oid).expect("indexed object has position");
+                metrics.objects_processed += 1;
+                let d = st.spec.dist(p);
+                if d.is_finite() {
+                    st.best.offer(oid, d);
                 }
             }
         }
@@ -404,14 +402,12 @@ impl<S: QuerySpec> CpmEngine<S> {
             match entry {
                 HeapEntry::Cell(cell) => {
                     metrics.cell_accesses += 1;
-                    if let Some(objects) = grid.objects_in(cell) {
-                        for &oid in objects {
-                            let p = grid.position(oid).expect("indexed object has position");
-                            metrics.objects_processed += 1;
-                            let d = st.spec.dist(p);
-                            if d.is_finite() {
-                                st.best.offer(oid, d);
-                            }
+                    for &oid in grid.objects_in(cell) {
+                        let p = grid.position(oid).expect("indexed object has position");
+                        metrics.objects_processed += 1;
+                        let d = st.spec.dist(p);
+                        if d.is_finite() {
+                            st.best.offer(oid, d);
                         }
                     }
                     st.visit_list.push((cell, key));
@@ -485,9 +481,10 @@ impl<S: QuerySpec> CpmEngine<S> {
     }
 
     fn process_departure(&mut self, id: ObjectId, old_cell: CellCoord, new_pos: Option<Point>) {
-        let Some(qids) = self.influence.queries_at(old_cell) else {
+        let qids = self.influence.queries_at(old_cell);
+        if qids.is_empty() {
             return;
-        };
+        }
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
@@ -515,9 +512,10 @@ impl<S: QuerySpec> CpmEngine<S> {
     }
 
     fn process_arrival(&mut self, id: ObjectId, new_cell: CellCoord, new_pos: Point) {
-        let Some(qids) = self.influence.queries_at(new_cell) else {
+        let qids = self.influence.queries_at(new_cell);
+        if qids.is_empty() {
             return;
-        };
+        }
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));

@@ -291,10 +291,16 @@ impl CpmKnnMonitor {
     /// Old-cell side of an update (Figure 3.8 lines 5-12). `new_pos` is
     /// `None` when the object went off-line, which is treated as an
     /// outgoing NN (Section 4.2).
-    fn process_departure(&mut self, id: ObjectId, old_cell: cpm_grid::CellCoord, new_pos: Option<Point>) {
-        let Some(qids) = self.influence.queries_at(old_cell) else {
+    fn process_departure(
+        &mut self,
+        id: ObjectId,
+        old_cell: cpm_grid::CellCoord,
+        new_pos: Option<Point>,
+    ) {
+        let qids = self.influence.queries_at(old_cell);
+        if qids.is_empty() {
             return;
-        };
+        }
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
@@ -331,9 +337,10 @@ impl CpmKnnMonitor {
 
     /// New-cell side of an update (Figure 3.8 lines 13-16).
     fn process_arrival(&mut self, id: ObjectId, new_cell: cpm_grid::CellCoord, new_pos: Point) {
-        let Some(qids) = self.influence.queries_at(new_cell) else {
+        let qids = self.influence.queries_at(new_cell);
+        if qids.is_empty() {
             return;
-        };
+        }
         self.qid_buf.clear();
         self.qid_buf
             .extend(qids.iter().copied().filter(|q| !self.ignored.contains(q)));
@@ -464,11 +471,7 @@ impl CpmKnnMonitor {
         }
         // No dangling registrations: every influence entry belongs to an
         // installed query's current prefix.
-        let total: usize = self
-            .queries
-            .values()
-            .map(|st| st.influence_len)
-            .sum();
+        let total: usize = self.queries.values().map(|st| st.influence_len).sum();
         assert_eq!(self.influence.total_entries(), total);
     }
 }
@@ -493,7 +496,10 @@ mod tests {
         let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
         assert_eq!(got.len(), expect.len().min(st.k()), "result size");
         for (g, e) in got.iter().zip(expect.iter()) {
-            assert!((g - e).abs() < 1e-9, "distance mismatch: {got:?} vs {expect:?}");
+            assert!(
+                (g - e).abs() < 1e-9,
+                "distance mismatch: {got:?} vs {expect:?}"
+            );
         }
     }
 
@@ -503,10 +509,10 @@ mod tests {
         let d = 1.0 / 8.0;
         let mut m = CpmKnnMonitor::new(8);
         m.populate([
-            (ObjectId(1), Point::new(3.3 * d, 3.5 * d)),  // p1
-            (ObjectId(2), Point::new(2.9 * d, 4.5 * d)),  // p2 (the NN)
-            (ObjectId(3), Point::new(2.2 * d, 6.5 * d)),  // p3, farther
-            (ObjectId(4), Point::new(5.5 * d, 6.6 * d)),  // p4, farther
+            (ObjectId(1), Point::new(3.3 * d, 3.5 * d)), // p1
+            (ObjectId(2), Point::new(2.9 * d, 4.5 * d)), // p2 (the NN)
+            (ObjectId(3), Point::new(2.2 * d, 6.5 * d)), // p3, farther
+            (ObjectId(4), Point::new(5.5 * d, 6.6 * d)), // p4, farther
         ]);
         m.install_query(QueryId(0), Point::new(4.2 * d, 4.9 * d), 1);
         m
@@ -744,12 +750,9 @@ mod tests {
             },
         ] {
             let mut m = CpmKnnMonitor::with_config(16, config);
-            m.populate((0..40u32).map(|i| {
-                (
-                    ObjectId(i),
-                    Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
-                )
-            }));
+            m.populate(
+                (0..40u32).map(|i| (ObjectId(i), Point::new(rng.gen::<f64>(), rng.gen::<f64>()))),
+            );
             m.install_query(QueryId(0), Point::new(0.5, 0.5), 5);
             for _ in 0..20 {
                 let mut events = Vec::new();
@@ -777,12 +780,9 @@ mod tests {
             let dim = [4u32, 8, 16, 64][trial % 4];
             let n_obj = 60;
             let mut m = CpmKnnMonitor::new(dim);
-            m.populate((0..n_obj).map(|i| {
-                (
-                    ObjectId(i),
-                    Point::new(rng.gen::<f64>(), rng.gen::<f64>()),
-                )
-            }));
+            m.populate(
+                (0..n_obj).map(|i| (ObjectId(i), Point::new(rng.gen::<f64>(), rng.gen::<f64>()))),
+            );
             for qi in 0..6u32 {
                 let k = 1 + (qi as usize % 5) * 3;
                 m.install_query(
@@ -830,7 +830,10 @@ mod tests {
                                 } else {
                                     Point::new(rng.gen(), rng.gen())
                                 };
-                                events.push(ObjectEvent::Move { id: ObjectId(id), to });
+                                events.push(ObjectEvent::Move {
+                                    id: ObjectId(id),
+                                    to,
+                                });
                             }
                         }
                         _ => {}

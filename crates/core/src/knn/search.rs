@@ -75,12 +75,10 @@ pub(crate) fn recompute(
             break;
         }
         metrics.cell_accesses += 1;
-        if let Some(objects) = grid.objects_in(cell) {
-            for &oid in objects {
-                let p = grid.position(oid).expect("indexed object has position");
-                metrics.objects_processed += 1;
-                st.best.offer(oid, st.q.dist(p));
-            }
+        for &oid in grid.objects_in(cell) {
+            let p = grid.position(oid).expect("indexed object has position");
+            metrics.objects_processed += 1;
+            st.best.offer(oid, st.q.dist(p));
         }
     }
 
@@ -107,20 +105,15 @@ fn drain_heap(grid: &Grid, st: &mut KnnQueryState, metrics: &mut Metrics) {
         match entry {
             HeapEntry::Cell(cell) => {
                 metrics.cell_accesses += 1;
-                if let Some(objects) = grid.objects_in(cell) {
-                    for &oid in objects {
-                        let p = grid.position(oid).expect("indexed object has position");
-                        metrics.objects_processed += 1;
-                        st.best.offer(oid, st.q.dist(p));
-                    }
+                for &oid in grid.objects_in(cell) {
+                    let p = grid.position(oid).expect("indexed object has position");
+                    metrics.objects_processed += 1;
+                    st.best.offer(oid, st.q.dist(p));
                 }
                 st.visit_list.push((cell, key));
             }
             HeapEntry::Rect(dir, lvl) => {
-                let strip = st
-                    .pinwheel
-                    .strip(dir, lvl)
-                    .expect("en-heaped strip exists");
+                let strip = st.pinwheel.strip(dir, lvl).expect("en-heaped strip exists");
                 for cell in strip.cells() {
                     st.heap.push_cell(cell, grid.mindist(cell, st.q));
                     metrics.heap_pushes += 1;

@@ -1,8 +1,8 @@
 //! Per-query book-keeping: the query-table entry of Figure 3.3a.
 
-use cpm_geom::{Point, QueryId};
 #[cfg(test)]
 use cpm_geom::ObjectId;
+use cpm_geom::{Point, QueryId};
 use cpm_grid::CellCoord;
 
 use crate::heap::SearchHeap;
@@ -111,7 +111,10 @@ impl KnnQueryState {
         } else {
             assert_eq!(self.influence_len, self.visit_list.len());
         }
-        assert!(self.heap.boundary_boxes() <= 4, "more than 4 boundary boxes");
+        assert!(
+            self.heap.boundary_boxes() <= 4,
+            "more than 4 boundary boxes"
+        );
     }
 }
 

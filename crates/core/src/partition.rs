@@ -128,8 +128,7 @@ impl Pinwheel {
     /// The cells of the base block itself (row-major).
     pub fn base_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
         let (c0, c1) = (self.c0, self.c1);
-        (self.r0..=self.r1)
-            .flat_map(move |row| (c0..=c1).map(move |col| CellCoord::new(col, row)))
+        (self.r0..=self.r1).flat_map(move |row| (c0..=c1).map(move |col| CellCoord::new(col, row)))
     }
 
     /// The strip `DIR_lvl`, or `None` when it lies entirely outside the

@@ -237,10 +237,10 @@ impl CpmRnnMonitor {
             );
         }
         let result = self.verify(id);
-        let st = self.queries.entry(id).or_insert(RnnQueryState {
-            q: pos,
-            result,
-        });
+        let st = self
+            .queries
+            .entry(id)
+            .or_insert(RnnQueryState { q: pos, result });
         &st.result
     }
 
@@ -342,11 +342,7 @@ impl CpmRnnMonitor {
                 continue;
             };
             let (cid, cdist) = (candidate.id, candidate.dist);
-            let cpos = self
-                .engine
-                .grid()
-                .position(cid)
-                .expect("candidate is live");
+            let cpos = self.engine.grid().position(cid).expect("candidate is live");
             if self.circle_is_empty(cpos, cdist, cid) {
                 out.push(cid);
             }
@@ -360,18 +356,16 @@ impl CpmRnnMonitor {
     /// `radius` of `center`.
     fn circle_is_empty(&mut self, center: Point, radius: f64, exclude: ObjectId) -> bool {
         let grid = self.engine.grid();
-        for cell in grid.cells_intersecting_circle(center, radius) {
+        for cell in grid.cells_in_circle(center, radius) {
             self.verify_metrics.cell_accesses += 1;
-            if let Some(objects) = grid.objects_in(cell) {
-                for &oid in objects {
-                    if oid == exclude {
-                        continue;
-                    }
-                    self.verify_metrics.objects_processed += 1;
-                    let p = grid.position(oid).expect("indexed object has position");
-                    if center.dist(p) < radius {
-                        return false;
-                    }
+            for &oid in grid.objects_in(cell) {
+                if oid == exclude {
+                    continue;
+                }
+                self.verify_metrics.objects_processed += 1;
+                let p = grid.position(oid).expect("indexed object has position");
+                if center.dist(p) < radius {
+                    return false;
                 }
             }
         }
@@ -392,9 +386,7 @@ mod tests {
         let mut out = Vec::new();
         for &(id, p) in objects {
             let dq = p.dist(q);
-            let dominated = objects
-                .iter()
-                .any(|&(o, op)| o != id && p.dist(op) < dq);
+            let dominated = objects.iter().any(|&(o, op)| o != id && p.dist(op) < dq);
             if !dominated {
                 out.push(id);
             }
@@ -491,7 +483,10 @@ mod tests {
         m.install_query(QueryId(0), Point::new(0.5, 0.5));
         assert_eq!(m.result(QueryId(0)).unwrap(), &[ObjectId(0)]);
         let objs = live_objects(&m);
-        assert_eq!(m.result(QueryId(0)).unwrap(), brute_rnn(&objs, Point::new(0.5, 0.5)));
+        assert_eq!(
+            m.result(QueryId(0)).unwrap(),
+            brute_rnn(&objs, Point::new(0.5, 0.5))
+        );
     }
 
     #[test]

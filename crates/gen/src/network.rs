@@ -177,9 +177,7 @@ impl RoadNetwork {
     pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Self {
         assert!(n > 0, "empty network");
         let mut rng = StdRng::seed_from_u64(seed);
-        let nodes: Vec<Point> = (0..n)
-            .map(|_| Point::new(rng.gen(), rng.gen()))
-            .collect();
+        let nodes: Vec<Point> = (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect();
         let r_sq = radius * radius;
         let mut edges = Vec::new();
         for i in 0..n {
@@ -309,7 +307,9 @@ mod tests {
                 let expect = net.position(u).dist(net.position(v));
                 assert!((w - expect).abs() < 1e-12);
                 assert!(
-                    net.neighbors(v).iter().any(|&(b, bw)| b == u && (bw - w).abs() < 1e-12),
+                    net.neighbors(v)
+                        .iter()
+                        .any(|&(b, bw)| b == u && (bw - w).abs() < 1e-12),
                     "missing reverse edge {u}->{v}"
                 );
             }

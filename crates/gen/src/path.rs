@@ -132,8 +132,7 @@ impl Traveler {
         if self.arrived() {
             return 0.0;
         }
-        let mut total =
-            self.polyline[self.seg].dist(self.polyline[self.seg + 1]) - self.offset;
+        let mut total = self.polyline[self.seg].dist(self.polyline[self.seg + 1]) - self.offset;
         for w in self.polyline[self.seg + 1..].windows(2) {
             total += w[0].dist(w[1]);
         }

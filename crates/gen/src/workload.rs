@@ -86,8 +86,12 @@ impl NetworkWorkload {
     /// generator is self-contained and cheap to move across threads).
     pub fn new(net: RoadNetwork, config: WorkloadConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let objects = (0..config.n_objects).map(|_| spawn(&net, &mut rng)).collect();
-        let queries = (0..config.n_queries).map(|_| spawn(&net, &mut rng)).collect();
+        let objects = (0..config.n_objects)
+            .map(|_| spawn(&net, &mut rng))
+            .collect();
+        let queries = (0..config.n_queries)
+            .map(|_| spawn(&net, &mut rng))
+            .collect();
         Self {
             net,
             config,

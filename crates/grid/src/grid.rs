@@ -1,27 +1,72 @@
-//! The grid index proper: cell object lists plus the central position table.
+//! The grid index proper: dense cell buckets plus the central position and
+//! back-pointer tables.
 
-use cpm_geom::{clamp_coord, FastHashMap, FastHashSet, ObjectId, Point, Rect};
+use cpm_geom::{clamp_coord, FastHashMap, ObjectId, Point, Rect};
 
 use crate::CellCoord;
 
+/// Spare-bucket pool cap: empty cells hand their allocation back for reuse
+/// so steady-state update churn allocates nothing, but the pool never
+/// hoards more than this many vectors.
+const BUCKET_POOL_CAP: usize = 4096;
+
+/// Largest per-vector capacity worth pooling. A hot cell under skewed data
+/// can grow a huge bucket; once it empties, recycling that allocation into
+/// ordinary few-object cells would pin the memory forever, so oversized
+/// spares are dropped instead.
+const POOLED_VEC_CAP: usize = 256;
+
+/// Back-pointer of one indexed object: which bucket it lives in and at
+/// which slot. Valid only while the object's position slot is `Some`.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackRef {
+    /// Packed id of the cell whose bucket holds the object.
+    cell_id: u64,
+    /// Index of the object inside that bucket.
+    slot: u32,
+}
+
 /// The main-memory grid index `G` over the set `P` of moving objects.
 ///
-/// Non-empty cells are stored sparsely (hash map keyed by packed cell id):
-/// at the paper's largest granularity (1024², one million cells) only ~10%
-/// of cells are occupied by the default 100K objects, and a dense `Vec` of
-/// hash sets would waste ~100 MB on empty table headers.
+/// # Storage layout (dense slot-based buckets)
+///
+/// Occupied cells are stored sparsely (hash map keyed by packed cell id —
+/// at the paper's largest granularity of 1024², one million cells, only
+/// ~10% are occupied by the default 100K objects), but each occupied cell
+/// owns a **contiguous `Vec<ObjectId>` bucket** rather than a hash set:
+///
+/// * a cell scan — the unit the experiments count as one *cell access*
+///   (Section 6, Figure 6.3b) — is a linear sweep over contiguous memory,
+///   with none of the control-byte hopping of a hash set;
+/// * a per-object back-pointer table (`oid → (cell_id, slot)`) makes
+///   removal O(1) via *swap-remove*: the last bucket element is moved into
+///   the vacated slot and its back-pointer is patched. No object id is
+///   ever hashed on the update path (the only hash per step is the cell
+///   id), and `Time_ind = 2` of the Section 4.1 cost model — one deletion
+///   plus one insertion per location update — is preserved exactly;
+/// * buckets that empty return their allocation to a small pool, so
+///   steady-state update churn is allocation-free.
+///
+/// Swap-remove reorders bucket contents, which is invisible to the
+/// monitoring algorithms: the paper treats cell object lists as unordered
+/// sets, and every consumer scans whole buckets.
 ///
 /// All mutation goes through [`Grid::insert`], [`Grid::remove`] and
-/// [`Grid::update_position`]; each is O(1) expected (`Time_ind = 2` in the
-/// Section 4.1 cost model: one deletion plus one insertion).
+/// [`Grid::update_position`]; each is O(1) expected.
 #[derive(Debug, Clone)]
 pub struct Grid {
     dim: u32,
     delta: f64,
-    /// Sparse map: packed cell id → objects currently inside the cell.
-    cells: FastHashMap<u64, FastHashSet<ObjectId>>,
+    /// Sparse map: packed cell id → dense bucket of objects in the cell.
+    /// Invariant: every stored bucket is non-empty.
+    cells: FastHashMap<u64, Vec<ObjectId>>,
+    /// Recycled bucket allocations (all empty), capped at
+    /// [`BUCKET_POOL_CAP`].
+    bucket_pool: Vec<Vec<ObjectId>>,
     /// Central position table, one slot per object id. `None` = off-line.
     positions: Vec<Option<Point>>,
+    /// Back-pointer table, parallel to `positions`: `oid → (cell, slot)`.
+    backrefs: Vec<BackRef>,
     /// Number of live (indexed) objects.
     live: usize,
 }
@@ -50,7 +95,9 @@ impl Grid {
             dim,
             delta: 1.0 / dim as f64,
             cells: FastHashMap::default(),
+            bucket_pool: Vec::new(),
             positions: Vec::new(),
+            backrefs: Vec::new(),
             live: 0,
         }
     }
@@ -87,6 +134,13 @@ impl Grid {
         let row = (clamp_coord(p.y) / self.delta) as u32;
         // Guard against floating rounding right at the upper edge.
         CellCoord::new(col.min(self.dim - 1), row.min(self.dim - 1))
+    }
+
+    /// Unpack a cell id produced by [`CellCoord::id`].
+    #[inline]
+    fn cell_from_id(&self, id: u64) -> CellCoord {
+        let dim = self.dim as u64;
+        CellCoord::new((id % dim) as u32, (id / dim) as u32)
     }
 
     /// The spatial extent of cell `c`.
@@ -129,6 +183,7 @@ impl Grid {
         let idx = oid.index();
         if idx >= self.positions.len() {
             self.positions.resize(idx + 1, None);
+            self.backrefs.resize(idx + 1, BackRef::default());
         }
         assert!(
             self.positions[idx].is_none(),
@@ -137,34 +192,51 @@ impl Grid {
         let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
         self.positions[idx] = Some(p);
         let cell = self.cell_of(p);
-        self.cells.entry(cell.id(self.dim)).or_default().insert(oid);
+        let cell_id = cell.id(self.dim);
+        let bucket = self
+            .cells
+            .entry(cell_id)
+            .or_insert_with(|| self.bucket_pool.pop().unwrap_or_default());
+        bucket.push(oid);
+        self.backrefs[idx] = BackRef {
+            cell_id,
+            slot: (bucket.len() - 1) as u32,
+        };
         self.live += 1;
         cell
     }
 
     /// Remove object `oid` from the index (it goes off-line).
     ///
-    /// Returns its last position and cell, or `None` if it was not indexed.
+    /// O(1) via the back-pointer table and swap-remove: no search, no
+    /// object-id hashing. Returns its last position and cell, or `None` if
+    /// it was not indexed.
     pub fn remove(&mut self, oid: ObjectId) -> Option<(Point, CellCoord)> {
-        let slot = self.positions.get_mut(oid.index())?;
-        let p = slot.take()?;
-        let cell = self.cell_of(p);
-        let id = cell.id(self.dim);
-        let occupants = self
+        let idx = oid.index();
+        let p = self.positions.get_mut(idx)?.take()?;
+        let BackRef { cell_id, slot } = self.backrefs[idx];
+        let bucket = self
             .cells
-            .get_mut(&id)
+            .get_mut(&cell_id)
             .expect("indexed object must have a cell entry");
-        let removed = occupants.remove(&oid);
-        debug_assert!(removed, "cell entry missing object {oid}");
-        if occupants.is_empty() {
-            self.cells.remove(&id);
+        debug_assert_eq!(bucket.get(slot as usize), Some(&oid), "back-pointer desync");
+        bucket.swap_remove(slot as usize);
+        // The previous last element (if any) now sits at `slot`: repoint it.
+        if let Some(&moved) = bucket.get(slot as usize) {
+            self.backrefs[moved.index()].slot = slot;
+        }
+        if bucket.is_empty() {
+            let spare = self.cells.remove(&cell_id).expect("bucket just accessed");
+            if self.bucket_pool.len() < BUCKET_POOL_CAP && spare.capacity() <= POOLED_VEC_CAP {
+                self.bucket_pool.push(spare);
+            }
         }
         self.live -= 1;
-        Some((p, cell))
+        Some((p, self.cell_from_id(cell_id)))
     }
 
     /// Apply a location update `<oid, old, new>`: delete from the old cell,
-    /// insert into the new one (Section 3.2, first step).
+    /// insert into the new one (Section 3.2, first step; `Time_ind = 2`).
     ///
     /// Returns `(old_position, old_cell, new_cell)`.
     ///
@@ -180,19 +252,22 @@ impl Grid {
         (old, old_cell, new_cell)
     }
 
-    /// The objects currently inside cell `c`, if any.
+    /// The objects currently inside cell `c`, as a contiguous slice (empty
+    /// if the cell is unoccupied).
     ///
-    /// A full scan of the returned set is what the experiments count as one
-    /// *cell access* (Section 6, Figure 6.3b).
+    /// A full scan of the returned slice is what the experiments count as
+    /// one *cell access* (Section 6, Figure 6.3b).
     #[inline]
-    pub fn objects_in(&self, c: CellCoord) -> Option<&FastHashSet<ObjectId>> {
-        self.cells.get(&c.id(self.dim))
+    pub fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
+        self.cells
+            .get(&c.id(self.dim))
+            .map_or(&[], |bucket| bucket.as_slice())
     }
 
     /// Number of objects in cell `c`.
     #[inline]
     pub fn cell_len(&self, c: CellCoord) -> usize {
-        self.objects_in(c).map_or(0, |s| s.len())
+        self.objects_in(c).len()
     }
 
     /// Iterate over `(oid, position)` for every live object.
@@ -211,36 +286,62 @@ impl Grid {
             .map(move |&id| CellCoord::new((id % dim) as u32, (id / dim) as u32))
     }
 
-    /// All cells (occupied or not) whose extent intersects `region`,
-    /// in row-major order. Used by the baselines' square/circle scans and by
-    /// the ANN search to seed the heap with the cells covering the MBR `M`.
-    pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
+    /// The inclusive `(lo_col, hi_col, lo_row, hi_row)` cell bounds of the
+    /// cells intersecting `region` (clamped into the grid).
+    #[inline]
+    fn rect_cell_bounds(&self, region: &Rect) -> (u32, u32, u32, u32) {
         let lo_col = (clamp_coord(region.lo.x) / self.delta) as u32;
         let lo_row = (clamp_coord(region.lo.y) / self.delta) as u32;
         let hi_col = ((clamp_coord(region.hi.x)) / self.delta) as u32;
         let hi_row = ((clamp_coord(region.hi.y)) / self.delta) as u32;
-        let hi_col = hi_col.min(self.dim - 1);
-        let hi_row = hi_row.min(self.dim - 1);
-        let mut out =
-            Vec::with_capacity(((hi_col - lo_col + 1) * (hi_row - lo_row + 1)) as usize);
-        for row in lo_row..=hi_row {
-            for col in lo_col..=hi_col {
-                out.push(CellCoord::new(col, row));
-            }
-        }
-        out
+        (
+            lo_col.min(self.dim - 1),
+            hi_col.min(self.dim - 1),
+            lo_row.min(self.dim - 1),
+            hi_row.min(self.dim - 1),
+        )
     }
 
-    /// All cells whose extent intersects the closed disk `(center, radius)`.
-    pub fn cells_intersecting_circle(&self, center: Point, radius: f64) -> Vec<CellCoord> {
+    /// Iterate, in row-major order and without allocating, over all cells
+    /// (occupied or not) whose extent intersects `region`. Used by the
+    /// baselines' square scans (YPK-CNN's `SR` rectangle).
+    pub fn cells_in_rect(&self, region: &Rect) -> impl Iterator<Item = CellCoord> {
+        let (lo_col, hi_col, lo_row, hi_row) = self.rect_cell_bounds(region);
+        (lo_row..=hi_row)
+            .flat_map(move |row| (lo_col..=hi_col).map(move |col| CellCoord::new(col, row)))
+    }
+
+    /// Iterate, without allocating, over all cells whose extent intersects
+    /// the closed disk `(center, radius)`.
+    pub fn cells_in_circle(
+        &self,
+        center: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = CellCoord> + '_ {
         let bbox = Rect::new(
             Point::new(center.x - radius, center.y - radius),
             Point::new(center.x + radius, center.y + radius),
         );
-        let mut cells = self.cells_intersecting_rect(&bbox);
         let r_sq = radius * radius;
-        cells.retain(|&c| self.cell_rect(c).mindist_sq(center) <= r_sq);
-        cells
+        self.cells_in_rect(&bbox)
+            .filter(move |&c| self.cell_rect(c).mindist_sq(center) <= r_sq)
+    }
+
+    /// Collecting wrapper around [`Grid::cells_in_rect`] for callers that
+    /// need an owned list; the hot paths use the iterator directly.
+    pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
+        let (lo_col, hi_col, lo_row, hi_row) = self.rect_cell_bounds(region);
+        // Multiply in usize: on a 4096² grid the product overflows u32.
+        let cap = (hi_col - lo_col + 1) as usize * (hi_row - lo_row + 1) as usize;
+        let mut out = Vec::with_capacity(cap);
+        out.extend(self.cells_in_rect(region));
+        out
+    }
+
+    /// Collecting wrapper around [`Grid::cells_in_circle`], used where the
+    /// cover is stored (SEA-CNN's answer-region cell marks).
+    pub fn cells_intersecting_circle(&self, center: Point, radius: f64) -> Vec<CellCoord> {
+        self.cells_in_circle(center, radius).collect()
     }
 
     /// Occupancy statistics.
@@ -256,6 +357,33 @@ impl Grid {
     /// one number; Section 4.1 charges `s_obj = 3·N` for the object data).
     pub fn space_units(&self) -> usize {
         3 * self.live
+    }
+
+    /// Verify the bucket / back-pointer / position cross-invariants
+    /// (test helper; O(total state)).
+    #[doc(hidden)]
+    pub fn check_integrity(&self) {
+        let mut bucket_total = 0usize;
+        for (&cell_id, bucket) in &self.cells {
+            assert!(!bucket.is_empty(), "empty bucket left in map");
+            bucket_total += bucket.len();
+            for (slot, &oid) in bucket.iter().enumerate() {
+                let p = self.positions[oid.index()]
+                    .unwrap_or_else(|| panic!("bucket holds off-line object {oid}"));
+                let br = self.backrefs[oid.index()];
+                assert_eq!(br.cell_id, cell_id, "back-pointer cell desync for {oid}");
+                assert_eq!(br.slot as usize, slot, "back-pointer slot desync for {oid}");
+                assert_eq!(
+                    self.cell_of(p).id(self.dim),
+                    cell_id,
+                    "object {oid} bucketed in the wrong cell"
+                );
+            }
+        }
+        assert_eq!(bucket_total, self.live, "bucket population != live count");
+        let live_positions = self.positions.iter().flatten().count();
+        assert_eq!(live_positions, self.live, "position table != live count");
+        assert!(self.bucket_pool.iter().all(|b| b.is_empty()));
     }
 }
 
@@ -293,6 +421,7 @@ mod tests {
         assert!(g.is_empty());
         assert!(g.remove(ObjectId(4)).is_none());
         assert_eq!(g.stats().occupied_cells, 0);
+        g.check_integrity();
     }
 
     #[test]
@@ -314,6 +443,32 @@ mod tests {
         assert_eq!(g.cell_len(from), 0);
         assert_eq!(g.cell_len(to), 1);
         assert_eq!(g.len(), 1);
+        g.check_integrity();
+    }
+
+    #[test]
+    fn swap_remove_repoints_the_moved_object() {
+        // Three objects in one cell; removing the first forces the last to
+        // take its slot, which must keep the mover's back-pointer valid.
+        let mut g = grid8();
+        let p = Point::new(0.3, 0.3);
+        let cell = g.insert(ObjectId(0), p);
+        g.insert(ObjectId(1), Point::new(0.31, 0.31));
+        g.insert(ObjectId(2), Point::new(0.32, 0.32));
+        assert_eq!(g.cell_len(cell), 3);
+        g.remove(ObjectId(0)).unwrap();
+        g.check_integrity();
+        // The repointed object must still be removable in O(1).
+        g.remove(ObjectId(2)).unwrap();
+        g.check_integrity();
+        assert_eq!(g.objects_in(cell), &[ObjectId(1)]);
+    }
+
+    #[test]
+    fn objects_in_returns_empty_slice_for_empty_cells() {
+        let g = grid8();
+        assert!(g.objects_in(CellCoord::new(3, 3)).is_empty());
+        assert_eq!(g.cell_len(CellCoord::new(3, 3)), 0);
     }
 
     #[test]
@@ -332,6 +487,17 @@ mod tests {
         assert!(cells.contains(&CellCoord::new(1, 1)));
         assert!(cells.contains(&CellCoord::new(2, 2)));
         assert_eq!(cells.len(), 4);
+        // The iterator sees the identical cells without collecting.
+        let streamed: Vec<CellCoord> = g.cells_in_rect(&r).collect();
+        assert_eq!(streamed, cells);
+    }
+
+    #[test]
+    fn full_workspace_rect_cover_does_not_overflow() {
+        // Regression: the capacity product overflowed u32 on a 4096² grid.
+        let g = Grid::new(4096);
+        let all = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(g.cells_in_rect(&all).count(), 4096 * 4096);
     }
 
     #[test]
@@ -379,28 +545,45 @@ mod tests {
             prop_assert_eq!(g.mindist(c, p), 0.0);
         }
 
+        /// Random insert/move/remove streams against a naive
+        /// `HashMap<id, Point>` model: membership, back-pointers, and
+        /// counts must agree after every step.
         #[test]
         fn moves_preserve_population(
-            moves in proptest::collection::vec(
-                (0u32..20, 0.0..1.0f64, 0.0..1.0f64), 1..200),
+            steps in proptest::collection::vec(
+                (0u32..20, 0.0..1.0f64, 0.0..1.0f64, 0u32..8), 1..200),
         ) {
             let mut g = Grid::new(16);
-            let mut live = std::collections::HashSet::new();
-            for (id, x, y) in moves {
+            let mut model = std::collections::HashMap::new();
+            for (id, x, y, op) in steps {
                 let oid = ObjectId(id);
                 let p = Point::new(x, y);
-                if live.contains(&id) {
+                if op == 0 && model.contains_key(&id) {
+                    // Remove (object goes off-line).
+                    let (old, old_cell) = g.remove(oid).unwrap();
+                    prop_assert_eq!(old, model.remove(&id).unwrap());
+                    prop_assert_eq!(old_cell, g.cell_of(old));
+                    prop_assert_eq!(g.position(oid), None);
+                } else if model.insert(id, p).is_some() {
                     g.update_position(oid, p);
                 } else {
                     g.insert(oid, p);
-                    live.insert(id);
                 }
-                prop_assert_eq!(g.position(oid), Some(p));
+                // The grid agrees with the model after every step.
+                prop_assert_eq!(g.len(), model.len());
+                g.check_integrity();
+                for (&mid, &mp) in &model {
+                    let moid = ObjectId(mid);
+                    prop_assert_eq!(g.position(moid), Some(mp));
+                    prop_assert!(
+                        g.objects_in(g.cell_of(mp)).contains(&moid),
+                        "object {} missing from its cell bucket", mid
+                    );
+                }
             }
-            prop_assert_eq!(g.len(), live.len());
             // Sum of cell populations equals the live count.
             let total: usize = g.occupied_cells().map(|c| g.cell_len(c)).sum();
-            prop_assert_eq!(total, live.len());
+            prop_assert_eq!(total, model.len());
         }
     }
 }

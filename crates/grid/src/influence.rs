@@ -5,13 +5,28 @@
 //! location update touches a cell, only the queries in that cell's influence
 //! list can be affected — this is the mechanism that lets CPM (and SEA-CNN's
 //! answer-region variant) ignore irrelevant updates entirely.
+//!
+//! Like the grid's cell buckets, the lists are dense `Vec<QueryId>`s with
+//! dedup-on-insert rather than hash sets: the table is probed once per
+//! object update per touched cell, and that probe's result is immediately
+//! scanned in full — a contiguous slice is both smaller and faster to walk.
+//! Per-cell lists are short (`n · C_inf / cells` queries on average, see
+//! Section 4.1), so the linear dedup scan on registration is cheap, and
+//! removal swap-removes by value.
 
-use cpm_geom::{FastHashMap, FastHashSet, QueryId};
+use cpm_geom::{FastHashMap, QueryId};
 
 use crate::CellCoord;
 
-/// A sparse table mapping grid cells to the set of queries whose influence
-/// region covers them.
+/// Spare-list pool cap (see `Grid`'s bucket pool for rationale).
+const LIST_POOL_CAP: usize = 4096;
+
+/// Largest per-list capacity worth pooling; oversized spares are dropped
+/// so one pathological cell can't pin memory in the pool.
+const POOLED_LIST_CAP: usize = 256;
+
+/// A sparse table mapping grid cells to the list of queries whose
+/// influence region covers them.
 ///
 /// Kept outside [`crate::Grid`] so that independent monitors (k-NN,
 /// aggregate-NN, constrained-NN, SEA-CNN) can each maintain their own lists
@@ -19,7 +34,10 @@ use crate::CellCoord;
 #[derive(Debug, Default, Clone)]
 pub struct InfluenceTable {
     dim: u32,
-    lists: FastHashMap<u64, FastHashSet<QueryId>>,
+    /// Invariant: every stored list is non-empty and duplicate-free.
+    lists: FastHashMap<u64, Vec<QueryId>>,
+    /// Recycled list allocations (all empty).
+    pool: Vec<Vec<QueryId>>,
 }
 
 impl InfluenceTable {
@@ -28,6 +46,7 @@ impl InfluenceTable {
         Self {
             dim,
             lists: FastHashMap::default(),
+            pool: Vec::new(),
         }
     }
 
@@ -36,36 +55,51 @@ impl InfluenceTable {
     /// re-scans visit-list cells that are already registered).
     #[inline]
     pub fn add(&mut self, cell: CellCoord, q: QueryId) {
-        self.lists.entry(cell.id(self.dim)).or_default().insert(q);
+        let list = self
+            .lists
+            .entry(cell.id(self.dim))
+            .or_insert_with(|| self.pool.pop().unwrap_or_default());
+        if !list.contains(&q) {
+            list.push(q);
+        }
     }
 
     /// Remove query `q` from the influence list of `cell` (no-op if absent).
     #[inline]
     pub fn remove(&mut self, cell: CellCoord, q: QueryId) {
-        if let Some(set) = self.lists.get_mut(&cell.id(self.dim)) {
-            set.remove(&q);
-            if set.is_empty() {
-                self.lists.remove(&cell.id(self.dim));
+        let id = cell.id(self.dim);
+        if let Some(list) = self.lists.get_mut(&id) {
+            if let Some(at) = list.iter().position(|&x| x == q) {
+                list.swap_remove(at);
+                if list.is_empty() {
+                    let spare = self.lists.remove(&id).expect("list just accessed");
+                    if self.pool.len() < LIST_POOL_CAP && spare.capacity() <= POOLED_LIST_CAP {
+                        self.pool.push(spare);
+                    }
+                }
             }
         }
     }
 
-    /// The queries influenced by `cell`, if any.
+    /// The queries influenced by `cell`, as a contiguous slice (empty if
+    /// none are registered).
     #[inline]
-    pub fn queries_at(&self, cell: CellCoord) -> Option<&FastHashSet<QueryId>> {
-        self.lists.get(&cell.id(self.dim))
+    pub fn queries_at(&self, cell: CellCoord) -> &[QueryId] {
+        self.lists
+            .get(&cell.id(self.dim))
+            .map_or(&[], |list| list.as_slice())
     }
 
     /// `true` if `q` is registered at `cell`.
     #[inline]
     pub fn contains(&self, cell: CellCoord, q: QueryId) -> bool {
-        self.queries_at(cell).is_some_and(|s| s.contains(&q))
+        self.queries_at(cell).contains(&q)
     }
 
     /// Total number of `(cell, query)` registrations — `n · C_inf` in the
     /// space analysis of Section 4.1.
     pub fn total_entries(&self) -> usize {
-        self.lists.values().map(|s| s.len()).sum()
+        self.lists.values().map(|list| list.len()).sum()
     }
 
     /// Number of cells with a non-empty influence list.
@@ -77,9 +111,11 @@ impl InfluenceTable {
     /// the caller does not track its influence region — O(cells); the
     /// monitors prefer targeted [`InfluenceTable::remove`] calls).
     pub fn purge_query(&mut self, q: QueryId) {
-        self.lists.retain(|_, set| {
-            set.remove(&q);
-            !set.is_empty()
+        self.lists.retain(|_, list| {
+            if let Some(at) = list.iter().position(|&x| x == q) {
+                list.swap_remove(at);
+            }
+            !list.is_empty()
         });
     }
 }
@@ -95,12 +131,12 @@ mod tests {
         t.add(c, QueryId(1));
         t.add(c, QueryId(2));
         t.add(c, QueryId(1)); // idempotent
-        assert_eq!(t.queries_at(c).unwrap().len(), 2);
+        assert_eq!(t.queries_at(c).len(), 2);
         assert!(t.contains(c, QueryId(1)));
         t.remove(c, QueryId(1));
         assert!(!t.contains(c, QueryId(1)));
         t.remove(c, QueryId(2));
-        assert!(t.queries_at(c).is_none());
+        assert!(t.queries_at(c).is_empty());
         assert_eq!(t.occupied_cells(), 0);
     }
 
@@ -135,5 +171,18 @@ mod tests {
         let mut t = InfluenceTable::new(64);
         t.add(CellCoord::new(2, 5), QueryId(1));
         assert!(!t.contains(CellCoord::new(5, 2), QueryId(1)));
+    }
+
+    #[test]
+    fn recycled_lists_start_empty() {
+        let mut t = InfluenceTable::new(16);
+        let a = CellCoord::new(1, 1);
+        let b = CellCoord::new(2, 2);
+        t.add(a, QueryId(1));
+        t.remove(a, QueryId(1)); // list returns to the pool
+        t.add(b, QueryId(2)); // reuses the pooled allocation
+        assert_eq!(t.queries_at(b), &[QueryId(2)]);
+        assert!(t.queries_at(a).is_empty());
+        assert_eq!(t.total_entries(), 1);
     }
 }

@@ -8,10 +8,13 @@
 //!
 //! The same grid instance is shared by CPM and by the YPK-CNN / SEA-CNN
 //! baselines — all three assume exactly this index (the paper compares the
-//! algorithms, not the indexes). Cell object lists are hash sets (O(1)
-//! insert/delete per location update, as the cost model of Section 4.1
-//! assumes); object positions are stored once in a central slot table so an
-//! object costs the `s_obj = 3` memory units of the space analysis.
+//! algorithms, not the indexes). Cell object lists are **dense buckets**
+//! (contiguous `Vec<ObjectId>`s with O(1) swap-remove deletion through a
+//! per-object back-pointer table — see [`Grid`] for the layout), which
+//! keeps the `Time_ind = 2` update cost of the Section 4.1 model while
+//! making every cell scan a linear sweep over contiguous memory; object
+//! positions are stored once in a central slot table so an object costs
+//! the `s_obj = 3` memory units of the space analysis.
 //!
 //! Query-side book-keeping (the per-cell *influence lists*) lives in
 //! [`InfluenceTable`], kept separate from the grid so that several monitors

@@ -1,0 +1,310 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access; this crate supplies the
+//! subset of the criterion 0.5 API the bench targets use (groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `criterion_group!` / `criterion_main!`) with a simple wall-clock
+//! measurement loop: a short warm-up, then `sample_size` timed samples,
+//! reporting mean / min / max nanoseconds per iteration to stdout. There
+//! is no statistical analysis, outlier rejection, or HTML report — for
+//! rigorous numbers this suite records JSON via its own bench binaries
+//! (see `cpm-bench`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this shim; each
+/// iteration runs its own setup, excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Accumulated measured time across timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Iterations to run when invoked (set by the harness).
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target_iters {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            black_box(out);
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            black_box(out);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+fn run_benchmark(id: &str, settings: Settings, mut target: impl FnMut(&mut Bencher)) {
+    // Warm-up: single iterations until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < settings.warm_up_time && warm_iters < 1_000 {
+        let mut b = Bencher {
+            target_iters: 1,
+            ..Bencher::default()
+        };
+        target(&mut b);
+        if b.iters == 0 {
+            // The closure never called iter(); nothing to measure.
+            println!("bench {id:<50} (no measurement)");
+            return;
+        }
+        warm_iters += b.iters;
+    }
+    // Budget on *wall clock* per iteration (including `iter_batched` setup
+    // cost, which the measured time deliberately excludes) so the whole
+    // benchmark fits the measurement_time budget.
+    let per_iter_wall = warm_start
+        .elapsed()
+        .checked_div(warm_iters.max(1) as u32)
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+    let budget_iters =
+        (settings.measurement_time.as_nanos() / per_iter_wall.as_nanos().max(1)).max(1) as u64;
+    let iters_per_sample = (budget_iters / settings.sample_size as u64).max(1);
+
+    let mut samples_ns = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            target_iters: iters_per_sample,
+            ..Bencher::default()
+        };
+        target(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+    }
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "bench {id:<50} mean {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} samples x {} iters)",
+        mean,
+        min,
+        max,
+        samples_ns.len(),
+        iters_per_sample
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Run a benchmark with no parameter.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Start a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        run_benchmark(&id.to_string(), self.settings, |b| f(b));
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group (API-compatible with
+/// criterion's macro; configuration arguments are not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` cargo passes `--test`; a smoke
+            // run is the right behavior for this shim either way.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher {
+            target_iters: 4,
+            ..Bencher::default()
+        };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(b.iters, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

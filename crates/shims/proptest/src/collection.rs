@@ -1,0 +1,58 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` of values from `element`, with a length drawn uniformly from
+/// `size` (half-open, like real proptest's `Range` size bound).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn length_and_elements_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = vec(0u32..10, 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let strat = vec(vec((0.0..1.0f64, 0u32..3), 0..4), 1..5);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 5);
+        for inner in v {
+            assert!(inner.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The sampling test runner.
+
+use std::fmt;
+
+use rand::SeedableRng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// RNG seed; every run of a given binary samples the same cases.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: 0x5EED_CA5E,
+        }
+    }
+}
+
+/// A failed test case (returned by the `prop_assert*` macros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A failed property (a [`TestCaseError`] plus which case tripped it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestError {
+    /// Index of the failing case (0-based).
+    pub case: u32,
+    /// The case failure.
+    pub error: TestCaseError,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property failed at case {}/{}: {}",
+            self.case, self.case, self.error
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Samples a strategy `config.cases` times against a test closure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}
+
+impl TestRunner {
+    /// Build a runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self {
+            config,
+            rng: TestRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Run `test` against `config.cases` generated inputs. Stops at the
+    /// first failure (no shrinking).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            if let Err(error) = test(value) {
+                return Err(TestError { case, error });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_first_failure() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 100,
+            ..ProptestConfig::default()
+        });
+        let mut seen = 0u32;
+        let result = runner.run(&(0u32..1000), |_| {
+            seen += 1;
+            if seen == 5 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+        let err = result.unwrap_err();
+        assert_eq!(err.case, 4);
+        assert_eq!(seen, 5);
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn run_passes_all_cases() {
+        let mut runner = TestRunner::default();
+        let mut count = 0u32;
+        runner
+            .run(&(0.0..1.0f64), |v| {
+                count += 1;
+                assert!((0.0..1.0).contains(&v));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(count, ProptestConfig::default().cases);
+    }
+}

@@ -7,8 +7,10 @@
 //! paths etc.) is thus paid once per experiment point and never pollutes
 //! the timed sections.
 
+use cpm_gen::{
+    NetworkWorkload, RoadNetwork, SkewConfig, SkewedWorkload, TickEvents, UniformWorkload,
+};
 use cpm_geom::{ObjectId, Point, QueryId};
-use cpm_gen::{NetworkWorkload, RoadNetwork, SkewConfig, SkewedWorkload, TickEvents, UniformWorkload};
 
 use crate::params::{SimParams, WorkloadKind};
 

@@ -86,5 +86,10 @@ fn report(step: usize, monitors: &[(AggregateFn, CpmAnnMonitor); 3], qid: QueryI
         let n = &m.result(qid).unwrap()[0];
         format!("cafe {:>3} ({:.3})", n.id.0, n.dist)
     };
-    println!("{step:>4} | {:>24} | {:>28} | {}", cell(0), cell(1), cell(2));
+    println!(
+        "{step:>4} | {:>24} | {:>28} | {}",
+        cell(0),
+        cell(1),
+        cell(2)
+    );
 }

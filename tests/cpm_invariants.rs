@@ -134,8 +134,7 @@ fn influence_region_is_exactly_the_circle_cover() {
             let st = m.query_state(QueryId(qi)).unwrap();
             let bd = st.best_dist();
             assert!(bd.is_finite());
-            let registered: std::collections::HashSet<_> = st.visit_list
-                [..st.influence_len]
+            let registered: std::collections::HashSet<_> = st.visit_list[..st.influence_len]
                 .iter()
                 .map(|&(c, _)| c)
                 .collect();

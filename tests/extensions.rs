@@ -161,7 +161,12 @@ fn ann_query_set_updates_stay_correct() {
             .collect();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         expect.truncate(2);
-        let got: Vec<f64> = monitor.result(qid).unwrap().iter().map(|n| n.dist).collect();
+        let got: Vec<f64> = monitor
+            .result(qid)
+            .unwrap()
+            .iter()
+            .map(|n| n.dist)
+            .collect();
         for (g, e) in got.iter().zip(&expect) {
             assert!((g - e).abs() < 1e-9);
         }

@@ -31,13 +31,12 @@ fn assert_all_match(
     }
 }
 
-fn harness(objects: &[(ObjectId, Point)], queries: &[(QueryId, Point, usize)])
-    -> (Vec<Box<dyn KnnMonitorAlgo>>, OracleMonitor, Vec<QueryId>)
-{
-    let mut monitors: Vec<Box<dyn KnnMonitorAlgo>> = AlgoKind::CONTENDERS
-        .iter()
-        .map(|&a| a.build(32))
-        .collect();
+fn harness(
+    objects: &[(ObjectId, Point)],
+    queries: &[(QueryId, Point, usize)],
+) -> (Vec<Box<dyn KnnMonitorAlgo>>, OracleMonitor, Vec<QueryId>) {
+    let mut monitors: Vec<Box<dyn KnnMonitorAlgo>> =
+        AlgoKind::CONTENDERS.iter().map(|&a| a.build(32)).collect();
     let mut oracle = OracleMonitor::new();
     for m in monitors.iter_mut() {
         m.populate(objects);
@@ -172,8 +171,8 @@ fn queries_on_corners_edges_and_cell_boundaries() {
         Point::new(0.999999, 0.999999),
         Point::new(0.0, 0.999999),
         Point::new(0.5, 0.0),
-        Point::new(0.25, 0.25),       // exact cell corner (8/32, 8/32)
-        Point::new(0.5, 0.71875),     // exact cell edge x
+        Point::new(0.25, 0.25),   // exact cell corner (8/32, 8/32)
+        Point::new(0.5, 0.71875), // exact cell edge x
     ];
     let queries: Vec<(QueryId, Point, usize)> = spots
         .iter()

@@ -113,7 +113,8 @@ fn static_queries_resolve_mostly_without_search_fig_6_6b() {
     // No from-scratch computations beyond the initial installs (counted
     // before process_cycle, so zero inside the run's cycles).
     assert_eq!(
-        cpm.metrics.computations, input.initial_queries.len() as u64,
+        cpm.metrics.computations,
+        input.initial_queries.len() as u64,
         "static queries must never be recomputed from scratch"
     );
 }
@@ -133,7 +134,10 @@ fn ypk_reevaluates_everything_even_when_idle() {
 
     // CPM and SEA-CNN are event-driven: after the initial evaluations,
     // an idle stream costs them nothing.
-    assert_eq!(cpm.metrics.computations as usize, input.initial_queries.len());
+    assert_eq!(
+        cpm.metrics.computations as usize,
+        input.initial_queries.len()
+    );
     assert_eq!(cpm.metrics.recomputations, 0);
     assert_eq!(cpm.metrics.merge_resolutions, 0);
     assert_eq!(sea.metrics.recomputations, 0);

@@ -45,7 +45,10 @@ fn incomer_within_best_dist_fig_4_3a() {
     assert_eq!(cpm.metrics().cell_accesses, 0, "CPM must not search");
     assert_eq!(cpm.metrics().merge_resolutions, 1);
     // SEA-CNN scans the answer region for the same conclusion.
-    assert!(sea.metrics().cell_accesses > 0, "SEA-CNN rescans the region");
+    assert!(
+        sea.metrics().cell_accesses > 0,
+        "SEA-CNN rescans the region"
+    );
 }
 
 /// Figure 4.2b / 2.2a: the current NN moves away. CPM resumes its visit
