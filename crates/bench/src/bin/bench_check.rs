@@ -1,0 +1,92 @@
+//! The CI benchmark-regression gate, reproducible locally:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_check
+//! ```
+//!
+//! Re-runs the grid-storage and shard-scaling micro-benchmarks at reduced
+//! scale and compares them against the checked-in `BENCH_grid.json` /
+//! `BENCH_shards.json` baselines (see [`cpm_bench::check`] for exactly
+//! what each gate enforces). Exits non-zero on any regression.
+//!
+//! The tolerance (default +25%) can be widened for noisy hosts via the
+//! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
+
+use cpm_bench::check::{
+    check_grid, check_shards, parse_grid_baseline, parse_shards_baseline, GateReport,
+    DEFAULT_TOLERANCE,
+};
+use cpm_bench::{grid_storage, shards};
+
+fn main() {
+    let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| *t >= 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    println!("bench_check: tolerance +{:.0}%\n", tolerance * 100.0);
+    let mut failed = false;
+
+    // Gate 1: grid-storage ns-per-op vs BENCH_grid.json.
+    let grid_baseline_path = format!("{root}/BENCH_grid.json");
+    match std::fs::read_to_string(&grid_baseline_path) {
+        Ok(json) => {
+            let baseline = parse_grid_baseline(&json);
+            assert!(
+                !baseline.is_empty(),
+                "no dense-bucket entries in {grid_baseline_path}"
+            );
+            let cfg = grid_storage::GridStorageConfig::reduced();
+            println!(
+                "## grid storage (reduced: N={}, dims {:?})",
+                cfg.n_objects, cfg.dims
+            );
+            let measured = grid_storage::run(&cfg);
+            failed |= print_report(check_grid(&baseline, &measured, tolerance));
+        }
+        Err(e) => {
+            eprintln!("cannot read {grid_baseline_path}: {e}");
+            failed = true;
+        }
+    }
+
+    // Gate 2: shard scaling property vs the host's parallelism, plus the
+    // checked-in scaling curve when the baseline host could scale too.
+    let cfg = shards::ShardBenchConfig::reduced();
+    let threads = shards::available_threads();
+    let shards_baseline = std::fs::read_to_string(format!("{root}/BENCH_shards.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_shards_baseline);
+    println!(
+        "\n## shard scaling (reduced: N={}, n={}, shards {:?}, host threads {})",
+        cfg.n_objects, cfg.n_queries, cfg.shard_counts, threads
+    );
+    let measured = shards::run(&cfg);
+    for m in &measured {
+        println!(
+            "   shards {:>2}: {:>8.3} ms/cycle   speedup {:>5.2}x",
+            m.shards, m.ms_per_cycle, m.speedup
+        );
+    }
+    failed |= print_report(check_shards(&measured, threads, shards_baseline, tolerance));
+
+    if failed {
+        eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");
+        std::process::exit(1);
+    }
+    println!("\nbench_check passed");
+}
+
+/// Print a gate's comparisons; returns `true` if it failed.
+fn print_report(report: GateReport) -> bool {
+    for line in &report.lines {
+        println!("   {line}");
+    }
+    for failure in &report.failures {
+        eprintln!("   FAIL: {failure}");
+    }
+    !report.passed()
+}

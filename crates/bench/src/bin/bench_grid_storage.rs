@@ -1,245 +1,32 @@
-//! Micro-benchmark: dense slot-based cell buckets (the `cpm_grid::Grid`
-//! storage layer) vs the seed's hash-set-per-cell layout.
-//!
-//! Measures the two hot paths of the Section 4.1 cost model on uniform
-//! data at the paper's default scale (100K objects, 10% of objects moving
-//! per cycle at medium speed), across grid granularities 64² / 256² /
-//! 1024²:
-//!
-//! * **update throughput** — `Time_ind = 2` location updates (delete from
-//!   the old cell, insert into the new one);
-//! * **scan throughput** — cell accesses (full scans of cell object
-//!   lists), the unit Figure 6.3b counts, over the 5×5 neighborhoods of
-//!   random query points.
+//! Grid-storage micro-benchmark front end (see [`cpm_bench::grid_storage`]
+//! for the workload): dense slot-based cell buckets vs the seed's
+//! hash-set-per-cell layout, at the paper's default 100K-object scale.
 //!
 //! Run with `cargo run --release -p cpm-bench --bin bench_grid_storage`.
-//! Results are printed and appended-to/overwritten in `BENCH_grid.json` at
-//! the workspace root so later PRs have a perf trajectory.
+//! Results are printed and overwrite `BENCH_grid.json` at the workspace
+//! root so later PRs have a perf trajectory (and the `bench_check` CI gate
+//! has a baseline).
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use cpm_geom::{clamp_coord, FastHashMap, FastHashSet, ObjectId, Point};
-use cpm_grid::{CellCoord, Grid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const N_OBJECTS: usize = 100_000;
-const MOVE_FRACTION: f64 = 0.10;
-const CYCLES: usize = 20;
-const QUERIES: usize = 2_000;
-/// Cells per axis of the scanned block around each query point (5×5 — the
-/// typical influence-region footprint at the paper's default k and δ).
-const SCAN_HALF: i64 = 2;
-const DIMS: [u32; 3] = [64, 256, 1024];
-
-/// The seed's storage layout, kept verbatim for comparison: one
-/// `FastHashSet<ObjectId>` per occupied cell, updates via hashed
-/// remove/insert of the object id.
-struct HashSetGrid {
-    dim: u32,
-    delta: f64,
-    cells: FastHashMap<u64, FastHashSet<ObjectId>>,
-    positions: Vec<Option<Point>>,
-}
-
-impl HashSetGrid {
-    fn new(dim: u32) -> Self {
-        Self {
-            dim,
-            delta: 1.0 / dim as f64,
-            cells: FastHashMap::default(),
-            positions: Vec::new(),
-        }
-    }
-
-    #[inline]
-    fn cell_of(&self, p: Point) -> CellCoord {
-        let col = (clamp_coord(p.x) / self.delta) as u32;
-        let row = (clamp_coord(p.y) / self.delta) as u32;
-        CellCoord::new(col.min(self.dim - 1), row.min(self.dim - 1))
-    }
-
-    fn insert(&mut self, oid: ObjectId, p: Point) {
-        let idx = oid.index();
-        if idx >= self.positions.len() {
-            self.positions.resize(idx + 1, None);
-        }
-        let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
-        self.positions[idx] = Some(p);
-        let cell = self.cell_of(p);
-        self.cells.entry(cell.id(self.dim)).or_default().insert(oid);
-    }
-
-    fn update_position(&mut self, oid: ObjectId, new: Point) {
-        let old = self.positions[oid.index()].take().expect("live object");
-        let id = self.cell_of(old).id(self.dim);
-        let occupants = self.cells.get_mut(&id).expect("cell entry");
-        occupants.remove(&oid);
-        if occupants.is_empty() {
-            self.cells.remove(&id);
-        }
-        self.insert(oid, new);
-    }
-
-    #[inline]
-    fn objects_in(&self, c: CellCoord) -> Option<&FastHashSet<ObjectId>> {
-        self.cells.get(&c.id(self.dim))
-    }
-}
-
-/// One pre-generated experiment input, identical for both layouts.
-struct Workload {
-    initial: Vec<(ObjectId, Point)>,
-    /// Per cycle: `(oid, new_position)` moves.
-    cycles: Vec<Vec<(ObjectId, Point)>>,
-    queries: Vec<Point>,
-}
-
-fn build_workload(seed: u64) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let initial: Vec<(ObjectId, Point)> = (0..N_OBJECTS as u32)
-        .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
-        .collect();
-    let mut positions: Vec<Point> = initial.iter().map(|&(_, p)| p).collect();
-    let step = 0.04; // medium speed class: 5 * 2.0 / 250
-    let movers = (N_OBJECTS as f64 * MOVE_FRACTION) as usize;
-    let cycles = (0..CYCLES)
-        .map(|_| {
-            (0..movers)
-                .map(|_| {
-                    let i = rng.gen_range(0..N_OBJECTS);
-                    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
-                    let p = positions[i];
-                    let to = Point::new(
-                        clamp_coord(p.x + step * angle.cos()),
-                        clamp_coord(p.y + step * angle.sin()),
-                    );
-                    positions[i] = to;
-                    (ObjectId(i as u32), to)
-                })
-                .collect()
-        })
-        .collect();
-    let queries = (0..QUERIES)
-        .map(|_| Point::new(rng.gen(), rng.gen()))
-        .collect();
-    Workload {
-        initial,
-        cycles,
-        queries,
-    }
-}
-
-/// Cells of the (clipped) `(2·SCAN_HALF+1)²` block around `center`.
-fn scan_block(center: CellCoord, dim: u32) -> impl Iterator<Item = CellCoord> {
-    (-SCAN_HALF..=SCAN_HALF).flat_map(move |dr| {
-        (-SCAN_HALF..=SCAN_HALF).filter_map(move |dc| center.offset(dc, dr, dim))
-    })
-}
-
-struct Measurement {
-    layout: &'static str,
-    dim: u32,
-    update_ns: f64,
-    scan_ns_per_obj: f64,
-    objects_scanned: u64,
-    checksum: u64,
-}
-
-fn bench_dense(dim: u32, w: &Workload) -> Measurement {
-    let mut g = Grid::new(dim);
-    for &(oid, p) in &w.initial {
-        g.insert(oid, p);
-    }
-    let start = Instant::now();
-    for cycle in &w.cycles {
-        for &(oid, to) in cycle {
-            g.update_position(oid, to);
-        }
-    }
-    let update_ns = start.elapsed().as_nanos() as f64 / (CYCLES as f64 * w.cycles[0].len() as f64);
-
-    let mut checksum = 0u64;
-    let mut objects_scanned = 0u64;
-    let start = Instant::now();
-    for &q in &w.queries {
-        for cell in scan_block(g.cell_of(q), dim) {
-            for &oid in g.objects_in(cell) {
-                checksum ^= oid.0 as u64;
-                objects_scanned += 1;
-            }
-        }
-    }
-    let scan_elapsed = start.elapsed();
-    Measurement {
-        layout: "dense-buckets",
-        dim,
-        update_ns,
-        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
-        objects_scanned,
-        checksum,
-    }
-}
-
-fn bench_hashset(dim: u32, w: &Workload) -> Measurement {
-    let mut g = HashSetGrid::new(dim);
-    for &(oid, p) in &w.initial {
-        g.insert(oid, p);
-    }
-    let start = Instant::now();
-    for cycle in &w.cycles {
-        for &(oid, to) in cycle {
-            g.update_position(oid, to);
-        }
-    }
-    let update_ns = start.elapsed().as_nanos() as f64 / (CYCLES as f64 * w.cycles[0].len() as f64);
-
-    let mut checksum = 0u64;
-    let mut objects_scanned = 0u64;
-    let start = Instant::now();
-    for &q in &w.queries {
-        for cell in scan_block(g.cell_of(q), dim) {
-            if let Some(objects) = g.objects_in(cell) {
-                for &oid in objects {
-                    checksum ^= oid.0 as u64;
-                    objects_scanned += 1;
-                }
-            }
-        }
-    }
-    let scan_elapsed = start.elapsed();
-    Measurement {
-        layout: "hash-sets",
-        dim,
-        update_ns,
-        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
-        objects_scanned,
-        checksum,
-    }
-}
+use cpm_bench::grid_storage::{render_json, run, GridStorageConfig};
 
 fn main() {
+    let cfg = GridStorageConfig::default();
     println!(
-        "grid storage micro-benchmark: N={N_OBJECTS}, {:.0}% movers x {CYCLES} cycles, \
-         {QUERIES} queries x {}x{} cell scans",
-        MOVE_FRACTION * 100.0,
-        2 * SCAN_HALF + 1,
-        2 * SCAN_HALF + 1,
+        "grid storage micro-benchmark: N={}, {:.0}% movers x {} cycles, \
+         {} queries x {}x{} cell scans",
+        cfg.n_objects,
+        cfg.move_fraction * 100.0,
+        cfg.cycles,
+        cfg.queries,
+        2 * cfg.scan_half + 1,
+        2 * cfg.scan_half + 1,
     );
-    let w = build_workload(2005);
-    let mut results = Vec::new();
-    for dim in DIMS {
-        let dense = bench_dense(dim, &w);
-        let hash = bench_hashset(dim, &w);
-        assert_eq!(
-            dense.checksum, hash.checksum,
-            "layouts scanned different object sets at dim {dim}"
-        );
-        assert_eq!(dense.objects_scanned, hash.objects_scanned);
+    let results = run(&cfg);
+    for (dense, hash) in &results {
         println!(
-            "dim {dim:>4}: update {:>7.1} ns vs {:>7.1} ns ({:>4.2}x)   \
+            "dim {:>4}: update {:>7.1} ns vs {:>7.1} ns ({:>4.2}x)   \
              scan {:>6.2} ns/obj vs {:>6.2} ns/obj ({:>4.2}x)   [{} objs scanned]",
+            dense.dim,
             dense.update_ns,
             hash.update_ns,
             hash.update_ns / dense.update_ns,
@@ -248,43 +35,9 @@ fn main() {
             hash.scan_ns_per_obj / dense.scan_ns_per_obj,
             dense.objects_scanned,
         );
-        results.push((dense, hash));
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"bench_grid_storage\",\n");
-    let _ = writeln!(
-        json,
-        "  \"config\": {{\"n_objects\": {N_OBJECTS}, \"move_fraction\": {MOVE_FRACTION}, \
-         \"cycles\": {CYCLES}, \"queries\": {QUERIES}, \"scan_block\": {}}},",
-        2 * SCAN_HALF + 1
-    );
-    json.push_str("  \"results\": [\n");
-    for (i, (dense, hash)) in results.iter().enumerate() {
-        for m in [dense, hash] {
-            let _ = write!(
-                json,
-                "    {{\"dim\": {}, \"layout\": \"{}\", \"update_ns_per_op\": {:.1}, \
-                 \"scan_ns_per_object\": {:.3}, \"objects_scanned\": {}}}",
-                m.dim, m.layout, m.update_ns, m.scan_ns_per_obj, m.objects_scanned
-            );
-            let last = i + 1 == results.len() && m.layout == hash.layout;
-            json.push_str(if last { "\n" } else { ",\n" });
-        }
-    }
-    json.push_str("  ],\n  \"speedup_dense_over_hashset\": [\n");
-    for (i, (dense, hash)) in results.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"dim\": {}, \"update\": {:.2}, \"scan\": {:.2}}}",
-            dense.dim,
-            hash.update_ns / dense.update_ns,
-            hash.scan_ns_per_obj / dense.scan_ns_per_obj
-        );
-        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
-    }
-    json.push_str("  ]\n}\n");
-
+    let json = render_json(&cfg, &results);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grid.json");
     std::fs::write(path, &json).expect("write BENCH_grid.json");
     println!("wrote {path}");

@@ -1,0 +1,93 @@
+//! Shard-scaling benchmark front end (see [`cpm_bench::shards`] for the
+//! workload): sharded parallel engine vs sequential at the paper's default
+//! scale (100K objects, 5K queries, k = 16, 10% movers, 128² grid).
+//!
+//! ```text
+//! bench_shards [--shards LIST] [--scale X]
+//!
+//! --shards LIST  comma-separated shard counts (default 1,2,4,8; the
+//!                first entry is the speedup baseline)
+//! --scale X      multiply N and n by X in (0, 1] (full scale by default;
+//!                the recorded BENCH_shards.json baseline is full scale)
+//! ```
+//!
+//! Results are printed and overwrite `BENCH_shards.json` at the workspace
+//! root, including the host's thread count — scaling curves are
+//! meaningless without it.
+
+use cpm_bench::shards::{available_threads, render_json, run, ShardBenchConfig};
+
+fn main() {
+    let mut cfg = ShardBenchConfig::default();
+    let mut write_json = true;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => {
+                let list = it.next().unwrap_or_else(|| die("--shards needs a value"));
+                cfg.shard_counts = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| die("--shards needs positive integers"))
+                    })
+                    .collect();
+            }
+            "--scale" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--scale needs a value"))
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .unwrap_or_else(|| die("--scale needs a float in (0, 1]"));
+                cfg.n_objects = ((cfg.n_objects as f64 * v) as usize).max(100);
+                cfg.n_queries = ((cfg.n_queries as f64 * v) as usize).max(10);
+                // Off-baseline scales must not overwrite the recorded curve.
+                write_json = v == 1.0;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_shards [--shards LIST] [--scale X]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    println!(
+        "shard scaling benchmark: N={}, n={}, k={}, {:.0}% movers x {} cycles, \
+         grid {}², host threads: {}",
+        cfg.n_objects,
+        cfg.n_queries,
+        cfg.k,
+        cfg.move_fraction * 100.0,
+        cfg.cycles,
+        cfg.grid_dim,
+        available_threads(),
+    );
+    let results = run(&cfg);
+    for m in &results {
+        println!(
+            "shards {:>2}: {:>9.3} ms/cycle   speedup {:>5.2}x   worst cycle {:>9.3} ms",
+            m.shards, m.ms_per_cycle, m.speedup, m.max_cycle_ms
+        );
+    }
+
+    if write_json {
+        let json = render_json(&cfg, &results);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
+        std::fs::write(path, &json).expect("write BENCH_shards.json");
+        println!("wrote {path}");
+    } else {
+        println!("(reduced scale: BENCH_shards.json left untouched)");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

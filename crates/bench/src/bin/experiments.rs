@@ -1,19 +1,21 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <name>... [--scale X] [--paper]
+//! experiments <name>... [--scale X] [--paper] [--shards LIST]
 //!
 //! names:
 //!   table2_1 table6_1
 //!   fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b fig6_5a fig6_5b
 //!   fig6_6a fig6_6b
-//!   space analysis ablation ann constrained
+//!   space analysis ablation ann constrained shards
 //!   all          (everything above)
 //!
 //! options:
-//!   --scale X    scale factor in (0, 1] applied to N, n and timestamps
-//!                (default 0.1)
-//!   --paper      shorthand for --scale 1.0 (full Table 6.1 scale; slow)
+//!   --scale X     scale factor in (0, 1] applied to N, n and timestamps
+//!                 (default 0.1)
+//!   --paper       shorthand for --scale 1.0 (full Table 6.1 scale; slow)
+//!   --shards LIST comma-separated shard counts for the `shards`
+//!                 experiment (default 1,2,4,8)
 //! ```
 
 use cpm_bench::{figures, DEFAULT_SCALE};
@@ -21,6 +23,7 @@ use cpm_bench::{figures, DEFAULT_SCALE};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = DEFAULT_SCALE;
+    let mut shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -36,6 +39,19 @@ fn main() {
                     die("--scale out of (0, 1]");
                 }
                 scale = v;
+            }
+            "--shards" => {
+                let list = it.next().unwrap_or_else(|| die("--shards needs a value"));
+                shards = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| die("--shards needs positive integers, e.g. 1,2,4"))
+                    })
+                    .collect();
             }
             "--help" | "-h" => {
                 print_help();
@@ -68,6 +84,7 @@ fn main() {
             "ann",
             "constrained",
             "skew",
+            "shards",
             "rnn",
         ]
         .into_iter()
@@ -77,11 +94,11 @@ fn main() {
 
     println!("# CPM reproduction experiments (scale {scale})\n");
     for name in &names {
-        run_experiment(name, scale);
+        run_experiment(name, scale, &shards);
     }
 }
 
-fn run_experiment(name: &str, scale: f64) {
+fn run_experiment(name: &str, scale: f64, shards: &[usize]) {
     let start = std::time::Instant::now();
     match name {
         "table2_1" => print_table_2_1(),
@@ -109,6 +126,7 @@ fn run_experiment(name: &str, scale: f64) {
         }
         "constrained" => figures::constrained(scale).print(),
         "skew" => figures::skew(scale).print(),
+        "shards" => figures::shards(scale, shards).print(),
         "rnn" => figures::rnn(scale).print(),
         other => eprintln!("unknown experiment: {other} (see --help)"),
     }
@@ -164,10 +182,12 @@ fn print_table_6_1(scale: f64) {
 
 fn print_help() {
     println!(
-        "usage: experiments <name>... [--scale X | --paper]\n\
+        "usage: experiments <name>... [--scale X | --paper] [--shards LIST]\n\
          names: table2_1 table6_1 fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b\n\
          \u{20}      fig6_5a fig6_5b fig6_6a fig6_6b space analysis ablation ann\n\
-         \u{20}      constrained skew rnn all"
+         \u{20}      constrained skew shards rnn all\n\
+         --shards LIST  comma-separated shard counts for the `shards`\n\
+         \u{20}              experiment (default 1,2,4,8)"
     );
 }
 

@@ -1,0 +1,406 @@
+//! The benchmark-regression gate: compare a reduced-scale re-run of the
+//! micro-benchmarks against the checked-in `BENCH_*.json` baselines.
+//!
+//! Two checks, mirroring what each baseline actually pins down:
+//!
+//! * **Grid storage** (`BENCH_grid.json`): update and scan **ns-per-op**
+//!   must stay within `tolerance` (default +25%,
+//!   `BENCH_CHECK_TOLERANCE`) of the recorded dense-bucket numbers.
+//!   Absolute ns are machine-sensitive — a slower host than the one that
+//!   recorded the baseline needs a wider tolerance — so the gate *also*
+//!   compares against the in-run hash-set layout as a machine-independent
+//!   control: the dense layout falling behind its own control is a true
+//!   regression on any host.
+//! * **Shard scaling** (`BENCH_shards.json`): wall-clock per cycle is
+//!   *not* scale-invariant, so the gate enforces the scaling property
+//!   itself. On hosts with ≥ 4 threads, 4 shards must deliver ≥ 1.5×
+//!   sequential cycle throughput (a hard bar, not tolerance-scaled), and
+//!   if the checked-in baseline was recorded on a ≥ 4-thread host the
+//!   measured speedup must additionally stay within `tolerance` of the
+//!   baseline curve. On smaller hosts (where no speedup is physically
+//!   possible) the sharded path must merely not collapse (≥ 0.5×, i.e.
+//!   bounded coordination overhead).
+//!
+//! The comparator is deliberately reproducible locally:
+//! `cargo run --release -p cpm-bench --bin bench_check`.
+//!
+//! The baselines are our own generated files, so parsing is a minimal
+//! line-oriented field scanner rather than a JSON dependency (the build
+//! environment is offline; see the workspace manifest).
+
+use crate::grid_storage::Measurement;
+use crate::shards::ShardMeasurement;
+
+/// Default headroom before a regression fails the gate (+25%).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Fixed headroom for the in-run hash-set control comparisons (+10%).
+/// Same-process, same-host measurements need only a small noise margin;
+/// `BENCH_CHECK_TOLERANCE` intentionally does not widen this check.
+pub const CONTROL_HEADROOM: f64 = 0.10;
+
+/// Outcome of one gate: human-readable comparison lines plus hard
+/// failures.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// One line per comparison made (printed by `bench_check`).
+    pub lines: Vec<String>,
+    /// Failed comparisons; non-empty fails the gate.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` if every comparison passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn compare(&mut self, what: &str, measured: f64, limit: f64, baseline: f64) {
+        let verdict = if measured <= limit { "ok" } else { "REGRESSED" };
+        self.lines.push(format!(
+            "{what}: measured {measured:.2} vs baseline {baseline:.2} (limit {limit:.2}) … {verdict}"
+        ));
+        if measured > limit {
+            self.failures.push(format!(
+                "{what} regressed: {measured:.2} > {limit:.2} (baseline {baseline:.2})"
+            ));
+        }
+    }
+
+    fn compare_at_least(&mut self, what: &str, measured: f64, minimum: f64) {
+        let verdict = if measured >= minimum {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        self.lines.push(format!(
+            "{what}: measured {measured:.2}, required >= {minimum:.2} … {verdict}"
+        ));
+        if measured < minimum {
+            self.failures
+                .push(format!("{what} too low: {measured:.2} < {minimum:.2}"));
+        }
+    }
+}
+
+/// One dense-bucket baseline entry from `BENCH_grid.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridBaseline {
+    /// Grid granularity per axis.
+    pub dim: u32,
+    /// Recorded nanoseconds per location update.
+    pub update_ns: f64,
+    /// Recorded nanoseconds per scanned object.
+    pub scan_ns: f64,
+}
+
+/// Extract the numeric value following `"key":` in a one-line JSON object.
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `true` if the one-line JSON object has `"key": "value"`.
+fn field_is(obj: &str, key: &str, value: &str) -> bool {
+    obj.contains(&format!("\"{key}\": \"{value}\""))
+}
+
+/// Parse the dense-bucket entries of a `BENCH_grid.json` document.
+pub fn parse_grid_baseline(json: &str) -> Vec<GridBaseline> {
+    json.lines()
+        .filter(|line| field_is(line, "layout", "dense-buckets"))
+        .filter_map(|line| {
+            Some(GridBaseline {
+                dim: field_f64(line, "dim")? as u32,
+                update_ns: field_f64(line, "update_ns_per_op")?,
+                scan_ns: field_f64(line, "scan_ns_per_object")?,
+            })
+        })
+        .collect()
+}
+
+/// The host thread count recorded in a `BENCH_shards.json` document.
+pub fn parse_shards_threads(json: &str) -> Option<usize> {
+    json.lines()
+        .find(|line| line.contains("threads_available"))
+        .and_then(|line| field_f64(line, "threads_available"))
+        .map(|t| t as usize)
+}
+
+/// The scaling context a `BENCH_shards.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardsBaseline {
+    /// Threads available on the recording host.
+    pub threads: usize,
+    /// Recorded 4-shard speedup, if the sweep measured 4 shards.
+    pub speedup_4: Option<f64>,
+}
+
+/// Parse the scaling context of a `BENCH_shards.json` document.
+pub fn parse_shards_baseline(json: &str) -> Option<ShardsBaseline> {
+    Some(ShardsBaseline {
+        threads: parse_shards_threads(json)?,
+        speedup_4: json
+            .lines()
+            .find(|line| field_f64(line, "shards") == Some(4.0))
+            .and_then(|line| field_f64(line, "speedup")),
+    })
+}
+
+/// Gate the grid-storage micro-benchmark: every measured dense-bucket
+/// ns-per-op must be within `tolerance` of the baseline at the same dim,
+/// and must not fall behind the *in-run* hash-set layout (the
+/// machine-independent control — see the module docs). Dims without a
+/// baseline entry get only the control check.
+pub fn check_grid(
+    baseline: &[GridBaseline],
+    measured: &[(Measurement, Measurement)],
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (dense, hash) in measured {
+        match baseline.iter().find(|b| b.dim == dense.dim) {
+            Some(b) => {
+                report.compare(
+                    &format!("grid dim {} update ns/op", dense.dim),
+                    dense.update_ns,
+                    b.update_ns * (1.0 + tolerance),
+                    b.update_ns,
+                );
+                report.compare(
+                    &format!("grid dim {} scan ns/obj", dense.dim),
+                    dense.scan_ns_per_obj,
+                    b.scan_ns * (1.0 + tolerance),
+                    b.scan_ns,
+                );
+            }
+            None => report.lines.push(format!(
+                "grid dim {}: no baseline entry — skipped (record one with bench_grid_storage)",
+                dense.dim
+            )),
+        }
+        // Machine-independent control: dense buckets exist to beat the
+        // seed's hash-set layout; losing to the same-run control is a real
+        // regression no matter how slow the host is. Both layouts are
+        // measured in the same process seconds apart, so this comparison
+        // gets only the small fixed CONTROL_HEADROOM — deliberately NOT
+        // the cross-host `tolerance` knob, which must never widen a
+        // same-host check.
+        report.compare(
+            &format!("grid dim {} update vs in-run hash-set control", dense.dim),
+            dense.update_ns,
+            hash.update_ns * (1.0 + CONTROL_HEADROOM),
+            hash.update_ns,
+        );
+        report.compare(
+            &format!("grid dim {} scan vs in-run hash-set control", dense.dim),
+            dense.scan_ns_per_obj,
+            hash.scan_ns_per_obj * (1.0 + CONTROL_HEADROOM),
+            hash.scan_ns_per_obj,
+        );
+    }
+    report
+}
+
+/// Required 4-shard speedup on hosts with at least four threads (the PR
+/// acceptance bar for the sharded engine).
+pub const REQUIRED_SPEEDUP_4_SHARDS: f64 = 1.5;
+
+/// Minimum acceptable throughput ratio on hosts where parallel speedup is
+/// physically impossible: sharding overhead must stay bounded.
+pub const MIN_SPEEDUP_SINGLE_CORE: f64 = 0.5;
+
+/// Gate the shard-scaling benchmark (see the module docs for why this is a
+/// property check rather than a wall-clock comparison). `threads` is the
+/// measuring host's available parallelism; `baseline` is the checked-in
+/// `BENCH_shards.json` context, whose recorded 4-shard speedup is enforced
+/// (within `tolerance`) only when both hosts could actually scale.
+pub fn check_shards(
+    measured: &[ShardMeasurement],
+    threads: usize,
+    baseline: Option<ShardsBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let Some(four) = measured.iter().find(|m| m.shards == 4) else {
+        report
+            .failures
+            .push("shard sweep did not measure 4 shards".into());
+        return report;
+    };
+    if threads >= 4 {
+        report.compare_at_least(
+            "4-shard speedup (>= 4 threads available)",
+            four.speedup,
+            REQUIRED_SPEEDUP_4_SHARDS,
+        );
+        match baseline {
+            Some(b) if b.threads >= 4 => {
+                if let Some(speedup_4) = b.speedup_4 {
+                    report.compare_at_least(
+                        "4-shard speedup vs checked-in baseline curve",
+                        four.speedup,
+                        speedup_4 / (1.0 + tolerance),
+                    );
+                }
+            }
+            Some(b) => report.lines.push(format!(
+                "baseline recorded on a {}-thread host: curve comparison skipped",
+                b.threads
+            )),
+            None => report
+                .lines
+                .push("no BENCH_shards.json baseline: curve comparison skipped".into()),
+        }
+    } else {
+        report.lines.push(format!(
+            "host has {threads} thread(s): scaling target waived, checking overhead only"
+        ));
+        report.compare_at_least(
+            "4-shard throughput ratio (single-core overhead bound)",
+            four.speedup,
+            MIN_SPEEDUP_SINGLE_CORE,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID_JSON: &str = r#"{
+  "results": [
+    {"dim": 64, "layout": "dense-buckets", "update_ns_per_op": 54.3, "scan_ns_per_object": 1.718, "objects_scanned": 1168392},
+    {"dim": 64, "layout": "hash-sets", "update_ns_per_op": 76.0, "scan_ns_per_object": 4.010, "objects_scanned": 1168392},
+    {"dim": 256, "layout": "dense-buckets", "update_ns_per_op": 103.3, "scan_ns_per_object": 27.205, "objects_scanned": 74517}
+  ]
+}"#;
+
+    fn dense(dim: u32, update_ns: f64, scan_ns: f64) -> (Measurement, Measurement) {
+        let m = Measurement {
+            layout: "dense-buckets",
+            dim,
+            update_ns,
+            scan_ns_per_obj: scan_ns,
+            objects_scanned: 1,
+            checksum: 0,
+        };
+        (
+            m,
+            Measurement {
+                layout: "hash-sets",
+                ..m
+            },
+        )
+    }
+
+    #[test]
+    fn parses_dense_baseline_entries() {
+        let b = parse_grid_baseline(GRID_JSON);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].dim, 64);
+        assert!((b[0].update_ns - 54.3).abs() < 1e-9);
+        assert!((b[1].scan_ns - 27.205).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let baseline = parse_grid_baseline(GRID_JSON);
+        let ok = check_grid(&baseline, &[dense(64, 60.0, 2.0)], 0.25);
+        assert!(ok.passed(), "{:?}", ok.failures);
+        let bad = check_grid(&baseline, &[dense(64, 90.0, 2.0)], 0.25);
+        assert!(!bad.passed());
+        assert_eq!(bad.failures.len(), 1);
+        let unknown = check_grid(&baseline, &[dense(1024, 1e6, 1e6)], 0.25);
+        assert!(unknown.passed(), "unbaselined dims must not gate");
+    }
+
+    #[test]
+    fn in_run_control_gates_even_without_a_baseline() {
+        // Dense slower than the same-run hash-set control: a true
+        // regression regardless of host speed or missing baselines.
+        let m = Measurement {
+            layout: "dense-buckets",
+            dim: 512, // no baseline entry for this dim
+            update_ns: 300.0,
+            scan_ns_per_obj: 4.0,
+            objects_scanned: 1,
+            checksum: 0,
+        };
+        let control = Measurement {
+            layout: "hash-sets",
+            update_ns: 100.0,
+            ..m
+        };
+        let report = check_grid(&[], &[(m, control)], 0.25);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("control"));
+    }
+
+    fn sweep(speedup: f64) -> Vec<ShardMeasurement> {
+        vec![
+            ShardMeasurement {
+                shards: 1,
+                ms_per_cycle: 10.0,
+                speedup: 1.0,
+                max_cycle_ms: 12.0,
+                result_changes: 7,
+            },
+            ShardMeasurement {
+                shards: 4,
+                ms_per_cycle: 10.0 / speedup,
+                speedup,
+                max_cycle_ms: 12.0,
+                result_changes: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn shard_gate_is_hardware_aware() {
+        assert!(check_shards(&sweep(2.0), 8, None, 0.25).passed());
+        assert!(!check_shards(&sweep(1.2), 8, None, 0.25).passed());
+        // Single-core hosts: no scaling required, only bounded overhead.
+        assert!(check_shards(&sweep(0.9), 1, None, 0.25).passed());
+        assert!(!check_shards(&sweep(0.3), 1, None, 0.25).passed());
+    }
+
+    #[test]
+    fn shard_gate_compares_against_comparable_baselines_only() {
+        let strong = Some(ShardsBaseline {
+            threads: 8,
+            speedup_4: Some(3.0),
+        });
+        // 1.6x clears the hard bar but is far below the 3.0x baseline.
+        assert!(!check_shards(&sweep(1.6), 8, strong, 0.25).passed());
+        assert!(check_shards(&sweep(2.8), 8, strong, 0.25).passed());
+        // A single-core baseline pins nothing about scaling.
+        let single = Some(ShardsBaseline {
+            threads: 1,
+            speedup_4: Some(0.8),
+        });
+        assert!(check_shards(&sweep(1.6), 8, single, 0.25).passed());
+    }
+
+    #[test]
+    fn shards_threads_metadata_roundtrips() {
+        let cfg = crate::shards::ShardBenchConfig {
+            n_objects: 100,
+            n_queries: 4,
+            cycles: 1,
+            shard_counts: vec![1],
+            ..crate::shards::ShardBenchConfig::default()
+        };
+        let json = crate::shards::render_json(&cfg, &crate::shards::run(&cfg));
+        assert_eq!(
+            parse_shards_threads(&json),
+            Some(crate::shards::available_threads())
+        );
+    }
+}

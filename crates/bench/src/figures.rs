@@ -616,7 +616,7 @@ pub fn constrained(scale: f64) -> Table {
 }
 
 /// Skew study: CPU time vs grid granularity under Gaussian-hotspot data.
-/// The paper points to hierarchical grids for this regime ([YPK05]); this
+/// The paper points to hierarchical grids for this regime (\[YPK05\]); this
 /// charts how far a regular grid carries each algorithm.
 pub fn skew(scale: f64) -> Table {
     let mut params = base_params(scale);
@@ -635,6 +635,47 @@ pub fn skew(scale: f64) -> Table {
     }
     note_params(&mut t, &params);
     t.note("skew concentrates ~all objects in a few hundred cells: fine grids stay cheap for CPM");
+    t
+}
+
+/// Shard-scaling study: CPU time per cycle vs shard count for the sharded
+/// parallel engine, with the sequential engine (1 shard) as baseline. The
+/// speedup column is machine-dependent — the note records the host's
+/// available parallelism, since no speedup can appear beyond it.
+pub fn shards(scale: f64, shard_counts: &[usize]) -> Table {
+    let params = base_params(scale);
+    let input = SimulationInput::generate(&params);
+    let mut t = Table::new(
+        "Shard scaling — sharded parallel engine vs sequential",
+        "shards",
+        "per cycle",
+        vec![
+            "ms/cycle".into(),
+            "speedup".into(),
+            "p95 ms".into(),
+            "p100 ms".into(),
+        ],
+    );
+    let mut baseline_ms = None;
+    for &s in shard_counts {
+        let r = cpm_sim::run_sharded(&input, s);
+        let ms = r.millis_per_cycle();
+        let base = *baseline_ms.get_or_insert(ms);
+        t.push_row(
+            s.to_string(),
+            vec![
+                ms,
+                base / ms,
+                r.latency_percentile_ms(0.95),
+                r.latency_percentile_ms(1.0),
+            ],
+        );
+    }
+    note_params(&mut t, &params);
+    t.note(format!(
+        "host parallelism: {} thread(s); results are bit-identical across shard counts",
+        crate::shards::available_threads()
+    ));
     t
 }
 

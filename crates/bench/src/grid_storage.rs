@@ -1,0 +1,350 @@
+//! Grid-storage micro-benchmark: dense slot-based cell buckets (the
+//! `cpm_grid::Grid` storage layer) vs the seed's hash-set-per-cell layout.
+//!
+//! Measures the two hot paths of the Section 4.1 cost model on uniform
+//! data — by default at the paper's scale (100K objects, 10% of objects
+//! moving per cycle at medium speed), across grid granularities 64² /
+//! 256² / 1024²:
+//!
+//! * **update throughput** — `Time_ind = 2` location updates (delete from
+//!   the old cell, insert into the new one);
+//! * **scan throughput** — cell accesses (full scans of cell object
+//!   lists), the unit Figure 6.3b counts, over the 5×5 neighborhoods of
+//!   random query points.
+//!
+//! The `bench_grid_storage` binary runs [`GridStorageConfig::default`] and
+//! records `BENCH_grid.json`; the CI regression gate (`bench_check`) runs
+//! [`GridStorageConfig::reduced`] and compares against that baseline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cpm_geom::{clamp_coord, FastHashMap, FastHashSet, ObjectId, Point};
+use cpm_grid::{CellCoord, Grid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload parameters for one grid-storage benchmark run.
+#[derive(Debug, Clone)]
+pub struct GridStorageConfig {
+    /// Object population `N`.
+    pub n_objects: usize,
+    /// Fraction of objects moving per cycle.
+    pub move_fraction: f64,
+    /// Update cycles measured.
+    pub cycles: usize,
+    /// Query points whose neighborhoods are scanned.
+    pub queries: usize,
+    /// Cells per axis either side of the query cell in the scanned block
+    /// (2 → the typical 5×5 influence-region footprint).
+    pub scan_half: i64,
+    /// Grid granularities measured.
+    pub dims: Vec<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridStorageConfig {
+    /// The paper-scale configuration recorded in `BENCH_grid.json`.
+    fn default() -> Self {
+        Self {
+            n_objects: 100_000,
+            move_fraction: 0.10,
+            cycles: 20,
+            queries: 2_000,
+            scan_half: 2,
+            dims: vec![64, 256, 1024],
+            seed: 2005,
+        }
+    }
+}
+
+impl GridStorageConfig {
+    /// The reduced configuration the CI bench gate runs on every PR: the
+    /// full object population (per-cell occupancy — and therefore ns-per-op
+    /// — depends on it, so shrinking `N` would break comparability with the
+    /// baseline) but fewer cycles, queries and grid granularities; a few
+    /// seconds of wall time.
+    pub fn reduced() -> Self {
+        Self {
+            cycles: 8,
+            queries: 500,
+            dims: vec![64, 256],
+            ..Self::default()
+        }
+    }
+}
+
+/// The seed's storage layout, kept verbatim for comparison: one
+/// `FastHashSet<ObjectId>` per occupied cell, updates via hashed
+/// remove/insert of the object id.
+struct HashSetGrid {
+    dim: u32,
+    delta: f64,
+    cells: FastHashMap<u64, FastHashSet<ObjectId>>,
+    positions: Vec<Option<Point>>,
+}
+
+impl HashSetGrid {
+    fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            delta: 1.0 / dim as f64,
+            cells: FastHashMap::default(),
+            positions: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> CellCoord {
+        let col = (clamp_coord(p.x) / self.delta) as u32;
+        let row = (clamp_coord(p.y) / self.delta) as u32;
+        CellCoord::new(col.min(self.dim - 1), row.min(self.dim - 1))
+    }
+
+    fn insert(&mut self, oid: ObjectId, p: Point) {
+        let idx = oid.index();
+        if idx >= self.positions.len() {
+            self.positions.resize(idx + 1, None);
+        }
+        let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
+        self.positions[idx] = Some(p);
+        let cell = self.cell_of(p);
+        self.cells.entry(cell.id(self.dim)).or_default().insert(oid);
+    }
+
+    fn update_position(&mut self, oid: ObjectId, new: Point) {
+        let old = self.positions[oid.index()].take().expect("live object");
+        let id = self.cell_of(old).id(self.dim);
+        let occupants = self.cells.get_mut(&id).expect("cell entry");
+        occupants.remove(&oid);
+        if occupants.is_empty() {
+            self.cells.remove(&id);
+        }
+        self.insert(oid, new);
+    }
+
+    #[inline]
+    fn objects_in(&self, c: CellCoord) -> Option<&FastHashSet<ObjectId>> {
+        self.cells.get(&c.id(self.dim))
+    }
+}
+
+/// One pre-generated experiment input, identical for both layouts.
+struct Workload {
+    initial: Vec<(ObjectId, Point)>,
+    /// Per cycle: `(oid, new_position)` moves.
+    cycles: Vec<Vec<(ObjectId, Point)>>,
+    queries: Vec<Point>,
+}
+
+fn build_workload(cfg: &GridStorageConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut positions = crate::movers::uniform_points(&mut rng, cfg.n_objects);
+    let initial: Vec<(ObjectId, Point)> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (ObjectId(i as u32), p))
+        .collect();
+    let movers = ((cfg.n_objects as f64 * cfg.move_fraction) as usize).max(1);
+    let cycles = crate::movers::random_walk_cycles(&mut rng, &mut positions, cfg.cycles, movers)
+        .into_iter()
+        .map(|batch| {
+            batch
+                .into_iter()
+                .map(|(i, to)| (ObjectId(i as u32), to))
+                .collect()
+        })
+        .collect();
+    let queries = crate::movers::uniform_points(&mut rng, cfg.queries);
+    Workload {
+        initial,
+        cycles,
+        queries,
+    }
+}
+
+/// Cells of the (clipped) `(2·scan_half+1)²` block around `center`.
+fn scan_block(center: CellCoord, dim: u32, scan_half: i64) -> impl Iterator<Item = CellCoord> {
+    (-scan_half..=scan_half).flat_map(move |dr| {
+        (-scan_half..=scan_half).filter_map(move |dc| center.offset(dc, dr, dim))
+    })
+}
+
+/// One layout's timings at one grid granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Storage-layout label (`"dense-buckets"` / `"hash-sets"`).
+    pub layout: &'static str,
+    /// Grid granularity per axis.
+    pub dim: u32,
+    /// Nanoseconds per location update.
+    pub update_ns: f64,
+    /// Nanoseconds per object visited during neighborhood scans.
+    pub scan_ns_per_obj: f64,
+    /// Total objects visited by the scan phase.
+    pub objects_scanned: u64,
+    /// XOR checksum of scanned ids (validates both layouts saw the same
+    /// object sets).
+    pub checksum: u64,
+}
+
+fn bench_dense(dim: u32, cfg: &GridStorageConfig, w: &Workload) -> Measurement {
+    let mut g = Grid::new(dim);
+    for &(oid, p) in &w.initial {
+        g.insert(oid, p);
+    }
+    let start = Instant::now();
+    for cycle in &w.cycles {
+        for &(oid, to) in cycle {
+            g.update_position(oid, to);
+        }
+    }
+    let update_ns =
+        start.elapsed().as_nanos() as f64 / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
+
+    let mut checksum = 0u64;
+    let mut objects_scanned = 0u64;
+    let start = Instant::now();
+    for &q in &w.queries {
+        for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
+            for &oid in g.objects_in(cell) {
+                checksum ^= oid.0 as u64;
+                objects_scanned += 1;
+            }
+        }
+    }
+    let scan_elapsed = start.elapsed();
+    Measurement {
+        layout: "dense-buckets",
+        dim,
+        update_ns,
+        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
+        objects_scanned,
+        checksum,
+    }
+}
+
+fn bench_hashset(dim: u32, cfg: &GridStorageConfig, w: &Workload) -> Measurement {
+    let mut g = HashSetGrid::new(dim);
+    for &(oid, p) in &w.initial {
+        g.insert(oid, p);
+    }
+    let start = Instant::now();
+    for cycle in &w.cycles {
+        for &(oid, to) in cycle {
+            g.update_position(oid, to);
+        }
+    }
+    let update_ns =
+        start.elapsed().as_nanos() as f64 / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
+
+    let mut checksum = 0u64;
+    let mut objects_scanned = 0u64;
+    let start = Instant::now();
+    for &q in &w.queries {
+        for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
+            if let Some(objects) = g.objects_in(cell) {
+                for &oid in objects {
+                    checksum ^= oid.0 as u64;
+                    objects_scanned += 1;
+                }
+            }
+        }
+    }
+    let scan_elapsed = start.elapsed();
+    Measurement {
+        layout: "hash-sets",
+        dim,
+        update_ns,
+        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
+        objects_scanned,
+        checksum,
+    }
+}
+
+/// Run the benchmark: per grid granularity, `(dense, hash-set)` timings.
+/// Both layouts replay the identical pre-generated workload; their scan
+/// checksums are asserted equal.
+pub fn run(cfg: &GridStorageConfig) -> Vec<(Measurement, Measurement)> {
+    let w = build_workload(cfg);
+    cfg.dims
+        .iter()
+        .map(|&dim| {
+            let dense = bench_dense(dim, cfg, &w);
+            let hash = bench_hashset(dim, cfg, &w);
+            assert_eq!(
+                dense.checksum, hash.checksum,
+                "layouts scanned different object sets at dim {dim}"
+            );
+            assert_eq!(dense.objects_scanned, hash.objects_scanned);
+            (dense, hash)
+        })
+        .collect()
+}
+
+/// Render the `BENCH_grid.json` document for a run.
+pub fn render_json(cfg: &GridStorageConfig, results: &[(Measurement, Measurement)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"bench_grid_storage\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n_objects\": {}, \"move_fraction\": {}, \
+         \"cycles\": {}, \"queries\": {}, \"scan_block\": {}}},",
+        cfg.n_objects,
+        cfg.move_fraction,
+        cfg.cycles,
+        cfg.queries,
+        2 * cfg.scan_half + 1
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, (dense, hash)) in results.iter().enumerate() {
+        for m in [dense, hash] {
+            let _ = write!(
+                json,
+                "    {{\"dim\": {}, \"layout\": \"{}\", \"update_ns_per_op\": {:.1}, \
+                 \"scan_ns_per_object\": {:.3}, \"objects_scanned\": {}}}",
+                m.dim, m.layout, m.update_ns, m.scan_ns_per_obj, m.objects_scanned
+            );
+            let last = i + 1 == results.len() && m.layout == hash.layout;
+            json.push_str(if last { "\n" } else { ",\n" });
+        }
+    }
+    json.push_str("  ],\n  \"speedup_dense_over_hashset\": [\n");
+    for (i, (dense, hash)) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dim\": {}, \"update\": {:.2}, \"scan\": {:.2}}}",
+            dense.dim,
+            hash.update_ns / dense.update_ns,
+            hash.scan_ns_per_obj / dense.scan_ns_per_obj
+        );
+        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_consistent_measurements() {
+        let cfg = GridStorageConfig {
+            n_objects: 500,
+            cycles: 2,
+            queries: 20,
+            dims: vec![16],
+            ..GridStorageConfig::default()
+        };
+        let results = run(&cfg);
+        assert_eq!(results.len(), 1);
+        let (dense, hash) = &results[0];
+        assert_eq!(dense.objects_scanned, hash.objects_scanned);
+        assert!(dense.update_ns > 0.0 && hash.update_ns > 0.0);
+        let json = render_json(&cfg, &results);
+        assert!(json.contains("\"dim\": 16"));
+        assert!(json.contains("dense-buckets"));
+    }
+}

@@ -6,6 +6,10 @@
 //!   extensions and the ablation study. Each returns a printable
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
+//! * [`grid_storage`] / [`shards`] — the micro-benchmarks behind the
+//!   `BENCH_grid.json` / `BENCH_shards.json` baselines.
+//! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
+//!   every PR against those baselines.
 //!
 //! Two front ends consume this library: the `experiments` binary
 //! (`cargo run --release -p cpm-bench --bin experiments -- all`) prints
@@ -15,7 +19,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod figures;
+pub mod grid_storage;
+mod movers;
+pub mod shards;
 pub mod table;
 
 pub use table::Table;

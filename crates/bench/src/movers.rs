@@ -1,0 +1,46 @@
+//! Shared workload generator for the micro-benchmarks: uniform initial
+//! placement plus per-cycle random-walk move batches at the paper's
+//! medium speed class. Used by both `grid_storage` and `shards` so the
+//! two benchmarks can never desynchronize their movement model.
+
+use cpm_geom::{clamp_coord, Point};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-cycle displacement of the medium speed class: `5 * 2.0 / 250`.
+pub(crate) const MEDIUM_STEP: f64 = 0.04;
+
+/// `n` uniform points over the unit square.
+pub(crate) fn uniform_points(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    (0..n).map(|_| Point::new(rng.gen(), rng.gen())).collect()
+}
+
+/// Generate `cycles` batches of `movers` random-walk steps over
+/// `positions` (mutated in place so later cycles continue from the moved
+/// state). Each step picks a uniformly random object and displaces it by
+/// [`MEDIUM_STEP`] in a uniformly random direction, clamped to the
+/// workspace; batches are returned as `(object index, new position)`.
+pub(crate) fn random_walk_cycles(
+    rng: &mut StdRng,
+    positions: &mut [Point],
+    cycles: usize,
+    movers: usize,
+) -> Vec<Vec<(usize, Point)>> {
+    (0..cycles)
+        .map(|_| {
+            (0..movers)
+                .map(|_| {
+                    let i = rng.gen_range(0..positions.len());
+                    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let p = positions[i];
+                    let to = Point::new(
+                        clamp_coord(p.x + MEDIUM_STEP * angle.cos()),
+                        clamp_coord(p.y + MEDIUM_STEP * angle.sin()),
+                    );
+                    positions[i] = to;
+                    (i, to)
+                })
+                .collect()
+        })
+        .collect()
+}

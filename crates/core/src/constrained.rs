@@ -1,6 +1,6 @@
 //! Constrained NN monitoring: k nearest neighbors inside a user-specified
 //! region (Section 5, after Figure 5.2; the static-data problem is due to
-//! Ferhatosmanoglu et al. [FSAA01]).
+//! Ferhatosmanoglu et al. \[FSAA01\]).
 //!
 //! "The adaptation of CPM to this problem inserts into the search heap only
 //! cells and conceptual rectangles that intersect the constraint region."

@@ -16,13 +16,29 @@
 //!   point query, the cells covering the MBR `M` for an aggregate query),
 //! * optional admission predicates for constrained variants.
 //!
+//! # Two-phase processing cycle
+//!
+//! The engine is structured so a cycle splits cleanly into a *mutating*
+//! and an *immutable* phase:
+//!
+//! 1. **Grid ingest** ([`cpm_grid::apply_events`]): the update batch is
+//!    applied to the grid sequentially, producing one
+//!    [`cpm_grid::UpdateRecord`] per event.
+//! 2. **Query maintenance** (`EngineCore`): departures/arrivals,
+//!    merge-or-recompute resolution and query events run against an
+//!    immutable `&Grid`. All per-query state (query table, influence
+//!    table, metrics, scratch buffers) lives in the `EngineCore`, so
+//!    several cores over *disjoint query sets* can process the same record
+//!    batch concurrently — that is exactly what
+//!    [`crate::ShardedCpmEngine`] does with `std::thread::scope`.
+//!
 //! [`crate::CpmKnnMonitor`] remains the specialized, paper-exact point-query
 //! implementation used in the head-to-head benchmarks against YPK-CNN and
 //! SEA-CNN; the aggregate and constrained monitors are instantiations of
 //! this engine ([`crate::ann`], [`crate::constrained`]).
 
 use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
-use cpm_grid::{CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent};
+use cpm_grid::{apply_events, CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, UpdateRecord};
 
 use crate::heap::{HeapEntry, SearchHeap};
 use crate::inlist::InList;
@@ -65,6 +81,42 @@ pub trait QuerySpec: std::fmt::Debug + Clone {
     /// are not en-heaped (constrained search, Section 5 / Figure 5.3).
     fn admits_cell(&self, _grid: &Grid, _cell: CellCoord) -> bool {
         true
+    }
+}
+
+/// The plain point k-NN query as an engine geometry: Euclidean distance,
+/// `mindist` cell keys, the query cell as base block (Section 3).
+///
+/// [`crate::CpmKnnMonitor`] is the hand-specialized equivalent; this spec
+/// exists so the generic machinery — in particular the sharded engine —
+/// can serve the paper's core workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointQuery(pub Point);
+
+impl QuerySpec for PointQuery {
+    #[inline]
+    fn dist(&self, p: Point) -> f64 {
+        self.0.dist(p)
+    }
+
+    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
+        let c = grid.cell_of(self.0);
+        (c, c)
+    }
+
+    #[inline]
+    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
+        grid.mindist(cell, self.0)
+    }
+
+    #[inline]
+    fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64 {
+        pw.strip_mindist(dir, lvl, self.0)
+    }
+
+    #[inline]
+    fn strip_increment(&self, delta: f64) -> f64 {
+        delta
     }
 }
 
@@ -166,16 +218,25 @@ impl<S: QuerySpec> SpecQueryState<S> {
     pub fn result(&self) -> &[Neighbor] {
         self.best.neighbors()
     }
+
+    /// Memory units of this query-table entry (Section 4.1 accounting):
+    /// `3 + 2k + 3·(C_SH + 4)`.
+    pub fn space_units(&self) -> usize {
+        let c_sh = self.visit_list.len() + self.heap.cell_entries();
+        3 + 2 * self.k() + 3 * (c_sh + 4)
+    }
 }
 
-/// The generic conceptual-partitioning monitor.
+/// The query-side half of a CPM engine: query table, influence table, work
+/// counters and scratch buffers — everything a processing cycle touches
+/// *except* the grid.
 ///
-/// All queries in one engine share the same [`QuerySpec`] type (one engine
-/// per query class); heterogeneous workloads use several engines over
-/// separate grids or share a grid externally.
+/// A core's maintenance path ([`EngineCore::apply_records`],
+/// [`EngineCore::apply_query_events`]) borrows the grid immutably, so it is
+/// `Send` whenever the query geometry is, and cores over disjoint query
+/// sets can run concurrently against one shared grid.
 #[derive(Debug)]
-pub struct CpmEngine<S: QuerySpec> {
-    grid: Grid,
+pub(crate) struct EngineCore<S: QuerySpec> {
     influence: InfluenceTable,
     queries: FastHashMap<QueryId, SpecQueryState<S>>,
     metrics: Metrics,
@@ -186,11 +247,9 @@ pub struct CpmEngine<S: QuerySpec> {
     snapshot: Vec<Neighbor>,
 }
 
-impl<S: QuerySpec> CpmEngine<S> {
-    /// Create an engine over an empty `dim × dim` grid.
-    pub fn new(dim: u32) -> Self {
+impl<S: QuerySpec> EngineCore<S> {
+    pub(crate) fn new(dim: u32) -> Self {
         Self {
-            grid: Grid::new(dim),
             influence: InfluenceTable::new(dim),
             queries: FastHashMap::default(),
             metrics: Metrics::default(),
@@ -202,66 +261,58 @@ impl<S: QuerySpec> CpmEngine<S> {
         }
     }
 
-    /// Bulk-load objects before any query is installed.
-    ///
-    /// # Panics
-    /// Panics if queries are already installed.
-    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
-        assert!(
-            self.queries.is_empty(),
-            "populate() is only valid before queries are installed"
-        );
-        for (oid, pos) in objects {
-            self.grid.insert(oid, pos);
-        }
-    }
-
-    /// The object index.
-    pub fn grid(&self) -> &Grid {
-        &self.grid
-    }
-
-    /// Number of installed queries.
-    pub fn query_count(&self) -> usize {
+    pub(crate) fn query_count(&self) -> usize {
         self.queries.len()
     }
 
-    /// The current result of query `id`.
-    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
-        self.queries.get(&id).map(|st| st.result())
-    }
-
-    /// Full book-keeping state of query `id`.
-    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
+    pub(crate) fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
         self.queries.get(&id)
     }
 
-    /// Work counters accumulated since the last [`CpmEngine::take_metrics`].
-    pub fn metrics(&self) -> &Metrics {
+    pub(crate) fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
         &self.metrics
     }
 
-    /// Take and reset the work counters.
-    pub fn take_metrics(&mut self) -> Metrics {
+    pub(crate) fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    pub(crate) fn take_metrics(&mut self) -> Metrics {
         self.metrics.take()
     }
 
-    /// Install a new query and compute its initial result.
-    ///
-    /// # Panics
-    /// Panics if `id` is already installed or `k == 0`.
-    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+    /// Query-table memory units of all managed queries (Section 4.1).
+    pub(crate) fn query_space_units(&self) -> usize {
+        self.queries
+            .values()
+            .map(|st| st.space_units())
+            .sum::<usize>()
+            + self.influence.total_entries()
+    }
+
+    /// Note which queries have pending query events this cycle; they are
+    /// skipped during object-update handling ("to avoid waste of
+    /// computations for obsolete queries", Section 3.3).
+    pub(crate) fn begin_cycle(&mut self, pending: impl Iterator<Item = QueryId>) {
+        self.ignored.clear();
+        self.ignored.extend(pending);
+    }
+
+    pub(crate) fn install(&mut self, grid: &Grid, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
         assert!(
             !self.queries.contains_key(&id),
             "query {id} is already installed"
         );
-        let mut st = SpecQueryState::new(id, spec, k, self.grid.dim());
-        Self::compute_from_scratch(&self.grid, &mut self.influence, &mut st, &mut self.metrics);
+        let mut st = SpecQueryState::new(id, spec, k, grid.dim());
+        Self::compute_from_scratch(grid, &mut self.influence, &mut st, &mut self.metrics);
         self.queries.entry(id).or_insert(st).result()
     }
 
-    /// Terminate query `id`; returns `true` if it was installed.
-    pub fn terminate(&mut self, id: QueryId) -> bool {
+    pub(crate) fn terminate(&mut self, id: QueryId) -> bool {
         match self.queries.remove(&id) {
             Some(st) => {
                 for &(cell, _) in &st.visit_list[..st.influence_len] {
@@ -273,11 +324,7 @@ impl<S: QuerySpec> CpmEngine<S> {
         }
     }
 
-    /// Replace the geometry of query `id` (terminate + reinstall).
-    ///
-    /// # Panics
-    /// Panics if the query is not installed.
-    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+    pub(crate) fn update_spec(&mut self, grid: &Grid, id: QueryId, spec: S) -> &[Neighbor] {
         let st = self
             .queries
             .get_mut(&id)
@@ -287,41 +334,57 @@ impl<S: QuerySpec> CpmEngine<S> {
         }
         st.influence_len = 0;
         st.spec = spec;
-        Self::compute_from_scratch(&self.grid, &mut self.influence, st, &mut self.metrics);
+        Self::compute_from_scratch(grid, &mut self.influence, st, &mut self.metrics);
         st.result()
     }
 
-    /// Run one processing cycle: object events (batched update handling),
-    /// then query events. Returns ids of queries whose result changed.
-    pub fn process_cycle(
+    /// Run the batched update handling (Figure 3.8) for an already-ingested
+    /// record batch. Only queries managed by *this* core are affected: each
+    /// record is routed through this core's influence table, so records that
+    /// touch no influenced cell are skipped for free.
+    pub(crate) fn apply_records(
         &mut self,
-        object_events: &[ObjectEvent],
-        query_events: &[SpecEvent<S>],
-    ) -> Vec<QueryId> {
-        self.ignored.clear();
-        for ev in query_events {
-            self.ignored.insert(ev.id());
+        grid: &Grid,
+        records: &[UpdateRecord],
+        changed: &mut Vec<QueryId>,
+    ) {
+        self.epoch += 1;
+        self.touched.clear();
+
+        for rec in records {
+            if let Some(old_cell) = rec.old_cell {
+                self.process_departure(rec.id, old_cell, rec.new_pos);
+            }
+            if let (Some(new_cell), Some(new_pos)) = (rec.new_cell, rec.new_pos) {
+                self.process_arrival(rec.id, new_cell, new_pos);
+            }
         }
 
-        let mut changed = Vec::new();
-        self.handle_object_updates(object_events, &mut changed);
+        self.finalize_touched(grid, changed);
+    }
 
-        for ev in query_events {
+    /// Apply this core's share of the cycle's query events, in batch order.
+    pub(crate) fn apply_query_events(
+        &mut self,
+        grid: &Grid,
+        events: &[SpecEvent<S>],
+        changed: &mut Vec<QueryId>,
+    ) {
+        for ev in events {
             match ev {
                 SpecEvent::Terminate { id } => {
                     self.terminate(*id);
                 }
                 SpecEvent::Update { id, spec } => {
-                    self.update_spec(*id, spec.clone());
+                    self.update_spec(grid, *id, spec.clone());
                     changed.push(*id);
                 }
                 SpecEvent::Install { id, spec, k } => {
-                    self.install(*id, spec.clone(), *k);
+                    self.install(grid, *id, spec.clone(), *k);
                     changed.push(*id);
                 }
             }
         }
-        changed
     }
 
     // ---- search ----
@@ -447,39 +510,6 @@ impl<S: QuerySpec> CpmEngine<S> {
 
     // ---- update handling (Figure 3.8, aggregate distances) ----
 
-    fn handle_object_updates(&mut self, events: &[ObjectEvent], changed: &mut Vec<QueryId>) {
-        self.epoch += 1;
-        self.touched.clear();
-
-        for ev in events {
-            match *ev {
-                ObjectEvent::Move { id, to } => {
-                    let (_, old_cell, new_cell) = self.grid.update_position(id, to);
-                    self.metrics.updates_applied += 1;
-                    let new_pos = self.grid.position(id).expect("just inserted");
-                    self.process_departure(id, old_cell, Some(new_pos));
-                    self.process_arrival(id, new_cell, new_pos);
-                }
-                ObjectEvent::Appear { id, pos } => {
-                    let cell = self.grid.insert(id, pos);
-                    self.metrics.updates_applied += 1;
-                    let pos = self.grid.position(id).expect("just inserted");
-                    self.process_arrival(id, cell, pos);
-                }
-                ObjectEvent::Disappear { id } => {
-                    let (_, cell) = self
-                        .grid
-                        .remove(id)
-                        .unwrap_or_else(|| panic!("disappear of off-line object {id}"));
-                    self.metrics.updates_applied += 1;
-                    self.process_departure(id, cell, None);
-                }
-            }
-        }
-
-        self.finalize_touched(changed);
-    }
-
     fn process_departure(&mut self, id: ObjectId, old_cell: CellCoord, new_pos: Option<Point>) {
         let qids = self.influence.queries_at(old_cell);
         if qids.is_empty() {
@@ -542,7 +572,7 @@ impl<S: QuerySpec> CpmEngine<S> {
         }
     }
 
-    fn finalize_touched(&mut self, changed: &mut Vec<QueryId>) {
+    fn finalize_touched(&mut self, grid: &Grid, changed: &mut Vec<QueryId>) {
         let touched = std::mem::take(&mut self.touched);
         for &qid in &touched {
             let st = self.queries.get_mut(&qid).expect("touched query installed");
@@ -551,7 +581,7 @@ impl<S: QuerySpec> CpmEngine<S> {
             if unsound_in_list || st.in_list.len() < st.out_count {
                 self.snapshot.clear();
                 self.snapshot.extend_from_slice(st.best.neighbors());
-                Self::recompute(&self.grid, &mut self.influence, st, &mut self.metrics);
+                Self::recompute(grid, &mut self.influence, st, &mut self.metrics);
                 if self.snapshot != st.best.neighbors() {
                     changed.push(qid);
                 }
@@ -575,9 +605,8 @@ impl<S: QuerySpec> CpmEngine<S> {
         self.touched = touched;
     }
 
-    /// Verify all cross-structure invariants (test helper).
-    #[doc(hidden)]
-    pub fn check_invariants(&self) {
+    /// Verify all cross-structure invariants against `grid` (test helper).
+    pub(crate) fn check_invariants(&self, grid: &Grid) {
         for (qid, st) in &self.queries {
             assert_eq!(*qid, st.id);
             st.best.check_invariants();
@@ -593,8 +622,7 @@ impl<S: QuerySpec> CpmEngine<S> {
                 }
             }
             for n in st.result() {
-                let p = self
-                    .grid
+                let p = grid
                     .position(n.id)
                     .unwrap_or_else(|| panic!("result contains off-line object {}", n.id));
                 assert!(
@@ -607,5 +635,124 @@ impl<S: QuerySpec> CpmEngine<S> {
         }
         let total: usize = self.queries.values().map(|st| st.influence_len).sum();
         assert_eq!(self.influence.total_entries(), total);
+    }
+}
+
+/// The generic conceptual-partitioning monitor.
+///
+/// All queries in one engine share the same [`QuerySpec`] type (one engine
+/// per query class); heterogeneous workloads use several engines over
+/// separate grids or share a grid externally. Internally the engine is a
+/// [`Grid`] plus a single `EngineCore` — the sharded variant
+/// ([`crate::ShardedCpmEngine`]) pairs the same grid with several cores.
+#[derive(Debug)]
+pub struct CpmEngine<S: QuerySpec> {
+    grid: Grid,
+    core: EngineCore<S>,
+    records: Vec<UpdateRecord>,
+}
+
+impl<S: QuerySpec> CpmEngine<S> {
+    /// Create an engine over an empty `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            grid: Grid::new(dim),
+            core: EngineCore::new(dim),
+            records: Vec::new(),
+        }
+    }
+
+    /// Bulk-load objects before any query is installed.
+    ///
+    /// # Panics
+    /// Panics if queries are already installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        assert!(
+            self.core.query_count() == 0,
+            "populate() is only valid before queries are installed"
+        );
+        for (oid, pos) in objects {
+            self.grid.insert(oid, pos);
+        }
+    }
+
+    /// The object index.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of installed queries.
+    pub fn query_count(&self) -> usize {
+        self.core.query_count()
+    }
+
+    /// The current result of query `id`.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.core.query_state(id).map(|st| st.result())
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
+        self.core.query_state(id)
+    }
+
+    /// Work counters accumulated since the last [`CpmEngine::take_metrics`].
+    pub fn metrics(&self) -> &Metrics {
+        self.core.metrics()
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.core.take_metrics()
+    }
+
+    /// Install a new query and compute its initial result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
+    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+        self.core.install(&self.grid, id, spec, k)
+    }
+
+    /// Terminate query `id`; returns `true` if it was installed.
+    pub fn terminate(&mut self, id: QueryId) -> bool {
+        self.core.terminate(id)
+    }
+
+    /// Replace the geometry of query `id` (terminate + reinstall).
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
+    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+        self.core.update_spec(&self.grid, id, spec)
+    }
+
+    /// Run one processing cycle: object events (batched update handling),
+    /// then query events. Returns ids of queries whose result changed.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+    ) -> Vec<QueryId> {
+        self.core.begin_cycle(query_events.iter().map(|ev| ev.id()));
+
+        // Phase 1: sequential grid ingest.
+        self.records.clear();
+        self.core.metrics_mut().updates_applied +=
+            apply_events(&mut self.grid, object_events, &mut self.records);
+
+        // Phase 2: query maintenance over the immutable grid.
+        let mut changed = Vec::new();
+        self.core
+            .apply_records(&self.grid, &self.records, &mut changed);
+        self.core
+            .apply_query_events(&self.grid, query_events, &mut changed);
+        changed
+    }
+
+    /// Verify all cross-structure invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.core.check_invariants(&self.grid);
     }
 }

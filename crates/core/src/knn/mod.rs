@@ -1,7 +1,7 @@
 //! Continuous k-NN monitoring with Conceptual Partitioning (Section 3).
 //!
 //! * [`state`] — the query-table entry (best_NN, visit list, search heap).
-//! * [`search`] (private) — NN computation (Fig. 3.4) and re-computation
+//! * `search` (private) — NN computation (Fig. 3.4) and re-computation
 //!   (Fig. 3.6).
 //! * [`monitor`] — the full update-handling pipeline (Figs. 3.8, 3.9).
 

@@ -14,6 +14,10 @@
 //!   `max` (Section 5). Entry point: [`CpmAnnMonitor`].
 //! * [`constrained`] — constrained NN monitoring restricted to a
 //!   rectangular region (Section 5). Entry point: [`CpmConstrainedMonitor`].
+//! * [`shard`] — sharded parallel cycle processing: queries partitioned
+//!   across worker threads over one shared grid, bit-identical to the
+//!   sequential engine. Entry points: [`ShardedCpmEngine`],
+//!   [`ShardedKnnMonitor`].
 //! * [`analysis`] — the closed-form cost model of Section 4.1.
 //!
 //! The substrate (grid index, influence lists, metrics) lives in
@@ -32,12 +36,14 @@ pub mod knn;
 pub mod neighbors;
 pub mod partition;
 pub mod rnn;
+pub mod shard;
 
 pub use analysis::CostModel;
 pub use ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
 pub use constrained::{ConstrainedQuery, CpmConstrainedMonitor};
-pub use engine::{CpmEngine, QuerySpec, SpecEvent, SpecQueryState};
+pub use engine::{CpmEngine, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
 pub use knn::{CpmConfig, CpmKnnMonitor, KnnQueryState};
 pub use neighbors::{Neighbor, NeighborList};
 pub use partition::{Direction, Pinwheel, Strip};
 pub use rnn::CpmRnnMonitor;
+pub use shard::{shard_of, ShardedCpmEngine, ShardedKnnMonitor};

@@ -8,7 +8,7 @@
 //! `p ∈ RNN(q) ⇔ ∄ p′ ≠ p : dist(p, p′) < dist(p, q)`.
 //!
 //! The implementation uses the classic *six-region* observation (Stanoi
-//! et al. [SRAA01]): partition the space around `q` into six 60° wedges;
+//! et al. \[SRAA01\]): partition the space around `q` into six 60° wedges;
 //! within one wedge, only the object nearest to `q` can possibly be an
 //! RNN (any two objects with angular separation < 60° are closer to each
 //! other than the farther one is to `q`). So:

@@ -1,0 +1,544 @@
+//! Sharded parallel cycle processing: the CPM engine partitioned over
+//! worker threads.
+//!
+//! The per-cycle work of Section 4.1 is embarrassingly partitionable: a
+//! query's re-evaluation touches only its influence region and its own
+//! book-keeping, and the batched in/out update handling of Figure 3.8 is
+//! independent across queries. [`ShardedCpmEngine`] exploits this by
+//! hashing installed queries into `S` disjoint shards — each shard owns its
+//! queries' [`SpecQueryState`]s *and* its own influence table — and running
+//! each processing cycle in two phases:
+//!
+//! 1. **Sequential grid ingest.** The object-update batch is applied to the
+//!    shared grid once, producing read-only [`UpdateRecord`]s
+//!    ([`cpm_grid::apply_events`]). This is the only step that mutates the
+//!    grid and it is cheap (`Time_ind = 2` per update).
+//! 2. **Parallel per-shard maintenance.** Every shard, on its own
+//!    `std::thread::scope` worker, derives its slice of the batch by
+//!    probing its influence table at each record's old/new cell (records
+//!    that touch no influenced cell are skipped for free), runs the
+//!    departure/arrival and merge-or-recompute machinery against the now
+//!    immutable grid, and applies its share of the query events.
+//!
+//! Results are merged deterministically: the changed-query lists are
+//! concatenated in shard order and canonicalized by query id, and the
+//! per-shard [`Metrics`] are summed with [`Metrics::merge`] (u64 addition —
+//! associative and commutative, so totals are independent of scheduling).
+//! Because each query's processing depends only on its own state, the
+//! record batch in order, and the post-ingest grid, the per-query results
+//! are **bit-identical** to the sequential engine's for every shard count —
+//! a property the determinism suite (`tests/sharded_determinism.rs`) and
+//! [`cpm_sim`'s oracle cross-check] assert on random workloads.
+//!
+//! [`cpm_sim`'s oracle cross-check]: ../../cpm_sim/runner/fn.verify_sharded_determinism.html
+
+use cpm_geom::{ObjectId, Point, QueryId};
+use cpm_grid::{apply_events, Grid, Metrics, ObjectEvent, QueryEvent, UpdateRecord};
+
+use crate::engine::{EngineCore, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
+use crate::neighbors::Neighbor;
+
+/// Deterministic shard assignment: an FxHash-style finalizer over the query
+/// id, reduced modulo `shards`.
+///
+/// Purely a function of `(id, shards)` — never of installation order or
+/// thread scheduling — so replaying a stream with the same shard count
+/// always reproduces the same partition. The multiply spreads consecutive
+/// ids (the common allocation pattern) across shards evenly.
+#[inline]
+pub fn shard_of(id: QueryId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = (id.0 as u64 ^ 0x517_cc1b).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// One shard's share of a processing cycle: batched update handling over
+/// the shared (now immutable) grid, then this shard's query events.
+fn run_shard<S: QuerySpec>(
+    core: &mut EngineCore<S>,
+    grid: &Grid,
+    records: &[UpdateRecord],
+    events: &[SpecEvent<S>],
+) -> Vec<QueryId> {
+    let mut changed = Vec::new();
+    core.begin_cycle(events.iter().map(|ev| ev.id()));
+    core.apply_records(grid, records, &mut changed);
+    core.apply_query_events(grid, events, &mut changed);
+    changed
+}
+
+/// A conceptual-partitioning monitor whose per-cycle query maintenance runs
+/// across `S` worker threads (see the [module docs](self) for the phase
+/// structure).
+///
+/// Public surface mirrors [`crate::CpmEngine`]; the only observable
+/// differences are that [`ShardedCpmEngine::process_cycle`] reports changed
+/// queries in canonical (ascending id) order and that work counters are
+/// read through merged snapshots ([`ShardedCpmEngine::metrics`]).
+#[derive(Debug)]
+pub struct ShardedCpmEngine<S: QuerySpec> {
+    grid: Grid,
+    shards: Vec<EngineCore<S>>,
+    /// Counters owned by the ingest phase (currently `updates_applied`),
+    /// kept separate so the shared grid's work is counted exactly once no
+    /// matter how many shards consume the batch.
+    ingest_metrics: Metrics,
+    records: Vec<UpdateRecord>,
+    /// Scratch: per-shard query-event routing buffers, reused across
+    /// cycles (one per shard; only used when `shards > 1`).
+    event_bufs: Vec<Vec<SpecEvent<S>>>,
+}
+
+impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
+    /// Create an engine over an empty `dim × dim` grid with `shards ≥ 1`
+    /// query shards. `shards = 1` is the sequential engine (no worker
+    /// threads are spawned).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(dim: u32, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        Self {
+            grid: Grid::new(dim),
+            shards: (0..shards).map(|_| EngineCore::new(dim)).collect(),
+            ingest_metrics: Metrics::default(),
+            records: Vec::new(),
+            event_bufs: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of query shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns query `id`.
+    pub fn owning_shard(&self, id: QueryId) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
+    /// The shared object index.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Bulk-load objects before any query is installed.
+    ///
+    /// # Panics
+    /// Panics if queries are already installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        assert!(
+            self.query_count() == 0,
+            "populate() is only valid before queries are installed"
+        );
+        for (oid, pos) in objects {
+            self.grid.insert(oid, pos);
+        }
+    }
+
+    /// Number of installed queries across all shards.
+    pub fn query_count(&self) -> usize {
+        self.shards.iter().map(|s| s.query_count()).sum()
+    }
+
+    /// The current result of query `id`.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.query_state(id).map(|st| st.result())
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
+        self.shards[self.owning_shard(id)].query_state(id)
+    }
+
+    /// Install a new query on its owning shard and compute its initial
+    /// result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
+    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+        let shard = shard_of(id, self.shards.len());
+        self.shards[shard].install(&self.grid, id, spec, k)
+    }
+
+    /// Terminate query `id`; returns `true` if it was installed.
+    pub fn terminate(&mut self, id: QueryId) -> bool {
+        let shard = shard_of(id, self.shards.len());
+        self.shards[shard].terminate(id)
+    }
+
+    /// Merged snapshot of the work counters accumulated since the last
+    /// [`ShardedCpmEngine::take_metrics`]: the sum of every shard's
+    /// counters plus the ingest phase's.
+    pub fn metrics(&self) -> Metrics {
+        let mut total = self.ingest_metrics;
+        for shard in &self.shards {
+            total.merge(shard.metrics());
+        }
+        total
+    }
+
+    /// Take and reset the work counters of the ingest phase and of every
+    /// shard, returning the merged totals.
+    pub fn take_metrics(&mut self) -> Metrics {
+        let mut total = self.ingest_metrics.take();
+        for shard in &mut self.shards {
+            total.merge(&shard.take_metrics());
+        }
+        total
+    }
+
+    /// Run one processing cycle: sequential grid ingest, then parallel
+    /// per-shard maintenance and query events, then a deterministic merge.
+    /// Returns ids of queries whose result changed, ascending by id.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+    ) -> Vec<QueryId> {
+        let n = self.shards.len();
+
+        // Phase 1: sequential grid ingest (the only grid mutation).
+        self.records.clear();
+        self.ingest_metrics.updates_applied +=
+            apply_events(&mut self.grid, object_events, &mut self.records);
+
+        let grid = &self.grid;
+        let records = self.records.as_slice();
+
+        let mut changed: Vec<QueryId> = if n == 1 {
+            // Sequential path: no routing, no worker threads.
+            run_shard(&mut self.shards[0], grid, records, query_events)
+        } else {
+            // Route each query event to the shard that owns its query
+            // (scratch buffers persist across cycles to avoid steady-state
+            // allocation).
+            for buf in &mut self.event_bufs {
+                buf.clear();
+            }
+            for ev in query_events {
+                self.event_bufs[shard_of(ev.id(), n)].push(ev.clone());
+            }
+            let event_bufs = &self.event_bufs;
+
+            // Phase 2: per-shard maintenance over the immutable grid.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(event_bufs)
+                    .map(|(core, events)| {
+                        scope.spawn(move || run_shard(core, grid, records, events))
+                    })
+                    .collect();
+                // Join in shard order: the merge is deterministic regardless
+                // of which worker finishes first.
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Canonical order. Shards own disjoint query sets and a query with a
+        // pending query event is ignored during update handling, so the
+        // concatenation is duplicate-free and the sort is a total order.
+        changed.sort_unstable();
+        changed
+    }
+
+    /// Total memory footprint in the paper's memory units (Section 4.1):
+    /// grid data plus, per shard, influence entries and query-table state.
+    pub fn space_units(&self) -> usize {
+        self.grid.space_units()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.query_space_units())
+                .sum::<usize>()
+    }
+
+    /// Verify all cross-structure invariants, including that every query
+    /// lives on the shard its id hashes to (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.grid.check_integrity();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.check_invariants(&self.grid);
+            for qid in shard.query_ids() {
+                assert_eq!(
+                    shard_of(qid, self.shards.len()),
+                    i,
+                    "query {qid} stored on the wrong shard"
+                );
+            }
+        }
+    }
+}
+
+/// The sharded engine specialized to plain point k-NN queries — the
+/// paper's core workload behind the same event vocabulary as
+/// [`crate::CpmKnnMonitor`] ([`ObjectEvent`] + [`QueryEvent`]).
+///
+/// # Example
+///
+/// ```
+/// use cpm_core::ShardedKnnMonitor;
+/// use cpm_geom::{ObjectId, Point, QueryId};
+/// use cpm_grid::ObjectEvent;
+///
+/// let mut monitor = ShardedKnnMonitor::new(64, 4);
+/// monitor.populate((0..100).map(|i| {
+///     (ObjectId(i), Point::new((i as f64 + 0.5) / 100.0, 0.5))
+/// }));
+/// monitor.install_query(QueryId(0), Point::new(0.1042, 0.5), 2);
+/// let changed = monitor.process_cycle(
+///     &[ObjectEvent::Move { id: ObjectId(50), to: Point::new(0.104, 0.5) }],
+///     &[],
+/// );
+/// assert_eq!(changed, vec![QueryId(0)]);
+/// assert_eq!(monitor.result(QueryId(0)).unwrap()[0].id, ObjectId(50));
+/// ```
+#[derive(Debug)]
+pub struct ShardedKnnMonitor {
+    engine: ShardedCpmEngine<PointQuery>,
+    /// Scratch: the cycle's [`QueryEvent`]s translated to engine events.
+    event_buf: Vec<SpecEvent<PointQuery>>,
+}
+
+impl ShardedKnnMonitor {
+    /// Create a monitor over an empty `dim × dim` grid with `shards ≥ 1`
+    /// query shards.
+    pub fn new(dim: u32, shards: usize) -> Self {
+        Self {
+            engine: ShardedCpmEngine::new(dim, shards),
+            event_buf: Vec::new(),
+        }
+    }
+
+    /// Number of query shards.
+    pub fn shard_count(&self) -> usize {
+        self.engine.shard_count()
+    }
+
+    /// The shared object index.
+    pub fn grid(&self) -> &Grid {
+        self.engine.grid()
+    }
+
+    /// Bulk-load objects before any query is installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        self.engine.populate(objects);
+    }
+
+    /// Number of installed queries.
+    pub fn query_count(&self) -> usize {
+        self.engine.query_count()
+    }
+
+    /// Install a continuous k-NN query.
+    pub fn install_query(&mut self, id: QueryId, pos: Point, k: usize) -> &[Neighbor] {
+        self.engine.install(id, PointQuery(pos), k)
+    }
+
+    /// Terminate query `id`; returns `true` if it was installed.
+    pub fn terminate_query(&mut self, id: QueryId) -> bool {
+        self.engine.terminate(id)
+    }
+
+    /// The current result of query `id`, ascending by distance.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.engine.result(id)
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<PointQuery>> {
+        self.engine.query_state(id)
+    }
+
+    /// Merged snapshot of the work counters (see
+    /// [`ShardedCpmEngine::metrics`]).
+    pub fn metrics(&self) -> Metrics {
+        self.engine.metrics()
+    }
+
+    /// Take and reset the work counters of every shard.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.engine.take_metrics()
+    }
+
+    /// Run one processing cycle over the paper's k-NN event vocabulary.
+    /// Returns ids of queries whose result changed, ascending by id.
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[QueryEvent],
+    ) -> Vec<QueryId> {
+        self.event_buf.clear();
+        self.event_buf
+            .extend(query_events.iter().map(|ev| match *ev {
+                QueryEvent::Install { id, pos, k } => SpecEvent::Install {
+                    id,
+                    spec: PointQuery(pos),
+                    k,
+                },
+                QueryEvent::Move { id, to } => SpecEvent::Update {
+                    id,
+                    spec: PointQuery(to),
+                },
+                QueryEvent::Terminate { id } => SpecEvent::Terminate { id },
+            }));
+        let events = std::mem::take(&mut self.event_buf);
+        let changed = self.engine.process_cycle(object_events, &events);
+        self.event_buf = events;
+        changed
+    }
+
+    /// Total memory footprint in the paper's memory units (Section 4.1).
+    pub fn space_units(&self) -> usize {
+        self.engine.space_units()
+    }
+
+    /// Verify all cross-structure invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpmKnnMonitor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_balanced() {
+        for shards in [1usize, 2, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for id in 0..10_000u32 {
+                let s = shard_of(QueryId(id), shards);
+                assert_eq!(s, shard_of(QueryId(id), shards), "not deterministic");
+                counts[s] += 1;
+            }
+            let expected = 10_000 / shards;
+            for &c in &counts {
+                assert!(
+                    c as f64 > expected as f64 * 0.8 && (c as f64) < expected as f64 * 1.2,
+                    "imbalanced shards: {counts:?}"
+                );
+            }
+        }
+    }
+
+    /// The sharded monitor must agree bit-for-bit with the specialized
+    /// sequential k-NN monitor on a random stream, for every shard count.
+    #[test]
+    fn sharded_matches_sequential_monitor() {
+        let mut rng = StdRng::seed_from_u64(0x5AADED);
+        for shards in [1usize, 2, 4, 8] {
+            let mut seq = CpmKnnMonitor::new(16);
+            let mut par = ShardedKnnMonitor::new(16, shards);
+            let objects: Vec<(ObjectId, Point)> = (0..80u32)
+                .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+                .collect();
+            seq.populate(objects.iter().copied());
+            par.populate(objects.iter().copied());
+            for qi in 0..12u32 {
+                let p = Point::new(rng.gen(), rng.gen());
+                let k = 1 + qi as usize % 4;
+                seq.install_query(QueryId(qi), p, k);
+                par.install_query(QueryId(qi), p, k);
+            }
+            for _cycle in 0..25 {
+                let mut events = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(0..10) {
+                    let id = rng.gen_range(0..80u32);
+                    if seen.insert(id) {
+                        events.push(ObjectEvent::Move {
+                            id: ObjectId(id),
+                            to: Point::new(rng.gen(), rng.gen()),
+                        });
+                    }
+                }
+                let mut seq_changed = seq.process_cycle(&events, &[]);
+                let par_changed = par.process_cycle(&events, &[]);
+                seq_changed.sort_unstable();
+                assert_eq!(seq_changed, par_changed, "changed sets diverged");
+                par.check_invariants();
+                for qi in 0..12u32 {
+                    assert_eq!(
+                        seq.result(QueryId(qi)).unwrap(),
+                        par.result(QueryId(qi)).unwrap(),
+                        "results diverged for query {qi} at {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_merge_counts_ingest_once() {
+        let mut m = ShardedKnnMonitor::new(8, 4);
+        m.populate([
+            (ObjectId(0), Point::new(0.1, 0.1)),
+            (ObjectId(1), Point::new(0.9, 0.9)),
+        ]);
+        for qi in 0..8u32 {
+            m.install_query(QueryId(qi), Point::new(0.5, 0.5), 1);
+        }
+        m.take_metrics();
+        m.process_cycle(
+            &[ObjectEvent::Move {
+                id: ObjectId(0),
+                to: Point::new(0.2, 0.2),
+            }],
+            &[],
+        );
+        let metrics = m.take_metrics();
+        // One grid update regardless of shard count.
+        assert_eq!(metrics.updates_applied, 1);
+        // And taking resets every shard: a fresh snapshot is all zeros.
+        assert_eq!(m.metrics(), Metrics::default());
+    }
+
+    #[test]
+    fn query_events_route_to_owning_shards() {
+        let mut m = ShardedKnnMonitor::new(16, 4);
+        m.populate((0..50u32).map(|i| (ObjectId(i), Point::new(i as f64 / 50.0, 0.5))));
+        let installs: Vec<QueryEvent> = (0..20u32)
+            .map(|i| QueryEvent::Install {
+                id: QueryId(i),
+                pos: Point::new(i as f64 / 20.0, 0.5),
+                k: 3,
+            })
+            .collect();
+        let changed = m.process_cycle(&[], &installs);
+        assert_eq!(changed.len(), 20);
+        assert!(changed.windows(2).all(|w| w[0] < w[1]), "not sorted");
+        assert_eq!(m.query_count(), 20);
+        m.check_invariants();
+
+        let moves: Vec<QueryEvent> = (0..20u32)
+            .step_by(2)
+            .map(|i| QueryEvent::Move {
+                id: QueryId(i),
+                to: Point::new(1.0 - i as f64 / 20.0, 0.4),
+            })
+            .collect();
+        let terminates: Vec<QueryEvent> = (1..20u32)
+            .step_by(2)
+            .map(|i| QueryEvent::Terminate { id: QueryId(i) })
+            .collect();
+        let mut events = moves;
+        events.extend(terminates);
+        let changed = m.process_cycle(&[], &events);
+        assert_eq!(changed.len(), 10);
+        assert_eq!(m.query_count(), 10);
+        m.check_invariants();
+        assert!(m.terminate_query(QueryId(0)));
+        assert!(!m.terminate_query(QueryId(1)));
+    }
+}

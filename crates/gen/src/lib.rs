@@ -1,5 +1,5 @@
 //! Network-based moving-object workload generator for continuous spatial
-//! query benchmarks — the Brinkhoff [B02] substitute of this suite (see
+//! query benchmarks — the Brinkhoff \[B02\] substitute of this suite (see
 //! DESIGN.md §3 for the substitution rationale).
 //!
 //! * [`network`] — synthetic road networks (perturbed street grid and

@@ -1,6 +1,6 @@
 //! Synthetic road networks.
 //!
-//! The paper's experiments use the Brinkhoff generator [B02] on the road
+//! The paper's experiments use the Brinkhoff generator \[B02\] on the road
 //! map of Oldenburg. That map is not redistributable here, so this module
 //! synthesizes networks with the same relevant statistics (see DESIGN.md
 //! §3): bounded-degree planar-ish graphs over the unit square on which

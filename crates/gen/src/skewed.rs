@@ -1,7 +1,7 @@
 //! A skewed (Gaussian hotspot) workload.
 //!
 //! The paper notes that highly skewed data is the regime where a regular
-//! grid suffers and hierarchical grids pay off ([YPK05], Section 2). This
+//! grid suffers and hierarchical grids pay off (\[YPK05\], Section 2). This
 //! generator produces that regime: objects cluster around a handful of
 //! hotspots (Gaussian spread), random-walk around them with a pull toward
 //! the center, and the hotspots themselves drift slowly. Queries

@@ -4,7 +4,7 @@
 //! distributed in the unit square issuing "random displacement vectors".
 //! This generator realizes exactly that model, so measured values of
 //! `C_inf`, `O_inf` and `C_SH` can be compared against the closed-form
-//! predictions of [`cpm_core::analysis`] (the `analysis` experiment). It
+//! predictions of `cpm_core::analysis` (the `analysis` experiment). It
 //! is also a useful stress generator: unlike network motion, uniform jumps
 //! decorrelate consecutive positions.
 

@@ -1,4 +1,4 @@
-//! The network-based moving-object workload (Brinkhoff-style [B02]).
+//! The network-based moving-object workload (Brinkhoff-style \[B02\]).
 //!
 //! Objects appear on a network node, travel the shortest path to a random
 //! destination at their speed class, and disappear there (a replacement

@@ -585,5 +585,58 @@ mod tests {
             let total: usize = g.occupied_cells().map(|c| g.cell_len(c)).sum();
             prop_assert_eq!(total, model.len());
         }
+
+        /// Concurrent read-only scans see exactly what a sequential scan
+        /// sees: after a random build, worker threads scanning disjoint row
+        /// bands through `&Grid` must reproduce the sequential population
+        /// count and id/position checksum. (This is the access pattern of
+        /// the sharded engine's parallel maintenance phase.)
+        #[test]
+        fn concurrent_scans_match_sequential(
+            inserts in proptest::collection::vec(
+                (0.0..1.0f64, 0.0..1.0f64), 1..150),
+        ) {
+            let dim = 16u32;
+            let mut g = Grid::new(dim);
+            for (i, &(x, y)) in inserts.iter().enumerate() {
+                g.insert(ObjectId(i as u32), Point::new(x, y));
+            }
+
+            let scan_rows = |g: &Grid, rows: std::ops::Range<u32>| {
+                let mut count = 0usize;
+                let mut checksum = 0u64;
+                for row in rows {
+                    for col in 0..dim {
+                        for &oid in g.objects_in(CellCoord::new(col, row)) {
+                            let p = g.position(oid).expect("live object");
+                            count += 1;
+                            checksum ^= ((oid.0 as u64) << 32) | (p.x.to_bits() ^ p.y.to_bits());
+                        }
+                    }
+                }
+                (count, checksum)
+            };
+
+            let (seq_count, seq_checksum) = scan_rows(&g, 0..dim);
+            prop_assert_eq!(seq_count, inserts.len());
+
+            let workers = 4u32;
+            let band = dim / workers;
+            let shared = &g;
+            let (par_count, par_checksum) = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let rows = (w * band)..if w + 1 == workers { dim } else { (w + 1) * band };
+                        scope.spawn(move || scan_rows(shared, rows))
+                    })
+                    .collect();
+                handles.into_iter().fold((0usize, 0u64), |(c, x), h| {
+                    let (hc, hx) = h.join().expect("scan worker panicked");
+                    (c + hc, x ^ hx)
+                })
+            });
+            prop_assert_eq!(par_count, seq_count);
+            prop_assert_eq!(par_checksum, seq_checksum);
+        }
     }
 }

@@ -31,7 +31,7 @@ mod influence;
 mod metrics;
 
 pub use coord::CellCoord;
-pub use events::{ObjectEvent, QueryEvent};
+pub use events::{apply_events, ObjectEvent, QueryEvent, UpdateRecord};
 pub use grid::{Grid, GridStats};
 pub use influence::InfluenceTable;
 pub use metrics::Metrics;

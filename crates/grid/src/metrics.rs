@@ -4,6 +4,20 @@
 //! cell visit corresponds to a complete scan over the object list in the
 //! cell", Section 6 / Figure 6.3b). Counters here are incremented by the
 //! algorithms themselves; the simulation driver snapshots them per cycle.
+//!
+//! # Ownership under sharing
+//!
+//! Each counter must have exactly one owner. Per-query work (cell
+//! accesses, heap operations, (re)computations, merges) is counted by the
+//! monitor — or, in the sharded engine, by the *shard* — that did it;
+//! index work (`updates_applied`) is counted by whoever mutates the grid,
+//! exactly once per event, no matter how many monitors or shards consume
+//! the batch. Aggregated views are built with [`Metrics::merge`] (plain
+//! u64 addition — associative and commutative, so merged totals are
+//! deterministic regardless of thread scheduling), and resets must reach
+//! every owner: a `take_metrics` that drains only an aggregator while the
+//! per-shard owners keep counting would silently double-report on the next
+//! snapshot.
 
 /// Work counters for one monitoring algorithm instance.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]

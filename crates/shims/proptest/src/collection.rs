@@ -6,7 +6,7 @@ use rand::Rng;
 
 use crate::strategy::{Strategy, TestRng};
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -8,7 +8,7 @@ use cpm_geom::{ObjectId, Point, QueryId};
 use cpm_grid::{Metrics, ObjectEvent, QueryEvent};
 
 use cpm_baselines::{SeaCnnMonitor, YpkCnnMonitor};
-use cpm_core::{CpmKnnMonitor, Neighbor};
+use cpm_core::{CpmKnnMonitor, Neighbor, ShardedKnnMonitor};
 
 use crate::oracle::OracleMonitor;
 
@@ -17,9 +17,9 @@ use crate::oracle::OracleMonitor;
 pub enum AlgoKind {
     /// Conceptual Partitioning Monitoring (the paper's contribution).
     Cpm,
-    /// The YPK-CNN baseline [YPK05].
+    /// The YPK-CNN baseline \[YPK05\].
     Ypk,
-    /// The SEA-CNN baseline [XMA05].
+    /// The SEA-CNN baseline \[XMA05\].
     Sea,
     /// Brute-force per-cycle re-evaluation (ground truth; not a contender).
     Oracle,
@@ -110,6 +110,40 @@ impl KnnMonitorAlgo for CpmKnnMonitor {
 
     fn space_units(&self) -> usize {
         CpmKnnMonitor::space_units(self)
+    }
+}
+
+impl KnnMonitorAlgo for ShardedKnnMonitor {
+    fn name(&self) -> &'static str {
+        "CPM-sharded"
+    }
+
+    fn populate(&mut self, objects: &[(ObjectId, Point)]) {
+        ShardedKnnMonitor::populate(self, objects.iter().copied());
+    }
+
+    fn install_query(&mut self, id: QueryId, pos: Point, k: usize) {
+        ShardedKnnMonitor::install_query(self, id, pos, k);
+    }
+
+    fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[QueryEvent],
+    ) -> Vec<QueryId> {
+        ShardedKnnMonitor::process_cycle(self, object_events, query_events)
+    }
+
+    fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        ShardedKnnMonitor::result(self, id)
+    }
+
+    fn take_metrics(&mut self) -> Metrics {
+        ShardedKnnMonitor::take_metrics(self)
+    }
+
+    fn space_units(&self) -> usize {
+        ShardedKnnMonitor::space_units(self)
     }
 }
 

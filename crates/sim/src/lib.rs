@@ -24,5 +24,8 @@ pub mod viz;
 pub use algo::{AlgoKind, KnnMonitorAlgo};
 pub use oracle::OracleMonitor;
 pub use params::{SimParams, WorkloadKind};
-pub use runner::{run, run_boxed, run_contenders, verify_against_oracle, RunReport};
+pub use runner::{
+    run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_sharded_determinism,
+    RunReport,
+};
 pub use stream::SimulationInput;

@@ -107,6 +107,104 @@ pub fn run_boxed(monitor: &mut dyn KnnMonitorAlgo, input: &SimulationInput) -> R
     }
 }
 
+/// Run the sharded CPM monitor with `shards` query shards over `input`
+/// (`shards = 1` is the sequential engine path — no worker threads).
+pub fn run_sharded(input: &SimulationInput, shards: usize) -> RunReport {
+    let mut monitor = cpm_core::ShardedKnnMonitor::new(input.params.grid_dim, shards);
+    run_boxed(&mut monitor, input)
+}
+
+/// Replay `input` into the sequential engine (one shard) and into a
+/// sharded monitor per entry of `shard_counts`, asserting after every
+/// cycle that:
+///
+/// * each query's reported result is **bit-identical** (same object ids,
+///   same distance bits, same order) across all shard counts,
+/// * the changed-query sets agree,
+/// * the per-cycle [`Metrics`] totals agree (work moved between threads,
+///   not skipped or double-counted),
+///
+/// and, at the end of the run, that the sequential results match the
+/// brute-force oracle by distance. Panics on any divergence.
+pub fn verify_sharded_determinism(input: &SimulationInput, shard_counts: &[usize]) {
+    use cpm_core::ShardedKnnMonitor;
+
+    let mut sequential = ShardedKnnMonitor::new(input.params.grid_dim, 1);
+    let mut sharded: Vec<ShardedKnnMonitor> = shard_counts
+        .iter()
+        .map(|&s| ShardedKnnMonitor::new(input.params.grid_dim, s))
+        .collect();
+
+    sequential.populate(input.initial_objects.iter().copied());
+    for m in sharded.iter_mut() {
+        m.populate(input.initial_objects.iter().copied());
+    }
+    for &(qid, pos, k) in &input.initial_queries {
+        sequential.install_query(qid, pos, k);
+        for m in sharded.iter_mut() {
+            m.install_query(qid, pos, k);
+        }
+    }
+
+    let mut tracked: Vec<cpm_geom::QueryId> = input
+        .initial_queries
+        .iter()
+        .map(|&(qid, _, _)| qid)
+        .collect();
+    for (t, tick) in input.ticks.iter().enumerate() {
+        for ev in &tick.query_events {
+            match *ev {
+                cpm_grid::QueryEvent::Install { id, .. } => tracked.push(id),
+                cpm_grid::QueryEvent::Terminate { id } => tracked.retain(|&q| q != id),
+                cpm_grid::QueryEvent::Move { .. } => {}
+            }
+        }
+        let changed_seq = sequential.process_cycle(&tick.object_events, &tick.query_events);
+        let metrics_seq = sequential.take_metrics();
+        for (m, &shards) in sharded.iter_mut().zip(shard_counts) {
+            let changed = m.process_cycle(&tick.object_events, &tick.query_events);
+            assert_eq!(
+                changed_seq, changed,
+                "changed sets diverged at t={t} with {shards} shards"
+            );
+            let metrics = m.take_metrics();
+            assert_eq!(
+                metrics_seq, metrics,
+                "metrics totals diverged at t={t} with {shards} shards"
+            );
+            for &qid in &tracked {
+                assert_eq!(
+                    sequential.result(qid).expect("sequential tracks query"),
+                    m.result(qid)
+                        .unwrap_or_else(|| panic!("{shards}-shard monitor lost query {qid}")),
+                    "results diverged for {qid} at t={t} with {shards} shards"
+                );
+            }
+            m.check_invariants();
+        }
+    }
+
+    // Anchor the whole family to ground truth: brute-force k-NN over the
+    // final object population must agree with the sequential engine.
+    for &qid in &tracked {
+        let st = sequential
+            .query_state(qid)
+            .expect("tracked query installed");
+        let mut truth: Vec<f64> = sequential
+            .grid()
+            .iter_objects()
+            .map(|(_, p)| st.spec.0.dist(p))
+            .collect();
+        truth.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        truth.truncate(st.k());
+        let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), truth.len().min(st.k()), "oracle size for {qid}");
+        for (g, e) in got.iter().zip(&truth) {
+            assert!((g - e).abs() < 1e-9, "oracle mismatch for {qid}");
+        }
+    }
+}
+
 /// Run every contender (CPM, YPK-CNN, SEA-CNN) over the same input.
 pub fn run_contenders(input: &SimulationInput) -> Vec<RunReport> {
     AlgoKind::CONTENDERS
@@ -206,6 +304,21 @@ mod tests {
     #[test]
     fn all_algorithms_agree_with_the_oracle() {
         verify_against_oracle(&SimulationInput::generate(&tiny_params()));
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        verify_sharded_determinism(&SimulationInput::generate(&tiny_params()), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn sharded_report_matches_sequential_counters() {
+        let input = SimulationInput::generate(&tiny_params());
+        let seq = run_sharded(&input, 1);
+        let par = run_sharded(&input, 4);
+        assert_eq!(seq.algo, "CPM-sharded");
+        assert_eq!(seq.metrics, par.metrics, "sharding changed the work done");
+        assert_eq!(seq.result_changes, par.result_changes);
     }
 
     #[test]
