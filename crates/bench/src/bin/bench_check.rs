@@ -13,10 +13,10 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_grid, check_shards, parse_grid_baseline, parse_shards_baseline, GateReport,
-    DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_shards, parse_deltas_baseline, parse_grid_baseline,
+    parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
 };
-use cpm_bench::{grid_storage, shards};
+use cpm_bench::{deltas, grid_storage, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -72,6 +72,28 @@ fn main() {
         );
     }
     failed |= print_report(check_shards(&measured, threads, shards_baseline, tolerance));
+
+    // Gate 3: delta-emission overhead vs full-list results. Both modes
+    // run in this process, so the ratio is machine-independent; the hard
+    // bar (the < 10% acceptance criterion, plus fixed control headroom)
+    // is never widened by BENCH_CHECK_TOLERANCE.
+    let cfg = deltas::DeltaBenchConfig::reduced();
+    let deltas_baseline = std::fs::read_to_string(format!("{root}/BENCH_deltas.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_deltas_baseline);
+    println!(
+        "\n## delta emission (reduced: N={}, subscriptions={}, {} cycles)",
+        cfg.n_objects, cfg.n_subscriptions, cfg.cycles
+    );
+    let run = deltas::run(&cfg);
+    for m in &run.modes {
+        println!(
+            "   {:>9}: {:>8.3} ms/cycle   {:>8} entries shipped",
+            m.mode, m.ms_per_cycle, m.entries_shipped
+        );
+    }
+    failed |= print_report(check_deltas(&run, deltas_baseline, tolerance));
 
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");

@@ -1,0 +1,69 @@
+//! Record the delta-emission overhead baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_deltas
+//! ```
+//!
+//! Runs the delta-vs-full-list comparison at the acceptance scale (100K
+//! objects, 1K subscriptions — see [`cpm_bench::deltas`]) **three times**
+//! and records the median-overhead run to `BENCH_deltas.json` at the
+//! workspace root: on a shared host, single-run overhead ratios scatter
+//! by a few percentage points even under the paired-cycle protocol, and
+//! a baseline should pin the center of the distribution, not one draw.
+//! The recorded `overhead_vs_full` is the PR acceptance number
+//! (bar: < 0.10) and the curve `bench_check` compares reduced-scale
+//! re-runs against.
+
+use cpm_bench::deltas::{render_json, run, DeltaBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = DeltaBenchConfig::default();
+    println!(
+        "bench_deltas: N={}, subscriptions={}, k={}, {} cycles (+{} warmup), grid {}², \
+         {} shard(s), median of {RUNS} runs",
+        cfg.n_objects,
+        cfg.n_subscriptions,
+        cfg.k,
+        cfg.cycles,
+        cfg.warmup_cycles,
+        cfg.grid_dim,
+        cfg.shards
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: overhead {:+.2}% (full {:.3} ms/cycle, delta {:.3} ms/cycle)",
+                i + 1,
+                r.overhead_vs_full * 100.0,
+                r.modes[0].ms_per_cycle,
+                r.modes[1].ms_per_cycle
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.overhead_vs_full
+            .partial_cmp(&b.overhead_vs_full)
+            .expect("finite overheads")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    for m in &result.modes {
+        println!(
+            "  {:>9}: {:>8.3} ms/cycle (max {:>8.3})   {:>9} entries shipped   {} changes",
+            m.mode, m.ms_per_cycle, m.max_cycle_ms, m.entries_shipped, m.result_changes
+        );
+    }
+    println!(
+        "  delta emission overhead vs full lists (median run): {:+.2}%",
+        result.overhead_vs_full * 100.0
+    );
+
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_deltas.json");
+    std::fs::write(path, &json).expect("write BENCH_deltas.json");
+    println!("wrote {path}");
+}

@@ -7,7 +7,7 @@
 //!   table2_1 table6_1
 //!   fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b fig6_5a fig6_5b
 //!   fig6_6a fig6_6b
-//!   space analysis ablation ann constrained shards
+//!   space analysis ablation ann constrained skew shards deltas rnn
 //!   all          (everything above)
 //!
 //! options:
@@ -85,6 +85,7 @@ fn main() {
             "constrained",
             "skew",
             "shards",
+            "deltas",
             "rnn",
         ]
         .into_iter()
@@ -127,6 +128,7 @@ fn run_experiment(name: &str, scale: f64, shards: &[usize]) {
         "constrained" => figures::constrained(scale).print(),
         "skew" => figures::skew(scale).print(),
         "shards" => figures::shards(scale, shards).print(),
+        "deltas" => figures::deltas(scale).print(),
         "rnn" => figures::rnn(scale).print(),
         other => eprintln!("unknown experiment: {other} (see --help)"),
     }
@@ -185,7 +187,7 @@ fn print_help() {
         "usage: experiments <name>... [--scale X | --paper] [--shards LIST]\n\
          names: table2_1 table6_1 fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b\n\
          \u{20}      fig6_5a fig6_5b fig6_6a fig6_6b space analysis ablation ann\n\
-         \u{20}      constrained skew shards rnn all\n\
+         \u{20}      constrained skew shards deltas rnn all\n\
          --shards LIST  comma-separated shard counts for the `shards`\n\
          \u{20}              experiment (default 1,2,4,8)"
     );

@@ -679,6 +679,53 @@ pub fn shards(scale: f64, shard_counts: &[usize]) -> Table {
     t
 }
 
+/// Subscription-layer extension: cycle cost and shipped data volume of
+/// delta streaming versus full result lists, across subscription counts
+/// (the `cpm-sub` workload; see [`crate::deltas`]).
+pub fn deltas(scale: f64) -> Table {
+    let base = crate::deltas::DeltaBenchConfig::default();
+    let n_objects = ((base.n_objects as f64 * scale) as usize).max(500);
+    let full_subs = ((base.n_subscriptions as f64 * scale) as usize).max(20);
+    let mut t = Table::new(
+        "Delta streaming — emission cost vs full result lists",
+        "subscriptions",
+        "per cycle",
+        vec![
+            "full ms".into(),
+            "delta ms".into(),
+            "overhead %".into(),
+            "full entries".into(),
+            "delta entries".into(),
+        ],
+    );
+    for subs in [full_subs / 4, full_subs / 2, full_subs] {
+        let cfg = crate::deltas::DeltaBenchConfig {
+            n_objects,
+            n_subscriptions: subs.max(5),
+            cycles: 5,
+            ..crate::deltas::DeltaBenchConfig::default()
+        };
+        let run = crate::deltas::run(&cfg);
+        t.push_row(
+            cfg.n_subscriptions.to_string(),
+            vec![
+                run.modes[0].ms_per_cycle,
+                run.modes[1].ms_per_cycle,
+                run.overhead_vs_full * 100.0,
+                run.modes[0].entries_shipped as f64 / cfg.cycles as f64,
+                run.modes[1].entries_shipped as f64 / cfg.cycles as f64,
+            ],
+        );
+    }
+    t.note(format!(
+        "N = {n_objects} objects, k = {}, {}% movers per cycle; entries = result entries \
+         shipped to subscribers (deltas ship only the churn)",
+        base.k,
+        base.move_fraction * 100.0
+    ));
+    t
+}
+
 /// Future-work extension (Section 7): continuous reverse-NN monitoring
 /// via six-region candidates + verification, vs naive re-evaluation.
 pub fn rnn(scale: f64) -> Table {

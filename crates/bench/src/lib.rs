@@ -6,8 +6,9 @@
 //!   extensions and the ablation study. Each returns a printable
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
-//! * [`grid_storage`] / [`shards`] — the micro-benchmarks behind the
-//!   `BENCH_grid.json` / `BENCH_shards.json` baselines.
+//! * [`grid_storage`] / [`shards`] / [`deltas`] — the micro-benchmarks
+//!   behind the `BENCH_grid.json` / `BENCH_shards.json` /
+//!   `BENCH_deltas.json` baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -20,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod deltas;
 pub mod figures;
 pub mod grid_storage;
 mod movers;

@@ -14,14 +14,16 @@
 //! Corollary 5.1 (`sum`): consecutive rectangles of one direction differ by
 //! `m·δ`; Corollary 5.2 (`min`/`max`): by `δ`. Update handling is the
 //! machinery of Section 3 with `adist` in place of the Euclidean distance —
-//! provided here by instantiating the generic [`CpmEngine`].
+//! provided here by instantiating the generic engine (sharded across
+//! worker threads when requested, [`crate::ShardedCpmEngine`]).
 
 use cpm_geom::{Point, QueryId};
 use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
 
-use crate::engine::{CpmEngine, QuerySpec, SpecEvent, SpecQueryState};
+use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 use crate::partition::{Direction, Pinwheel};
+use crate::shard::ShardedCpmEngine;
 
 /// The aggregate function of an ANN query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,14 +184,21 @@ impl QuerySpec for AnnQuery {
 /// ```
 #[derive(Debug)]
 pub struct CpmAnnMonitor {
-    engine: CpmEngine<AnnQuery>,
+    engine: ShardedCpmEngine<AnnQuery>,
 }
 
 impl CpmAnnMonitor {
-    /// Create a monitor over an empty `dim × dim` grid.
+    /// Create a sequential monitor over an empty `dim × dim` grid.
     pub fn new(dim: u32) -> Self {
+        Self::new_sharded(dim, 1)
+    }
+
+    /// Create a monitor whose per-cycle maintenance runs across
+    /// `shards ≥ 1` worker threads (`shards = 1` is sequential; results
+    /// are bit-identical for every shard count — see [`ShardedCpmEngine`]).
+    pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: CpmEngine::new(dim),
+            engine: ShardedCpmEngine::new(dim, shards),
         }
     }
 
@@ -243,8 +252,8 @@ impl CpmAnnMonitor {
         self.engine.query_count()
     }
 
-    /// Work counters.
-    pub fn metrics(&self) -> &Metrics {
+    /// Merged snapshot of the work counters.
+    pub fn metrics(&self) -> Metrics {
         self.engine.metrics()
     }
 

@@ -14,9 +14,10 @@
 use cpm_geom::{Point, QueryId, Rect};
 use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
 
-use crate::engine::{CpmEngine, QuerySpec, SpecEvent, SpecQueryState};
+use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 use crate::partition::{Direction, Pinwheel};
+use crate::shard::ShardedCpmEngine;
 
 /// A point query with a rectangular constraint region: report the k objects
 /// inside `region` that lie closest to `q`.
@@ -97,14 +98,21 @@ impl QuerySpec for ConstrainedQuery {
 /// ```
 #[derive(Debug)]
 pub struct CpmConstrainedMonitor {
-    engine: CpmEngine<ConstrainedQuery>,
+    engine: ShardedCpmEngine<ConstrainedQuery>,
 }
 
 impl CpmConstrainedMonitor {
-    /// Create a monitor over an empty `dim × dim` grid.
+    /// Create a sequential monitor over an empty `dim × dim` grid.
     pub fn new(dim: u32) -> Self {
+        Self::new_sharded(dim, 1)
+    }
+
+    /// Create a monitor whose per-cycle maintenance runs across
+    /// `shards ≥ 1` worker threads (`shards = 1` is sequential; results
+    /// are bit-identical for every shard count — see [`ShardedCpmEngine`]).
+    pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: CpmEngine::new(dim),
+            engine: ShardedCpmEngine::new(dim, shards),
         }
     }
 
@@ -152,8 +160,8 @@ impl CpmConstrainedMonitor {
         self.engine.grid()
     }
 
-    /// Work counters.
-    pub fn metrics(&self) -> &Metrics {
+    /// Merged snapshot of the work counters.
+    pub fn metrics(&self) -> Metrics {
         self.engine.metrics()
     }
 

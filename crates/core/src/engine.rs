@@ -40,6 +40,7 @@
 use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
 use cpm_grid::{apply_events, CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, UpdateRecord};
 
+use crate::delta::{DeltaBuf, NeighborDelta};
 use crate::heap::{HeapEntry, SearchHeap};
 use crate::inlist::InList;
 use crate::neighbors::{Neighbor, NeighborList};
@@ -183,6 +184,12 @@ pub struct SpecQueryState<S> {
     in_list: InList,
     in_removed: bool,
     dirty: bool,
+    /// Delta log: `(id, cycle-start distance)` of every result entry
+    /// mutated in place this cycle (first mutation wins), recorded only
+    /// when delta collection is on. Together with the finalize-phase
+    /// snapshot this pins down the cycle-start list without ever copying
+    /// it ([`NeighborDelta::from_log`]).
+    delta_log: DeltaBuf<(ObjectId, f64)>,
 }
 
 impl<S: QuerySpec> SpecQueryState<S> {
@@ -201,6 +208,7 @@ impl<S: QuerySpec> SpecQueryState<S> {
             in_list: InList::with_cap(k),
             in_removed: false,
             dirty: false,
+            delta_log: DeltaBuf::new(),
         }
     }
 
@@ -245,6 +253,11 @@ pub(crate) struct EngineCore<S: QuerySpec> {
     ignored: FastHashSet<QueryId>,
     qid_buf: Vec<QueryId>,
     snapshot: Vec<Neighbor>,
+    /// When set, every cycle's result changes are also captured as
+    /// [`NeighborDelta`]s (cleared at cycle start, drained by the engine
+    /// wrappers' `process_cycle_with_deltas`).
+    collect_deltas: bool,
+    deltas: Vec<(QueryId, NeighborDelta)>,
 }
 
 impl<S: QuerySpec> EngineCore<S> {
@@ -258,7 +271,41 @@ impl<S: QuerySpec> EngineCore<S> {
             ignored: FastHashSet::default(),
             qid_buf: Vec::new(),
             snapshot: Vec::new(),
+            collect_deltas: false,
+            deltas: Vec::new(),
         }
+    }
+
+    /// Turn per-cycle delta capture on or off (off by default — capture
+    /// costs one O(result) snapshot per touched query per cycle).
+    pub(crate) fn set_collect_deltas(&mut self, on: bool) {
+        self.collect_deltas = on;
+    }
+
+    /// Whether per-cycle delta capture is on.
+    pub(crate) fn collects_deltas(&self) -> bool {
+        self.collect_deltas
+    }
+
+    /// The processing-cycle counter (0 before any cycle ran). Every core
+    /// of a sharded engine advances it identically, so delta epochs are
+    /// shard-count-invariant.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drain the deltas captured since the last cycle start. The
+    /// replacement buffer is pre-sized to the drained count so
+    /// steady-state cycles pay one allocation instead of a growth series.
+    pub(crate) fn take_deltas(&mut self) -> Vec<(QueryId, NeighborDelta)> {
+        let cap = self.deltas.len();
+        std::mem::replace(&mut self.deltas, Vec::with_capacity(cap))
+    }
+
+    /// Move the captured deltas into `out`, keeping this core's buffer
+    /// (the steady-state zero-allocation path).
+    pub(crate) fn drain_deltas_into(&mut self, out: &mut Vec<(QueryId, NeighborDelta)>) {
+        out.append(&mut self.deltas);
     }
 
     pub(crate) fn query_count(&self) -> usize {
@@ -300,6 +347,7 @@ impl<S: QuerySpec> EngineCore<S> {
     pub(crate) fn begin_cycle(&mut self, pending: impl Iterator<Item = QueryId>) {
         self.ignored.clear();
         self.ignored.extend(pending);
+        self.deltas.clear();
     }
 
     pub(crate) fn install(&mut self, grid: &Grid, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
@@ -376,11 +424,40 @@ impl<S: QuerySpec> EngineCore<S> {
                     self.terminate(*id);
                 }
                 SpecEvent::Update { id, spec } => {
-                    self.update_spec(grid, *id, spec.clone());
+                    let epoch = self.epoch;
+                    if self.collect_deltas {
+                        let st = self
+                            .queries
+                            .get_mut(id)
+                            .unwrap_or_else(|| panic!("update of unknown query {id}"));
+                        // Query events are rare relative to object
+                        // updates; a plain owned snapshot is fine here.
+                        let prev: Vec<Neighbor> = st.best.neighbors().to_vec();
+                        let delta = {
+                            let new = self.update_spec(grid, *id, spec.clone());
+                            NeighborDelta::diff(epoch, &prev, new)
+                        };
+                        if !delta.is_empty() {
+                            self.deltas.push((*id, delta));
+                        }
+                    } else {
+                        self.update_spec(grid, *id, spec.clone());
+                    }
                     changed.push(*id);
                 }
                 SpecEvent::Install { id, spec, k } => {
-                    self.install(grid, *id, spec.clone(), *k);
+                    let epoch = self.epoch;
+                    if self.collect_deltas {
+                        let delta = {
+                            let result = self.install(grid, *id, spec.clone(), *k);
+                            NeighborDelta::diff(epoch, &[], result)
+                        };
+                        if !delta.is_empty() {
+                            self.deltas.push((*id, delta));
+                        }
+                    } else {
+                        self.install(grid, *id, spec.clone(), *k);
+                    }
                     changed.push(*id);
                 }
             }
@@ -526,15 +603,25 @@ impl<S: QuerySpec> EngineCore<S> {
                 st.in_removed = true;
             }
             if st.best.contains(id) {
+                // `is_finite` mirrors the arrival guard: with an unfull
+                // result `bd_orig` is +∞, and a member moving somewhere it
+                // can never qualify (outside a constraint/range region,
+                // dist = +∞) must be outgoing, not kept at rank ∞.
                 let still_in = new_pos
                     .map(|p| st.spec.dist(p))
-                    .filter(|d| *d <= st.bd_orig);
-                match still_in {
+                    .filter(|d| d.is_finite() && *d <= st.bd_orig);
+                let old_entry = match still_in {
                     Some(d) => st.best.update_dist(id, d),
                     None => {
-                        st.best.remove(id);
                         st.out_count += 1;
+                        st.best.remove(id).expect("member just checked")
                     }
+                };
+                // The replaced entry carries the cycle-start distance the
+                // delta needs: log it (first mutation wins), and the
+                // cycle-start list never has to be copied anywhere.
+                if self.collect_deltas && !st.delta_log.iter().any(|&(l, _)| l == old_entry.id) {
+                    st.delta_log.push((old_entry.id, old_entry.dist));
                 }
                 st.dirty = true;
             }
@@ -568,23 +655,31 @@ impl<S: QuerySpec> EngineCore<S> {
             st.in_list.clear();
             st.in_removed = false;
             st.dirty = false;
+            st.delta_log.clear();
             touched.push(st.id);
         }
     }
 
     fn finalize_touched(&mut self, grid: &Grid, changed: &mut Vec<QueryId>) {
-        let touched = std::mem::take(&mut self.touched);
+        let mut touched = std::mem::take(&mut self.touched);
+        // Each query's resolution is independent, so the finalize order is
+        // free to choose. With delta capture on, walking in ascending id
+        // order makes the emitted delta list born-canonical — sorting the
+        // 4-byte ids here is far cheaper than sorting materialized deltas
+        // afterwards.
+        if self.collect_deltas {
+            touched.sort_unstable();
+        }
         for &qid in &touched {
             let st = self.queries.get_mut(&qid).expect("touched query installed");
             let unsound_in_list = st.in_list.evicted_since_clear() && st.in_removed;
 
+            let mut resolved = false;
             if unsound_in_list || st.in_list.len() < st.out_count {
                 self.snapshot.clear();
                 self.snapshot.extend_from_slice(st.best.neighbors());
                 Self::recompute(grid, &mut self.influence, st, &mut self.metrics);
-                if self.snapshot != st.best.neighbors() {
-                    changed.push(qid);
-                }
+                resolved = true;
             } else if st.out_count > 0 || st.in_list.len() > 0 {
                 self.snapshot.clear();
                 self.snapshot.extend_from_slice(st.best.neighbors());
@@ -593,12 +688,47 @@ impl<S: QuerySpec> EngineCore<S> {
                 candidates.extend_from_slice(st.in_list.entries());
                 st.best.rebuild_from(candidates);
                 self.metrics.merge_resolutions += 1;
+                resolved = true;
                 Self::sync_influence(&mut self.influence, st);
-                if st.dirty || self.snapshot != st.best.neighbors() {
-                    changed.push(qid);
-                }
             } else if st.dirty {
                 Self::sync_influence(&mut self.influence, st);
+            }
+
+            // Change detection. `dirty` covers in-place departure
+            // mutations: the snapshot is *post*-departure, so a result
+            // that shrank and refilled nothing compares equal to it even
+            // though it changed versus the cycle start.
+            if self.collect_deltas {
+                if resolved || st.dirty {
+                    // Everything the delta needs is cache-hot right here:
+                    // the pre-resolution snapshot (just written above; the
+                    // final list itself when no merge/recompute ran), the
+                    // final list, and the in-place mutation log pinning
+                    // down the cycle-start distances. The delta subsumes
+                    // the plain path's snapshot comparison: for non-dirty
+                    // queries an empty delta means bitwise-equal lists
+                    // (distances are never NaN or -0.0, so bit equality
+                    // and `==` agree), keeping `changed` identical with
+                    // capture on or off.
+                    let pre: &[Neighbor] = if resolved {
+                        &self.snapshot
+                    } else {
+                        st.best.neighbors()
+                    };
+                    let delta = NeighborDelta::from_log(
+                        self.epoch,
+                        pre,
+                        st.delta_log.as_slice(),
+                        st.best.neighbors(),
+                    );
+                    if st.dirty || !delta.is_empty() {
+                        changed.push(qid);
+                    }
+                    if !delta.is_empty() {
+                        self.deltas.push((qid, delta));
+                    }
+                }
+            } else if st.dirty || (resolved && self.snapshot != st.best.neighbors()) {
                 changed.push(qid);
             }
         }
@@ -734,6 +864,25 @@ impl<S: QuerySpec> CpmEngine<S> {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<S>],
     ) -> Vec<QueryId> {
+        assert!(
+            !self.core.collects_deltas(),
+            "this engine collects deltas: use process_cycle_with_deltas, or the delta \
+             stream silently loses this cycle's changes"
+        );
+        let mut changed = Vec::new();
+        self.run_cycle(object_events, query_events, &mut changed);
+        changed
+    }
+
+    /// The cycle body shared by [`CpmEngine::process_cycle`] and the
+    /// delta-returning variants; changed ids are appended to the caller's
+    /// buffer so recycling callers allocate nothing per cycle.
+    fn run_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+        changed: &mut Vec<QueryId>,
+    ) {
         self.core.begin_cycle(query_events.iter().map(|ev| ev.id()));
 
         // Phase 1: sequential grid ingest.
@@ -742,12 +891,65 @@ impl<S: QuerySpec> CpmEngine<S> {
             apply_events(&mut self.grid, object_events, &mut self.records);
 
         // Phase 2: query maintenance over the immutable grid.
-        let mut changed = Vec::new();
+        self.core.apply_records(&self.grid, &self.records, changed);
         self.core
-            .apply_records(&self.grid, &self.records, &mut changed);
-        self.core
-            .apply_query_events(&self.grid, query_events, &mut changed);
-        changed
+            .apply_query_events(&self.grid, query_events, changed);
+    }
+
+    /// Turn per-cycle delta capture on (see
+    /// [`CpmEngine::process_cycle_with_deltas`]). Capture costs one
+    /// O(result) snapshot per touched query per cycle and is off by
+    /// default.
+    pub fn enable_deltas(&mut self) {
+        self.core.set_collect_deltas(true);
+    }
+
+    /// The processing-cycle counter: 0 before any cycle, incremented by
+    /// every `process_cycle` call. Delta epochs carry this value.
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Run one processing cycle and return the per-query result deltas
+    /// alongside the changed-query list (both ascending by query id).
+    ///
+    /// # Panics
+    /// Panics if delta capture was not enabled with
+    /// [`CpmEngine::enable_deltas`] — silently returning an empty batch
+    /// would break replay losslessness.
+    pub fn process_cycle_with_deltas(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+    ) -> crate::delta::CycleDeltas {
+        let mut out = crate::delta::CycleDeltas::default();
+        self.process_cycle_with_deltas_into(object_events, query_events, &mut out);
+        out
+    }
+
+    /// [`CpmEngine::process_cycle_with_deltas`], but refilling a
+    /// caller-owned batch so a steady-state caller that recycles the same
+    /// [`crate::CycleDeltas`] pays no per-cycle batch allocation.
+    ///
+    /// # Panics
+    /// Panics if delta capture was not enabled with
+    /// [`CpmEngine::enable_deltas`].
+    pub fn process_cycle_with_deltas_into(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+        out: &mut crate::delta::CycleDeltas,
+    ) {
+        assert!(
+            self.core.collect_deltas,
+            "enable_deltas() must be called before processing cycles with deltas"
+        );
+        out.changed.clear();
+        self.run_cycle(object_events, query_events, &mut out.changed);
+        out.changed.sort_unstable();
+        out.deltas.clear();
+        self.core.drain_deltas_into(&mut out.deltas);
+        out.canonicalize(self.core.epoch());
     }
 
     /// Verify all cross-structure invariants (test helper).

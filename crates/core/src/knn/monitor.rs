@@ -402,7 +402,11 @@ impl CpmKnnMonitor {
                     self.metrics.recomputations += 1;
                     self.metrics.computations -= 1;
                 }
-                if self.snapshot != st.best.neighbors() {
+                // `dirty` covers in-place departure mutations: the
+                // snapshot here is *post*-departure, so a result that
+                // shrank and refilled nothing compares equal to it even
+                // though it changed versus the cycle start.
+                if st.dirty || self.snapshot != st.best.neighbors() {
                     changed.push(qid);
                 }
             } else if st.out_count > 0 || st.in_list.len() > 0 {

@@ -14,11 +14,19 @@
 //!   `max` (Section 5). Entry point: [`CpmAnnMonitor`].
 //! * [`constrained`] — constrained NN monitoring restricted to a
 //!   rectangular region (Section 5). Entry point: [`CpmConstrainedMonitor`].
+//! * [`range`] — continuous range monitoring (rectangle/circle
+//!   membership), the subscription shape of location-aware pub/sub. Entry
+//!   point: [`CpmRangeMonitor`].
 //! * [`shard`] — sharded parallel cycle processing: queries partitioned
 //!   across worker threads over one shared grid, bit-identical to the
 //!   sequential engine. Entry points: [`ShardedCpmEngine`],
 //!   [`ShardedKnnMonitor`].
+//! * [`delta`] — per-cycle result deltas ([`NeighborDelta`]), extracted
+//!   inside the maintenance phase and merged deterministically across
+//!   shards; the wire format of the [`cpm-sub`] subscription layer.
 //! * [`analysis`] — the closed-form cost model of Section 4.1.
+//!
+//! [`cpm-sub`]: ../cpm_sub/index.html
 //!
 //! The substrate (grid index, influence lists, metrics) lives in
 //! [`cpm_grid`]; geometry primitives in [`cpm_geom`].
@@ -29,21 +37,25 @@
 pub mod analysis;
 pub mod ann;
 pub mod constrained;
+pub mod delta;
 pub mod engine;
 pub mod heap;
 mod inlist;
 pub mod knn;
 pub mod neighbors;
 pub mod partition;
+pub mod range;
 pub mod rnn;
 pub mod shard;
 
 pub use analysis::CostModel;
 pub use ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
 pub use constrained::{ConstrainedQuery, CpmConstrainedMonitor};
+pub use delta::{CycleDeltas, NeighborDelta};
 pub use engine::{CpmEngine, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
 pub use knn::{CpmConfig, CpmKnnMonitor, KnnQueryState};
 pub use neighbors::{Neighbor, NeighborList};
 pub use partition::{Direction, Pinwheel, Strip};
+pub use range::{CpmRangeMonitor, RangeQuery, Region};
 pub use rnn::CpmRnnMonitor;
 pub use shard::{shard_of, ShardedCpmEngine, ShardedKnnMonitor};

@@ -9,7 +9,7 @@
 use cpm_geom::{FastHashSet, ObjectId};
 
 /// One result entry: object id plus its (aggregate) distance to the query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Neighbor {
     /// The object.
     pub id: ObjectId,
@@ -28,11 +28,16 @@ pub struct NeighborList {
 
 impl NeighborList {
     /// An empty list with capacity `k ≥ 1`.
+    ///
+    /// The allocation hint is bounded: range subscriptions use a huge `k`
+    /// as an "unbounded result" sentinel ([`crate::range::RangeQuery`]),
+    /// and the entry vector must grow to the actual result size, not to
+    /// the sentinel.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
         Self {
             k,
-            entries: Vec::with_capacity(k),
+            entries: Vec::with_capacity(k.min(256)),
             members: FastHashSet::default(),
         }
     }
@@ -135,16 +140,17 @@ impl NeighborList {
 
     /// Update the stored distance of a member that moved but remains in the
     /// result ("update the order in `q.best_NN`", Figure 3.8 line 9).
+    /// Returns the replaced entry (with its previous distance) — the delta
+    /// path logs it as the cycle-start state.
     ///
     /// # Panics
     /// Panics if `id` is not a member.
-    pub fn update_dist(&mut self, id: ObjectId, dist: f64) {
+    pub fn update_dist(&mut self, id: ObjectId, dist: f64) -> Neighbor {
         let old = self.remove(id).expect("update_dist of non-member");
-        let n = Neighbor { id, dist: old.dist };
-        let _ = n; // old entry discarded; reinsert at the new rank
         let at = self.insertion_point(Neighbor { id, dist });
         self.entries.insert(at, Neighbor { id, dist });
         self.members.insert(id);
+        old
     }
 
     /// Rebuild from an iterator of candidates, keeping the best `k`.

@@ -1,0 +1,438 @@
+//! Continuous *range* monitoring: report every object inside a query
+//! rectangle or circle, maintained incrementally by the CPM machinery.
+//!
+//! Range queries are the workload of the distributed continuous-query
+//! monitors CPM is contrasted with in Table 2.1 (Q-index, MQM, Mobieyes,
+//! SINA all monitor ranges), and the natural subscription shape for a
+//! location-aware pub/sub front end ([`cpm-sub`]): "notify me about every
+//! object inside this region".
+//!
+//! The adaptation degenerates gracefully from the k-NN case:
+//!
+//! * **No best-dist bookkeeping.** A range result is never "full", so
+//!   `best_dist` stays `+∞`: the initial search drains the heap completely
+//!   rather than stopping at a k-th neighbor. [`QuerySpec::admits_cell`]
+//!   restricts the drain to cells intersecting the region, so the visit
+//!   list is exactly the region's cell cover.
+//! * **Influence region = the region itself.** With an infinite
+//!   `best_dist` the influence prefix is the whole visit list — precisely
+//!   the cells overlapping the query rectangle/circle. An update outside
+//!   the region costs nothing, as for k-NN.
+//! * **Objects outside the region never qualify**: their distance is `+∞`
+//!   (the constrained-query convention of Section 5).
+//!
+//! Results are ordered ascending by `(distance to the region's anchor
+//! point, id)` — the same canonical order every other monitor uses — so
+//! deltas, sharding and replay behave identically for range and k-NN
+//! subscriptions.
+//!
+//! [`cpm-sub`]: ../../cpm_sub/index.html
+
+use cpm_geom::{ObjectId, Point, QueryId, Rect};
+use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
+
+use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
+use crate::neighbors::Neighbor;
+use crate::partition::{Direction, Pinwheel};
+use crate::shard::ShardedCpmEngine;
+
+/// The monitored region of a [`RangeQuery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Region {
+    /// A closed axis-aligned rectangle.
+    Rect(Rect),
+    /// A closed disk.
+    Circle {
+        /// Disk center.
+        center: Point,
+        /// Disk radius (≥ 0).
+        radius: f64,
+    },
+}
+
+impl Region {
+    /// `true` if `p` lies inside the closed region.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        match *self {
+            Region::Rect(r) => r.contains(p),
+            Region::Circle { center, radius } => center.dist_sq(p) <= radius * radius,
+        }
+    }
+
+    /// The region's bounding rectangle (clamped to the workspace).
+    pub fn bbox(&self) -> Rect {
+        match *self {
+            Region::Rect(r) => r,
+            Region::Circle { center, radius } => Rect::new(
+                Point::new((center.x - radius).max(0.0), (center.y - radius).max(0.0)),
+                Point::new((center.x + radius).min(1.0), (center.y + radius).min(1.0)),
+            ),
+        }
+    }
+
+    /// The anchor point results are ordered around: the rectangle center
+    /// or the disk center.
+    #[inline]
+    pub fn anchor(&self) -> Point {
+        match *self {
+            Region::Rect(r) => r.center(),
+            Region::Circle { center, .. } => center,
+        }
+    }
+
+    /// `true` if the region intersects `rect`.
+    #[inline]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        match *self {
+            Region::Rect(r) => r.intersects(rect),
+            Region::Circle { center, radius } => rect.intersects_circle(center, radius),
+        }
+    }
+}
+
+/// A continuous range query: report every object inside [`Region`],
+/// ascending by `(distance to the region anchor, id)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// The monitored region.
+    pub region: Region,
+}
+
+impl RangeQuery {
+    /// The `k` a range query is installed with: an unbounded-result
+    /// sentinel far above any realistic object population, so the result
+    /// list never fills and `best_dist` stays `+∞` (no best-dist
+    /// bookkeeping). [`crate::NeighborList`] bounds its allocation hint,
+    /// so the sentinel costs nothing.
+    pub const UNBOUNDED_K: usize = 1 << 24;
+
+    /// Monitor a rectangle.
+    pub fn rect(region: Rect) -> Self {
+        Self {
+            region: Region::Rect(region),
+        }
+    }
+
+    /// Monitor a disk.
+    pub fn circle(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "negative radius");
+        Self {
+            region: Region::Circle { center, radius },
+        }
+    }
+}
+
+impl QuerySpec for RangeQuery {
+    #[inline]
+    fn dist(&self, p: Point) -> f64 {
+        if self.region.contains(p) {
+            self.region.anchor().dist(p)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
+        let bbox = self.region.bbox();
+        (grid.cell_of(bbox.lo), grid.cell_of(bbox.hi))
+    }
+
+    #[inline]
+    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
+        grid.mindist(cell, self.region.anchor())
+    }
+
+    #[inline]
+    fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64 {
+        pw.strip_mindist(dir, lvl, self.region.anchor())
+    }
+
+    #[inline]
+    fn strip_increment(&self, delta: f64) -> f64 {
+        delta
+    }
+
+    #[inline]
+    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
+        self.region.intersects_rect(&grid.cell_rect(cell))
+    }
+}
+
+/// Continuous range monitor: the CPM machinery over [`RangeQuery`]
+/// geometries, optionally sharded across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use cpm_core::range::{CpmRangeMonitor, RangeQuery};
+/// use cpm_geom::{ObjectId, Point, QueryId, Rect};
+/// use cpm_grid::ObjectEvent;
+///
+/// let mut monitor = CpmRangeMonitor::new(64);
+/// monitor.populate([
+///     (ObjectId(0), Point::new(0.40, 0.40)), // inside
+///     (ObjectId(1), Point::new(0.90, 0.90)), // outside
+/// ]);
+/// let region = Rect::new(Point::new(0.25, 0.25), Point::new(0.75, 0.75));
+/// monitor.install_query(QueryId(0), RangeQuery::rect(region));
+/// assert_eq!(monitor.result(QueryId(0)).unwrap().len(), 1);
+///
+/// // The outsider drives into the region.
+/// let changed = monitor.process_cycle(
+///     &[ObjectEvent::Move { id: ObjectId(1), to: Point::new(0.6, 0.6) }],
+///     &[],
+/// );
+/// assert_eq!(changed, vec![QueryId(0)]);
+/// assert_eq!(monitor.result(QueryId(0)).unwrap().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CpmRangeMonitor {
+    engine: ShardedCpmEngine<RangeQuery>,
+}
+
+impl CpmRangeMonitor {
+    /// Create a sequential monitor over an empty `dim × dim` grid.
+    pub fn new(dim: u32) -> Self {
+        Self::new_sharded(dim, 1)
+    }
+
+    /// Create a monitor whose per-cycle maintenance runs across
+    /// `shards ≥ 1` worker threads (`shards = 1` is sequential).
+    pub fn new_sharded(dim: u32, shards: usize) -> Self {
+        Self {
+            engine: ShardedCpmEngine::new(dim, shards),
+        }
+    }
+
+    /// Bulk-load objects before any query is installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        self.engine.populate(objects);
+    }
+
+    /// Install a continuous range query and compute its initial result.
+    pub fn install_query(&mut self, id: QueryId, query: RangeQuery) -> &[Neighbor] {
+        self.engine.install(id, query, RangeQuery::UNBOUNDED_K)
+    }
+
+    /// Terminate a query; `true` if it was installed.
+    pub fn terminate_query(&mut self, id: QueryId) -> bool {
+        self.engine.terminate(id)
+    }
+
+    /// Run one processing cycle over object and query events. Install
+    /// events must carry `k =` [`RangeQuery::UNBOUNDED_K`].
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<RangeQuery>],
+    ) -> Vec<QueryId> {
+        self.engine.process_cycle(object_events, query_events)
+    }
+
+    /// Current result of query `id`: every object inside the region,
+    /// ascending by `(distance to the region anchor, id)`.
+    pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
+        self.engine.result(id)
+    }
+
+    /// Full book-keeping state of query `id`.
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<RangeQuery>> {
+        self.engine.query_state(id)
+    }
+
+    /// The object index.
+    pub fn grid(&self) -> &Grid {
+        self.engine.grid()
+    }
+
+    /// Number of installed queries.
+    pub fn query_count(&self) -> usize {
+        self.engine.query_count()
+    }
+
+    /// Merged snapshot of the work counters.
+    pub fn metrics(&self) -> Metrics {
+        self.engine.metrics()
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.engine.take_metrics()
+    }
+
+    /// Verify internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Ground truth: objects inside the region, ascending by
+    /// `(anchor distance, id)`.
+    fn brute_force(m: &CpmRangeMonitor, q: &RangeQuery) -> Vec<Neighbor> {
+        let anchor = q.region.anchor();
+        let mut out: Vec<Neighbor> = m
+            .grid()
+            .iter_objects()
+            .filter(|&(_, p)| q.region.contains(p))
+            .map(|(id, p)| Neighbor {
+                id,
+                dist: anchor.dist(p),
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            (a.dist, a.id)
+                .partial_cmp(&(b.dist, b.id))
+                .expect("finite distances")
+        });
+        out
+    }
+
+    fn assert_matches(m: &CpmRangeMonitor, qid: QueryId) {
+        let st = m.query_state(qid).unwrap();
+        let expect = brute_force(m, &st.spec);
+        assert_eq!(st.result(), expect.as_slice(), "query {qid}");
+    }
+
+    #[test]
+    fn rect_region_reports_exact_membership() {
+        let mut m = CpmRangeMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.3, 0.3)),
+            (ObjectId(1), Point::new(0.5, 0.5)),
+            (ObjectId(2), Point::new(0.74, 0.74)),
+            (ObjectId(3), Point::new(0.76, 0.76)), // just outside
+        ]);
+        let q = RangeQuery::rect(Rect::new(Point::new(0.25, 0.25), Point::new(0.75, 0.75)));
+        m.install_query(QueryId(0), q);
+        let ids: Vec<ObjectId> = m.result(QueryId(0)).unwrap().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![ObjectId(1), ObjectId(0), ObjectId(2)]);
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn circle_region_boundary_is_closed() {
+        let mut m = CpmRangeMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.5, 0.7)), // exactly on the boundary
+            (ObjectId(1), Point::new(0.5, 0.71)),
+        ]);
+        m.install_query(QueryId(0), RangeQuery::circle(Point::new(0.5, 0.5), 0.2));
+        let ids: Vec<ObjectId> = m.result(QueryId(0)).unwrap().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![ObjectId(0)]);
+    }
+
+    #[test]
+    fn influence_region_is_the_region_cover() {
+        let mut m = CpmRangeMonitor::new(8);
+        m.populate([(ObjectId(0), Point::new(0.4, 0.4))]);
+        let region = Rect::new(Point::new(0.30, 0.30), Point::new(0.60, 0.60));
+        m.install_query(QueryId(0), RangeQuery::rect(region));
+        let st = m.query_state(QueryId(0)).unwrap();
+        // Every visited cell is influence-registered (best_dist = +∞) and
+        // intersects the region.
+        assert_eq!(st.influence_len, st.visit_list.len());
+        for &(cell, _) in &st.visit_list {
+            assert!(m.grid().cell_rect(cell).intersects(&region));
+        }
+        // And the cover is complete: 0.30..0.60 on an 8-grid spans cells
+        // 2..=4 per axis.
+        assert_eq!(st.visit_list.len(), 9);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn randomized_churn_tracks_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0x7A4);
+        for shards in [1usize, 4] {
+            let mut m = CpmRangeMonitor::new_sharded(16, shards);
+            m.populate((0..60u32).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+            m.install_query(
+                QueryId(0),
+                RangeQuery::rect(Rect::new(Point::new(0.2, 0.3), Point::new(0.7, 0.8))),
+            );
+            m.install_query(QueryId(1), RangeQuery::circle(Point::new(0.6, 0.4), 0.25));
+            let mut live: Vec<u32> = (0..60).collect();
+            let mut next = 60u32;
+            for _ in 0..30 {
+                let mut evs = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(0..10) {
+                    match rng.gen_range(0..8) {
+                        0 if live.len() > 3 => {
+                            let id = live.swap_remove(rng.gen_range(0..live.len()));
+                            if seen.insert(id) {
+                                evs.push(ObjectEvent::Disappear { id: ObjectId(id) });
+                            } else {
+                                live.push(id);
+                            }
+                        }
+                        1 => {
+                            live.push(next);
+                            seen.insert(next);
+                            evs.push(ObjectEvent::Appear {
+                                id: ObjectId(next),
+                                pos: Point::new(rng.gen(), rng.gen()),
+                            });
+                            next += 1;
+                        }
+                        _ => {
+                            let id = live[rng.gen_range(0..live.len())];
+                            if seen.insert(id) {
+                                evs.push(ObjectEvent::Move {
+                                    id: ObjectId(id),
+                                    to: Point::new(rng.gen(), rng.gen()),
+                                });
+                            }
+                        }
+                    }
+                }
+                m.process_cycle(&evs, &[]);
+                m.check_invariants();
+                assert_matches(&m, QueryId(0));
+                assert_matches(&m, QueryId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn moving_the_region_recomputes() {
+        let mut m = CpmRangeMonitor::new(16);
+        m.populate([
+            (ObjectId(0), Point::new(0.2, 0.2)),
+            (ObjectId(1), Point::new(0.8, 0.8)),
+        ]);
+        m.install_query(
+            QueryId(0),
+            RangeQuery::rect(Rect::new(Point::new(0.1, 0.1), Point::new(0.3, 0.3))),
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(0));
+        m.process_cycle(
+            &[],
+            &[SpecEvent::Update {
+                id: QueryId(0),
+                spec: RangeQuery::rect(Rect::new(Point::new(0.7, 0.7), Point::new(0.9, 0.9))),
+            }],
+        );
+        assert_eq!(m.result(QueryId(0)).unwrap()[0].id, ObjectId(1));
+        assert_matches(&m, QueryId(0));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn empty_region_yields_empty_result() {
+        let mut m = CpmRangeMonitor::new(8);
+        m.populate([(ObjectId(0), Point::new(0.9, 0.9))]);
+        m.install_query(QueryId(0), RangeQuery::circle(Point::new(0.1, 0.1), 0.05));
+        assert!(m.result(QueryId(0)).unwrap().is_empty());
+        m.check_invariants();
+    }
+}

@@ -14,7 +14,8 @@
 //! other than the farther one is to `q`). So:
 //!
 //! 1. **Candidates** — six sector-constrained continuous 1-NN queries,
-//!    each an instantiation of the generic [`CpmEngine`] with a
+//!    each an instantiation of the generic engine
+//!    ([`crate::ShardedCpmEngine`], sequential by default) with a
 //!    [`QuerySpec`] whose admission test is wedge/cell intersection.
 //!    All CPM book-keeping (influence lists, visit lists, in/out merge)
 //!    applies unchanged, so candidate maintenance touches only relevant
@@ -29,8 +30,9 @@ use std::f64::consts::TAU;
 use cpm_geom::{FastHashMap, ObjectId, Point, QueryId, Rect};
 use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent, QueryEvent};
 
-use crate::engine::{CpmEngine, QuerySpec, SpecEvent};
+use crate::engine::{QuerySpec, SpecEvent};
 use crate::partition::{Direction, Pinwheel};
+use crate::shard::ShardedCpmEngine;
 
 /// Number of wedges; 60° each makes the candidate lemma hold.
 const SECTORS: u32 = 6;
@@ -180,7 +182,7 @@ struct RnnQueryState {
 /// ```
 #[derive(Debug)]
 pub struct CpmRnnMonitor {
-    engine: CpmEngine<SectorQuery>,
+    engine: ShardedCpmEngine<SectorQuery>,
     queries: FastHashMap<QueryId, RnnQueryState>,
     /// Verification work (cell accesses / objects processed), kept apart
     /// from the engine's candidate-maintenance counters.
@@ -188,10 +190,18 @@ pub struct CpmRnnMonitor {
 }
 
 impl CpmRnnMonitor {
-    /// Create a monitor over an empty `dim × dim` grid.
+    /// Create a sequential monitor over an empty `dim × dim` grid.
     pub fn new(dim: u32) -> Self {
+        Self::new_sharded(dim, 1)
+    }
+
+    /// Create a monitor whose candidate maintenance (the six
+    /// sector-constrained 1-NN queries per RNN query) runs across
+    /// `shards ≥ 1` worker threads (`shards = 1` is sequential; candidate
+    /// results are bit-identical for every shard count).
+    pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: CpmEngine::new(dim),
+            engine: ShardedCpmEngine::new(dim, shards),
             queries: FastHashMap::default(),
             verify_metrics: Metrics::default(),
         }
@@ -209,7 +219,7 @@ impl CpmRnnMonitor {
 
     /// Combined work counters (candidate maintenance + verification).
     pub fn metrics(&self) -> Metrics {
-        let mut m = *self.engine.metrics();
+        let mut m = self.engine.metrics();
         m.merge(&self.verify_metrics);
         m
     }

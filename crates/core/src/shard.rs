@@ -35,6 +35,7 @@
 use cpm_geom::{ObjectId, Point, QueryId};
 use cpm_grid::{apply_events, Grid, Metrics, ObjectEvent, QueryEvent, UpdateRecord};
 
+use crate::delta::{CycleDeltas, NeighborDelta};
 use crate::engine::{EngineCore, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 
@@ -54,17 +55,18 @@ pub fn shard_of(id: QueryId, shards: usize) -> usize {
 
 /// One shard's share of a processing cycle: batched update handling over
 /// the shared (now immutable) grid, then this shard's query events.
+/// The returned delta list is empty unless the core collects deltas.
 fn run_shard<S: QuerySpec>(
     core: &mut EngineCore<S>,
     grid: &Grid,
     records: &[UpdateRecord],
     events: &[SpecEvent<S>],
-) -> Vec<QueryId> {
+) -> (Vec<QueryId>, Vec<(QueryId, NeighborDelta)>) {
     let mut changed = Vec::new();
     core.begin_cycle(events.iter().map(|ev| ev.id()));
     core.apply_records(grid, records, &mut changed);
     core.apply_query_events(grid, events, &mut changed);
-    changed
+    (changed, core.take_deltas())
 }
 
 /// A conceptual-partitioning monitor whose per-cycle query maintenance runs
@@ -167,6 +169,24 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
         self.shards[shard].terminate(id)
     }
 
+    /// Replace the geometry of query `id` on its owning shard (terminate +
+    /// reinstall, as in Section 3.3).
+    ///
+    /// With delta capture enabled, prefer submitting a
+    /// [`SpecEvent::Update`] to `process_cycle_with_deltas` instead: this
+    /// direct call changes the result *between* cycles, outside the delta
+    /// stream (as do [`ShardedCpmEngine::install`] and
+    /// [`ShardedCpmEngine::terminate`] — legitimate for pre-stream setup,
+    /// lossy mid-stream).
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
+    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+        let shard = shard_of(id, self.shards.len());
+        let grid = &self.grid;
+        self.shards[shard].update_spec(grid, id, spec)
+    }
+
     /// Merged snapshot of the work counters accumulated since the last
     /// [`ShardedCpmEngine::take_metrics`]: the sum of every shard's
     /// counters plus the ingest phase's.
@@ -196,6 +216,96 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<S>],
     ) -> Vec<QueryId> {
+        assert!(
+            !self.shards.iter().any(|c| c.collects_deltas()),
+            "this engine collects deltas: use process_cycle_with_deltas, or the delta \
+             stream silently loses this cycle's changes"
+        );
+        // Without delta capture the per-core delta buffers stay empty, so
+        // the drain into this throwaway vector never allocates.
+        let mut discard = Vec::new();
+        let mut changed = Vec::new();
+        self.run_cycle(object_events, query_events, &mut changed, &mut discard);
+        changed
+    }
+
+    /// Turn per-cycle delta capture on, on every shard (see
+    /// [`ShardedCpmEngine::process_cycle_with_deltas`]).
+    pub fn enable_deltas(&mut self) {
+        for core in &mut self.shards {
+            core.set_collect_deltas(true);
+        }
+    }
+
+    /// The processing-cycle counter: 0 before any cycle, incremented by
+    /// every `process_cycle` call. Every shard advances it identically, so
+    /// delta epochs are shard-count-invariant.
+    pub fn epoch(&self) -> u64 {
+        self.shards[0].epoch()
+    }
+
+    /// Run one processing cycle and return the per-query result deltas
+    /// alongside the changed-query list. Per-shard delta lists are
+    /// concatenated in shard order and canonicalized by query id, so the
+    /// batch is **bit-identical** to the sequential engine's for every
+    /// shard count (asserted by the delta-replay suite).
+    ///
+    /// # Panics
+    /// Panics if delta capture was not enabled with
+    /// [`ShardedCpmEngine::enable_deltas`].
+    pub fn process_cycle_with_deltas(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+    ) -> CycleDeltas {
+        let mut out = CycleDeltas::default();
+        self.process_cycle_with_deltas_into(object_events, query_events, &mut out);
+        out
+    }
+
+    /// [`ShardedCpmEngine::process_cycle_with_deltas`], but refilling a
+    /// caller-owned batch: `out`'s buffers are cleared and reused, so a
+    /// steady-state caller that recycles the same [`CycleDeltas`] (the
+    /// subscription hub, the delta benchmark) pays no per-cycle batch
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if delta capture was not enabled with
+    /// [`ShardedCpmEngine::enable_deltas`].
+    pub fn process_cycle_with_deltas_into(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+        out: &mut CycleDeltas,
+    ) {
+        assert!(
+            self.shards.iter().all(|c| c.collects_deltas()),
+            "enable_deltas() must be called before processing cycles with deltas"
+        );
+        out.deltas.clear();
+        out.changed.clear();
+        self.run_cycle(
+            object_events,
+            query_events,
+            &mut out.changed,
+            &mut out.deltas,
+        );
+        out.canonicalize(self.epoch());
+    }
+
+    /// The shared cycle body behind [`ShardedCpmEngine::process_cycle`]
+    /// and [`ShardedCpmEngine::process_cycle_with_deltas`]. Changed ids
+    /// are appended to `changed` (left sorted); captured deltas are
+    /// appended to `deltas_out` in shard order (nothing is appended
+    /// unless capture is on). Both buffers are the caller's, so recycling
+    /// callers allocate nothing per cycle.
+    fn run_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<S>],
+        changed: &mut Vec<QueryId>,
+        deltas_out: &mut Vec<(QueryId, NeighborDelta)>,
+    ) {
         let n = self.shards.len();
 
         // Phase 1: sequential grid ingest (the only grid mutation).
@@ -206,9 +316,14 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
         let grid = &self.grid;
         let records = self.records.as_slice();
 
-        let mut changed: Vec<QueryId> = if n == 1 {
-            // Sequential path: no routing, no worker threads.
-            run_shard(&mut self.shards[0], grid, records, query_events)
+        if n == 1 {
+            // Sequential path: no routing, no worker threads; deltas move
+            // straight from the core's buffer into the caller's.
+            let core = &mut self.shards[0];
+            core.begin_cycle(query_events.iter().map(|ev| ev.id()));
+            core.apply_records(grid, records, changed);
+            core.apply_query_events(grid, query_events, changed);
+            core.drain_deltas_into(deltas_out);
         } else {
             // Route each query event to the shard that owns its query
             // (scratch buffers persist across cycles to avoid steady-state
@@ -233,18 +348,18 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
                     .collect();
                 // Join in shard order: the merge is deterministic regardless
                 // of which worker finishes first.
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
+                for h in handles {
+                    let (c, d) = h.join().expect("shard worker panicked");
+                    changed.extend(c);
+                    deltas_out.extend(d);
+                }
             })
-        };
+        }
 
         // Canonical order. Shards own disjoint query sets and a query with a
         // pending query event is ignored during update handling, so the
         // concatenation is duplicate-free and the sort is a total order.
         changed.sort_unstable();
-        changed
     }
 
     /// Total memory footprint in the paper's memory units (Section 4.1):

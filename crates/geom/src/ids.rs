@@ -8,11 +8,11 @@ use std::fmt;
 /// Stored as a `u32`: the paper's largest experiment uses 200K objects, and a
 /// 4-byte id keeps cell object lists and `best_NN` entries compact (the
 /// space analysis of Section 4.1 charges one memory unit per id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u32);
 
 /// Identifier of an installed continuous query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u32);
 
 impl ObjectId {

@@ -16,9 +16,17 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (matching real proptest) — CI jobs pin it so
+    /// property-test wall time stays bounded.
     fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256);
         Self {
-            cases: 256,
+            cases,
             seed: 0x5EED_CA5E,
         }
     }

@@ -8,7 +8,8 @@
 //! * [`stream`] — pre-generated update streams so every contender replays
 //!   the identical workload.
 //! * [`runner`] — timed replay, per-run reports, and the
-//!   oracle-verification harness used by the integration tests.
+//!   oracle-verification harnesses used by the integration tests
+//!   (contender agreement, sharded determinism, delta-stream replay).
 //! * [`viz`] — ASCII rendering of grids and query book-keeping.
 
 #![warn(missing_docs)]
@@ -22,10 +23,10 @@ pub mod stream;
 pub mod viz;
 
 pub use algo::{AlgoKind, KnnMonitorAlgo};
-pub use oracle::OracleMonitor;
+pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
 pub use runner::{
-    run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_sharded_determinism,
-    RunReport,
+    run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_delta_replay,
+    verify_sharded_determinism, RunReport,
 };
 pub use stream::SimulationInput;

@@ -9,8 +9,34 @@ use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
 use cpm_grid::{Metrics, ObjectEvent, QueryEvent};
 
 use cpm_core::neighbors::{Neighbor, NeighborList};
+use cpm_core::RangeQuery;
 
 use crate::algo::{AlgoKind, KnnMonitorAlgo};
+
+/// Ground truth for a continuous range query over an explicit object
+/// population: every object inside the region, ascending by `(distance to
+/// the region anchor, id)` — the exact order
+/// [`cpm_core::CpmRangeMonitor`] and range subscriptions report.
+pub fn brute_force_range<I: IntoIterator<Item = (ObjectId, Point)>>(
+    objects: I,
+    query: &RangeQuery,
+) -> Vec<Neighbor> {
+    let anchor = query.region.anchor();
+    let mut out: Vec<Neighbor> = objects
+        .into_iter()
+        .filter(|&(_, p)| query.region.contains(p))
+        .map(|(id, p)| Neighbor {
+            id,
+            dist: anchor.dist(p),
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        (a.dist, a.id)
+            .partial_cmp(&(b.dist, b.id))
+            .expect("finite distances")
+    });
+    out
+}
 
 #[derive(Debug)]
 struct OracleQuery {

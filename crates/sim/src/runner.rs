@@ -205,6 +205,124 @@ pub fn verify_sharded_determinism(input: &SimulationInput, shard_counts: &[usize
     }
 }
 
+/// Replay `input` through the delta-streaming subscription layer
+/// ([`cpm_sub::KnnSubscriptionHub`]) at every shard count in
+/// `shard_counts`, folding each subscription's delta stream into a
+/// client-side [`cpm_sub::Replica`], and assert after **every** epoch
+/// that:
+///
+/// * each replica is **bit-identical** (ids, `f64` distance bits, order)
+///   to the hub's authoritative snapshot — the delta stream is lossless,
+/// * each replica is bit-identical to the brute-force
+///   [`crate::OracleMonitor`] result — the reconstructed stream is not
+///   just self-consistent but *correct*,
+/// * the drained delta streams are bit-identical across shard counts.
+///
+/// Query events are mapped onto subscription calls (`Install` →
+/// subscribe, `Move` → update, `Terminate` → unsubscribe), so moving-query
+/// churn exercises the update path. Panics on any divergence.
+pub fn verify_delta_replay(input: &SimulationInput, shard_counts: &[usize]) {
+    use cpm_geom::QueryId;
+    use cpm_sub::{KnnSubscriptionHub, Replica};
+    use std::collections::BTreeMap;
+
+    let mut oracle = crate::OracleMonitor::new();
+    oracle.populate(&input.initial_objects);
+
+    struct Lane {
+        shards: usize,
+        hub: KnnSubscriptionHub,
+        replicas: BTreeMap<QueryId, Replica>,
+    }
+    let mut lanes: Vec<Lane> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut hub = KnnSubscriptionHub::new(input.params.grid_dim, shards);
+            hub.populate(input.initial_objects.iter().copied());
+            Lane {
+                shards,
+                hub,
+                replicas: BTreeMap::new(),
+            }
+        })
+        .collect();
+
+    // Epoch 1: the initial subscriptions install (no object events).
+    for &(qid, pos, k) in &input.initial_queries {
+        oracle.install_query(qid, pos, k);
+        for lane in lanes.iter_mut() {
+            lane.hub.subscribe_knn(qid, pos, k);
+            lane.replicas.insert(qid, Replica::new());
+        }
+    }
+    fold_and_compare(&mut lanes, &oracle, 0);
+
+    for (t, tick) in input.ticks.iter().enumerate() {
+        oracle.process_cycle(&tick.object_events, &tick.query_events);
+        for lane in lanes.iter_mut() {
+            for ev in &tick.query_events {
+                match *ev {
+                    cpm_grid::QueryEvent::Install { id, pos, k } => {
+                        lane.hub.subscribe_knn(id, pos, k);
+                        lane.replicas.insert(id, Replica::new());
+                    }
+                    cpm_grid::QueryEvent::Move { id, to } => lane.hub.move_knn(id, to),
+                    cpm_grid::QueryEvent::Terminate { id } => {
+                        lane.hub.unsubscribe(id);
+                        lane.replicas.remove(&id);
+                    }
+                }
+            }
+            lane.hub.push_updates(tick.object_events.iter().copied());
+        }
+        fold_and_compare(&mut lanes, &oracle, t + 1);
+    }
+
+    fn fold_and_compare(lanes: &mut [Lane], oracle: &crate::OracleMonitor, t: usize) {
+        let mut reference: Option<Vec<(QueryId, Vec<cpm_core::NeighborDelta>)>> = None;
+        for lane in lanes.iter_mut() {
+            let shards = lane.shards;
+            lane.hub.commit();
+            let mut drained = Vec::new();
+            for (&qid, replica) in lane.replicas.iter_mut() {
+                let deltas = lane.hub.drain(qid);
+                assert_eq!(
+                    lane.hub.lagged(qid),
+                    0,
+                    "unbounded mailbox dropped deltas for {qid}"
+                );
+                for delta in &deltas {
+                    replica.apply(delta);
+                }
+                let (_, snapshot) = lane
+                    .hub
+                    .snapshot(qid)
+                    .unwrap_or_else(|| panic!("{shards}-shard hub lost {qid}"));
+                assert_eq!(
+                    replica.result(),
+                    snapshot,
+                    "replay diverged from the hub for {qid} at t={t} with {shards} shards"
+                );
+                let truth = oracle.result(qid).expect("oracle tracks every query");
+                assert_eq!(
+                    replica.result(),
+                    truth,
+                    "replay diverged from the oracle for {qid} at t={t} with {shards} shards"
+                );
+                drained.push((qid, deltas));
+            }
+            lane.hub.check_invariants();
+            match &reference {
+                None => reference = Some(drained),
+                Some(first) => assert_eq!(
+                    first, &drained,
+                    "delta streams diverged at t={t} with {shards} shards"
+                ),
+            }
+        }
+    }
+}
+
 /// Run every contender (CPM, YPK-CNN, SEA-CNN) over the same input.
 pub fn run_contenders(input: &SimulationInput) -> Vec<RunReport> {
     AlgoKind::CONTENDERS
@@ -309,6 +427,11 @@ mod tests {
     #[test]
     fn sharded_runs_are_deterministic() {
         verify_sharded_determinism(&SimulationInput::generate(&tiny_params()), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn delta_replay_reconstructs_the_oracle() {
+        verify_delta_replay(&SimulationInput::generate(&tiny_params()), &[1, 2, 4]);
     }
 
     #[test]

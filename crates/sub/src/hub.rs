@@ -1,0 +1,522 @@
+//! The server side of the subscription layer: epoch-numbered delta
+//! publishing over a sharded CPM engine.
+//!
+//! A [`SubscriptionHub`] batches everything between two [`commit`] calls —
+//! location updates and subscription changes — into one engine processing
+//! cycle, exactly the batched-cycle model of Figure 3.9. Each commit
+//! advances the epoch by one and routes the cycle's
+//! [`NeighborDelta`]s into per-subscription mailboxes; clients drain their
+//! mailbox and fold the deltas with [`crate::Replica`].
+//!
+//! Mailboxes are bounded ([`SubscriptionHub::set_mailbox_capacity`]): a
+//! slow consumer loses the *oldest* deltas first and is flagged as lagged
+//! ([`SubscriptionHub::lagged`]), at which point replaying is no longer
+//! lossless and the client must [`SubscriptionHub::resync`] from a full
+//! snapshot — the standard recovery path of log-shipping systems.
+//!
+//! [`commit`]: SubscriptionHub::commit
+//! [`NeighborDelta`]: cpm_core::NeighborDelta
+
+use std::collections::VecDeque;
+
+use cpm_core::{
+    Neighbor, NeighborDelta, PointQuery, QuerySpec, RangeQuery, ShardedCpmEngine, SpecEvent,
+};
+use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
+use cpm_grid::{Grid, Metrics, ObjectEvent};
+
+/// One subscription's delivery state.
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: VecDeque<NeighborDelta>,
+    /// Deltas evicted because the queue was full; non-zero means the
+    /// stream is no longer lossless for this subscriber.
+    dropped: u64,
+}
+
+/// Summary of one committed cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleReceipt {
+    /// The epoch this commit produced (1-based).
+    pub epoch: u64,
+    /// Queries whose result changed this cycle.
+    pub changed: usize,
+    /// Deltas delivered into mailboxes.
+    pub deltas: usize,
+    /// Total delta entries (adds + removes + reorders) across them — the
+    /// "wire size" of the cycle.
+    pub entries: usize,
+}
+
+/// A delta-streaming subscription front end over
+/// [`ShardedCpmEngine`]; see the [module docs](self) for the
+/// commit/mailbox model.
+///
+/// All subscriptions in one hub share the query-geometry type `S`
+/// (one hub per query class, like the engines); [`KnnSubscriptionHub`] and
+/// [`RangeSubscriptionHub`] are the two shapes the conformance suite
+/// exercises.
+#[derive(Debug)]
+pub struct SubscriptionHub<S: QuerySpec + Send + Sync> {
+    engine: ShardedCpmEngine<S>,
+    mailboxes: FastHashMap<QueryId, Mailbox>,
+    pending_obj: Vec<ObjectEvent>,
+    pending_sub: Vec<SpecEvent<S>>,
+    /// Subscriptions terminating at the next commit (mailbox removed
+    /// after the cycle runs).
+    closing: Vec<QueryId>,
+    mailbox_cap: usize,
+    /// Recycled cycle-output batch: refilled by every commit, so the hub
+    /// allocates nothing per cycle beyond mailbox growth.
+    scratch: cpm_core::CycleDeltas,
+}
+
+impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
+    /// Create a hub over an empty `dim × dim` grid whose per-cycle
+    /// maintenance runs across `shards ≥ 1` worker threads (`shards = 1`
+    /// is sequential). Mailboxes start unbounded.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(dim: u32, shards: usize) -> Self {
+        let mut engine = ShardedCpmEngine::new(dim, shards);
+        engine.enable_deltas();
+        Self {
+            engine,
+            mailboxes: FastHashMap::default(),
+            pending_obj: Vec::new(),
+            pending_sub: Vec::new(),
+            closing: Vec::new(),
+            mailbox_cap: usize::MAX,
+            scratch: cpm_core::CycleDeltas::default(),
+        }
+    }
+
+    /// Bound every mailbox to `cap ≥ 1` buffered deltas. When a mailbox
+    /// overflows, the **oldest** delta is evicted and the subscriber is
+    /// flagged as [`lagged`](SubscriptionHub::lagged).
+    pub fn set_mailbox_capacity(&mut self, cap: usize) {
+        assert!(cap >= 1, "mailbox capacity must be at least 1");
+        self.mailbox_cap = cap;
+        // Lowering the cap applies to existing backlogs immediately:
+        // evict oldest-first and flag the lag, exactly as on overflow.
+        for mailbox in self.mailboxes.values_mut() {
+            while mailbox.queue.len() > cap {
+                mailbox.queue.pop_front();
+                mailbox.dropped += 1;
+            }
+        }
+    }
+
+    /// Bulk-load objects before any subscription is registered.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        self.engine.populate(objects);
+    }
+
+    /// Register a subscription: query geometry `spec`, result size `k`.
+    /// The query is installed at the next [`commit`], and its initial
+    /// result arrives in the mailbox as an all-additions delta.
+    ///
+    /// # Panics
+    /// Panics if `id` is already subscribed or has a pending subscription
+    /// event this cycle.
+    ///
+    /// [`commit`]: SubscriptionHub::commit
+    pub fn subscribe(&mut self, id: QueryId, spec: S, k: usize) {
+        self.assert_no_pending(id);
+        assert!(
+            !self.mailboxes.contains_key(&id),
+            "query {id} is already subscribed"
+        );
+        self.mailboxes.insert(id, Mailbox::default());
+        self.pending_sub.push(SpecEvent::Install { id, spec, k });
+    }
+
+    /// Replace the geometry of subscription `id` (the subscriber moved).
+    /// Applied at the next [`commit`]; the result change arrives as a
+    /// regular delta.
+    ///
+    /// # Panics
+    /// Panics if `id` is not subscribed or has a pending subscription
+    /// event this cycle.
+    ///
+    /// [`commit`]: SubscriptionHub::commit
+    pub fn update_subscription(&mut self, id: QueryId, spec: S) {
+        self.assert_no_pending(id);
+        assert!(
+            self.mailboxes.contains_key(&id),
+            "update of unknown subscription {id}"
+        );
+        self.pending_sub.push(SpecEvent::Update { id, spec });
+    }
+
+    /// Cancel subscription `id` at the next [`commit`]; its mailbox (and
+    /// any undrained deltas) are discarded after the cycle runs.
+    ///
+    /// # Panics
+    /// Panics if `id` is not subscribed or has a pending subscription
+    /// event this cycle.
+    ///
+    /// [`commit`]: SubscriptionHub::commit
+    pub fn unsubscribe(&mut self, id: QueryId) {
+        self.assert_no_pending(id);
+        assert!(
+            self.mailboxes.contains_key(&id),
+            "unsubscribe of unknown subscription {id}"
+        );
+        self.pending_sub.push(SpecEvent::Terminate { id });
+        self.closing.push(id);
+    }
+
+    fn assert_no_pending(&self, id: QueryId) {
+        assert!(
+            self.pending_sub.iter().all(|ev| ev.id() != id),
+            "subscription {id} already has a pending event this cycle"
+        );
+    }
+
+    /// Queue one location update for the next [`commit`].
+    ///
+    /// [`commit`]: SubscriptionHub::commit
+    pub fn push_update(&mut self, event: ObjectEvent) {
+        self.pending_obj.push(event);
+    }
+
+    /// Queue a batch of location updates for the next [`commit`].
+    ///
+    /// [`commit`]: SubscriptionHub::commit
+    pub fn push_updates<I: IntoIterator<Item = ObjectEvent>>(&mut self, events: I) {
+        self.pending_obj.extend(events);
+    }
+
+    /// Run one processing cycle over everything queued since the last
+    /// commit, advance the epoch, and route the resulting deltas into the
+    /// subscribers' mailboxes.
+    pub fn commit(&mut self) -> CycleReceipt {
+        let mut out = std::mem::take(&mut self.scratch);
+        self.engine
+            .process_cycle_with_deltas_into(&self.pending_obj, &self.pending_sub, &mut out);
+        self.pending_obj.clear();
+        self.pending_sub.clear();
+
+        let mut delivered = 0usize;
+        let mut entries = 0usize;
+        for (qid, delta) in out.deltas.drain(..) {
+            let mailbox = self
+                .mailboxes
+                .get_mut(&qid)
+                .expect("delta for unknown subscription");
+            entries += delta.len();
+            delivered += 1;
+            mailbox.queue.push_back(delta);
+            if mailbox.queue.len() > self.mailbox_cap {
+                mailbox.queue.pop_front();
+                mailbox.dropped += 1;
+            }
+        }
+        for qid in self.closing.drain(..) {
+            self.mailboxes.remove(&qid);
+        }
+        let receipt = CycleReceipt {
+            epoch: out.epoch,
+            changed: out.changed.len(),
+            deltas: delivered,
+            entries,
+        };
+        self.scratch = out;
+        receipt
+    }
+
+    /// Pop the oldest undelivered delta of subscription `id`.
+    pub fn poll(&mut self, id: QueryId) -> Option<NeighborDelta> {
+        self.mailboxes.get_mut(&id)?.queue.pop_front()
+    }
+
+    /// Drain every undelivered delta of subscription `id`, in epoch order.
+    pub fn drain(&mut self, id: QueryId) -> Vec<NeighborDelta> {
+        match self.mailboxes.get_mut(&id) {
+            Some(m) => m.queue.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many deltas subscription `id` has lost to mailbox overflow
+    /// since the last [`resync`](SubscriptionHub::resync). Non-zero means
+    /// folding the mailbox is no longer lossless.
+    pub fn lagged(&self, id: QueryId) -> u64 {
+        self.mailboxes.get(&id).map_or(0, |m| m.dropped)
+    }
+
+    /// The authoritative `(epoch, result)` of subscription `id` — what a
+    /// client's folded replica must equal after draining its mailbox.
+    /// `None` while the subscription is still pending its first commit.
+    pub fn snapshot(&self, id: QueryId) -> Option<(u64, &[Neighbor])> {
+        self.engine.result(id).map(|r| (self.engine.epoch(), r))
+    }
+
+    /// Recovery for a lagged subscriber: discard the mailbox backlog,
+    /// clear the lag counter, and return the authoritative snapshot to
+    /// restart the replica from.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an installed subscription.
+    pub fn resync(&mut self, id: QueryId) -> (u64, Vec<Neighbor>) {
+        let mailbox = self
+            .mailboxes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("resync of unknown subscription {id}"));
+        mailbox.queue.clear();
+        mailbox.dropped = 0;
+        let result = self
+            .engine
+            .result(id)
+            .expect("subscribed query is installed")
+            .to_vec();
+        (self.engine.epoch(), result)
+    }
+
+    /// The current epoch: 0 before any commit, incremented by each one.
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// Number of active subscriptions (including those installing at the
+    /// next commit, excluding those terminating at it).
+    pub fn subscription_count(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The shared object index.
+    pub fn grid(&self) -> &Grid {
+        self.engine.grid()
+    }
+
+    /// Merged snapshot of the engine work counters.
+    pub fn metrics(&self) -> Metrics {
+        self.engine.metrics()
+    }
+
+    /// Take and reset the engine work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        self.engine.take_metrics()
+    }
+
+    /// Verify engine invariants plus hub/mailbox consistency (test
+    /// helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+        for (qid, mailbox) in &self.mailboxes {
+            let installed = self.engine.result(*qid).is_some();
+            let pending = self
+                .pending_sub
+                .iter()
+                .any(|ev| matches!(ev, SpecEvent::Install { id, .. } if id == qid));
+            assert!(
+                installed || pending,
+                "mailbox for {qid} without installed or pending query"
+            );
+            assert!(mailbox.queue.len() <= self.mailbox_cap);
+            let mut prev = 0u64;
+            for delta in &mailbox.queue {
+                assert!(delta.epoch > prev, "mailbox epochs out of order");
+                prev = delta.epoch;
+            }
+        }
+    }
+}
+
+/// k-NN subscriptions: "keep me posted on my `k` nearest objects".
+pub type KnnSubscriptionHub = SubscriptionHub<PointQuery>;
+
+impl KnnSubscriptionHub {
+    /// Subscribe to the `k` nearest neighbors of `pos`.
+    pub fn subscribe_knn(&mut self, id: QueryId, pos: Point, k: usize) {
+        self.subscribe(id, PointQuery(pos), k);
+    }
+
+    /// Move a k-NN subscription to `pos`.
+    pub fn move_knn(&mut self, id: QueryId, pos: Point) {
+        self.update_subscription(id, PointQuery(pos));
+    }
+}
+
+/// Range subscriptions: "notify me about every object inside this
+/// region".
+pub type RangeSubscriptionHub = SubscriptionHub<RangeQuery>;
+
+impl RangeSubscriptionHub {
+    /// Subscribe to all objects inside `query`'s region (unbounded
+    /// result — no `k`).
+    pub fn subscribe_region(&mut self, id: QueryId, query: RangeQuery) {
+        self.subscribe(id, query, RangeQuery::UNBOUNDED_K);
+    }
+
+    /// Move a range subscription to a new region.
+    pub fn move_region(&mut self, id: QueryId, query: RangeQuery) {
+        self.update_subscription(id, query);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::Replica;
+    use cpm_geom::Rect;
+
+    fn line_hub(shards: usize) -> KnnSubscriptionHub {
+        let mut hub = KnnSubscriptionHub::new(16, shards);
+        hub.populate((0..10u32).map(|i| (ObjectId(i), Point::new((i as f64 + 0.5) / 10.0, 0.5))));
+        hub
+    }
+
+    #[test]
+    fn initial_result_arrives_as_all_additions() {
+        let mut hub = line_hub(1);
+        hub.subscribe_knn(QueryId(0), Point::new(0.05, 0.5), 3);
+        assert_eq!(hub.epoch(), 0);
+        let receipt = hub.commit();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.deltas, 1);
+        let deltas = hub.drain(QueryId(0));
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].added.len(), 3);
+        assert!(deltas[0].removed.is_empty());
+        assert!(deltas[0].reordered.is_empty());
+        hub.check_invariants();
+    }
+
+    #[test]
+    fn quiet_cycles_deliver_nothing() {
+        let mut hub = line_hub(2);
+        hub.subscribe_knn(QueryId(0), Point::new(0.05, 0.5), 2);
+        hub.commit();
+        hub.drain(QueryId(0));
+        // An update far from the subscription: no delta.
+        hub.push_update(ObjectEvent::Move {
+            id: ObjectId(9),
+            to: Point::new(0.93, 0.5),
+        });
+        let receipt = hub.commit();
+        assert_eq!(receipt.deltas, 0);
+        assert!(hub.drain(QueryId(0)).is_empty());
+    }
+
+    #[test]
+    fn replica_folds_to_the_authoritative_snapshot() {
+        for shards in [1usize, 3] {
+            let mut hub = line_hub(shards);
+            hub.subscribe_knn(QueryId(7), Point::new(0.62, 0.5), 3);
+            hub.commit();
+            let mut replica = Replica::new();
+            for d in hub.drain(QueryId(7)) {
+                replica.apply(&d);
+            }
+            for step in 0..10u32 {
+                hub.push_update(ObjectEvent::Move {
+                    id: ObjectId(step % 10),
+                    to: Point::new(0.6, 0.4 + step as f64 / 50.0),
+                });
+                hub.commit();
+                for d in hub.drain(QueryId(7)) {
+                    replica.apply(&d);
+                }
+                let (epoch, snapshot) = hub.snapshot(QueryId(7)).unwrap();
+                assert_eq!(replica.result(), snapshot);
+                assert_eq!(epoch, hub.epoch());
+                hub.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_mailboxes_flag_lag_and_resync_recovers() {
+        let mut hub = line_hub(1);
+        hub.set_mailbox_capacity(2);
+        hub.subscribe_knn(QueryId(0), Point::new(0.05, 0.5), 2);
+        hub.commit();
+        // Never drained: force more than `cap` deltas.
+        for step in 0..5u32 {
+            hub.push_update(ObjectEvent::Move {
+                id: ObjectId(step % 2),
+                to: Point::new(0.01 + step as f64 / 100.0, 0.5),
+            });
+            hub.commit();
+        }
+        assert!(hub.lagged(QueryId(0)) > 0);
+        let (epoch, snapshot) = hub.resync(QueryId(0));
+        assert_eq!(hub.lagged(QueryId(0)), 0);
+        assert!(hub.drain(QueryId(0)).is_empty());
+        let mut replica = Replica::from_snapshot(epoch, snapshot);
+        // Stream resumes losslessly after the resync.
+        hub.push_update(ObjectEvent::Move {
+            id: ObjectId(9),
+            to: Point::new(0.02, 0.5),
+        });
+        hub.commit();
+        for d in hub.drain(QueryId(0)) {
+            replica.apply(&d);
+        }
+        assert_eq!(replica.result(), hub.snapshot(QueryId(0)).unwrap().1);
+    }
+
+    #[test]
+    fn unsubscribe_discards_the_mailbox() {
+        let mut hub = line_hub(2);
+        hub.subscribe_knn(QueryId(0), Point::new(0.5, 0.5), 2);
+        hub.subscribe_knn(QueryId(1), Point::new(0.2, 0.5), 2);
+        hub.commit();
+        assert_eq!(hub.subscription_count(), 2);
+        hub.unsubscribe(QueryId(1));
+        hub.commit();
+        assert_eq!(hub.subscription_count(), 1);
+        assert!(hub.snapshot(QueryId(1)).is_none());
+        assert!(hub.drain(QueryId(1)).is_empty());
+        hub.check_invariants();
+    }
+
+    #[test]
+    fn range_subscriptions_stream_membership_changes() {
+        let mut hub = RangeSubscriptionHub::new(16, 2);
+        hub.populate((0..10u32).map(|i| (ObjectId(i), Point::new((i as f64 + 0.5) / 10.0, 0.5))));
+        let region = Rect::new(Point::new(0.0, 0.0), Point::new(0.35, 1.0));
+        hub.subscribe_region(QueryId(0), RangeQuery::rect(region));
+        hub.commit();
+        let mut replica = Replica::new();
+        for d in hub.drain(QueryId(0)) {
+            replica.apply(&d);
+        }
+        assert_eq!(replica.result().len(), 4); // objects 0–3 (closed region)
+                                               // One object leaves, one enters.
+        hub.push_updates([
+            ObjectEvent::Move {
+                id: ObjectId(0),
+                to: Point::new(0.9, 0.5),
+            },
+            ObjectEvent::Move {
+                id: ObjectId(8),
+                to: Point::new(0.2, 0.5),
+            },
+        ]);
+        hub.commit();
+        let deltas = hub.drain(QueryId(0));
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].removed, vec![ObjectId(0)]);
+        assert_eq!(deltas[0].added.len(), 1);
+        for d in &deltas {
+            replica.apply(d);
+        }
+        assert_eq!(replica.result(), hub.snapshot(QueryId(0)).unwrap().1);
+        hub.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a pending event")]
+    fn duplicate_pending_events_are_rejected() {
+        let mut hub = line_hub(1);
+        hub.subscribe_knn(QueryId(0), Point::new(0.5, 0.5), 1);
+        hub.commit();
+        hub.move_knn(QueryId(0), Point::new(0.1, 0.5));
+        hub.move_knn(QueryId(0), Point::new(0.2, 0.5));
+    }
+}

@@ -1,0 +1,64 @@
+//! # cpm-sub — delta-streaming subscriptions over the CPM engine
+//!
+//! CPM's processing cycle produces *incremental* result changes, yet the
+//! raw engines hand callers full result lists. This crate is the
+//! subscription front end a "millions of users" deployment needs: clients
+//! register queries as subscriptions, push batched location updates, and
+//! receive per-cycle **result deltas** ([`cpm_core::NeighborDelta`])
+//! instead of full lists — computed inside the engine's maintenance phase
+//! (where the cycle-start and cycle-end lists are already adjacent) and
+//! merged deterministically across shards in canonical query-id order.
+//!
+//! * [`hub`] — the server side: [`SubscriptionHub`] wraps a
+//!   [`cpm_core::ShardedCpmEngine`], owns one bounded mailbox per
+//!   subscription, and advances one epoch per committed cycle.
+//! * [`replica`] — the client side: [`Replica`] folds a delta stream onto
+//!   a snapshot, reconstructing every per-epoch result bit-identically
+//!   (the property the delta-replay conformance suite asserts against the
+//!   brute-force oracle).
+//!
+//! Both k-NN subscriptions ([`cpm_core::PointQuery`]) and range
+//! subscriptions ([`cpm_core::RangeQuery`]) ride the same pipeline; see
+//! [`KnnSubscriptionHub`] and [`RangeSubscriptionHub`].
+//!
+//! ## Example
+//!
+//! ```
+//! use cpm_geom::{ObjectId, Point, QueryId};
+//! use cpm_grid::ObjectEvent;
+//! use cpm_sub::{KnnSubscriptionHub, Replica};
+//!
+//! let mut hub = KnnSubscriptionHub::new(64, 2);
+//! hub.populate((0..10).map(|i| {
+//!     (ObjectId(i), Point::new((i as f64 + 0.5) / 10.0, 0.5))
+//! }));
+//!
+//! // A client subscribes to the 2 nearest objects; the initial result
+//! // arrives as the first delta (all additions).
+//! hub.subscribe_knn(QueryId(0), Point::new(0.30, 0.5), 2);
+//! hub.commit();
+//! let mut replica = Replica::new();
+//! for delta in hub.drain(QueryId(0)) {
+//!     replica.apply(&delta);
+//! }
+//! assert_eq!(replica.result().len(), 2);
+//!
+//! // An object drives next to the query; only the change is shipped.
+//! hub.push_update(ObjectEvent::Move { id: ObjectId(9), to: Point::new(0.31, 0.5) });
+//! let receipt = hub.commit();
+//! assert_eq!(receipt.epoch, 2);
+//! for delta in hub.drain(QueryId(0)) {
+//!     replica.apply(&delta);
+//! }
+//! assert_eq!(replica.result()[0].id, ObjectId(9));
+//! assert_eq!(replica.result(), hub.snapshot(QueryId(0)).unwrap().1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hub;
+pub mod replica;
+
+pub use hub::{CycleReceipt, KnnSubscriptionHub, RangeSubscriptionHub, SubscriptionHub};
+pub use replica::Replica;

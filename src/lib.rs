@@ -8,8 +8,11 @@
 //!
 //! * [`geom`] — geometry & utility substrate ([`cpm_geom`]).
 //! * [`grid`] — the uniform main-memory object index ([`cpm_grid`]).
-//! * [`core`] — CPM itself: continuous k-NN, aggregate-NN and
-//!   constrained-NN monitoring ([`cpm_core`]).
+//! * [`core`] — CPM itself: continuous k-NN, aggregate-NN, constrained-NN
+//!   and range monitoring, plus per-cycle result deltas ([`cpm_core`]).
+//! * [`sub`] — the delta-streaming subscription layer: epoch-numbered
+//!   hubs, per-subscription mailboxes, client-side replicas
+//!   ([`cpm_sub`]).
 //! * [`baselines`] — YPK-CNN and SEA-CNN ([`cpm_baselines`]).
 //! * [`gen`] — Brinkhoff-style network workloads ([`cpm_gen`]).
 //! * [`sim`] — simulation driver, oracle and experiment harness
@@ -49,3 +52,4 @@ pub use cpm_gen as gen;
 pub use cpm_geom as geom;
 pub use cpm_grid as grid;
 pub use cpm_sim as sim;
+pub use cpm_sub as sub;

@@ -11,6 +11,100 @@ use cpm_suite::sim::{verify_sharded_determinism, SimParams, SimulationInput, Wor
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Moving-query (`update_spec`) churn under sharding: every cycle moves a
+/// large fraction of the queries — alone, and interleaved with object
+/// updates that land inside the old and new influence regions in the same
+/// batch (the "ignored during update handling" path of Section 3.3 must
+/// be shard-invariant too). Heavier and more targeted than the general
+/// churn test below, which moves at most a couple of queries per cycle.
+#[test]
+fn sharded_matches_sequential_under_heavy_query_movement() {
+    let shard_counts = [2usize, 4, 8];
+    for trial in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EEA_0000 + trial);
+        let dim = [8u32, 16, 64][trial as usize % 3];
+
+        let mut sequential: CpmEngine<PointQuery> = CpmEngine::new(dim);
+        let mut sharded: Vec<ShardedCpmEngine<PointQuery>> = shard_counts
+            .iter()
+            .map(|&s| ShardedCpmEngine::new(dim, s))
+            .collect();
+
+        let n_obj = 150u32;
+        let objects: Vec<(ObjectId, Point)> = (0..n_obj)
+            .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        sequential.populate(objects.iter().copied());
+        for m in sharded.iter_mut() {
+            m.populate(objects.iter().copied());
+        }
+
+        let n_qry = 16u32;
+        for qi in 0..n_qry {
+            let p = Point::new(rng.gen(), rng.gen());
+            let k = 1 + qi as usize % 5;
+            sequential.install(QueryId(qi), PointQuery(p), k);
+            for m in sharded.iter_mut() {
+                m.install(QueryId(qi), PointQuery(p), k);
+            }
+        }
+
+        for cycle in 0..25 {
+            // Move roughly half the queries every cycle (f_qry far above
+            // the paper's 30% default, on purpose).
+            let mut query_events: Vec<SpecEvent<PointQuery>> = Vec::new();
+            for qi in 0..n_qry {
+                if rng.gen_bool(0.5) {
+                    query_events.push(SpecEvent::Update {
+                        id: QueryId(qi),
+                        spec: PointQuery(Point::new(rng.gen(), rng.gen())),
+                    });
+                }
+            }
+            // Interleave object moves in every other cycle so records and
+            // pending query events target the same cells within a batch.
+            let mut object_events = Vec::new();
+            if cycle % 2 == 0 {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..rng.gen_range(5..20) {
+                    let id = rng.gen_range(0..n_obj);
+                    if seen.insert(id) {
+                        object_events.push(ObjectEvent::Move {
+                            id: ObjectId(id),
+                            to: Point::new(rng.gen(), rng.gen()),
+                        });
+                    }
+                }
+            }
+
+            let mut changed_seq = sequential.process_cycle(&object_events, &query_events);
+            changed_seq.sort_unstable();
+            let metrics_seq = sequential.take_metrics();
+            for (m, &shards) in sharded.iter_mut().zip(&shard_counts) {
+                let changed = m.process_cycle(&object_events, &query_events);
+                assert_eq!(
+                    changed_seq, changed,
+                    "changed diverged at cycle {cycle} with {shards} shards"
+                );
+                assert_eq!(
+                    metrics_seq,
+                    m.take_metrics(),
+                    "metrics diverged at cycle {cycle} with {shards} shards"
+                );
+                m.check_invariants();
+                for qi in 0..n_qry {
+                    assert_eq!(
+                        sequential.result(QueryId(qi)).unwrap(),
+                        m.result(QueryId(qi)).unwrap(),
+                        "result diverged for q{qi} at cycle {cycle} with {shards} shards"
+                    );
+                }
+            }
+            sequential.check_invariants();
+        }
+    }
+}
+
 /// The sim-level cross-check on the paper's workload shapes: network,
 /// uniform and skewed movement, with moving queries.
 #[test]
