@@ -13,10 +13,11 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_shards, parse_deltas_baseline, parse_grid_baseline,
-    parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_server, check_shards, parse_deltas_baseline,
+    parse_grid_baseline, parse_server_baseline, parse_shards_baseline, GateReport,
+    DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, shards};
+use cpm_bench::{deltas, grid_storage, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -94,6 +95,29 @@ fn main() {
         );
     }
     failed |= print_report(check_deltas(&run, deltas_baseline, tolerance));
+
+    // Gate 4: unified-server speedup over three dedicated engines. Both
+    // modes run in this process under the paired protocol, so the >= 1.3x
+    // acceptance bar (minus a fixed noise margin) is machine-independent
+    // and never widened by BENCH_CHECK_TOLERANCE.
+    let cfg = server::ServerBenchConfig::reduced();
+    let server_baseline = std::fs::read_to_string(format!("{root}/BENCH_server.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_server_baseline);
+    println!(
+        "\n## unified server (reduced: N={}, queries {}+{}+{}, {} cycles)",
+        cfg.n_objects, cfg.knn_queries, cfg.range_queries, cfg.constrained_queries, cfg.cycles
+    );
+    let run = server::run(&cfg);
+    for m in &run.modes {
+        println!(
+            "   {:>8}: {:>8.3} ms/cycle   {:>6} result changes",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+    }
+    println!("   unified speedup: {:.2}x", run.unified_speedup);
+    failed |= print_report(check_server(&run, server_baseline, tolerance));
 
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");

@@ -1,0 +1,43 @@
+//! Record the unified-server baseline (`BENCH_server.json`):
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_server [--reduced]
+//! ```
+//!
+//! Measures a mixed k-NN + range + constrained workload on one
+//! [`cpm_core::CpmServer`] versus three dedicated single-kind engines
+//! (see [`cpm_bench::server`] for the protocol) and writes the JSON
+//! document to the repository root.
+
+use cpm_bench::server::{render_json, run, ServerBenchConfig};
+
+fn main() {
+    let reduced = std::env::args().any(|a| a == "--reduced");
+    let cfg = if reduced {
+        ServerBenchConfig::reduced()
+    } else {
+        ServerBenchConfig::default()
+    };
+    eprintln!(
+        "bench_server: N={}, queries {}+{}+{}, {} cycles, grid {}^2 ...",
+        cfg.n_objects,
+        cfg.knn_queries,
+        cfg.range_queries,
+        cfg.constrained_queries,
+        cfg.cycles,
+        cfg.grid_dim
+    );
+    let outcome = run(&cfg);
+    for m in &outcome.modes {
+        eprintln!(
+            "  {:>8}: {:>9.3} ms/cycle (max {:>9.3}), {} result changes",
+            m.mode, m.ms_per_cycle, m.max_cycle_ms, m.result_changes
+        );
+    }
+    eprintln!("  unified speedup: {:.2}x", outcome.unified_speedup);
+    let json = render_json(&cfg, &outcome);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

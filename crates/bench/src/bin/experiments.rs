@@ -7,7 +7,7 @@
 //!   table2_1 table6_1
 //!   fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b fig6_5a fig6_5b
 //!   fig6_6a fig6_6b
-//!   space analysis ablation ann constrained skew shards deltas rnn
+//!   space analysis ablation ann constrained skew shards deltas mixed rnn
 //!   all          (everything above)
 //!
 //! options:
@@ -86,6 +86,7 @@ fn main() {
             "skew",
             "shards",
             "deltas",
+            "mixed",
             "rnn",
         ]
         .into_iter()
@@ -129,6 +130,7 @@ fn run_experiment(name: &str, scale: f64, shards: &[usize]) {
         "skew" => figures::skew(scale).print(),
         "shards" => figures::shards(scale, shards).print(),
         "deltas" => figures::deltas(scale).print(),
+        "mixed" => figures::mixed(scale).print(),
         "rnn" => figures::rnn(scale).print(),
         other => eprintln!("unknown experiment: {other} (see --help)"),
     }
@@ -187,7 +189,7 @@ fn print_help() {
         "usage: experiments <name>... [--scale X | --paper] [--shards LIST]\n\
          names: table2_1 table6_1 fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b\n\
          \u{20}      fig6_5a fig6_5b fig6_6a fig6_6b space analysis ablation ann\n\
-         \u{20}      constrained skew shards deltas rnn all\n\
+         \u{20}      constrained skew shards deltas mixed rnn all\n\
          --shards LIST  comma-separated shard counts for the `shards`\n\
          \u{20}              experiment (default 1,2,4,8)"
     );

@@ -342,6 +342,65 @@ pub fn check_deltas(
     report
 }
 
+/// Required unified-server speedup over three dedicated single-kind
+/// engines on the update-ingest-bound mixed workload (the PR acceptance
+/// bar recorded in `BENCH_server.json`): one shared grid + one ingest
+/// pass must beat three grids + three ingest passes clearly.
+pub const REQUIRED_SERVER_SPEEDUP: f64 = 1.3;
+
+/// Multiplicative noise allowance on the server-speedup bar. Both modes
+/// run in one process under the paired-cycle protocol (same estimator as
+/// the delta gate), but reduced-scale cycles on busy shared hosts still
+/// scatter the run-level ratio by a few percent around its center; the
+/// enforced minimum is `REQUIRED_SERVER_SPEEDUP / (1 +
+/// SERVER_NOISE_MARGIN)`. Like every same-process bar, it is **never**
+/// widened by the cross-host `tolerance`; sustained creep below the bar
+/// is additionally caught by the checked-in-curve comparison.
+pub const SERVER_NOISE_MARGIN: f64 = 0.10;
+
+/// The context a `BENCH_server.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerBaseline {
+    /// Recorded median `split ms / unified ms` speedup.
+    pub unified_speedup: f64,
+}
+
+/// Parse the speedup of a `BENCH_server.json` document.
+pub fn parse_server_baseline(json: &str) -> Option<ServerBaseline> {
+    json.lines()
+        .find(|line| line.contains("unified_speedup"))
+        .and_then(|line| field_f64(line, "unified_speedup"))
+        .map(|unified_speedup| ServerBaseline { unified_speedup })
+}
+
+/// Gate the unified-server benchmark: the measured speedup must clear
+/// the ≥ 1.3× acceptance bar (minus the fixed same-process noise margin,
+/// never widened by `tolerance`), and stay within `tolerance` of the
+/// checked-in baseline curve when one exists.
+pub fn check_server(
+    run: &crate::server::ServerBenchRun,
+    baseline: Option<ServerBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    report.compare_at_least(
+        "unified-server speedup vs three dedicated engines",
+        run.unified_speedup,
+        REQUIRED_SERVER_SPEEDUP / (1.0 + SERVER_NOISE_MARGIN),
+    );
+    match baseline {
+        Some(b) => report.compare_at_least(
+            "unified-server speedup vs checked-in baseline curve",
+            run.unified_speedup,
+            b.unified_speedup / (1.0 + tolerance),
+        ),
+        None => report
+            .lines
+            .push("no BENCH_server.json baseline: curve comparison skipped".into()),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +561,65 @@ mod tests {
         // Within the hard bar but far beyond the recorded curve + 25%:
         // a regression against our own history.
         assert!(!check_deltas(&delta_run(0.30), baseline, 0.0).passed());
+    }
+
+    fn server_run(speedup: f64) -> crate::server::ServerBenchRun {
+        let m = crate::server::ServerMeasurement {
+            mode: "unified",
+            ms_per_cycle: 10.0,
+            max_cycle_ms: 12.0,
+            result_changes: 50,
+        };
+        crate::server::ServerBenchRun {
+            modes: [
+                m,
+                crate::server::ServerMeasurement {
+                    mode: "split",
+                    ms_per_cycle: 10.0 * speedup,
+                    ..m
+                },
+            ],
+            unified_speedup: speedup,
+        }
+    }
+
+    #[test]
+    fn server_gate_enforces_the_speedup_bar() {
+        assert!(check_server(&server_run(2.0), None, 0.25).passed());
+        // Just under the bar but inside the fixed noise margin: ok.
+        assert!(check_server(&server_run(1.25), None, 0.25).passed());
+        assert!(!check_server(&server_run(1.1), None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_server(&server_run(1.1), None, 10.0).passed());
+    }
+
+    #[test]
+    fn server_gate_compares_against_the_baseline_curve() {
+        let baseline = Some(ServerBaseline {
+            unified_speedup: 2.4,
+        });
+        assert!(check_server(&server_run(2.2), baseline, 0.25).passed());
+        // Clears the hard bar but far below our own recorded curve.
+        assert!(!check_server(&server_run(1.5), baseline, 0.25).passed());
+    }
+
+    #[test]
+    fn server_baseline_roundtrips_through_json() {
+        let cfg = crate::server::ServerBenchConfig {
+            n_objects: 300,
+            knn_queries: 4,
+            range_queries: 4,
+            constrained_queries: 4,
+            k: 2,
+            cycles: 2,
+            warmup_cycles: 1,
+            grid_dim: 16,
+            ..crate::server::ServerBenchConfig::default()
+        };
+        let run = crate::server::run(&cfg);
+        let json = crate::server::render_json(&cfg, &run);
+        let parsed = parse_server_baseline(&json).expect("speedup recorded");
+        assert!((parsed.unified_speedup - run.unified_speedup).abs() < 1e-3);
     }
 
     #[test]

@@ -196,7 +196,9 @@ pub fn run(cfg: &DeltaBenchConfig) -> DeltaBenchRun {
         }
         engine.populate(w.objects.iter().copied());
         for &(qid, pos) in &w.queries {
-            engine.install(qid, PointQuery(pos), cfg.k);
+            engine
+                .install(qid, PointQuery(pos), cfg.k)
+                .expect("fresh benchmark query id");
         }
         engine
     };

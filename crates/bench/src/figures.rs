@@ -726,6 +726,150 @@ pub fn deltas(scale: f64) -> Table {
     t
 }
 
+/// Unified-server extension: per-query-class cost attribution from one
+/// **mixed** run (k-NN + range + aggregate + constrained + reverse-NN on
+/// a single [`cpm_core::CpmServer`]), via [`cpm_grid::Metrics::by_kind`],
+/// plus the unified-vs-split cycle-time comparison of
+/// [`crate::server::run`].
+pub fn mixed(scale: f64) -> Table {
+    use cpm_grid::QueryKind;
+
+    let base = crate::server::ServerBenchConfig::default();
+    let cfg = crate::server::ServerBenchConfig {
+        n_objects: ((base.n_objects as f64 * scale) as usize).max(500),
+        knn_queries: ((base.knn_queries as f64 * scale) as usize).max(5),
+        range_queries: ((base.range_queries as f64 * scale) as usize).max(5),
+        constrained_queries: ((base.constrained_queries as f64 * scale) as usize).max(5),
+        cycles: 8,
+        ..base
+    };
+
+    // Instrumented mixed run: one server hosting every query class.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3D);
+    let mut server = cpm_core::CpmServerBuilder::new(cfg.grid_dim).build();
+    let mut positions: Vec<Point> = (0..cfg.n_objects)
+        .map(|_| Point::new(rng.gen(), rng.gen()))
+        .collect();
+    server.populate(
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (cpm_geom::ObjectId(i as u32), p)),
+    );
+    let mut next_id = 0u32;
+    let mut fresh = || {
+        next_id += 1;
+        QueryId(next_id - 1)
+    };
+    for _ in 0..cfg.knn_queries {
+        let _ = server
+            .install_knn(fresh(), Point::new(rng.gen(), rng.gen()), cfg.k)
+            .expect("fresh id");
+    }
+    for _ in 0..cfg.range_queries {
+        let q = cpm_core::RangeQuery::circle(
+            Point::new(rng.gen(), rng.gen()),
+            0.03 + rng.gen::<f64>() * 0.05,
+        );
+        let _ = server.install_range(fresh(), q).expect("fresh id");
+    }
+    for _ in 0..cfg.constrained_queries {
+        let q = Point::new(rng.gen(), rng.gen());
+        let w = 0.15;
+        let lo = Point::new((q.x - w).max(0.0), (q.y - w).max(0.0));
+        let hi = Point::new((lo.x + 2.0 * w).min(1.0), (lo.y + 2.0 * w).min(1.0));
+        let _ = server
+            .install_constrained(fresh(), ConstrainedQuery::new(q, Rect::new(lo, hi)), cfg.k)
+            .expect("fresh id");
+    }
+    for _ in 0..(cfg.knn_queries / 5).max(2) {
+        let pts: Vec<Point> = (0..3).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+        let _ = server
+            .install_ann(fresh(), AnnQuery::new(pts, AggregateFn::Sum), 2)
+            .expect("fresh id");
+        let _ = server
+            .install_rnn(fresh(), Point::new(rng.gen(), rng.gen()))
+            .expect("fresh id");
+    }
+    server.take_metrics();
+    let movers = ((cfg.n_objects as f64 * cfg.move_fraction) as usize).max(1);
+    for _ in 0..cfg.cycles {
+        let mut events = Vec::with_capacity(movers);
+        for _ in 0..movers {
+            let i = rng.gen_range(0..positions.len());
+            let step = 0.02;
+            let p = positions[i];
+            let to = Point::new(
+                (p.x + rng.gen::<f64>() * step - step / 2.0).clamp(0.0, 1.0),
+                (p.y + rng.gen::<f64>() * step - step / 2.0).clamp(0.0, 1.0),
+            );
+            positions[i] = to;
+            events.push(cpm_grid::ObjectEvent::Move {
+                id: cpm_geom::ObjectId(i as u32),
+                to,
+            });
+        }
+        // Duplicate movers in one batch are fine for the engine, but keep
+        // the stream canonical: last write wins anyway.
+        let _ = server.process_cycle(&events, &[]).expect("no query events");
+    }
+    let metrics = server.take_metrics();
+
+    let mut t = Table::new(
+        "Unified server — mixed workload, work attribution per query class",
+        "class",
+        "per cycle",
+        vec![
+            "cells".into(),
+            "objects".into(),
+            "computations".into(),
+            "merges".into(),
+        ],
+    );
+    let cycles = cfg.cycles as f64;
+    for kind in QueryKind::ALL {
+        let k = metrics.for_kind(kind);
+        t.push_row(
+            kind.label(),
+            vec![
+                k.cell_accesses as f64 / cycles,
+                k.objects_processed as f64 / cycles,
+                (k.computations + k.recomputations) as f64 / cycles,
+                k.merge_resolutions as f64 / cycles,
+            ],
+        );
+    }
+    t.push_row(
+        "total",
+        vec![
+            metrics.cell_accesses as f64 / cycles,
+            metrics.objects_processed as f64 / cycles,
+            (metrics.computations + metrics.recomputations) as f64 / cycles,
+            metrics.merge_resolutions as f64 / cycles,
+        ],
+    );
+
+    // The headline comparison: one shared grid vs three dedicated ones.
+    let run = crate::server::run(&crate::server::ServerBenchConfig {
+        cycles: 6,
+        ..cfg.clone()
+    });
+    t.note(format!(
+        "N = {} objects, {}% movers/cycle, {}+{}+{} queries (+ANN/RNN); one ingest pass per cycle",
+        cfg.n_objects,
+        cfg.move_fraction * 100.0,
+        cfg.knn_queries,
+        cfg.range_queries,
+        cfg.constrained_queries
+    ));
+    t.note(format!(
+        "unified {:.3} ms/cycle vs split-engines {:.3} ms/cycle: {:.2}x speedup \
+         (bench_server records the full-scale baseline)",
+        run.modes[0].ms_per_cycle, run.modes[1].ms_per_cycle, run.unified_speedup
+    ));
+    t
+}
+
 /// Future-work extension (Section 7): continuous reverse-NN monitoring
 /// via six-region candidates + verification, vs naive re-evaluation.
 pub fn rnn(scale: f64) -> Table {

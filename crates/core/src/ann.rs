@@ -23,7 +23,6 @@ use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 use crate::partition::{Direction, Pinwheel};
-use crate::shard::ShardedCpmEngine;
 
 /// The aggregate function of an ANN query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,10 +156,24 @@ impl QuerySpec for AnnQuery {
             AggregateFn::Min | AggregateFn::Max => delta,
         }
     }
+
+    #[inline]
+    fn kind(&self) -> cpm_grid::QueryKind {
+        cpm_grid::QueryKind::Ann
+    }
 }
 
-/// Continuous aggregate-NN monitor: the CPM machinery over [`AnnQuery`]
-/// geometries.
+/// Continuous aggregate-NN monitor — a single-kind **compatibility shim**
+/// over [`crate::CpmServer`]. New code should use the server directly
+/// ([`crate::CpmServer::install_ann`]), which hosts aggregate queries next
+/// to every other kind on one shared grid; this type keeps the original
+/// per-kind surface (panicking on registry misuse where the server
+/// returns [`crate::CpmError`]).
+///
+/// User query ids must stay below the server's reserved internal band
+/// (`2³¹`, [`crate::server::RESERVED_ID_BASE`]) — ids above it are
+/// rejected, where the old dedicated engines accepted the full `u32`
+/// range.
 ///
 /// # Example
 ///
@@ -184,7 +197,9 @@ impl QuerySpec for AnnQuery {
 /// ```
 #[derive(Debug)]
 pub struct CpmAnnMonitor {
-    engine: ShardedCpmEngine<AnnQuery>,
+    server: crate::CpmServer,
+    /// Scratch: this cycle's events lifted to the unified vocabulary.
+    event_buf: Vec<SpecEvent<crate::AnyQuerySpec>>,
 }
 
 impl CpmAnnMonitor {
@@ -195,32 +210,46 @@ impl CpmAnnMonitor {
 
     /// Create a monitor whose per-cycle maintenance runs across
     /// `shards ≥ 1` worker threads (`shards = 1` is sequential; results
-    /// are bit-identical for every shard count — see [`ShardedCpmEngine`]).
+    /// are bit-identical for every shard count — see
+    /// [`crate::ShardedCpmEngine`]).
     pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: ShardedCpmEngine::new(dim, shards),
+            server: crate::CpmServerBuilder::new(dim).shards(shards).build(),
+            event_buf: Vec::new(),
         }
     }
 
     /// Bulk-load objects before any query is installed.
     pub fn populate<I: IntoIterator<Item = (cpm_geom::ObjectId, Point)>>(&mut self, objects: I) {
-        self.engine.populate(objects);
+        self.server.populate(objects);
     }
 
     /// Install a continuous k-ANN query and compute its initial result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
     pub fn install_query(&mut self, id: QueryId, query: AnnQuery, k: usize) -> &[Neighbor] {
-        self.engine.install(id, query, k)
+        let h = self
+            .server
+            .install_ann(id, query, k)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.server.result(h).expect("just installed")
     }
 
     /// Terminate a query; `true` if it was installed.
     pub fn terminate_query(&mut self, id: QueryId) -> bool {
-        self.engine.terminate(id)
+        self.server.terminate(id).is_ok()
     }
 
     /// Replace the point set of a query (some users moved): terminate +
     /// reinstall, as in Section 3.3.
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
     pub fn move_query(&mut self, id: QueryId, query: AnnQuery) -> &[Neighbor] {
-        self.engine.update_spec(id, query)
+        self.server
+            .update_spec(id, crate::AnyQuerySpec::Ann(query))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run one processing cycle over object and query events.
@@ -229,43 +258,67 @@ impl CpmAnnMonitor {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<AnnQuery>],
     ) -> Vec<QueryId> {
-        self.engine.process_cycle(object_events, query_events)
+        self.event_buf.clear();
+        // Legacy surface: a batched terminate of an id that is already
+        // gone stays a benign no-op (the server's typed surface reports
+        // it as `UnknownQuery`).
+        self.event_buf.extend(
+            query_events
+                .iter()
+                .filter(|ev| {
+                    !matches!(ev, SpecEvent::Terminate { id }
+                        if self.server.kind_of(*id).is_none())
+                })
+                .map(crate::any::wrap_event),
+        );
+        let events = std::mem::take(&mut self.event_buf);
+        let changed = self
+            .server
+            .process_cycle(object_events, &events)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.event_buf = events;
+        changed
     }
 
     /// Current result of query `id`, ascending by aggregate distance.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
-        self.engine.result(id)
+        self.server.result(id)
     }
 
     /// Full book-keeping state of query `id`.
-    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<AnnQuery>> {
-        self.engine.query_state(id)
+    #[must_use]
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<crate::AnyQuerySpec>> {
+        self.server.query_state(id)
     }
 
     /// The object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
-        self.engine.grid()
+        self.server.grid()
     }
 
     /// Number of installed queries.
+    #[must_use]
     pub fn query_count(&self) -> usize {
-        self.engine.query_count()
+        self.server.query_count()
     }
 
     /// Merged snapshot of the work counters.
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
-        self.engine.metrics()
+        self.server.metrics()
     }
 
     /// Take and reset the work counters.
     pub fn take_metrics(&mut self) -> Metrics {
-        self.engine.take_metrics()
+        self.server.take_metrics()
     }
 
     /// Verify internal invariants (test helper).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        self.engine.check_invariants();
+        self.server.check_invariants();
     }
 }
 
@@ -289,7 +342,11 @@ mod tests {
 
     fn assert_matches(monitor: &CpmAnnMonitor, qid: QueryId) {
         let st = monitor.query_state(qid).unwrap();
-        let expect = brute_force(monitor, &st.spec, st.k());
+        let expect = brute_force(
+            monitor,
+            st.spec.as_ann().expect("ann monitor query"),
+            st.k(),
+        );
         let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
         assert_eq!(got.len(), expect.len());
         for (g, e) in got.iter().zip(&expect) {

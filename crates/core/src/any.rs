@@ -1,0 +1,258 @@
+//! [`AnyQuerySpec`]: every query geometry of the suite behind one
+//! [`QuerySpec`], so a single engine — and therefore a single grid and a
+//! single per-cycle ingest — can host a heterogeneous continuous-query
+//! population.
+//!
+//! The paper's framework never required one index per query *type*: the
+//! book-keeping of Section 3 is per query, and Section 5 derives every
+//! variant from the same machinery. `AnyQuerySpec` makes that explicit as
+//! an enum whose [`QuerySpec`] implementation dispatches to the concrete
+//! geometry, which is exactly what the [`crate::CpmServer`] facade and the
+//! mixed-kind subscription hub run on. Dispatch only forwards — every
+//! arithmetic path is the concrete spec's own — so results are
+//! **bit-identical** to the dedicated single-kind engines (asserted by
+//! `tests/unified_server.rs`).
+
+use cpm_geom::Point;
+use cpm_grid::{CellCoord, Grid, QueryKind};
+
+use crate::ann::AnnQuery;
+use crate::constrained::ConstrainedQuery;
+use crate::engine::{PointQuery, QuerySpec};
+use crate::partition::{Direction, Pinwheel};
+use crate::range::RangeQuery;
+use crate::rnn::RnnQuery;
+
+/// A query geometry of any supported kind; implements [`QuerySpec`] by
+/// dispatching to the wrapped concrete spec.
+#[derive(Debug, Clone)]
+pub enum AnyQuerySpec {
+    /// Plain point k-NN ([`PointQuery`], Section 3).
+    Knn(PointQuery),
+    /// Range membership ([`RangeQuery`]).
+    Range(RangeQuery),
+    /// Aggregate NN ([`AnnQuery`], Section 5).
+    Ann(AnnQuery),
+    /// Constrained NN ([`ConstrainedQuery`], Section 5).
+    Constrained(ConstrainedQuery),
+    /// One reverse-NN sector candidate ([`RnnQuery`]); server-level RNN
+    /// registrations expand into six of these.
+    Rnn(RnnQuery),
+}
+
+impl AnyQuerySpec {
+    /// The concrete [`RangeQuery`], if this is a range spec.
+    #[must_use]
+    pub fn as_range(&self) -> Option<&RangeQuery> {
+        match self {
+            AnyQuerySpec::Range(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The concrete [`AnnQuery`], if this is an aggregate spec.
+    #[must_use]
+    pub fn as_ann(&self) -> Option<&AnnQuery> {
+        match self {
+            AnyQuerySpec::Ann(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The concrete [`ConstrainedQuery`], if this is a constrained spec.
+    #[must_use]
+    pub fn as_constrained(&self) -> Option<&ConstrainedQuery> {
+        match self {
+            AnyQuerySpec::Constrained(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The k-NN query point, if this is a point spec.
+    #[must_use]
+    pub fn as_knn(&self) -> Option<Point> {
+        match self {
+            AnyQuerySpec::Knn(q) => Some(q.0),
+            _ => None,
+        }
+    }
+
+    /// The reverse-NN sector candidate, if this is one.
+    #[must_use]
+    pub fn as_rnn(&self) -> Option<&RnnQuery> {
+        match self {
+            AnyQuerySpec::Rnn(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+impl From<PointQuery> for AnyQuerySpec {
+    fn from(q: PointQuery) -> Self {
+        AnyQuerySpec::Knn(q)
+    }
+}
+
+impl From<RangeQuery> for AnyQuerySpec {
+    fn from(q: RangeQuery) -> Self {
+        AnyQuerySpec::Range(q)
+    }
+}
+
+impl From<AnnQuery> for AnyQuerySpec {
+    fn from(q: AnnQuery) -> Self {
+        AnyQuerySpec::Ann(q)
+    }
+}
+
+impl From<ConstrainedQuery> for AnyQuerySpec {
+    fn from(q: ConstrainedQuery) -> Self {
+        AnyQuerySpec::Constrained(q)
+    }
+}
+
+impl From<RnnQuery> for AnyQuerySpec {
+    fn from(q: RnnQuery) -> Self {
+        AnyQuerySpec::Rnn(q)
+    }
+}
+
+/// Lift a concrete-spec query event into the unified vocabulary (used by
+/// the per-kind compat monitors to drive a [`crate::CpmServer`]).
+pub fn wrap_event<S: Clone + Into<AnyQuerySpec>>(
+    ev: &crate::SpecEvent<S>,
+) -> crate::SpecEvent<AnyQuerySpec> {
+    use crate::SpecEvent;
+    match ev {
+        SpecEvent::Install { id, spec, k } => SpecEvent::Install {
+            id: *id,
+            spec: spec.clone().into(),
+            k: *k,
+        },
+        SpecEvent::Update { id, spec } => SpecEvent::Update {
+            id: *id,
+            spec: spec.clone().into(),
+        },
+        SpecEvent::Terminate { id } => SpecEvent::Terminate { id: *id },
+    }
+}
+
+/// Forward one [`QuerySpec`] method to the wrapped concrete spec.
+macro_rules! dispatch {
+    ($self:expr, $q:ident => $body:expr) => {
+        match $self {
+            AnyQuerySpec::Knn($q) => $body,
+            AnyQuerySpec::Range($q) => $body,
+            AnyQuerySpec::Ann($q) => $body,
+            AnyQuerySpec::Constrained($q) => $body,
+            AnyQuerySpec::Rnn($q) => $body,
+        }
+    };
+}
+
+impl QuerySpec for AnyQuerySpec {
+    #[inline]
+    fn dist(&self, p: Point) -> f64 {
+        dispatch!(self, q => q.dist(p))
+    }
+
+    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
+        dispatch!(self, q => q.base_block(grid))
+    }
+
+    #[inline]
+    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
+        dispatch!(self, q => q.cell_key(grid, cell))
+    }
+
+    #[inline]
+    fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64 {
+        dispatch!(self, q => q.strip_key(pw, dir, lvl))
+    }
+
+    #[inline]
+    fn strip_increment(&self, delta: f64) -> f64 {
+        dispatch!(self, q => q.strip_increment(delta))
+    }
+
+    #[inline]
+    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
+        dispatch!(self, q => q.admits_cell(grid, cell))
+    }
+
+    #[inline]
+    fn kind(&self) -> QueryKind {
+        dispatch!(self, q => q.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_geom::Rect;
+
+    /// Dispatch must agree with the wrapped spec on every trait method —
+    /// this is what makes unified-engine results bit-identical to the
+    /// dedicated engines.
+    #[test]
+    fn dispatch_forwards_every_method_exactly() {
+        let grid = Grid::new(32);
+        let range = RangeQuery::circle(Point::new(0.4, 0.6), 0.2);
+        let any = AnyQuerySpec::from(range);
+        let (lo, hi) = range.base_block(&grid);
+        assert_eq!(any.base_block(&grid), (lo, hi));
+        let pw = Pinwheel::around_block(lo, hi, grid.dim());
+        for p in [Point::new(0.41, 0.61), Point::new(0.9, 0.9)] {
+            assert!(any.dist(p).to_bits() == range.dist(p).to_bits());
+        }
+        for cell in [CellCoord::new(3, 3), CellCoord::new(20, 12)] {
+            assert_eq!(
+                any.cell_key(&grid, cell).to_bits(),
+                range.cell_key(&grid, cell).to_bits()
+            );
+            assert_eq!(any.admits_cell(&grid, cell), range.admits_cell(&grid, cell));
+        }
+        for dir in Direction::ALL {
+            assert_eq!(
+                any.strip_key(&pw, dir, 1).to_bits(),
+                range.strip_key(&pw, dir, 1).to_bits()
+            );
+        }
+        assert_eq!(
+            any.strip_increment(grid.delta()).to_bits(),
+            range.strip_increment(grid.delta()).to_bits()
+        );
+        assert_eq!(any.kind(), QueryKind::Range);
+    }
+
+    #[test]
+    fn kind_and_projections_match_the_variant() {
+        let specs: Vec<(AnyQuerySpec, QueryKind)> = vec![
+            (PointQuery(Point::new(0.1, 0.2)).into(), QueryKind::Knn),
+            (
+                RangeQuery::rect(Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5))).into(),
+                QueryKind::Range,
+            ),
+            (
+                AnnQuery::new(vec![Point::new(0.3, 0.3)], crate::AggregateFn::Sum).into(),
+                QueryKind::Ann,
+            ),
+            (
+                ConstrainedQuery::northeast_of(Point::new(0.5, 0.5)).into(),
+                QueryKind::Constrained,
+            ),
+            (
+                RnnQuery::new(Point::new(0.5, 0.5), 2).into(),
+                QueryKind::Rnn,
+            ),
+        ];
+        for (spec, kind) in &specs {
+            assert_eq!(spec.kind(), *kind);
+        }
+        assert!(specs[0].0.as_knn().is_some() && specs[0].0.as_range().is_none());
+        assert!(specs[1].0.as_range().is_some());
+        assert!(specs[2].0.as_ann().is_some());
+        assert!(specs[3].0.as_constrained().is_some());
+        assert!(specs[4].0.as_rnn().is_some() && specs[4].0.as_knn().is_none());
+    }
+}

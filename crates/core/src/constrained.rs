@@ -17,7 +17,6 @@ use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 use crate::partition::{Direction, Pinwheel};
-use crate::shard::ShardedCpmEngine;
 
 /// A point query with a rectangular constraint region: report the k objects
 /// inside `region` that lie closest to `q`.
@@ -76,10 +75,24 @@ impl QuerySpec for ConstrainedQuery {
     fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
         grid.cell_rect(cell).intersects(&self.region)
     }
+
+    #[inline]
+    fn kind(&self) -> cpm_grid::QueryKind {
+        cpm_grid::QueryKind::Constrained
+    }
 }
 
-/// Continuous constrained-NN monitor: the CPM machinery over
-/// [`ConstrainedQuery`] geometries.
+/// Continuous constrained-NN monitor — a single-kind **compatibility
+/// shim** over [`crate::CpmServer`]. New code should use the server
+/// directly ([`crate::CpmServer::install_constrained`]), which hosts
+/// constrained queries next to every other kind on one shared grid; this
+/// type keeps the original per-kind surface (panicking on registry misuse
+/// where the server returns [`crate::CpmError`]).
+///
+/// User query ids must stay below the server's reserved internal band
+/// (`2³¹`, [`crate::server::RESERVED_ID_BASE`]) — ids above it are
+/// rejected, where the old dedicated engines accepted the full `u32`
+/// range.
 ///
 /// # Example
 ///
@@ -98,7 +111,9 @@ impl QuerySpec for ConstrainedQuery {
 /// ```
 #[derive(Debug)]
 pub struct CpmConstrainedMonitor {
-    engine: ShardedCpmEngine<ConstrainedQuery>,
+    server: crate::CpmServer,
+    /// Scratch: this cycle's events lifted to the unified vocabulary.
+    event_buf: Vec<SpecEvent<crate::AnyQuerySpec>>,
 }
 
 impl CpmConstrainedMonitor {
@@ -109,31 +124,45 @@ impl CpmConstrainedMonitor {
 
     /// Create a monitor whose per-cycle maintenance runs across
     /// `shards ≥ 1` worker threads (`shards = 1` is sequential; results
-    /// are bit-identical for every shard count — see [`ShardedCpmEngine`]).
+    /// are bit-identical for every shard count — see
+    /// [`crate::ShardedCpmEngine`]).
     pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: ShardedCpmEngine::new(dim, shards),
+            server: crate::CpmServerBuilder::new(dim).shards(shards).build(),
+            event_buf: Vec::new(),
         }
     }
 
     /// Bulk-load objects before any query is installed.
     pub fn populate<I: IntoIterator<Item = (cpm_geom::ObjectId, Point)>>(&mut self, objects: I) {
-        self.engine.populate(objects);
+        self.server.populate(objects);
     }
 
     /// Install a continuous constrained k-NN query.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0`.
     pub fn install_query(&mut self, id: QueryId, query: ConstrainedQuery, k: usize) -> &[Neighbor] {
-        self.engine.install(id, query, k)
+        let h = self
+            .server
+            .install_constrained(id, query, k)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.server.result(h).expect("just installed")
     }
 
     /// Terminate a query; `true` if it was installed.
     pub fn terminate_query(&mut self, id: QueryId) -> bool {
-        self.engine.terminate(id)
+        self.server.terminate(id).is_ok()
     }
 
     /// Replace the query point and/or constraint region.
+    ///
+    /// # Panics
+    /// Panics if the query is not installed.
     pub fn move_query(&mut self, id: QueryId, query: ConstrainedQuery) -> &[Neighbor] {
-        self.engine.update_spec(id, query)
+        self.server
+            .update_spec(id, crate::AnyQuerySpec::Constrained(query))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run one processing cycle over object and query events.
@@ -142,38 +171,61 @@ impl CpmConstrainedMonitor {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<ConstrainedQuery>],
     ) -> Vec<QueryId> {
-        self.engine.process_cycle(object_events, query_events)
+        self.event_buf.clear();
+        // Legacy surface: a batched terminate of an id that is already
+        // gone stays a benign no-op (the server's typed surface reports
+        // it as `UnknownQuery`).
+        self.event_buf.extend(
+            query_events
+                .iter()
+                .filter(|ev| {
+                    !matches!(ev, SpecEvent::Terminate { id }
+                        if self.server.kind_of(*id).is_none())
+                })
+                .map(crate::any::wrap_event),
+        );
+        let events = std::mem::take(&mut self.event_buf);
+        let changed = self
+            .server
+            .process_cycle(object_events, &events)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.event_buf = events;
+        changed
     }
 
     /// Current result of query `id`.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
-        self.engine.result(id)
+        self.server.result(id)
     }
 
     /// Full book-keeping state of query `id`.
-    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<ConstrainedQuery>> {
-        self.engine.query_state(id)
+    #[must_use]
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<crate::AnyQuerySpec>> {
+        self.server.query_state(id)
     }
 
     /// The object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
-        self.engine.grid()
+        self.server.grid()
     }
 
     /// Merged snapshot of the work counters.
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
-        self.engine.metrics()
+        self.server.metrics()
     }
 
     /// Take and reset the work counters.
     pub fn take_metrics(&mut self) -> Metrics {
-        self.engine.take_metrics()
+        self.server.take_metrics()
     }
 
     /// Verify internal invariants (test helper).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        self.engine.check_invariants();
+        self.server.check_invariants();
     }
 }
 
@@ -198,7 +250,11 @@ mod tests {
 
     fn assert_matches(m: &CpmConstrainedMonitor, qid: QueryId) {
         let st = m.query_state(qid).unwrap();
-        let expect = brute_force(m, &st.spec, st.k());
+        let expect = brute_force(
+            m,
+            st.spec.as_constrained().expect("constrained monitor query"),
+            st.k(),
+        );
         let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
         assert_eq!(got.len(), expect.len());
         for (g, e) in got.iter().zip(&expect) {

@@ -38,9 +38,12 @@
 //! this engine ([`crate::ann`], [`crate::constrained`]).
 
 use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
-use cpm_grid::{apply_events, CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, UpdateRecord};
+use cpm_grid::{
+    apply_events, CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, QueryKind, UpdateRecord,
+};
 
 use crate::delta::{DeltaBuf, NeighborDelta};
+use crate::error::CpmError;
 use crate::heap::{HeapEntry, SearchHeap};
 use crate::inlist::InList;
 use crate::neighbors::{Neighbor, NeighborList};
@@ -82,6 +85,13 @@ pub trait QuerySpec: std::fmt::Debug + Clone {
     /// are not en-heaped (constrained search, Section 5 / Figure 5.3).
     fn admits_cell(&self, _grid: &Grid, _cell: CellCoord) -> bool {
         true
+    }
+
+    /// The query class this geometry belongs to, used to attribute work
+    /// counters in mixed workloads ([`cpm_grid::Metrics::by_kind`]).
+    /// Point-distance specs default to [`QueryKind::Knn`].
+    fn kind(&self) -> QueryKind {
+        QueryKind::Knn
     }
 }
 
@@ -350,40 +360,53 @@ impl<S: QuerySpec> EngineCore<S> {
         self.deltas.clear();
     }
 
-    pub(crate) fn install(&mut self, grid: &Grid, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
-        assert!(
-            !self.queries.contains_key(&id),
-            "query {id} is already installed"
-        );
+    pub(crate) fn install(
+        &mut self,
+        grid: &Grid,
+        id: QueryId,
+        spec: S,
+        k: usize,
+    ) -> Result<&[Neighbor], CpmError> {
+        if k == 0 {
+            return Err(CpmError::InvalidK(id));
+        }
+        if self.queries.contains_key(&id) {
+            return Err(CpmError::DuplicateQuery(id));
+        }
         let mut st = SpecQueryState::new(id, spec, k, grid.dim());
         Self::compute_from_scratch(grid, &mut self.influence, &mut st, &mut self.metrics);
-        self.queries.entry(id).or_insert(st).result()
+        Ok(self.queries.entry(id).or_insert(st).result())
     }
 
-    pub(crate) fn terminate(&mut self, id: QueryId) -> bool {
+    pub(crate) fn terminate(&mut self, id: QueryId) -> Result<(), CpmError> {
         match self.queries.remove(&id) {
             Some(st) => {
                 for &(cell, _) in &st.visit_list[..st.influence_len] {
                     self.influence.remove(cell, id);
                 }
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(CpmError::UnknownQuery(id)),
         }
     }
 
-    pub(crate) fn update_spec(&mut self, grid: &Grid, id: QueryId, spec: S) -> &[Neighbor] {
+    pub(crate) fn update_spec(
+        &mut self,
+        grid: &Grid,
+        id: QueryId,
+        spec: S,
+    ) -> Result<&[Neighbor], CpmError> {
         let st = self
             .queries
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("update of unknown query {id}"));
+            .ok_or(CpmError::UnknownQuery(id))?;
         for &(cell, _) in &st.visit_list[..st.influence_len] {
             self.influence.remove(cell, id);
         }
         st.influence_len = 0;
         st.spec = spec;
         Self::compute_from_scratch(grid, &mut self.influence, st, &mut self.metrics);
-        st.result()
+        Ok(st.result())
     }
 
     /// Run the batched update handling (Figure 3.8) for an already-ingested
@@ -421,7 +444,10 @@ impl<S: QuerySpec> EngineCore<S> {
         for ev in events {
             match ev {
                 SpecEvent::Terminate { id } => {
-                    self.terminate(*id);
+                    // A batched terminate of an id that is already gone is
+                    // benign (the direct-call API reports it as
+                    // `CpmError::UnknownQuery`).
+                    let _ = self.terminate(*id);
                 }
                 SpecEvent::Update { id, spec } => {
                     let epoch = self.epoch;
@@ -434,14 +460,17 @@ impl<S: QuerySpec> EngineCore<S> {
                         // updates; a plain owned snapshot is fine here.
                         let prev: Vec<Neighbor> = st.best.neighbors().to_vec();
                         let delta = {
-                            let new = self.update_spec(grid, *id, spec.clone());
+                            let new = self
+                                .update_spec(grid, *id, spec.clone())
+                                .unwrap_or_else(|e| panic!("{e}"));
                             NeighborDelta::diff(epoch, &prev, new)
                         };
                         if !delta.is_empty() {
                             self.deltas.push((*id, delta));
                         }
                     } else {
-                        self.update_spec(grid, *id, spec.clone());
+                        self.update_spec(grid, *id, spec.clone())
+                            .unwrap_or_else(|e| panic!("{e}"));
                     }
                     changed.push(*id);
                 }
@@ -449,14 +478,17 @@ impl<S: QuerySpec> EngineCore<S> {
                     let epoch = self.epoch;
                     if self.collect_deltas {
                         let delta = {
-                            let result = self.install(grid, *id, spec.clone(), *k);
+                            let result = self
+                                .install(grid, *id, spec.clone(), *k)
+                                .unwrap_or_else(|e| panic!("{e}"));
                             NeighborDelta::diff(epoch, &[], result)
                         };
                         if !delta.is_empty() {
                             self.deltas.push((*id, delta));
                         }
                     } else {
-                        self.install(grid, *id, spec.clone(), *k);
+                        self.install(grid, *id, spec.clone(), *k)
+                            .unwrap_or_else(|e| panic!("{e}"));
                     }
                     changed.push(*id);
                 }
@@ -473,6 +505,7 @@ impl<S: QuerySpec> EngineCore<S> {
         metrics: &mut Metrics,
     ) {
         debug_assert_eq!(st.influence_len, 0, "stale influence registrations");
+        let counters_before = metrics.query_counters();
         st.best.clear();
         st.visit_list.clear();
         st.heap.clear();
@@ -496,6 +529,7 @@ impl<S: QuerySpec> EngineCore<S> {
 
         Self::drain_heap(grid, st, metrics);
         metrics.computations += 1;
+        metrics.attribute_since(st.spec.kind(), counters_before);
         Self::sync_influence(inf, st);
     }
 
@@ -505,6 +539,7 @@ impl<S: QuerySpec> EngineCore<S> {
         st: &mut SpecQueryState<S>,
         metrics: &mut Metrics,
     ) {
+        let counters_before = metrics.query_counters();
         st.best.clear();
 
         let mut exhausted = true;
@@ -528,6 +563,7 @@ impl<S: QuerySpec> EngineCore<S> {
             Self::drain_heap(grid, st, metrics);
         }
         metrics.recomputations += 1;
+        metrics.attribute_since(st.spec.kind(), counters_before);
         Self::sync_influence(inf, st);
     }
 
@@ -688,6 +724,7 @@ impl<S: QuerySpec> EngineCore<S> {
                 candidates.extend_from_slice(st.in_list.entries());
                 st.best.rebuild_from(candidates);
                 self.metrics.merge_resolutions += 1;
+                self.metrics.by_kind[st.spec.kind() as usize].merge_resolutions += 1;
                 resolved = true;
                 Self::sync_influence(&mut self.influence, st);
             } else if st.dirty {
@@ -807,26 +844,31 @@ impl<S: QuerySpec> CpmEngine<S> {
     }
 
     /// The object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
         &self.grid
     }
 
     /// Number of installed queries.
+    #[must_use]
     pub fn query_count(&self) -> usize {
         self.core.query_count()
     }
 
     /// The current result of query `id`.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
         self.core.query_state(id).map(|st| st.result())
     }
 
     /// Full book-keeping state of query `id`.
+    #[must_use]
     pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
         self.core.query_state(id)
     }
 
     /// Work counters accumulated since the last [`CpmEngine::take_metrics`].
+    #[must_use]
     pub fn metrics(&self) -> &Metrics {
         self.core.metrics()
     }
@@ -838,22 +880,26 @@ impl<S: QuerySpec> CpmEngine<S> {
 
     /// Install a new query and compute its initial result.
     ///
-    /// # Panics
-    /// Panics if `id` is already installed or `k == 0`.
-    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+    /// # Errors
+    /// [`CpmError::DuplicateQuery`] if `id` is already installed,
+    /// [`CpmError::InvalidK`] if `k == 0`.
+    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> Result<&[Neighbor], CpmError> {
         self.core.install(&self.grid, id, spec, k)
     }
 
-    /// Terminate query `id`; returns `true` if it was installed.
-    pub fn terminate(&mut self, id: QueryId) -> bool {
+    /// Terminate query `id`.
+    ///
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if `id` is not installed.
+    pub fn terminate(&mut self, id: QueryId) -> Result<(), CpmError> {
         self.core.terminate(id)
     }
 
     /// Replace the geometry of query `id` (terminate + reinstall).
     ///
-    /// # Panics
-    /// Panics if the query is not installed.
-    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if `id` is not installed.
+    pub fn update_spec(&mut self, id: QueryId, spec: S) -> Result<&[Neighbor], CpmError> {
         self.core.update_spec(&self.grid, id, spec)
     }
 
@@ -906,6 +952,7 @@ impl<S: QuerySpec> CpmEngine<S> {
 
     /// The processing-cycle counter: 0 before any cycle, incremented by
     /// every `process_cycle` call. Delta epochs carry this value.
+    #[must_use]
     pub fn epoch(&self) -> u64 {
         self.core.epoch()
     }

@@ -1,0 +1,92 @@
+//! The typed error surface of the CPM engines and the [`crate::CpmServer`]
+//! facade.
+//!
+//! Query registration is the one part of the system where caller mistakes
+//! are *expected* in production — duplicate ids from retried requests,
+//! terminations racing cancellations, k = 0 from defaulted config — so
+//! those paths return [`CpmError`] instead of panicking. Programming
+//! errors (processing a delta cycle without enabling capture, populating
+//! after installs) remain panics: they are bugs in the embedding code, not
+//! runtime conditions to handle.
+
+use cpm_geom::QueryId;
+use cpm_grid::QueryKind;
+
+/// Why a query-registry operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpmError {
+    /// `install` of an id that is already registered.
+    DuplicateQuery(QueryId),
+    /// `terminate`/`update_spec` of an id that is not registered.
+    UnknownQuery(QueryId),
+    /// A typed operation addressed a query of a different kind (e.g. a
+    /// range update submitted for an installed k-NN query).
+    KindMismatch {
+        /// The addressed query.
+        id: QueryId,
+        /// The kind the operation expected.
+        expected: QueryKind,
+        /// The kind the query is actually registered as.
+        actual: QueryKind,
+    },
+    /// `install` with `k == 0` (a continuous query must report at least
+    /// one neighbor).
+    InvalidK(QueryId),
+    /// The id lies in the band the server reserves for internal queries
+    /// (reverse-NN sector candidates), or outside the representable
+    /// reverse-NN id range.
+    ReservedId(QueryId),
+    /// The operation addressed a composite reverse-NN registration
+    /// through the single-spec surface (batched query events,
+    /// `update_spec`): RNN registrations are managed through the
+    /// dedicated calls (`install_rnn` / `update_rnn` / `terminate`).
+    CompositeQuery(QueryId),
+}
+
+impl std::fmt::Display for CpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CpmError::DuplicateQuery(id) => write!(f, "query {id} is already installed"),
+            CpmError::UnknownQuery(id) => write!(f, "query {id} is not installed"),
+            CpmError::KindMismatch {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "query {id} is a {actual} query, but the operation expected {expected}"
+            ),
+            CpmError::InvalidK(id) => write!(f, "query {id}: k must be at least 1"),
+            CpmError::ReservedId(id) => write!(
+                f,
+                "query id {id} lies in (or would map into) the server's reserved internal band"
+            ),
+            CpmError::CompositeQuery(id) => write!(
+                f,
+                "query {id} is a composite reverse-NN registration: use install_rnn / \
+                 update_rnn / terminate instead of the single-spec surface"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_query_and_the_kinds() {
+        let e = CpmError::KindMismatch {
+            id: QueryId(7),
+            expected: QueryKind::Range,
+            actual: QueryKind::Knn,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("range") && msg.contains("knn"));
+        assert!(CpmError::DuplicateQuery(QueryId(1))
+            .to_string()
+            .contains("already installed"));
+    }
+}

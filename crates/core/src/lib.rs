@@ -17,6 +17,14 @@
 //! * [`range`] — continuous range monitoring (rectangle/circle
 //!   membership), the subscription shape of location-aware pub/sub. Entry
 //!   point: [`CpmRangeMonitor`].
+//! * [`server`] — the **unified multi-query facade**: every kind above on
+//!   one shared grid with a single per-cycle ingest, typed handles, and a
+//!   [`CpmError`]-based registry surface. Entry point: [`CpmServer`] via
+//!   [`CpmServerBuilder`]. The per-kind monitors are kept as thin
+//!   compatibility shims over it.
+//! * [`any`] — [`AnyQuerySpec`], the enum over every query geometry that
+//!   lets the generic engines run heterogeneous query sets unchanged.
+//! * [`error`] — the typed error surface ([`CpmError`]).
 //! * [`shard`] — sharded parallel cycle processing: queries partitioned
 //!   across worker threads over one shared grid, bit-identical to the
 //!   sequential engine. Entry points: [`ShardedCpmEngine`],
@@ -36,9 +44,11 @@
 
 pub mod analysis;
 pub mod ann;
+pub mod any;
 pub mod constrained;
 pub mod delta;
 pub mod engine;
+pub mod error;
 pub mod heap;
 mod inlist;
 pub mod knn;
@@ -46,16 +56,23 @@ pub mod neighbors;
 pub mod partition;
 pub mod range;
 pub mod rnn;
+pub mod server;
 pub mod shard;
 
 pub use analysis::CostModel;
 pub use ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
+pub use any::AnyQuerySpec;
 pub use constrained::{ConstrainedQuery, CpmConstrainedMonitor};
 pub use delta::{CycleDeltas, NeighborDelta};
 pub use engine::{CpmEngine, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
+pub use error::CpmError;
 pub use knn::{CpmConfig, CpmKnnMonitor, KnnQueryState};
 pub use neighbors::{Neighbor, NeighborList};
 pub use partition::{Direction, Pinwheel, Strip};
 pub use range::{CpmRangeMonitor, RangeQuery, Region};
-pub use rnn::CpmRnnMonitor;
+pub use rnn::{CpmRnnMonitor, RnnQuery};
+pub use server::{
+    AnnHandle, ConstrainedHandle, CpmServer, CpmServerBuilder, KnnHandle, QueryHandle, RangeHandle,
+    RnnHandle,
+};
 pub use shard::{shard_of, ShardedCpmEngine, ShardedKnnMonitor};

@@ -34,7 +34,6 @@ use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
 use crate::partition::{Direction, Pinwheel};
-use crate::shard::ShardedCpmEngine;
 
 /// The monitored region of a [`RangeQuery`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,10 +156,24 @@ impl QuerySpec for RangeQuery {
     fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
         self.region.intersects_rect(&grid.cell_rect(cell))
     }
+
+    #[inline]
+    fn kind(&self) -> cpm_grid::QueryKind {
+        cpm_grid::QueryKind::Range
+    }
 }
 
-/// Continuous range monitor: the CPM machinery over [`RangeQuery`]
-/// geometries, optionally sharded across worker threads.
+/// Continuous range monitor — a single-kind **compatibility shim** over
+/// [`crate::CpmServer`]. New code should use the server directly
+/// ([`crate::CpmServer::install_range`]), which hosts range queries next
+/// to every other kind on one shared grid; this type keeps the original
+/// per-kind surface (panicking on registry misuse where the server
+/// returns [`crate::CpmError`]).
+///
+/// User query ids must stay below the server's reserved internal band
+/// (`2³¹`, [`crate::server::RESERVED_ID_BASE`]) — ids above it are
+/// rejected, where the old dedicated engines accepted the full `u32`
+/// range.
 ///
 /// # Example
 ///
@@ -188,7 +201,9 @@ impl QuerySpec for RangeQuery {
 /// ```
 #[derive(Debug)]
 pub struct CpmRangeMonitor {
-    engine: ShardedCpmEngine<RangeQuery>,
+    server: crate::CpmServer,
+    /// Scratch: this cycle's events lifted to the unified vocabulary.
+    event_buf: Vec<SpecEvent<crate::AnyQuerySpec>>,
 }
 
 impl CpmRangeMonitor {
@@ -201,70 +216,104 @@ impl CpmRangeMonitor {
     /// `shards ≥ 1` worker threads (`shards = 1` is sequential).
     pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: ShardedCpmEngine::new(dim, shards),
+            server: crate::CpmServerBuilder::new(dim).shards(shards).build(),
+            event_buf: Vec::new(),
         }
     }
 
     /// Bulk-load objects before any query is installed.
     pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
-        self.engine.populate(objects);
+        self.server.populate(objects);
     }
 
     /// Install a continuous range query and compute its initial result.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed.
     pub fn install_query(&mut self, id: QueryId, query: RangeQuery) -> &[Neighbor] {
-        self.engine.install(id, query, RangeQuery::UNBOUNDED_K)
+        let h = self
+            .server
+            .install_range(id, query)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.server.result(h).expect("just installed")
     }
 
     /// Terminate a query; `true` if it was installed.
     pub fn terminate_query(&mut self, id: QueryId) -> bool {
-        self.engine.terminate(id)
+        self.server.terminate(id).is_ok()
     }
 
     /// Run one processing cycle over object and query events. Install
-    /// events must carry `k =` [`RangeQuery::UNBOUNDED_K`].
+    /// events should carry `k =` [`RangeQuery::UNBOUNDED_K`]; any other
+    /// `k` is normalized to it by the underlying server (range results
+    /// are membership sets, never capped).
     pub fn process_cycle(
         &mut self,
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<RangeQuery>],
     ) -> Vec<QueryId> {
-        self.engine.process_cycle(object_events, query_events)
+        self.event_buf.clear();
+        // Legacy surface: a batched terminate of an id that is already
+        // gone stays a benign no-op (the server's typed surface reports
+        // it as `UnknownQuery`).
+        self.event_buf.extend(
+            query_events
+                .iter()
+                .filter(|ev| {
+                    !matches!(ev, SpecEvent::Terminate { id }
+                        if self.server.kind_of(*id).is_none())
+                })
+                .map(crate::any::wrap_event),
+        );
+        let events = std::mem::take(&mut self.event_buf);
+        let changed = self
+            .server
+            .process_cycle(object_events, &events)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.event_buf = events;
+        changed
     }
 
     /// Current result of query `id`: every object inside the region,
     /// ascending by `(distance to the region anchor, id)`.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
-        self.engine.result(id)
+        self.server.result(id)
     }
 
     /// Full book-keeping state of query `id`.
-    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<RangeQuery>> {
-        self.engine.query_state(id)
+    #[must_use]
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<crate::AnyQuerySpec>> {
+        self.server.query_state(id)
     }
 
     /// The object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
-        self.engine.grid()
+        self.server.grid()
     }
 
     /// Number of installed queries.
+    #[must_use]
     pub fn query_count(&self) -> usize {
-        self.engine.query_count()
+        self.server.query_count()
     }
 
     /// Merged snapshot of the work counters.
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
-        self.engine.metrics()
+        self.server.metrics()
     }
 
     /// Take and reset the work counters.
     pub fn take_metrics(&mut self) -> Metrics {
-        self.engine.take_metrics()
+        self.server.take_metrics()
     }
 
     /// Verify internal invariants (test helper).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        self.engine.check_invariants();
+        self.server.check_invariants();
     }
 }
 
@@ -297,7 +346,7 @@ mod tests {
 
     fn assert_matches(m: &CpmRangeMonitor, qid: QueryId) {
         let st = m.query_state(qid).unwrap();
-        let expect = brute_force(m, &st.spec);
+        let expect = brute_force(m, st.spec.as_range().expect("range monitor query"));
         assert_eq!(st.result(), expect.as_slice(), "query {qid}");
     }
 

@@ -27,12 +27,11 @@
 
 use std::f64::consts::TAU;
 
-use cpm_geom::{FastHashMap, ObjectId, Point, QueryId, Rect};
+use cpm_geom::{ObjectId, Point, QueryId, Rect};
 use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent, QueryEvent};
 
-use crate::engine::{QuerySpec, SpecEvent};
+use crate::engine::QuerySpec;
 use crate::partition::{Direction, Pinwheel};
-use crate::shard::ShardedCpmEngine;
 
 /// Number of wedges; 60° each makes the candidate lemma hold.
 const SECTORS: u32 = 6;
@@ -112,14 +111,42 @@ pub fn sector_intersects_rect(origin: Point, sector: u32, rect: &Rect) -> bool {
     false
 }
 
-/// A sector-constrained point query: the 1-NN of `q` within one wedge.
-#[derive(Debug, Clone)]
-struct SectorQuery {
+/// One 60° wedge of a reverse-NN registration: a sector-constrained
+/// continuous 1-NN query on `q`, the candidate-generation unit of the
+/// six-region method. A server-level RNN query
+/// ([`crate::CpmServer::install_rnn`]) expands into six of these on
+/// reserved internal ids; their winners are then filtered by circle
+/// verification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RnnQuery {
     q: Point,
     sector: u32,
 }
 
-impl QuerySpec for SectorQuery {
+impl RnnQuery {
+    /// The wedge `sector ∈ 0..6` around query point `q`.
+    ///
+    /// # Panics
+    /// Panics if `sector >= 6`.
+    pub fn new(q: Point, sector: u32) -> Self {
+        assert!(sector < SECTORS, "sector out of range");
+        Self { q, sector }
+    }
+
+    /// The query point.
+    #[must_use]
+    pub fn q(&self) -> Point {
+        self.q
+    }
+
+    /// The wedge index (`0..6`).
+    #[must_use]
+    pub fn sector(&self) -> u32 {
+        self.sector
+    }
+}
+
+impl QuerySpec for RnnQuery {
     #[inline]
     fn dist(&self, p: Point) -> f64 {
         if sector_of(self.q, p) == self.sector {
@@ -153,17 +180,23 @@ impl QuerySpec for SectorQuery {
     fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
         sector_intersects_rect(self.q, self.sector, &grid.cell_rect(cell))
     }
+
+    #[inline]
+    fn kind(&self) -> cpm_grid::QueryKind {
+        cpm_grid::QueryKind::Rnn
+    }
 }
 
-#[derive(Debug)]
-struct RnnQueryState {
-    q: Point,
-    /// Last reported RNN set (sorted by object id).
-    result: Vec<ObjectId>,
-}
-
-/// Continuous reverse-NN monitor: six sector-constrained CPM monitors for
-/// candidates plus per-cycle circle verification.
+/// Continuous reverse-NN monitor — a **compatibility shim** over
+/// [`crate::CpmServer`], which owns the six-region composition
+/// (sector-constrained candidate queries on reserved internal ids plus
+/// per-cycle circle verification). New code should use the server
+/// directly ([`crate::CpmServer::install_rnn`]); this type keeps the
+/// original per-kind surface, including [`QueryEvent`]-driven query
+/// churn.
+///
+/// RNN ids must fit the server's sector-id mapping (roughly the bottom
+/// 357M ids; the old monitor accepted up to `u32::MAX / 6`).
 ///
 /// # Example
 ///
@@ -182,11 +215,7 @@ struct RnnQueryState {
 /// ```
 #[derive(Debug)]
 pub struct CpmRnnMonitor {
-    engine: ShardedCpmEngine<SectorQuery>,
-    queries: FastHashMap<QueryId, RnnQueryState>,
-    /// Verification work (cell accesses / objects processed), kept apart
-    /// from the engine's candidate-maintenance counters.
-    verify_metrics: Metrics,
+    server: crate::CpmServer,
 }
 
 impl CpmRnnMonitor {
@@ -201,185 +230,116 @@ impl CpmRnnMonitor {
     /// results are bit-identical for every shard count).
     pub fn new_sharded(dim: u32, shards: usize) -> Self {
         Self {
-            engine: ShardedCpmEngine::new(dim, shards),
-            queries: FastHashMap::default(),
-            verify_metrics: Metrics::default(),
+            server: crate::CpmServerBuilder::new(dim).shards(shards).build(),
         }
     }
 
     /// Bulk-load objects before any query is installed.
     pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
-        self.engine.populate(objects);
+        self.server.populate(objects);
     }
 
     /// The object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
-        self.engine.grid()
+        self.server.grid()
     }
 
     /// Combined work counters (candidate maintenance + verification).
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
-        let mut m = self.engine.metrics();
-        m.merge(&self.verify_metrics);
-        m
-    }
-
-    fn sector_id(id: QueryId, sector: u32) -> QueryId {
-        QueryId(id.0 * SECTORS + sector)
+        self.server.metrics()
     }
 
     /// Install a continuous RNN query at `pos` and report its initial
     /// result.
     ///
     /// # Panics
-    /// Panics if `id` is already installed or `id.0 > u32::MAX / 6`.
+    /// Panics if `id` is already installed or too large for the server's
+    /// sector-id mapping.
     pub fn install_query(&mut self, id: QueryId, pos: Point) -> &[ObjectId] {
-        assert!(
-            !self.queries.contains_key(&id),
-            "query {id} is already installed"
-        );
-        assert!(id.0 <= u32::MAX / SECTORS, "query id out of range");
-        for sector in 0..SECTORS {
-            self.engine.install(
-                Self::sector_id(id, sector),
-                SectorQuery { q: pos, sector },
-                1,
-            );
-        }
-        let result = self.verify(id);
-        let st = self
-            .queries
-            .entry(id)
-            .or_insert(RnnQueryState { q: pos, result });
-        &st.result
+        let h = self
+            .server
+            .install_rnn(id, pos)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.server.rnn_result(h).expect("just installed")
     }
 
     /// Terminate an RNN query; `true` if it was installed.
     pub fn terminate_query(&mut self, id: QueryId) -> bool {
-        if self.queries.remove(&id).is_none() {
-            return false;
-        }
-        for sector in 0..SECTORS {
-            self.engine.terminate(Self::sector_id(id, sector));
-        }
-        true
+        self.server.terminate(id).is_ok()
     }
 
     /// Current RNN set of query `id`, sorted by object id.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[ObjectId]> {
-        self.queries.get(&id).map(|st| st.result.as_slice())
+        self.server.rnn_result(id)
     }
 
     /// Run one processing cycle. Returns the queries whose RNN set
-    /// changed.
+    /// changed (relative to before this call, so queries installed or
+    /// moved by `query_events` report their fresh set as a change).
     pub fn process_cycle(
         &mut self,
         object_events: &[ObjectEvent],
         query_events: &[QueryEvent],
     ) -> Vec<QueryId> {
-        // Map RNN query events onto the six per-sector engine queries.
-        let mut spec_events = Vec::with_capacity(query_events.len() * SECTORS as usize);
+        // Apply query churn through the server's direct RNN surface,
+        // remembering each touched query's pre-cycle result so the
+        // changed list keeps the monitor's original semantics.
+        let mut touched: Vec<(QueryId, Vec<ObjectId>)> = Vec::new();
         for ev in query_events {
             match *ev {
                 QueryEvent::Install { id, pos, .. } => {
-                    assert!(id.0 <= u32::MAX / SECTORS, "query id out of range");
-                    self.queries.insert(
-                        id,
-                        RnnQueryState {
-                            q: pos,
-                            result: Vec::new(),
-                        },
-                    );
-                    for sector in 0..SECTORS {
-                        spec_events.push(SpecEvent::Install {
-                            id: Self::sector_id(id, sector),
-                            spec: SectorQuery { q: pos, sector },
-                            k: 1,
-                        });
-                    }
+                    touched.push((id, Vec::new()));
+                    let _ = self
+                        .server
+                        .install_rnn(id, pos)
+                        .unwrap_or_else(|e| panic!("{e}"));
                 }
                 QueryEvent::Move { id, to } => {
-                    self.queries
-                        .get_mut(&id)
+                    let prev = self
+                        .server
+                        .rnn_result(id)
                         .unwrap_or_else(|| panic!("move of unknown query {id}"))
-                        .q = to;
-                    for sector in 0..SECTORS {
-                        spec_events.push(SpecEvent::Update {
-                            id: Self::sector_id(id, sector),
-                            spec: SectorQuery { q: to, sector },
-                        });
-                    }
+                        .to_vec();
+                    touched.push((id, prev));
+                    // Deferred variant: the cycle below re-verifies every
+                    // registration anyway, so the eager verification of
+                    // `update_rnn` would be computed twice and discarded.
+                    self.server
+                        .move_rnn_sectors(id, to)
+                        .unwrap_or_else(|e| panic!("{e}"));
                 }
                 QueryEvent::Terminate { id } => {
-                    self.queries.remove(&id);
-                    for sector in 0..SECTORS {
-                        spec_events.push(SpecEvent::Terminate {
-                            id: Self::sector_id(id, sector),
-                        });
-                    }
+                    let _ = self.server.terminate(id);
                 }
             }
         }
-        self.engine.process_cycle(object_events, &spec_events);
-
-        // Re-verify every query: candidate sets are tiny (≤ 6) and the
-        // verification circles small, so this is cheap; updates anywhere
-        // near the candidates can change their own neighborhoods without
-        // touching q's sector monitors.
-        let mut changed = Vec::new();
-        let ids: Vec<QueryId> = self.queries.keys().copied().collect();
-        for id in ids {
-            let fresh = self.verify(id);
-            let st = self.queries.get_mut(&id).expect("installed");
-            if fresh != st.result {
-                st.result = fresh;
+        let mut changed = self
+            .server
+            .process_cycle(object_events, &[])
+            .unwrap_or_else(|e| panic!("{e}"));
+        for (id, prev) in touched {
+            if self.server.rnn_result(id).is_some_and(|now| now != prev) {
                 changed.push(id);
             }
         }
         changed.sort_unstable();
+        changed.dedup();
         changed
     }
 
-    /// Collect the sector candidates of `id` and keep those whose
-    /// verification circle is empty.
-    fn verify(&mut self, id: QueryId) -> Vec<ObjectId> {
-        let mut out = Vec::new();
-        for sector in 0..SECTORS {
-            let Some(result) = self.engine.result(Self::sector_id(id, sector)) else {
-                continue;
-            };
-            let Some(candidate) = result.first() else {
-                continue;
-            };
-            let (cid, cdist) = (candidate.id, candidate.dist);
-            let cpos = self.engine.grid().position(cid).expect("candidate is live");
-            if self.circle_is_empty(cpos, cdist, cid) {
-                out.push(cid);
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// Verify internal invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.server.check_invariants();
     }
 
-    /// `true` if no object other than `exclude` lies strictly within
-    /// `radius` of `center`.
-    fn circle_is_empty(&mut self, center: Point, radius: f64, exclude: ObjectId) -> bool {
-        let grid = self.engine.grid();
-        for cell in grid.cells_in_circle(center, radius) {
-            self.verify_metrics.cell_accesses += 1;
-            for &oid in grid.objects_in(cell) {
-                if oid == exclude {
-                    continue;
-                }
-                self.verify_metrics.objects_processed += 1;
-                let p = grid.position(oid).expect("indexed object has position");
-                if center.dist(p) < radius {
-                    return false;
-                }
-            }
-        }
-        true
+    /// Number of installed RNN queries.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.server.query_count()
     }
 }
 
@@ -582,6 +542,9 @@ mod tests {
         assert!(m.terminate_query(QueryId(3)));
         assert!(!m.terminate_query(QueryId(3)));
         assert!(m.result(QueryId(3)).is_none());
-        assert_eq!(m.engine.query_count(), 0);
+        assert_eq!(m.query_count(), 0);
+        // The server's invariant check asserts the six sector queries are
+        // gone from the engine too.
+        m.check_invariants();
     }
 }

@@ -1,0 +1,1192 @@
+//! [`CpmServer`]: every continuous-query kind on **one grid, one cycle**.
+//!
+//! The paper's CPM framework is a single shared grid plus per-query
+//! book-keeping that serves *all* registered queries per update cycle
+//! (Figure 3.9); nothing in it is per query *type*. This facade makes the
+//! public API match: a builder-configured server
+//! (`CpmServerBuilder::new(dim).shards(4).build()`) hosts k-NN, range,
+//! aggregate-NN, constrained and reverse-NN queries on a single
+//! [`ShardedCpmEngine`]`<`[`AnyQuerySpec`]`>`, so a mixed workload pays the
+//! grid — and the per-cycle ingest pass ([`cpm_grid::apply_events`]) —
+//! exactly **once**, no matter how many kinds are registered. That is the
+//! multiplexing shape location-aware pub/sub and distributed
+//! range-monitoring systems assume, and what the road-map's
+//! million-user target needs.
+//!
+//! # Typed handles
+//!
+//! `install_knn` returns a [`KnnHandle`], `install_range` a
+//! [`RangeHandle`], and so on. A handle is a copyable, kind-tagged query
+//! id: the typed update methods ([`CpmServer::update_knn`],
+//! [`CpmServer::update_range`], …) take the matching handle type, so
+//! addressing a range query with a k-NN update is a *compile-time* error
+//! rather than a runtime surprise. The untyped surface
+//! ([`CpmServer::result`], [`CpmServer::terminate`],
+//! [`CpmServer::update_spec`]) remains available for dynamic callers and
+//! reports kind confusion as [`CpmError::KindMismatch`].
+//!
+//! # Reverse-NN composition
+//!
+//! RNN is the one kind that is not a single [`QuerySpec`]: a registration
+//! expands into six sector-constrained candidate queries
+//! ([`crate::RnnQuery`]) on ids in a reserved internal band, plus a
+//! per-cycle circle-verification pass over the shared grid. The server
+//! owns that composition; internal ids never appear in changed lists,
+//! deltas, or results. RNN registrations are managed through direct calls
+//! ([`CpmServer::install_rnn`], [`CpmServer::update_rnn`],
+//! [`CpmServer::terminate`]); the batched query-event path addresses the
+//! single-spec kinds.
+//!
+//! [`cpm_grid::apply_events`]: cpm_grid::apply_events
+
+use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
+use cpm_grid::{Grid, Metrics, ObjectEvent, QueryKind};
+
+use crate::any::AnyQuerySpec;
+use crate::delta::CycleDeltas;
+use crate::engine::{PointQuery, QuerySpec, SpecEvent, SpecQueryState};
+use crate::error::CpmError;
+use crate::neighbors::Neighbor;
+use crate::range::RangeQuery;
+use crate::rnn::RnnQuery;
+use crate::shard::ShardedCpmEngine;
+use crate::{AnnQuery, ConstrainedQuery};
+
+/// Sectors per reverse-NN query (the six-region method).
+const SECTORS: u32 = 6;
+
+/// First id of the band the server reserves for internal queries (the
+/// reverse-NN sector candidates). User query ids must stay below it.
+pub const RESERVED_ID_BASE: u32 = 1 << 31;
+
+/// Largest user id an RNN registration may use: its six sector ids
+/// `RESERVED_ID_BASE + id·6 + s` must stay representable.
+const RNN_MAX_ID: u32 = (u32::MAX - RESERVED_ID_BASE - (SECTORS - 1)) / SECTORS;
+
+/// A kind-tagged query id, as returned by the typed `install_*` methods.
+/// Handles are plain copyable ids — they do not borrow the server and
+/// stay valid until the query is terminated. The typed *update* methods
+/// re-check the registry, so a stale handle whose id was terminated (or
+/// re-used for another kind) gets a typed error; the by-id *read*
+/// surface ([`CpmServer::result`]) resolves whatever query currently
+/// owns the id, so do not read through a handle you terminated.
+pub trait QueryHandle: Copy {
+    /// The underlying query id.
+    fn id(&self) -> QueryId;
+    /// The kind this handle is tagged with.
+    fn kind(&self) -> QueryKind;
+}
+
+macro_rules! handle {
+    ($(#[$doc:meta])* $name:ident, $kind:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[must_use = "a handle is the typed key to the query's results and updates"]
+        pub struct $name(QueryId);
+
+        impl QueryHandle for $name {
+            fn id(&self) -> QueryId {
+                self.0
+            }
+            fn kind(&self) -> QueryKind {
+                $kind
+            }
+        }
+
+        impl From<$name> for QueryId {
+            fn from(h: $name) -> QueryId {
+                h.0
+            }
+        }
+    };
+}
+
+handle!(
+    /// Typed handle to an installed continuous k-NN query.
+    KnnHandle,
+    QueryKind::Knn
+);
+handle!(
+    /// Typed handle to an installed continuous range query.
+    RangeHandle,
+    QueryKind::Range
+);
+handle!(
+    /// Typed handle to an installed continuous aggregate-NN query.
+    AnnHandle,
+    QueryKind::Ann
+);
+handle!(
+    /// Typed handle to an installed continuous constrained-NN query.
+    ConstrainedHandle,
+    QueryKind::Constrained
+);
+handle!(
+    /// Typed handle to an installed continuous reverse-NN query.
+    RnnHandle,
+    QueryKind::Rnn
+);
+
+/// Configures and builds a [`CpmServer`].
+///
+/// ```
+/// use cpm_core::CpmServerBuilder;
+///
+/// let server = CpmServerBuilder::new(64).shards(4).deltas(true).build();
+/// assert_eq!(server.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "the builder does nothing until build() is called"]
+pub struct CpmServerBuilder {
+    dim: u32,
+    shards: usize,
+    deltas: bool,
+}
+
+impl CpmServerBuilder {
+    /// Start configuring a server over an empty `dim × dim` grid
+    /// (sequential maintenance, delta capture off).
+    pub fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            shards: 1,
+            deltas: false,
+        }
+    }
+
+    /// Run per-cycle query maintenance across `shards ≥ 1` worker threads
+    /// (`1` = sequential; results are bit-identical for every shard
+    /// count).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
+
+    /// Capture per-cycle result deltas (cycles must then run through
+    /// [`CpmServer::process_cycle_with_deltas_into`]).
+    pub fn deltas(mut self, deltas: bool) -> Self {
+        self.deltas = deltas;
+        self
+    }
+
+    /// Build the server.
+    pub fn build(self) -> CpmServer {
+        let mut engine = ShardedCpmEngine::new(self.dim, self.shards);
+        if self.deltas {
+            engine.enable_deltas();
+        }
+        CpmServer {
+            engine,
+            collects: self.deltas,
+            kinds: FastHashMap::default(),
+            rnn: FastHashMap::default(),
+            verify_metrics: Metrics::default(),
+            event_scratch: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RnnState {
+    q: Point,
+    /// Last verified RNN set (sorted by object id).
+    result: Vec<ObjectId>,
+}
+
+/// The unified multi-query monitoring server; see the
+/// [module docs](self) for the design.
+///
+/// # Example
+///
+/// ```
+/// use cpm_core::{CpmServerBuilder, RangeQuery};
+/// use cpm_geom::{ObjectId, Point, QueryId, Rect};
+/// use cpm_grid::ObjectEvent;
+///
+/// let mut server = CpmServerBuilder::new(64).build();
+/// server.populate([
+///     (ObjectId(0), Point::new(0.30, 0.30)),
+///     (ObjectId(1), Point::new(0.52, 0.48)),
+/// ]);
+/// // Two kinds, one grid.
+/// let knn = server.install_knn(QueryId(0), Point::new(0.5, 0.5), 1).unwrap();
+/// let zone = RangeQuery::rect(Rect::new(Point::new(0.0, 0.0), Point::new(0.4, 0.4)));
+/// let range = server.install_range(QueryId(1), zone).unwrap();
+///
+/// let changed = server
+///     .process_cycle(
+///         &[ObjectEvent::Move { id: ObjectId(0), to: Point::new(0.9, 0.9) }],
+///         &[],
+///     )
+///     .unwrap();
+/// assert_eq!(changed, vec![QueryId(1)]); // left the zone; k-NN unaffected
+/// assert_eq!(server.result(knn).unwrap()[0].id, ObjectId(1));
+/// assert!(server.result(range).unwrap().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct CpmServer {
+    engine: ShardedCpmEngine<AnyQuerySpec>,
+    /// Whether the engine captures per-cycle deltas (build-time choice).
+    collects: bool,
+    /// Kind registry of every *user-visible* query (RNN registrations
+    /// appear here once, not per sector).
+    kinds: FastHashMap<QueryId, QueryKind>,
+    /// Reverse-NN composition state.
+    rnn: FastHashMap<QueryId, RnnState>,
+    /// RNN circle-verification work, kept apart from the engine's
+    /// counters (merged into [`CpmServer::metrics`] snapshots).
+    verify_metrics: Metrics,
+    /// Scratch: validated + normalized query events, reused per cycle.
+    event_scratch: Vec<SpecEvent<AnyQuerySpec>>,
+}
+
+impl CpmServer {
+    fn sector_id(id: QueryId, sector: u32) -> QueryId {
+        QueryId(RESERVED_ID_BASE + id.0 * SECTORS + sector)
+    }
+
+    fn check_fresh(&self, id: QueryId) -> Result<(), CpmError> {
+        if id.0 >= RESERVED_ID_BASE {
+            return Err(CpmError::ReservedId(id));
+        }
+        if self.kinds.contains_key(&id) {
+            return Err(CpmError::DuplicateQuery(id));
+        }
+        Ok(())
+    }
+
+    fn check_kind(&self, id: QueryId, expected: QueryKind) -> Result<(), CpmError> {
+        match self.kinds.get(&id) {
+            None => Err(CpmError::UnknownQuery(id)),
+            Some(&actual) if actual != expected => Err(CpmError::KindMismatch {
+                id,
+                expected,
+                actual,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    // ---- population & introspection ----
+
+    /// Bulk-load objects before any query is installed.
+    ///
+    /// # Panics
+    /// Panics if queries are already installed.
+    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+        self.engine.populate(objects);
+    }
+
+    /// The shared object index.
+    #[must_use]
+    pub fn grid(&self) -> &Grid {
+        self.engine.grid()
+    }
+
+    /// Number of query shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.engine.shard_count()
+    }
+
+    /// Whether cycles capture per-cycle result deltas (set at build time
+    /// via [`CpmServerBuilder::deltas`]).
+    #[must_use]
+    pub fn collects_deltas(&self) -> bool {
+        self.collects
+    }
+
+    /// Number of installed user-visible queries (an RNN registration
+    /// counts once).
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of query `id`, if installed.
+    #[must_use]
+    pub fn kind_of(&self, id: QueryId) -> Option<QueryKind> {
+        self.kinds.get(&id).copied()
+    }
+
+    /// Re-attach a typed handle to installed k-NN query `id` (`None` if
+    /// `id` is unknown or of another kind). Handles are normally kept
+    /// from `install_*`; this is the recovery path for callers that only
+    /// persisted the id.
+    #[must_use]
+    pub fn knn_handle(&self, id: QueryId) -> Option<KnnHandle> {
+        (self.kind_of(id) == Some(QueryKind::Knn)).then_some(KnnHandle(id))
+    }
+
+    /// Re-attach a typed handle to installed range query `id`.
+    #[must_use]
+    pub fn range_handle(&self, id: QueryId) -> Option<RangeHandle> {
+        (self.kind_of(id) == Some(QueryKind::Range)).then_some(RangeHandle(id))
+    }
+
+    /// Re-attach a typed handle to installed aggregate-NN query `id`.
+    #[must_use]
+    pub fn ann_handle(&self, id: QueryId) -> Option<AnnHandle> {
+        (self.kind_of(id) == Some(QueryKind::Ann)).then_some(AnnHandle(id))
+    }
+
+    /// Re-attach a typed handle to installed constrained query `id`.
+    #[must_use]
+    pub fn constrained_handle(&self, id: QueryId) -> Option<ConstrainedHandle> {
+        (self.kind_of(id) == Some(QueryKind::Constrained)).then_some(ConstrainedHandle(id))
+    }
+
+    /// Re-attach a typed handle to installed reverse-NN query `id`.
+    #[must_use]
+    pub fn rnn_handle(&self, id: QueryId) -> Option<RnnHandle> {
+        (self.kind_of(id) == Some(QueryKind::Rnn)).then_some(RnnHandle(id))
+    }
+
+    /// The processing-cycle counter: 0 before any cycle, incremented by
+    /// every cycle.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// The current result of query `id`, ascending by (aggregate)
+    /// distance. `None` for unknown ids and for reverse-NN registrations
+    /// (whose results are object sets — see [`CpmServer::rnn_result`]).
+    #[must_use]
+    pub fn result(&self, id: impl Into<QueryId>) -> Option<&[Neighbor]> {
+        let id = id.into();
+        match self.kinds.get(&id) {
+            Some(QueryKind::Rnn) | None => None,
+            Some(_) => self.engine.result(id),
+        }
+    }
+
+    /// The current reverse-NN set of registration `id`, sorted by object
+    /// id. `None` for unknown ids and non-RNN queries.
+    #[must_use]
+    pub fn rnn_result(&self, id: impl Into<QueryId>) -> Option<&[ObjectId]> {
+        self.rnn.get(&id.into()).map(|st| st.result.as_slice())
+    }
+
+    /// Full engine book-keeping state of (non-RNN) query `id`.
+    #[must_use]
+    pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<AnyQuerySpec>> {
+        match self.kinds.get(&id) {
+            Some(QueryKind::Rnn) | None => None,
+            Some(_) => self.engine.query_state(id),
+        }
+    }
+
+    /// Merged snapshot of the work counters (engine + RNN verification),
+    /// including the per-kind breakdown ([`Metrics::by_kind`]).
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut m = self.engine.metrics();
+        m.merge(&self.verify_metrics);
+        m
+    }
+
+    /// Take and reset the work counters.
+    pub fn take_metrics(&mut self) -> Metrics {
+        let mut m = self.engine.take_metrics();
+        m.merge(&self.verify_metrics.take());
+        m
+    }
+
+    /// Total memory footprint in the paper's memory units (Section 4.1).
+    #[must_use]
+    pub fn space_units(&self) -> usize {
+        self.engine.space_units()
+    }
+
+    // ---- typed installs ----
+
+    /// Install a continuous k-NN query: the `k` objects nearest `pos`.
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`], [`CpmError::DuplicateQuery`],
+    /// [`CpmError::InvalidK`].
+    pub fn install_knn(
+        &mut self,
+        id: QueryId,
+        pos: Point,
+        k: usize,
+    ) -> Result<KnnHandle, CpmError> {
+        self.check_fresh(id)?;
+        self.engine
+            .install(id, AnyQuerySpec::Knn(PointQuery(pos)), k)?;
+        self.kinds.insert(id, QueryKind::Knn);
+        Ok(KnnHandle(id))
+    }
+
+    /// Install a continuous range query: every object inside the region.
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`], [`CpmError::DuplicateQuery`].
+    pub fn install_range(
+        &mut self,
+        id: QueryId,
+        query: RangeQuery,
+    ) -> Result<RangeHandle, CpmError> {
+        self.check_fresh(id)?;
+        self.engine
+            .install(id, AnyQuerySpec::Range(query), RangeQuery::UNBOUNDED_K)?;
+        self.kinds.insert(id, QueryKind::Range);
+        Ok(RangeHandle(id))
+    }
+
+    /// Install a continuous aggregate-NN query (Section 5).
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`], [`CpmError::DuplicateQuery`],
+    /// [`CpmError::InvalidK`].
+    pub fn install_ann(
+        &mut self,
+        id: QueryId,
+        query: AnnQuery,
+        k: usize,
+    ) -> Result<AnnHandle, CpmError> {
+        self.check_fresh(id)?;
+        self.engine.install(id, AnyQuerySpec::Ann(query), k)?;
+        self.kinds.insert(id, QueryKind::Ann);
+        Ok(AnnHandle(id))
+    }
+
+    /// Install a continuous constrained-NN query (Section 5).
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`], [`CpmError::DuplicateQuery`],
+    /// [`CpmError::InvalidK`].
+    pub fn install_constrained(
+        &mut self,
+        id: QueryId,
+        query: ConstrainedQuery,
+        k: usize,
+    ) -> Result<ConstrainedHandle, CpmError> {
+        self.check_fresh(id)?;
+        self.engine
+            .install(id, AnyQuerySpec::Constrained(query), k)?;
+        self.kinds.insert(id, QueryKind::Constrained);
+        Ok(ConstrainedHandle(id))
+    }
+
+    /// Install a continuous reverse-NN query at `pos`: six sector
+    /// candidates on reserved internal ids plus circle verification.
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`] (also when `id` is too large for the
+    /// sector-id mapping), [`CpmError::DuplicateQuery`].
+    pub fn install_rnn(&mut self, id: QueryId, pos: Point) -> Result<RnnHandle, CpmError> {
+        self.check_fresh(id)?;
+        if id.0 > RNN_MAX_ID {
+            return Err(CpmError::ReservedId(id));
+        }
+        for sector in 0..SECTORS {
+            self.engine
+                .install(
+                    Self::sector_id(id, sector),
+                    AnyQuerySpec::Rnn(RnnQuery::new(pos, sector)),
+                    1,
+                )
+                .expect("reserved sector ids are fresh");
+        }
+        let result = Self::verify_rnn(&self.engine, &mut self.verify_metrics, id);
+        self.kinds.insert(id, QueryKind::Rnn);
+        self.rnn.insert(id, RnnState { q: pos, result });
+        Ok(RnnHandle(id))
+    }
+
+    // ---- typed updates ----
+
+    /// Move k-NN query `h` to `pos`; returns the recomputed result.
+    ///
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if the query was terminated,
+    /// [`CpmError::KindMismatch`] if the id was re-used for another kind.
+    pub fn update_knn(&mut self, h: KnnHandle, pos: Point) -> Result<&[Neighbor], CpmError> {
+        self.check_kind(h.id(), QueryKind::Knn)?;
+        self.engine
+            .update_spec(h.id(), AnyQuerySpec::Knn(PointQuery(pos)))
+    }
+
+    /// Replace the region of range query `h`.
+    ///
+    /// # Errors
+    /// See [`CpmServer::update_knn`].
+    pub fn update_range(
+        &mut self,
+        h: RangeHandle,
+        query: RangeQuery,
+    ) -> Result<&[Neighbor], CpmError> {
+        self.check_kind(h.id(), QueryKind::Range)?;
+        self.engine.update_spec(h.id(), AnyQuerySpec::Range(query))
+    }
+
+    /// Replace the point set / aggregate of ANN query `h`.
+    ///
+    /// # Errors
+    /// See [`CpmServer::update_knn`].
+    pub fn update_ann(&mut self, h: AnnHandle, query: AnnQuery) -> Result<&[Neighbor], CpmError> {
+        self.check_kind(h.id(), QueryKind::Ann)?;
+        self.engine.update_spec(h.id(), AnyQuerySpec::Ann(query))
+    }
+
+    /// Replace the point and/or region of constrained query `h`.
+    ///
+    /// # Errors
+    /// See [`CpmServer::update_knn`].
+    pub fn update_constrained(
+        &mut self,
+        h: ConstrainedHandle,
+        query: ConstrainedQuery,
+    ) -> Result<&[Neighbor], CpmError> {
+        self.check_kind(h.id(), QueryKind::Constrained)?;
+        self.engine
+            .update_spec(h.id(), AnyQuerySpec::Constrained(query))
+    }
+
+    /// Move reverse-NN query `h` to `pos`; returns the re-verified RNN
+    /// set.
+    ///
+    /// # Errors
+    /// See [`CpmServer::update_knn`].
+    pub fn update_rnn(&mut self, h: RnnHandle, pos: Point) -> Result<&[ObjectId], CpmError> {
+        let id = h.id();
+        self.move_rnn_sectors(id, pos)?;
+        let result = Self::verify_rnn(&self.engine, &mut self.verify_metrics, id);
+        let st = self.rnn.get_mut(&id).expect("kind-checked RNN state");
+        st.result = result;
+        Ok(&st.result)
+    }
+
+    /// Move the six sector candidates of RNN query `id` without the
+    /// verification pass. The cached RNN set is left stale on purpose —
+    /// only for callers that run a cycle (whose end-of-cycle
+    /// re-verification refreshes it) before the result is read again;
+    /// the [`CpmRnnMonitor`] compat shim's `Move` path.
+    ///
+    /// [`CpmRnnMonitor`]: crate::CpmRnnMonitor
+    pub(crate) fn move_rnn_sectors(&mut self, id: QueryId, pos: Point) -> Result<(), CpmError> {
+        self.check_kind(id, QueryKind::Rnn)?;
+        for sector in 0..SECTORS {
+            self.engine
+                .update_spec(
+                    Self::sector_id(id, sector),
+                    AnyQuerySpec::Rnn(RnnQuery::new(pos, sector)),
+                )
+                .expect("sector queries track the registration");
+        }
+        self.rnn.get_mut(&id).expect("kind-checked RNN state").q = pos;
+        Ok(())
+    }
+
+    // ---- untyped registry surface ----
+
+    /// Replace the geometry of (non-RNN) query `id` with a spec of the
+    /// *same kind*.
+    ///
+    /// # Errors
+    /// [`CpmError::UnknownQuery`]; [`CpmError::KindMismatch`] when the
+    /// spec's kind differs from the registered kind;
+    /// [`CpmError::CompositeQuery`] when `id` is (or the spec addresses)
+    /// a reverse-NN registration, which is updated via
+    /// [`CpmServer::update_rnn`].
+    pub fn update_spec(
+        &mut self,
+        id: QueryId,
+        spec: AnyQuerySpec,
+    ) -> Result<&[Neighbor], CpmError> {
+        self.check_kind(id, spec.kind())?;
+        if spec.kind() == QueryKind::Rnn {
+            // A bare sector spec can never address a composite
+            // registration.
+            return Err(CpmError::CompositeQuery(id));
+        }
+        self.engine.update_spec(id, spec)
+    }
+
+    /// Terminate query `id`, of any kind.
+    ///
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if `id` is not installed.
+    pub fn terminate(&mut self, id: impl Into<QueryId>) -> Result<(), CpmError> {
+        let id = id.into();
+        match self.kinds.get(&id) {
+            None => Err(CpmError::UnknownQuery(id)),
+            Some(QueryKind::Rnn) => {
+                for sector in 0..SECTORS {
+                    self.engine
+                        .terminate(Self::sector_id(id, sector))
+                        .expect("sector queries track the registration");
+                }
+                self.rnn.remove(&id);
+                self.kinds.remove(&id);
+                Ok(())
+            }
+            Some(_) => {
+                self.engine.terminate(id)?;
+                self.kinds.remove(&id);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- cycles ----
+
+    /// Validate a cycle's query-event batch against the registry without
+    /// touching any state, and stage a normalized copy in
+    /// `event_scratch`. Events address the single-spec kinds; RNN
+    /// registrations are managed through the direct calls
+    /// ([`CpmError::CompositeQuery`] otherwise). Range installs have `k`
+    /// normalized to [`RangeQuery::UNBOUNDED_K`] (range results are
+    /// membership sets, never capped).
+    fn stage_events(&mut self, query_events: &[SpecEvent<AnyQuerySpec>]) -> Result<(), CpmError> {
+        let Self {
+            kinds,
+            event_scratch,
+            ..
+        } = self;
+        event_scratch.clear();
+        // One event per query per batch (the subscription hub's rule,
+        // promoted to a typed error): a second event for the same id
+        // would make changed-list and delta ordering ambiguous.
+        let mut seen: FastHashSet<QueryId> = FastHashSet::default();
+        for ev in query_events {
+            if !seen.insert(ev.id()) {
+                return Err(CpmError::DuplicateQuery(ev.id()));
+            }
+            match ev {
+                SpecEvent::Install { id, spec, k } => {
+                    if id.0 >= RESERVED_ID_BASE {
+                        return Err(CpmError::ReservedId(*id));
+                    }
+                    if kinds.contains_key(id) {
+                        return Err(CpmError::DuplicateQuery(*id));
+                    }
+                    let kind = spec.kind();
+                    if kind == QueryKind::Rnn {
+                        // A bare sector spec is an internal detail of the
+                        // composite registration.
+                        return Err(CpmError::CompositeQuery(*id));
+                    }
+                    // Range results are unbounded; normalize the sentinel
+                    // so callers cannot accidentally cap a region.
+                    let k = if kind == QueryKind::Range {
+                        RangeQuery::UNBOUNDED_K
+                    } else {
+                        *k
+                    };
+                    if k == 0 {
+                        return Err(CpmError::InvalidK(*id));
+                    }
+                    event_scratch.push(SpecEvent::Install {
+                        id: *id,
+                        spec: spec.clone(),
+                        k,
+                    });
+                }
+                SpecEvent::Update { id, spec } => {
+                    let expected = spec.kind();
+                    match kinds.get(id).copied() {
+                        None => return Err(CpmError::UnknownQuery(*id)),
+                        Some(QueryKind::Rnn) => return Err(CpmError::CompositeQuery(*id)),
+                        Some(actual) if actual != expected => {
+                            return Err(CpmError::KindMismatch {
+                                id: *id,
+                                expected,
+                                actual,
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                    event_scratch.push(ev.clone());
+                }
+                SpecEvent::Terminate { id } => {
+                    match kinds.get(id).copied() {
+                        None => return Err(CpmError::UnknownQuery(*id)),
+                        Some(QueryKind::Rnn) => return Err(CpmError::CompositeQuery(*id)),
+                        Some(_) => {}
+                    }
+                    event_scratch.push(ev.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a staged (validated) event batch into the kind registry.
+    fn apply_registry(&mut self) {
+        for i in 0..self.event_scratch.len() {
+            match &self.event_scratch[i] {
+                SpecEvent::Install { id, spec, .. } => {
+                    self.kinds.insert(*id, spec.kind());
+                }
+                SpecEvent::Terminate { id } => {
+                    self.kinds.remove(id);
+                }
+                SpecEvent::Update { .. } => {}
+            }
+        }
+    }
+
+    /// Re-verify every RNN registration after a cycle, appending the ids
+    /// whose set changed.
+    fn reverify_rnn(&mut self, changed: &mut Vec<QueryId>) {
+        if self.rnn.is_empty() {
+            return;
+        }
+        let ids: Vec<QueryId> = self.rnn.keys().copied().collect();
+        for id in ids {
+            let fresh = Self::verify_rnn(&self.engine, &mut self.verify_metrics, id);
+            let st = self.rnn.get_mut(&id).expect("registered");
+            if fresh != st.result {
+                st.result = fresh;
+                changed.push(id);
+            }
+        }
+    }
+
+    /// Run one processing cycle: **one** grid ingest pass over
+    /// `object_events`, parallel per-shard maintenance of every installed
+    /// query of every kind, this cycle's query events, then RNN
+    /// re-verification. Returns the user-visible queries whose result
+    /// changed, ascending by id.
+    ///
+    /// The event batch is validated against the registry *before* any
+    /// state changes; on `Err` the cycle did not run.
+    ///
+    /// # Errors
+    /// [`CpmError::DuplicateQuery`] / [`CpmError::UnknownQuery`] /
+    /// [`CpmError::KindMismatch`] / [`CpmError::InvalidK`] /
+    /// [`CpmError::ReservedId`] for an invalid event batch.
+    ///
+    /// # Panics
+    /// Panics if the server was built with
+    /// [`CpmServerBuilder::deltas`]`(true)` — use
+    /// [`CpmServer::process_cycle_with_deltas_into`].
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<Vec<QueryId>, CpmError> {
+        self.stage_events(query_events)?;
+        let events = std::mem::take(&mut self.event_scratch);
+        let mut changed = self.engine.process_cycle(object_events, &events);
+        self.event_scratch = events;
+        self.apply_registry();
+        changed.retain(|q| q.0 < RESERVED_ID_BASE);
+        self.reverify_rnn(&mut changed);
+        changed.sort_unstable();
+        Ok(changed)
+    }
+
+    /// Run one processing cycle and refill `out` with the cycle's
+    /// [`crate::NeighborDelta`]s alongside the changed list (both
+    /// ascending by query id; internal RNN candidate ids never appear).
+    /// RNN registrations report membership changes in the changed list
+    /// but emit no deltas (their results are object sets, not neighbor
+    /// lists).
+    ///
+    /// # Errors
+    /// As [`CpmServer::process_cycle`]; on `Err` the cycle did not run.
+    ///
+    /// # Panics
+    /// Panics unless the server was built with
+    /// [`CpmServerBuilder::deltas`]`(true)`.
+    pub fn process_cycle_with_deltas_into(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+        out: &mut CycleDeltas,
+    ) -> Result<(), CpmError> {
+        self.stage_events(query_events)?;
+        let events = std::mem::take(&mut self.event_scratch);
+        self.engine
+            .process_cycle_with_deltas_into(object_events, &events, out);
+        self.event_scratch = events;
+        self.apply_registry();
+        out.changed.retain(|q| q.0 < RESERVED_ID_BASE);
+        out.deltas.retain(|(q, _)| q.0 < RESERVED_ID_BASE);
+        self.reverify_rnn(&mut out.changed);
+        out.changed.sort_unstable();
+        Ok(())
+    }
+
+    /// Collect the sector candidates of RNN query `id` and keep those
+    /// whose verification circle contains no other object.
+    fn verify_rnn(
+        engine: &ShardedCpmEngine<AnyQuerySpec>,
+        metrics: &mut Metrics,
+        id: QueryId,
+    ) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        for sector in 0..SECTORS {
+            let Some(result) = engine.result(Self::sector_id(id, sector)) else {
+                continue;
+            };
+            let Some(candidate) = result.first() else {
+                continue;
+            };
+            let (cid, cdist) = (candidate.id, candidate.dist);
+            let cpos = engine.grid().position(cid).expect("candidate is live");
+            if Self::circle_is_empty(engine.grid(), metrics, cpos, cdist, cid) {
+                out.push(cid);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `true` if no object other than `exclude` lies strictly within
+    /// `radius` of `center`.
+    fn circle_is_empty(
+        grid: &Grid,
+        metrics: &mut Metrics,
+        center: Point,
+        radius: f64,
+        exclude: ObjectId,
+    ) -> bool {
+        let rnn = QueryKind::Rnn as usize;
+        for cell in grid.cells_in_circle(center, radius) {
+            metrics.cell_accesses += 1;
+            metrics.by_kind[rnn].cell_accesses += 1;
+            for &oid in grid.objects_in(cell) {
+                if oid == exclude {
+                    continue;
+                }
+                metrics.objects_processed += 1;
+                metrics.by_kind[rnn].objects_processed += 1;
+                let p = grid.position(oid).expect("indexed object has position");
+                if center.dist(p) < radius {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Verify engine invariants plus server registry consistency (test
+    /// helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+        let mut engine_queries = 0usize;
+        for (&id, &kind) in &self.kinds {
+            assert!(id.0 < RESERVED_ID_BASE, "user id in the reserved band");
+            if kind == QueryKind::Rnn {
+                assert!(self.rnn.contains_key(&id), "RNN registration without state");
+                for sector in 0..SECTORS {
+                    let st = self
+                        .engine
+                        .query_state(Self::sector_id(id, sector))
+                        .expect("sector query installed");
+                    assert_eq!(st.spec.kind(), QueryKind::Rnn);
+                }
+                engine_queries += SECTORS as usize;
+            } else {
+                let st = self.engine.query_state(id).expect("registered query");
+                assert_eq!(st.spec.kind(), kind, "registry kind out of sync");
+                engine_queries += 1;
+            }
+        }
+        assert_eq!(self.rnn.len(), {
+            self.kinds
+                .values()
+                .filter(|&&k| k == QueryKind::Rnn)
+                .count()
+        });
+        assert_eq!(
+            engine_queries,
+            self.engine.query_count(),
+            "stray engine queries"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AggregateFn;
+    use cpm_geom::Rect;
+
+    fn small_server(shards: usize) -> CpmServer {
+        let mut s = CpmServerBuilder::new(16).shards(shards).build();
+        s.populate((0..40u32).map(|i| {
+            let t = i as f64 / 40.0;
+            (ObjectId(i), Point::new(t, (t * 7.0) % 1.0))
+        }));
+        s
+    }
+
+    #[test]
+    fn typed_installs_reject_registry_misuse() {
+        let mut s = small_server(1);
+        let h = s.install_knn(QueryId(0), Point::new(0.5, 0.5), 3).unwrap();
+        assert_eq!(
+            s.install_range(QueryId(0), RangeQuery::circle(Point::new(0.5, 0.5), 0.1))
+                .unwrap_err(),
+            CpmError::DuplicateQuery(QueryId(0))
+        );
+        assert_eq!(
+            s.install_knn(QueryId(1), Point::new(0.5, 0.5), 0)
+                .unwrap_err(),
+            CpmError::InvalidK(QueryId(1))
+        );
+        assert_eq!(
+            s.install_knn(QueryId(RESERVED_ID_BASE), Point::new(0.5, 0.5), 1)
+                .unwrap_err(),
+            CpmError::ReservedId(QueryId(RESERVED_ID_BASE))
+        );
+        // Kind confusion through the untyped surface is a typed error...
+        assert_eq!(
+            s.update_spec(
+                QueryId(0),
+                AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.1, 0.1), 0.1))
+            )
+            .unwrap_err(),
+            CpmError::KindMismatch {
+                id: QueryId(0),
+                expected: QueryKind::Range,
+                actual: QueryKind::Knn,
+            }
+        );
+        // ...while the typed surface keeps it out of the program entirely
+        // (update_knn only accepts a KnnHandle).
+        assert_eq!(s.update_knn(h, Point::new(0.2, 0.2)).unwrap().len(), 3);
+        assert_eq!(
+            s.terminate(QueryId(9)).unwrap_err(),
+            CpmError::UnknownQuery(QueryId(9))
+        );
+        s.terminate(h).unwrap();
+        assert_eq!(
+            s.update_knn(h, Point::new(0.3, 0.3)).unwrap_err(),
+            CpmError::UnknownQuery(QueryId(0))
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn every_kind_coexists_on_one_grid() {
+        for shards in [1usize, 4] {
+            let mut s = small_server(shards);
+            let knn = s.install_knn(QueryId(0), Point::new(0.5, 0.5), 3).unwrap();
+            let range = s
+                .install_range(
+                    QueryId(1),
+                    RangeQuery::rect(Rect::new(Point::new(0.2, 0.2), Point::new(0.7, 0.7))),
+                )
+                .unwrap();
+            let ann = s
+                .install_ann(
+                    QueryId(2),
+                    AnnQuery::new(
+                        vec![Point::new(0.3, 0.3), Point::new(0.6, 0.6)],
+                        AggregateFn::Sum,
+                    ),
+                    2,
+                )
+                .unwrap();
+            let con = s
+                .install_constrained(
+                    QueryId(3),
+                    ConstrainedQuery::northeast_of(Point::new(0.4, 0.4)),
+                    2,
+                )
+                .unwrap();
+            let rnn = s.install_rnn(QueryId(4), Point::new(0.55, 0.45)).unwrap();
+            assert_eq!(s.query_count(), 5);
+            assert_eq!(s.kind_of(QueryId(4)), Some(QueryKind::Rnn));
+            assert!(s.result(knn).is_some());
+            assert!(s.result(range).is_some());
+            assert!(s.result(ann).is_some());
+            assert!(s.result(con).is_some());
+            assert!(s.result(QueryId(4)).is_none(), "RNN results are sets");
+            assert!(s.rnn_result(rnn).is_some());
+            s.check_invariants();
+
+            // One cycle, one ingest: updates_applied counts each event
+            // exactly once no matter how many kinds are registered.
+            s.take_metrics();
+            let events: Vec<ObjectEvent> = (0..10u32)
+                .map(|i| ObjectEvent::Move {
+                    id: ObjectId(i),
+                    to: Point::new(0.9 - i as f64 / 40.0, 0.1),
+                })
+                .collect();
+            s.process_cycle(&events, &[]).unwrap();
+            let m = s.take_metrics();
+            assert_eq!(m.updates_applied, events.len() as u64);
+            s.check_invariants();
+
+            s.terminate(rnn).unwrap();
+            s.terminate(con).unwrap();
+            assert_eq!(s.query_count(), 3);
+            s.check_invariants();
+        }
+    }
+
+    #[test]
+    fn event_batches_are_validated_before_running() {
+        let mut s = small_server(2);
+        let _ = s.install_knn(QueryId(0), Point::new(0.5, 0.5), 2).unwrap();
+        let epoch = s.epoch();
+        // Unknown update: rejected, cycle did not run.
+        let err = s
+            .process_cycle(
+                &[],
+                &[SpecEvent::Update {
+                    id: QueryId(7),
+                    spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.1, 0.1))),
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(err, CpmError::UnknownQuery(QueryId(7)));
+        assert_eq!(
+            s.epoch(),
+            epoch,
+            "failed batches must not advance the epoch"
+        );
+        // Two events for one id in a batch would make delta ordering
+        // ambiguous: rejected up front.
+        assert_eq!(
+            s.process_cycle(
+                &[],
+                &[
+                    SpecEvent::Install {
+                        id: QueryId(1),
+                        spec: AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.4, 0.4), 0.2)),
+                        k: 1,
+                    },
+                    SpecEvent::Update {
+                        id: QueryId(1),
+                        spec: AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.5, 0.5), 0.3)),
+                    },
+                ],
+            )
+            .unwrap_err(),
+            CpmError::DuplicateQuery(QueryId(1))
+        );
+        // A batched install lands in the registry, with range k normalized
+        // to the unbounded sentinel.
+        let changed = s
+            .process_cycle(
+                &[],
+                &[SpecEvent::Install {
+                    id: QueryId(1),
+                    spec: AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.5, 0.5), 0.3)),
+                    k: 1, // normalized
+                }],
+            )
+            .unwrap();
+        assert_eq!(changed, vec![QueryId(1)]);
+        let st = s.query_state(QueryId(1)).unwrap();
+        assert_eq!(st.k(), RangeQuery::UNBOUNDED_K);
+        assert_eq!(
+            s.process_cycle(
+                &[],
+                &[SpecEvent::Install {
+                    id: QueryId(1),
+                    spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.5, 0.5))),
+                    k: 1,
+                }],
+            )
+            .unwrap_err(),
+            CpmError::DuplicateQuery(QueryId(1))
+        );
+        // Terminate through the batch updates the registry.
+        s.process_cycle(&[], &[SpecEvent::Terminate { id: QueryId(1) }])
+            .unwrap();
+        assert_eq!(s.kind_of(QueryId(1)), None);
+        // Composite RNN registrations cannot be addressed through the
+        // single-spec event surface.
+        let _ = s.install_rnn(QueryId(3), Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(
+            s.process_cycle(&[], &[SpecEvent::Terminate { id: QueryId(3) }])
+                .unwrap_err(),
+            CpmError::CompositeQuery(QueryId(3))
+        );
+        assert_eq!(
+            s.update_spec(
+                QueryId(3),
+                AnyQuerySpec::Rnn(RnnQuery::new(Point::new(0.1, 0.1), 0))
+            )
+            .unwrap_err(),
+            CpmError::CompositeQuery(QueryId(3))
+        );
+        s.terminate(QueryId(3)).unwrap();
+        s.check_invariants();
+    }
+
+    #[test]
+    fn per_kind_metrics_partition_the_flat_counters() {
+        let mut s = small_server(1);
+        let _ = s.install_knn(QueryId(0), Point::new(0.5, 0.5), 4).unwrap();
+        let _ = s
+            .install_range(
+                QueryId(1),
+                RangeQuery::rect(Rect::new(Point::new(0.1, 0.1), Point::new(0.6, 0.6))),
+            )
+            .unwrap();
+        let _ = s.install_rnn(QueryId(2), Point::new(0.4, 0.6)).unwrap();
+        for step in 0..8u32 {
+            let events: Vec<ObjectEvent> = (0..8u32)
+                .map(|i| ObjectEvent::Move {
+                    id: ObjectId(i * 4 % 40),
+                    to: Point::new(
+                        (step as f64 * 0.11 + i as f64 * 0.07) % 1.0,
+                        (step as f64 * 0.05 + i as f64 * 0.13) % 1.0,
+                    ),
+                })
+                .collect();
+            s.process_cycle(&events, &[]).unwrap();
+        }
+        let m = s.metrics();
+        assert!(m.for_kind(QueryKind::Knn).computations >= 1);
+        assert!(m.for_kind(QueryKind::Range).computations >= 1);
+        assert!(m.for_kind(QueryKind::Rnn).computations >= 6);
+        // The by-kind breakdown partitions every query-side counter.
+        let sum = |f: fn(&cpm_grid::KindMetrics) -> u64| -> u64 {
+            QueryKind::ALL.iter().map(|&k| f(m.for_kind(k))).sum()
+        };
+        assert_eq!(sum(|k| k.computations), m.computations);
+        assert_eq!(sum(|k| k.cell_accesses), m.cell_accesses);
+        assert_eq!(sum(|k| k.objects_processed), m.objects_processed);
+        assert_eq!(sum(|k| k.heap_pushes), m.heap_pushes);
+        assert_eq!(sum(|k| k.heap_pops), m.heap_pops);
+        assert_eq!(sum(|k| k.recomputations), m.recomputations);
+        assert_eq!(sum(|k| k.merge_resolutions), m.merge_resolutions);
+    }
+
+    #[test]
+    fn delta_cycles_never_leak_internal_ids() {
+        let mut s = CpmServerBuilder::new(16).shards(2).deltas(true).build();
+        assert!(s.collects_deltas());
+        s.populate((0..30u32).map(|i| (ObjectId(i), Point::new(i as f64 / 30.0, 0.5))));
+        let _ = s.install_knn(QueryId(0), Point::new(0.05, 0.5), 3).unwrap();
+        let _ = s.install_rnn(QueryId(1), Point::new(0.8, 0.5)).unwrap();
+        let mut out = CycleDeltas::default();
+        for step in 0..6u32 {
+            s.process_cycle_with_deltas_into(
+                &[ObjectEvent::Move {
+                    id: ObjectId(step % 30),
+                    to: Point::new(0.8 - step as f64 / 60.0, 0.5),
+                }],
+                &[],
+                &mut out,
+            )
+            .unwrap();
+            for qid in &out.changed {
+                assert!(qid.0 < RESERVED_ID_BASE, "internal id leaked: {qid}");
+            }
+            for (qid, _) in &out.deltas {
+                assert!(qid.0 < RESERVED_ID_BASE, "internal delta leaked: {qid}");
+            }
+        }
+        s.check_invariants();
+    }
+}

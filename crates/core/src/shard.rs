@@ -37,6 +37,7 @@ use cpm_grid::{apply_events, Grid, Metrics, ObjectEvent, QueryEvent, UpdateRecor
 
 use crate::delta::{CycleDeltas, NeighborDelta};
 use crate::engine::{EngineCore, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
+use crate::error::CpmError;
 use crate::neighbors::Neighbor;
 
 /// Deterministic shard assignment: an FxHash-style finalizer over the query
@@ -110,16 +111,19 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     }
 
     /// Number of query shards.
+    #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// The shard that owns query `id`.
+    #[must_use]
     pub fn owning_shard(&self, id: QueryId) -> usize {
         shard_of(id, self.shards.len())
     }
 
     /// The shared object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
         &self.grid
     }
@@ -139,16 +143,19 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     }
 
     /// Number of installed queries across all shards.
+    #[must_use]
     pub fn query_count(&self) -> usize {
         self.shards.iter().map(|s| s.query_count()).sum()
     }
 
     /// The current result of query `id`.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
         self.query_state(id).map(|st| st.result())
     }
 
     /// Full book-keeping state of query `id`.
+    #[must_use]
     pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<S>> {
         self.shards[self.owning_shard(id)].query_state(id)
     }
@@ -156,15 +163,19 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     /// Install a new query on its owning shard and compute its initial
     /// result.
     ///
-    /// # Panics
-    /// Panics if `id` is already installed or `k == 0`.
-    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> &[Neighbor] {
+    /// # Errors
+    /// [`CpmError::DuplicateQuery`] if `id` is already installed,
+    /// [`CpmError::InvalidK`] if `k == 0`.
+    pub fn install(&mut self, id: QueryId, spec: S, k: usize) -> Result<&[Neighbor], CpmError> {
         let shard = shard_of(id, self.shards.len());
         self.shards[shard].install(&self.grid, id, spec, k)
     }
 
-    /// Terminate query `id`; returns `true` if it was installed.
-    pub fn terminate(&mut self, id: QueryId) -> bool {
+    /// Terminate query `id`.
+    ///
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if `id` is not installed.
+    pub fn terminate(&mut self, id: QueryId) -> Result<(), CpmError> {
         let shard = shard_of(id, self.shards.len());
         self.shards[shard].terminate(id)
     }
@@ -179,9 +190,9 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     /// [`ShardedCpmEngine::terminate`] — legitimate for pre-stream setup,
     /// lossy mid-stream).
     ///
-    /// # Panics
-    /// Panics if the query is not installed.
-    pub fn update_spec(&mut self, id: QueryId, spec: S) -> &[Neighbor] {
+    /// # Errors
+    /// [`CpmError::UnknownQuery`] if `id` is not installed.
+    pub fn update_spec(&mut self, id: QueryId, spec: S) -> Result<&[Neighbor], CpmError> {
         let shard = shard_of(id, self.shards.len());
         let grid = &self.grid;
         self.shards[shard].update_spec(grid, id, spec)
@@ -190,6 +201,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     /// Merged snapshot of the work counters accumulated since the last
     /// [`ShardedCpmEngine::take_metrics`]: the sum of every shard's
     /// counters plus the ingest phase's.
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
         let mut total = self.ingest_metrics;
         for shard in &self.shards {
@@ -240,6 +252,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     /// The processing-cycle counter: 0 before any cycle, incremented by
     /// every `process_cycle` call. Every shard advances it identically, so
     /// delta epochs are shard-count-invariant.
+    #[must_use]
     pub fn epoch(&self) -> u64 {
         self.shards[0].epoch()
     }
@@ -364,6 +377,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
 
     /// Total memory footprint in the paper's memory units (Section 4.1):
     /// grid data plus, per shard, influence entries and query-table state.
+    #[must_use]
     pub fn space_units(&self) -> usize {
         self.grid.space_units()
             + self
@@ -432,11 +446,13 @@ impl ShardedKnnMonitor {
     }
 
     /// Number of query shards.
+    #[must_use]
     pub fn shard_count(&self) -> usize {
         self.engine.shard_count()
     }
 
     /// The shared object index.
+    #[must_use]
     pub fn grid(&self) -> &Grid {
         self.engine.grid()
     }
@@ -447,32 +463,43 @@ impl ShardedKnnMonitor {
     }
 
     /// Number of installed queries.
+    #[must_use]
     pub fn query_count(&self) -> usize {
         self.engine.query_count()
     }
 
     /// Install a continuous k-NN query.
+    ///
+    /// # Panics
+    /// Panics if `id` is already installed or `k == 0` (legacy monitor
+    /// surface; the underlying [`ShardedCpmEngine::install`] reports both
+    /// as [`crate::CpmError`]).
     pub fn install_query(&mut self, id: QueryId, pos: Point, k: usize) -> &[Neighbor] {
-        self.engine.install(id, PointQuery(pos), k)
+        self.engine
+            .install(id, PointQuery(pos), k)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Terminate query `id`; returns `true` if it was installed.
     pub fn terminate_query(&mut self, id: QueryId) -> bool {
-        self.engine.terminate(id)
+        self.engine.terminate(id).is_ok()
     }
 
     /// The current result of query `id`, ascending by distance.
+    #[must_use]
     pub fn result(&self, id: QueryId) -> Option<&[Neighbor]> {
         self.engine.result(id)
     }
 
     /// Full book-keeping state of query `id`.
+    #[must_use]
     pub fn query_state(&self, id: QueryId) -> Option<&SpecQueryState<PointQuery>> {
         self.engine.query_state(id)
     }
 
     /// Merged snapshot of the work counters (see
     /// [`ShardedCpmEngine::metrics`]).
+    #[must_use]
     pub fn metrics(&self) -> Metrics {
         self.engine.metrics()
     }
@@ -510,6 +537,7 @@ impl ShardedKnnMonitor {
     }
 
     /// Total memory footprint in the paper's memory units (Section 4.1).
+    #[must_use]
     pub fn space_units(&self) -> usize {
         self.engine.space_units()
     }

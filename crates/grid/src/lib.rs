@@ -34,4 +34,4 @@ pub use coord::CellCoord;
 pub use events::{apply_events, ObjectEvent, QueryEvent, UpdateRecord};
 pub use grid::{Grid, GridStats};
 pub use influence::InfluenceTable;
-pub use metrics::Metrics;
+pub use metrics::{KindMetrics, Metrics, QueryKind};

@@ -19,6 +19,89 @@
 //! per-shard owners keep counting would silently double-report on the next
 //! snapshot.
 
+/// The continuous-query classes the suite monitors, used to attribute
+/// work counters per class in mixed workloads ([`Metrics::by_kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum QueryKind {
+    /// Plain point k-NN (Section 3).
+    Knn = 0,
+    /// Range membership (rectangle/circle).
+    Range = 1,
+    /// Aggregate NN over a point set (Section 5).
+    Ann = 2,
+    /// Constrained NN inside a region (Section 5).
+    Constrained = 3,
+    /// Reverse NN (six-region candidates + verification).
+    Rnn = 4,
+}
+
+impl QueryKind {
+    /// Number of query kinds (the length of [`Metrics::by_kind`]).
+    pub const COUNT: usize = 5;
+
+    /// All kinds, in `by_kind` index order.
+    pub const ALL: [QueryKind; QueryKind::COUNT] = [
+        QueryKind::Knn,
+        QueryKind::Range,
+        QueryKind::Ann,
+        QueryKind::Constrained,
+        QueryKind::Rnn,
+    ];
+
+    /// Short lowercase label (table headers, error messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Knn => "knn",
+            QueryKind::Range => "range",
+            QueryKind::Ann => "ann",
+            QueryKind::Constrained => "constrained",
+            QueryKind::Rnn => "rnn",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` (not `write_str`) so width/alignment flags work in
+        // table-formatting call sites.
+        f.pad(self.label())
+    }
+}
+
+/// The query-side work counters attributable to a single query class
+/// (everything in [`Metrics`] except the index-owned `updates_applied`,
+/// which is paid once per event regardless of who consumes the batch).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Complete scans of a cell's object list.
+    pub cell_accesses: u64,
+    /// Objects whose distance to some query was evaluated.
+    pub objects_processed: u64,
+    /// Search-heap insertions.
+    pub heap_pushes: u64,
+    /// Search-heap removals.
+    pub heap_pops: u64,
+    /// NN computations from scratch.
+    pub computations: u64,
+    /// NN re-computations.
+    pub recomputations: u64,
+    /// Results maintained purely from the update batch.
+    pub merge_resolutions: u64,
+}
+
+impl KindMetrics {
+    fn merge(&mut self, other: &KindMetrics) {
+        self.cell_accesses += other.cell_accesses;
+        self.objects_processed += other.objects_processed;
+        self.heap_pushes += other.heap_pushes;
+        self.heap_pops += other.heap_pops;
+        self.computations += other.computations;
+        self.recomputations += other.recomputations;
+        self.merge_resolutions += other.merge_resolutions;
+    }
+}
+
 /// Work counters for one monitoring algorithm instance.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Metrics {
@@ -39,6 +122,11 @@ pub struct Metrics {
     pub merge_resolutions: u64,
     /// Object location updates applied to the index.
     pub updates_applied: u64,
+    /// Query-side counters broken down by query class, indexed by
+    /// `QueryKind as usize`. Filled by engines serving [`QueryKind`]-aware
+    /// query specs; each `by_kind` counter is a partition of the flat
+    /// counter of the same name (never double-counted on merge).
+    pub by_kind: [KindMetrics; QueryKind::COUNT],
 }
 
 impl Metrics {
@@ -62,6 +150,43 @@ impl Metrics {
         self.recomputations += other.recomputations;
         self.merge_resolutions += other.merge_resolutions;
         self.updates_applied += other.updates_applied;
+        for (mine, theirs) in self.by_kind.iter_mut().zip(&other.by_kind) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// The per-class breakdown for one query kind.
+    pub fn for_kind(&self, kind: QueryKind) -> &KindMetrics {
+        &self.by_kind[kind as usize]
+    }
+
+    /// Snapshot of the query-side counters (the [`KindMetrics`] subset),
+    /// used with [`Metrics::attribute_since`] to attribute a span of work
+    /// to one query class.
+    pub fn query_counters(&self) -> KindMetrics {
+        KindMetrics {
+            cell_accesses: self.cell_accesses,
+            objects_processed: self.objects_processed,
+            heap_pushes: self.heap_pushes,
+            heap_pops: self.heap_pops,
+            computations: self.computations,
+            recomputations: self.recomputations,
+            merge_resolutions: self.merge_resolutions,
+        }
+    }
+
+    /// Attribute everything the query-side counters grew since `before`
+    /// (a [`Metrics::query_counters`] snapshot) to `kind`.
+    pub fn attribute_since(&mut self, kind: QueryKind, before: KindMetrics) {
+        let now = self.query_counters();
+        let slot = &mut self.by_kind[kind as usize];
+        slot.cell_accesses += now.cell_accesses - before.cell_accesses;
+        slot.objects_processed += now.objects_processed - before.objects_processed;
+        slot.heap_pushes += now.heap_pushes - before.heap_pushes;
+        slot.heap_pops += now.heap_pops - before.heap_pops;
+        slot.computations += now.computations - before.computations;
+        slot.recomputations += now.recomputations - before.recomputations;
+        slot.merge_resolutions += now.merge_resolutions - before.merge_resolutions;
     }
 }
 
@@ -78,6 +203,31 @@ mod tests {
         let snap = m.take();
         assert_eq!(snap.cell_accesses, 5);
         assert_eq!(m.cell_accesses, 0);
+    }
+
+    #[test]
+    fn attribution_partitions_the_flat_counters() {
+        let mut m = Metrics::default();
+        let before = m.query_counters();
+        m.cell_accesses += 3;
+        m.computations += 1;
+        m.attribute_since(QueryKind::Range, before);
+        let before = m.query_counters();
+        m.cell_accesses += 2;
+        m.attribute_since(QueryKind::Ann, before);
+        assert_eq!(m.for_kind(QueryKind::Range).cell_accesses, 3);
+        assert_eq!(m.for_kind(QueryKind::Range).computations, 1);
+        assert_eq!(m.for_kind(QueryKind::Ann).cell_accesses, 2);
+        // The breakdown partitions the flat counter.
+        let total: u64 = QueryKind::ALL
+            .iter()
+            .map(|&k| m.for_kind(k).cell_accesses)
+            .sum();
+        assert_eq!(total, m.cell_accesses);
+        // And merging merges the breakdown too.
+        let mut other = Metrics::default();
+        other.merge(&m);
+        assert_eq!(other.for_kind(QueryKind::Range).cell_accesses, 3);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!   the identical workload.
 //! * [`runner`] — timed replay, per-run reports, and the
 //!   oracle-verification harnesses used by the integration tests
-//!   (contender agreement, sharded determinism, delta-stream replay).
+//!   (contender agreement, sharded determinism, delta-stream replay,
+//!   unified-server conformance).
 //! * [`viz`] — ASCII rendering of grids and query book-keeping.
 
 #![warn(missing_docs)]
@@ -27,6 +28,6 @@ pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
 pub use runner::{
     run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_delta_replay,
-    verify_sharded_determinism, RunReport,
+    verify_sharded_determinism, verify_unified_server, RunReport,
 };
 pub use stream::SimulationInput;

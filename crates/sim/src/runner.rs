@@ -402,6 +402,354 @@ fn compare_all(
     }
 }
 
+/// Conformance harness for the unified [`cpm_core::CpmServer`]: replay a
+/// deterministic mixed-kind workload (k-NN + range + aggregate-NN +
+/// constrained + reverse-NN, with moving queries and mid-stream
+/// install/terminate) into one server per entry of `shard_counts` and,
+/// side by side, into **dedicated single-kind engines** over their own
+/// grids, asserting after every cycle that:
+///
+/// * every non-RNN query's result is **bit-identical** (ids, `f64`
+///   distance bits, order) between the server and its kind's dedicated
+///   [`cpm_core::ShardedCpmEngine`] — the `AnyQuerySpec` dispatch adds
+///   nothing and loses nothing,
+/// * server results are identical across all shard counts, and the
+///   merged work-counter totals agree,
+/// * changed-query lists agree between the server and the union of the
+///   dedicated engines (plus RNN re-verification),
+/// * the server performed exactly **one** grid ingest pass per cycle
+///   (`updates_applied` equals the event count, not kinds × events),
+/// * every result matches a brute-force oracle (range results
+///   bit-identical via [`crate::brute_force_range`]; k-NN/ANN/constrained
+///   by distance; RNN sets exactly).
+///
+/// Panics on any divergence.
+pub fn verify_unified_server(n_objects: u32, cycles: usize, grid_dim: u32, shard_counts: &[usize]) {
+    use cpm_core::{
+        AggregateFn, AnnQuery, AnyQuerySpec, ConstrainedQuery, CpmServer, CpmServerBuilder,
+        PointQuery, RangeQuery, ShardedCpmEngine, SpecEvent,
+    };
+    use cpm_geom::{ObjectId, Point, QueryId, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    let mut rng = StdRng::seed_from_u64(0x0CF5);
+    let objects: Vec<(ObjectId, Point)> = (0..n_objects)
+        .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+        .collect();
+
+    // Brute-force reverse NN: p ∈ RNN(q) iff no other object is strictly
+    // closer to p than q is.
+    fn brute_rnn(objects: &[(ObjectId, Point)], q: Point) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = objects
+            .iter()
+            .filter(|&&(id, p)| {
+                let dq = p.dist(q);
+                !objects.iter().any(|&(o, op)| o != id && p.dist(op) < dq)
+            })
+            .map(|&(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    let mut servers: Vec<CpmServer> = shard_counts
+        .iter()
+        .map(|&s| CpmServerBuilder::new(grid_dim).shards(s).build())
+        .collect();
+    let mut knn_engine: ShardedCpmEngine<PointQuery> = ShardedCpmEngine::new(grid_dim, 1);
+    let mut range_engine: ShardedCpmEngine<RangeQuery> = ShardedCpmEngine::new(grid_dim, 1);
+    let mut ann_engine: ShardedCpmEngine<AnnQuery> = ShardedCpmEngine::new(grid_dim, 1);
+    let mut con_engine: ShardedCpmEngine<ConstrainedQuery> = ShardedCpmEngine::new(grid_dim, 1);
+    for s in servers.iter_mut() {
+        s.populate(objects.iter().copied());
+    }
+    knn_engine.populate(objects.iter().copied());
+    range_engine.populate(objects.iter().copied());
+    ann_engine.populate(objects.iter().copied());
+    con_engine.populate(objects.iter().copied());
+
+    // Initial mixed population. Ids are disjoint across kinds.
+    let mut knn_pos = [Point::new(0.3, 0.4), Point::new(0.7, 0.6)];
+    let knn_ids = [QueryId(0), QueryId(1)];
+    let mut range_specs = [
+        RangeQuery::rect(Rect::new(Point::new(0.2, 0.1), Point::new(0.6, 0.5))),
+        RangeQuery::circle(Point::new(0.6, 0.7), 0.22),
+    ];
+    let range_ids = [QueryId(10), QueryId(11)];
+    let ann_spec = AnnQuery::new(
+        vec![
+            Point::new(0.25, 0.75),
+            Point::new(0.8, 0.3),
+            Point::new(0.5, 0.5),
+        ],
+        AggregateFn::Sum,
+    );
+    let ann_id = QueryId(20);
+    let con_spec = ConstrainedQuery::new(
+        Point::new(0.45, 0.55),
+        Rect::new(Point::new(0.3, 0.3), Point::new(0.9, 0.9)),
+    );
+    let con_id = QueryId(30);
+    let mut rnn_pos = Point::new(0.55, 0.45);
+    let rnn_id = QueryId(40);
+
+    for s in servers.iter_mut() {
+        for (i, &id) in knn_ids.iter().enumerate() {
+            let _ = s.install_knn(id, knn_pos[i], 3 + i).expect("fresh id");
+        }
+        for (i, &id) in range_ids.iter().enumerate() {
+            let _ = s.install_range(id, range_specs[i]).expect("fresh id");
+        }
+        let _ = s
+            .install_ann(ann_id, ann_spec.clone(), 2)
+            .expect("fresh id");
+        let _ = s
+            .install_constrained(con_id, con_spec.clone(), 3)
+            .expect("fresh id");
+        let _ = s.install_rnn(rnn_id, rnn_pos).expect("fresh id");
+    }
+    for (i, &id) in knn_ids.iter().enumerate() {
+        knn_engine
+            .install(id, PointQuery(knn_pos[i]), 3 + i)
+            .expect("fresh id");
+    }
+    for (i, &id) in range_ids.iter().enumerate() {
+        range_engine
+            .install(id, range_specs[i], RangeQuery::UNBOUNDED_K)
+            .expect("fresh id");
+    }
+    ann_engine
+        .install(ann_id, ann_spec.clone(), 2)
+        .expect("fresh id");
+    con_engine
+        .install(con_id, con_spec.clone(), 3)
+        .expect("fresh id");
+
+    // Mid-stream churn: a k-NN query installed a third of the way in and
+    // terminated two thirds of the way in. Skipped for very short runs,
+    // where install and terminate would land in the same event batch
+    // (one event per id per batch).
+    let transient_id = QueryId(5);
+    let install_at = cycles / 3;
+    let terminate_at = (2 * cycles) / 3;
+    let use_transient = install_at < terminate_at;
+    let mut transient_live = false;
+
+    let mut live: Vec<u32> = (0..n_objects).collect();
+    let mut next_oid = n_objects;
+
+    for cycle in 0..cycles {
+        // Object churn: moves plus occasional appear/disappear.
+        let mut object_events = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..rng.gen_range(1..12) {
+            match rng.gen_range(0..10) {
+                0 if live.len() > 8 => {
+                    let at = rng.gen_range(0..live.len());
+                    let id = live.swap_remove(at);
+                    if seen.insert(id) {
+                        object_events.push(cpm_grid::ObjectEvent::Disappear { id: ObjectId(id) });
+                    } else {
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    live.push(next_oid);
+                    seen.insert(next_oid);
+                    object_events.push(cpm_grid::ObjectEvent::Appear {
+                        id: ObjectId(next_oid),
+                        pos: Point::new(rng.gen(), rng.gen()),
+                    });
+                    next_oid += 1;
+                }
+                _ => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    if seen.insert(id) {
+                        object_events.push(cpm_grid::ObjectEvent::Move {
+                            id: ObjectId(id),
+                            to: Point::new(rng.gen(), rng.gen()),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Query events, mirrored between the server (unified vocabulary)
+        // and the kind's dedicated engine.
+        let mut server_events: Vec<SpecEvent<AnyQuerySpec>> = Vec::new();
+        let mut knn_events: Vec<SpecEvent<PointQuery>> = Vec::new();
+        let mut range_events: Vec<SpecEvent<RangeQuery>> = Vec::new();
+        if rng.gen_bool(0.4) {
+            // A k-NN subscriber moves.
+            let qi = rng.gen_range(0..knn_ids.len());
+            knn_pos[qi] = Point::new(rng.gen(), rng.gen());
+            server_events.push(SpecEvent::Update {
+                id: knn_ids[qi],
+                spec: AnyQuerySpec::Knn(PointQuery(knn_pos[qi])),
+            });
+            knn_events.push(SpecEvent::Update {
+                id: knn_ids[qi],
+                spec: PointQuery(knn_pos[qi]),
+            });
+        }
+        if rng.gen_bool(0.3) {
+            // A range region moves.
+            let qi = rng.gen_range(0..range_ids.len());
+            range_specs[qi] = RangeQuery::circle(
+                Point::new(rng.gen(), rng.gen()),
+                0.1 + rng.gen::<f64>() * 0.2,
+            );
+            server_events.push(SpecEvent::Update {
+                id: range_ids[qi],
+                spec: AnyQuerySpec::Range(range_specs[qi]),
+            });
+            range_events.push(SpecEvent::Update {
+                id: range_ids[qi],
+                spec: range_specs[qi],
+            });
+        }
+        if use_transient && cycle == install_at {
+            let pos = Point::new(0.15, 0.85);
+            server_events.push(SpecEvent::Install {
+                id: transient_id,
+                spec: AnyQuerySpec::Knn(PointQuery(pos)),
+                k: 2,
+            });
+            knn_events.push(SpecEvent::Install {
+                id: transient_id,
+                spec: PointQuery(pos),
+                k: 2,
+            });
+            transient_live = true;
+        }
+        if use_transient && cycle == terminate_at {
+            server_events.push(SpecEvent::Terminate { id: transient_id });
+            knn_events.push(SpecEvent::Terminate { id: transient_id });
+            transient_live = false;
+        }
+        // The reverse-NN registration moves occasionally (direct calls —
+        // the server owns the six-region composition).
+        let move_rnn = rng.gen_bool(0.25);
+        if move_rnn {
+            rnn_pos = Point::new(rng.gen(), rng.gen());
+        }
+
+        for s in servers.iter_mut() {
+            s.take_metrics();
+            if move_rnn {
+                let h = s.rnn_handle(rnn_id).expect("installed");
+                let _ = s.update_rnn(h, rnn_pos).expect("installed");
+            }
+        }
+        let changed_first = servers[0]
+            .process_cycle(&object_events, &server_events)
+            .expect("validated events");
+        let metrics_first = servers[0].take_metrics();
+        assert_eq!(
+            metrics_first.updates_applied,
+            object_events.len() as u64,
+            "cycle {cycle}: the unified server must ingest the batch exactly once"
+        );
+        for (s, &shards) in servers.iter_mut().zip(shard_counts).skip(1) {
+            let changed = s
+                .process_cycle(&object_events, &server_events)
+                .expect("validated events");
+            assert_eq!(
+                changed_first, changed,
+                "cycle {cycle}: changed sets diverged at {shards} shards"
+            );
+            let metrics = s.take_metrics();
+            assert_eq!(
+                metrics_first, metrics,
+                "cycle {cycle}: metrics diverged at {shards} shards"
+            );
+        }
+
+        let mut dedicated_changed: BTreeSet<QueryId> = BTreeSet::new();
+        dedicated_changed.extend(knn_engine.process_cycle(&object_events, &knn_events));
+        dedicated_changed.extend(range_engine.process_cycle(&object_events, &range_events));
+        dedicated_changed.extend(ann_engine.process_cycle(&object_events, &[]));
+        dedicated_changed.extend(con_engine.process_cycle(&object_events, &[]));
+        let server_non_rnn: BTreeSet<QueryId> = changed_first
+            .iter()
+            .copied()
+            .filter(|&q| q != rnn_id)
+            .collect();
+        assert_eq!(
+            server_non_rnn, dedicated_changed,
+            "cycle {cycle}: changed sets diverged between server and dedicated engines"
+        );
+
+        // Bit-identical per-kind results, plus brute-force ground truth.
+        let snapshot: Vec<(ObjectId, Point)> = servers[0].grid().iter_objects().collect();
+        for s in servers.iter() {
+            let mut tracked: Vec<QueryId> = Vec::new();
+            tracked.extend(knn_ids);
+            if transient_live {
+                tracked.push(transient_id);
+            }
+            for &id in &tracked {
+                assert_eq!(
+                    s.result(id).expect("server tracks query"),
+                    knn_engine.result(id).expect("engine tracks query"),
+                    "cycle {cycle}: k-NN {id} diverged from the dedicated engine"
+                );
+            }
+            for &id in &range_ids {
+                let got = s.result(id).expect("server tracks query");
+                assert_eq!(
+                    got,
+                    range_engine.result(id).expect("engine tracks query"),
+                    "cycle {cycle}: range {id} diverged from the dedicated engine"
+                );
+                let spec = s
+                    .query_state(id)
+                    .unwrap()
+                    .spec
+                    .as_range()
+                    .unwrap()
+                    .to_owned();
+                assert_eq!(
+                    got,
+                    crate::brute_force_range(snapshot.iter().copied(), &spec).as_slice(),
+                    "cycle {cycle}: range {id} diverged from brute force"
+                );
+            }
+            assert_eq!(
+                s.result(ann_id).expect("server tracks query"),
+                ann_engine.result(ann_id).expect("engine tracks query"),
+                "cycle {cycle}: ANN diverged from the dedicated engine"
+            );
+            assert_eq!(
+                s.result(con_id).expect("server tracks query"),
+                con_engine.result(con_id).expect("engine tracks query"),
+                "cycle {cycle}: constrained diverged from the dedicated engine"
+            );
+            assert_eq!(
+                s.rnn_result(rnn_id).expect("server tracks query"),
+                brute_rnn(&snapshot, rnn_pos).as_slice(),
+                "cycle {cycle}: RNN diverged from brute force"
+            );
+            // k-NN ground truth by distance.
+            for &id in &tracked {
+                let st = s.query_state(id).unwrap();
+                let q = st.spec.as_knn().expect("knn query");
+                let mut truth: Vec<f64> = snapshot.iter().map(|&(_, p)| q.dist(p)).collect();
+                truth.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                truth.truncate(st.k());
+                let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+                assert_eq!(got.len(), truth.len().min(st.k()));
+                for (g, e) in got.iter().zip(&truth) {
+                    assert!((g - e).abs() < 1e-9, "cycle {cycle}: k-NN oracle mismatch");
+                }
+            }
+            s.check_invariants();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

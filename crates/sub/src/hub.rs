@@ -20,7 +20,8 @@
 use std::collections::VecDeque;
 
 use cpm_core::{
-    Neighbor, NeighborDelta, PointQuery, QuerySpec, RangeQuery, ShardedCpmEngine, SpecEvent,
+    AnnQuery, AnyQuerySpec, ConstrainedQuery, Neighbor, NeighborDelta, PointQuery, QuerySpec,
+    RangeQuery, ShardedCpmEngine, SpecEvent,
 };
 use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
 use cpm_grid::{Grid, Metrics, ObjectEvent};
@@ -124,6 +125,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     /// [`commit`]: SubscriptionHub::commit
     pub fn subscribe(&mut self, id: QueryId, spec: S, k: usize) {
         self.assert_no_pending(id);
+        self.assert_not_composite(&spec);
         assert!(
             !self.mailboxes.contains_key(&id),
             "query {id} is already subscribed"
@@ -143,6 +145,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     /// [`commit`]: SubscriptionHub::commit
     pub fn update_subscription(&mut self, id: QueryId, spec: S) {
         self.assert_no_pending(id);
+        self.assert_not_composite(&spec);
         assert!(
             self.mailboxes.contains_key(&id),
             "update of unknown subscription {id}"
@@ -166,6 +169,18 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
         );
         self.pending_sub.push(SpecEvent::Terminate { id });
         self.closing.push(id);
+    }
+
+    /// Reverse NN is a composite query (six sector candidates plus a
+    /// verification pass owned by [`cpm_core::CpmServer`]); a bare
+    /// sector spec in a hub would stream a single 60° wedge's 1-NN while
+    /// looking like an RNN subscription. Rejected up front.
+    fn assert_not_composite(&self, spec: &S) {
+        assert!(
+            spec.kind() != cpm_grid::QueryKind::Rnn,
+            "reverse-NN subscriptions are not supported: RNN is a composite query \
+             (see cpm_core::CpmServer::install_rnn)"
+        );
     }
 
     fn assert_no_pending(&self, id: QueryId) {
@@ -358,6 +373,48 @@ impl RangeSubscriptionHub {
     }
 }
 
+/// Mixed-kind subscriptions: one hub carrying k-NN, range, aggregate-NN
+/// and constrained delta streams over a **single** shared grid and one
+/// processing cycle per commit — the unified-server shape
+/// ([`cpm_core::CpmServer`]) for the subscription front end. Per-kind
+/// streams are bit-identical to the dedicated single-kind hubs (asserted
+/// by the mixed-stream test below), because [`AnyQuerySpec`] dispatch
+/// only forwards to the concrete geometry.
+pub type UnifiedSubscriptionHub = SubscriptionHub<AnyQuerySpec>;
+
+impl UnifiedSubscriptionHub {
+    /// Subscribe to the `k` nearest neighbors of `pos`.
+    pub fn subscribe_knn(&mut self, id: QueryId, pos: Point, k: usize) {
+        self.subscribe(id, AnyQuerySpec::Knn(PointQuery(pos)), k);
+    }
+
+    /// Move a k-NN subscription to `pos`.
+    pub fn move_knn(&mut self, id: QueryId, pos: Point) {
+        self.update_subscription(id, AnyQuerySpec::Knn(PointQuery(pos)));
+    }
+
+    /// Subscribe to all objects inside `query`'s region (unbounded
+    /// result — no `k`).
+    pub fn subscribe_region(&mut self, id: QueryId, query: RangeQuery) {
+        self.subscribe(id, AnyQuerySpec::Range(query), RangeQuery::UNBOUNDED_K);
+    }
+
+    /// Move a range subscription to a new region.
+    pub fn move_region(&mut self, id: QueryId, query: RangeQuery) {
+        self.update_subscription(id, AnyQuerySpec::Range(query));
+    }
+
+    /// Subscribe to the `k` best objects under an aggregate-NN query.
+    pub fn subscribe_ann(&mut self, id: QueryId, query: AnnQuery, k: usize) {
+        self.subscribe(id, AnyQuerySpec::Ann(query), k);
+    }
+
+    /// Subscribe to the `k` nearest objects inside a constraint region.
+    pub fn subscribe_constrained(&mut self, id: QueryId, query: ConstrainedQuery, k: usize) {
+        self.subscribe(id, AnyQuerySpec::Constrained(query), k);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,6 +565,88 @@ mod tests {
         }
         assert_eq!(replica.result(), hub.snapshot(QueryId(0)).unwrap().1);
         hub.check_invariants();
+    }
+
+    /// One unified hub carrying four kinds must (a) fold every replica to
+    /// its authoritative snapshot and (b) ship each kind's stream
+    /// bit-identical to a dedicated single-kind hub over the same data.
+    #[test]
+    fn mixed_kind_streams_match_dedicated_hubs() {
+        use cpm_core::AggregateFn;
+        for shards in [1usize, 3] {
+            let objects: Vec<(ObjectId, Point)> = (0..24u32)
+                .map(|i| {
+                    let t = i as f64 / 24.0;
+                    (ObjectId(i), Point::new(t, (t * 5.0) % 1.0))
+                })
+                .collect();
+            let mut unified = UnifiedSubscriptionHub::new(16, shards);
+            let mut knn_only = KnnSubscriptionHub::new(16, shards);
+            let mut range_only = RangeSubscriptionHub::new(16, shards);
+            unified.populate(objects.iter().copied());
+            knn_only.populate(objects.iter().copied());
+            range_only.populate(objects.iter().copied());
+
+            let region = RangeQuery::rect(Rect::new(Point::new(0.2, 0.2), Point::new(0.7, 0.7)));
+            unified.subscribe_knn(QueryId(0), Point::new(0.4, 0.4), 3);
+            unified.subscribe_region(QueryId(1), region);
+            unified.subscribe_ann(
+                QueryId(2),
+                AnnQuery::new(
+                    vec![Point::new(0.2, 0.8), Point::new(0.8, 0.2)],
+                    AggregateFn::Sum,
+                ),
+                2,
+            );
+            unified.subscribe_constrained(
+                QueryId(3),
+                ConstrainedQuery::northeast_of(Point::new(0.3, 0.3)),
+                2,
+            );
+            knn_only.subscribe_knn(QueryId(0), Point::new(0.4, 0.4), 3);
+            range_only.subscribe_region(QueryId(1), region);
+
+            let mut replicas: Vec<Replica> = (0..4).map(|_| Replica::new()).collect();
+            for step in 0..12u32 {
+                unified.commit();
+                knn_only.commit();
+                range_only.commit();
+                // Per-kind streams are bit-identical to the dedicated hubs.
+                let u_knn = unified.drain(QueryId(0));
+                let u_range = unified.drain(QueryId(1));
+                assert_eq!(u_knn, knn_only.drain(QueryId(0)), "knn stream diverged");
+                assert_eq!(
+                    u_range,
+                    range_only.drain(QueryId(1)),
+                    "range stream diverged"
+                );
+                for d in &u_knn {
+                    replicas[0].apply(d);
+                }
+                for d in &u_range {
+                    replicas[1].apply(d);
+                }
+                for (i, qid) in [(2usize, QueryId(2)), (3, QueryId(3))] {
+                    for d in unified.drain(qid) {
+                        replicas[i].apply(&d);
+                    }
+                }
+                for (i, replica) in replicas.iter().enumerate() {
+                    let (_, snapshot) = unified.snapshot(QueryId(i as u32)).unwrap();
+                    assert_eq!(replica.result(), snapshot, "replica {i} diverged");
+                }
+                unified.check_invariants();
+
+                let mover = ObjectId(step % 24);
+                let to = Point::new(
+                    (0.1 + step as f64 * 0.17) % 1.0,
+                    (0.9 - step as f64 * 0.11).abs() % 1.0,
+                );
+                unified.push_update(ObjectEvent::Move { id: mover, to });
+                knn_only.push_update(ObjectEvent::Move { id: mover, to });
+                range_only.push_update(ObjectEvent::Move { id: mover, to });
+            }
+        }
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!   (the property the delta-replay conformance suite asserts against the
 //!   brute-force oracle).
 //!
-//! Both k-NN subscriptions ([`cpm_core::PointQuery`]) and range
-//! subscriptions ([`cpm_core::RangeQuery`]) ride the same pipeline; see
-//! [`KnnSubscriptionHub`] and [`RangeSubscriptionHub`].
+//! Every query kind rides the same pipeline: the single-kind
+//! [`KnnSubscriptionHub`] and [`RangeSubscriptionHub`], and — the shape a
+//! real deployment wants — the [`UnifiedSubscriptionHub`], which carries
+//! **mixed-kind** delta streams (k-NN, range, aggregate-NN, constrained)
+//! over one shared grid and one processing cycle per commit, mirroring
+//! the [`cpm_core::CpmServer`] facade.
 //!
 //! ## Example
 //!
@@ -60,5 +63,7 @@
 pub mod hub;
 pub mod replica;
 
-pub use hub::{CycleReceipt, KnnSubscriptionHub, RangeSubscriptionHub, SubscriptionHub};
+pub use hub::{
+    CycleReceipt, KnnSubscriptionHub, RangeSubscriptionHub, SubscriptionHub, UnifiedSubscriptionHub,
+};
 pub use replica::Replica;

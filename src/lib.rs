@@ -8,7 +8,9 @@
 //!
 //! * [`geom`] — geometry & utility substrate ([`cpm_geom`]).
 //! * [`grid`] — the uniform main-memory object index ([`cpm_grid`]).
-//! * [`core`] — CPM itself: continuous k-NN, aggregate-NN, constrained-NN
+//! * [`core`] — CPM itself: the unified multi-query [`core::CpmServer`]
+//!   facade (every query kind on one grid with one ingest pass per
+//!   cycle), continuous k-NN, aggregate-NN, constrained-NN, reverse-NN
 //!   and range monitoring, plus per-cycle result deltas ([`cpm_core`]).
 //! * [`sub`] — the delta-streaming subscription layer: epoch-numbered
 //!   hubs, per-subscription mailboxes, client-side replicas

@@ -43,9 +43,12 @@ fn sharded_matches_sequential_under_heavy_query_movement() {
         for qi in 0..n_qry {
             let p = Point::new(rng.gen(), rng.gen());
             let k = 1 + qi as usize % 5;
-            sequential.install(QueryId(qi), PointQuery(p), k);
+            sequential
+                .install(QueryId(qi), PointQuery(p), k)
+                .expect("fresh query id");
             for m in sharded.iter_mut() {
-                m.install(QueryId(qi), PointQuery(p), k);
+                m.install(QueryId(qi), PointQuery(p), k)
+                    .expect("fresh query id");
             }
         }
 

@@ -141,7 +141,7 @@ fn ann_specs_are_shard_invariant_and_correct() {
                 let mut truth: Vec<f64> = sequential
                     .grid()
                     .iter_objects()
-                    .map(|(_, p)| st.spec.adist(p))
+                    .map(|(_, p)| st.spec.as_ann().expect("ann query").adist(p))
                     .collect();
                 truth.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 truth.truncate(st.k());

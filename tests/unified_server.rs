@@ -1,0 +1,339 @@
+//! Mixed-kind conformance for the unified [`CpmServer`] facade: one
+//! server hosting k-NN, range, aggregate-NN, constrained and reverse-NN
+//! queries on **one grid with one ingest pass per cycle** must be
+//! bit-identical to the dedicated per-kind monitors/engines and correct
+//! against brute-force oracles — for shard counts S ∈ {1, 4}, with moving
+//! queries and mid-stream install/terminate.
+//!
+//! [`CpmServer`]: cpm_suite::core::CpmServer
+
+use cpm_suite::core::ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
+use cpm_suite::core::constrained::{ConstrainedQuery, CpmConstrainedMonitor};
+use cpm_suite::core::range::{CpmRangeMonitor, RangeQuery};
+use cpm_suite::core::server::QueryHandle;
+use cpm_suite::core::{
+    AnyQuerySpec, CpmError, CpmKnnMonitor, CpmServerBuilder, PointQuery, SpecEvent,
+};
+use cpm_suite::geom::{ObjectId, Point, QueryId, Rect};
+use cpm_suite::grid::{ObjectEvent, QueryKind};
+use cpm_suite::sim::verify_unified_server;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// The full sim-harness sweep: server vs dedicated single-kind engines vs
+/// brute force, with object churn, moving queries of every kind, and a
+/// transient mid-stream k-NN query — at S ∈ {1, 4}.
+#[test]
+fn unified_server_matches_dedicated_engines_and_oracles() {
+    verify_unified_server(90, 28, 16, &SHARD_COUNTS);
+}
+
+/// A denser grid and larger population, fewer cycles (CI budget).
+#[test]
+fn unified_server_conformance_on_fine_grid() {
+    verify_unified_server(220, 10, 64, &SHARD_COUNTS);
+}
+
+/// The acceptance criterion, asserted via metrics: a cycle over a server
+/// hosting every kind performs exactly one `apply_events` pass — the
+/// ingest counter equals the event count, while three dedicated monitors
+/// together pay it three times.
+#[test]
+fn one_cycle_one_ingest_regardless_of_kind_count() {
+    for shards in SHARD_COUNTS {
+        let mut server = CpmServerBuilder::new(32).shards(shards).build();
+        let objects: Vec<(ObjectId, Point)> = (0..200u32)
+            .map(|i| {
+                let t = i as f64 / 200.0;
+                (ObjectId(i), Point::new(t, (t * 13.0) % 1.0))
+            })
+            .collect();
+        server.populate(objects.iter().copied());
+        let _ = server
+            .install_knn(QueryId(0), Point::new(0.4, 0.4), 4)
+            .unwrap();
+        let _ = server
+            .install_range(
+                QueryId(1),
+                RangeQuery::rect(Rect::new(Point::new(0.1, 0.1), Point::new(0.5, 0.5))),
+            )
+            .unwrap();
+        let _ = server
+            .install_constrained(
+                QueryId(2),
+                ConstrainedQuery::northeast_of(Point::new(0.5, 0.5)),
+                4,
+            )
+            .unwrap();
+        let _ = server
+            .install_ann(
+                QueryId(3),
+                AnnQuery::new(
+                    vec![Point::new(0.2, 0.8), Point::new(0.7, 0.2)],
+                    AggregateFn::Max,
+                ),
+                2,
+            )
+            .unwrap();
+        let _ = server
+            .install_rnn(QueryId(4), Point::new(0.6, 0.6))
+            .unwrap();
+        server.take_metrics();
+
+        let events: Vec<ObjectEvent> = (0..50u32)
+            .map(|i| ObjectEvent::Move {
+                id: ObjectId(i * 4),
+                to: Point::new((i as f64 * 0.019) % 1.0, (i as f64 * 0.037) % 1.0),
+            })
+            .collect();
+        server.process_cycle(&events, &[]).unwrap();
+        let unified = server.take_metrics();
+        assert_eq!(
+            unified.updates_applied,
+            events.len() as u64,
+            "one server cycle must ingest the batch exactly once (shards={shards})"
+        );
+
+        // Contrast: one dedicated monitor per kind pays the ingest per
+        // kind. (This is the workload the server exists to collapse.)
+        let mut knn = CpmKnnMonitor::new(32);
+        let mut range = CpmRangeMonitor::new(32);
+        let mut con = CpmConstrainedMonitor::new(32);
+        knn.populate(objects.iter().copied());
+        range.populate(objects.iter().copied());
+        con.populate(objects.iter().copied());
+        knn.install_query(QueryId(0), Point::new(0.4, 0.4), 4);
+        range.install_query(
+            QueryId(1),
+            RangeQuery::rect(Rect::new(Point::new(0.1, 0.1), Point::new(0.5, 0.5))),
+        );
+        con.install_query(
+            QueryId(2),
+            ConstrainedQuery::northeast_of(Point::new(0.5, 0.5)),
+            4,
+        );
+        knn.take_metrics();
+        range.take_metrics();
+        con.take_metrics();
+        knn.process_cycle(&events, &[]);
+        range.process_cycle(&events, &[]);
+        con.process_cycle(&events, &[]);
+        let mut split = knn.take_metrics();
+        split.merge(&range.take_metrics());
+        split.merge(&con.take_metrics());
+        assert_eq!(
+            split.updates_applied,
+            3 * events.len() as u64,
+            "three dedicated monitors pay the ingest three times"
+        );
+    }
+}
+
+/// Server results must be bit-identical to the per-kind monitors (the
+/// compat shims the old API exposed) on a shared random stream.
+#[test]
+fn server_results_match_per_kind_monitors() {
+    let mut rng = StdRng::seed_from_u64(0x0DD);
+    for shards in SHARD_COUNTS {
+        let objects: Vec<(ObjectId, Point)> = (0..70u32)
+            .map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen())))
+            .collect();
+        let mut server = CpmServerBuilder::new(16).shards(shards).build();
+        let mut knn = CpmKnnMonitor::new(16);
+        let mut range = CpmRangeMonitor::new_sharded(16, shards);
+        let mut ann = CpmAnnMonitor::new_sharded(16, shards);
+        let mut con = CpmConstrainedMonitor::new_sharded(16, shards);
+        server.populate(objects.iter().copied());
+        knn.populate(objects.iter().copied());
+        range.populate(objects.iter().copied());
+        ann.populate(objects.iter().copied());
+        con.populate(objects.iter().copied());
+
+        let knn_h = server
+            .install_knn(QueryId(0), Point::new(0.35, 0.65), 5)
+            .unwrap();
+        knn.install_query(QueryId(0), Point::new(0.35, 0.65), 5);
+        let range_q = RangeQuery::circle(Point::new(0.5, 0.5), 0.25);
+        let range_h = server.install_range(QueryId(1), range_q).unwrap();
+        range.install_query(QueryId(1), range_q);
+        let ann_q = AnnQuery::new(
+            vec![Point::new(0.2, 0.2), Point::new(0.8, 0.6)],
+            AggregateFn::Sum,
+        );
+        let ann_h = server.install_ann(QueryId(2), ann_q.clone(), 3).unwrap();
+        ann.install_query(QueryId(2), ann_q, 3);
+        let con_q = ConstrainedQuery::new(
+            Point::new(0.5, 0.5),
+            Rect::new(Point::new(0.4, 0.0), Point::new(1.0, 0.6)),
+        );
+        let con_h = server
+            .install_constrained(QueryId(3), con_q.clone(), 3)
+            .unwrap();
+        con.install_query(QueryId(3), con_q, 3);
+
+        for _cycle in 0..25 {
+            let mut events = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..rng.gen_range(1..10) {
+                let id = rng.gen_range(0..70u32);
+                if seen.insert(id) {
+                    events.push(ObjectEvent::Move {
+                        id: ObjectId(id),
+                        to: Point::new(rng.gen(), rng.gen()),
+                    });
+                }
+            }
+            server.process_cycle(&events, &[]).unwrap();
+            knn.process_cycle(&events, &[]);
+            range.process_cycle(&events, &[]);
+            ann.process_cycle(&events, &[]);
+            con.process_cycle(&events, &[]);
+            assert_eq!(
+                server.result(knn_h).unwrap(),
+                knn.result(QueryId(0)).unwrap(),
+                "k-NN diverged from CpmKnnMonitor (shards={shards})"
+            );
+            assert_eq!(
+                server.result(range_h).unwrap(),
+                range.result(QueryId(1)).unwrap(),
+                "range diverged (shards={shards})"
+            );
+            assert_eq!(
+                server.result(ann_h).unwrap(),
+                ann.result(QueryId(2)).unwrap(),
+                "ANN diverged (shards={shards})"
+            );
+            assert_eq!(
+                server.result(con_h).unwrap(),
+                con.result(QueryId(3)).unwrap(),
+                "constrained diverged (shards={shards})"
+            );
+            server.check_invariants();
+        }
+    }
+}
+
+/// Handles carry their kind; the registry reports confusion as typed
+/// errors and the changed list reflects mid-stream install/terminate.
+#[test]
+fn registry_errors_and_midstream_churn() {
+    let mut server = CpmServerBuilder::new(16).shards(4).build();
+    server.populate((0..50u32).map(|i| (ObjectId(i), Point::new(i as f64 / 50.0, 0.5))));
+    let h = server
+        .install_knn(QueryId(0), Point::new(0.1, 0.5), 3)
+        .unwrap();
+    assert_eq!(h.id(), QueryId(0));
+    assert_eq!(h.kind(), QueryKind::Knn);
+    assert_eq!(server.kind_of(QueryId(0)), Some(QueryKind::Knn));
+
+    // Mid-stream install + terminate through the event batch.
+    let changed = server
+        .process_cycle(
+            &[],
+            &[SpecEvent::Install {
+                id: QueryId(1),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.9, 0.5))),
+                k: 2,
+            }],
+        )
+        .unwrap();
+    assert_eq!(changed, vec![QueryId(1)]);
+    assert_eq!(server.query_count(), 2);
+    let changed = server
+        .process_cycle(&[], &[SpecEvent::Terminate { id: QueryId(1) }])
+        .unwrap();
+    assert!(changed.is_empty());
+    assert_eq!(server.query_count(), 1);
+    assert_eq!(
+        server.process_cycle(&[], &[SpecEvent::Terminate { id: QueryId(1) }]),
+        Err(CpmError::UnknownQuery(QueryId(1)))
+    );
+
+    // Kind confusion through the untyped surface.
+    assert_eq!(
+        server.update_spec(
+            QueryId(0),
+            AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.5, 0.5), 0.1)),
+        ),
+        Err(CpmError::KindMismatch {
+            id: QueryId(0),
+            expected: QueryKind::Range,
+            actual: QueryKind::Knn,
+        })
+    );
+    server.check_invariants();
+}
+
+/// A unified server with delta capture streams mixed-kind deltas whose
+/// folds match the authoritative snapshots (the hub-level path is covered
+/// in `cpm-sub`; this exercises the server's own delta cycle).
+#[test]
+fn unified_delta_cycles_fold_losslessly() {
+    use cpm_suite::core::CycleDeltas;
+    use cpm_suite::sub::Replica;
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    for shards in SHARD_COUNTS {
+        let mut server = CpmServerBuilder::new(16)
+            .shards(shards)
+            .deltas(true)
+            .build();
+        server.populate((0..40u32).map(|i| (ObjectId(i), Point::new(rng.gen(), rng.gen()))));
+        let mut out = CycleDeltas::default();
+        server
+            .process_cycle_with_deltas_into(
+                &[],
+                &[
+                    SpecEvent::Install {
+                        id: QueryId(0),
+                        spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.3, 0.3))),
+                        k: 4,
+                    },
+                    SpecEvent::Install {
+                        id: QueryId(1),
+                        spec: AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.6, 0.6), 0.3)),
+                        k: 1,
+                    },
+                ],
+                &mut out,
+            )
+            .unwrap();
+        let mut replicas = [Replica::new(), Replica::new()];
+        for (qid, delta) in &out.deltas {
+            replicas[qid.0 as usize].apply(delta);
+        }
+        for _ in 0..15 {
+            let events: Vec<ObjectEvent> = (0..6)
+                .map(|_| ObjectEvent::Move {
+                    id: ObjectId(rng.gen_range(0..40u32)),
+                    to: Point::new(rng.gen(), rng.gen()),
+                })
+                .collect();
+            let mut dedup = events.clone();
+            dedup.sort_by_key(|e| match e {
+                ObjectEvent::Move { id, .. } => id.0,
+                _ => u32::MAX,
+            });
+            dedup.dedup_by_key(|e| match e {
+                ObjectEvent::Move { id, .. } => id.0,
+                _ => u32::MAX,
+            });
+            server
+                .process_cycle_with_deltas_into(&dedup, &[], &mut out)
+                .unwrap();
+            for (qid, delta) in &out.deltas {
+                replicas[qid.0 as usize].apply(delta);
+            }
+            for (i, replica) in replicas.iter().enumerate() {
+                assert_eq!(
+                    replica.result(),
+                    server.result(QueryId(i as u32)).unwrap(),
+                    "replica {i} diverged (shards={shards})"
+                );
+            }
+        }
+        server.check_invariants();
+    }
+}
