@@ -372,16 +372,22 @@ impl SeaCnnMonitor {
             regions.remove(cell, id);
         }
         let bd = st.best.best_dist();
+        // Refill the mark list in place: the circle cover streams straight
+        // out of the allocation-free `cells_in_circle` iterator into the
+        // query's reused buffer, so steady-state re-marking allocates
+        // nothing (this runs for every affected query every cycle).
+        st.marked.clear();
         if bd.is_finite() {
             starved.remove(&id);
-            st.marked = grid.cells_intersecting_circle(st.q, bd);
+            st.marked.extend(grid.cells_in_circle(st.q, bd));
         } else {
             // Fewer than k objects exist: the whole workspace influences
             // the result. Departures/disappearances are caught through the
             // occupied-cell marks; arrivals anywhere are caught through the
             // starved set in `classify_arrival`.
             starved.insert(id);
-            st.marked = grid.occupied_cells().chain([grid.cell_of(st.q)]).collect();
+            st.marked
+                .extend(grid.occupied_cells().chain([grid.cell_of(st.q)]));
         }
         for &cell in &st.marked {
             regions.add(cell, id);

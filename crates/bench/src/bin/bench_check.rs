@@ -13,11 +13,11 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_server, check_shards, parse_deltas_baseline,
-    parse_grid_baseline, parse_server_baseline, parse_shards_baseline, GateReport,
-    DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_regrid, check_server, check_shards, parse_deltas_baseline,
+    parse_grid_baseline, parse_regrid_baseline, parse_server_baseline, parse_shards_baseline,
+    GateReport, DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, server, shards};
+use cpm_bench::{deltas, grid_storage, regrid, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -118,6 +118,37 @@ fn main() {
     }
     println!("   unified speedup: {:.2}x", run.unified_speedup);
     failed |= print_report(check_server(&run, server_baseline, tolerance));
+
+    // Gate 5: adaptive re-gridding vs a fixed provisioned δ on the
+    // drifting-hotspot stream. Both lanes run in this process under the
+    // paired protocol, so the >= 1.2x acceptance bar (minus a fixed noise
+    // margin) and the migration-pause bound are machine-independent and
+    // never widened by BENCH_CHECK_TOLERANCE.
+    let cfg = regrid::RegridBenchConfig::reduced();
+    let regrid_baseline = std::fs::read_to_string(format!("{root}/BENCH_regrid.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_regrid_baseline);
+    println!(
+        "\n## adaptive re-grid (reduced: N={}->{}, queries={}, {} cycles, provisioned {}²)",
+        cfg.n_base,
+        (cfg.n_base as f64 * cfg.peak_factor) as usize,
+        cfg.n_queries,
+        cfg.cycles,
+        cfg.provisioned_dim()
+    );
+    let run = regrid::run(&cfg);
+    for m in &run.modes {
+        println!(
+            "   {:>8}: {:>8.3} ms/cycle   {:>6} result changes",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+    }
+    println!(
+        "   adaptive speedup: {:.2}x ({} regrid(s), dim {} -> {})",
+        run.adaptive_speedup, run.regrids, run.fixed_dim, run.final_dim
+    );
+    failed |= print_report(check_regrid(&run, cfg.n_base, regrid_baseline, tolerance));
 
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");

@@ -1,0 +1,75 @@
+//! Record the adaptive re-grid baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_regrid
+//! ```
+//!
+//! Runs the fixed-δ vs adaptive comparison at the acceptance scale (10K
+//! base objects breathing to 100K, 500 hotspot-tracking queries — see
+//! [`cpm_bench::regrid`]) **three times** and records the median-speedup
+//! run to `BENCH_regrid.json` at the workspace root. The recorded
+//! `adaptive_speedup` is the PR acceptance number (bar: ≥ 1.2×) and the
+//! curve `bench_check` compares reduced-scale re-runs against.
+
+use cpm_bench::regrid::{render_json, run, RegridBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = RegridBenchConfig::default();
+    println!(
+        "bench_regrid: N={}→{}, queries={}, k={}, {} cycles (+{} warmup), \
+         provisioned dim {}², {} shard(s), median of {RUNS} runs",
+        cfg.n_base,
+        (cfg.n_base as f64 * cfg.peak_factor) as usize,
+        cfg.n_queries,
+        cfg.k,
+        cfg.cycles,
+        cfg.warmup_cycles,
+        cfg.provisioned_dim(),
+        cfg.shards
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: speedup {:.2}x (fixed {:.3} ms/cycle, adaptive {:.3} ms/cycle, \
+                 {} regrid(s), dim {} -> {})",
+                i + 1,
+                r.adaptive_speedup,
+                r.modes[0].ms_per_cycle,
+                r.modes[1].ms_per_cycle,
+                r.regrids,
+                r.fixed_dim,
+                r.final_dim
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.adaptive_speedup
+            .partial_cmp(&b.adaptive_speedup)
+            .expect("finite speedups")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    for m in &result.modes {
+        println!(
+            "  {:>8}: {:>8.3} ms/cycle (max {:>8.3})   {} changes",
+            m.mode, m.ms_per_cycle, m.max_cycle_ms, m.result_changes
+        );
+    }
+    println!(
+        "  adaptive speedup (median run): {:.2}x; {} regrid(s), {} objects migrated, \
+         slowest regrid cycle {:.3} ms",
+        result.adaptive_speedup,
+        result.regrids,
+        result.regrid_objects_migrated,
+        result.max_regrid_cycle_ms
+    );
+
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regrid.json");
+    std::fs::write(path, &json).expect("write BENCH_regrid.json");
+    println!("wrote {path}");
+}

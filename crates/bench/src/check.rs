@@ -30,6 +30,13 @@
 //!   docs for the measured scatter that sizes it), never widened by the
 //!   cross-host `tolerance`. Slow creep below that ceiling is caught by
 //!   the checked-in-curve comparison within `tolerance`.
+//! * **Adaptive re-grid** (`BENCH_regrid.json`): on the drifting-hotspot
+//!   stream the adaptive lane must re-grid at all, beat the fixed
+//!   provisioned-δ lane by ≥ 1.2× (same-process paired ratio, fixed noise
+//!   margin, never `tolerance`-widened), and keep its slowest re-grid
+//!   cycle within [`REGRID_PAUSE_FACTOR`] median cycles; the recorded
+//!   curve binds only at equal scale (speedup grows with the
+//!   base-vs-peak mismatch).
 //!
 //! The comparator is deliberately reproducible locally:
 //! `cargo run --release -p cpm-bench --bin bench_check`.
@@ -401,6 +408,110 @@ pub fn check_server(
     report
 }
 
+/// Required adaptive-vs-fixed speedup on the drifting-hotspot workload
+/// (the PR acceptance bar recorded in `BENCH_regrid.json`): cost-model
+/// re-gridding must clearly beat the resolution provisioned for the base
+/// population once the stream outgrows it.
+pub const REQUIRED_REGRID_SPEEDUP: f64 = 1.2;
+
+/// Multiplicative noise allowance on the re-grid speedup bar. Both lanes
+/// run in one process under the paired-cycle protocol and the estimator
+/// is a median of per-pair ratios, but reduced-scale cycles on busy
+/// shared hosts still scatter the run-level median by a few percent.
+/// Like every same-process bar, it is **never** widened by the cross-host
+/// `tolerance`.
+pub const REGRID_NOISE_MARGIN: f64 = 0.10;
+
+/// Per-re-grid migration-cost bound: the slowest cycle that applied a
+/// re-grid may cost at most this many median adaptive cycles. A re-grid
+/// migrates every object and recomputes every query, so it is never
+/// free — but it must stay amortizable over the cooldown window (the
+/// default cooldown is 8–16 cycles; a pause an order of magnitude above
+/// that stops being "online").
+pub const REGRID_PAUSE_FACTOR: f64 = 25.0;
+
+/// The context a `BENCH_regrid.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegridBaseline {
+    /// Recorded median `fixed ms / adaptive ms` speedup.
+    pub adaptive_speedup: f64,
+    /// Base population of the recording run. The achievable speedup grows
+    /// with the base-vs-peak resolution mismatch, so the curve is only
+    /// comparable between runs at the **same scale** (mirroring the shard
+    /// gate, whose baseline curve only binds on comparable hosts).
+    pub n_base: usize,
+}
+
+/// Parse the speedup and recording scale of a `BENCH_regrid.json`
+/// document.
+pub fn parse_regrid_baseline(json: &str) -> Option<RegridBaseline> {
+    let adaptive_speedup = json
+        .lines()
+        .find(|line| line.contains("adaptive_speedup"))
+        .and_then(|line| field_f64(line, "adaptive_speedup"))?;
+    let n_base = json
+        .lines()
+        .find(|line| line.contains("\"n_base\""))
+        .and_then(|line| field_f64(line, "n_base"))? as usize;
+    Some(RegridBaseline {
+        adaptive_speedup,
+        n_base,
+    })
+}
+
+/// Gate the re-grid benchmark: the adaptive lane must have re-gridded at
+/// all, must clear the ≥ 1.2× speedup bar (minus the fixed same-process
+/// noise margin, never widened by `tolerance`), its slowest re-grid cycle
+/// must stay within [`REGRID_PAUSE_FACTOR`] median adaptive cycles, and
+/// the speedup must stay within `tolerance` of the checked-in baseline
+/// curve when one was recorded at the same scale (`measured_n_base`).
+pub fn check_regrid(
+    run: &crate::regrid::RegridBenchRun,
+    measured_n_base: usize,
+    baseline: Option<RegridBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if run.regrids == 0 {
+        report
+            .failures
+            .push("adaptive lane never re-gridded on the drift workload".into());
+        return report;
+    }
+    report.lines.push(format!(
+        "adaptive lane: {} regrid(s), dim {} -> {}, {} objects migrated",
+        run.regrids, run.fixed_dim, run.final_dim, run.regrid_objects_migrated
+    ));
+    report.compare_at_least(
+        "adaptive-vs-fixed speedup on the drift workload",
+        run.adaptive_speedup,
+        REQUIRED_REGRID_SPEEDUP / (1.0 + REGRID_NOISE_MARGIN),
+    );
+    let adaptive_ms = run.modes[1].ms_per_cycle;
+    report.compare(
+        "slowest re-grid cycle vs median adaptive cycle (pause bound)",
+        run.max_regrid_cycle_ms,
+        REGRID_PAUSE_FACTOR * adaptive_ms,
+        adaptive_ms,
+    );
+    match baseline {
+        Some(b) if b.n_base == measured_n_base => report.compare_at_least(
+            "adaptive speedup vs checked-in baseline curve",
+            run.adaptive_speedup,
+            b.adaptive_speedup / (1.0 + tolerance),
+        ),
+        Some(b) => report.lines.push(format!(
+            "baseline recorded at N={} (this run: N={measured_n_base}): speedups are only \
+             comparable at equal scale, curve comparison skipped",
+            b.n_base
+        )),
+        None => report
+            .lines
+            .push("no BENCH_regrid.json baseline: curve comparison skipped".into()),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +712,88 @@ mod tests {
         assert!(check_server(&server_run(2.2), baseline, 0.25).passed());
         // Clears the hard bar but far below our own recorded curve.
         assert!(!check_server(&server_run(1.5), baseline, 0.25).passed());
+    }
+
+    fn regrid_run(speedup: f64, regrids: u64, pause_ms: f64) -> crate::regrid::RegridBenchRun {
+        let m = crate::regrid::RegridMeasurement {
+            mode: "fixed",
+            ms_per_cycle: 10.0,
+            max_cycle_ms: 12.0,
+            result_changes: 40,
+        };
+        crate::regrid::RegridBenchRun {
+            modes: [
+                m,
+                crate::regrid::RegridMeasurement {
+                    mode: "adaptive",
+                    ms_per_cycle: 10.0 / speedup,
+                    ..m
+                },
+            ],
+            adaptive_speedup: speedup,
+            fixed_dim: 32,
+            final_dim: 128,
+            regrids,
+            regrid_objects_migrated: 10_000 * regrids,
+            max_regrid_cycle_ms: pause_ms,
+        }
+    }
+
+    #[test]
+    fn regrid_gate_enforces_the_speedup_bar() {
+        assert!(check_regrid(&regrid_run(2.0, 2, 20.0), 2_000, None, 0.25).passed());
+        // Just under the bar but inside the fixed noise margin: ok.
+        assert!(check_regrid(&regrid_run(1.12, 2, 20.0), 2_000, None, 0.25).passed());
+        assert!(!check_regrid(&regrid_run(1.0, 2, 20.0), 2_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_regrid(&regrid_run(1.0, 2, 20.0), 2_000, None, 10.0).passed());
+        // Never re-gridding at all fails regardless of timings.
+        assert!(!check_regrid(&regrid_run(2.0, 0, 0.0), 2_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn regrid_gate_bounds_the_migration_pause() {
+        // Adaptive median is 10/2 = 5 ms; the pause bound is 25x that.
+        assert!(check_regrid(&regrid_run(2.0, 1, 100.0), 2_000, None, 0.25).passed());
+        assert!(!check_regrid(&regrid_run(2.0, 1, 200.0), 2_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn regrid_gate_compares_against_the_baseline_curve() {
+        let baseline = Some(RegridBaseline {
+            adaptive_speedup: 3.0,
+            n_base: 2_000,
+        });
+        assert!(check_regrid(&regrid_run(2.8, 1, 20.0), 2_000, baseline, 0.25).passed());
+        // Clears the hard bar but far below our own recorded curve.
+        assert!(!check_regrid(&regrid_run(1.5, 1, 20.0), 2_000, baseline, 0.25).passed());
+        // A baseline recorded at another scale pins nothing: achievable
+        // speedup grows with the base-vs-peak mismatch, so the curve only
+        // binds at equal n_base.
+        let full_scale = Some(RegridBaseline {
+            adaptive_speedup: 3.0,
+            n_base: 10_000,
+        });
+        assert!(check_regrid(&regrid_run(1.5, 1, 20.0), 2_000, full_scale, 0.25).passed());
+    }
+
+    #[test]
+    fn regrid_baseline_roundtrips_through_json() {
+        let cfg = crate::regrid::RegridBenchConfig {
+            n_base: 200,
+            peak_factor: 4.0,
+            n_queries: 8,
+            k: 2,
+            cycles: 8,
+            warmup_cycles: 1,
+            check_every: 2,
+            cooldown: 2,
+            ..crate::regrid::RegridBenchConfig::default()
+        };
+        let run = crate::regrid::run(&cfg);
+        let json = crate::regrid::render_json(&cfg, &run);
+        let parsed = parse_regrid_baseline(&json).expect("speedup recorded");
+        assert!((parsed.adaptive_speedup - run.adaptive_speedup).abs() < 1e-3);
     }
 
     #[test]

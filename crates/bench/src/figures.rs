@@ -638,6 +638,81 @@ pub fn skew(scale: f64) -> Table {
     t
 }
 
+/// Adaptive-resolution study: fixed-δ vs cost-model-driven re-gridding on
+/// the drifting-hotspot stream ([`cpm_gen::drift`]), whose population
+/// breathes between a base and a peak count so the optimal cell side
+/// moves mid-run. Both lanes replay the identical input; the fixed lane
+/// stays at the resolution right for the *base* population (what a
+/// capacity plan would have provisioned), the adaptive lane follows
+/// [`cpm_core::RegridPolicy::auto`].
+pub fn drift(scale: f64) -> Table {
+    let mut params = base_params(scale);
+    // Base population an order of magnitude below the paper default; the
+    // stream then breathes up to the full default and back.
+    params.n_objects = (params.n_objects / 10).max(200);
+    params.n_queries = (params.n_queries / 10).max(20);
+    params.workload = WorkloadKind::Drift { peak_factor: 10.0 };
+    // Provision the fixed lane for the base population, as a static
+    // deployment would.
+    let base_model = cpm_core::CostModel {
+        n_objects: params.n_objects,
+        n_queries: params.n_queries,
+        k: params.k,
+        delta: 0.0, // ignored by optimal_dim
+        f_obj: params.f_obj,
+        f_qry: params.f_qry,
+    };
+    params.grid_dim = base_model.optimal_dim(16, 1024);
+    let input = SimulationInput::generate(&params);
+
+    let mut t = Table::new(
+        "Adaptive resolution — fixed δ vs cost-model re-gridding (drifting hotspot)",
+        "engine",
+        "per run",
+        vec![
+            "ms/cycle".into(),
+            "cell accesses".into(),
+            "regrids".into(),
+            "final dim".into(),
+        ],
+    );
+    let mut fixed = cpm_core::ShardedKnnMonitor::new(params.grid_dim, 1);
+    let fixed_report = run_boxed(&mut fixed, &input);
+    t.push_row(
+        format!("fixed {}²", params.grid_dim),
+        vec![
+            fixed_report.millis_per_cycle(),
+            fixed_report.metrics.cell_accesses as f64,
+            0.0,
+            params.grid_dim as f64,
+        ],
+    );
+    let mut adaptive = cpm_core::ShardedKnnMonitor::new(params.grid_dim, 1);
+    adaptive.set_regrid_policy(cpm_core::RegridPolicy::Auto(cpm_core::AutoRegridConfig {
+        check_every: 4,
+        cooldown: 8,
+        ..cpm_core::AutoRegridConfig::default()
+    }));
+    let adaptive_report = run_boxed(&mut adaptive, &input);
+    t.push_row(
+        "adaptive",
+        vec![
+            adaptive_report.millis_per_cycle(),
+            adaptive_report.metrics.cell_accesses as f64,
+            adaptive_report.metrics.regrids as f64,
+            adaptive.grid().dim() as f64,
+        ],
+    );
+    note_params(&mut t, &params);
+    t.note(format!(
+        "population breathes {}→{} and back; results are bit-identical between the lanes \
+         (re-grids are observationally invisible)",
+        params.n_objects,
+        (params.n_objects as f64 * 10.0) as usize
+    ));
+    t
+}
+
 /// Shard-scaling study: CPU time per cycle vs shard count for the sharded
 /// parallel engine, with the sequential engine (1 shard) as baseline. The
 /// speedup column is machine-dependent — the note records the host's

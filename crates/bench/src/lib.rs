@@ -6,9 +6,10 @@
 //!   extensions and the ablation study. Each returns a printable
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
-//! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] — the
-//!   micro-benchmarks behind the `BENCH_grid.json` / `BENCH_shards.json` /
-//!   `BENCH_deltas.json` / `BENCH_server.json` baselines.
+//! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
+//!   — the micro-benchmarks behind the `BENCH_grid.json` /
+//!   `BENCH_shards.json` / `BENCH_deltas.json` / `BENCH_server.json` /
+//!   `BENCH_regrid.json` baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -25,6 +26,7 @@ pub mod deltas;
 pub mod figures;
 pub mod grid_storage;
 mod movers;
+pub mod regrid;
 pub mod server;
 pub mod shards;
 pub mod table;

@@ -106,6 +106,41 @@ impl CostModel {
             + self.n_queries as f64 * self.f_qry * self.time_moving_query()
             + self.n_queries as f64 * (1.0 - self.f_qry) * self.time_static_query()
     }
+
+    /// The power-of-two grid resolution in `[min_dim, max_dim]` minimizing
+    /// the predicted per-cycle cost [`CostModel::time_cycle`] for this
+    /// model's workload (its own `delta` is ignored). Ties break toward
+    /// the coarser grid, which is also the cheaper one in space.
+    ///
+    /// This is the Figure 4.1 discussion made operational: it is what the
+    /// adaptive re-grid policy ([`crate::RegridPolicy::Auto`]) evaluates
+    /// at cycle boundaries.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ min_dim ≤ max_dim ≤ 4096`.
+    pub fn optimal_dim(&self, min_dim: u32, max_dim: u32) -> u32 {
+        assert!(
+            min_dim >= 1 && min_dim <= max_dim && max_dim <= 4096,
+            "dim range out of bounds: [{min_dim}, {max_dim}]"
+        );
+        let mut best = (min_dim, f64::INFINITY);
+        let mut dim = min_dim;
+        loop {
+            let candidate = CostModel {
+                delta: 1.0 / dim as f64,
+                ..*self
+            };
+            let cost = candidate.time_cycle();
+            if cost < best.1 {
+                best = (dim, cost);
+            }
+            match dim.checked_mul(2) {
+                Some(next) if next <= max_dim => dim = next,
+                _ => break,
+            }
+        }
+        best.0
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +197,41 @@ mod tests {
             + 5_000.0 * 0.3 * m.time_moving_query()
             + 5_000.0 * 0.7 * m.time_static_query();
         assert!((m.time_cycle() - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimal_dim_refines_as_the_population_grows() {
+        let small = CostModel {
+            n_objects: 2_000,
+            ..model(1.0)
+        };
+        let large = CostModel {
+            n_objects: 200_000,
+            ..model(1.0)
+        };
+        let d_small = small.optimal_dim(16, 1024);
+        let d_large = large.optimal_dim(16, 1024);
+        assert!(
+            d_large > d_small,
+            "optimum must refine: {d_small} vs {d_large}"
+        );
+        // The optimum is genuinely the argmin over the sweep.
+        for dim in [16u32, 32, 64, 128, 256, 512, 1024] {
+            let candidate = CostModel {
+                delta: 1.0 / dim as f64,
+                ..large
+            };
+            let opt = CostModel {
+                delta: 1.0 / d_large as f64,
+                ..large
+            };
+            assert!(
+                opt.time_cycle() <= candidate.time_cycle(),
+                "beaten by {dim}"
+            );
+        }
+        // A degenerate one-point range returns its only member.
+        assert_eq!(large.optimal_dim(64, 64), 64);
     }
 
     #[test]

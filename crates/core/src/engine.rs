@@ -48,6 +48,7 @@ use crate::heap::{HeapEntry, SearchHeap};
 use crate::inlist::InList;
 use crate::neighbors::{Neighbor, NeighborList};
 use crate::partition::{Direction, Pinwheel};
+use crate::regrid::{RegridController, RegridPolicy};
 
 /// Query geometry: everything the CPM machinery needs to know about a
 /// query in order to search for it and maintain its result.
@@ -268,6 +269,16 @@ pub(crate) struct EngineCore<S: QuerySpec> {
     /// wrappers' `process_cycle_with_deltas`).
     collect_deltas: bool,
     deltas: Vec<(QueryId, NeighborDelta)>,
+    /// Queries whose result changed during a re-grid re-registration
+    /// ([`EngineCore::rebind_grid`]) and have not yet been folded into a
+    /// cycle's changed list. Empty except across exact-distance ties: the
+    /// recomputed result is the canonical `(dist, id)`-minimal set, which
+    /// the maintained result already is.
+    regrid_changed: Vec<QueryId>,
+    /// Pre-regrid result snapshots of those queries (kept only with delta
+    /// capture on), so the next cycle's delta can use the list subscribers
+    /// actually hold as its base.
+    regrid_prelists: Vec<(QueryId, Vec<Neighbor>)>,
 }
 
 impl<S: QuerySpec> EngineCore<S> {
@@ -283,6 +294,8 @@ impl<S: QuerySpec> EngineCore<S> {
             snapshot: Vec::new(),
             collect_deltas: false,
             deltas: Vec::new(),
+            regrid_changed: Vec::new(),
+            regrid_prelists: Vec::new(),
         }
     }
 
@@ -340,6 +353,86 @@ impl<S: QuerySpec> EngineCore<S> {
 
     pub(crate) fn take_metrics(&mut self) -> Metrics {
         self.metrics.take()
+    }
+
+    /// `(query count, Σk)` over the managed queries, with each `k` capped
+    /// at 256 — the paper's largest experimental `k` — so the range
+    /// monitors' unbounded-result sentinel cannot poison the cost model's
+    /// average.
+    pub(crate) fn k_stats(&self) -> (usize, usize) {
+        (
+            self.queries.len(),
+            self.queries.values().map(|st| st.k().min(256)).sum(),
+        )
+    }
+
+    /// Re-register every managed query against a re-gridded index: drop
+    /// all influence registrations (their packed cell ids are meaningless
+    /// at the new δ), then recompute each query from scratch **in
+    /// ascending query-id order** — the same deterministic order a fresh
+    /// engine installs them in, so the post-regrid book-keeping (visit
+    /// lists, heaps, influence prefixes, results) is bit-identical to a
+    /// from-scratch build at the new resolution.
+    ///
+    /// Results are invariant in practice (the maintained list and the
+    /// recomputed list are both the canonical `(dist, id)`-minimal set);
+    /// if an exact-distance tie ever resolves differently at the new δ,
+    /// the change is parked in `regrid_changed`/`regrid_prelists` and
+    /// folded into the next cycle's changed list and delta stream by
+    /// [`EngineCore::finish_regrid`].
+    pub(crate) fn rebind_grid(&mut self, grid: &Grid) {
+        self.influence.reset(grid.dim());
+        self.qid_buf.clear();
+        self.qid_buf.extend(self.queries.keys().copied());
+        self.qid_buf.sort_unstable();
+        let qids = std::mem::take(&mut self.qid_buf);
+        for &qid in &qids {
+            let st = self.queries.get_mut(&qid).expect("listed query");
+            st.influence_len = 0;
+            let prev: Vec<Neighbor> = st.best.neighbors().to_vec();
+            Self::compute_from_scratch(grid, &mut self.influence, st, &mut self.metrics);
+            self.metrics.regrid_queries_recomputed += 1;
+            if prev != st.best.neighbors() && !self.regrid_changed.contains(&qid) {
+                // First pre-regrid list wins: it is what subscribers hold.
+                self.regrid_changed.push(qid);
+                if self.collect_deltas {
+                    self.regrid_prelists.push((qid, prev));
+                }
+            }
+        }
+        self.qid_buf = qids;
+    }
+
+    /// Fold any re-grid-induced result changes into the finishing cycle's
+    /// outputs. For each parked query the authoritative delta is
+    /// `diff(pre-regrid list, current list)` — it *replaces* whatever the
+    /// incremental path produced this cycle, whose base (the post-regrid
+    /// list) is not what subscribers hold. Runs at the end of every
+    /// cycle; a no-op unless a re-grid actually changed a result
+    /// (exact-distance ties only).
+    pub(crate) fn finish_regrid(&mut self, changed: &mut Vec<QueryId>) {
+        if self.regrid_changed.is_empty() {
+            return;
+        }
+        for (qid, pre) in std::mem::take(&mut self.regrid_prelists) {
+            // `[]` if the query was terminated by this cycle's events.
+            let cur: &[Neighbor] = self.queries.get(&qid).map_or(&[], |st| st.best.neighbors());
+            let delta = NeighborDelta::diff(self.epoch, &pre, cur);
+            if let Some(at) = self.deltas.iter().position(|(q, _)| *q == qid) {
+                if delta.is_empty() {
+                    self.deltas.remove(at);
+                } else {
+                    self.deltas[at].1 = delta;
+                }
+            } else if !delta.is_empty() {
+                self.deltas.push((qid, delta));
+            }
+        }
+        for qid in std::mem::take(&mut self.regrid_changed) {
+            if self.queries.contains_key(&qid) && !changed.contains(&qid) {
+                changed.push(qid);
+            }
+        }
     }
 
     /// Query-table memory units of all managed queries (Section 4.1).
@@ -817,6 +910,7 @@ pub struct CpmEngine<S: QuerySpec> {
     grid: Grid,
     core: EngineCore<S>,
     records: Vec<UpdateRecord>,
+    regrid: RegridController,
 }
 
 impl<S: QuerySpec> CpmEngine<S> {
@@ -826,6 +920,68 @@ impl<S: QuerySpec> CpmEngine<S> {
             grid: Grid::new(dim),
             core: EngineCore::new(dim),
             records: Vec::new(),
+            regrid: RegridController::new(RegridPolicy::Manual),
+        }
+    }
+
+    /// Replace the re-grid policy (default: [`RegridPolicy::Manual`]).
+    /// With [`RegridPolicy::Auto`], the policy is evaluated at the start
+    /// of every processing cycle against the observed workload.
+    pub fn set_regrid_policy(&mut self, policy: RegridPolicy) {
+        self.regrid.set_policy(policy);
+    }
+
+    /// The active re-grid policy.
+    #[must_use]
+    pub fn regrid_policy(&self) -> &RegridPolicy {
+        self.regrid.policy()
+    }
+
+    /// Re-grid to a new resolution *now*: rebuild the cell index from the
+    /// (untouched) object store and re-register every query against the
+    /// new δ, in one deterministic pass. Results, changed lists and delta
+    /// streams stay bit-identical to an engine built at `new_dim` from
+    /// scratch. Returns the number of objects migrated (0 if `new_dim` is
+    /// the current dimension).
+    ///
+    /// # Panics
+    /// Panics if `new_dim == 0` or `new_dim > 4096`.
+    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+        if new_dim == self.grid.dim() {
+            return 0;
+        }
+        let migrated = self.grid.regrid(new_dim);
+        let metrics = self.core.metrics_mut();
+        metrics.regrids += 1;
+        metrics.regrid_objects_migrated += migrated as u64;
+        self.core.rebind_grid(&self.grid);
+        migrated
+    }
+
+    /// Evaluate the automatic policy at the cycle boundary (phase 0 of a
+    /// processing cycle). Free under the default [`RegridPolicy::Manual`]
+    /// — the observation and the O(queries) `k` sweep only run when a
+    /// policy could act on them.
+    fn maybe_auto_regrid(&mut self, object_events: usize, query_events: usize) {
+        if !self.regrid.policy().is_auto() {
+            return;
+        }
+        self.regrid.observe_cycle(
+            object_events,
+            query_events,
+            self.grid.len(),
+            self.core.query_count(),
+        );
+        let (n_queries, sum_k) = self.core.k_stats();
+        let avg_k = sum_k / n_queries.max(1);
+        if let Some(dim) = self.regrid.decide(
+            self.core.epoch(),
+            self.grid.len(),
+            n_queries,
+            avg_k,
+            self.grid.dim(),
+        ) {
+            self.regrid_to(dim);
         }
     }
 
@@ -929,6 +1085,9 @@ impl<S: QuerySpec> CpmEngine<S> {
         query_events: &[SpecEvent<S>],
         changed: &mut Vec<QueryId>,
     ) {
+        // Phase 0: adaptive re-grid at the cycle boundary.
+        self.maybe_auto_regrid(object_events.len(), query_events.len());
+
         self.core.begin_cycle(query_events.iter().map(|ev| ev.id()));
 
         // Phase 1: sequential grid ingest.
@@ -940,6 +1099,7 @@ impl<S: QuerySpec> CpmEngine<S> {
         self.core.apply_records(&self.grid, &self.records, changed);
         self.core
             .apply_query_events(&self.grid, query_events, changed);
+        self.core.finish_regrid(changed);
     }
 
     /// Turn per-cycle delta capture on (see

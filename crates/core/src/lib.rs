@@ -33,6 +33,12 @@
 //!   inside the maintenance phase and merged deterministically across
 //!   shards; the wire format of the [`cpm-sub`] subscription layer.
 //! * [`analysis`] — the closed-form cost model of Section 4.1.
+//! * [`regrid`] — cost-model-driven **online re-gridding**: the engines
+//!   re-evaluate their grid resolution against the observed workload at
+//!   cycle boundaries ([`RegridPolicy`]), migrating the cell index and
+//!   re-registering queries in one deterministic pass while results,
+//!   changed lists and delta streams stay bit-identical to a from-scratch
+//!   build at the new δ.
 //!
 //! [`cpm-sub`]: ../cpm_sub/index.html
 //!
@@ -55,6 +61,7 @@ pub mod knn;
 pub mod neighbors;
 pub mod partition;
 pub mod range;
+pub mod regrid;
 pub mod rnn;
 pub mod server;
 pub mod shard;
@@ -70,6 +77,7 @@ pub use knn::{CpmConfig, CpmKnnMonitor, KnnQueryState};
 pub use neighbors::{Neighbor, NeighborList};
 pub use partition::{Direction, Pinwheel, Strip};
 pub use range::{CpmRangeMonitor, RangeQuery, Region};
+pub use regrid::{AutoRegridConfig, RegridController, RegridPolicy};
 pub use rnn::{CpmRnnMonitor, RnnQuery};
 pub use server::{
     AnnHandle, ConstrainedHandle, CpmServer, CpmServerBuilder, KnnHandle, QueryHandle, RangeHandle,

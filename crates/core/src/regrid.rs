@@ -1,0 +1,362 @@
+//! Online re-gridding policy: when should the engine change its cell side
+//! `δ`?
+//!
+//! The Section 4.1 cost model makes CPM's per-cycle cost an explicit
+//! function of `δ` given the observed workload (object count `N`, query
+//! count `n`, result size `k`, agilities `f_obj`/`f_qry`) — yet a grid
+//! built at a fixed `δ` serves a workload that grows, shrinks or drifts at
+//! a stale resolution forever. [`RegridPolicy`] closes that loop:
+//!
+//! * [`RegridPolicy::Manual`] — never re-grid automatically; the operator
+//!   calls `regrid_to` explicitly.
+//! * [`RegridPolicy::Auto`] — at cycle boundaries (every
+//!   [`AutoRegridConfig::check_every`] cycles), plug the *observed*
+//!   workload into the [`CostModel`], find the power-of-two resolution
+//!   minimizing the predicted per-cycle cost, and re-grid when the
+//!   predicted improvement clears a **hysteresis** factor — so an
+//!   oscillating load sitting near a cost-curve crossover does not thrash
+//!   — and a **cooldown** has elapsed since the last re-grid.
+//!
+//! Agilities are not knowable a priori, so the engine feeds every cycle's
+//! event-batch sizes into [`RegridController::observe_cycle`], which keeps
+//! exponential moving averages of `f_obj` and `f_qry`. All controller
+//! inputs are functions of the update stream and the engine's own state —
+//! never of thread scheduling — so sharded engines make **identical
+//! decisions at every shard count**, keeping the determinism contract of
+//! [`crate::ShardedCpmEngine`].
+//!
+//! The decision machinery deliberately reuses the paper's uniform-data
+//! model as-is: under skew it *underestimates* the benefit of refining
+//! (cell occupancy near a hotspot is far above `N·δ²`), so the hysteresis
+//! bar errs toward staying put, never toward thrashing.
+
+use crate::analysis::CostModel;
+
+/// Default smallest resolution the auto policy will pick.
+const DEFAULT_MIN_DIM: u32 = 16;
+/// Default largest resolution the auto policy will pick (the paper's
+/// largest evaluated granularity).
+const DEFAULT_MAX_DIM: u32 = 1024;
+/// Default evaluation period, in processing cycles.
+const DEFAULT_CHECK_EVERY: u64 = 8;
+/// Default hysteresis: predicted cost at the current `δ` must exceed the
+/// predicted cost at the candidate `δ` by this factor.
+const DEFAULT_HYSTERESIS: f64 = 1.2;
+/// Default cooldown between applied re-grids, in processing cycles.
+const DEFAULT_COOLDOWN: u64 = 16;
+
+/// EMA smoothing for the observed agilities.
+const AGILITY_ALPHA: f64 = 0.25;
+
+/// Configuration of the cost-model-driven automatic re-grid policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoRegridConfig {
+    /// Smallest candidate resolution (cells per axis).
+    pub min_dim: u32,
+    /// Largest candidate resolution (cells per axis).
+    pub max_dim: u32,
+    /// Evaluate the model every this many processing cycles.
+    pub check_every: u64,
+    /// Re-grid only when `predicted_cost(current) ≥ hysteresis ×
+    /// predicted_cost(candidate)` (must be `> 1`): the anti-thrashing
+    /// dead band for loads oscillating around a cost crossover.
+    pub hysteresis: f64,
+    /// Minimum number of cycles between two applied re-grids.
+    pub cooldown: u64,
+}
+
+impl Default for AutoRegridConfig {
+    fn default() -> Self {
+        Self {
+            min_dim: DEFAULT_MIN_DIM,
+            max_dim: DEFAULT_MAX_DIM,
+            check_every: DEFAULT_CHECK_EVERY,
+            hysteresis: DEFAULT_HYSTERESIS,
+            cooldown: DEFAULT_COOLDOWN,
+        }
+    }
+}
+
+/// When (if ever) an engine re-grids on its own; see the
+/// [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RegridPolicy {
+    /// Never re-grid automatically (the default). `regrid_to` remains
+    /// available for operator-driven resolution changes.
+    #[default]
+    Manual,
+    /// Cost-model-driven automatic re-gridding.
+    Auto(AutoRegridConfig),
+}
+
+impl RegridPolicy {
+    /// The automatic policy with default tuning
+    /// ([`AutoRegridConfig::default`]).
+    pub fn auto() -> Self {
+        RegridPolicy::Auto(AutoRegridConfig::default())
+    }
+
+    /// The manual policy.
+    pub fn manual() -> Self {
+        RegridPolicy::Manual
+    }
+
+    /// `true` for [`RegridPolicy::Auto`].
+    pub fn is_auto(&self) -> bool {
+        matches!(self, RegridPolicy::Auto(_))
+    }
+
+    /// Check the policy's configuration, so a bad config fails where it
+    /// is written rather than inside a later `process_cycle`.
+    ///
+    /// # Panics
+    /// For [`RegridPolicy::Auto`], panics unless
+    /// `1 ≤ min_dim ≤ max_dim ≤ 4096` (the grid's supported range),
+    /// `hysteresis > 1` (a dead band of 1 or less re-grids on every
+    /// eligible evaluation) and `check_every ≥ 1`.
+    pub(crate) fn validate(&self) {
+        if let RegridPolicy::Auto(cfg) = self {
+            assert!(
+                cfg.min_dim >= 1 && cfg.min_dim <= cfg.max_dim && cfg.max_dim <= 4096,
+                "auto re-grid dim range out of bounds: [{}, {}]",
+                cfg.min_dim,
+                cfg.max_dim
+            );
+            assert!(
+                cfg.hysteresis > 1.0,
+                "auto re-grid hysteresis must exceed 1 (got {})",
+                cfg.hysteresis
+            );
+            assert!(cfg.check_every >= 1, "check_every must be at least 1");
+        }
+    }
+}
+
+/// The per-engine decision state behind a [`RegridPolicy`]: observed
+/// agilities plus the evaluation/cooldown clocks. Engines feed it once per
+/// cycle and ask for a decision at the cycle boundary; everything it
+/// computes is a deterministic function of the stream.
+#[derive(Debug, Clone)]
+pub struct RegridController {
+    policy: RegridPolicy,
+    /// EMA of the observed object agility `f_obj` (updates / N per cycle).
+    f_obj: f64,
+    /// EMA of the observed query agility `f_qry` (query events / n).
+    f_qry: f64,
+    /// Whether the EMAs have seen at least one cycle.
+    primed: bool,
+    last_eval: u64,
+    last_regrid: u64,
+}
+
+impl RegridController {
+    /// A controller with the given policy and no observations yet.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`RegridPolicy::Auto`] configuration (dim
+    /// range outside `1..=4096`, `hysteresis ≤ 1`, or `check_every = 0`).
+    pub fn new(policy: RegridPolicy) -> Self {
+        policy.validate();
+        Self {
+            policy,
+            f_obj: 0.0,
+            f_qry: 0.0,
+            primed: false,
+            last_eval: 0,
+            last_regrid: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RegridPolicy {
+        &self.policy
+    }
+
+    /// Replace the policy, keeping the observed agilities.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`RegridPolicy::Auto`] configuration (dim
+    /// range outside `1..=4096`, `hysteresis ≤ 1`, or `check_every = 0`).
+    pub fn set_policy(&mut self, policy: RegridPolicy) {
+        policy.validate();
+        self.policy = policy;
+    }
+
+    /// Fold one cycle's event-batch sizes into the agility EMAs.
+    pub fn observe_cycle(
+        &mut self,
+        object_events: usize,
+        query_events: usize,
+        n_objects: usize,
+        n_queries: usize,
+    ) {
+        let f_obj = object_events as f64 / n_objects.max(1) as f64;
+        let f_qry = query_events as f64 / n_queries.max(1) as f64;
+        if self.primed {
+            self.f_obj += AGILITY_ALPHA * (f_obj - self.f_obj);
+            self.f_qry += AGILITY_ALPHA * (f_qry - self.f_qry);
+        } else {
+            self.f_obj = f_obj;
+            self.f_qry = f_qry;
+            self.primed = true;
+        }
+    }
+
+    /// The cost model for the current observation at cell side
+    /// `1/dim` — also what diagnostics and tests inspect.
+    pub fn model(&self, n_objects: usize, n_queries: usize, avg_k: usize, dim: u32) -> CostModel {
+        CostModel {
+            n_objects,
+            n_queries,
+            k: avg_k.max(1),
+            delta: 1.0 / dim as f64,
+            // Floors keep the model's δ-sensitive terms alive on quiet
+            // streams: a fully static query set still pays recomputations
+            // through merge failures, which the pure model prices at zero.
+            f_obj: self.f_obj.clamp(0.01, 1.0),
+            f_qry: self.f_qry.clamp(0.05, 1.0),
+        }
+    }
+
+    /// Evaluate the policy at a cycle boundary (`epoch` = completed
+    /// cycles). Returns the resolution to re-grid to, or `None` to stay
+    /// put. Callers apply the returned dimension immediately; the
+    /// controller assumes they do (it starts the cooldown clock).
+    pub fn decide(
+        &mut self,
+        epoch: u64,
+        n_objects: usize,
+        n_queries: usize,
+        avg_k: usize,
+        current_dim: u32,
+    ) -> Option<u32> {
+        let RegridPolicy::Auto(cfg) = self.policy else {
+            return None;
+        };
+        if epoch < self.last_eval.saturating_add(cfg.check_every) {
+            return None;
+        }
+        self.last_eval = epoch;
+        if n_objects == 0 || n_queries == 0 {
+            return None;
+        }
+        let current = self.model(n_objects, n_queries, avg_k, current_dim);
+        let best_dim = current.optimal_dim(cfg.min_dim, cfg.max_dim);
+        if best_dim == current_dim {
+            return None;
+        }
+        let best = CostModel {
+            delta: 1.0 / best_dim as f64,
+            ..current
+        };
+        if current.time_cycle() < cfg.hysteresis * best.time_cycle() {
+            return None;
+        }
+        if self.last_regrid != 0 && epoch < self.last_regrid.saturating_add(cfg.cooldown) {
+            return None;
+        }
+        self.last_regrid = epoch;
+        Some(best_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "dim range out of bounds")]
+    fn invalid_dim_range_fails_at_configuration_time() {
+        let _ = RegridController::new(RegridPolicy::Auto(AutoRegridConfig {
+            max_dim: 8192,
+            ..AutoRegridConfig::default()
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis must exceed 1")]
+    fn degenerate_hysteresis_fails_at_configuration_time() {
+        let mut c = RegridController::new(RegridPolicy::manual());
+        c.set_policy(RegridPolicy::Auto(AutoRegridConfig {
+            hysteresis: 1.0,
+            ..AutoRegridConfig::default()
+        }));
+    }
+
+    #[test]
+    fn manual_never_decides() {
+        let mut c = RegridController::new(RegridPolicy::manual());
+        c.observe_cycle(500, 10, 1_000, 50);
+        assert_eq!(c.decide(100, 1_000, 50, 8, 16), None);
+        assert!(!c.policy().is_auto());
+    }
+
+    #[test]
+    fn auto_moves_toward_the_model_optimum() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        // Prime agilities: half the objects and a third of the queries
+        // move per cycle (the paper's defaults).
+        for _ in 0..4 {
+            c.observe_cycle(50_000, 1_500, 100_000, 5_000);
+        }
+        // A 16² grid is far too coarse for 100K objects; the model must
+        // ask for a much finer resolution.
+        let dim = c
+            .decide(100, 100_000, 5_000, 16, 16)
+            .expect("gross mismatch must trigger a re-grid");
+        assert!(dim >= 64, "picked {dim}");
+        // Immediately after, the cooldown blocks another re-grid even at
+        // the next evaluation point.
+        assert_eq!(c.decide(108, 100_000, 5_000, 16, 16), None);
+    }
+
+    #[test]
+    fn hysteresis_holds_near_the_crossover() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        c.observe_cycle(500, 15, 1_000, 50);
+        // Find the model's optimum, then sit one power of two away: the
+        // predicted gain is small, so the dead band must hold.
+        let opt = c.model(1_000, 50, 8, 64).optimal_dim(16, 1024);
+        let near = if opt > 16 { opt / 2 } else { opt * 2 };
+        let current = c.model(1_000, 50, 8, near);
+        let best = c.model(1_000, 50, 8, opt);
+        if current.time_cycle() < 1.2 * best.time_cycle() {
+            assert_eq!(
+                c.decide(100, 1_000, 50, 8, near),
+                None,
+                "thrashed at {near}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_respects_check_every() {
+        let mut c = RegridController::new(RegridPolicy::Auto(AutoRegridConfig {
+            check_every: 10,
+            ..AutoRegridConfig::default()
+        }));
+        c.observe_cycle(50_000, 1_500, 100_000, 5_000);
+        assert_eq!(c.decide(9, 100_000, 5_000, 16, 16), None, "too early");
+        assert!(c.decide(10, 100_000, 5_000, 16, 16).is_some());
+    }
+
+    #[test]
+    fn empty_workloads_never_regrid() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        c.observe_cycle(0, 0, 0, 0);
+        assert_eq!(c.decide(100, 0, 5, 8, 16), None);
+        assert_eq!(c.decide(200, 1_000, 0, 8, 16), None);
+    }
+
+    #[test]
+    fn agility_ema_tracks_the_stream() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        c.observe_cycle(100, 0, 1_000, 10);
+        let m = c.model(1_000, 10, 8, 64);
+        assert!((m.f_obj - 0.1).abs() < 1e-12);
+        // A jump moves the EMA partway, not all the way.
+        c.observe_cycle(1_000, 0, 1_000, 10);
+        let m = c.model(1_000, 10, 8, 64);
+        assert!(m.f_obj > 0.1 && m.f_obj < 1.0);
+    }
+}

@@ -48,6 +48,7 @@ use crate::engine::{PointQuery, QuerySpec, SpecEvent, SpecQueryState};
 use crate::error::CpmError;
 use crate::neighbors::Neighbor;
 use crate::range::RangeQuery;
+use crate::regrid::RegridPolicy;
 use crate::rnn::RnnQuery;
 use crate::shard::ShardedCpmEngine;
 use crate::{AnnQuery, ConstrainedQuery};
@@ -141,16 +142,18 @@ pub struct CpmServerBuilder {
     dim: u32,
     shards: usize,
     deltas: bool,
+    regrid: RegridPolicy,
 }
 
 impl CpmServerBuilder {
     /// Start configuring a server over an empty `dim × dim` grid
-    /// (sequential maintenance, delta capture off).
+    /// (sequential maintenance, delta capture off, manual re-gridding).
     pub fn new(dim: u32) -> Self {
         Self {
             dim,
             shards: 1,
             deltas: false,
+            regrid: RegridPolicy::Manual,
         }
     }
 
@@ -173,12 +176,35 @@ impl CpmServerBuilder {
         self
     }
 
+    /// Set the online re-grid policy (default:
+    /// [`RegridPolicy::Manual`]). With
+    /// [`RegridPolicy::auto`](crate::RegridPolicy::auto) the server
+    /// re-evaluates its grid resolution against the Section 4.1 cost
+    /// model at cycle boundaries and migrates the index when the
+    /// predicted gain clears the hysteresis bar — results, changed lists
+    /// and delta streams stay bit-identical to a server built at the new
+    /// δ from scratch.
+    ///
+    /// ```
+    /// use cpm_core::{CpmServerBuilder, RegridPolicy};
+    ///
+    /// let server = CpmServerBuilder::new(64)
+    ///     .regrid(RegridPolicy::auto())
+    ///     .build();
+    /// assert!(server.regrid_policy().is_auto());
+    /// ```
+    pub fn regrid(mut self, policy: RegridPolicy) -> Self {
+        self.regrid = policy;
+        self
+    }
+
     /// Build the server.
     pub fn build(self) -> CpmServer {
         let mut engine = ShardedCpmEngine::new(self.dim, self.shards);
         if self.deltas {
             engine.enable_deltas();
         }
+        engine.set_regrid_policy(self.regrid);
         CpmServer {
             engine,
             collects: self.deltas,
@@ -291,6 +317,20 @@ impl CpmServer {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.engine.shard_count()
+    }
+
+    /// The active re-grid policy (set at build time via
+    /// [`CpmServerBuilder::regrid`]).
+    #[must_use]
+    pub fn regrid_policy(&self) -> &RegridPolicy {
+        self.engine.regrid_policy()
+    }
+
+    /// Re-grid to a new resolution now, regardless of policy (see
+    /// [`crate::ShardedCpmEngine::regrid_to`]). Returns the number of
+    /// objects migrated.
+    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+        self.engine.regrid_to(new_dim)
     }
 
     /// Whether cycles capture per-cycle result deltas (set at build time

@@ -39,6 +39,7 @@ use crate::delta::{CycleDeltas, NeighborDelta};
 use crate::engine::{EngineCore, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
 use crate::error::CpmError;
 use crate::neighbors::Neighbor;
+use crate::regrid::{RegridController, RegridPolicy};
 
 /// Deterministic shard assignment: an FxHash-style finalizer over the query
 /// id, reduced modulo `shards`.
@@ -67,6 +68,7 @@ fn run_shard<S: QuerySpec>(
     core.begin_cycle(events.iter().map(|ev| ev.id()));
     core.apply_records(grid, records, &mut changed);
     core.apply_query_events(grid, events, &mut changed);
+    core.finish_regrid(&mut changed);
     (changed, core.take_deltas())
 }
 
@@ -90,6 +92,10 @@ pub struct ShardedCpmEngine<S: QuerySpec> {
     /// Scratch: per-shard query-event routing buffers, reused across
     /// cycles (one per shard; only used when `shards > 1`).
     event_bufs: Vec<Vec<SpecEvent<S>>>,
+    /// Re-grid policy state. Every decision input is a function of the
+    /// stream and the (shard-count-invariant) global engine state, so the
+    /// controller decides identically at every shard count.
+    regrid: RegridController,
 }
 
 impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
@@ -107,6 +113,80 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
             ingest_metrics: Metrics::default(),
             records: Vec::new(),
             event_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            regrid: RegridController::new(RegridPolicy::Manual),
+        }
+    }
+
+    /// Replace the re-grid policy (default: [`RegridPolicy::Manual`]).
+    /// With [`RegridPolicy::Auto`], the cost model is evaluated at cycle
+    /// boundaries against the observed workload; an applied re-grid
+    /// migrates the shared grid once and re-registers every shard's
+    /// queries before the cycle's ingest runs.
+    pub fn set_regrid_policy(&mut self, policy: RegridPolicy) {
+        self.regrid.set_policy(policy);
+    }
+
+    /// The active re-grid policy.
+    #[must_use]
+    pub fn regrid_policy(&self) -> &RegridPolicy {
+        self.regrid.policy()
+    }
+
+    /// Re-grid to a new resolution *now*: rebuild the shared cell index
+    /// from the (untouched) object store, then re-register every shard's
+    /// queries against the new δ — in parallel across shards, each in
+    /// ascending query-id order, so the resulting state is bit-identical
+    /// to an engine built at `new_dim` from scratch, at every shard
+    /// count. Returns the number of objects migrated (0 if `new_dim` is
+    /// the current dimension).
+    ///
+    /// # Panics
+    /// Panics if `new_dim == 0` or `new_dim > 4096`.
+    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+        if new_dim == self.grid.dim() {
+            return 0;
+        }
+        let migrated = self.grid.regrid(new_dim);
+        // Grid-side work is owned by the ingest phase: one re-grid, one
+        // migration count, no matter how many shards re-register.
+        self.ingest_metrics.regrids += 1;
+        self.ingest_metrics.regrid_objects_migrated += migrated as u64;
+        let grid = &self.grid;
+        if self.shards.len() == 1 {
+            self.shards[0].rebind_grid(grid);
+        } else {
+            std::thread::scope(|scope| {
+                for core in self.shards.iter_mut() {
+                    scope.spawn(move || core.rebind_grid(grid));
+                }
+            });
+        }
+        migrated
+    }
+
+    /// Evaluate the automatic policy at the cycle boundary (phase 0 of a
+    /// processing cycle). Free under the default [`RegridPolicy::Manual`]
+    /// — the observation and the O(queries) `k` sweep only run when a
+    /// policy could act on them.
+    fn maybe_auto_regrid(&mut self, object_events: usize, query_events: usize) {
+        if !self.regrid.policy().is_auto() {
+            return;
+        }
+        let n_objects = self.grid.len();
+        let (mut n_queries, mut sum_k) = (0usize, 0usize);
+        for core in &self.shards {
+            let (n, k) = core.k_stats();
+            n_queries += n;
+            sum_k += k;
+        }
+        self.regrid
+            .observe_cycle(object_events, query_events, n_objects, n_queries);
+        let avg_k = sum_k / n_queries.max(1);
+        if let Some(dim) =
+            self.regrid
+                .decide(self.epoch(), n_objects, n_queries, avg_k, self.grid.dim())
+        {
+            self.regrid_to(dim);
         }
     }
 
@@ -321,6 +401,9 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     ) {
         let n = self.shards.len();
 
+        // Phase 0: adaptive re-grid at the cycle boundary.
+        self.maybe_auto_regrid(object_events.len(), query_events.len());
+
         // Phase 1: sequential grid ingest (the only grid mutation).
         self.records.clear();
         self.ingest_metrics.updates_applied +=
@@ -336,6 +419,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
             core.begin_cycle(query_events.iter().map(|ev| ev.id()));
             core.apply_records(grid, records, changed);
             core.apply_query_events(grid, query_events, changed);
+            core.finish_regrid(changed);
             core.drain_deltas_into(deltas_out);
         } else {
             // Route each query event to the shard that owns its query
@@ -460,6 +544,24 @@ impl ShardedKnnMonitor {
     /// Bulk-load objects before any query is installed.
     pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
         self.engine.populate(objects);
+    }
+
+    /// Replace the re-grid policy (see
+    /// [`ShardedCpmEngine::set_regrid_policy`]).
+    pub fn set_regrid_policy(&mut self, policy: RegridPolicy) {
+        self.engine.set_regrid_policy(policy);
+    }
+
+    /// The active re-grid policy.
+    #[must_use]
+    pub fn regrid_policy(&self) -> &RegridPolicy {
+        self.engine.regrid_policy()
+    }
+
+    /// Re-grid to a new resolution now (see
+    /// [`ShardedCpmEngine::regrid_to`]).
+    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+        self.engine.regrid_to(new_dim)
     }
 
     /// Number of installed queries.

@@ -13,12 +13,17 @@
 //!   Section 4.1 analysis.
 //! * [`skewed`] — Gaussian-hotspot data with drifting centers, the skewed
 //!   regime the paper points at hierarchical grids for.
+//! * [`drift`] — a single hotspot whose center moves **every** tick while
+//!   the population breathes between a base and a peak count: the stream
+//!   whose cost-model-optimal grid resolution changes mid-run, built as
+//!   the adversary for online re-gridding.
 //!
 //! All generators are deterministic given their seed.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drift;
 pub mod network;
 pub mod path;
 pub mod skewed;
@@ -26,6 +31,7 @@ pub mod speed;
 pub mod uniform;
 pub mod workload;
 
+pub use drift::{DriftConfig, DriftingHotspotWorkload};
 pub use network::{NodeId, RoadNetwork};
 pub use path::{path_length, shortest_path, Traveler};
 pub use skewed::{SkewConfig, SkewedWorkload};

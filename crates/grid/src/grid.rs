@@ -1,9 +1,17 @@
-//! The grid index proper: dense cell buckets plus the central position and
-//! back-pointer tables.
+//! The δ-keyed cell index and the composed grid facade.
+//!
+//! [`CellIndex`] owns everything whose meaning depends on the cell side
+//! `δ`: the dense cell buckets, the packed-id scheme and all coordinate
+//! math. [`Grid`] composes it with the δ-independent [`ObjectStore`]
+//! (positions + back-pointers) and presents the classic single-type index
+//! surface the monitors were written against — plus [`Grid::regrid`],
+//! which swaps the index for one at a different resolution **without ever
+//! touching the object tables**.
 
 use cpm_geom::{clamp_coord, FastHashMap, ObjectId, Point, Rect};
 
-use crate::CellCoord;
+use crate::store::BackRef;
+use crate::{CellCoord, ObjectStore};
 
 /// Spare-bucket pool cap: empty cells hand their allocation back for reuse
 /// so steady-state update churn allocates nothing, but the pool never
@@ -16,17 +24,7 @@ const BUCKET_POOL_CAP: usize = 4096;
 /// spares are dropped instead.
 const POOLED_VEC_CAP: usize = 256;
 
-/// Back-pointer of one indexed object: which bucket it lives in and at
-/// which slot. Valid only while the object's position slot is `Some`.
-#[derive(Debug, Clone, Copy, Default)]
-struct BackRef {
-    /// Packed id of the cell whose bucket holds the object.
-    cell_id: u64,
-    /// Index of the object inside that bucket.
-    slot: u32,
-}
-
-/// The main-memory grid index `G` over the set `P` of moving objects.
+/// The δ-keyed half of the grid index: cell buckets plus coordinate math.
 ///
 /// # Storage layout (dense slot-based buckets)
 ///
@@ -38,12 +36,13 @@ struct BackRef {
 /// * a cell scan — the unit the experiments count as one *cell access*
 ///   (Section 6, Figure 6.3b) — is a linear sweep over contiguous memory,
 ///   with none of the control-byte hopping of a hash set;
-/// * a per-object back-pointer table (`oid → (cell_id, slot)`) makes
-///   removal O(1) via *swap-remove*: the last bucket element is moved into
-///   the vacated slot and its back-pointer is patched. No object id is
-///   ever hashed on the update path (the only hash per step is the cell
-///   id), and `Time_ind = 2` of the Section 4.1 cost model — one deletion
-///   plus one insertion per location update — is preserved exactly;
+/// * the per-object back-pointer table (`oid → (cell_id, slot)`, stored in
+///   [`ObjectStore`] because its shape is δ-independent) makes removal
+///   O(1) via *swap-remove*: the last bucket element is moved into the
+///   vacated slot and its back-pointer is patched. No object id is ever
+///   hashed on the update path (the only hash per step is the cell id),
+///   and `Time_ind = 2` of the Section 4.1 cost model — one deletion plus
+///   one insertion per location update — is preserved exactly;
 /// * buckets that empty return their allocation to a small pool, so
 ///   steady-state update churn is allocation-free.
 ///
@@ -51,10 +50,11 @@ struct BackRef {
 /// monitoring algorithms: the paper treats cell object lists as unordered
 /// sets, and every consumer scans whole buckets.
 ///
-/// All mutation goes through [`Grid::insert`], [`Grid::remove`] and
-/// [`Grid::update_position`]; each is O(1) expected.
+/// All mutation goes through the composed [`Grid`]; the index's own
+/// mutators are crate-private because bucket membership and the store's
+/// back-pointers must move in lock step.
 #[derive(Debug, Clone)]
-pub struct Grid {
+pub struct CellIndex {
     dim: u32,
     delta: f64,
     /// Sparse map: packed cell id → dense bucket of objects in the cell.
@@ -63,27 +63,10 @@ pub struct Grid {
     /// Recycled bucket allocations (all empty), capped at
     /// [`BUCKET_POOL_CAP`].
     bucket_pool: Vec<Vec<ObjectId>>,
-    /// Central position table, one slot per object id. `None` = off-line.
-    positions: Vec<Option<Point>>,
-    /// Back-pointer table, parallel to `positions`: `oid → (cell, slot)`.
-    backrefs: Vec<BackRef>,
-    /// Number of live (indexed) objects.
-    live: usize,
 }
 
-/// Occupancy statistics, used by the space-accounting experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GridStats {
-    /// Total number of cells (`dim²`).
-    pub total_cells: usize,
-    /// Number of non-empty cells.
-    pub occupied_cells: usize,
-    /// Number of live objects.
-    pub live_objects: usize,
-}
-
-impl Grid {
-    /// Create an empty grid with `dim × dim` cells over the unit square.
+impl CellIndex {
+    /// An empty index with `dim × dim` cells over the unit square.
     ///
     /// # Panics
     /// Panics if `dim == 0` or `dim > 4096` (the packed-coordinate and
@@ -96,9 +79,6 @@ impl Grid {
             delta: 1.0 / dim as f64,
             cells: FastHashMap::default(),
             bucket_pool: Vec::new(),
-            positions: Vec::new(),
-            backrefs: Vec::new(),
-            live: 0,
         }
     }
 
@@ -114,16 +94,10 @@ impl Grid {
         self.delta
     }
 
-    /// Number of live objects in the index.
+    /// Number of non-empty cells.
     #[inline]
-    pub fn len(&self) -> usize {
-        self.live
-    }
-
-    /// `true` if no objects are indexed.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
+    pub fn occupied_count(&self) -> usize {
+        self.cells.len()
     }
 
     /// The cell containing point `p` (`i = ⌊x/δ⌋`, `j = ⌊y/δ⌋`), with
@@ -164,94 +138,6 @@ impl Grid {
         self.cell_rect(c).mindist_sq(q)
     }
 
-    /// Current position of object `oid`, or `None` if it is off-line.
-    #[inline]
-    pub fn position(&self, oid: ObjectId) -> Option<Point> {
-        self.positions.get(oid.index()).copied().flatten()
-    }
-
-    /// Insert a (new or re-appearing) object at `p`.
-    ///
-    /// Returns the cell it was placed in.
-    ///
-    /// # Panics
-    /// Panics if the object is already indexed — callers must route moves
-    /// through [`Grid::update_position`] so old-cell bookkeeping stays
-    /// consistent.
-    pub fn insert(&mut self, oid: ObjectId, p: Point) -> CellCoord {
-        debug_assert!(p.is_finite(), "object position must be finite");
-        let idx = oid.index();
-        if idx >= self.positions.len() {
-            self.positions.resize(idx + 1, None);
-            self.backrefs.resize(idx + 1, BackRef::default());
-        }
-        assert!(
-            self.positions[idx].is_none(),
-            "object {oid} is already indexed"
-        );
-        let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
-        self.positions[idx] = Some(p);
-        let cell = self.cell_of(p);
-        let cell_id = cell.id(self.dim);
-        let bucket = self
-            .cells
-            .entry(cell_id)
-            .or_insert_with(|| self.bucket_pool.pop().unwrap_or_default());
-        bucket.push(oid);
-        self.backrefs[idx] = BackRef {
-            cell_id,
-            slot: (bucket.len() - 1) as u32,
-        };
-        self.live += 1;
-        cell
-    }
-
-    /// Remove object `oid` from the index (it goes off-line).
-    ///
-    /// O(1) via the back-pointer table and swap-remove: no search, no
-    /// object-id hashing. Returns its last position and cell, or `None` if
-    /// it was not indexed.
-    pub fn remove(&mut self, oid: ObjectId) -> Option<(Point, CellCoord)> {
-        let idx = oid.index();
-        let p = self.positions.get_mut(idx)?.take()?;
-        let BackRef { cell_id, slot } = self.backrefs[idx];
-        let bucket = self
-            .cells
-            .get_mut(&cell_id)
-            .expect("indexed object must have a cell entry");
-        debug_assert_eq!(bucket.get(slot as usize), Some(&oid), "back-pointer desync");
-        bucket.swap_remove(slot as usize);
-        // The previous last element (if any) now sits at `slot`: repoint it.
-        if let Some(&moved) = bucket.get(slot as usize) {
-            self.backrefs[moved.index()].slot = slot;
-        }
-        if bucket.is_empty() {
-            let spare = self.cells.remove(&cell_id).expect("bucket just accessed");
-            if self.bucket_pool.len() < BUCKET_POOL_CAP && spare.capacity() <= POOLED_VEC_CAP {
-                self.bucket_pool.push(spare);
-            }
-        }
-        self.live -= 1;
-        Some((p, self.cell_from_id(cell_id)))
-    }
-
-    /// Apply a location update `<oid, old, new>`: delete from the old cell,
-    /// insert into the new one (Section 3.2, first step; `Time_ind = 2`).
-    ///
-    /// Returns `(old_position, old_cell, new_cell)`.
-    ///
-    /// # Panics
-    /// Panics if the object is not currently indexed; the monitoring
-    /// algorithms treat moves of off-line objects as appearances and must
-    /// not reach this call.
-    pub fn update_position(&mut self, oid: ObjectId, new: Point) -> (Point, CellCoord, CellCoord) {
-        let (old, old_cell) = self
-            .remove(oid)
-            .unwrap_or_else(|| panic!("update for off-line object {oid}"));
-        let new_cell = self.insert(oid, new);
-        (old, old_cell, new_cell)
-    }
-
     /// The objects currently inside cell `c`, as a contiguous slice (empty
     /// if the cell is unoccupied).
     ///
@@ -262,20 +148,6 @@ impl Grid {
         self.cells
             .get(&c.id(self.dim))
             .map_or(&[], |bucket| bucket.as_slice())
-    }
-
-    /// Number of objects in cell `c`.
-    #[inline]
-    pub fn cell_len(&self, c: CellCoord) -> usize {
-        self.objects_in(c).len()
-    }
-
-    /// Iterate over `(oid, position)` for every live object.
-    pub fn iter_objects(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
-        self.positions
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.map(|p| (ObjectId(i as u32), p)))
     }
 
     /// Iterate over the coordinates of all non-empty cells.
@@ -312,7 +184,9 @@ impl Grid {
     }
 
     /// Iterate, without allocating, over all cells whose extent intersects
-    /// the closed disk `(center, radius)`.
+    /// the closed disk `(center, radius)` — the circle-cover counterpart of
+    /// [`CellIndex::cells_in_rect`]. Callers that store the cover extend a
+    /// reused buffer from this iterator (SEA-CNN's answer-region marks).
     pub fn cells_in_circle(
         &self,
         center: Point,
@@ -327,8 +201,8 @@ impl Grid {
             .filter(move |&c| self.cell_rect(c).mindist_sq(center) <= r_sq)
     }
 
-    /// Collecting wrapper around [`Grid::cells_in_rect`] for callers that
-    /// need an owned list; the hot paths use the iterator directly.
+    /// Collecting wrapper around [`CellIndex::cells_in_rect`] for callers
+    /// that need an owned list; the hot paths use the iterator directly.
     pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
         let (lo_col, hi_col, lo_row, hi_row) = self.rect_cell_bounds(region);
         // Multiply in usize: on a 4096² grid the product overflows u32.
@@ -338,52 +212,336 @@ impl Grid {
         out
     }
 
-    /// Collecting wrapper around [`Grid::cells_in_circle`], used where the
-    /// cover is stored (SEA-CNN's answer-region cell marks).
-    pub fn cells_intersecting_circle(&self, center: Point, radius: f64) -> Vec<CellCoord> {
-        self.cells_in_circle(center, radius).collect()
+    // ---- crate-private mutators (driven by `Grid`) ----
+
+    /// Bucket a live object at `p` and write its back-pointer into
+    /// `store`. Returns the cell it was placed in.
+    #[inline]
+    fn attach(&mut self, store: &mut ObjectStore, oid: ObjectId, p: Point) -> CellCoord {
+        let cell = self.cell_of(p);
+        let cell_id = cell.id(self.dim);
+        let bucket = self
+            .cells
+            .entry(cell_id)
+            .or_insert_with(|| self.bucket_pool.pop().unwrap_or_default());
+        bucket.push(oid);
+        store.backrefs[oid.index()] = BackRef {
+            cell_id,
+            slot: (bucket.len() - 1) as u32,
+        };
+        cell
+    }
+
+    /// Unbucket a live object through its back-pointer (O(1) swap-remove;
+    /// no search, no object-id hashing). Returns the cell it left.
+    #[inline]
+    fn detach(&mut self, store: &mut ObjectStore, oid: ObjectId) -> CellCoord {
+        let BackRef { cell_id, slot } = store.backrefs[oid.index()];
+        let bucket = self
+            .cells
+            .get_mut(&cell_id)
+            .expect("indexed object must have a cell entry");
+        debug_assert_eq!(bucket.get(slot as usize), Some(&oid), "back-pointer desync");
+        bucket.swap_remove(slot as usize);
+        // The previous last element (if any) now sits at `slot`: repoint it.
+        if let Some(&moved) = bucket.get(slot as usize) {
+            store.backrefs[moved.index()].slot = slot;
+        }
+        if bucket.is_empty() {
+            let spare = self.cells.remove(&cell_id).expect("bucket just accessed");
+            if self.bucket_pool.len() < BUCKET_POOL_CAP && spare.capacity() <= POOLED_VEC_CAP {
+                self.bucket_pool.push(spare);
+            }
+        }
+        self.cell_from_id(cell_id)
+    }
+}
+
+/// The main-memory grid index `G` over the set `P` of moving objects:
+/// a δ-independent [`ObjectStore`] composed with a δ-keyed [`CellIndex`].
+///
+/// All mutation goes through [`Grid::insert`], [`Grid::remove`] and
+/// [`Grid::update_position`]; each is O(1) expected. [`Grid::regrid`]
+/// replaces the index with one at a different resolution in a single
+/// deterministic pass over the store.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    store: ObjectStore,
+    index: CellIndex,
+}
+
+/// Occupancy statistics, used by the space-accounting experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridStats {
+    /// Total number of cells (`dim²`).
+    pub total_cells: usize,
+    /// Number of non-empty cells.
+    pub occupied_cells: usize,
+    /// Number of live objects.
+    pub live_objects: usize,
+}
+
+impl Grid {
+    /// Create an empty grid with `dim × dim` cells over the unit square.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `dim > 4096` (see [`CellIndex::new`]).
+    pub fn new(dim: u32) -> Self {
+        Self {
+            store: ObjectStore::new(),
+            index: CellIndex::new(dim),
+        }
+    }
+
+    /// The δ-independent object tables.
+    #[inline]
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The δ-keyed cell index.
+    #[inline]
+    pub fn index(&self) -> &CellIndex {
+        &self.index
+    }
+
+    /// Grid dimension (cells per axis).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.index.dim()
+    }
+
+    /// Cell side length `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.index.delta()
+    }
+
+    /// Number of live objects in the index.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if no objects are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The cell containing point `p` (see [`CellIndex::cell_of`]).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> CellCoord {
+        self.index.cell_of(p)
+    }
+
+    /// The spatial extent of cell `c`.
+    #[inline]
+    pub fn cell_rect(&self, c: CellCoord) -> Rect {
+        self.index.cell_rect(c)
+    }
+
+    /// `mindist(c, q)`: minimum distance between cell `c` and point `q`
+    /// (Table 3.1).
+    #[inline]
+    pub fn mindist(&self, c: CellCoord, q: Point) -> f64 {
+        self.index.mindist(c, q)
+    }
+
+    /// Squared `mindist(c, q)`, for comparison-only call sites.
+    #[inline]
+    pub fn mindist_sq(&self, c: CellCoord, q: Point) -> f64 {
+        self.index.mindist_sq(c, q)
+    }
+
+    /// Current position of object `oid`, or `None` if it is off-line.
+    #[inline]
+    pub fn position(&self, oid: ObjectId) -> Option<Point> {
+        self.store.position(oid)
+    }
+
+    /// Insert a (new or re-appearing) object at `p`.
+    ///
+    /// Returns the cell it was placed in.
+    ///
+    /// # Panics
+    /// Panics if the object is already indexed — callers must route moves
+    /// through [`Grid::update_position`] so old-cell bookkeeping stays
+    /// consistent.
+    #[inline]
+    pub fn insert(&mut self, oid: ObjectId, p: Point) -> CellCoord {
+        let p = self.store.activate(oid, p);
+        self.index.attach(&mut self.store, oid, p)
+    }
+
+    /// Remove object `oid` from the index (it goes off-line).
+    ///
+    /// O(1) via the back-pointer table and swap-remove. Returns its last
+    /// position and cell, or `None` if it was not indexed.
+    #[inline]
+    pub fn remove(&mut self, oid: ObjectId) -> Option<(Point, CellCoord)> {
+        let p = self.store.deactivate(oid)?;
+        let cell = self.index.detach(&mut self.store, oid);
+        Some((p, cell))
+    }
+
+    /// Apply a location update `<oid, old, new>`: delete from the old cell,
+    /// insert into the new one (Section 3.2, first step; `Time_ind = 2`).
+    ///
+    /// Returns `(old_position, old_cell, new_cell)`.
+    ///
+    /// # Panics
+    /// Panics if the object is not currently indexed; the monitoring
+    /// algorithms treat moves of off-line objects as appearances and must
+    /// not reach this call.
+    pub fn update_position(&mut self, oid: ObjectId, new: Point) -> (Point, CellCoord, CellCoord) {
+        let (old, old_cell) = self
+            .remove(oid)
+            .unwrap_or_else(|| panic!("update for off-line object {oid}"));
+        let new_cell = self.insert(oid, new);
+        (old, old_cell, new_cell)
+    }
+
+    /// Rebuild the cell index at a new resolution, leaving the object
+    /// tables untouched.
+    ///
+    /// The migration is one deterministic pass: objects are re-bucketed in
+    /// ascending id order, so the resulting bucket layout is **identical**
+    /// to a fresh grid at `new_dim` populated from
+    /// [`ObjectStore::iter`] — the property that makes engine-level
+    /// re-grids bit-reproducible against a from-scratch build. Returns the
+    /// number of objects migrated (0 when `new_dim` equals the current
+    /// dimension; the call is then a no-op).
+    ///
+    /// # Panics
+    /// Panics if `new_dim == 0` or `new_dim > 4096`.
+    pub fn regrid(&mut self, new_dim: u32) -> usize {
+        if new_dim == self.index.dim() {
+            return 0;
+        }
+        let mut index = CellIndex::new(new_dim);
+        // Pre-size the bucket map to the old occupied-cell count: the same
+        // population lands in a comparable number of buckets.
+        index.cells.reserve(self.index.cells.len());
+        for i in 0..self.store.backrefs.len() {
+            let oid = ObjectId(i as u32);
+            let Some(p) = self.store.position(oid) else {
+                continue;
+            };
+            index.attach_for_rebuild(&mut self.store.backrefs[i], oid, p);
+        }
+        self.index = index;
+        self.store.len()
+    }
+
+    /// The objects currently inside cell `c`, as a contiguous slice (empty
+    /// if the cell is unoccupied). See [`CellIndex::objects_in`].
+    #[inline]
+    pub fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
+        self.index.objects_in(c)
+    }
+
+    /// Number of objects in cell `c`.
+    #[inline]
+    pub fn cell_len(&self, c: CellCoord) -> usize {
+        self.objects_in(c).len()
+    }
+
+    /// Iterate over `(oid, position)` for every live object.
+    pub fn iter_objects(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.store.iter()
+    }
+
+    /// Iterate over the coordinates of all non-empty cells.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        self.index.occupied_cells()
+    }
+
+    /// Iterate, in row-major order and without allocating, over all cells
+    /// whose extent intersects `region` (see [`CellIndex::cells_in_rect`]).
+    pub fn cells_in_rect(&self, region: &Rect) -> impl Iterator<Item = CellCoord> {
+        self.index.cells_in_rect(region)
+    }
+
+    /// Iterate, without allocating, over all cells whose extent intersects
+    /// the closed disk `(center, radius)` (see
+    /// [`CellIndex::cells_in_circle`]).
+    pub fn cells_in_circle(
+        &self,
+        center: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = CellCoord> + '_ {
+        self.index.cells_in_circle(center, radius)
+    }
+
+    /// Collecting wrapper around [`Grid::cells_in_rect`] for callers that
+    /// need an owned list; the hot paths use the iterator directly.
+    pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
+        self.index.cells_intersecting_rect(region)
     }
 
     /// Occupancy statistics.
     pub fn stats(&self) -> GridStats {
         GridStats {
-            total_cells: (self.dim as usize) * (self.dim as usize),
-            occupied_cells: self.cells.len(),
-            live_objects: self.live,
+            total_cells: (self.dim() as usize) * (self.dim() as usize),
+            occupied_cells: self.index.occupied_count(),
+            live_objects: self.store.len(),
         }
     }
 
-    /// Memory footprint estimate in the paper's "memory units" (one unit =
-    /// one number; Section 4.1 charges `s_obj = 3·N` for the object data).
+    /// Memory footprint estimate in the paper's "memory units"
+    /// (see [`ObjectStore::space_units`]).
     pub fn space_units(&self) -> usize {
-        3 * self.live
+        self.store.space_units()
     }
 
-    /// Verify the bucket / back-pointer / position cross-invariants
-    /// (test helper; O(total state)).
+    /// Verify the bucket / back-pointer / position cross-invariants of the
+    /// store/index split (test helper; O(total state)).
     #[doc(hidden)]
     pub fn check_integrity(&self) {
+        self.store.check_integrity();
+        assert!(
+            (self.index.delta - 1.0 / self.index.dim as f64).abs() < f64::EPSILON,
+            "index δ out of sync with its dimension"
+        );
         let mut bucket_total = 0usize;
-        for (&cell_id, bucket) in &self.cells {
+        for (&cell_id, bucket) in &self.index.cells {
             assert!(!bucket.is_empty(), "empty bucket left in map");
             bucket_total += bucket.len();
             for (slot, &oid) in bucket.iter().enumerate() {
-                let p = self.positions[oid.index()]
+                let p = self
+                    .store
+                    .position(oid)
                     .unwrap_or_else(|| panic!("bucket holds off-line object {oid}"));
-                let br = self.backrefs[oid.index()];
+                let br = self.store.backrefs[oid.index()];
                 assert_eq!(br.cell_id, cell_id, "back-pointer cell desync for {oid}");
                 assert_eq!(br.slot as usize, slot, "back-pointer slot desync for {oid}");
                 assert_eq!(
-                    self.cell_of(p).id(self.dim),
+                    self.cell_of(p).id(self.dim()),
                     cell_id,
                     "object {oid} bucketed in the wrong cell"
                 );
             }
         }
-        assert_eq!(bucket_total, self.live, "bucket population != live count");
-        let live_positions = self.positions.iter().flatten().count();
-        assert_eq!(live_positions, self.live, "position table != live count");
-        assert!(self.bucket_pool.iter().all(|b| b.is_empty()));
+        assert_eq!(bucket_total, self.len(), "bucket population != live count");
+        assert!(self.index.bucket_pool.iter().all(|b| b.is_empty()));
+    }
+}
+
+impl CellIndex {
+    /// [`CellIndex::attach`] for the regrid migration: identical bucketing,
+    /// but the caller hands in the (already borrowed) back-pointer slot
+    /// because the store's position table is being iterated at the same
+    /// time.
+    fn attach_for_rebuild(&mut self, backref: &mut BackRef, oid: ObjectId, p: Point) {
+        let cell = self.cell_of(p);
+        let cell_id = cell.id(self.dim);
+        let bucket = self.cells.entry(cell_id).or_default();
+        bucket.push(oid);
+        *backref = BackRef {
+            cell_id,
+            slot: (bucket.len() - 1) as u32,
+        };
     }
 }
 
@@ -504,7 +662,7 @@ mod tests {
     fn circle_cover_is_exactly_intersecting_cells() {
         let g = grid8();
         let q = Point::new(0.5, 0.5);
-        let cells = g.cells_intersecting_circle(q, 0.13);
+        let cells: Vec<CellCoord> = g.cells_in_circle(q, 0.13).collect();
         for &c in &cells {
             assert!(g.cell_rect(c).intersects_circle(q, 0.13));
         }
@@ -531,6 +689,59 @@ mod tests {
         let ids: Vec<u32> = g.iter_objects().map(|(o, _)| o.0).collect();
         assert_eq!(ids.len(), 9);
         assert!(!ids.contains(&3));
+    }
+
+    #[test]
+    fn regrid_rebuilds_only_the_index() {
+        let mut g = Grid::new(8);
+        for i in 0..50u32 {
+            g.insert(
+                ObjectId(i),
+                Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0),
+            );
+        }
+        g.remove(ObjectId(7)).unwrap();
+        let before: Vec<(ObjectId, Point)> = g.iter_objects().collect();
+
+        let migrated = g.regrid(64);
+        assert_eq!(migrated, 49);
+        assert_eq!(g.dim(), 64);
+        assert_eq!(g.delta(), 1.0 / 64.0);
+        g.check_integrity();
+        // Store contents are invariant under the re-grid.
+        let after: Vec<(ObjectId, Point)> = g.iter_objects().collect();
+        assert_eq!(before, after);
+        assert_eq!(g.position(ObjectId(7)), None);
+
+        // The migrated layout is identical to a fresh populate in id order.
+        let mut fresh = Grid::new(64);
+        for &(oid, p) in &before {
+            fresh.insert(oid, p);
+        }
+        for cell in fresh.occupied_cells() {
+            assert_eq!(g.objects_in(cell), fresh.objects_in(cell), "bucket {cell}");
+        }
+        assert_eq!(g.stats(), fresh.stats());
+
+        // Same-dim regrid is a no-op.
+        assert_eq!(g.regrid(64), 0);
+        // Updates keep working against the new index.
+        g.update_position(ObjectId(0), Point::new(0.99, 0.01));
+        g.insert(ObjectId(7), Point::new(0.5, 0.5));
+        g.check_integrity();
+    }
+
+    #[test]
+    fn regrid_coarsens_too() {
+        let mut g = Grid::new(256);
+        for i in 0..30u32 {
+            g.insert(ObjectId(i), Point::new((i as f64 * 0.13) % 1.0, 0.4));
+        }
+        g.regrid(4);
+        assert_eq!(g.dim(), 4);
+        g.check_integrity();
+        let total: usize = g.occupied_cells().map(|c| g.cell_len(c)).sum();
+        assert_eq!(total, 30);
     }
 
     proptest! {
@@ -584,6 +795,46 @@ mod tests {
             // Sum of cell populations equals the live count.
             let total: usize = g.occupied_cells().map(|c| g.cell_len(c)).sum();
             prop_assert_eq!(total, model.len());
+        }
+
+        /// Random update streams with re-grids interleaved: the object
+        /// store must be invariant under every re-grid (same positions,
+        /// same membership), and the index must stay consistent at every
+        /// resolution.
+        #[test]
+        fn regrids_preserve_the_store(
+            steps in proptest::collection::vec(
+                (0u32..24, 0.0..1.0f64, 0.0..1.0f64, 0u32..10), 1..120),
+        ) {
+            let dims = [4u32, 8, 16, 64, 256];
+            let mut g = Grid::new(16);
+            let mut model = std::collections::HashMap::new();
+            for (id, x, y, op) in steps {
+                let oid = ObjectId(id);
+                let p = Point::new(x, y);
+                if op == 0 {
+                    // Re-grid to a pseudo-random resolution.
+                    let before: Vec<(ObjectId, Point)> = g.iter_objects().collect();
+                    let migrated = g.regrid(dims[(id as usize + model.len()) % dims.len()]);
+                    prop_assert!(migrated == 0 || migrated == model.len());
+                    let after: Vec<(ObjectId, Point)> = g.iter_objects().collect();
+                    prop_assert_eq!(before, after, "store changed across regrid");
+                } else if op == 1 && model.contains_key(&id) {
+                    g.remove(oid).unwrap();
+                    model.remove(&id);
+                } else if model.insert(id, p).is_some() {
+                    g.update_position(oid, p);
+                } else {
+                    g.insert(oid, p);
+                }
+                g.check_integrity();
+                prop_assert_eq!(g.len(), model.len());
+                for (&mid, &mp) in &model {
+                    let moid = ObjectId(mid);
+                    prop_assert_eq!(g.position(moid), Some(mp));
+                    prop_assert!(g.objects_in(g.cell_of(mp)).contains(&moid));
+                }
+            }
         }
 
         /// Concurrent read-only scans see exactly what a sequential scan

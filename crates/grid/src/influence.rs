@@ -50,6 +50,26 @@ impl InfluenceTable {
         }
     }
 
+    /// The grid dimension this table's packed cell ids are keyed by.
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Drop every registration and re-key the table for a `dim × dim`
+    /// grid, keeping the map and pool allocations. Used when the engine
+    /// re-grids: packed cell ids from the old resolution are meaningless
+    /// at the new one, so the table starts empty and queries re-register.
+    pub fn reset(&mut self, dim: u32) {
+        self.dim = dim;
+        for (_, mut list) in self.lists.drain() {
+            list.clear();
+            if self.pool.len() < LIST_POOL_CAP && list.capacity() <= POOLED_LIST_CAP {
+                self.pool.push(list);
+            }
+        }
+    }
+
     /// Register query `q` in the influence list of `cell`.
     /// Idempotent: re-registration is a no-op (the NN re-computation module
     /// re-scans visit-list cells that are already registered).

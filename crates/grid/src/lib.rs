@@ -8,13 +8,27 @@
 //!
 //! The same grid instance is shared by CPM and by the YPK-CNN / SEA-CNN
 //! baselines — all three assume exactly this index (the paper compares the
-//! algorithms, not the indexes). Cell object lists are **dense buckets**
-//! (contiguous `Vec<ObjectId>`s with O(1) swap-remove deletion through a
-//! per-object back-pointer table — see [`Grid`] for the layout), which
-//! keeps the `Time_ind = 2` update cost of the Section 4.1 model while
-//! making every cell scan a linear sweep over contiguous memory; object
-//! positions are stored once in a central slot table so an object costs
-//! the `s_obj = 3` memory units of the space analysis.
+//! algorithms, not the indexes).
+//!
+//! # Two-layer storage: [`ObjectStore`] + [`CellIndex`]
+//!
+//! [`Grid`] is a thin facade over two layers with disjoint concerns:
+//!
+//! * [`ObjectStore`] — the **δ-independent** object tables: the central
+//!   position table (`s_obj = 3·N` memory units of the space analysis) and
+//!   the parallel back-pointer table that makes bucket removal O(1).
+//! * [`CellIndex`] — everything **keyed by δ**: the dense cell buckets
+//!   (contiguous `Vec<ObjectId>`s with O(1) swap-remove deletion through
+//!   the store's back-pointers — see [`CellIndex`] for the layout, which
+//!   keeps the `Time_ind = 2` update cost of the Section 4.1 model while
+//!   making every cell scan a linear sweep over contiguous memory), the
+//!   packed cell-id scheme, and all coordinate math.
+//!
+//! The split is what makes **online re-gridding** cheap and safe:
+//! [`Grid::regrid`] rebuilds only the index at the new resolution in one
+//! deterministic pass (ascending object id, so the resulting layout is
+//! identical to a fresh populate), while the object tables — and every
+//! `oid → position` answer read through them — are untouched.
 //!
 //! Query-side book-keeping (the per-cell *influence lists*) lives in
 //! [`InfluenceTable`], kept separate from the grid so that several monitors
@@ -29,9 +43,11 @@ pub mod events;
 mod grid;
 mod influence;
 mod metrics;
+mod store;
 
 pub use coord::CellCoord;
 pub use events::{apply_events, ObjectEvent, QueryEvent, UpdateRecord};
-pub use grid::{Grid, GridStats};
+pub use grid::{CellIndex, Grid, GridStats};
 pub use influence::InfluenceTable;
 pub use metrics::{KindMetrics, Metrics, QueryKind};
+pub use store::ObjectStore;

@@ -122,6 +122,16 @@ pub struct Metrics {
     pub merge_resolutions: u64,
     /// Object location updates applied to the index.
     pub updates_applied: u64,
+    /// Online re-grids applied (cell-index rebuilds at a new δ). Owned by
+    /// whoever owns the grid, like `updates_applied`: counted once per
+    /// re-grid no matter how many shards re-register their queries.
+    pub regrids: u64,
+    /// Objects re-bucketed across all re-grids (the migration volume a
+    /// re-grid pays on the index side).
+    pub regrid_objects_migrated: u64,
+    /// Queries recomputed from scratch because of a re-grid (each also
+    /// counts in `computations`; this counter isolates the re-grid share).
+    pub regrid_queries_recomputed: u64,
     /// Query-side counters broken down by query class, indexed by
     /// `QueryKind as usize`. Filled by engines serving [`QueryKind`]-aware
     /// query specs; each `by_kind` counter is a partition of the flat
@@ -150,6 +160,9 @@ impl Metrics {
         self.recomputations += other.recomputations;
         self.merge_resolutions += other.merge_resolutions;
         self.updates_applied += other.updates_applied;
+        self.regrids += other.regrids;
+        self.regrid_objects_migrated += other.regrid_objects_migrated;
+        self.regrid_queries_recomputed += other.regrid_queries_recomputed;
         for (mine, theirs) in self.by_kind.iter_mut().zip(&other.by_kind) {
             mine.merge(theirs);
         }

@@ -1,0 +1,181 @@
+//! The δ-independent half of the grid index: the central object tables.
+//!
+//! [`ObjectStore`] owns the per-object state that does **not** depend on
+//! the cell side `δ`: the dense position table (`oid → Option<Point>`,
+//! `None` = off-line) and the parallel back-pointer table that makes
+//! bucket removal O(1). Everything keyed by `δ` — cell buckets, coordinate
+//! math, packed cell ids — lives in [`crate::CellIndex`]; the composed
+//! [`crate::Grid`] orchestrates the two.
+//!
+//! The split exists so that **changing resolution never touches the
+//! object tables**: [`crate::Grid::regrid`] rebuilds the cell index from
+//! the store's positions and rewrites back-pointer *values* in place,
+//! while the tables themselves (their allocations, their `oid → slot`
+//! addressing, the live population) are carried over untouched. The
+//! regrid property suite asserts exactly this invariance.
+
+use cpm_geom::{clamp_coord, ObjectId, Point};
+
+/// Back-pointer of one indexed object: which bucket it lives in and at
+/// which slot. Valid only while the object's position slot is `Some`.
+///
+/// The *table* is δ-independent (one entry per object id); the stored
+/// `cell_id` values are in the current index's packed-id space and are
+/// rewritten by [`crate::Grid::regrid`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BackRef {
+    /// Packed id of the cell whose bucket holds the object.
+    pub(crate) cell_id: u64,
+    /// Index of the object inside that bucket.
+    pub(crate) slot: u32,
+}
+
+/// The central object tables: positions and back-pointers, one dense slot
+/// per object id. This is the δ-independent half of the store/index
+/// split: [`crate::Grid::regrid`] rebuilds the [`crate::CellIndex`]
+/// around it while these tables — and every `oid → position` answer read
+/// through them — are carried over untouched.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    /// Central position table, one slot per object id. `None` = off-line.
+    positions: Vec<Option<Point>>,
+    /// Back-pointer table, parallel to `positions`: `oid → (cell, slot)`.
+    pub(crate) backrefs: Vec<BackRef>,
+    /// Number of live (indexed) objects.
+    live: usize,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (indexed) objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no objects are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current position of object `oid`, or `None` if it is off-line.
+    #[inline]
+    pub fn position(&self, oid: ObjectId) -> Option<Point> {
+        self.positions.get(oid.index()).copied().flatten()
+    }
+
+    /// Iterate over `(oid, position)` for every live object, ascending by
+    /// object id.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (ObjectId(i as u32), p)))
+    }
+
+    /// Memory footprint estimate in the paper's "memory units" (one unit =
+    /// one number; Section 4.1 charges `s_obj = 3·N` for the object data).
+    pub fn space_units(&self) -> usize {
+        3 * self.live
+    }
+
+    /// Mark `oid` live at `p` (clamped into the workspace), growing the
+    /// tables as needed. Returns the stored (clamped) position. The caller
+    /// ([`crate::Grid::insert`]) is responsible for bucketing the object
+    /// and writing its back-pointer.
+    ///
+    /// # Panics
+    /// Panics if the object is already live.
+    #[inline]
+    pub(crate) fn activate(&mut self, oid: ObjectId, p: Point) -> Point {
+        debug_assert!(p.is_finite(), "object position must be finite");
+        let idx = oid.index();
+        if idx >= self.positions.len() {
+            self.positions.resize(idx + 1, None);
+            self.backrefs.resize(idx + 1, BackRef::default());
+        }
+        assert!(
+            self.positions[idx].is_none(),
+            "object {oid} is already indexed"
+        );
+        let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
+        self.positions[idx] = Some(p);
+        self.live += 1;
+        p
+    }
+
+    /// Mark `oid` off-line, returning its last position (`None` if it was
+    /// not live). The caller is responsible for unbucketing the object
+    /// first (its back-pointer is only meaningful while live).
+    #[inline]
+    pub(crate) fn deactivate(&mut self, oid: ObjectId) -> Option<Point> {
+        let p = self.positions.get_mut(oid.index())?.take()?;
+        self.live -= 1;
+        Some(p)
+    }
+
+    /// Verify the store's own invariants (test helper; the cross-checks
+    /// against the cell index live in [`crate::Grid::check_integrity`]).
+    #[doc(hidden)]
+    pub fn check_integrity(&self) {
+        let live_positions = self.positions.iter().flatten().count();
+        assert_eq!(live_positions, self.live, "position table != live count");
+        assert_eq!(
+            self.positions.len(),
+            self.backrefs.len(),
+            "back-pointer table not parallel to positions"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_deactivate_roundtrip() {
+        let mut s = ObjectStore::new();
+        assert!(s.is_empty());
+        let p = s.activate(ObjectId(3), Point::new(0.25, 0.75));
+        assert_eq!(p, Point::new(0.25, 0.75));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.position(ObjectId(3)), Some(p));
+        assert_eq!(s.position(ObjectId(2)), None);
+        assert_eq!(s.space_units(), 3);
+        assert_eq!(s.deactivate(ObjectId(3)), Some(p));
+        assert_eq!(s.deactivate(ObjectId(3)), None);
+        assert!(s.is_empty());
+        s.check_integrity();
+    }
+
+    #[test]
+    fn activate_clamps_into_workspace() {
+        let mut s = ObjectStore::new();
+        let p = s.activate(ObjectId(0), Point::new(2.0, -1.0));
+        assert!(p.x < 1.0 && p.y == 0.0);
+    }
+
+    #[test]
+    fn iter_is_ascending_by_id() {
+        let mut s = ObjectStore::new();
+        for id in [5u32, 1, 9, 3] {
+            s.activate(ObjectId(id), Point::new(0.5, 0.5));
+        }
+        s.deactivate(ObjectId(9)).unwrap();
+        let ids: Vec<u32> = s.iter().map(|(o, _)| o.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn double_activate_panics() {
+        let mut s = ObjectStore::new();
+        s.activate(ObjectId(0), Point::new(0.1, 0.1));
+        s.activate(ObjectId(0), Point::new(0.2, 0.2));
+    }
+}

@@ -28,6 +28,6 @@ pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
 pub use runner::{
     run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_delta_replay,
-    verify_sharded_determinism, verify_unified_server, RunReport,
+    verify_regrid, verify_sharded_determinism, verify_unified_server, RunReport,
 };
 pub use stream::SimulationInput;

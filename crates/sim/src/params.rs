@@ -19,6 +19,14 @@ pub enum WorkloadKind {
         /// Number of hotspots.
         hotspots: usize,
     },
+    /// A single hotspot whose center moves every tick while the
+    /// population breathes between `n_objects` and `n_objects ×
+    /// peak_factor` (triangle wave over the run) — the adversary stream
+    /// for online re-gridding ([`cpm_gen::drift`]).
+    Drift {
+        /// Peak population as a multiple of `n_objects`.
+        peak_factor: f64,
+    },
 }
 
 impl Default for WorkloadKind {

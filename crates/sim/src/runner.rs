@@ -323,6 +323,149 @@ pub fn verify_delta_replay(input: &SimulationInput, shard_counts: &[usize]) {
     }
 }
 
+/// Conformance harness for online re-gridding: replay `input` through
+/// re-gridding engines and prove that **a re-grid is observationally
+/// invisible** — results, changed lists and delta streams are
+/// bit-identical to an engine built at the new δ from scratch.
+///
+/// Lanes:
+///
+/// * one delta-capturing [`cpm_core::ShardedCpmEngine`] per entry of
+///   `shard_counts`, all re-gridding at the cycle boundaries named in
+///   `regrid_at` (`(cycle index, new dim)` — applied before that cycle's
+///   events run);
+/// * a **reference engine rebuilt from scratch at every re-grid point**:
+///   fresh grid at the new δ, populated from the live objects in
+///   ascending id order, queries installed in ascending id order at
+///   their current positions, epoch-aligned by replaying empty cycles.
+///
+/// After every cycle the harness asserts that all lanes and the current
+/// reference produce bit-identical changed lists, delta batches and
+/// per-query results; at the end, lane results are checked against a
+/// brute-force oracle by distance. Panics on any divergence.
+pub fn verify_regrid(input: &SimulationInput, regrid_at: &[(usize, u32)], shard_counts: &[usize]) {
+    use cpm_core::{CycleDeltas, PointQuery, ShardedCpmEngine, SpecEvent};
+    use cpm_geom::QueryId;
+    use std::collections::BTreeMap;
+
+    let translate = |events: &[cpm_grid::QueryEvent]| -> Vec<SpecEvent<PointQuery>> {
+        events
+            .iter()
+            .map(|ev| match *ev {
+                cpm_grid::QueryEvent::Install { id, pos, k } => SpecEvent::Install {
+                    id,
+                    spec: PointQuery(pos),
+                    k,
+                },
+                cpm_grid::QueryEvent::Move { id, to } => SpecEvent::Update {
+                    id,
+                    spec: PointQuery(to),
+                },
+                cpm_grid::QueryEvent::Terminate { id } => SpecEvent::Terminate { id },
+            })
+            .collect()
+    };
+
+    let mut lanes: Vec<ShardedCpmEngine<PointQuery>> = shard_counts
+        .iter()
+        .map(|&s| {
+            let mut e = ShardedCpmEngine::new(input.params.grid_dim, s);
+            e.enable_deltas();
+            e.populate(input.initial_objects.iter().copied());
+            e
+        })
+        .collect();
+    // The live query book (id → position, k), maintained from the event
+    // stream so a reference engine can be installed mid-run.
+    let mut book: BTreeMap<QueryId, (cpm_geom::Point, usize)> = BTreeMap::new();
+    for &(qid, pos, k) in &input.initial_queries {
+        book.insert(qid, (pos, k));
+        for lane in lanes.iter_mut() {
+            lane.install(qid, PointQuery(pos), k).expect("fresh id");
+        }
+    }
+    let mut reference: Option<ShardedCpmEngine<PointQuery>> = None;
+
+    let mut out = CycleDeltas::default();
+    let mut ref_out = CycleDeltas::default();
+    for (t, tick) in input.ticks.iter().enumerate() {
+        if let Some(&(_, dim)) = regrid_at.iter().find(|&&(at, _)| at == t) {
+            for lane in lanes.iter_mut() {
+                lane.regrid_to(dim);
+                lane.check_invariants();
+            }
+            // Build the from-scratch reference at the new δ.
+            let mut fresh = ShardedCpmEngine::new(dim, 1);
+            fresh.enable_deltas();
+            fresh.populate(lanes[0].grid().iter_objects());
+            for (&qid, &(pos, k)) in &book {
+                fresh.install(qid, PointQuery(pos), k).expect("fresh id");
+            }
+            while fresh.epoch() < lanes[0].epoch() {
+                fresh.process_cycle_with_deltas(&[], &[]);
+            }
+            reference = Some(fresh);
+        }
+        for ev in &tick.query_events {
+            match *ev {
+                cpm_grid::QueryEvent::Install { id, pos, k } => {
+                    book.insert(id, (pos, k));
+                }
+                cpm_grid::QueryEvent::Move { id, to } => {
+                    book.get_mut(&id).expect("move of installed query").0 = to;
+                }
+                cpm_grid::QueryEvent::Terminate { id } => {
+                    book.remove(&id);
+                }
+            }
+        }
+        let events = translate(&tick.query_events);
+        lanes[0].process_cycle_with_deltas_into(&tick.object_events, &events, &mut out);
+        for (lane, &shards) in lanes.iter_mut().zip(shard_counts).skip(1) {
+            let other = lane.process_cycle_with_deltas(&tick.object_events, &events);
+            assert_eq!(
+                out, other,
+                "cycle outputs diverged at t={t} with {shards} shards"
+            );
+        }
+        if let Some(fresh) = reference.as_mut() {
+            fresh.process_cycle_with_deltas_into(&tick.object_events, &events, &mut ref_out);
+            assert_eq!(
+                out, ref_out,
+                "re-gridded engine diverged from the from-scratch reference at t={t}"
+            );
+            for &qid in book.keys() {
+                assert_eq!(
+                    lanes[0].result(qid).expect("lane tracks query"),
+                    fresh.result(qid).expect("reference tracks query"),
+                    "result diverged from the from-scratch reference for {qid} at t={t}"
+                );
+            }
+        }
+        for lane in lanes.iter() {
+            lane.check_invariants();
+        }
+    }
+
+    // Anchor to ground truth: brute-force k-NN over the final population.
+    for (&qid, &(pos, k)) in &book {
+        let st = lanes[0].query_state(qid).expect("tracked query installed");
+        assert_eq!(st.k(), k);
+        let mut truth: Vec<f64> = lanes[0]
+            .grid()
+            .iter_objects()
+            .map(|(_, p)| pos.dist(p))
+            .collect();
+        truth.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        truth.truncate(k);
+        let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), truth.len().min(k), "oracle size for {qid}");
+        for (g, e) in got.iter().zip(&truth) {
+            assert!((g - e).abs() < 1e-9, "oracle mismatch for {qid}");
+        }
+    }
+}
+
 /// Run every contender (CPM, YPK-CNN, SEA-CNN) over the same input.
 pub fn run_contenders(input: &SimulationInput) -> Vec<RunReport> {
     AlgoKind::CONTENDERS
@@ -780,6 +923,18 @@ mod tests {
     #[test]
     fn delta_replay_reconstructs_the_oracle() {
         verify_delta_replay(&SimulationInput::generate(&tiny_params()), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn regrids_are_observationally_invisible() {
+        // Two mid-run re-grids (refine, then coarsen) on the drifting
+        // workload, checked sequentially and at 4 shards.
+        let params = SimParams {
+            workload: WorkloadKind::Drift { peak_factor: 4.0 },
+            ..tiny_params()
+        };
+        let input = SimulationInput::generate(&params);
+        verify_regrid(&input, &[(3, 64), (8, 16)], &[1, 4]);
     }
 
     #[test]

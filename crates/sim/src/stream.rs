@@ -8,7 +8,8 @@
 //! the timed sections.
 
 use cpm_gen::{
-    NetworkWorkload, RoadNetwork, SkewConfig, SkewedWorkload, TickEvents, UniformWorkload,
+    DriftConfig, DriftingHotspotWorkload, NetworkWorkload, RoadNetwork, SkewConfig, SkewedWorkload,
+    TickEvents, UniformWorkload,
 };
 use cpm_geom::{ObjectId, Point, QueryId};
 
@@ -70,6 +71,24 @@ impl SimulationInput {
                     ..SkewConfig::default()
                 };
                 let mut w = SkewedWorkload::new(params.workload_config(), skew);
+                let initial_objects = w.initial_objects().collect();
+                let initial_queries = w.initial_queries().collect();
+                let ticks = (0..params.timestamps).map(|_| w.tick()).collect();
+                Self {
+                    params: *params,
+                    initial_objects,
+                    initial_queries,
+                    ticks,
+                }
+            }
+            WorkloadKind::Drift { peak_factor } => {
+                let drift = DriftConfig {
+                    peak_factor,
+                    // One full breath (base → peak → base) per run.
+                    ramp_ticks: (params.timestamps / 2).max(1),
+                    ..DriftConfig::default()
+                };
+                let mut w = DriftingHotspotWorkload::new(params.workload_config(), drift);
                 let initial_objects = w.initial_objects().collect();
                 let initial_queries = w.initial_queries().collect();
                 let ticks = (0..params.timestamps).map(|_| w.tick()).collect();

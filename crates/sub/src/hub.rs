@@ -114,6 +114,23 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
         self.engine.populate(objects);
     }
 
+    /// Set the engine's online re-grid policy (see
+    /// [`cpm_core::RegridPolicy`]). Re-grids are invisible to
+    /// subscribers: results are δ-independent, so a re-grid cycle's delta
+    /// batch is exactly what a never-re-gridded hub would have shipped —
+    /// no spurious deltas, no resync required.
+    pub fn set_regrid_policy(&mut self, policy: cpm_core::RegridPolicy) {
+        self.engine.set_regrid_policy(policy);
+    }
+
+    /// Re-grid the engine to a new resolution now (see
+    /// [`cpm_core::ShardedCpmEngine::regrid_to`]); applies at the next
+    /// [`commit`](SubscriptionHub::commit) boundary's cycle. Returns the
+    /// number of objects migrated.
+    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+        self.engine.regrid_to(new_dim)
+    }
+
     /// Register a subscription: query geometry `spec`, result size `k`.
     /// The query is installed at the next [`commit`], and its initial
     /// result arrives in the mailbox as an all-additions delta.
