@@ -13,11 +13,11 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_regrid, check_server, check_shards, parse_deltas_baseline,
-    parse_grid_baseline, parse_regrid_baseline, parse_server_baseline, parse_shards_baseline,
-    GateReport, DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_recovery, check_regrid, check_server, check_shards,
+    parse_deltas_baseline, parse_grid_baseline, parse_recovery_baseline, parse_regrid_baseline,
+    parse_server_baseline, parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, regrid, server, shards};
+use cpm_bench::{deltas, grid_storage, recovery, regrid, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -149,6 +149,36 @@ fn main() {
         run.adaptive_speedup, run.regrids, run.fixed_dim, run.final_dim
     );
     failed |= print_report(check_regrid(&run, cfg.n_base, regrid_baseline, tolerance));
+
+    // Gate 6: crash-recovery restart pause vs the cycle cost it
+    // interrupts. Cycle and recovery are timed in this process seconds
+    // apart, so the <= 25-median-cycles pause bound is machine-independent
+    // and never widened by BENCH_CHECK_TOLERANCE.
+    let cfg = recovery::RecoveryBenchConfig::reduced();
+    let recovery_baseline = std::fs::read_to_string(format!("{root}/BENCH_recovery.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_recovery_baseline);
+    println!(
+        "\n## crash recovery (reduced: N={}, queries {}+{}+{}+{}, {} cycles journaled)",
+        cfg.n_objects,
+        cfg.knn_queries,
+        cfg.range_queries,
+        cfg.constrained_queries,
+        cfg.rnn_queries,
+        cfg.cycles
+    );
+    let run = recovery::run(&cfg);
+    println!(
+        "   cycle {:.3} ms (max {:.3}), recovery {:.3} ms = {:.2} median cycles",
+        run.median_cycle_ms, run.max_cycle_ms, run.recovery_ms, run.recovery_over_cycle
+    );
+    failed |= print_report(check_recovery(
+        &run,
+        cfg.n_objects,
+        recovery_baseline,
+        tolerance,
+    ));
 
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");

@@ -1,0 +1,65 @@
+//! Record the crash-recovery baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_recovery
+//! ```
+//!
+//! Journals the acceptance-scale workload (100K objects, the mixed query
+//! set — see [`cpm_bench::recovery`]) and times a full
+//! snapshot-restore + journal-replay recovery, **three times**, recording
+//! the median-pause-ratio run to `BENCH_recovery.json` at the workspace
+//! root. The recorded `recovery_over_cycle` is the PR acceptance number
+//! (bar: ≤ 25× the median cycle) and the curve `bench_check` compares
+//! reduced-scale re-runs against.
+
+use cpm_bench::recovery::{render_json, run, RecoveryBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = RecoveryBenchConfig::default();
+    println!(
+        "bench_recovery: N={}, queries {}+{}+{}+{} (k={}), {} cycles journaled, \
+         {}² grid, {} shard(s), median of {RUNS} runs",
+        cfg.n_objects,
+        cfg.knn_queries,
+        cfg.range_queries,
+        cfg.constrained_queries,
+        cfg.rnn_queries,
+        cfg.k,
+        cfg.cycles,
+        cfg.grid_dim,
+        cfg.shards
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: recovery {:.3} ms = {:.2} median cycles ({:.3} ms/cycle, \
+                 {} records replayed, snapshot {} B)",
+                i + 1,
+                r.recovery_ms,
+                r.recovery_over_cycle,
+                r.median_cycle_ms,
+                r.replayed,
+                r.snapshot_bytes
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.recovery_over_cycle
+            .partial_cmp(&b.recovery_over_cycle)
+            .expect("finite ratios")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    println!(
+        "  median run: {:.3} ms cycle, {:.3} ms recovery, pause ratio {:.2}",
+        result.median_cycle_ms, result.recovery_ms, result.recovery_over_cycle
+    );
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}

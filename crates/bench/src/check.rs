@@ -512,6 +512,91 @@ pub fn check_regrid(
     report
 }
 
+/// Restart-pause bound: a full recovery (snapshot restore + journal
+/// replay) may cost at most this many median cycles of the workload it
+/// interrupts. Recovery rebuilds the grid and recomputes every query
+/// from scratch, so it is never free — but a monitoring server that
+/// takes longer than ~one checkpoint interval of cycles to come back has
+/// effectively lost the stream it was monitoring. Mirrors
+/// [`REGRID_PAUSE_FACTOR`], the other whole-state-rebuild bound.
+pub const RECOVERY_PAUSE_FACTOR: f64 = 25.0;
+
+/// The context a `BENCH_recovery.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryBaseline {
+    /// Recorded `recovery ms / median cycle ms` ratio.
+    pub recovery_over_cycle: f64,
+    /// Object population of the recording run. The ratio scales with how
+    /// much snapshot-restore work amortizes per cycle, so the curve only
+    /// binds between runs at the same scale (like the re-grid gate).
+    pub n_objects: usize,
+}
+
+/// Parse the pause ratio and recording scale of a `BENCH_recovery.json`
+/// document.
+pub fn parse_recovery_baseline(json: &str) -> Option<RecoveryBaseline> {
+    let recovery_over_cycle = json
+        .lines()
+        .find(|line| line.contains("recovery_over_cycle"))
+        .and_then(|line| field_f64(line, "recovery_over_cycle"))?;
+    let n_objects = json
+        .lines()
+        .find(|line| line.contains("\"n_objects\""))
+        .and_then(|line| field_f64(line, "n_objects"))? as usize;
+    Some(RecoveryBaseline {
+        recovery_over_cycle,
+        n_objects,
+    })
+}
+
+/// Gate the recovery benchmark: the journal must actually have been
+/// replayed, the restart pause must stay within
+/// [`RECOVERY_PAUSE_FACTOR`] median cycles (a same-process ratio, never
+/// widened by `tolerance`), and the pause ratio must stay within
+/// `tolerance` of the checked-in baseline curve when one was recorded at
+/// the same scale.
+pub fn check_recovery(
+    run: &crate::recovery::RecoveryBenchRun,
+    measured_n_objects: usize,
+    baseline: Option<RecoveryBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if run.replayed == 0 {
+        report
+            .failures
+            .push("recovery replayed no journal records — the bench measured nothing".into());
+        return report;
+    }
+    report.lines.push(format!(
+        "recovery: {} record(s) replayed, snapshot {} B, journal {} B",
+        run.replayed, run.snapshot_bytes, run.journal_bytes
+    ));
+    report.compare(
+        "full recovery vs median cycle (restart-pause bound)",
+        run.recovery_ms,
+        RECOVERY_PAUSE_FACTOR * run.median_cycle_ms,
+        run.median_cycle_ms,
+    );
+    match baseline {
+        Some(b) if b.n_objects == measured_n_objects => report.compare(
+            "recovery pause ratio vs checked-in baseline curve",
+            run.recovery_over_cycle,
+            b.recovery_over_cycle * (1.0 + tolerance),
+            b.recovery_over_cycle,
+        ),
+        Some(b) => report.lines.push(format!(
+            "baseline recorded at N={} (this run: N={measured_n_objects}): pause ratios are \
+             only comparable at equal scale, curve comparison skipped",
+            b.n_objects
+        )),
+        None => report
+            .lines
+            .push("no BENCH_recovery.json baseline: curve comparison skipped".into()),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +860,68 @@ mod tests {
             n_base: 10_000,
         });
         assert!(check_regrid(&regrid_run(1.5, 1, 20.0), 2_000, full_scale, 0.25).passed());
+    }
+
+    fn recovery_run(over_cycle: f64, replayed: usize) -> crate::recovery::RecoveryBenchRun {
+        crate::recovery::RecoveryBenchRun {
+            median_cycle_ms: 10.0,
+            max_cycle_ms: 14.0,
+            recovery_ms: 10.0 * over_cycle,
+            recovery_over_cycle: over_cycle,
+            snapshot_bytes: 1 << 20,
+            journal_bytes: 1 << 16,
+            replayed,
+            result_changes: 40,
+        }
+    }
+
+    #[test]
+    fn recovery_gate_enforces_the_pause_bound() {
+        assert!(check_recovery(&recovery_run(8.0, 20), 10_000, None, 0.25).passed());
+        assert!(check_recovery(&recovery_run(25.0, 20), 10_000, None, 0.25).passed());
+        assert!(!check_recovery(&recovery_run(30.0, 20), 10_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_recovery(&recovery_run(30.0, 20), 10_000, None, 10.0).passed());
+        // An empty journal means the bench measured nothing.
+        assert!(!check_recovery(&recovery_run(8.0, 0), 10_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn recovery_gate_compares_against_the_baseline_curve() {
+        let baseline = Some(RecoveryBaseline {
+            recovery_over_cycle: 6.0,
+            n_objects: 10_000,
+        });
+        assert!(check_recovery(&recovery_run(7.0, 20), 10_000, baseline, 0.25).passed());
+        // Under the hard bar but far beyond our own recorded curve.
+        assert!(!check_recovery(&recovery_run(10.0, 20), 10_000, baseline, 0.25).passed());
+        // A baseline recorded at another scale pins nothing.
+        let full_scale = Some(RecoveryBaseline {
+            recovery_over_cycle: 6.0,
+            n_objects: 100_000,
+        });
+        assert!(check_recovery(&recovery_run(10.0, 20), 10_000, full_scale, 0.25).passed());
+    }
+
+    #[test]
+    fn recovery_baseline_roundtrips_through_json() {
+        let cfg = crate::recovery::RecoveryBenchConfig {
+            n_objects: 400,
+            knn_queries: 3,
+            range_queries: 3,
+            constrained_queries: 3,
+            rnn_queries: 1,
+            k: 2,
+            cycles: 3,
+            grid_dim: 16,
+            recover_trials: 1,
+            ..crate::recovery::RecoveryBenchConfig::default()
+        };
+        let run = crate::recovery::run(&cfg);
+        let json = crate::recovery::render_json(&cfg, &run);
+        let parsed = parse_recovery_baseline(&json).expect("ratio recorded");
+        assert!((parsed.recovery_over_cycle - run.recovery_over_cycle).abs() < 1e-3);
+        assert_eq!(parsed.n_objects, 400);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
 //! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
-//!   — the micro-benchmarks behind the `BENCH_grid.json` /
+//!   / [`recovery`] — the micro-benchmarks behind the `BENCH_grid.json` /
 //!   `BENCH_shards.json` / `BENCH_deltas.json` / `BENCH_server.json` /
-//!   `BENCH_regrid.json` baselines.
+//!   `BENCH_regrid.json` / `BENCH_recovery.json` baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -26,6 +26,7 @@ pub mod deltas;
 pub mod figures;
 pub mod grid_storage;
 mod movers;
+pub mod recovery;
 pub mod regrid;
 pub mod server;
 pub mod shards;

@@ -169,13 +169,22 @@ fn build_workload(cfg: &ServerBenchConfig) -> Workload {
     let cycles = crate::movers::random_walk_cycles(&mut rng, &mut positions, total_cycles, movers)
         .into_iter()
         .map(|batch| {
-            batch
+            // The walk may step one object twice in a cycle; the server's
+            // ingest validation rejects duplicate ids in a batch, so keep
+            // only each object's final position — exactly what sequential
+            // last-wins application produced before.
+            let mut seen = std::collections::HashSet::new();
+            let mut events: Vec<ObjectEvent> = batch
                 .into_iter()
+                .rev()
+                .filter(|(i, _)| seen.insert(*i))
                 .map(|(i, to)| ObjectEvent::Move {
                     id: ObjectId(i as u32),
                     to,
                 })
-                .collect()
+                .collect();
+            events.reverse();
+            events
         })
         .collect();
     Workload {

@@ -1,0 +1,573 @@
+//! Wire codecs ([`Encode`]/[`Decode`]) for the core query, delta and
+//! policy types, so snapshots and journal records can carry them across
+//! the durability boundary.
+//!
+//! Every invariant a constructor would enforce by panicking — finite
+//! coordinates, non-empty ANN point sets, sector indices below the wedge
+//! count, ordered regrid bounds — is re-checked here and reported as a
+//! typed [`WireError::Invalid`] with the offending byte offset, so a
+//! corrupted artifact can never smuggle a panic (or a silently wrong
+//! value) into a recovered engine.
+
+use cpm_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::ann::{AggregateFn, AnnQuery};
+use crate::any::AnyQuerySpec;
+use crate::constrained::ConstrainedQuery;
+use crate::delta::{CycleDeltas, DeltaBuf, NeighborDelta};
+use crate::engine::{PointQuery, SpecEvent};
+use crate::neighbors::Neighbor;
+use crate::range::{RangeQuery, Region};
+use crate::regrid::{AutoRegridConfig, RegridPolicy};
+use crate::rnn::RnnQuery;
+
+impl Encode for Neighbor {
+    fn encode(&self, w: &mut Writer) {
+        self.id.encode(w);
+        w.put_f64(self.dist);
+    }
+}
+
+impl Decode for Neighbor {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = cpm_geom::ObjectId::decode(r)?;
+        let at = r.offset();
+        let dist = r.take_f64()?;
+        // Result distances are never NaN (the lists sort by partial_cmp),
+        // but +∞ is legitimate transient state for restricted specs.
+        if dist.is_nan() {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "NaN neighbor distance",
+            });
+        }
+        Ok(Neighbor { id, dist })
+    }
+}
+
+/// `DeltaBuf` encodes exactly like the slice it wraps; decoding pushes
+/// entries back one by one (re-spilling past the inline capacity).
+impl<T: Copy + Default + Encode> Encode for DeltaBuf<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(u32::try_from(self.len()).expect("delta component fits a u32 length prefix"));
+        for item in self.as_slice() {
+            item.encode(w);
+        }
+    }
+}
+
+impl<T: Copy + Default + Decode> Decode for DeltaBuf<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(1)?;
+        let mut buf = DeltaBuf::new();
+        for _ in 0..len {
+            buf.push(T::decode(r)?);
+        }
+        Ok(buf)
+    }
+}
+
+impl Encode for NeighborDelta {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.added.encode(w);
+        self.removed.encode(w);
+        self.reordered.encode(w);
+    }
+}
+
+impl Decode for NeighborDelta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NeighborDelta {
+            epoch: r.take_u64()?,
+            added: DeltaBuf::decode(r)?,
+            removed: DeltaBuf::decode(r)?,
+            reordered: DeltaBuf::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CycleDeltas {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.changed.encode(w);
+        self.deltas.encode(w);
+    }
+}
+
+impl Decode for CycleDeltas {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CycleDeltas {
+            epoch: r.take_u64()?,
+            changed: Vec::decode(r)?,
+            deltas: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PointQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for PointQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PointQuery(cpm_geom::Point::decode(r)?))
+    }
+}
+
+impl Encode for Region {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Region::Rect(rect) => {
+                w.put_u8(0);
+                rect.encode(w);
+            }
+            Region::Circle { center, radius } => {
+                w.put_u8(1);
+                center.encode(w);
+                w.put_f64(radius);
+            }
+        }
+    }
+}
+
+impl Decode for Region {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => Ok(Region::Rect(cpm_geom::Rect::decode(r)?)),
+            1 => {
+                let center = cpm_geom::Point::decode(r)?;
+                let radius_at = r.offset();
+                let radius = r.take_f64()?;
+                if !radius.is_finite() || radius < 0.0 {
+                    return Err(WireError::Invalid {
+                        offset: radius_at,
+                        what: "circle radius must be finite and non-negative",
+                    });
+                }
+                Ok(Region::Circle { center, radius })
+            }
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown region tag",
+            }),
+        }
+    }
+}
+
+impl Encode for RangeQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.region.encode(w);
+    }
+}
+
+impl Decode for RangeQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RangeQuery {
+            region: Region::decode(r)?,
+        })
+    }
+}
+
+impl Encode for AggregateFn {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AggregateFn::Sum => 0,
+            AggregateFn::Min => 1,
+            AggregateFn::Max => 2,
+        });
+    }
+}
+
+impl Decode for AggregateFn {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => Ok(AggregateFn::Sum),
+            1 => Ok(AggregateFn::Min),
+            2 => Ok(AggregateFn::Max),
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown aggregate-function tag",
+            }),
+        }
+    }
+}
+
+impl Encode for AnnQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.points().to_vec().encode(w);
+        self.aggregate().encode(w);
+    }
+}
+
+impl Decode for AnnQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        let points: Vec<cpm_geom::Point> = Vec::decode(r)?;
+        if points.is_empty() {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "ANN query needs at least one point",
+            });
+        }
+        let f = AggregateFn::decode(r)?;
+        Ok(AnnQuery::new(points, f))
+    }
+}
+
+impl Encode for ConstrainedQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.q.encode(w);
+        self.region.encode(w);
+    }
+}
+
+impl Decode for ConstrainedQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ConstrainedQuery {
+            q: cpm_geom::Point::decode(r)?,
+            region: cpm_geom::Rect::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RnnQuery {
+    fn encode(&self, w: &mut Writer) {
+        self.q().encode(w);
+        w.put_u8(self.sector() as u8);
+    }
+}
+
+impl Decode for RnnQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let q = cpm_geom::Point::decode(r)?;
+        let at = r.offset();
+        let sector = r.take_u8()? as u32;
+        // Six 60° wedges partition the plane (Lemma in Section 6 of the
+        // paper); RnnQuery::new panics past that.
+        if sector >= 6 {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "reverse-NN sector index out of range",
+            });
+        }
+        Ok(RnnQuery::new(q, sector))
+    }
+}
+
+impl Encode for AnyQuerySpec {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AnyQuerySpec::Knn(q) => {
+                w.put_u8(0);
+                q.encode(w);
+            }
+            AnyQuerySpec::Range(q) => {
+                w.put_u8(1);
+                q.encode(w);
+            }
+            AnyQuerySpec::Ann(q) => {
+                w.put_u8(2);
+                q.encode(w);
+            }
+            AnyQuerySpec::Constrained(q) => {
+                w.put_u8(3);
+                q.encode(w);
+            }
+            AnyQuerySpec::Rnn(q) => {
+                w.put_u8(4);
+                q.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for AnyQuerySpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => Ok(AnyQuerySpec::Knn(PointQuery::decode(r)?)),
+            1 => Ok(AnyQuerySpec::Range(RangeQuery::decode(r)?)),
+            2 => Ok(AnyQuerySpec::Ann(AnnQuery::decode(r)?)),
+            3 => Ok(AnyQuerySpec::Constrained(ConstrainedQuery::decode(r)?)),
+            4 => Ok(AnyQuerySpec::Rnn(RnnQuery::decode(r)?)),
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown query-spec tag",
+            }),
+        }
+    }
+}
+
+impl<S: Encode> Encode for SpecEvent<S> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SpecEvent::Install { id, spec, k } => {
+                w.put_u8(0);
+                id.encode(w);
+                spec.encode(w);
+                k.encode(w);
+            }
+            SpecEvent::Update { id, spec } => {
+                w.put_u8(1);
+                id.encode(w);
+                spec.encode(w);
+            }
+            SpecEvent::Terminate { id } => {
+                w.put_u8(2);
+                id.encode(w);
+            }
+        }
+    }
+}
+
+impl<S: Decode> Decode for SpecEvent<S> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => {
+                let id = cpm_geom::QueryId::decode(r)?;
+                let spec = S::decode(r)?;
+                let k_at = r.offset();
+                let k = usize::decode(r)?;
+                if k == 0 {
+                    return Err(WireError::Invalid {
+                        offset: k_at,
+                        what: "install event with k = 0",
+                    });
+                }
+                Ok(SpecEvent::Install { id, spec, k })
+            }
+            1 => Ok(SpecEvent::Update {
+                id: cpm_geom::QueryId::decode(r)?,
+                spec: S::decode(r)?,
+            }),
+            2 => Ok(SpecEvent::Terminate {
+                id: cpm_geom::QueryId::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown query-event tag",
+            }),
+        }
+    }
+}
+
+impl Encode for AutoRegridConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.min_dim);
+        w.put_u32(self.max_dim);
+        w.put_u64(self.check_every);
+        w.put_f64(self.hysteresis);
+        w.put_u64(self.cooldown);
+    }
+}
+
+impl Decode for AutoRegridConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        let cfg = AutoRegridConfig {
+            min_dim: r.take_u32()?,
+            max_dim: r.take_u32()?,
+            check_every: r.take_u64()?,
+            hysteresis: r.take_f64()?,
+            cooldown: r.take_u64()?,
+        };
+        if cfg.min_dim < 1 || cfg.min_dim > cfg.max_dim || cfg.max_dim > 4096 {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "regrid dimension bounds out of order or out of range",
+            });
+        }
+        if cfg.check_every < 1 {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "regrid check interval must be at least one cycle",
+            });
+        }
+        if !(cfg.hysteresis.is_finite() && cfg.hysteresis > 1.0) {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "regrid hysteresis must be finite and greater than 1",
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+impl Encode for RegridPolicy {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RegridPolicy::Manual => w.put_u8(0),
+            RegridPolicy::Auto(cfg) => {
+                w.put_u8(1);
+                cfg.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for RegridPolicy {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => Ok(RegridPolicy::Manual),
+            1 => Ok(RegridPolicy::Auto(AutoRegridConfig::decode(r)?)),
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown regrid-policy tag",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_geom::{ObjectId, Point, QueryId, Rect};
+
+    fn n(id: u32, dist: f64) -> Neighbor {
+        Neighbor {
+            id: ObjectId(id),
+            dist,
+        }
+    }
+
+    #[test]
+    fn specs_roundtrip() {
+        let specs = vec![
+            AnyQuerySpec::Knn(PointQuery(Point::new(0.25, 0.75))),
+            AnyQuerySpec::Range(RangeQuery::circle(Point::new(0.5, 0.5), 0.1)),
+            AnyQuerySpec::Range(RangeQuery::rect(Rect::new(
+                Point::new(0.1, 0.2),
+                Point::new(0.3, 0.4),
+            ))),
+            AnyQuerySpec::Ann(AnnQuery::new(
+                vec![Point::new(0.1, 0.1), Point::new(0.9, 0.2)],
+                AggregateFn::Max,
+            )),
+            AnyQuerySpec::Constrained(ConstrainedQuery::northeast_of(Point::new(0.4, 0.4))),
+            AnyQuerySpec::Rnn(RnnQuery::new(Point::new(0.6, 0.6), 5)),
+        ];
+        let got = Vec::<AnyQuerySpec>::decode_all(&specs.encode_to_vec()).unwrap();
+        assert_eq!(got.len(), specs.len());
+        for (g, s) in got.iter().zip(&specs) {
+            // Specs lack PartialEq; bit-compare their encodings instead.
+            assert_eq!(g.encode_to_vec(), s.encode_to_vec());
+        }
+    }
+
+    #[test]
+    fn deltas_roundtrip_bit_exact() {
+        let mut delta = NeighborDelta {
+            epoch: 9,
+            ..Default::default()
+        };
+        // Push past the inline capacity so the spill path decodes too.
+        for i in 0..7 {
+            delta.added.push(n(i, 0.125 * f64::from(i)));
+        }
+        delta.removed.push(ObjectId(40));
+        delta.reordered.push(n(41, 0.5));
+        let batch = CycleDeltas {
+            epoch: 9,
+            changed: vec![QueryId(1), QueryId(3)],
+            deltas: vec![(QueryId(1), delta.clone())],
+        };
+        let got = CycleDeltas::decode_all(&batch.encode_to_vec()).unwrap();
+        assert_eq!(got, batch);
+        assert_eq!(
+            NeighborDelta::decode_all(&delta.encode_to_vec()).unwrap(),
+            delta
+        );
+    }
+
+    #[test]
+    fn events_and_policies_roundtrip() {
+        let events: Vec<SpecEvent<AnyQuerySpec>> = vec![
+            SpecEvent::Install {
+                id: QueryId(1),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.2, 0.3))),
+                k: 4,
+            },
+            SpecEvent::Update {
+                id: QueryId(1),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.4, 0.3))),
+            },
+            SpecEvent::Terminate { id: QueryId(1) },
+        ];
+        let got = Vec::<SpecEvent<AnyQuerySpec>>::decode_all(&events.encode_to_vec()).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[0], SpecEvent::Install { k: 4, .. }));
+        assert!(matches!(got[2], SpecEvent::Terminate { id } if id == QueryId(1)));
+
+        for policy in [RegridPolicy::Manual, RegridPolicy::auto()] {
+            let got = RegridPolicy::decode_all(&policy.encode_to_vec()).unwrap();
+            assert_eq!(got, policy);
+        }
+    }
+
+    #[test]
+    fn corrupted_values_are_typed_errors() {
+        // k = 0 install.
+        let ev = SpecEvent::Install {
+            id: QueryId(1),
+            spec: PointQuery(Point::new(0.1, 0.1)),
+            k: 1,
+        };
+        let mut bytes = ev.encode_to_vec();
+        let klen = bytes.len();
+        bytes[klen - 8..].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            SpecEvent::<PointQuery>::decode_all(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+        // Negative circle radius.
+        let mut w = Writer::new();
+        w.put_u8(1);
+        Point::new(0.5, 0.5).encode(&mut w);
+        w.put_f64(-0.25);
+        assert!(matches!(
+            Region::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+        // Empty ANN point set.
+        let mut w = Writer::new();
+        w.put_u32(0);
+        AggregateFn::Sum.encode(&mut w);
+        assert!(matches!(
+            AnnQuery::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+        // Sector ≥ 6.
+        let mut w = Writer::new();
+        Point::new(0.5, 0.5).encode(&mut w);
+        w.put_u8(6);
+        assert!(matches!(
+            RnnQuery::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+        // NaN neighbor distance.
+        let mut w = Writer::new();
+        ObjectId(1).encode(&mut w);
+        w.put_f64(f64::NAN);
+        assert!(matches!(
+            Neighbor::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+        // Inverted regrid bounds.
+        let cfg = AutoRegridConfig {
+            min_dim: 64,
+            max_dim: 8,
+            ..Default::default()
+        };
+        assert!(matches!(
+            AutoRegridConfig::decode_all(&cfg.encode_to_vec()),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+}

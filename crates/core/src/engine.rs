@@ -471,6 +471,43 @@ impl<S: QuerySpec> EngineCore<S> {
         Ok(self.queries.entry(id).or_insert(st).result())
     }
 
+    /// Overwrite the cycle counter during snapshot restore, after the
+    /// restored queries have been installed. [`EngineCore::apply_records`]
+    /// pre-increments, so a core restored to epoch `e` emits its next
+    /// cycle at `e + 1` — exactly the numbering an uninterrupted engine
+    /// would use.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Install a query from a snapshot: identical to
+    /// [`EngineCore::install`], except that the snapshot's `captured`
+    /// result (what the crashed engine last reported and subscribers
+    /// hold) is reconciled against the freshly recomputed one. Both are
+    /// the canonical `(dist, id)`-minimal set, so they agree in practice;
+    /// if an exact-distance tie ever resolves differently, the change is
+    /// parked through the same `regrid_changed`/`regrid_prelists`
+    /// machinery a re-grid uses, and surfaces in the next cycle's changed
+    /// list and delta stream instead of being silently dropped.
+    pub(crate) fn restore_query(
+        &mut self,
+        grid: &Grid,
+        id: QueryId,
+        spec: S,
+        k: usize,
+        captured: &[Neighbor],
+    ) -> Result<(), CpmError> {
+        self.install(grid, id, spec, k)?;
+        let st = &self.queries[&id];
+        if st.best.neighbors() != captured {
+            self.regrid_changed.push(id);
+            if self.collect_deltas {
+                self.regrid_prelists.push((id, captured.to_vec()));
+            }
+        }
+        Ok(())
+    }
+
     pub(crate) fn terminate(&mut self, id: QueryId) -> Result<(), CpmError> {
         match self.queries.remove(&id) {
             Some(st) => {

@@ -9,7 +9,7 @@
 //! after installs) remain panics: they are bugs in the embedding code, not
 //! runtime conditions to handle.
 
-use cpm_geom::QueryId;
+use cpm_geom::{ObjectId, QueryId};
 use cpm_grid::QueryKind;
 
 /// Why a query-registry operation was rejected.
@@ -41,6 +41,22 @@ pub enum CpmError {
     /// `update_spec`): RNN registrations are managed through the
     /// dedicated calls (`install_rnn` / `update_rnn` / `terminate`).
     CompositeQuery(QueryId),
+    /// An object event carried a NaN or infinite coordinate. The engines
+    /// clamp out-of-range *finite* coordinates, but a non-finite position
+    /// is always a corrupted producer; the server rejects the whole batch
+    /// before any state changes.
+    NonFiniteCoordinate(ObjectId),
+    /// An object event placed an object outside the unit workspace. The
+    /// legacy single-kind monitors clamp such positions to the boundary;
+    /// the server surface treats them as hostile input and rejects the
+    /// batch before any state changes.
+    OutOfWorkspace(ObjectId),
+    /// One batch contained two object events for the same id. Per-cycle
+    /// semantics admit at most one event per object (the paper's update
+    /// tuple replaces the object's position once per timestamp), so a
+    /// duplicate means the producer double-sent; the batch is rejected
+    /// before any state changes.
+    DuplicateObject(ObjectId),
 }
 
 impl std::fmt::Display for CpmError {
@@ -66,6 +82,16 @@ impl std::fmt::Display for CpmError {
                 "query {id} is a composite reverse-NN registration: use install_rnn / \
                  update_rnn / terminate instead of the single-spec surface"
             ),
+            CpmError::NonFiniteCoordinate(id) => {
+                write!(f, "object {id}: event carries a NaN or infinite coordinate")
+            }
+            CpmError::OutOfWorkspace(id) => write!(
+                f,
+                "object {id}: event places the object outside the unit workspace"
+            ),
+            CpmError::DuplicateObject(id) => {
+                write!(f, "object {id} appears more than once in the event batch")
+            }
         }
     }
 }

@@ -33,6 +33,9 @@
 //!   inside the maintenance phase and merged deterministically across
 //!   shards; the wire format of the [`cpm-sub`] subscription layer.
 //! * [`analysis`] — the closed-form cost model of Section 4.1.
+//! * [`snapshot`] — crash-consistent durability: logical snapshots, an
+//!   append-only operation journal (over the [`cpm_wire`] codec), and the
+//!   [`DurableCpmServer`] checkpoint/replay recovery wrapper.
 //! * [`regrid`] — cost-model-driven **online re-gridding**: the engines
 //!   re-evaluate their grid resolution against the observed workload at
 //!   cycle boundaries ([`RegridPolicy`]), migrating the cell index and
@@ -51,6 +54,7 @@
 pub mod analysis;
 pub mod ann;
 pub mod any;
+pub mod codec;
 pub mod constrained;
 pub mod delta;
 pub mod engine;
@@ -65,6 +69,7 @@ pub mod regrid;
 pub mod rnn;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
 
 pub use analysis::CostModel;
 pub use ann::{AggregateFn, AnnQuery, CpmAnnMonitor};
@@ -84,3 +89,6 @@ pub use server::{
     RnnHandle,
 };
 pub use shard::{shard_of, ShardedCpmEngine, ShardedKnnMonitor};
+pub use snapshot::{
+    DurableCpmServer, EngineSnapshot, JournalRecord, RecoveryError, RecoveryReport, Snapshot,
+};

@@ -266,9 +266,13 @@ impl CpmRangeMonitor {
                 .map(crate::any::wrap_event),
         );
         let events = std::mem::take(&mut self.event_buf);
+        // Legacy monitor surface: clamp stray coordinates and keep each
+        // object's final event, as sequential application always did,
+        // before the server's strict ingest validation.
+        let object_events = crate::server::sanitize_object_events(object_events);
         let changed = self
             .server
-            .process_cycle(object_events, &events)
+            .process_cycle(&object_events, &events)
             .unwrap_or_else(|e| panic!("{e}"));
         self.event_buf = events;
         changed

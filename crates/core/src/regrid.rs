@@ -182,6 +182,30 @@ impl RegridController {
         self.policy = policy;
     }
 
+    /// The controller's full decision state, for snapshot capture:
+    /// `(f_obj EMA, f_qry EMA, primed, last_eval, last_regrid)`.
+    pub(crate) fn export_state(&self) -> (f64, f64, bool, u64, u64) {
+        (
+            self.f_obj,
+            self.f_qry,
+            self.primed,
+            self.last_eval,
+            self.last_regrid,
+        )
+    }
+
+    /// Overwrite the decision state with a captured snapshot (the inverse
+    /// of [`RegridController::export_state`]); the policy is unchanged.
+    pub(crate) fn import_state(&mut self, state: (f64, f64, bool, u64, u64)) {
+        (
+            self.f_obj,
+            self.f_qry,
+            self.primed,
+            self.last_eval,
+            self.last_regrid,
+        ) = state;
+    }
+
     /// Fold one cycle's event-batch sizes into the agility EMAs.
     pub fn observe_cycle(
         &mut self,

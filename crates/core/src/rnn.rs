@@ -316,9 +316,13 @@ impl CpmRnnMonitor {
                 }
             }
         }
+        // Legacy monitor surface: clamp stray coordinates and keep each
+        // object's final event, as sequential application always did,
+        // before the server's strict ingest validation.
+        let object_events = crate::server::sanitize_object_events(object_events);
         let mut changed = self
             .server
-            .process_cycle(object_events, &[])
+            .process_cycle(&object_events, &[])
             .unwrap_or_else(|e| panic!("{e}"));
         for (id, prev) in touched {
             if self.server.rnn_result(id).is_some_and(|now| now != prev) {

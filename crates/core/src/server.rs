@@ -54,7 +54,7 @@ use crate::shard::ShardedCpmEngine;
 use crate::{AnnQuery, ConstrainedQuery};
 
 /// Sectors per reverse-NN query (the six-region method).
-const SECTORS: u32 = 6;
+pub(crate) const SECTORS: u32 = 6;
 
 /// First id of the band the server reserves for internal queries (the
 /// reverse-NN sector candidates). User query ids must stay below it.
@@ -270,9 +270,127 @@ pub struct CpmServer {
     event_scratch: Vec<SpecEvent<AnyQuerySpec>>,
 }
 
+/// The registry state [`CpmServer::export_registry`] hands to snapshot
+/// capture: kind registry, RNN composition state (both ascending by
+/// query id), and the RNN verification counters.
+pub(crate) type ExportedRegistry = (
+    Vec<(QueryId, QueryKind)>,
+    Vec<(QueryId, Point, Vec<ObjectId>)>,
+    Metrics,
+);
+
+/// Sanitize an object-event batch the way the legacy per-kind monitors
+/// always behaved: out-of-range coordinates are clamped into the
+/// workspace (a simulator convenience) and each object's events are
+/// folded into their net effect, exactly what sequential application
+/// produced — `Disappear` then `Appear` is a net `Move`, `Appear` then
+/// `Disappear` cancels, later positions win. Results are only computed
+/// after the whole batch lands, so the net event yields the same state
+/// while satisfying the server's one-event-per-object ingest rule. The
+/// server's own typed validation stays strict; this shim-side pass is
+/// what keeps the compatibility monitors' forgiving surface. Non-finite
+/// coordinates have no sensible clamp and still reach the server's
+/// typed rejection (a documented monitor panic).
+pub(crate) fn sanitize_object_events(events: &[ObjectEvent]) -> Vec<ObjectEvent> {
+    use cpm_geom::clamp_coord;
+    /// Net effect of an object's events so far within the batch.
+    #[derive(Clone, Copy)]
+    enum Net {
+        Moved(Point),
+        Appeared(Point),
+        Disappeared,
+        /// Appeared then disappeared: emit nothing.
+        Cancelled,
+    }
+    let mut order: Vec<ObjectId> = Vec::new();
+    let mut net: FastHashMap<ObjectId, Net> = FastHashMap::default();
+    for ev in events {
+        let id = ev.id();
+        let so_far = net.get(&id).copied();
+        let next = match (*ev, so_far) {
+            (ObjectEvent::Move { to, .. }, Some(Net::Appeared(_))) => Net::Appeared(to),
+            (ObjectEvent::Move { to, .. }, _) => Net::Moved(to),
+            (ObjectEvent::Appear { pos, .. }, None | Some(Net::Cancelled)) => Net::Appeared(pos),
+            // The object was live at batch start and transiently removed;
+            // reappearing nets out to a move.
+            (ObjectEvent::Appear { pos, .. }, _) => Net::Moved(pos),
+            (ObjectEvent::Disappear { .. }, Some(Net::Appeared(_))) => Net::Cancelled,
+            (ObjectEvent::Disappear { .. }, _) => Net::Disappeared,
+        };
+        if so_far.is_none() {
+            order.push(id);
+        }
+        net.insert(id, next);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for id in order {
+        out.push(match net[&id] {
+            Net::Moved(p) => ObjectEvent::Move {
+                id,
+                to: Point::new(clamp_coord(p.x), clamp_coord(p.y)),
+            },
+            Net::Appeared(p) => ObjectEvent::Appear {
+                id,
+                pos: Point::new(clamp_coord(p.x), clamp_coord(p.y)),
+            },
+            Net::Disappeared => ObjectEvent::Disappear { id },
+            Net::Cancelled => continue,
+        });
+    }
+    out
+}
+
 impl CpmServer {
-    fn sector_id(id: QueryId, sector: u32) -> QueryId {
+    pub(crate) fn sector_id(id: QueryId, sector: u32) -> QueryId {
         QueryId(RESERVED_ID_BASE + id.0 * SECTORS + sector)
+    }
+
+    // ---- durability surface (used by crate::snapshot) ----
+
+    /// The underlying engine (snapshot capture and the subscription hub's
+    /// restore path read it directly).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn engine(&self) -> &ShardedCpmEngine<AnyQuerySpec> {
+        &self.engine
+    }
+
+    /// Export the server-side registry state for a snapshot: the kind
+    /// registry and the reverse-NN composition state, both ascending by
+    /// query id, plus the RNN verification counters.
+    pub(crate) fn export_registry(&self) -> ExportedRegistry {
+        let mut kinds: Vec<(QueryId, QueryKind)> =
+            self.kinds.iter().map(|(&id, &k)| (id, k)).collect();
+        kinds.sort_unstable_by_key(|&(id, _)| id);
+        let mut rnn: Vec<(QueryId, Point, Vec<ObjectId>)> = self
+            .rnn
+            .iter()
+            .map(|(&id, st)| (id, st.q, st.result.clone()))
+            .collect();
+        rnn.sort_unstable_by_key(|&(id, _, _)| id);
+        (kinds, rnn, self.verify_metrics)
+    }
+
+    /// Reassemble a server from restored parts (the snapshot restore
+    /// path; the decode layer has already cross-validated them).
+    pub(crate) fn assemble(
+        engine: ShardedCpmEngine<AnyQuerySpec>,
+        collects: bool,
+        kinds: Vec<(QueryId, QueryKind)>,
+        rnn: Vec<(QueryId, Point, Vec<ObjectId>)>,
+        verify_metrics: Metrics,
+    ) -> Self {
+        CpmServer {
+            engine,
+            collects,
+            kinds: kinds.into_iter().collect(),
+            rnn: rnn
+                .into_iter()
+                .map(|(id, q, result)| (id, RnnState { q, result }))
+                .collect(),
+            verify_metrics,
+            event_scratch: Vec::new(),
+        }
     }
 
     fn check_fresh(&self, id: QueryId) -> Result<(), CpmError> {
@@ -758,6 +876,32 @@ impl CpmServer {
         Ok(())
     }
 
+    /// Validate an object-event batch before any state changes. The
+    /// legacy single-kind monitors clamp out-of-range coordinates (a
+    /// simulator convenience); the server is the production surface, so a
+    /// NaN/infinite coordinate, a position outside the unit workspace, or
+    /// two events for one object in a batch are typed errors and the
+    /// whole batch is rejected — a corrupted producer cannot half-apply a
+    /// cycle.
+    fn validate_object_events(object_events: &[ObjectEvent]) -> Result<(), CpmError> {
+        let mut seen: FastHashSet<ObjectId> = FastHashSet::default();
+        for ev in object_events {
+            let id = ev.id();
+            if !seen.insert(id) {
+                return Err(CpmError::DuplicateObject(id));
+            }
+            if let Some(p) = ev.position() {
+                if !p.x.is_finite() || !p.y.is_finite() {
+                    return Err(CpmError::NonFiniteCoordinate(id));
+                }
+                if !(0.0..=1.0).contains(&p.x) || !(0.0..=1.0).contains(&p.y) {
+                    return Err(CpmError::OutOfWorkspace(id));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Fold a staged (validated) event batch into the kind registry.
     fn apply_registry(&mut self) {
         for i in 0..self.event_scratch.len() {
@@ -796,13 +940,15 @@ impl CpmServer {
     /// re-verification. Returns the user-visible queries whose result
     /// changed, ascending by id.
     ///
-    /// The event batch is validated against the registry *before* any
-    /// state changes; on `Err` the cycle did not run.
+    /// Both event batches are validated *before* any state changes; on
+    /// `Err` the cycle did not run.
     ///
     /// # Errors
     /// [`CpmError::DuplicateQuery`] / [`CpmError::UnknownQuery`] /
     /// [`CpmError::KindMismatch`] / [`CpmError::InvalidK`] /
-    /// [`CpmError::ReservedId`] for an invalid event batch.
+    /// [`CpmError::ReservedId`] for an invalid query-event batch;
+    /// [`CpmError::NonFiniteCoordinate`] / [`CpmError::OutOfWorkspace`] /
+    /// [`CpmError::DuplicateObject`] for an invalid object-event batch.
     ///
     /// # Panics
     /// Panics if the server was built with
@@ -813,6 +959,7 @@ impl CpmServer {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<AnyQuerySpec>],
     ) -> Result<Vec<QueryId>, CpmError> {
+        Self::validate_object_events(object_events)?;
         self.stage_events(query_events)?;
         let events = std::mem::take(&mut self.event_scratch);
         let mut changed = self.engine.process_cycle(object_events, &events);
@@ -843,6 +990,7 @@ impl CpmServer {
         query_events: &[SpecEvent<AnyQuerySpec>],
         out: &mut CycleDeltas,
     ) -> Result<(), CpmError> {
+        Self::validate_object_events(object_events)?;
         self.stage_events(query_events)?;
         let events = std::mem::take(&mut self.event_scratch);
         self.engine

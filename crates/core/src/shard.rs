@@ -240,6 +240,67 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
         self.shards[self.owning_shard(id)].query_state(id)
     }
 
+    /// Ids of every installed query, ascending — the deterministic
+    /// iteration order snapshots and hub restores rely on.
+    #[must_use]
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.shards.iter().flat_map(|s| s.query_ids()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `true` once [`ShardedCpmEngine::enable_deltas`] was called.
+    #[must_use]
+    pub fn collects_deltas(&self) -> bool {
+        self.shards[0].collects_deltas()
+    }
+
+    /// Install a query from a snapshot on its owning shard, reconciling
+    /// the captured result against the recomputed one (see
+    /// [`EngineCore::restore_query`]).
+    pub(crate) fn restore_install(
+        &mut self,
+        id: QueryId,
+        spec: S,
+        k: usize,
+        captured: &[Neighbor],
+    ) -> Result<(), CpmError> {
+        let shard = shard_of(id, self.shards.len());
+        self.shards[shard].restore_query(&self.grid, id, spec, k, captured)
+    }
+
+    /// Overwrite every core's cycle counter during snapshot restore (all
+    /// cores advance in lock-step, so one snapshot epoch covers them all).
+    pub(crate) fn set_epoch_all(&mut self, epoch: u64) {
+        for core in &mut self.shards {
+            core.set_epoch(epoch);
+        }
+    }
+
+    /// Overwrite the work counters with a snapshot's merged totals:
+    /// rebuilding the queries polluted the per-shard counters with
+    /// from-scratch computation work the crashed engine never reported,
+    /// so restore zeroes the shards and parks the captured totals on the
+    /// ingest side (merged reads are indistinguishable from the original
+    /// split).
+    pub(crate) fn restore_metrics(&mut self, merged: Metrics) {
+        for core in &mut self.shards {
+            core.take_metrics();
+        }
+        self.ingest_metrics = merged;
+    }
+
+    /// The re-grid controller, for snapshot capture/restore of its
+    /// decision state.
+    pub(crate) fn regrid_controller(&self) -> &RegridController {
+        &self.regrid
+    }
+
+    /// Mutable access to the re-grid controller (snapshot restore).
+    pub(crate) fn regrid_controller_mut(&mut self) -> &mut RegridController {
+        &mut self.regrid
+    }
+
     /// Install a new query on its owning shard and compute its initial
     /// result.
     ///

@@ -13,6 +13,8 @@
 //!   Section 4.1 analysis.
 //! * [`skewed`] — Gaussian-hotspot data with drifting centers, the skewed
 //!   regime the paper points at hierarchical grids for.
+//! * [`faults`] — seeded crash/corruption schedules ([`FaultPlan`]) for
+//!   the recovery chaos harness (`cpm_sim::verify_recovery`).
 //! * [`drift`] — a single hotspot whose center moves **every** tick while
 //!   the population breathes between a base and a peak count: the stream
 //!   whose cost-model-optimal grid resolution changes mid-run, built as
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod drift;
+pub mod faults;
 pub mod network;
 pub mod path;
 pub mod skewed;
@@ -32,6 +35,7 @@ pub mod uniform;
 pub mod workload;
 
 pub use drift::{DriftConfig, DriftingHotspotWorkload};
+pub use faults::{Corruption, FaultPlan};
 pub use network::{NodeId, RoadNetwork};
 pub use path::{path_length, shortest_path, Traveler};
 pub use skewed::{SkewConfig, SkewedWorkload};

@@ -46,6 +46,19 @@ impl ObjectEvent {
             | ObjectEvent::Disappear { id } => id,
         }
     }
+
+    /// The position the event carries: the appear/move target, `None` for
+    /// a disappearance. Ingest validation reads coordinates through this
+    /// without matching every variant.
+    #[inline]
+    #[must_use]
+    pub fn position(&self) -> Option<Point> {
+        match *self {
+            ObjectEvent::Appear { pos, .. } => Some(pos),
+            ObjectEvent::Move { to, .. } => Some(to),
+            ObjectEvent::Disappear { .. } => None,
+        }
+    }
 }
 
 /// A single k-NN query update within a processing cycle.

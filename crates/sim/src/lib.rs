@@ -7,6 +7,9 @@
 //! * [`params`] — Table 6.1 parameters with paper defaults and scaling.
 //! * [`stream`] — pre-generated update streams so every contender replays
 //!   the identical workload.
+//! * [`recovery`] — the crash-recovery chaos harness
+//!   ([`verify_recovery`]): seeded crash/corruption schedules over the
+//!   durable server, asserting bit-identical recovery.
 //! * [`runner`] — timed replay, per-run reports, and the
 //!   oracle-verification harnesses used by the integration tests
 //!   (contender agreement, sharded determinism, delta-stream replay,
@@ -19,6 +22,7 @@
 pub mod algo;
 pub mod oracle;
 pub mod params;
+pub mod recovery;
 pub mod runner;
 pub mod stream;
 pub mod viz;
@@ -26,6 +30,7 @@ pub mod viz;
 pub use algo::{AlgoKind, KnnMonitorAlgo};
 pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
+pub use recovery::verify_recovery;
 pub use runner::{
     run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_delta_replay,
     verify_regrid, verify_sharded_determinism, verify_unified_server, RunReport,

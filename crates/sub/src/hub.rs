@@ -93,6 +93,45 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
         }
     }
 
+    /// Rebuild a hub around a restored engine (the
+    /// [`cpm_core::EngineSnapshot`] recovery path): every installed query
+    /// gets a fresh, empty mailbox and the epoch continues from the
+    /// engine's restored counter, so the first commit after recovery
+    /// ships deltas numbered exactly one past the pre-crash epoch.
+    ///
+    /// Undrained mailbox backlogs are *not* part of a snapshot — a
+    /// subscriber that missed deltas across the crash observes it as lag
+    /// and takes the ordinary [`resync`](SubscriptionHub::resync) path.
+    ///
+    /// # Panics
+    /// Panics if the engine was not built with delta collection enabled.
+    pub fn from_engine(engine: ShardedCpmEngine<S>) -> Self {
+        assert!(
+            engine.collects_deltas(),
+            "a subscription hub requires a delta-collecting engine"
+        );
+        let mailboxes = engine
+            .query_ids()
+            .into_iter()
+            .map(|id| (id, Mailbox::default()))
+            .collect();
+        Self {
+            engine,
+            mailboxes,
+            pending_obj: Vec::new(),
+            pending_sub: Vec::new(),
+            closing: Vec::new(),
+            mailbox_cap: usize::MAX,
+            scratch: cpm_core::CycleDeltas::default(),
+        }
+    }
+
+    /// The underlying engine — the state a durability layer snapshots
+    /// (see [`cpm_core::EngineSnapshot::capture`]).
+    pub fn engine(&self) -> &ShardedCpmEngine<S> {
+        &self.engine
+    }
+
     /// Bound every mailbox to `cap ≥ 1` buffered deltas. When a mailbox
     /// overflows, the **oldest** delta is evicted and the subscriber is
     /// flagged as [`lagged`](SubscriptionHub::lagged).

@@ -15,6 +15,10 @@
 //! * [`sub`] — the delta-streaming subscription layer: epoch-numbered
 //!   hubs, per-subscription mailboxes, client-side replicas
 //!   ([`cpm_sub`]).
+//! * [`wire`] — the versioned, checksummed binary codec under the
+//!   durability layer: framing, the append-only journal, typed decode
+//!   errors ([`cpm_wire`]); snapshots and crash recovery live in
+//!   [`core::snapshot`].
 //! * [`baselines`] — YPK-CNN and SEA-CNN ([`cpm_baselines`]).
 //! * [`gen`] — Brinkhoff-style network workloads ([`cpm_gen`]).
 //! * [`sim`] — simulation driver, oracle and experiment harness
@@ -55,3 +59,4 @@ pub use cpm_geom as geom;
 pub use cpm_grid as grid;
 pub use cpm_sim as sim;
 pub use cpm_sub as sub;
+pub use cpm_wire as wire;

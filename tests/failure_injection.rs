@@ -1,8 +1,9 @@
 //! Failure injection and degenerate configurations: disappearance bursts,
-//! mass teleports, single-cell pile-ups, workspace corners/edges, and
-//! out-of-range coordinates.
+//! mass teleports, single-cell pile-ups, workspace corners/edges,
+//! out-of-range coordinates, and malformed event batches rejected at the
+//! unified server's ingest boundary.
 
-use cpm_suite::core::CpmKnnMonitor;
+use cpm_suite::core::{CpmError, CpmKnnMonitor, CpmServer, CpmServerBuilder};
 use cpm_suite::geom::{ObjectId, Point, QueryId};
 use cpm_suite::grid::{ObjectEvent, QueryEvent};
 use cpm_suite::sim::{run, AlgoKind, KnnMonitorAlgo, OracleMonitor};
@@ -213,6 +214,118 @@ fn out_of_range_coordinates_are_clamped_not_fatal() {
     assert!(clamped.x < 1.0 && clamped.y == 0.0);
     assert!((n.dist - Point::new(0.5, 0.5).dist(clamped)).abs() < 1e-9);
     m.check_invariants();
+}
+
+/// A populated server with one k-NN query, for ingest-rejection tests.
+fn small_server() -> CpmServer {
+    let mut s = CpmServerBuilder::new(16).shards(2).build();
+    s.populate((0..20u32).map(|i| (ObjectId(i), Point::new(f64::from(i) / 20.0, 0.5))));
+    let _ = s.install_knn(QueryId(0), Point::new(0.5, 0.5), 3).unwrap();
+    s
+}
+
+/// Malformed batches are rejected with typed errors *before* the cycle
+/// runs: the epoch does not advance and results are untouched — poisoned
+/// upstream data cannot corrupt (or crash) the server.
+#[test]
+fn server_rejects_malformed_event_batches_typed() {
+    let mut s = small_server();
+    let baseline = s.result(QueryId(0)).unwrap().to_vec();
+
+    let cases: Vec<(ObjectEvent, CpmError)> = vec![
+        (
+            ObjectEvent::Move {
+                id: ObjectId(3),
+                to: Point::new(f64::NAN, 0.5),
+            },
+            CpmError::NonFiniteCoordinate(ObjectId(3)),
+        ),
+        (
+            ObjectEvent::Appear {
+                id: ObjectId(90),
+                pos: Point::new(0.2, f64::INFINITY),
+            },
+            CpmError::NonFiniteCoordinate(ObjectId(90)),
+        ),
+        (
+            ObjectEvent::Move {
+                id: ObjectId(4),
+                to: Point::new(7.3, -2.0),
+            },
+            CpmError::OutOfWorkspace(ObjectId(4)),
+        ),
+        (
+            ObjectEvent::Appear {
+                id: ObjectId(91),
+                pos: Point::new(1.0000001, 0.5),
+            },
+            CpmError::OutOfWorkspace(ObjectId(91)),
+        ),
+    ];
+    for (bad, want) in cases {
+        let err = s.process_cycle(&[bad], &[]).unwrap_err();
+        assert_eq!(err, want);
+        assert!(!err.to_string().is_empty());
+    }
+
+    // Duplicate ids within one batch — even across event variants.
+    let err = s
+        .process_cycle(
+            &[
+                ObjectEvent::Move {
+                    id: ObjectId(5),
+                    to: Point::new(0.1, 0.1),
+                },
+                ObjectEvent::Disappear { id: ObjectId(5) },
+            ],
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err, CpmError::DuplicateObject(ObjectId(5)));
+
+    // A bad event anywhere in the batch rejects the whole batch.
+    let err = s
+        .process_cycle(
+            &[
+                ObjectEvent::Move {
+                    id: ObjectId(6),
+                    to: Point::new(0.4, 0.4),
+                },
+                ObjectEvent::Move {
+                    id: ObjectId(7),
+                    to: Point::new(0.5, f64::NEG_INFINITY),
+                },
+            ],
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err, CpmError::NonFiniteCoordinate(ObjectId(7)));
+
+    // Nothing ran: epoch still 0, result untouched, invariants hold.
+    assert_eq!(s.epoch(), 0);
+    assert_eq!(s.result(QueryId(0)).unwrap(), baseline.as_slice());
+    s.check_invariants();
+
+    // The boundary coordinates themselves remain legal (closed unit
+    // square; the grid clamps 1.0 into the last cell internally).
+    let changed = s
+        .process_cycle(
+            &[
+                ObjectEvent::Move {
+                    id: ObjectId(8),
+                    to: Point::new(0.0, 1.0),
+                },
+                ObjectEvent::Move {
+                    id: ObjectId(9),
+                    to: Point::new(1.0, 0.0),
+                },
+            ],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(s.epoch(), 1);
+    let _ = changed;
+    s.check_invariants();
 }
 
 #[test]
