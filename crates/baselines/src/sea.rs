@@ -69,7 +69,7 @@ impl SeaCnnMonitor {
     /// Create a monitor over an empty `dim × dim` grid.
     pub fn new(dim: u32) -> Self {
         Self {
-            grid: Grid::new(dim),
+            grid: cpm_grid::GridBuilder::new(dim).build_uniform(),
             answer_regions: InfluenceTable::new(dim),
             queries: FastHashMap::default(),
             starved: FastHashSet::default(),

@@ -166,7 +166,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn grid_with(objects: &[(u32, f64, f64)]) -> Grid {
-        let mut g = Grid::new(16);
+        let mut g = cpm_grid::GridBuilder::new(16).build_uniform();
         for &(id, x, y) in objects {
             g.insert(ObjectId(id), Point::new(x, y));
         }
@@ -198,7 +198,7 @@ mod tests {
     fn two_step_matches_brute_force_on_random_data() {
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..20 {
-            let mut g = Grid::new(16);
+            let mut g = cpm_grid::GridBuilder::new(16).build_uniform();
             let n = rng.gen_range(1..80);
             for i in 0..n {
                 g.insert(ObjectId(i), Point::new(rng.gen(), rng.gen()));
@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn two_step_on_empty_grid_returns_empty() {
-        let g = Grid::new(8);
+        let g = cpm_grid::GridBuilder::new(8).build_uniform();
         let mut m = Metrics::default();
         let best = two_step_search(&g, Point::new(0.5, 0.5), 3, &mut m);
         assert!(best.is_empty());
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn scan_circle_matches_filtered_brute_force() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut g = Grid::new(16);
+        let mut g = cpm_grid::GridBuilder::new(16).build_uniform();
         for i in 0..60u32 {
             g.insert(ObjectId(i), Point::new(rng.gen(), rng.gen()));
         }

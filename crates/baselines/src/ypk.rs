@@ -57,7 +57,7 @@ impl YpkCnnMonitor {
     pub fn with_period(dim: u32, period: u64) -> Self {
         assert!(period > 0, "evaluation period must be positive");
         Self {
-            grid: Grid::new(dim),
+            grid: cpm_grid::GridBuilder::new(dim).build_uniform(),
             queries: FastHashMap::default(),
             metrics: Metrics::default(),
             eval_period: period,

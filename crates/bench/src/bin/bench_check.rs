@@ -13,11 +13,12 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_recovery, check_regrid, check_server, check_shards,
-    parse_deltas_baseline, parse_grid_baseline, parse_recovery_baseline, parse_regrid_baseline,
-    parse_server_baseline, parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_index, check_recovery, check_regrid, check_server,
+    check_shards, parse_deltas_baseline, parse_grid_baseline, parse_index_baseline,
+    parse_recovery_baseline, parse_regrid_baseline, parse_server_baseline, parse_shards_baseline,
+    GateReport, DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, recovery, regrid, server, shards};
+use cpm_bench::{deltas, grid_storage, index, recovery, regrid, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -179,6 +180,40 @@ fn main() {
         recovery_baseline,
         tolerance,
     ));
+
+    // Gate 7: quadtree backend vs the uniform grid frozen at the
+    // base-provisioned δ, plus the dyn-dispatch overhead bound. All
+    // three lanes run in this process under the paired rotation
+    // protocol, so the >= 1.15x and <= 1.10x bars (each with a fixed
+    // noise margin) are machine-independent and never widened by
+    // BENCH_CHECK_TOLERANCE.
+    let cfg = index::IndexBenchConfig::reduced();
+    let index_baseline = std::fs::read_to_string(format!("{root}/BENCH_index.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_index_baseline);
+    println!(
+        "\n## spatial-index backends (reduced: N={}->{}, queries={}, {} cycles, \
+         uniform {}² vs quadtree {}²)",
+        cfg.n_base,
+        (cfg.n_base as f64 * cfg.peak_factor) as usize,
+        cfg.n_queries,
+        cfg.cycles,
+        cfg.uniform_dim(),
+        cfg.quadtree_dim()
+    );
+    let run = index::run(&cfg);
+    for m in &run.modes {
+        println!(
+            "   {:>12}: {:>8.3} ms/cycle   {:>6} result changes",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+    }
+    println!(
+        "   quadtree speedup: {:.2}x, dyn overhead: {:.2}x",
+        run.quadtree_speedup, run.dyn_overhead
+    );
+    failed |= print_report(check_index(&run, cfg.n_base, index_baseline, tolerance));
 
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");

@@ -1,0 +1,73 @@
+//! Record the spatial-index backend baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_index
+//! ```
+//!
+//! Runs the three-lane uniform-mono / uniform-dyn / quadtree comparison
+//! at the acceptance scale (10K base objects breathing to 100K, 500
+//! hotspot-tracking queries — see [`cpm_bench::index`]) **three times**
+//! and records the median-speedup run to `BENCH_index.json` at the
+//! workspace root. The recorded `quadtree_speedup` (bar: ≥ 1.15×) and
+//! `dyn_overhead` (bound: ≤ 1.10×) are the PR acceptance numbers and the
+//! curve `bench_check` compares reduced-scale re-runs against.
+
+use cpm_bench::index::{render_json, run, IndexBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = IndexBenchConfig::default();
+    println!(
+        "bench_index: N={}→{}, queries={}, k={}, {} cycles (+{} warmup), \
+         uniform dim {}², quadtree dim {}², {} shard(s), median of {RUNS} runs",
+        cfg.n_base,
+        (cfg.n_base as f64 * cfg.peak_factor) as usize,
+        cfg.n_queries,
+        cfg.k,
+        cfg.cycles,
+        cfg.warmup_cycles,
+        cfg.uniform_dim(),
+        cfg.quadtree_dim(),
+        cfg.shards
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: quadtree speedup {:.2}x, dyn overhead {:.2}x \
+                 (mono {:.3} / dyn {:.3} / quad {:.3} ms/cycle)",
+                i + 1,
+                r.quadtree_speedup,
+                r.dyn_overhead,
+                r.modes[0].ms_per_cycle,
+                r.modes[1].ms_per_cycle,
+                r.modes[2].ms_per_cycle
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.quadtree_speedup
+            .partial_cmp(&b.quadtree_speedup)
+            .expect("finite speedups")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    for m in &result.modes {
+        println!(
+            "  {:>12}: {:>8.3} ms/cycle (max {:>8.3})   {} changes",
+            m.mode, m.ms_per_cycle, m.max_cycle_ms, m.result_changes
+        );
+    }
+    println!(
+        "  quadtree speedup (median run): {:.2}x at dim {}² vs uniform {}²; \
+         dyn overhead {:.2}x",
+        result.quadtree_speedup, result.quadtree_dim, result.uniform_dim, result.dyn_overhead
+    );
+
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_index.json");
+    std::fs::write(path, &json).expect("write BENCH_index.json");
+    println!("wrote {path}");
+}

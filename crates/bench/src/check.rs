@@ -597,6 +597,109 @@ pub fn check_recovery(
     report
 }
 
+/// Hard speedup bar for the quadtree backend on the drifting-hotspot
+/// stream (the PR acceptance bar recorded in `BENCH_index.json`): the
+/// adaptive backend, provisioned at the peak-population δ, must clearly
+/// beat the uniform grid frozen at the base-population δ.
+pub const REQUIRED_QUADTREE_SPEEDUP: f64 = 1.15;
+
+/// Hard upper bound on the runtime-dispatch lane: a uniform grid routed
+/// through [`cpm_grid::DynIndex`] may cost at most this multiple of the
+/// monomorphic `CellIndex` path. The pluggable-index layer must be
+/// provably (near-)free.
+pub const MAX_DYN_OVERHEAD: f64 = 1.10;
+
+/// Multiplicative noise allowance on both index bars. All three lanes
+/// run in one process under the paired rotation protocol and each
+/// estimator is a median of per-cycle ratios, but reduced-scale cycles
+/// on busy shared hosts still scatter the run-level median by a few
+/// percent. Like every same-process bar, it is **never** widened by the
+/// cross-host `tolerance`.
+pub const INDEX_NOISE_MARGIN: f64 = 0.10;
+
+/// The context a `BENCH_index.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexBaseline {
+    /// Recorded median `uniform-mono ms / quadtree ms` speedup.
+    pub quadtree_speedup: f64,
+    /// Base population of the recording run. The achievable speedup
+    /// grows with the base-vs-peak provisioning mismatch, so the curve
+    /// only binds between runs at the **same scale** (mirroring the
+    /// re-grid gate).
+    pub n_base: usize,
+}
+
+/// Parse the speedup and recording scale of a `BENCH_index.json`
+/// document.
+pub fn parse_index_baseline(json: &str) -> Option<IndexBaseline> {
+    let quadtree_speedup = json
+        .lines()
+        .find(|line| line.contains("quadtree_speedup"))
+        .and_then(|line| field_f64(line, "quadtree_speedup"))?;
+    let n_base = json
+        .lines()
+        .find(|line| line.contains("\"n_base\""))
+        .and_then(|line| field_f64(line, "n_base"))? as usize;
+    Some(IndexBaseline {
+        quadtree_speedup,
+        n_base,
+    })
+}
+
+/// Gate the spatial-index benchmark: the quadtree lane must clear the
+/// ≥ 1.15× speedup bar and the dyn-dispatch lane must stay within the
+/// ≤ 1.10× overhead bound (both minus/plus the fixed same-process noise
+/// margin, never widened by `tolerance`), and the quadtree speedup must
+/// stay within `tolerance` of the checked-in baseline curve when one was
+/// recorded at the same scale (`measured_n_base`).
+pub fn check_index(
+    run: &crate::index::IndexBenchRun,
+    measured_n_base: usize,
+    baseline: Option<IndexBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if run.quadtree_dim <= run.uniform_dim {
+        report.failures.push(format!(
+            "quadtree lane is not provisioned finer than the uniform lanes \
+             ({} <= {}) — the bench measured nothing",
+            run.quadtree_dim, run.uniform_dim
+        ));
+        return report;
+    }
+    report.lines.push(format!(
+        "backends: uniform {}² (mono + dyn) vs quadtree {}²",
+        run.uniform_dim, run.quadtree_dim
+    ));
+    report.compare_at_least(
+        "quadtree-vs-uniform-fixed-δ speedup on the drift workload",
+        run.quadtree_speedup,
+        REQUIRED_QUADTREE_SPEEDUP / (1.0 + INDEX_NOISE_MARGIN),
+    );
+    report.compare(
+        "dyn-dispatch overhead vs the monomorphic grid",
+        run.dyn_overhead,
+        MAX_DYN_OVERHEAD * (1.0 + INDEX_NOISE_MARGIN),
+        1.0,
+    );
+    match baseline {
+        Some(b) if b.n_base == measured_n_base => report.compare_at_least(
+            "quadtree speedup vs checked-in baseline curve",
+            run.quadtree_speedup,
+            b.quadtree_speedup / (1.0 + tolerance),
+        ),
+        Some(b) => report.lines.push(format!(
+            "baseline recorded at N={} (this run: N={measured_n_base}): speedups are only \
+             comparable at equal scale, curve comparison skipped",
+            b.n_base
+        )),
+        None => report
+            .lines
+            .push("no BENCH_index.json baseline: curve comparison skipped".into()),
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +963,89 @@ mod tests {
             n_base: 10_000,
         });
         assert!(check_regrid(&regrid_run(1.5, 1, 20.0), 2_000, full_scale, 0.25).passed());
+    }
+
+    fn index_run(speedup: f64, overhead: f64) -> crate::index::IndexBenchRun {
+        let m = crate::index::IndexMeasurement {
+            mode: "uniform-mono",
+            ms_per_cycle: 10.0,
+            max_cycle_ms: 12.0,
+            result_changes: 40,
+        };
+        crate::index::IndexBenchRun {
+            modes: [
+                m,
+                crate::index::IndexMeasurement {
+                    mode: "uniform-dyn",
+                    ms_per_cycle: 10.0 * overhead,
+                    ..m
+                },
+                crate::index::IndexMeasurement {
+                    mode: "quadtree",
+                    ms_per_cycle: 10.0 / speedup,
+                    ..m
+                },
+            ],
+            quadtree_speedup: speedup,
+            dyn_overhead: overhead,
+            uniform_dim: 32,
+            quadtree_dim: 128,
+        }
+    }
+
+    #[test]
+    fn index_gate_enforces_the_quadtree_bar() {
+        assert!(check_index(&index_run(1.5, 1.0), 2_000, None, 0.25).passed());
+        // Just under the bar but inside the fixed noise margin: ok.
+        assert!(check_index(&index_run(1.06, 1.0), 2_000, None, 0.25).passed());
+        assert!(!check_index(&index_run(1.0, 1.0), 2_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_index(&index_run(1.0, 1.0), 2_000, None, 10.0).passed());
+    }
+
+    #[test]
+    fn index_gate_bounds_the_dyn_dispatch_overhead() {
+        assert!(check_index(&index_run(1.5, 1.05), 2_000, None, 0.25).passed());
+        // Inside the noise margin above the bound: ok.
+        assert!(check_index(&index_run(1.5, 1.18), 2_000, None, 0.25).passed());
+        assert!(!check_index(&index_run(1.5, 1.30), 2_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the overhead bound.
+        assert!(!check_index(&index_run(1.5, 1.30), 2_000, None, 10.0).passed());
+    }
+
+    #[test]
+    fn index_gate_requires_a_finer_quadtree_provisioning() {
+        let mut run = index_run(1.5, 1.0);
+        run.quadtree_dim = run.uniform_dim;
+        assert!(!check_index(&run, 2_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn index_gate_compares_against_the_baseline_curve() {
+        let baseline = Some(IndexBaseline {
+            quadtree_speedup: 3.0,
+            n_base: 2_000,
+        });
+        assert!(check_index(&index_run(2.8, 1.0), 2_000, baseline, 0.25).passed());
+        // Clears the hard bar but far below our own recorded curve.
+        assert!(!check_index(&index_run(1.5, 1.0), 2_000, baseline, 0.25).passed());
+        // A baseline recorded at another scale pins nothing: achievable
+        // speedup grows with the provisioning mismatch, so the curve
+        // only binds at equal n_base.
+        let full_scale = Some(IndexBaseline {
+            quadtree_speedup: 3.0,
+            n_base: 10_000,
+        });
+        assert!(check_index(&index_run(1.5, 1.0), 2_000, full_scale, 0.25).passed());
+    }
+
+    #[test]
+    fn parses_index_baseline() {
+        let json = "{\n  \"config\": {\"n_base\": 10000, \"peak_factor\": 10},\n  \
+                    \"quadtree_speedup\": 1.6123, \"dyn_overhead\": 1.0150\n}\n";
+        let b = parse_index_baseline(json).unwrap();
+        assert!((b.quadtree_speedup - 1.6123).abs() < 1e-9);
+        assert_eq!(b.n_base, 10_000);
     }
 
     fn recovery_run(over_cycle: f64, replayed: usize) -> crate::recovery::RecoveryBenchRun {

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cpm_geom::{clamp_coord, FastHashMap, FastHashSet, ObjectId, Point};
-use cpm_grid::{CellCoord, Grid};
+use cpm_grid::CellCoord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -190,7 +190,7 @@ pub struct Measurement {
 }
 
 fn bench_dense(dim: u32, cfg: &GridStorageConfig, w: &Workload) -> Measurement {
-    let mut g = Grid::new(dim);
+    let mut g = cpm_grid::GridBuilder::new(dim).build_uniform();
     for &(oid, p) in &w.initial {
         g.insert(oid, p);
     }

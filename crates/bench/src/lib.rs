@@ -7,9 +7,10 @@
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
 //! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
-//!   / [`recovery`] — the micro-benchmarks behind the `BENCH_grid.json` /
-//!   `BENCH_shards.json` / `BENCH_deltas.json` / `BENCH_server.json` /
-//!   `BENCH_regrid.json` / `BENCH_recovery.json` baselines.
+//!   / [`recovery`] / [`index`] — the micro-benchmarks behind the
+//!   `BENCH_grid.json` / `BENCH_shards.json` / `BENCH_deltas.json` /
+//!   `BENCH_server.json` / `BENCH_regrid.json` / `BENCH_recovery.json` /
+//!   `BENCH_index.json` baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -25,6 +26,7 @@ pub mod check;
 pub mod deltas;
 pub mod figures;
 pub mod grid_storage;
+pub mod index;
 mod movers;
 pub mod recovery;
 pub mod regrid;

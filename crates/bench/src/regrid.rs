@@ -114,6 +114,7 @@ impl RegridBenchConfig {
             delta: 0.0, // ignored by optimal_dim
             f_obj: self.f_obj,
             f_qry: self.f_qry,
+            skew: 1.0,
         }
         .optimal_dim(16, 1024)
     }

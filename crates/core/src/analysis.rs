@@ -36,6 +36,13 @@ pub struct CostModel {
     pub f_obj: f64,
     /// Fraction of queries issuing an update per cycle (`f_qry ∈ [0,1]`).
     pub f_qry: f64,
+    /// Occupancy-concentration factor (`skew ≥ 1`): the ratio between the
+    /// population of the cells a query actually visits and the uniform
+    /// expectation `N·δ²`. `1` is the paper's uniformity assumption
+    /// (Section 4.1); the re-grid controller raises it from observed
+    /// [`cpm_grid::GridStats`] so a hotspot's true per-cell load — not
+    /// just `N` — shapes the predicted cost.
+    pub skew: f64,
 }
 
 impl CostModel {
@@ -55,10 +62,12 @@ impl CostModel {
         std::f64::consts::PI * self.radius_cells().powi(2)
     }
 
-    /// `O_inf = C_inf·N·δ²`: objects in the influence region (each cell
-    /// holds `N·δ²` objects on average). Approaches `k` as `δ → 0`.
+    /// `O_inf = C_inf·N·δ²·skew`: objects in the influence region (each
+    /// cell holds `N·δ²` objects on average under uniformity; `skew`
+    /// scales that for concentrated populations). Approaches `k` as
+    /// `δ → 0`.
     pub fn o_inf(&self) -> f64 {
-        self.c_inf() * self.n_objects as f64 * self.delta * self.delta
+        self.c_inf() * self.n_objects as f64 * self.delta * self.delta * self.skew
     }
 
     /// `C_SH ≈ 4·⌈best_dist/δ⌉²`: cells kept in the visit list and search
@@ -155,6 +164,7 @@ mod tests {
             delta,
             f_obj: 0.5,
             f_qry: 0.3,
+            skew: 1.0,
         }
     }
 
@@ -232,6 +242,34 @@ mod tests {
         }
         // A degenerate one-point range returns its only member.
         assert_eq!(large.optimal_dim(64, 64), 64);
+    }
+
+    #[test]
+    fn skew_inflates_o_inf_and_refines_the_optimum() {
+        // N and k are chosen so ⌈best_dist/δ⌉ crosses 1 → 2 → 3 over
+        // dims 32 → 64 → 128: the non-doubling step at 128 means a finer
+        // grid genuinely sheds influence objects (at a C_SH price), so
+        // the argmin is skew-sensitive rather than plateaued.
+        let uniform = CostModel {
+            n_objects: 8_192,
+            n_queries: 512,
+            k: 8,
+            delta: 1.0 / 64.0,
+            f_obj: 0.5,
+            f_qry: 0.3,
+            skew: 1.0,
+        };
+        let skewed = CostModel {
+            skew: 32.0,
+            ..uniform
+        };
+        assert!((skewed.o_inf() - 32.0 * uniform.o_inf()).abs() < 1e-9);
+        assert!(skewed.time_cycle() > uniform.time_cycle());
+        // A concentrated population makes coarse cells more expensive to
+        // scan, so the argmin moves toward a finer grid.
+        let d_u = uniform.optimal_dim(16, 1024);
+        let d_s = skewed.optimal_dim(16, 1024);
+        assert!(d_s > d_u, "skew must refine: {d_u} vs {d_s}");
     }
 
     #[test]

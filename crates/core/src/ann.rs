@@ -18,7 +18,7 @@
 //! worker threads when requested, [`crate::ShardedCpmEngine`]).
 
 use cpm_geom::{Point, QueryId};
-use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
+use cpm_grid::{CellCoord, Grid, GridGeom, Metrics, ObjectEvent};
 
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
@@ -104,13 +104,13 @@ impl QuerySpec for AnnQuery {
         self.adist(p)
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
-        (grid.cell_of(self.mbr.lo), grid.cell_of(self.mbr.hi))
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
+        (geom.cell_of(self.mbr.lo), geom.cell_of(self.mbr.hi))
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        let rect = grid.cell_rect(cell);
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        let rect = geom.cell_rect(cell);
         self.f.fold(self.points.iter().map(|&q| rect.mindist(q)))
     }
 
@@ -298,7 +298,7 @@ impl CpmAnnMonitor {
 
     /// The object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<cpm_grid::DynIndex> {
         self.server.grid()
     }
 
@@ -524,10 +524,10 @@ mod tests {
                 ),
                 |(raw, lvl)| {
                     let pts: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                    let grid = Grid::new(32);
+                    let grid = cpm_grid::GridBuilder::new(32).build_uniform();
                     for f in [AggregateFn::Min, AggregateFn::Max] {
                         let q = AnnQuery::new(pts.clone(), f);
-                        let (lo, hi) = q.base_block(&grid);
+                        let (lo, hi) = q.base_block(grid.geom());
                         let pw = Pinwheel::around_block(lo, hi, grid.dim());
                         for dir in Direction::ALL {
                             let fast = q.strip_key(&pw, dir, lvl);
@@ -547,7 +547,7 @@ mod tests {
     #[test]
     fn corollary_increments_hold_in_engine_keys() {
         // Sum: m·δ; min/max: δ — exercised through QuerySpec directly.
-        let grid = Grid::new(16);
+        let grid = cpm_grid::GridBuilder::new(16).build_uniform();
         let pts = vec![
             Point::new(0.40, 0.40),
             Point::new(0.45, 0.50),
@@ -559,7 +559,7 @@ mod tests {
             (AggregateFn::Max, 1.0),
         ] {
             let q = AnnQuery::new(pts.clone(), f);
-            let (lo, hi) = q.base_block(&grid);
+            let (lo, hi) = q.base_block(grid.geom());
             let pw = Pinwheel::around_block(lo, hi, grid.dim());
             for dir in Direction::ALL {
                 for lvl in 0..3 {

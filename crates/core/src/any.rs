@@ -14,7 +14,7 @@
 //! `tests/unified_server.rs`).
 
 use cpm_geom::Point;
-use cpm_grid::{CellCoord, Grid, QueryKind};
+use cpm_grid::{CellCoord, GridGeom, QueryKind};
 
 use crate::ann::AnnQuery;
 use crate::constrained::ConstrainedQuery;
@@ -156,13 +156,13 @@ impl QuerySpec for AnyQuerySpec {
         dispatch!(self, q => q.dist(p))
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
-        dispatch!(self, q => q.base_block(grid))
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
+        dispatch!(self, q => q.base_block(geom))
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        dispatch!(self, q => q.cell_key(grid, cell))
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        dispatch!(self, q => q.cell_key(geom, cell))
     }
 
     #[inline]
@@ -176,8 +176,8 @@ impl QuerySpec for AnyQuerySpec {
     }
 
     #[inline]
-    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
-        dispatch!(self, q => q.admits_cell(grid, cell))
+    fn admits_cell(&self, geom: GridGeom, cell: CellCoord) -> bool {
+        dispatch!(self, q => q.admits_cell(geom, cell))
     }
 
     #[inline]
@@ -196,21 +196,22 @@ mod tests {
     /// dedicated engines.
     #[test]
     fn dispatch_forwards_every_method_exactly() {
-        let grid = Grid::new(32);
+        let grid = cpm_grid::GridBuilder::new(32).build_uniform();
+        let geom = grid.geom();
         let range = RangeQuery::circle(Point::new(0.4, 0.6), 0.2);
         let any = AnyQuerySpec::from(range);
-        let (lo, hi) = range.base_block(&grid);
-        assert_eq!(any.base_block(&grid), (lo, hi));
+        let (lo, hi) = range.base_block(geom);
+        assert_eq!(any.base_block(geom), (lo, hi));
         let pw = Pinwheel::around_block(lo, hi, grid.dim());
         for p in [Point::new(0.41, 0.61), Point::new(0.9, 0.9)] {
             assert!(any.dist(p).to_bits() == range.dist(p).to_bits());
         }
         for cell in [CellCoord::new(3, 3), CellCoord::new(20, 12)] {
             assert_eq!(
-                any.cell_key(&grid, cell).to_bits(),
-                range.cell_key(&grid, cell).to_bits()
+                any.cell_key(geom, cell).to_bits(),
+                range.cell_key(geom, cell).to_bits()
             );
-            assert_eq!(any.admits_cell(&grid, cell), range.admits_cell(&grid, cell));
+            assert_eq!(any.admits_cell(geom, cell), range.admits_cell(geom, cell));
         }
         for dir in Direction::ALL {
             assert_eq!(

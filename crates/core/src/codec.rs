@@ -364,6 +364,7 @@ impl Encode for AutoRegridConfig {
         w.put_u64(self.check_every);
         w.put_f64(self.hysteresis);
         w.put_u64(self.cooldown);
+        w.put_f64(self.skew_threshold);
     }
 }
 
@@ -376,6 +377,7 @@ impl Decode for AutoRegridConfig {
             check_every: r.take_u64()?,
             hysteresis: r.take_f64()?,
             cooldown: r.take_u64()?,
+            skew_threshold: r.take_f64()?,
         };
         if cfg.min_dim < 1 || cfg.min_dim > cfg.max_dim || cfg.max_dim > 4096 {
             return Err(WireError::Invalid {
@@ -393,6 +395,14 @@ impl Decode for AutoRegridConfig {
             return Err(WireError::Invalid {
                 offset: at,
                 what: "regrid hysteresis must be finite and greater than 1",
+            });
+        }
+        // `∞` is a legal threshold (it disables the occupancy signal);
+        // NaN and sub-unit values are not.
+        if cfg.skew_threshold.is_nan() || cfg.skew_threshold < 1.0 {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "regrid skew threshold must be at least 1",
             });
         }
         Ok(cfg)

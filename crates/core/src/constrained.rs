@@ -12,7 +12,7 @@
 //! incomer.
 
 use cpm_geom::{Point, QueryId, Rect};
-use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
+use cpm_grid::{CellCoord, Grid, GridGeom, Metrics, ObjectEvent};
 
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
@@ -51,14 +51,14 @@ impl QuerySpec for ConstrainedQuery {
         }
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
-        let c = grid.cell_of(self.q);
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
+        let c = geom.cell_of(self.q);
         (c, c)
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        grid.mindist(cell, self.q)
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        geom.mindist(cell, self.q)
     }
 
     #[inline]
@@ -72,8 +72,8 @@ impl QuerySpec for ConstrainedQuery {
     }
 
     #[inline]
-    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
-        grid.cell_rect(cell).intersects(&self.region)
+    fn admits_cell(&self, geom: GridGeom, cell: CellCoord) -> bool {
+        geom.cell_rect(cell).intersects(&self.region)
     }
 
     #[inline]
@@ -211,7 +211,7 @@ impl CpmConstrainedMonitor {
 
     /// The object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<cpm_grid::DynIndex> {
         self.server.grid()
     }
 

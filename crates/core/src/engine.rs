@@ -39,7 +39,8 @@
 
 use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
 use cpm_grid::{
-    apply_events, CellCoord, Grid, InfluenceTable, Metrics, ObjectEvent, QueryKind, UpdateRecord,
+    apply_events, CellCoord, CellIndex, Grid, GridGeom, InfluenceTable, Metrics, ObjectEvent,
+    QueryKind, SpatialIndex, UpdateRecord,
 };
 
 use crate::delta::{DeltaBuf, NeighborDelta};
@@ -53,11 +54,15 @@ use crate::regrid::{RegridController, RegridPolicy};
 /// Query geometry: everything the CPM machinery needs to know about a
 /// query in order to search for it and maintain its result.
 ///
+/// Specs consume only the conceptual cell geometry ([`GridGeom`]) — never
+/// the index backend — which is what makes engine results
+/// backend-independent by construction.
+///
 /// Implementations must uphold two contracts, both property-tested by the
 /// monitors built on the engine:
 ///
-/// 1. **Lower bound**: `cell_key(grid, c) ≤ dist(p)` for every point `p`
-///    inside cell `c`, and `strip_key(pw, dir, lvl) ≤ cell_key(grid, c)`
+/// 1. **Lower bound**: `cell_key(geom, c) ≤ dist(p)` for every point `p`
+///    inside cell `c`, and `strip_key(pw, dir, lvl) ≤ cell_key(geom, c)`
 ///    for every cell `c` of strip `DIR_lvl`.
 /// 2. **Increment** (Lemma 3.1 / Corollaries 5.1, 5.2):
 ///    `strip_key(pw, dir, lvl+1) = strip_key(pw, dir, lvl) +
@@ -70,10 +75,10 @@ pub trait QuerySpec: std::fmt::Debug + Clone {
 
     /// The inclusive cell block that seeds the search: `(lo, hi)` corners.
     /// For a point query this is the query cell twice.
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord);
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord);
 
     /// Lower-bound key of a cell (`mindist` or `amindist`).
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64;
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64;
 
     /// Lower-bound key of conceptual rectangle `DIR_lvl`.
     fn strip_key(&self, pw: &Pinwheel, dir: Direction, lvl: u32) -> f64;
@@ -84,7 +89,7 @@ pub trait QuerySpec: std::fmt::Debug + Clone {
 
     /// Whether a cell may contain qualifying objects. Non-admitted cells
     /// are not en-heaped (constrained search, Section 5 / Figure 5.3).
-    fn admits_cell(&self, _grid: &Grid, _cell: CellCoord) -> bool {
+    fn admits_cell(&self, _geom: GridGeom, _cell: CellCoord) -> bool {
         true
     }
 
@@ -111,14 +116,14 @@ impl QuerySpec for PointQuery {
         self.0.dist(p)
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
-        let c = grid.cell_of(self.0);
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
+        let c = geom.cell_of(self.0);
         (c, c)
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        grid.mindist(cell, self.0)
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        geom.mindist(cell, self.0)
     }
 
     #[inline]
@@ -380,7 +385,7 @@ impl<S: QuerySpec> EngineCore<S> {
     /// the change is parked in `regrid_changed`/`regrid_prelists` and
     /// folded into the next cycle's changed list and delta stream by
     /// [`EngineCore::finish_regrid`].
-    pub(crate) fn rebind_grid(&mut self, grid: &Grid) {
+    pub(crate) fn rebind_grid<I: SpatialIndex>(&mut self, grid: &Grid<I>) {
         self.influence.reset(grid.dim());
         self.qid_buf.clear();
         self.qid_buf.extend(self.queries.keys().copied());
@@ -453,9 +458,9 @@ impl<S: QuerySpec> EngineCore<S> {
         self.deltas.clear();
     }
 
-    pub(crate) fn install(
+    pub(crate) fn install<I: SpatialIndex>(
         &mut self,
-        grid: &Grid,
+        grid: &Grid<I>,
         id: QueryId,
         spec: S,
         k: usize,
@@ -489,9 +494,9 @@ impl<S: QuerySpec> EngineCore<S> {
     /// parked through the same `regrid_changed`/`regrid_prelists`
     /// machinery a re-grid uses, and surfaces in the next cycle's changed
     /// list and delta stream instead of being silently dropped.
-    pub(crate) fn restore_query(
+    pub(crate) fn restore_query<I: SpatialIndex>(
         &mut self,
-        grid: &Grid,
+        grid: &Grid<I>,
         id: QueryId,
         spec: S,
         k: usize,
@@ -520,9 +525,9 @@ impl<S: QuerySpec> EngineCore<S> {
         }
     }
 
-    pub(crate) fn update_spec(
+    pub(crate) fn update_spec<I: SpatialIndex>(
         &mut self,
-        grid: &Grid,
+        grid: &Grid<I>,
         id: QueryId,
         spec: S,
     ) -> Result<&[Neighbor], CpmError> {
@@ -543,9 +548,9 @@ impl<S: QuerySpec> EngineCore<S> {
     /// record batch. Only queries managed by *this* core are affected: each
     /// record is routed through this core's influence table, so records that
     /// touch no influenced cell are skipped for free.
-    pub(crate) fn apply_records(
+    pub(crate) fn apply_records<I: SpatialIndex>(
         &mut self,
-        grid: &Grid,
+        grid: &Grid<I>,
         records: &[UpdateRecord],
         changed: &mut Vec<QueryId>,
     ) {
@@ -565,9 +570,9 @@ impl<S: QuerySpec> EngineCore<S> {
     }
 
     /// Apply this core's share of the cycle's query events, in batch order.
-    pub(crate) fn apply_query_events(
+    pub(crate) fn apply_query_events<I: SpatialIndex>(
         &mut self,
-        grid: &Grid,
+        grid: &Grid<I>,
         events: &[SpecEvent<S>],
         changed: &mut Vec<QueryId>,
     ) {
@@ -628,8 +633,8 @@ impl<S: QuerySpec> EngineCore<S> {
 
     // ---- search ----
 
-    fn compute_from_scratch(
-        grid: &Grid,
+    fn compute_from_scratch<I: SpatialIndex>(
+        grid: &Grid<I>,
         inf: &mut InfluenceTable,
         st: &mut SpecQueryState<S>,
         metrics: &mut Metrics,
@@ -640,12 +645,12 @@ impl<S: QuerySpec> EngineCore<S> {
         st.visit_list.clear();
         st.heap.clear();
 
-        let (lo, hi) = st.spec.base_block(grid);
+        let (lo, hi) = st.spec.base_block(grid.geom());
         st.pinwheel = Pinwheel::around_block(lo, hi, grid.dim());
 
         for cell in st.pinwheel.base_cells() {
-            if st.spec.admits_cell(grid, cell) {
-                st.heap.push_cell(cell, st.spec.cell_key(grid, cell));
+            if st.spec.admits_cell(grid.geom(), cell) {
+                st.heap.push_cell(cell, st.spec.cell_key(grid.geom(), cell));
                 metrics.heap_pushes += 1;
             }
         }
@@ -663,8 +668,8 @@ impl<S: QuerySpec> EngineCore<S> {
         Self::sync_influence(inf, st);
     }
 
-    fn recompute(
-        grid: &Grid,
+    fn recompute<I: SpatialIndex>(
+        grid: &Grid<I>,
         inf: &mut InfluenceTable,
         st: &mut SpecQueryState<S>,
         metrics: &mut Metrics,
@@ -697,7 +702,11 @@ impl<S: QuerySpec> EngineCore<S> {
         Self::sync_influence(inf, st);
     }
 
-    fn drain_heap(grid: &Grid, st: &mut SpecQueryState<S>, metrics: &mut Metrics) {
+    fn drain_heap<I: SpatialIndex>(
+        grid: &Grid<I>,
+        st: &mut SpecQueryState<S>,
+        metrics: &mut Metrics,
+    ) {
         let increment = st.spec.strip_increment(grid.delta());
         while let Some(key) = st.heap.peek_key() {
             if key > st.best.best_dist() {
@@ -721,8 +730,8 @@ impl<S: QuerySpec> EngineCore<S> {
                 HeapEntry::Rect(dir, lvl) => {
                     let strip = st.pinwheel.strip(dir, lvl).expect("en-heaped strip exists");
                     for cell in strip.cells() {
-                        if st.spec.admits_cell(grid, cell) {
-                            st.heap.push_cell(cell, st.spec.cell_key(grid, cell));
+                        if st.spec.admits_cell(grid.geom(), cell) {
+                            st.heap.push_cell(cell, st.spec.cell_key(grid.geom(), cell));
                             metrics.heap_pushes += 1;
                         }
                     }
@@ -826,7 +835,7 @@ impl<S: QuerySpec> EngineCore<S> {
         }
     }
 
-    fn finalize_touched(&mut self, grid: &Grid, changed: &mut Vec<QueryId>) {
+    fn finalize_touched<I: SpatialIndex>(&mut self, grid: &Grid<I>, changed: &mut Vec<QueryId>) {
         let mut touched = std::mem::take(&mut self.touched);
         // Each query's resolution is independent, so the finalize order is
         // free to choose. With delta capture on, walking in ascending id
@@ -903,7 +912,7 @@ impl<S: QuerySpec> EngineCore<S> {
     }
 
     /// Verify all cross-structure invariants against `grid` (test helper).
-    pub(crate) fn check_invariants(&self, grid: &Grid) {
+    pub(crate) fn check_invariants<I: SpatialIndex>(&self, grid: &Grid<I>) {
         for (qid, st) in &self.queries {
             assert_eq!(*qid, st.id);
             st.best.check_invariants();
@@ -942,19 +951,35 @@ impl<S: QuerySpec> EngineCore<S> {
 /// separate grids or share a grid externally. Internally the engine is a
 /// [`Grid`] plus a single `EngineCore` — the sharded variant
 /// ([`crate::ShardedCpmEngine`]) pairs the same grid with several cores.
+///
+/// The second type parameter selects the [`SpatialIndex`] backend and
+/// defaults to the paper-exact [`CellIndex`]; results are backend-
+/// independent (specs only consume [`GridGeom`]), so the choice is purely
+/// a performance knob. Runtime selection goes through
+/// [`CpmEngine::with_grid`] and a [`cpm_grid::DynIndex`] grid.
 #[derive(Debug)]
-pub struct CpmEngine<S: QuerySpec> {
-    grid: Grid,
+pub struct CpmEngine<S: QuerySpec, I: SpatialIndex = CellIndex> {
+    grid: Grid<I>,
     core: EngineCore<S>,
     records: Vec<UpdateRecord>,
     regrid: RegridController,
 }
 
 impl<S: QuerySpec> CpmEngine<S> {
-    /// Create an engine over an empty `dim × dim` grid.
+    /// Create an engine over an empty `dim × dim` grid with the default
+    /// uniform backend.
     pub fn new(dim: u32) -> Self {
+        Self::with_grid(cpm_grid::GridBuilder::new(dim).build_uniform())
+    }
+}
+
+impl<S: QuerySpec, I: SpatialIndex> CpmEngine<S, I> {
+    /// Create an engine over a pre-built (typically empty) grid, keeping
+    /// whatever index backend it was configured with.
+    pub fn with_grid(grid: Grid<I>) -> Self {
+        let dim = grid.dim();
         Self {
-            grid: Grid::new(dim),
+            grid,
             core: EngineCore::new(dim),
             records: Vec::new(),
             regrid: RegridController::new(RegridPolicy::Manual),
@@ -981,18 +1006,24 @@ impl<S: QuerySpec> CpmEngine<S> {
     /// scratch. Returns the number of objects migrated (0 if `new_dim` is
     /// the current dimension).
     ///
-    /// # Panics
-    /// Panics if `new_dim == 0` or `new_dim > 4096`.
-    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+    /// # Errors
+    /// [`CpmError::InvalidDim`] if the active backend rejects `new_dim`
+    /// (out of `1..=4096`, or not a power of two for a quadtree index).
+    pub fn regrid_to(&mut self, new_dim: u32) -> Result<usize, CpmError> {
         if new_dim == self.grid.dim() {
-            return 0;
+            return Ok(0);
         }
+        self.grid
+            .index()
+            .kind()
+            .check_dim(new_dim)
+            .map_err(CpmError::from)?;
         let migrated = self.grid.regrid(new_dim);
         let metrics = self.core.metrics_mut();
         metrics.regrids += 1;
         metrics.regrid_objects_migrated += migrated as u64;
         self.core.rebind_grid(&self.grid);
-        migrated
+        Ok(migrated)
     }
 
     /// Evaluate the automatic policy at the cycle boundary (phase 0 of a
@@ -1009,6 +1040,7 @@ impl<S: QuerySpec> CpmEngine<S> {
             self.grid.len(),
             self.core.query_count(),
         );
+        self.regrid.observe_occupancy(self.grid.stats());
         let (n_queries, sum_k) = self.core.k_stats();
         let avg_k = sum_k / n_queries.max(1);
         if let Some(dim) = self.regrid.decide(
@@ -1018,7 +1050,10 @@ impl<S: QuerySpec> CpmEngine<S> {
             avg_k,
             self.grid.dim(),
         ) {
-            self.regrid_to(dim);
+            // The controller's dims come from the validated policy range;
+            // a backend that rejects one (non-pow2 on a quadtree) simply
+            // skips this adjustment and re-evaluates next period.
+            let _ = self.regrid_to(dim);
         }
     }
 
@@ -1026,7 +1061,7 @@ impl<S: QuerySpec> CpmEngine<S> {
     ///
     /// # Panics
     /// Panics if queries are already installed.
-    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+    pub fn populate<It: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: It) {
         assert!(
             self.core.query_count() == 0,
             "populate() is only valid before queries are installed"
@@ -1038,7 +1073,7 @@ impl<S: QuerySpec> CpmEngine<S> {
 
     /// The object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<I> {
         &self.grid
     }
 

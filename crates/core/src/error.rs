@@ -10,7 +10,7 @@
 //! runtime conditions to handle.
 
 use cpm_geom::{ObjectId, QueryId};
-use cpm_grid::QueryKind;
+use cpm_grid::{GridConfigError, IndexKind, QueryKind};
 
 /// Why a query-registry operation was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,25 @@ pub enum CpmError {
     /// duplicate means the producer double-sent; the batch is rejected
     /// before any state changes.
     DuplicateObject(ObjectId),
+    /// A `regrid_to` named a resolution the active index backend rejects
+    /// (out of `1..=4096`, or not a power of two under a quadtree index).
+    /// Wraps the grid layer's [`GridConfigError`].
+    InvalidDim(GridConfigError),
+    /// A snapshot was restored under a different [`IndexKind`] than it was
+    /// captured with. Recovery must rebuild the same structure the durable
+    /// state describes; re-capture under the new kind instead.
+    IndexMismatch {
+        /// The kind recorded in the snapshot.
+        expected: IndexKind,
+        /// The kind the restoring server/engine is configured with.
+        actual: IndexKind,
+    },
+}
+
+impl From<GridConfigError> for CpmError {
+    fn from(e: GridConfigError) -> Self {
+        CpmError::InvalidDim(e)
+    }
 }
 
 impl std::fmt::Display for CpmError {
@@ -92,6 +111,12 @@ impl std::fmt::Display for CpmError {
             CpmError::DuplicateObject(id) => {
                 write!(f, "object {id} appears more than once in the event batch")
             }
+            CpmError::InvalidDim(e) => write!(f, "{e}"),
+            CpmError::IndexMismatch { expected, actual } => write!(
+                f,
+                "snapshot was captured under the {expected} index but is being restored \
+                 under {actual}"
+            ),
         }
     }
 }

@@ -105,7 +105,7 @@ impl CpmKnnMonitor {
     /// Create a monitor with explicit ablation switches.
     pub fn with_config(dim: u32, config: CpmConfig) -> Self {
         Self {
-            grid: Grid::new(dim),
+            grid: cpm_grid::GridBuilder::new(dim).build_uniform(),
             influence: InfluenceTable::new(dim),
             queries: FastHashMap::default(),
             metrics: Metrics::default(),

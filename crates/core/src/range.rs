@@ -29,7 +29,7 @@
 //! [`cpm-sub`]: ../../cpm_sub/index.html
 
 use cpm_geom::{ObjectId, Point, QueryId, Rect};
-use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent};
+use cpm_grid::{CellCoord, Grid, GridGeom, Metrics, ObjectEvent};
 
 use crate::engine::{QuerySpec, SpecEvent, SpecQueryState};
 use crate::neighbors::Neighbor;
@@ -132,14 +132,14 @@ impl QuerySpec for RangeQuery {
         }
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
         let bbox = self.region.bbox();
-        (grid.cell_of(bbox.lo), grid.cell_of(bbox.hi))
+        (geom.cell_of(bbox.lo), geom.cell_of(bbox.hi))
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        grid.mindist(cell, self.region.anchor())
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        geom.mindist(cell, self.region.anchor())
     }
 
     #[inline]
@@ -153,8 +153,8 @@ impl QuerySpec for RangeQuery {
     }
 
     #[inline]
-    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
-        self.region.intersects_rect(&grid.cell_rect(cell))
+    fn admits_cell(&self, geom: GridGeom, cell: CellCoord) -> bool {
+        self.region.intersects_rect(&geom.cell_rect(cell))
     }
 
     #[inline]
@@ -293,7 +293,7 @@ impl CpmRangeMonitor {
 
     /// The object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<cpm_grid::DynIndex> {
         self.server.grid()
     }
 

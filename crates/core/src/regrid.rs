@@ -25,12 +25,20 @@
 //! decisions at every shard count**, keeping the determinism contract of
 //! [`crate::ShardedCpmEngine`].
 //!
-//! The decision machinery deliberately reuses the paper's uniform-data
-//! model as-is: under skew it *underestimates* the benefit of refining
-//! (cell occupancy near a hotspot is far above `N·δ²`), so the hysteresis
-//! bar errs toward staying put, never toward thrashing.
+//! The paper's uniform-data model alone *underestimates* the benefit of
+//! refining under skew: cell occupancy near a hotspot is far above
+//! `N·δ²`, so a concentration spike that leaves `N` unchanged looks free.
+//! The controller therefore also folds the grid's occupancy signals
+//! ([`cpm_grid::GridStats`]: hot-cell maximum and occupied-cell count,
+//! both maintained incrementally by the index backends) into a **skew
+//! EMA** via [`RegridController::observe_occupancy`]. Only skew beyond
+//! [`AutoRegridConfig::skew_threshold`] reaches the model — a dead band
+//! that keeps mildly non-uniform workloads on the paper-exact uniform
+//! prediction — and the hysteresis bar still applies on top, so the
+//! policy errs toward staying put, never toward thrashing.
 
 use crate::analysis::CostModel;
+use cpm_grid::GridStats;
 
 /// Default smallest resolution the auto policy will pick.
 const DEFAULT_MIN_DIM: u32 = 16;
@@ -44,9 +52,16 @@ const DEFAULT_CHECK_EVERY: u64 = 8;
 const DEFAULT_HYSTERESIS: f64 = 1.2;
 /// Default cooldown between applied re-grids, in processing cycles.
 const DEFAULT_COOLDOWN: u64 = 16;
+/// Default skew dead band: observed concentration below this factor never
+/// perturbs the uniform model.
+const DEFAULT_SKEW_THRESHOLD: f64 = 4.0;
 
 /// EMA smoothing for the observed agilities.
 const AGILITY_ALPHA: f64 = 0.25;
+
+/// Cap on the instantaneous skew observation: one pathological cycle
+/// (e.g. a near-empty grid) cannot swing the EMA arbitrarily.
+const SKEW_CLAMP_MAX: f64 = 64.0;
 
 /// Configuration of the cost-model-driven automatic re-grid policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +78,12 @@ pub struct AutoRegridConfig {
     pub hysteresis: f64,
     /// Minimum number of cycles between two applied re-grids.
     pub cooldown: u64,
+    /// Observed-skew dead band (must be `≥ 1`, may be
+    /// [`f64::INFINITY`] to ignore occupancy entirely): the skew EMA is
+    /// divided by this threshold (floored at 1) before it reaches the
+    /// cost model, so only concentration beyond the threshold — a real
+    /// hotspot, not sampling noise — can trigger a resolution change.
+    pub skew_threshold: f64,
 }
 
 impl Default for AutoRegridConfig {
@@ -73,6 +94,7 @@ impl Default for AutoRegridConfig {
             check_every: DEFAULT_CHECK_EVERY,
             hysteresis: DEFAULT_HYSTERESIS,
             cooldown: DEFAULT_COOLDOWN,
+            skew_threshold: DEFAULT_SKEW_THRESHOLD,
         }
     }
 }
@@ -113,7 +135,8 @@ impl RegridPolicy {
     /// For [`RegridPolicy::Auto`], panics unless
     /// `1 ≤ min_dim ≤ max_dim ≤ 4096` (the grid's supported range),
     /// `hysteresis > 1` (a dead band of 1 or less re-grids on every
-    /// eligible evaluation) and `check_every ≥ 1`.
+    /// eligible evaluation), `check_every ≥ 1`, and `skew_threshold ≥ 1`
+    /// and not NaN (`∞` disables the occupancy signal).
     pub(crate) fn validate(&self) {
         if let RegridPolicy::Auto(cfg) = self {
             assert!(
@@ -128,6 +151,11 @@ impl RegridPolicy {
                 cfg.hysteresis
             );
             assert!(cfg.check_every >= 1, "check_every must be at least 1");
+            assert!(
+                cfg.skew_threshold >= 1.0,
+                "skew_threshold must be at least 1 (got {})",
+                cfg.skew_threshold
+            );
         }
     }
 }
@@ -143,6 +171,9 @@ pub struct RegridController {
     f_obj: f64,
     /// EMA of the observed query agility `f_qry` (query events / n).
     f_qry: f64,
+    /// EMA of the observed occupancy skew (hot-cell population over the
+    /// uniform per-cell expectation); `1` = uniform.
+    skew: f64,
     /// Whether the EMAs have seen at least one cycle.
     primed: bool,
     last_eval: u64,
@@ -161,6 +192,7 @@ impl RegridController {
             policy,
             f_obj: 0.0,
             f_qry: 0.0,
+            skew: 1.0,
             primed: false,
             last_eval: 0,
             last_regrid: 0,
@@ -183,11 +215,12 @@ impl RegridController {
     }
 
     /// The controller's full decision state, for snapshot capture:
-    /// `(f_obj EMA, f_qry EMA, primed, last_eval, last_regrid)`.
-    pub(crate) fn export_state(&self) -> (f64, f64, bool, u64, u64) {
+    /// `(f_obj EMA, f_qry EMA, skew EMA, primed, last_eval, last_regrid)`.
+    pub(crate) fn export_state(&self) -> (f64, f64, f64, bool, u64, u64) {
         (
             self.f_obj,
             self.f_qry,
+            self.skew,
             self.primed,
             self.last_eval,
             self.last_regrid,
@@ -196,10 +229,11 @@ impl RegridController {
 
     /// Overwrite the decision state with a captured snapshot (the inverse
     /// of [`RegridController::export_state`]); the policy is unchanged.
-    pub(crate) fn import_state(&mut self, state: (f64, f64, bool, u64, u64)) {
+    pub(crate) fn import_state(&mut self, state: (f64, f64, f64, bool, u64, u64)) {
         (
             self.f_obj,
             self.f_qry,
+            self.skew,
             self.primed,
             self.last_eval,
             self.last_regrid,
@@ -226,6 +260,44 @@ impl RegridController {
         }
     }
 
+    /// Fold one cycle's grid-occupancy snapshot into the skew EMA. The
+    /// instantaneous observation is the hot cell's population over the
+    /// uniform per-cell expectation `live / total_cells`, clamped to
+    /// `[1, 64]` so a near-empty grid cannot swing the average; empty
+    /// grids are skipped. Index backends maintain [`GridStats`]
+    /// incrementally, so engines can afford to call this every cycle.
+    pub fn observe_occupancy(&mut self, stats: GridStats) {
+        if stats.live_objects == 0 || stats.total_cells == 0 {
+            return;
+        }
+        let uniform_per_cell = stats.live_objects as f64 / stats.total_cells as f64;
+        let observed = (stats.hot_cell_max as f64 / uniform_per_cell).clamp(1.0, SKEW_CLAMP_MAX);
+        self.skew += AGILITY_ALPHA * (observed - self.skew);
+    }
+
+    /// The skew EMA (`1` = uniform occupancy); diagnostics surface.
+    #[must_use]
+    pub fn observed_skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// The skew factor the cost model actually sees: the EMA divided by
+    /// the policy's dead-band threshold, floored at 1. Manual policies
+    /// (no threshold) stay on the uniform model.
+    fn effective_skew(&self) -> f64 {
+        match self.policy {
+            RegridPolicy::Auto(cfg) => {
+                let s = self.skew / cfg.skew_threshold;
+                if s > 1.0 {
+                    s
+                } else {
+                    1.0
+                }
+            }
+            RegridPolicy::Manual => 1.0,
+        }
+    }
+
     /// The cost model for the current observation at cell side
     /// `1/dim` — also what diagnostics and tests inspect.
     pub fn model(&self, n_objects: usize, n_queries: usize, avg_k: usize, dim: u32) -> CostModel {
@@ -239,6 +311,7 @@ impl RegridController {
             // through merge failures, which the pure model prices at zero.
             f_obj: self.f_obj.clamp(0.01, 1.0),
             f_qry: self.f_qry.clamp(0.05, 1.0),
+            skew: self.effective_skew(),
         }
     }
 
@@ -370,6 +443,75 @@ mod tests {
         c.observe_cycle(0, 0, 0, 0);
         assert_eq!(c.decide(100, 0, 5, 8, 16), None);
         assert_eq!(c.decide(200, 1_000, 0, 8, 16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew_threshold must be at least 1")]
+    fn sub_unit_skew_threshold_fails_at_configuration_time() {
+        let _ = RegridController::new(RegridPolicy::Auto(AutoRegridConfig {
+            skew_threshold: 0.5,
+            ..AutoRegridConfig::default()
+        }));
+    }
+
+    fn stats(total_cells: usize, live_objects: usize, hot_cell_max: usize) -> GridStats {
+        GridStats {
+            total_cells,
+            occupied_cells: total_cells.min(live_objects),
+            live_objects,
+            hot_cell_max,
+        }
+    }
+
+    #[test]
+    fn mild_skew_stays_inside_the_dead_band() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        c.observe_cycle(500, 15, 1_000, 50);
+        for _ in 0..32 {
+            // Hot cell at 2× the uniform expectation: below the default
+            // threshold of 4, so the model must stay paper-exact.
+            c.observe_occupancy(stats(256, 1_024, 8));
+        }
+        assert!(c.observed_skew() > 1.5, "EMA should track the stream");
+        let skew = c.model(1_000, 50, 8, 16).skew;
+        assert!((skew - 1.0).abs() < 1e-12, "dead band breached: {skew}");
+    }
+
+    #[test]
+    fn a_concentration_spike_can_trigger_refinement_alone() {
+        // Two controllers, identical agilities and population; only the
+        // occupancy stream differs.
+        let mut uniform = RegridController::new(RegridPolicy::auto());
+        let mut skewed = RegridController::new(RegridPolicy::auto());
+        for _ in 0..4 {
+            uniform.observe_cycle(4_096, 154, 8_192, 512);
+            skewed.observe_cycle(4_096, 154, 8_192, 512);
+            // Hot cell at 2× uniform expectation: inside the dead band.
+            uniform.observe_occupancy(stats(4_096, 8_192, 4));
+            // Everything piled into a handful of cells.
+            skewed.observe_occupancy(stats(4_096, 8_192, 2_048));
+        }
+        let base = uniform.decide(100, 8_192, 512, 8, 64);
+        let hot = skewed.decide(100, 8_192, 512, 8, 64);
+        assert!(
+            skewed.observed_skew() > uniform.observed_skew(),
+            "skew EMA must separate the lanes"
+        );
+        let d_u = base.unwrap_or(64);
+        let d_s = hot.unwrap_or(64);
+        assert!(d_s > d_u, "hotspot must refine further: {d_u} vs {d_s}");
+    }
+
+    #[test]
+    fn observe_occupancy_clamps_and_skips_degenerate_grids() {
+        let mut c = RegridController::new(RegridPolicy::auto());
+        c.observe_occupancy(stats(256, 0, 0)); // empty: skipped
+        assert!((c.observed_skew() - 1.0).abs() < 1e-12);
+        for _ in 0..200 {
+            // 2 objects, one cell holds both: raw ratio would be 128.
+            c.observe_occupancy(stats(256, 2, 2));
+        }
+        assert!(c.observed_skew() <= 64.0 + 1e-9, "clamp failed");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::f64::consts::TAU;
 
 use cpm_geom::{ObjectId, Point, QueryId, Rect};
-use cpm_grid::{CellCoord, Grid, Metrics, ObjectEvent, QueryEvent};
+use cpm_grid::{CellCoord, Grid, GridGeom, Metrics, ObjectEvent, QueryEvent};
 
 use crate::engine::QuerySpec;
 use crate::partition::{Direction, Pinwheel};
@@ -156,14 +156,14 @@ impl QuerySpec for RnnQuery {
         }
     }
 
-    fn base_block(&self, grid: &Grid) -> (CellCoord, CellCoord) {
-        let c = grid.cell_of(self.q);
+    fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
+        let c = geom.cell_of(self.q);
         (c, c)
     }
 
     #[inline]
-    fn cell_key(&self, grid: &Grid, cell: CellCoord) -> f64 {
-        grid.mindist(cell, self.q)
+    fn cell_key(&self, geom: GridGeom, cell: CellCoord) -> f64 {
+        geom.mindist(cell, self.q)
     }
 
     #[inline]
@@ -177,8 +177,8 @@ impl QuerySpec for RnnQuery {
     }
 
     #[inline]
-    fn admits_cell(&self, grid: &Grid, cell: CellCoord) -> bool {
-        sector_intersects_rect(self.q, self.sector, &grid.cell_rect(cell))
+    fn admits_cell(&self, geom: GridGeom, cell: CellCoord) -> bool {
+        sector_intersects_rect(self.q, self.sector, &geom.cell_rect(cell))
     }
 
     #[inline]
@@ -241,7 +241,7 @@ impl CpmRnnMonitor {
 
     /// The object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<cpm_grid::DynIndex> {
         self.server.grid()
     }
 

@@ -33,7 +33,9 @@
 //! [`cpm_sim`'s oracle cross-check]: ../../cpm_sim/runner/fn.verify_sharded_determinism.html
 
 use cpm_geom::{ObjectId, Point, QueryId};
-use cpm_grid::{apply_events, Grid, Metrics, ObjectEvent, QueryEvent, UpdateRecord};
+use cpm_grid::{
+    apply_events, CellIndex, Grid, Metrics, ObjectEvent, QueryEvent, SpatialIndex, UpdateRecord,
+};
 
 use crate::delta::{CycleDeltas, NeighborDelta};
 use crate::engine::{EngineCore, PointQuery, QuerySpec, SpecEvent, SpecQueryState};
@@ -58,9 +60,9 @@ pub fn shard_of(id: QueryId, shards: usize) -> usize {
 /// One shard's share of a processing cycle: batched update handling over
 /// the shared (now immutable) grid, then this shard's query events.
 /// The returned delta list is empty unless the core collects deltas.
-fn run_shard<S: QuerySpec>(
+fn run_shard<S: QuerySpec, I: SpatialIndex>(
     core: &mut EngineCore<S>,
-    grid: &Grid,
+    grid: &Grid<I>,
     records: &[UpdateRecord],
     events: &[SpecEvent<S>],
 ) -> (Vec<QueryId>, Vec<(QueryId, NeighborDelta)>) {
@@ -80,9 +82,13 @@ fn run_shard<S: QuerySpec>(
 /// differences are that [`ShardedCpmEngine::process_cycle`] reports changed
 /// queries in canonical (ascending id) order and that work counters are
 /// read through merged snapshots ([`ShardedCpmEngine::metrics`]).
+/// The second type parameter selects the [`SpatialIndex`] backend
+/// (default: the paper-exact [`CellIndex`]); see [`crate::CpmEngine`] for
+/// the backend-independence contract. Runtime-selected backends go through
+/// [`ShardedCpmEngine::with_grid`] and a [`cpm_grid::DynIndex`] grid.
 #[derive(Debug)]
-pub struct ShardedCpmEngine<S: QuerySpec> {
-    grid: Grid,
+pub struct ShardedCpmEngine<S: QuerySpec, I: SpatialIndex = CellIndex> {
+    grid: Grid<I>,
     shards: Vec<EngineCore<S>>,
     /// Counters owned by the ingest phase (currently `updates_applied`),
     /// kept separate so the shared grid's work is counted exactly once no
@@ -99,16 +105,29 @@ pub struct ShardedCpmEngine<S: QuerySpec> {
 }
 
 impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
-    /// Create an engine over an empty `dim × dim` grid with `shards ≥ 1`
-    /// query shards. `shards = 1` is the sequential engine (no worker
-    /// threads are spawned).
+    /// Create an engine over an empty `dim × dim` grid (default uniform
+    /// backend) with `shards ≥ 1` query shards. `shards = 1` is the
+    /// sequential engine (no worker threads are spawned).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn new(dim: u32, shards: usize) -> Self {
+        Self::with_grid(cpm_grid::GridBuilder::new(dim).build_uniform(), shards)
+    }
+}
+
+impl<S: QuerySpec + Send + Sync, I: SpatialIndex> ShardedCpmEngine<S, I> {
+    /// Create an engine over a pre-built (typically empty) grid, keeping
+    /// whatever index backend it was configured with, with `shards ≥ 1`
+    /// query shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_grid(grid: Grid<I>, shards: usize) -> Self {
         assert!(shards >= 1, "at least one shard is required");
+        let dim = grid.dim();
         Self {
-            grid: Grid::new(dim),
+            grid,
             shards: (0..shards).map(|_| EngineCore::new(dim)).collect(),
             ingest_metrics: Metrics::default(),
             records: Vec::new(),
@@ -140,12 +159,18 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     /// count. Returns the number of objects migrated (0 if `new_dim` is
     /// the current dimension).
     ///
-    /// # Panics
-    /// Panics if `new_dim == 0` or `new_dim > 4096`.
-    pub fn regrid_to(&mut self, new_dim: u32) -> usize {
+    /// # Errors
+    /// [`CpmError::InvalidDim`] if the active backend rejects `new_dim`
+    /// (out of `1..=4096`, or not a power of two for a quadtree index).
+    pub fn regrid_to(&mut self, new_dim: u32) -> Result<usize, CpmError> {
         if new_dim == self.grid.dim() {
-            return 0;
+            return Ok(0);
         }
+        self.grid
+            .index()
+            .kind()
+            .check_dim(new_dim)
+            .map_err(CpmError::from)?;
         let migrated = self.grid.regrid(new_dim);
         // Grid-side work is owned by the ingest phase: one re-grid, one
         // migration count, no matter how many shards re-register.
@@ -161,7 +186,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
                 }
             });
         }
-        migrated
+        Ok(migrated)
     }
 
     /// Evaluate the automatic policy at the cycle boundary (phase 0 of a
@@ -181,12 +206,15 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
         }
         self.regrid
             .observe_cycle(object_events, query_events, n_objects, n_queries);
+        self.regrid.observe_occupancy(self.grid.stats());
         let avg_k = sum_k / n_queries.max(1);
         if let Some(dim) =
             self.regrid
                 .decide(self.epoch(), n_objects, n_queries, avg_k, self.grid.dim())
         {
-            self.regrid_to(dim);
+            // Backend-rejected dims (non-pow2 on a quadtree) are skipped;
+            // the policy re-evaluates next period.
+            let _ = self.regrid_to(dim);
         }
     }
 
@@ -204,7 +232,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
 
     /// The shared object index.
     #[must_use]
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<I> {
         &self.grid
     }
 
@@ -212,7 +240,7 @@ impl<S: QuerySpec + Send + Sync> ShardedCpmEngine<S> {
     ///
     /// # Panics
     /// Panics if queries are already installed.
-    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+    pub fn populate<It: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: It) {
         assert!(
             self.query_count() == 0,
             "populate() is only valid before queries are installed"
@@ -621,8 +649,14 @@ impl ShardedKnnMonitor {
 
     /// Re-grid to a new resolution now (see
     /// [`ShardedCpmEngine::regrid_to`]).
+    ///
+    /// # Panics
+    /// Panics if `new_dim == 0` or `new_dim > 4096` (legacy monitor
+    /// surface; the engine reports this as [`CpmError::InvalidDim`]).
     pub fn regrid_to(&mut self, new_dim: u32) -> usize {
-        self.engine.regrid_to(new_dim)
+        self.engine
+            .regrid_to(new_dim)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of installed queries.

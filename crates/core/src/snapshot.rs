@@ -32,7 +32,7 @@
 //! around; corruption anywhere load-bearing is a hard [`RecoveryError`].
 
 use cpm_geom::{ObjectId, Point, QueryId};
-use cpm_grid::{Metrics, ObjectEvent, QueryKind};
+use cpm_grid::{DynIndex, IndexKind, Metrics, ObjectEvent, QueryKind, SpatialIndex};
 use cpm_wire::{
     decode_framed, encode_framed, Decode, Encode, Journal, Reader, WireError, Writer,
     FRAME_SNAPSHOT,
@@ -52,6 +52,11 @@ use crate::shard::ShardedCpmEngine;
 pub struct EngineSnapshot<S> {
     /// Grid resolution (cells per axis).
     pub dim: u32,
+    /// The spatial-index backend the grid was built with. Restore
+    /// rebuilds the same structure; [`EngineSnapshot::restore_expecting`]
+    /// rejects a mismatched deployment with
+    /// [`CpmError::IndexMismatch`].
+    pub index: IndexKind,
     /// Worker-shard count.
     pub shards: usize,
     /// Whether the engine captures per-cycle deltas.
@@ -59,8 +64,8 @@ pub struct EngineSnapshot<S> {
     /// The re-grid policy in force.
     pub policy: crate::regrid::RegridPolicy,
     /// The re-grid controller's observation state
-    /// `(f_obj, f_qry, primed, last_eval, last_regrid)`.
-    pub regrid_state: (f64, f64, bool, u64, u64),
+    /// `(f_obj, f_qry, skew, primed, last_eval, last_regrid)`.
+    pub regrid_state: (f64, f64, f64, bool, u64, u64),
     /// The processing-cycle counter at capture time.
     pub epoch: u64,
     /// Merged work counters at capture time.
@@ -73,9 +78,9 @@ pub struct EngineSnapshot<S> {
 }
 
 impl<S: QuerySpec + Clone + Send + Sync> EngineSnapshot<S> {
-    /// Capture the engine's durable state.
+    /// Capture the engine's durable state (any index backend).
     #[must_use]
-    pub fn capture(engine: &ShardedCpmEngine<S>) -> Self {
+    pub fn capture<I: SpatialIndex>(engine: &ShardedCpmEngine<S, I>) -> Self {
         let mut objects: Vec<(ObjectId, Point)> = engine.grid().iter_objects().collect();
         objects.sort_unstable_by_key(|&(id, _)| id);
         let queries = engine
@@ -88,6 +93,7 @@ impl<S: QuerySpec + Clone + Send + Sync> EngineSnapshot<S> {
             .collect();
         EngineSnapshot {
             dim: engine.grid().dim(),
+            index: engine.grid().index().kind(),
             shards: engine.shard_count(),
             collects_deltas: engine.collects_deltas(),
             policy: *engine.regrid_policy(),
@@ -99,16 +105,20 @@ impl<S: QuerySpec + Clone + Send + Sync> EngineSnapshot<S> {
         }
     }
 
-    /// Rebuild an engine from this snapshot: populate the grid, then
-    /// re-register every query from scratch in ascending id order (the
-    /// re-grid discipline, so the result is bit-identical to the captured
-    /// engine), then restore counters and the epoch.
+    /// Rebuild an engine from this snapshot: rebuild the grid under the
+    /// recorded index backend, populate it, then re-register every query
+    /// from scratch in ascending id order (the re-grid discipline, so the
+    /// result is bit-identical to the captured engine), then restore
+    /// counters and the epoch.
     ///
     /// # Errors
     /// Propagates the registry error if a query cannot be re-installed
     /// (impossible for a snapshot that passed `Decode` validation).
-    pub fn restore(&self) -> Result<ShardedCpmEngine<S>, CpmError> {
-        let mut engine = ShardedCpmEngine::new(self.dim, self.shards);
+    pub fn restore(&self) -> Result<ShardedCpmEngine<S, DynIndex>, CpmError> {
+        let grid = cpm_grid::GridBuilder::new(self.dim)
+            .index(self.index)
+            .try_build()?;
+        let mut engine = ShardedCpmEngine::with_grid(grid, self.shards);
         engine.set_regrid_policy(self.policy);
         engine
             .regrid_controller_mut()
@@ -124,19 +134,41 @@ impl<S: QuerySpec + Clone + Send + Sync> EngineSnapshot<S> {
         engine.set_epoch_all(self.epoch);
         Ok(engine)
     }
+
+    /// [`EngineSnapshot::restore`], guarded by the deployment's
+    /// configured index backend: a snapshot captured under one
+    /// [`IndexKind`] must not silently come back as another.
+    ///
+    /// # Errors
+    /// [`CpmError::IndexMismatch`] when `configured` differs from the
+    /// recorded kind; otherwise as [`EngineSnapshot::restore`].
+    pub fn restore_expecting(
+        &self,
+        configured: IndexKind,
+    ) -> Result<ShardedCpmEngine<S, DynIndex>, CpmError> {
+        if self.index != configured {
+            return Err(CpmError::IndexMismatch {
+                expected: self.index,
+                actual: configured,
+            });
+        }
+        self.restore()
+    }
 }
 
 impl<S: Encode> Encode for EngineSnapshot<S> {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(self.dim);
+        self.index.encode(w);
         self.shards.encode(w);
         self.collects_deltas.encode(w);
         self.policy.encode(w);
         self.regrid_state.0.encode(w);
         self.regrid_state.1.encode(w);
         self.regrid_state.2.encode(w);
-        w.put_u64(self.regrid_state.3);
+        self.regrid_state.3.encode(w);
         w.put_u64(self.regrid_state.4);
+        w.put_u64(self.regrid_state.5);
         w.put_u64(self.epoch);
         self.metrics.encode(w);
         self.objects.encode(w);
@@ -160,6 +192,13 @@ impl<S: Decode> Decode for EngineSnapshot<S> {
                 what: "grid dimension outside 1..=4096",
             });
         }
+        let index = IndexKind::decode(r)?;
+        if index.check_dim(dim).is_err() {
+            return Err(WireError::Invalid {
+                offset: dim_at,
+                what: "grid dimension rejected by the recorded index backend",
+            });
+        }
         let shards_at = r.offset();
         let shards = usize::decode(r)?;
         if !(1..=4096).contains(&shards) {
@@ -174,6 +213,7 @@ impl<S: Decode> Decode for EngineSnapshot<S> {
         let regrid_state = (
             r.take_f64()?,
             r.take_f64()?,
+            r.take_f64()?,
             bool::decode(r)?,
             r.take_u64()?,
             r.take_u64()?,
@@ -186,6 +226,12 @@ impl<S: Decode> Decode for EngineSnapshot<S> {
             return Err(WireError::Invalid {
                 offset: regrid_at,
                 what: "regrid EMA state must be finite and non-negative",
+            });
+        }
+        if !regrid_state.2.is_finite() || regrid_state.2 < 1.0 {
+            return Err(WireError::Invalid {
+                offset: regrid_at,
+                what: "regrid skew EMA must be finite and at least 1",
             });
         }
         let epoch = r.take_u64()?;
@@ -234,6 +280,7 @@ impl<S: Decode> Decode for EngineSnapshot<S> {
         }
         Ok(EngineSnapshot {
             dim,
+            index,
             shards,
             collects_deltas,
             policy,
@@ -416,6 +463,27 @@ impl CpmServer {
             snapshot.rnn.clone(),
             snapshot.verify_metrics,
         ))
+    }
+
+    /// [`CpmServer::restore`], guarded by the deployment's configured
+    /// index backend: recovery must rebuild the structure the durable
+    /// state describes, so a snapshot captured under one [`IndexKind`]
+    /// refuses to come back under another.
+    ///
+    /// # Errors
+    /// [`CpmError::IndexMismatch`] when `configured` differs from the
+    /// snapshot's recorded kind; otherwise as [`CpmServer::restore`].
+    pub fn restore_expecting(
+        snapshot: &Snapshot,
+        configured: IndexKind,
+    ) -> Result<CpmServer, CpmError> {
+        if snapshot.engine.index != configured {
+            return Err(CpmError::IndexMismatch {
+                expected: snapshot.engine.index,
+                actual: configured,
+            });
+        }
+        Self::restore(snapshot)
     }
 }
 
@@ -1009,6 +1077,41 @@ mod tests {
             // Both lanes keep producing bit-identical changed lists.
             assert_eq!(drive(&mut restored, 5), drive(&mut original, 5));
         }
+    }
+
+    #[test]
+    fn snapshots_record_and_rebuild_the_index_backend() {
+        let mut original = CpmServerBuilder::new(16)
+            .shards(2)
+            .index(IndexKind::quadtree())
+            .build();
+        original.populate((0..50u32).map(|i| {
+            let t = f64::from(i) / 50.0;
+            (ObjectId(i), Point::new(t, (t * 3.7) % 1.0))
+        }));
+        let _ = original
+            .install_knn(QueryId(0), Point::new(0.5, 0.5), 3)
+            .unwrap();
+        drive(&mut original, 4);
+        let frame = Snapshot::capture(&original, 0).to_frame();
+        let snap = Snapshot::from_frame(&frame).unwrap();
+        assert_eq!(snap.engine.index, IndexKind::quadtree());
+        // The guarded restore refuses a mismatched deployment...
+        assert_eq!(
+            CpmServer::restore_expecting(&snap, IndexKind::Uniform).unwrap_err(),
+            CpmError::IndexMismatch {
+                expected: IndexKind::quadtree(),
+                actual: IndexKind::Uniform,
+            }
+        );
+        // ...and rebuilds the recorded backend when the kinds agree.
+        let mut restored = CpmServer::restore_expecting(&snap, IndexKind::quadtree()).unwrap();
+        assert_eq!(restored.index_kind(), IndexKind::quadtree());
+        assert_eq!(
+            restored.result(QueryId(0)).unwrap(),
+            original.result(QueryId(0)).unwrap()
+        );
+        assert_eq!(drive(&mut restored, 4), drive(&mut original, 4));
     }
 
     #[test]

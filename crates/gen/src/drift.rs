@@ -310,7 +310,7 @@ mod tests {
         let mut b = DriftingHotspotWorkload::new(config(), drift());
         // Replaying into a real grid panics on any life-cycle violation
         // (double appear, move/disappear of an off-line id).
-        let mut grid = cpm_grid::Grid::new(64);
+        let mut grid = cpm_grid::GridBuilder::new(64).build_uniform();
         for (oid, p) in a.initial_objects() {
             grid.insert(oid, p);
         }

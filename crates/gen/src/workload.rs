@@ -207,7 +207,7 @@ fn entity_from_node(net: &RoadNetwork, from: NodeId, rng: &mut StdRng) -> Moving
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpm_grid::{Grid, ObjectEvent};
+    use cpm_grid::ObjectEvent;
 
     fn small_config() -> WorkloadConfig {
         WorkloadConfig {
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn event_stream_replays_cleanly_into_a_grid() {
         let mut w = small_workload();
-        let mut grid = Grid::new(64);
+        let mut grid = cpm_grid::GridBuilder::new(64).build_uniform();
         for (oid, p) in w.initial_objects() {
             grid.insert(oid, p);
         }

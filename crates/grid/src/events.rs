@@ -10,7 +10,7 @@
 
 use cpm_geom::{ObjectId, Point, QueryId};
 
-use crate::{CellCoord, Grid};
+use crate::{CellCoord, Grid, SpatialIndex};
 
 /// A single object update within a processing cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,8 +136,8 @@ pub struct UpdateRecord {
 /// # Panics
 /// Panics if a [`ObjectEvent::Disappear`] names an off-line object
 /// (mirroring the monitors' sequential update handling).
-pub fn apply_events(
-    grid: &mut Grid,
+pub fn apply_events<I: SpatialIndex>(
+    grid: &mut Grid<I>,
     events: &[ObjectEvent],
     records: &mut Vec<UpdateRecord>,
 ) -> u64 {
@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn apply_events_records_cells_and_clamped_positions() {
-        let mut g = Grid::new(8);
+        let mut g = crate::GridBuilder::new(8).build_uniform();
         let mut records = Vec::new();
         let applied = apply_events(
             &mut g,

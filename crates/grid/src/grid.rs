@@ -1,17 +1,21 @@
-//! The δ-keyed cell index and the composed grid facade.
+//! The uniform cell-index backend and the composed grid facade.
 //!
-//! [`CellIndex`] owns everything whose meaning depends on the cell side
-//! `δ`: the dense cell buckets, the packed-id scheme and all coordinate
-//! math. [`Grid`] composes it with the δ-independent [`ObjectStore`]
-//! (positions + back-pointers) and presents the classic single-type index
-//! surface the monitors were written against — plus [`Grid::regrid`],
-//! which swaps the index for one at a different resolution **without ever
-//! touching the object tables**.
+//! [`CellIndex`] is the paper-exact backend of the [`SpatialIndex`]
+//! layer: dense per-cell buckets in a sparse hash map, keyed by the
+//! conceptual cell geometry ([`GridGeom`]). [`Grid`] composes **any**
+//! backend with the δ-independent [`ObjectStore`] (positions +
+//! back-pointers) and presents the classic single-type index surface the
+//! monitors were written against — plus [`Grid::regrid`], which rebuilds
+//! the index at a different resolution **without ever touching the
+//! object tables**. New code constructs grids through [`GridBuilder`],
+//! which validates the dimension / [`IndexKind`] combination at build
+//! time.
 
-use cpm_geom::{clamp_coord, FastHashMap, ObjectId, Point, Rect};
+use cpm_geom::{FastHashMap, ObjectId, Point, Rect};
 
+use crate::index::OccupancyHistogram;
 use crate::store::BackRef;
-use crate::{CellCoord, ObjectStore};
+use crate::{CellCoord, DynIndex, GridConfigError, GridGeom, IndexKind, ObjectStore, SpatialIndex};
 
 /// Spare-bucket pool cap: empty cells hand their allocation back for reuse
 /// so steady-state update churn allocates nothing, but the pool never
@@ -24,7 +28,8 @@ const BUCKET_POOL_CAP: usize = 4096;
 /// spares are dropped instead.
 const POOLED_VEC_CAP: usize = 256;
 
-/// The δ-keyed half of the grid index: cell buckets plus coordinate math.
+/// The uniform-grid [`SpatialIndex`] backend: cell buckets plus the
+/// conceptual cell geometry. The paper-exact default.
 ///
 /// # Storage layout (dense slot-based buckets)
 ///
@@ -50,19 +55,20 @@ const POOLED_VEC_CAP: usize = 256;
 /// monitoring algorithms: the paper treats cell object lists as unordered
 /// sets, and every consumer scans whole buckets.
 ///
-/// All mutation goes through the composed [`Grid`]; the index's own
-/// mutators are crate-private because bucket membership and the store's
-/// back-pointers must move in lock step.
+/// All mutation goes through the composed [`Grid`]; the
+/// [`SpatialIndex`] mutators keep bucket membership, the store's
+/// back-pointers, and the occupancy histogram in lock step.
 #[derive(Debug, Clone)]
 pub struct CellIndex {
-    dim: u32,
-    delta: f64,
+    geom: GridGeom,
     /// Sparse map: packed cell id → dense bucket of objects in the cell.
     /// Invariant: every stored bucket is non-empty.
     cells: FastHashMap<u64, Vec<ObjectId>>,
     /// Recycled bucket allocations (all empty), capped at
     /// [`BUCKET_POOL_CAP`].
     bucket_pool: Vec<Vec<ObjectId>>,
+    /// Incremental occupancy statistics (occupied cells, hot-cell max).
+    hist: OccupancyHistogram,
 }
 
 impl CellIndex {
@@ -73,25 +79,24 @@ impl CellIndex {
     /// clamping assumptions hold for `δ ≥ 1/4096`; the paper uses at most
     /// 1024).
     pub fn new(dim: u32) -> Self {
-        assert!(dim > 0 && dim <= 4096, "grid dimension out of range: {dim}");
         Self {
-            dim,
-            delta: 1.0 / dim as f64,
+            geom: GridGeom::new(dim),
             cells: FastHashMap::default(),
             bucket_pool: Vec::new(),
+            hist: OccupancyHistogram::default(),
         }
     }
 
     /// Grid dimension (cells per axis).
     #[inline]
     pub fn dim(&self) -> u32 {
-        self.dim
+        self.geom.dim()
     }
 
     /// Cell side length `δ`.
     #[inline]
     pub fn delta(&self) -> f64 {
-        self.delta
+        self.geom.delta()
     }
 
     /// Number of non-empty cells.
@@ -100,140 +105,122 @@ impl CellIndex {
         self.cells.len()
     }
 
-    /// The cell containing point `p` (`i = ⌊x/δ⌋`, `j = ⌊y/δ⌋`), with
-    /// coordinates clamped into the workspace first.
+    /// The cell containing point `p` (see [`GridGeom::cell_of`]).
     #[inline]
     pub fn cell_of(&self, p: Point) -> CellCoord {
-        let col = (clamp_coord(p.x) / self.delta) as u32;
-        let row = (clamp_coord(p.y) / self.delta) as u32;
-        // Guard against floating rounding right at the upper edge.
-        CellCoord::new(col.min(self.dim - 1), row.min(self.dim - 1))
-    }
-
-    /// Unpack a cell id produced by [`CellCoord::id`].
-    #[inline]
-    fn cell_from_id(&self, id: u64) -> CellCoord {
-        let dim = self.dim as u64;
-        CellCoord::new((id % dim) as u32, (id / dim) as u32)
+        self.geom.cell_of(p)
     }
 
     /// The spatial extent of cell `c`.
     #[inline]
     pub fn cell_rect(&self, c: CellCoord) -> Rect {
-        let lo = Point::new(c.col as f64 * self.delta, c.row as f64 * self.delta);
-        let hi = Point::new(lo.x + self.delta, lo.y + self.delta);
-        Rect::new(lo, hi)
+        self.geom.cell_rect(c)
     }
 
     /// `mindist(c, q)`: minimum distance between cell `c` and point `q`
     /// (Table 3.1).
     #[inline]
     pub fn mindist(&self, c: CellCoord, q: Point) -> f64 {
-        self.cell_rect(c).mindist(q)
+        self.geom.mindist(c, q)
     }
 
     /// Squared `mindist(c, q)`, for comparison-only call sites.
     #[inline]
     pub fn mindist_sq(&self, c: CellCoord, q: Point) -> f64 {
-        self.cell_rect(c).mindist_sq(q)
+        self.geom.mindist_sq(c, q)
     }
 
     /// The objects currently inside cell `c`, as a contiguous slice (empty
     /// if the cell is unoccupied).
-    ///
-    /// A full scan of the returned slice is what the experiments count as
-    /// one *cell access* (Section 6, Figure 6.3b).
     #[inline]
     pub fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
         self.cells
-            .get(&c.id(self.dim))
+            .get(&c.id(self.geom.dim()))
             .map_or(&[], |bucket| bucket.as_slice())
     }
 
-    /// Iterate over the coordinates of all non-empty cells.
+    /// Iterate over the coordinates of all non-empty cells, in
+    /// unspecified order.
     pub fn occupied_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
-        let dim = self.dim as u64;
-        self.cells
-            .keys()
-            .map(move |&id| CellCoord::new((id % dim) as u32, (id / dim) as u32))
-    }
-
-    /// The inclusive `(lo_col, hi_col, lo_row, hi_row)` cell bounds of the
-    /// cells intersecting `region` (clamped into the grid).
-    #[inline]
-    fn rect_cell_bounds(&self, region: &Rect) -> (u32, u32, u32, u32) {
-        let lo_col = (clamp_coord(region.lo.x) / self.delta) as u32;
-        let lo_row = (clamp_coord(region.lo.y) / self.delta) as u32;
-        let hi_col = ((clamp_coord(region.hi.x)) / self.delta) as u32;
-        let hi_row = ((clamp_coord(region.hi.y)) / self.delta) as u32;
-        (
-            lo_col.min(self.dim - 1),
-            hi_col.min(self.dim - 1),
-            lo_row.min(self.dim - 1),
-            hi_row.min(self.dim - 1),
-        )
+        let geom = self.geom;
+        self.cells.keys().map(move |&id| geom.cell_from_id(id))
     }
 
     /// Iterate, in row-major order and without allocating, over all cells
-    /// (occupied or not) whose extent intersects `region`. Used by the
-    /// baselines' square scans (YPK-CNN's `SR` rectangle).
+    /// (occupied or not) whose extent intersects `region`. See
+    /// [`GridGeom::cells_in_rect`].
     pub fn cells_in_rect(&self, region: &Rect) -> impl Iterator<Item = CellCoord> {
-        let (lo_col, hi_col, lo_row, hi_row) = self.rect_cell_bounds(region);
-        (lo_row..=hi_row)
-            .flat_map(move |row| (lo_col..=hi_col).map(move |col| CellCoord::new(col, row)))
+        self.geom.cells_in_rect(region)
     }
 
     /// Iterate, without allocating, over all cells whose extent intersects
-    /// the closed disk `(center, radius)` — the circle-cover counterpart of
-    /// [`CellIndex::cells_in_rect`]. Callers that store the cover extend a
-    /// reused buffer from this iterator (SEA-CNN's answer-region marks).
-    pub fn cells_in_circle(
-        &self,
-        center: Point,
-        radius: f64,
-    ) -> impl Iterator<Item = CellCoord> + '_ {
-        let bbox = Rect::new(
-            Point::new(center.x - radius, center.y - radius),
-            Point::new(center.x + radius, center.y + radius),
-        );
-        let r_sq = radius * radius;
-        self.cells_in_rect(&bbox)
-            .filter(move |&c| self.cell_rect(c).mindist_sq(center) <= r_sq)
+    /// the closed disk `(center, radius)`. See
+    /// [`GridGeom::cells_in_circle`].
+    pub fn cells_in_circle(&self, center: Point, radius: f64) -> impl Iterator<Item = CellCoord> {
+        self.geom.cells_in_circle(center, radius)
     }
 
     /// Collecting wrapper around [`CellIndex::cells_in_rect`] for callers
     /// that need an owned list; the hot paths use the iterator directly.
     pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
-        let (lo_col, hi_col, lo_row, hi_row) = self.rect_cell_bounds(region);
-        // Multiply in usize: on a 4096² grid the product overflows u32.
-        let cap = (hi_col - lo_col + 1) as usize * (hi_row - lo_row + 1) as usize;
-        let mut out = Vec::with_capacity(cap);
-        out.extend(self.cells_in_rect(region));
-        out
+        self.geom.cells_intersecting_rect(region)
     }
 
-    // ---- crate-private mutators (driven by `Grid`) ----
-
-    /// Bucket a live object at `p` and write its back-pointer into
-    /// `store`. Returns the cell it was placed in.
-    #[inline]
-    fn attach(&mut self, store: &mut ObjectStore, oid: ObjectId, p: Point) -> CellCoord {
-        let cell = self.cell_of(p);
-        let cell_id = cell.id(self.dim);
+    /// Shared attach body: back-references are written through the raw
+    /// slice so the regrid rebuild can drive it while iterating the
+    /// store's positions.
+    fn attach_inner(&mut self, backrefs: &mut [BackRef], oid: ObjectId, p: Point) -> CellCoord {
+        let cell = self.geom.cell_of(p);
+        let cell_id = cell.id(self.geom.dim());
         let bucket = self
             .cells
             .entry(cell_id)
             .or_insert_with(|| self.bucket_pool.pop().unwrap_or_default());
         bucket.push(oid);
-        store.backrefs[oid.index()] = BackRef {
+        let len = bucket.len();
+        backrefs[oid.index()] = BackRef {
             cell_id,
-            slot: (bucket.len() - 1) as u32,
+            slot: (len - 1) as u32,
         };
+        self.hist.on_attach(len);
         cell
     }
+}
 
-    /// Unbucket a live object through its back-pointer (O(1) swap-remove;
-    /// no search, no object-id hashing). Returns the cell it left.
+impl SpatialIndex for CellIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Uniform
+    }
+
+    #[inline]
+    fn geom(&self) -> GridGeom {
+        self.geom
+    }
+
+    #[inline]
+    fn occupied_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn hot_cell_max(&self) -> usize {
+        self.hist.max()
+    }
+
+    #[inline]
+    fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
+        CellIndex::objects_in(self, c)
+    }
+
+    fn occupied_cells(&self) -> Vec<CellCoord> {
+        CellIndex::occupied_cells(self).collect()
+    }
+
+    #[inline]
+    fn attach(&mut self, store: &mut ObjectStore, oid: ObjectId, p: Point) -> CellCoord {
+        self.attach_inner(&mut store.backrefs, oid, p)
+    }
+
     #[inline]
     fn detach(&mut self, store: &mut ObjectStore, oid: ObjectId) -> CellCoord {
         let BackRef { cell_id, slot } = store.backrefs[oid.index()];
@@ -242,54 +229,205 @@ impl CellIndex {
             .get_mut(&cell_id)
             .expect("indexed object must have a cell entry");
         debug_assert_eq!(bucket.get(slot as usize), Some(&oid), "back-pointer desync");
+        let old_len = bucket.len();
         bucket.swap_remove(slot as usize);
         // The previous last element (if any) now sits at `slot`: repoint it.
         if let Some(&moved) = bucket.get(slot as usize) {
             store.backrefs[moved.index()].slot = slot;
         }
-        if bucket.is_empty() {
+        let emptied = bucket.is_empty();
+        self.hist.on_detach(old_len);
+        if emptied {
             let spare = self.cells.remove(&cell_id).expect("bucket just accessed");
             if self.bucket_pool.len() < BUCKET_POOL_CAP && spare.capacity() <= POOLED_VEC_CAP {
                 self.bucket_pool.push(spare);
             }
         }
-        self.cell_from_id(cell_id)
+        self.geom.cell_from_id(cell_id)
+    }
+
+    fn rebuild(&mut self, store: &mut ObjectStore, new_dim: u32) {
+        let mut fresh = CellIndex::new(new_dim);
+        // Pre-size the bucket map to the old occupied-cell count: the same
+        // population lands in a comparable number of buckets.
+        fresh.cells.reserve(self.cells.len());
+        for i in 0..store.backrefs.len() {
+            let oid = ObjectId(i as u32);
+            let Some(p) = store.position(oid) else {
+                continue;
+            };
+            fresh.attach_inner(&mut store.backrefs, oid, p);
+        }
+        *self = fresh;
+    }
+
+    fn check_integrity(&self, store: &ObjectStore) {
+        let mut bucket_total = 0usize;
+        for (&cell_id, bucket) in &self.cells {
+            assert!(!bucket.is_empty(), "empty bucket left in map");
+            bucket_total += bucket.len();
+            for (slot, &oid) in bucket.iter().enumerate() {
+                let p = store
+                    .position(oid)
+                    .unwrap_or_else(|| panic!("bucket holds off-line object {oid}"));
+                let br = store.backrefs[oid.index()];
+                assert_eq!(br.cell_id, cell_id, "back-pointer cell desync for {oid}");
+                assert_eq!(br.slot as usize, slot, "back-pointer slot desync for {oid}");
+                assert_eq!(
+                    self.geom.cell_of(p).id(self.geom.dim()),
+                    cell_id,
+                    "object {oid} bucketed in the wrong cell"
+                );
+            }
+        }
+        assert_eq!(bucket_total, store.len(), "bucket population != live count");
+        assert!(self.bucket_pool.iter().all(|b| b.is_empty()));
+        assert_eq!(self.hist.occupied(), self.cells.len(), "occupied drift");
+        self.hist.check_against(self.cells.values().map(Vec::len));
     }
 }
 
-/// The main-memory grid index `G` over the set `P` of moving objects:
-/// a δ-independent [`ObjectStore`] composed with a δ-keyed [`CellIndex`].
+/// The main-memory index `G` over the set `P` of moving objects: a
+/// δ-independent [`ObjectStore`] composed with a pluggable
+/// [`SpatialIndex`] backend (default: the paper-exact [`CellIndex`]).
 ///
 /// All mutation goes through [`Grid::insert`], [`Grid::remove`] and
-/// [`Grid::update_position`]; each is O(1) expected. [`Grid::regrid`]
-/// replaces the index with one at a different resolution in a single
-/// deterministic pass over the store.
+/// [`Grid::update_position`]; each is O(1) expected on the default
+/// backend. [`Grid::regrid`] rebuilds the index at a different resolution
+/// in a single deterministic pass over the store.
+///
+/// Construct through [`GridBuilder`]:
+///
+/// ```
+/// use cpm_grid::{GridBuilder, IndexKind};
+///
+/// // The paper-exact uniform grid (monomorphic, the default backend).
+/// let uniform = GridBuilder::new(64).build_uniform();
+/// assert_eq!(uniform.dim(), 64);
+///
+/// // A runtime-selected backend behind the same facade.
+/// let quad = GridBuilder::new(64).index(IndexKind::quadtree()).build();
+/// assert_eq!(quad.delta(), 1.0 / 64.0);
+/// ```
 #[derive(Debug, Clone)]
-pub struct Grid {
+pub struct Grid<I: SpatialIndex = CellIndex> {
     store: ObjectStore,
-    index: CellIndex,
+    index: I,
 }
 
-/// Occupancy statistics, used by the space-accounting experiment.
+/// Occupancy statistics, used by the space-accounting experiment and the
+/// skew-aware re-grid controller. Every counter is maintained
+/// incrementally by the index backends, so reading them each cycle is
+/// O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridStats {
-    /// Total number of cells (`dim²`).
+    /// Total number of conceptual cells (`dim²`).
     pub total_cells: usize,
     /// Number of non-empty cells.
     pub occupied_cells: usize,
     /// Number of live objects.
     pub live_objects: usize,
+    /// Population of the fullest cell (0 when empty) — the concentration
+    /// signal the re-grid controller feeds into the cost model.
+    pub hot_cell_max: usize,
+}
+
+/// Builder for [`Grid`]s, mirroring `CpmServerBuilder`: dimension and
+/// [`IndexKind`] are validated together at build time, so an invalid
+/// combination (dim out of `1..=4096`, a non-power-of-two quadtree
+/// dimension, a zero split threshold) fails where it is written rather
+/// than inside a later update.
+#[derive(Debug, Clone, Copy)]
+pub struct GridBuilder {
+    dim: u32,
+    kind: IndexKind,
+}
+
+impl GridBuilder {
+    /// Start a builder for a `dim × dim` conceptual grid with the default
+    /// [`IndexKind::Uniform`] backend.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            kind: IndexKind::Uniform,
+        }
+    }
+
+    /// Select the index backend.
+    #[must_use]
+    pub fn index(mut self, kind: IndexKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The configured dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// The configured backend kind.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Build an empty grid over the runtime-selected [`DynIndex`]
+    /// backend.
+    ///
+    /// # Errors
+    /// Returns a [`GridConfigError`] describing the invalid
+    /// dimension/kind combination.
+    pub fn try_build(self) -> Result<Grid<DynIndex>, GridConfigError> {
+        Ok(Grid::with_index(self.kind.build_index(self.dim)?))
+    }
+
+    /// Build an empty grid over the runtime-selected [`DynIndex`]
+    /// backend, panicking on an invalid configuration.
+    ///
+    /// # Panics
+    /// Panics if [`IndexKind::check_dim`] rejects the combination.
+    pub fn build(self) -> Grid<DynIndex> {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build an empty grid over the monomorphic [`CellIndex`] backend —
+    /// the zero-overhead path for embeddings that never switch backends.
+    ///
+    /// # Panics
+    /// Panics if the configured kind is not [`IndexKind::Uniform`], or if
+    /// the dimension is out of range.
+    pub fn build_uniform(self) -> Grid<CellIndex> {
+        assert_eq!(
+            self.kind,
+            IndexKind::Uniform,
+            "build_uniform on a builder configured for {}",
+            self.kind
+        );
+        self.kind
+            .check_dim(self.dim)
+            .unwrap_or_else(|e| panic!("{e}"));
+        Grid::with_index(CellIndex::new(self.dim))
+    }
 }
 
 impl Grid {
-    /// Create an empty grid with `dim × dim` cells over the unit square.
+    /// Create an empty grid with `dim × dim` cells over the unit square
+    /// and the default [`CellIndex`] backend.
     ///
     /// # Panics
     /// Panics if `dim == 0` or `dim > 4096` (see [`CellIndex::new`]).
+    #[deprecated(note = "construct through `GridBuilder` (validated, index-kind aware) instead")]
     pub fn new(dim: u32) -> Self {
+        GridBuilder::new(dim).build_uniform()
+    }
+}
+
+impl<I: SpatialIndex> Grid<I> {
+    /// Compose an (empty or pre-built) index backend with a fresh object
+    /// store. Most callers go through [`GridBuilder`].
+    pub fn with_index(index: I) -> Self {
         Self {
             store: ObjectStore::new(),
-            index: CellIndex::new(dim),
+            index,
         }
     }
 
@@ -299,22 +437,28 @@ impl Grid {
         &self.store
     }
 
-    /// The δ-keyed cell index.
+    /// The index backend.
     #[inline]
-    pub fn index(&self) -> &CellIndex {
+    pub fn index(&self) -> &I {
         &self.index
+    }
+
+    /// The conceptual cell geometry (dimension, `δ`).
+    #[inline]
+    pub fn geom(&self) -> GridGeom {
+        self.index.geom()
     }
 
     /// Grid dimension (cells per axis).
     #[inline]
     pub fn dim(&self) -> u32 {
-        self.index.dim()
+        self.index.geom().dim()
     }
 
     /// Cell side length `δ`.
     #[inline]
     pub fn delta(&self) -> f64 {
-        self.index.delta()
+        self.index.geom().delta()
     }
 
     /// Number of live objects in the index.
@@ -329,29 +473,29 @@ impl Grid {
         self.store.is_empty()
     }
 
-    /// The cell containing point `p` (see [`CellIndex::cell_of`]).
+    /// The cell containing point `p` (see [`GridGeom::cell_of`]).
     #[inline]
     pub fn cell_of(&self, p: Point) -> CellCoord {
-        self.index.cell_of(p)
+        self.index.geom().cell_of(p)
     }
 
     /// The spatial extent of cell `c`.
     #[inline]
     pub fn cell_rect(&self, c: CellCoord) -> Rect {
-        self.index.cell_rect(c)
+        self.index.geom().cell_rect(c)
     }
 
     /// `mindist(c, q)`: minimum distance between cell `c` and point `q`
     /// (Table 3.1).
     #[inline]
     pub fn mindist(&self, c: CellCoord, q: Point) -> f64 {
-        self.index.mindist(c, q)
+        self.index.geom().mindist(c, q)
     }
 
     /// Squared `mindist(c, q)`, for comparison-only call sites.
     #[inline]
     pub fn mindist_sq(&self, c: CellCoord, q: Point) -> f64 {
-        self.index.mindist_sq(c, q)
+        self.index.geom().mindist_sq(c, q)
     }
 
     /// Current position of object `oid`, or `None` if it is off-line.
@@ -376,8 +520,9 @@ impl Grid {
 
     /// Remove object `oid` from the index (it goes off-line).
     ///
-    /// O(1) via the back-pointer table and swap-remove. Returns its last
-    /// position and cell, or `None` if it was not indexed.
+    /// O(1) (occupancy-bounded on tree backends) via the back-pointer
+    /// table. Returns its last position and cell, or `None` if it was not
+    /// indexed.
     #[inline]
     pub fn remove(&mut self, oid: ObjectId) -> Option<(Point, CellCoord)> {
         let p = self.store.deactivate(oid)?;
@@ -402,40 +547,31 @@ impl Grid {
         (old, old_cell, new_cell)
     }
 
-    /// Rebuild the cell index at a new resolution, leaving the object
-    /// tables untouched.
+    /// Rebuild the index at a new resolution, leaving the object tables
+    /// untouched.
     ///
     /// The migration is one deterministic pass: objects are re-bucketed in
-    /// ascending id order, so the resulting bucket layout is **identical**
-    /// to a fresh grid at `new_dim` populated from
-    /// [`ObjectStore::iter`] — the property that makes engine-level
-    /// re-grids bit-reproducible against a from-scratch build. Returns the
-    /// number of objects migrated (0 when `new_dim` equals the current
-    /// dimension; the call is then a no-op).
+    /// ascending id order, so the resulting layout is **identical** to a
+    /// fresh grid at `new_dim` populated from [`ObjectStore::iter`] — the
+    /// property that makes engine-level re-grids bit-reproducible against
+    /// a from-scratch build. Returns the number of objects migrated (0
+    /// when `new_dim` equals the current dimension; the call is then a
+    /// no-op).
     ///
     /// # Panics
-    /// Panics if `new_dim == 0` or `new_dim > 4096`.
+    /// Panics if the backend rejects `new_dim` (out of `1..=4096`, or not
+    /// a power of two for [`IndexKind::Quadtree`]); the engines validate
+    /// through [`IndexKind::check_dim`] first and return a typed error.
     pub fn regrid(&mut self, new_dim: u32) -> usize {
-        if new_dim == self.index.dim() {
+        if new_dim == self.index.geom().dim() {
             return 0;
         }
-        let mut index = CellIndex::new(new_dim);
-        // Pre-size the bucket map to the old occupied-cell count: the same
-        // population lands in a comparable number of buckets.
-        index.cells.reserve(self.index.cells.len());
-        for i in 0..self.store.backrefs.len() {
-            let oid = ObjectId(i as u32);
-            let Some(p) = self.store.position(oid) else {
-                continue;
-            };
-            index.attach_for_rebuild(&mut self.store.backrefs[i], oid, p);
-        }
-        self.index = index;
+        self.index.rebuild(&mut self.store, new_dim);
         self.store.len()
     }
 
     /// The objects currently inside cell `c`, as a contiguous slice (empty
-    /// if the cell is unoccupied). See [`CellIndex::objects_in`].
+    /// if the cell is unoccupied). See [`SpatialIndex::objects_in`].
     #[inline]
     pub fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
         self.index.objects_in(c)
@@ -452,40 +588,39 @@ impl Grid {
         self.store.iter()
     }
 
-    /// Iterate over the coordinates of all non-empty cells.
-    pub fn occupied_cells(&self) -> impl Iterator<Item = CellCoord> + '_ {
-        self.index.occupied_cells()
+    /// Iterate over the coordinates of all non-empty cells, in
+    /// unspecified order.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = CellCoord> {
+        self.index.occupied_cells().into_iter()
     }
 
     /// Iterate, in row-major order and without allocating, over all cells
-    /// whose extent intersects `region` (see [`CellIndex::cells_in_rect`]).
+    /// whose extent intersects `region` (see [`GridGeom::cells_in_rect`]).
     pub fn cells_in_rect(&self, region: &Rect) -> impl Iterator<Item = CellCoord> {
-        self.index.cells_in_rect(region)
+        self.index.geom().cells_in_rect(region)
     }
 
     /// Iterate, without allocating, over all cells whose extent intersects
     /// the closed disk `(center, radius)` (see
-    /// [`CellIndex::cells_in_circle`]).
-    pub fn cells_in_circle(
-        &self,
-        center: Point,
-        radius: f64,
-    ) -> impl Iterator<Item = CellCoord> + '_ {
-        self.index.cells_in_circle(center, radius)
+    /// [`GridGeom::cells_in_circle`]).
+    pub fn cells_in_circle(&self, center: Point, radius: f64) -> impl Iterator<Item = CellCoord> {
+        self.index.geom().cells_in_circle(center, radius)
     }
 
     /// Collecting wrapper around [`Grid::cells_in_rect`] for callers that
     /// need an owned list; the hot paths use the iterator directly.
     pub fn cells_intersecting_rect(&self, region: &Rect) -> Vec<CellCoord> {
-        self.index.cells_intersecting_rect(region)
+        self.index.geom().cells_intersecting_rect(region)
     }
 
-    /// Occupancy statistics.
+    /// Occupancy statistics — O(1): every counter is maintained
+    /// incrementally by the backend.
     pub fn stats(&self) -> GridStats {
         GridStats {
-            total_cells: (self.dim() as usize) * (self.dim() as usize),
+            total_cells: self.index.geom().total_cells(),
             occupied_cells: self.index.occupied_count(),
             live_objects: self.store.len(),
+            hot_cell_max: self.index.hot_cell_max(),
         }
     }
 
@@ -500,48 +635,7 @@ impl Grid {
     #[doc(hidden)]
     pub fn check_integrity(&self) {
         self.store.check_integrity();
-        assert!(
-            (self.index.delta - 1.0 / self.index.dim as f64).abs() < f64::EPSILON,
-            "index δ out of sync with its dimension"
-        );
-        let mut bucket_total = 0usize;
-        for (&cell_id, bucket) in &self.index.cells {
-            assert!(!bucket.is_empty(), "empty bucket left in map");
-            bucket_total += bucket.len();
-            for (slot, &oid) in bucket.iter().enumerate() {
-                let p = self
-                    .store
-                    .position(oid)
-                    .unwrap_or_else(|| panic!("bucket holds off-line object {oid}"));
-                let br = self.store.backrefs[oid.index()];
-                assert_eq!(br.cell_id, cell_id, "back-pointer cell desync for {oid}");
-                assert_eq!(br.slot as usize, slot, "back-pointer slot desync for {oid}");
-                assert_eq!(
-                    self.cell_of(p).id(self.dim()),
-                    cell_id,
-                    "object {oid} bucketed in the wrong cell"
-                );
-            }
-        }
-        assert_eq!(bucket_total, self.len(), "bucket population != live count");
-        assert!(self.index.bucket_pool.iter().all(|b| b.is_empty()));
-    }
-}
-
-impl CellIndex {
-    /// [`CellIndex::attach`] for the regrid migration: identical bucketing,
-    /// but the caller hands in the (already borrowed) back-pointer slot
-    /// because the store's position table is being iterated at the same
-    /// time.
-    fn attach_for_rebuild(&mut self, backref: &mut BackRef, oid: ObjectId, p: Point) {
-        let cell = self.cell_of(p);
-        let cell_id = cell.id(self.dim);
-        let bucket = self.cells.entry(cell_id).or_default();
-        bucket.push(oid);
-        *backref = BackRef {
-            cell_id,
-            slot: (bucket.len() - 1) as u32,
-        };
+        self.index.check_integrity(&self.store);
     }
 }
 
@@ -551,7 +645,44 @@ mod tests {
     use proptest::prelude::*;
 
     fn grid8() -> Grid {
-        Grid::new(8)
+        GridBuilder::new(8).build_uniform()
+    }
+
+    fn uniform(dim: u32) -> Grid {
+        GridBuilder::new(dim).build_uniform()
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        assert!(GridBuilder::new(0).try_build().is_err());
+        assert!(GridBuilder::new(8192).try_build().is_err());
+        assert!(GridBuilder::new(100)
+            .index(IndexKind::quadtree())
+            .try_build()
+            .is_err());
+        let g = GridBuilder::new(128)
+            .index(IndexKind::quadtree())
+            .try_build()
+            .unwrap();
+        assert_eq!(g.dim(), 128);
+        assert_eq!(g.index().kind(), IndexKind::quadtree());
+        assert_eq!(GridBuilder::new(16).kind(), IndexKind::Uniform);
+        assert_eq!(GridBuilder::new(16).dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_uniform on a builder configured for")]
+    fn build_uniform_rejects_other_kinds() {
+        let _ = GridBuilder::new(64)
+            .index(IndexKind::quadtree())
+            .build_uniform();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_works() {
+        let g = Grid::new(8);
+        assert_eq!(g.dim(), 8);
     }
 
     #[test]
@@ -573,12 +704,14 @@ mod tests {
         assert_eq!(g.len(), 1);
         assert_eq!(g.position(ObjectId(4)), Some(p));
         assert_eq!(g.cell_len(cell), 1);
+        assert_eq!(g.stats().hot_cell_max, 1);
         let (old, old_cell) = g.remove(ObjectId(4)).unwrap();
         assert_eq!(old, p);
         assert_eq!(old_cell, cell);
         assert!(g.is_empty());
         assert!(g.remove(ObjectId(4)).is_none());
         assert_eq!(g.stats().occupied_cells, 0);
+        assert_eq!(g.stats().hot_cell_max, 0);
         g.check_integrity();
     }
 
@@ -614,12 +747,14 @@ mod tests {
         g.insert(ObjectId(1), Point::new(0.31, 0.31));
         g.insert(ObjectId(2), Point::new(0.32, 0.32));
         assert_eq!(g.cell_len(cell), 3);
+        assert_eq!(g.stats().hot_cell_max, 3);
         g.remove(ObjectId(0)).unwrap();
         g.check_integrity();
         // The repointed object must still be removable in O(1).
         g.remove(ObjectId(2)).unwrap();
         g.check_integrity();
         assert_eq!(g.objects_in(cell), &[ObjectId(1)]);
+        assert_eq!(g.stats().hot_cell_max, 1);
     }
 
     #[test]
@@ -653,7 +788,7 @@ mod tests {
     #[test]
     fn full_workspace_rect_cover_does_not_overflow() {
         // Regression: the capacity product overflowed u32 on a 4096² grid.
-        let g = Grid::new(4096);
+        let g = uniform(4096);
         let all = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
         assert_eq!(g.cells_in_rect(&all).count(), 4096 * 4096);
     }
@@ -693,7 +828,7 @@ mod tests {
 
     #[test]
     fn regrid_rebuilds_only_the_index() {
-        let mut g = Grid::new(8);
+        let mut g = uniform(8);
         for i in 0..50u32 {
             g.insert(
                 ObjectId(i),
@@ -714,7 +849,7 @@ mod tests {
         assert_eq!(g.position(ObjectId(7)), None);
 
         // The migrated layout is identical to a fresh populate in id order.
-        let mut fresh = Grid::new(64);
+        let mut fresh = uniform(64);
         for &(oid, p) in &before {
             fresh.insert(oid, p);
         }
@@ -733,7 +868,7 @@ mod tests {
 
     #[test]
     fn regrid_coarsens_too() {
-        let mut g = Grid::new(256);
+        let mut g = uniform(256);
         for i in 0..30u32 {
             g.insert(ObjectId(i), Point::new((i as f64 * 0.13) % 1.0, 0.4));
         }
@@ -744,12 +879,52 @@ mod tests {
         assert_eq!(total, 30);
     }
 
+    #[test]
+    fn backends_agree_on_membership_and_stats() {
+        // The same update stream through both backends: every per-cell
+        // read and every stats counter must coincide.
+        let mut lanes: Vec<Grid<DynIndex>> = vec![
+            GridBuilder::new(32).build(),
+            GridBuilder::new(32)
+                .index(IndexKind::Quadtree { split_threshold: 4 })
+                .build(),
+        ];
+        for step in 0..200u32 {
+            let id = step % 23;
+            let t = f64::from(step) * 0.017;
+            for g in &mut lanes {
+                if step % 11 == 5 && g.position(ObjectId(id)).is_some() {
+                    g.remove(ObjectId(id)).unwrap();
+                } else if g.position(ObjectId(id)).is_some() {
+                    g.update_position(ObjectId(id), Point::new(t % 1.0, (t * 3.1) % 1.0));
+                } else {
+                    g.insert(ObjectId(id), Point::new(t % 1.0, (t * 3.1) % 1.0));
+                }
+            }
+            let (a, b) = (&lanes[0], &lanes[1]);
+            assert_eq!(a.stats(), b.stats());
+            for row in 0..32 {
+                for col in 0..32 {
+                    let c = CellCoord::new(col, row);
+                    let mut ua: Vec<ObjectId> = a.objects_in(c).to_vec();
+                    let mut ub: Vec<ObjectId> = b.objects_in(c).to_vec();
+                    ua.sort_unstable();
+                    ub.sort_unstable();
+                    assert_eq!(ua, ub, "cell {c} diverged at step {step}");
+                }
+            }
+        }
+        for g in &lanes {
+            g.check_integrity();
+        }
+    }
+
     proptest! {
         #[test]
         fn every_point_maps_to_cell_containing_it(
             x in 0.0..1.0f64, y in 0.0..1.0f64, dim in 1u32..256,
         ) {
-            let g = Grid::new(dim);
+            let g = uniform(dim);
             let p = Point::new(x, y);
             let c = g.cell_of(p);
             prop_assert!(g.cell_rect(c).contains(p));
@@ -764,7 +939,7 @@ mod tests {
             steps in proptest::collection::vec(
                 (0u32..20, 0.0..1.0f64, 0.0..1.0f64, 0u32..8), 1..200),
         ) {
-            let mut g = Grid::new(16);
+            let mut g = uniform(16);
             let mut model = std::collections::HashMap::new();
             for (id, x, y, op) in steps {
                 let oid = ObjectId(id);
@@ -807,7 +982,7 @@ mod tests {
                 (0u32..24, 0.0..1.0f64, 0.0..1.0f64, 0u32..10), 1..120),
         ) {
             let dims = [4u32, 8, 16, 64, 256];
-            let mut g = Grid::new(16);
+            let mut g = uniform(16);
             let mut model = std::collections::HashMap::new();
             for (id, x, y, op) in steps {
                 let oid = ObjectId(id);
@@ -837,6 +1012,76 @@ mod tests {
             }
         }
 
+        /// Satellite: `GridStats` occupancy counters (occupied cells,
+        /// hot-cell max, per-cell sums) must exactly match a brute-force
+        /// recount under random event interleavings — on **both** index
+        /// backends, including across re-grids.
+        #[test]
+        fn stats_match_brute_force_recount_on_both_backends(
+            steps in proptest::collection::vec(
+                (0u32..24, 0.0..1.0f64, 0.0..1.0f64, 0u32..10), 1..120),
+        ) {
+            let mut lanes: Vec<Grid<DynIndex>> = vec![
+                GridBuilder::new(16).build(),
+                GridBuilder::new(16)
+                    .index(IndexKind::Quadtree { split_threshold: 3 })
+                    .build(),
+            ];
+            let dims = [4u32, 8, 16, 64];
+            let mut model: std::collections::HashMap<u32, Point> =
+                std::collections::HashMap::new();
+            for (id, x, y, op) in steps {
+                let oid = ObjectId(id);
+                let p = Point::new(x, y);
+                let live = model.contains_key(&id);
+                for g in &mut lanes {
+                    if op == 0 {
+                        g.regrid(dims[(id as usize + model.len()) % dims.len()]);
+                    } else if op == 1 && live {
+                        g.remove(oid).unwrap();
+                    } else if live {
+                        g.update_position(oid, p);
+                    } else {
+                        g.insert(oid, p);
+                    }
+                }
+                if op == 1 && live {
+                    model.remove(&id);
+                } else if op != 0 {
+                    model.insert(id, p);
+                }
+                for g in &lanes {
+                    // Brute-force recount from the model.
+                    let geom = g.geom();
+                    let mut per_cell: std::collections::HashMap<u64, usize> =
+                        std::collections::HashMap::new();
+                    for (&_, &mp) in &model {
+                        *per_cell.entry(geom.cell_of(mp).id(geom.dim())).or_insert(0) += 1;
+                    }
+                    let expect = GridStats {
+                        total_cells: geom.total_cells(),
+                        occupied_cells: per_cell.len(),
+                        live_objects: model.len(),
+                        hot_cell_max: per_cell.values().copied().max().unwrap_or(0),
+                    };
+                    prop_assert_eq!(g.stats(), expect, "stats drift on {}", g.index().kind());
+                    // Per-cell sums: every occupied cell reports exactly
+                    // its brute-force population.
+                    let mut seen = 0usize;
+                    for c in g.occupied_cells() {
+                        let n = g.cell_len(c);
+                        prop_assert_eq!(
+                            per_cell.get(&c.id(geom.dim())).copied().unwrap_or(0), n,
+                            "per-cell sum drift at {} on {}", c, g.index().kind()
+                        );
+                        seen += n;
+                    }
+                    prop_assert_eq!(seen, model.len());
+                    g.check_integrity();
+                }
+            }
+        }
+
         /// Concurrent read-only scans see exactly what a sequential scan
         /// sees: after a random build, worker threads scanning disjoint row
         /// bands through `&Grid` must reproduce the sequential population
@@ -848,7 +1093,7 @@ mod tests {
                 (0.0..1.0f64, 0.0..1.0f64), 1..150),
         ) {
             let dim = 16u32;
-            let mut g = Grid::new(dim);
+            let mut g = uniform(dim);
             for (i, &(x, y)) in inserts.iter().enumerate() {
                 g.insert(ObjectId(i as u32), Point::new(x, y));
             }

@@ -1,0 +1,534 @@
+//! Adaptive region quadtree backend for the [`SpatialIndex`] layer.
+//!
+//! The tree recursively quarters the unit square. A node either holds its
+//! objects directly (a **leaf**) or has split into four children. Leaves
+//! split when their population exceeds a configurable threshold, until
+//! they cover a single conceptual cell — so sparse regions collapse into
+//! a handful of shallow leaves while hotspots refine locally, bounding
+//! storage by *occupancy* instead of resolution. This is the classic
+//! point-region quadtree (Samet), restricted so that every node boundary
+//! is also a conceptual-cell boundary: the tree depth is `log2(dim)`,
+//! which is why [`IndexKind::Quadtree`] requires a power-of-two
+//! dimension.
+//!
+//! # Exact per-cell reads on coarse leaves
+//!
+//! The maintenance algorithms ask for the objects of one **conceptual
+//! cell** at a time, and the answer must be exact — returning a coarse
+//! leaf's whole population would hand the same object to a query once per
+//! covered cell, breaking the paper's visit accounting. Each leaf
+//! therefore keeps its entries **grouped contiguously by conceptual cell
+//! id, groups in ascending id order** (two parallel arrays: object ids
+//! and their packed cell ids). [`SpatialIndex::objects_in`] descends to
+//! the leaf and returns the exact group as a dense `&[ObjectId]`
+//! subslice — the same contiguous-scan surface as a [`crate::CellIndex`]
+//! bucket. Max-depth leaves cover exactly one cell, so the hot cells of a
+//! skewed population degrade gracefully to plain append/swap-remove
+//! buckets; multi-cell leaves are bounded by the split threshold, so the
+//! shift-based grouped insert/remove stays O(threshold).
+//!
+//! [`SpatialIndex`]: crate::SpatialIndex
+//! [`IndexKind::Quadtree`]: crate::IndexKind::Quadtree
+
+use cpm_geom::{ObjectId, Point};
+
+use crate::index::OccupancyHistogram;
+use crate::store::BackRef;
+use crate::{CellCoord, GridGeom, IndexKind, ObjectStore, SpatialIndex};
+
+/// One node of the region quadtree. Children are arena indices into
+/// [`QuadtreeIndex::nodes`]; quadrant `q = (row_bit << 1) | col_bit` at
+/// the node's depth (0 = SW, 1 = SE, 2 = NW, 3 = NE).
+#[derive(Debug, Clone)]
+enum Node {
+    /// An internal node: four children, no objects of its own.
+    Internal([u32; 4]),
+    /// A leaf holding its region's objects grouped by conceptual cell.
+    Leaf(LeafData),
+}
+
+/// Storage of one leaf: parallel arrays of object ids and their packed
+/// conceptual cell ids, grouped contiguously by cell id in ascending
+/// order.
+#[derive(Debug, Clone, Default)]
+struct LeafData {
+    /// Depth of the leaf in the tree (root = 0; `depth_max` = one cell).
+    depth: u32,
+    /// Object ids, cell-grouped (parallel to `cells`).
+    ids: Vec<ObjectId>,
+    /// Packed conceptual cell id of each entry, ascending.
+    cells: Vec<u64>,
+}
+
+impl LeafData {
+    /// `true` if this leaf covers exactly one conceptual cell (its groups
+    /// are trivial and it never splits).
+    #[inline]
+    fn is_single_cell(&self, depth_max: u32) -> bool {
+        self.depth == depth_max
+    }
+
+    /// The half-open entry range of conceptual cell `cell_id` (binary
+    /// search over the ascending `cells` array).
+    #[inline]
+    fn group_range(&self, cell_id: u64) -> (usize, usize) {
+        let start = self.cells.partition_point(|&c| c < cell_id);
+        let end = start + self.cells[start..].partition_point(|&c| c == cell_id);
+        (start, end)
+    }
+}
+
+/// Adaptive region quadtree over the conceptual cell space; see the
+/// module-level docs at the top of `quadtree.rs`.
+#[derive(Debug, Clone)]
+pub struct QuadtreeIndex {
+    geom: GridGeom,
+    /// Tree depth at which a leaf covers one conceptual cell
+    /// (`dim = 2^depth_max`).
+    depth_max: u32,
+    /// Leaves holding more than this many objects split (multi-cell
+    /// leaves only).
+    split_threshold: usize,
+    /// Node arena; `nodes[0]` is the root.
+    nodes: Vec<Node>,
+    /// Incremental per-conceptual-cell occupancy statistics.
+    hist: OccupancyHistogram,
+}
+
+impl QuadtreeIndex {
+    /// An empty quadtree over a `dim × dim` conceptual grid.
+    ///
+    /// # Panics
+    /// Panics unless `dim` is a power of two in `1..=4096` and
+    /// `split_threshold ≥ 1` (see [`IndexKind::check_dim`]).
+    pub fn new(dim: u32, split_threshold: u32) -> Self {
+        (IndexKind::Quadtree { split_threshold })
+            .check_dim(dim)
+            .unwrap_or_else(|e| panic!("{e}"));
+        Self {
+            geom: GridGeom::new(dim),
+            depth_max: dim.trailing_zeros(),
+            split_threshold: split_threshold as usize,
+            nodes: vec![Node::Leaf(LeafData::default())],
+            hist: OccupancyHistogram::default(),
+        }
+    }
+
+    /// The configured leaf split threshold.
+    #[inline]
+    pub fn split_threshold(&self) -> u32 {
+        self.split_threshold as u32
+    }
+
+    /// Number of arena nodes (internal + leaves) — a storage diagnostic:
+    /// it grows with occupied regions, not with `dim²`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The quadrant (0..4) of `cell` under a node at `depth`.
+    #[inline]
+    fn quadrant_at(&self, depth: u32, cell_id: u64) -> usize {
+        let dim = self.geom.dim() as u64;
+        let (col, row) = ((cell_id % dim) as u32, (cell_id / dim) as u32);
+        let bit = self.depth_max - 1 - depth;
+        (((row >> bit) & 1) << 1 | ((col >> bit) & 1)) as usize
+    }
+
+    /// Descend from the root to the leaf whose region contains `cell_id`.
+    #[inline]
+    fn leaf_of(&self, cell_id: u64) -> usize {
+        let mut node = 0usize;
+        let mut depth = 0u32;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf(_) => return node,
+                Node::Internal(children) => {
+                    node = children[self.quadrant_at(depth, cell_id)] as usize;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Split the leaf at `node` into four children, redistributing its
+    /// entries (order-preserving, so each child keeps the ascending
+    /// cell-grouped layout) and repointing their back-references. Cascades
+    /// while a child still exceeds the threshold.
+    fn split(&mut self, node: usize, backrefs: &mut [BackRef]) {
+        let Node::Leaf(leaf) = std::mem::replace(&mut self.nodes[node], Node::Internal([0; 4]))
+        else {
+            unreachable!("split of an internal node");
+        };
+        debug_assert!(leaf.depth < self.depth_max);
+        let child_depth = leaf.depth + 1;
+        let base = self.nodes.len() as u32;
+        let children = [base, base + 1, base + 2, base + 3];
+        let mut parts: [LeafData; 4] = Default::default();
+        for part in &mut parts {
+            part.depth = child_depth;
+        }
+        for (&oid, &cell_id) in leaf.ids.iter().zip(&leaf.cells) {
+            let q = self.quadrant_at(leaf.depth, cell_id);
+            let part = &mut parts[q];
+            part.ids.push(oid);
+            part.cells.push(cell_id);
+            backrefs[oid.index()] = BackRef {
+                cell_id: u64::from(children[q]),
+                slot: (part.ids.len() - 1) as u32,
+            };
+        }
+        self.nodes.extend(parts.into_iter().map(Node::Leaf));
+        self.nodes[node] = Node::Internal(children);
+        for child in children {
+            let overfull = match &self.nodes[child as usize] {
+                Node::Leaf(l) => l.ids.len() > self.split_threshold && l.depth < self.depth_max,
+                Node::Internal(_) => false,
+            };
+            if overfull {
+                self.split(child as usize, backrefs);
+            }
+        }
+    }
+
+    /// Shared attach body: back-references are written through the raw
+    /// slice so the regrid rebuild can drive it while iterating the
+    /// store's positions.
+    fn attach_inner(&mut self, backrefs: &mut [BackRef], oid: ObjectId, p: Point) -> CellCoord {
+        let cell = self.geom.cell_of(p);
+        let cell_id = cell.id(self.geom.dim());
+        let node = self.leaf_of(cell_id);
+        let depth_max = self.depth_max;
+        let Node::Leaf(leaf) = &mut self.nodes[node] else {
+            unreachable!("leaf_of returned an internal node");
+        };
+        if leaf.is_single_cell(depth_max) {
+            // One cell per leaf: plain O(1) bucket append.
+            leaf.ids.push(oid);
+            leaf.cells.push(cell_id);
+            backrefs[oid.index()] = BackRef {
+                cell_id: node as u64,
+                slot: (leaf.ids.len() - 1) as u32,
+            };
+            self.hist.on_attach(leaf.ids.len());
+        } else {
+            // Grouped insert at the end of the cell's run; entries after
+            // the insertion point shift right, so their slots move by one.
+            let (start, end) = leaf.group_range(cell_id);
+            leaf.ids.insert(end, oid);
+            leaf.cells.insert(end, cell_id);
+            backrefs[oid.index()] = BackRef {
+                cell_id: node as u64,
+                slot: end as u32,
+            };
+            for &shifted in &leaf.ids[end + 1..] {
+                backrefs[shifted.index()].slot += 1;
+            }
+            self.hist.on_attach(end - start + 1);
+            if leaf.ids.len() > self.split_threshold {
+                self.split(node, backrefs);
+            }
+        }
+        cell
+    }
+}
+
+impl SpatialIndex for QuadtreeIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Quadtree {
+            split_threshold: self.split_threshold as u32,
+        }
+    }
+
+    #[inline]
+    fn geom(&self) -> GridGeom {
+        self.geom
+    }
+
+    #[inline]
+    fn occupied_count(&self) -> usize {
+        self.hist.occupied()
+    }
+
+    #[inline]
+    fn hot_cell_max(&self) -> usize {
+        self.hist.max()
+    }
+
+    #[inline]
+    fn objects_in(&self, c: CellCoord) -> &[ObjectId] {
+        let cell_id = c.id(self.geom.dim());
+        let Node::Leaf(leaf) = &self.nodes[self.leaf_of(cell_id)] else {
+            unreachable!("leaf_of returned an internal node");
+        };
+        if leaf.is_single_cell(self.depth_max) {
+            &leaf.ids
+        } else {
+            let (start, end) = leaf.group_range(cell_id);
+            &leaf.ids[start..end]
+        }
+    }
+
+    fn occupied_cells(&self) -> Vec<CellCoord> {
+        let mut out = Vec::with_capacity(self.hist.occupied());
+        for node in &self.nodes {
+            let Node::Leaf(leaf) = node else { continue };
+            let mut prev = None;
+            for &cell_id in &leaf.cells {
+                if prev != Some(cell_id) {
+                    out.push(self.geom.cell_from_id(cell_id));
+                    prev = Some(cell_id);
+                }
+            }
+        }
+        out
+    }
+
+    fn attach(&mut self, store: &mut ObjectStore, oid: ObjectId, p: Point) -> CellCoord {
+        self.attach_inner(&mut store.backrefs, oid, p)
+    }
+
+    fn detach(&mut self, store: &mut ObjectStore, oid: ObjectId) -> CellCoord {
+        let BackRef {
+            cell_id: node,
+            slot,
+        } = store.backrefs[oid.index()];
+        let slot = slot as usize;
+        let depth_max = self.depth_max;
+        let Node::Leaf(leaf) = &mut self.nodes[node as usize] else {
+            panic!("back-pointer of {oid} does not address a leaf");
+        };
+        debug_assert_eq!(leaf.ids.get(slot), Some(&oid), "back-pointer desync");
+        let cell_id = leaf.cells[slot];
+        if leaf.is_single_cell(depth_max) {
+            self.hist.on_detach(leaf.ids.len());
+            leaf.ids.swap_remove(slot);
+            leaf.cells.swap_remove(slot);
+            if let Some(&moved) = leaf.ids.get(slot) {
+                store.backrefs[moved.index()].slot = slot as u32;
+            }
+        } else {
+            let (start, end) = leaf.group_range(cell_id);
+            self.hist.on_detach(end - start);
+            leaf.ids.remove(slot);
+            leaf.cells.remove(slot);
+            for &shifted in &leaf.ids[slot..] {
+                store.backrefs[shifted.index()].slot -= 1;
+            }
+        }
+        self.geom.cell_from_id(cell_id)
+    }
+
+    fn rebuild(&mut self, store: &mut ObjectStore, new_dim: u32) {
+        let mut fresh = QuadtreeIndex::new(new_dim, self.split_threshold as u32);
+        for i in 0..store.backrefs.len() {
+            let oid = ObjectId(i as u32);
+            let Some(p) = store.position(oid) else {
+                continue;
+            };
+            fresh.attach_inner(&mut store.backrefs, oid, p);
+        }
+        *self = fresh;
+    }
+
+    fn check_integrity(&self, store: &ObjectStore) {
+        let mut total = 0usize;
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![(0usize, 0u32, 0u32, 0u32)]; // (node, depth, col0, row0)
+        let dim = self.geom.dim();
+        while let Some((node, depth, col0, row0)) = stack.pop() {
+            assert!(!reachable[node], "node {node} reached twice");
+            reachable[node] = true;
+            let side = dim >> depth;
+            match &self.nodes[node] {
+                Node::Internal(children) => {
+                    assert!(depth < self.depth_max, "internal node below max depth");
+                    for (q, &child) in children.iter().enumerate() {
+                        let (cb, rb) = ((q as u32) & 1, (q as u32) >> 1);
+                        stack.push((
+                            child as usize,
+                            depth + 1,
+                            col0 + cb * (side / 2),
+                            row0 + rb * (side / 2),
+                        ));
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    assert_eq!(leaf.depth, depth, "leaf depth desync at node {node}");
+                    assert_eq!(leaf.ids.len(), leaf.cells.len(), "parallel arrays desync");
+                    assert!(
+                        leaf.is_single_cell(self.depth_max)
+                            || leaf.ids.len() <= self.split_threshold,
+                        "multi-cell leaf over the split threshold"
+                    );
+                    if !leaf.is_single_cell(self.depth_max) {
+                        assert!(leaf.cells.is_sorted(), "leaf groups out of order");
+                    }
+                    total += leaf.ids.len();
+                    for (slot, (&o, &cid)) in leaf.ids.iter().zip(&leaf.cells).enumerate() {
+                        let p = store
+                            .position(o)
+                            .unwrap_or_else(|| panic!("leaf holds off-line object {o}"));
+                        let c = self.geom.cell_of(p);
+                        assert_eq!(c.id(dim), cid, "object {o} grouped under the wrong cell");
+                        assert!(
+                            c.col >= col0
+                                && c.col < col0 + side
+                                && c.row >= row0
+                                && c.row < row0 + side,
+                            "object {o} outside its leaf region"
+                        );
+                        let br = store.backrefs[o.index()];
+                        assert_eq!(br.cell_id, node as u64, "back-pointer node desync for {o}");
+                        assert_eq!(br.slot as usize, slot, "back-pointer slot desync for {o}");
+                    }
+                }
+            }
+        }
+        assert!(reachable.iter().all(|&r| r), "orphaned arena nodes");
+        assert_eq!(total, store.len(), "leaf population != live count");
+        // The incremental histogram must match a brute-force group recount.
+        let mut sizes = Vec::new();
+        for node in &self.nodes {
+            let Node::Leaf(leaf) = node else { continue };
+            let mut run = 0usize;
+            for (i, &cid) in leaf.cells.iter().enumerate() {
+                run += 1;
+                if leaf.cells.get(i + 1) != Some(&cid) {
+                    sizes.push(run);
+                    run = 0;
+                }
+            }
+        }
+        self.hist.check_against(sizes.into_iter());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(dim: u32, threshold: u32) -> (QuadtreeIndex, ObjectStore) {
+        (QuadtreeIndex::new(dim, threshold), ObjectStore::new())
+    }
+
+    fn insert(qt: &mut QuadtreeIndex, store: &mut ObjectStore, oid: u32, x: f64, y: f64) {
+        let p = store.activate(ObjectId(oid), Point::new(x, y));
+        qt.attach(store, ObjectId(oid), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_dim_is_rejected() {
+        let _ = QuadtreeIndex::new(100, 8);
+    }
+
+    #[test]
+    fn starts_as_a_single_root_leaf() {
+        let (qt, store) = tree(64, 8);
+        assert_eq!(qt.node_count(), 1);
+        assert_eq!(qt.occupied_count(), 0);
+        assert_eq!(qt.hot_cell_max(), 0);
+        assert!(qt.objects_in(CellCoord::new(3, 7)).is_empty());
+        qt.check_integrity(&store);
+    }
+
+    #[test]
+    fn coarse_leaf_answers_exact_per_cell_slices() {
+        let (mut qt, mut store) = tree(64, 8);
+        // Three objects in one cell, one in a neighboring cell — all in
+        // the root leaf (threshold not reached).
+        insert(&mut qt, &mut store, 0, 0.101, 0.101);
+        insert(&mut qt, &mut store, 1, 0.503, 0.503);
+        insert(&mut qt, &mut store, 2, 0.102, 0.102);
+        insert(&mut qt, &mut store, 3, 0.103, 0.103);
+        assert_eq!(qt.node_count(), 1, "under threshold: no split");
+        let g = qt.geom();
+        let hot = g.cell_of(Point::new(0.1, 0.1));
+        let other = g.cell_of(Point::new(0.5, 0.5));
+        // Exact groups, not the whole leaf.
+        assert_eq!(qt.objects_in(hot), &[ObjectId(0), ObjectId(2), ObjectId(3)]);
+        assert_eq!(qt.objects_in(other), &[ObjectId(1)]);
+        assert!(qt.objects_in(CellCoord::new(63, 63)).is_empty());
+        assert_eq!(qt.occupied_count(), 2);
+        assert_eq!(qt.hot_cell_max(), 3);
+        qt.check_integrity(&store);
+    }
+
+    #[test]
+    fn splits_cascade_and_preserve_membership() {
+        let (mut qt, mut store) = tree(64, 4);
+        // 40 objects clustered in the SW corner + a few spread out.
+        for i in 0..40u32 {
+            let t = f64::from(i) * 0.003;
+            insert(&mut qt, &mut store, i, 0.01 + t, 0.02 + (t * 1.7) % 0.1);
+        }
+        for (j, &(x, y)) in [(0.9, 0.9), (0.1, 0.9), (0.9, 0.1)].iter().enumerate() {
+            insert(&mut qt, &mut store, 100 + j as u32, x, y);
+        }
+        assert!(qt.node_count() > 5, "cluster must force splits");
+        qt.check_integrity(&store);
+        // Every object is findable in its exact cell.
+        for (oid, p) in store.iter() {
+            assert!(qt.objects_in(qt.geom().cell_of(p)).contains(&oid));
+        }
+        // Remove the cluster; the far-corner objects survive untouched.
+        for i in 0..40u32 {
+            store.deactivate(ObjectId(i)).unwrap();
+            qt.detach(&mut store, ObjectId(i));
+            qt.check_integrity(&store);
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(qt.occupied_count(), 3);
+        assert_eq!(qt.hot_cell_max(), 1);
+    }
+
+    #[test]
+    fn hot_cell_degrades_to_a_max_depth_bucket() {
+        let (mut qt, mut store) = tree(16, 4);
+        // 50 objects in the same conceptual cell: the leaf chain must
+        // bottom out at depth_max and then grow as a plain bucket.
+        for i in 0..50u32 {
+            insert(&mut qt, &mut store, i, 0.51, 0.51);
+        }
+        let cell = qt.geom().cell_of(Point::new(0.51, 0.51));
+        assert_eq!(qt.objects_in(cell).len(), 50);
+        assert_eq!(qt.hot_cell_max(), 50);
+        assert_eq!(qt.occupied_count(), 1);
+        qt.check_integrity(&store);
+        // Swap-remove path: detach from the middle of the bucket.
+        store.deactivate(ObjectId(7)).unwrap();
+        qt.detach(&mut store, ObjectId(7));
+        assert_eq!(qt.objects_in(cell).len(), 49);
+        qt.check_integrity(&store);
+    }
+
+    #[test]
+    fn rebuild_re_grids_to_pow2_resolutions() {
+        let (mut qt, mut store) = tree(64, 8);
+        for i in 0..30u32 {
+            let t = f64::from(i) * 0.031;
+            insert(&mut qt, &mut store, i, t % 1.0, (t * 2.3) % 1.0);
+        }
+        qt.rebuild(&mut store, 256);
+        assert_eq!(qt.geom().dim(), 256);
+        assert_eq!(qt.kind(), IndexKind::Quadtree { split_threshold: 8 });
+        qt.check_integrity(&store);
+        for (oid, p) in store.iter() {
+            assert!(qt.objects_in(qt.geom().cell_of(p)).contains(&oid));
+        }
+    }
+
+    #[test]
+    fn dim_one_tree_is_a_single_bucket() {
+        let (mut qt, mut store) = tree(1, 2);
+        for i in 0..10u32 {
+            insert(&mut qt, &mut store, i, f64::from(i) * 0.09, 0.5);
+        }
+        // depth_max = 0: the root is already a single-cell leaf and never
+        // splits regardless of the threshold.
+        assert_eq!(qt.node_count(), 1);
+        assert_eq!(qt.objects_in(CellCoord::new(0, 0)).len(), 10);
+        qt.check_integrity(&store);
+    }
+}

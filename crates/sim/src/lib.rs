@@ -33,6 +33,7 @@ pub use params::{SimParams, WorkloadKind};
 pub use recovery::verify_recovery;
 pub use runner::{
     run, run_boxed, run_contenders, run_sharded, verify_against_oracle, verify_delta_replay,
-    verify_regrid, verify_sharded_determinism, verify_unified_server, RunReport,
+    verify_index, verify_regrid, verify_sharded_determinism, verify_unified_server,
+    verify_unified_server_with, RunReport,
 };
 pub use stream::SimulationInput;

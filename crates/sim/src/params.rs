@@ -124,6 +124,7 @@ impl SimParams {
             delta: self.delta(),
             f_obj: self.f_obj,
             f_qry: self.f_qry,
+            skew: 1.0,
         }
     }
 }

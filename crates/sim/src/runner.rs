@@ -391,7 +391,7 @@ pub fn verify_regrid(input: &SimulationInput, regrid_at: &[(usize, u32)], shard_
     for (t, tick) in input.ticks.iter().enumerate() {
         if let Some(&(_, dim)) = regrid_at.iter().find(|&&(at, _)| at == t) {
             for lane in lanes.iter_mut() {
-                lane.regrid_to(dim);
+                lane.regrid_to(dim).expect("verify dims are in range");
                 lane.check_invariants();
             }
             // Build the from-scratch reference at the new δ.
@@ -452,6 +452,188 @@ pub fn verify_regrid(input: &SimulationInput, regrid_at: &[(usize, u32)], shard_
         let st = lanes[0].query_state(qid).expect("tracked query installed");
         assert_eq!(st.k(), k);
         let mut truth: Vec<f64> = lanes[0]
+            .grid()
+            .iter_objects()
+            .map(|(_, p)| pos.dist(p))
+            .collect();
+        truth.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        truth.truncate(k);
+        let got: Vec<f64> = st.result().iter().map(|n| n.dist).collect();
+        assert_eq!(got.len(), truth.len().min(k), "oracle size for {qid}");
+        for (g, e) in got.iter().zip(&truth) {
+            assert!((g - e).abs() < 1e-9, "oracle mismatch for {qid}");
+        }
+    }
+}
+
+/// Conformance harness for the pluggable spatial-index layer: replay
+/// `input` through delta-capturing k-NN engines on **every backend in
+/// `backends` × every shard count**, with the re-grid schedule of
+/// `regrid_at` and (optionally) a full snapshot → restore round-trip at
+/// the `snapshot_at` cycle boundary, asserting after every cycle that
+/// changed lists, delta batches and per-query results are bit-identical
+/// to a uniform-[`cpm_grid::CellIndex`] reference engine.
+///
+/// The backend is an implementation detail the paper's algorithm cannot
+/// observe: best-first cell ordering, influence lists and result sets
+/// depend only on the conceptual `dim × dim` geometry, which every
+/// [`cpm_grid::SpatialIndex`] serves identically. The round-trip also
+/// proves a snapshot restores onto **its recorded backend** (and that
+/// restoring under a different configured backend is refused with
+/// [`cpm_core::CpmError::IndexMismatch`]). Panics on any divergence.
+pub fn verify_index(
+    input: &SimulationInput,
+    backends: &[cpm_grid::IndexKind],
+    regrid_at: &[(usize, u32)],
+    shard_counts: &[usize],
+    snapshot_at: Option<usize>,
+) {
+    use cpm_core::{CycleDeltas, EngineSnapshot, PointQuery, ShardedCpmEngine, SpecEvent};
+    use cpm_geom::QueryId;
+    use cpm_grid::{DynIndex, GridBuilder, IndexKind, SpatialIndex};
+    use std::collections::BTreeMap;
+
+    let translate = |events: &[cpm_grid::QueryEvent]| -> Vec<SpecEvent<PointQuery>> {
+        events
+            .iter()
+            .map(|ev| match *ev {
+                cpm_grid::QueryEvent::Install { id, pos, k } => SpecEvent::Install {
+                    id,
+                    spec: PointQuery(pos),
+                    k,
+                },
+                cpm_grid::QueryEvent::Move { id, to } => SpecEvent::Update {
+                    id,
+                    spec: PointQuery(to),
+                },
+                cpm_grid::QueryEvent::Terminate { id } => SpecEvent::Terminate { id },
+            })
+            .collect()
+    };
+
+    struct Lane {
+        label: String,
+        kind: IndexKind,
+        engine: ShardedCpmEngine<PointQuery, DynIndex>,
+    }
+
+    let mut reference: ShardedCpmEngine<PointQuery> =
+        ShardedCpmEngine::new(input.params.grid_dim, 1);
+    reference.enable_deltas();
+    reference.populate(input.initial_objects.iter().copied());
+    let mut lanes: Vec<Lane> = backends
+        .iter()
+        .flat_map(|&kind| shard_counts.iter().map(move |&s| (kind, s)))
+        .map(|(kind, shards)| {
+            let grid = GridBuilder::new(input.params.grid_dim)
+                .index(kind)
+                .try_build()
+                .expect("verify dims satisfy every backend");
+            let mut engine = ShardedCpmEngine::with_grid(grid, shards);
+            engine.enable_deltas();
+            engine.populate(input.initial_objects.iter().copied());
+            Lane {
+                label: format!("{kind}×{shards}"),
+                kind,
+                engine,
+            }
+        })
+        .collect();
+
+    let mut book: BTreeMap<QueryId, (cpm_geom::Point, usize)> = BTreeMap::new();
+    for &(qid, pos, k) in &input.initial_queries {
+        book.insert(qid, (pos, k));
+        reference
+            .install(qid, PointQuery(pos), k)
+            .expect("fresh id");
+        for lane in lanes.iter_mut() {
+            lane.engine
+                .install(qid, PointQuery(pos), k)
+                .expect("fresh id");
+        }
+    }
+
+    let mut out = CycleDeltas::default();
+    let mut ref_out = CycleDeltas::default();
+    for (t, tick) in input.ticks.iter().enumerate() {
+        if let Some(&(_, dim)) = regrid_at.iter().find(|&&(at, _)| at == t) {
+            reference.regrid_to(dim).expect("verify dims are in range");
+            for lane in lanes.iter_mut() {
+                lane.engine
+                    .regrid_to(dim)
+                    .expect("verify dims satisfy every backend");
+                lane.engine.check_invariants();
+            }
+        }
+        if snapshot_at == Some(t) {
+            for lane in lanes.iter_mut() {
+                let snap = EngineSnapshot::capture(&lane.engine);
+                // Restoring under a backend the snapshot was not captured
+                // with must be refused up front.
+                let other = match lane.kind {
+                    IndexKind::Uniform => IndexKind::quadtree(),
+                    IndexKind::Quadtree { .. } => IndexKind::Uniform,
+                };
+                assert!(
+                    matches!(
+                        snap.restore_expecting(other),
+                        Err(cpm_core::CpmError::IndexMismatch { .. })
+                    ),
+                    "lane {}: cross-backend restore must be refused",
+                    lane.label
+                );
+                lane.engine = snap
+                    .restore_expecting(lane.kind)
+                    .expect("round-trip restores the recorded backend");
+                assert_eq!(
+                    lane.engine.grid().index().kind(),
+                    lane.kind,
+                    "lane {}: restore changed the backend",
+                    lane.label
+                );
+                lane.engine.check_invariants();
+            }
+        }
+        for ev in &tick.query_events {
+            match *ev {
+                cpm_grid::QueryEvent::Install { id, pos, k } => {
+                    book.insert(id, (pos, k));
+                }
+                cpm_grid::QueryEvent::Move { id, to } => {
+                    book.get_mut(&id).expect("move of installed query").0 = to;
+                }
+                cpm_grid::QueryEvent::Terminate { id } => {
+                    book.remove(&id);
+                }
+            }
+        }
+        let events = translate(&tick.query_events);
+        reference.process_cycle_with_deltas_into(&tick.object_events, &events, &mut ref_out);
+        for lane in lanes.iter_mut() {
+            lane.engine
+                .process_cycle_with_deltas_into(&tick.object_events, &events, &mut out);
+            assert_eq!(
+                ref_out, out,
+                "lane {}: cycle outputs diverged from the uniform reference at t={t}",
+                lane.label
+            );
+            for &qid in book.keys() {
+                assert_eq!(
+                    reference.result(qid).expect("reference tracks query"),
+                    lane.engine.result(qid).expect("lane tracks query"),
+                    "lane {}: result diverged for {qid} at t={t}",
+                    lane.label
+                );
+            }
+            lane.engine.check_invariants();
+        }
+    }
+
+    // Anchor to ground truth: brute-force k-NN over the final population.
+    for (&qid, &(pos, k)) in &book {
+        let st = reference.query_state(qid).expect("tracked query installed");
+        assert_eq!(st.k(), k);
+        let mut truth: Vec<f64> = reference
             .grid()
             .iter_objects()
             .map(|(_, p)| pos.dist(p))
@@ -568,6 +750,28 @@ fn compare_all(
 ///
 /// Panics on any divergence.
 pub fn verify_unified_server(n_objects: u32, cycles: usize, grid_dim: u32, shard_counts: &[usize]) {
+    verify_unified_server_with(
+        cpm_grid::IndexKind::Uniform,
+        n_objects,
+        cycles,
+        grid_dim,
+        shard_counts,
+    );
+}
+
+/// [`verify_unified_server`] with the servers running on an explicit
+/// index backend: the dedicated single-kind engines stay on the default
+/// uniform [`cpm_grid::CellIndex`], so passing
+/// [`cpm_grid::IndexKind::quadtree`] proves **every** exact query kind —
+/// k-NN, range, aggregate-NN, constrained and reverse-NN — bit-identical
+/// *across backends*, not merely across shard counts.
+pub fn verify_unified_server_with(
+    index: cpm_grid::IndexKind,
+    n_objects: u32,
+    cycles: usize,
+    grid_dim: u32,
+    shard_counts: &[usize],
+) {
     use cpm_core::{
         AggregateFn, AnnQuery, AnyQuerySpec, ConstrainedQuery, CpmServer, CpmServerBuilder,
         PointQuery, RangeQuery, ShardedCpmEngine, SpecEvent,
@@ -599,7 +803,12 @@ pub fn verify_unified_server(n_objects: u32, cycles: usize, grid_dim: u32, shard
 
     let mut servers: Vec<CpmServer> = shard_counts
         .iter()
-        .map(|&s| CpmServerBuilder::new(grid_dim).shards(s).build())
+        .map(|&s| {
+            CpmServerBuilder::new(grid_dim)
+                .shards(s)
+                .index(index)
+                .build()
+        })
         .collect();
     let mut knn_engine: ShardedCpmEngine<PointQuery> = ShardedCpmEngine::new(grid_dim, 1);
     let mut range_engine: ShardedCpmEngine<RangeQuery> = ShardedCpmEngine::new(grid_dim, 1);

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn density_handles_empty_grid() {
-        let g = Grid::new(16);
+        let g = cpm_grid::GridBuilder::new(16).build_uniform();
         let s = render_density(&g, 8);
         assert!(s.chars().all(|c| c == ' ' || c == '\n'));
     }

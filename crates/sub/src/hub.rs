@@ -24,7 +24,7 @@ use cpm_core::{
     RangeQuery, ShardedCpmEngine, SpecEvent,
 };
 use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
-use cpm_grid::{Grid, Metrics, ObjectEvent};
+use cpm_grid::{CellIndex, Grid, Metrics, ObjectEvent, SpatialIndex};
 
 /// One subscription's delivery state.
 #[derive(Debug, Default)]
@@ -56,10 +56,12 @@ pub struct CycleReceipt {
 /// All subscriptions in one hub share the query-geometry type `S`
 /// (one hub per query class, like the engines); [`KnnSubscriptionHub`] and
 /// [`RangeSubscriptionHub`] are the two shapes the conformance suite
-/// exercises.
+/// exercises. The spatial-index backend `I` follows the engine's
+/// (uniform [`CellIndex`] by default; a snapshot restore hands back a
+/// [`cpm_grid::DynIndex`] engine and the hub carries it unchanged).
 #[derive(Debug)]
-pub struct SubscriptionHub<S: QuerySpec + Send + Sync> {
-    engine: ShardedCpmEngine<S>,
+pub struct SubscriptionHub<S: QuerySpec + Send + Sync, I: SpatialIndex = CellIndex> {
+    engine: ShardedCpmEngine<S, I>,
     mailboxes: FastHashMap<QueryId, Mailbox>,
     pending_obj: Vec<ObjectEvent>,
     pending_sub: Vec<SpecEvent<S>>,
@@ -92,7 +94,9 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
             scratch: cpm_core::CycleDeltas::default(),
         }
     }
+}
 
+impl<S: QuerySpec + Send + Sync, I: SpatialIndex> SubscriptionHub<S, I> {
     /// Rebuild a hub around a restored engine (the
     /// [`cpm_core::EngineSnapshot`] recovery path): every installed query
     /// gets a fresh, empty mailbox and the epoch continues from the
@@ -105,7 +109,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     ///
     /// # Panics
     /// Panics if the engine was not built with delta collection enabled.
-    pub fn from_engine(engine: ShardedCpmEngine<S>) -> Self {
+    pub fn from_engine(engine: ShardedCpmEngine<S, I>) -> Self {
         assert!(
             engine.collects_deltas(),
             "a subscription hub requires a delta-collecting engine"
@@ -128,7 +132,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
 
     /// The underlying engine — the state a durability layer snapshots
     /// (see [`cpm_core::EngineSnapshot::capture`]).
-    pub fn engine(&self) -> &ShardedCpmEngine<S> {
+    pub fn engine(&self) -> &ShardedCpmEngine<S, I> {
         &self.engine
     }
 
@@ -149,7 +153,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     }
 
     /// Bulk-load objects before any subscription is registered.
-    pub fn populate<I: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: I) {
+    pub fn populate<It: IntoIterator<Item = (ObjectId, Point)>>(&mut self, objects: It) {
         self.engine.populate(objects);
     }
 
@@ -166,8 +170,14 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     /// [`cpm_core::ShardedCpmEngine::regrid_to`]); applies at the next
     /// [`commit`](SubscriptionHub::commit) boundary's cycle. Returns the
     /// number of objects migrated.
+    ///
+    /// # Panics
+    /// Panics when the index backend rejects `new_dim`, matching the
+    /// hub's panic-on-misuse surface (cf. [`SubscriptionHub::subscribe`]).
     pub fn regrid_to(&mut self, new_dim: u32) -> usize {
-        self.engine.regrid_to(new_dim)
+        self.engine
+            .regrid_to(new_dim)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Register a subscription: query geometry `spec`, result size `k`.
@@ -256,7 +266,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     /// Queue a batch of location updates for the next [`commit`].
     ///
     /// [`commit`]: SubscriptionHub::commit
-    pub fn push_updates<I: IntoIterator<Item = ObjectEvent>>(&mut self, events: I) {
+    pub fn push_updates<It: IntoIterator<Item = ObjectEvent>>(&mut self, events: It) {
         self.pending_obj.extend(events);
     }
 
@@ -358,7 +368,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
     }
 
     /// The shared object index.
-    pub fn grid(&self) -> &Grid {
+    pub fn grid(&self) -> &Grid<I> {
         self.engine.grid()
     }
 
@@ -400,7 +410,7 @@ impl<S: QuerySpec + Send + Sync> SubscriptionHub<S> {
 /// k-NN subscriptions: "keep me posted on my `k` nearest objects".
 pub type KnnSubscriptionHub = SubscriptionHub<PointQuery>;
 
-impl KnnSubscriptionHub {
+impl<I: SpatialIndex> SubscriptionHub<PointQuery, I> {
     /// Subscribe to the `k` nearest neighbors of `pos`.
     pub fn subscribe_knn(&mut self, id: QueryId, pos: Point, k: usize) {
         self.subscribe(id, PointQuery(pos), k);
@@ -416,7 +426,7 @@ impl KnnSubscriptionHub {
 /// region".
 pub type RangeSubscriptionHub = SubscriptionHub<RangeQuery>;
 
-impl RangeSubscriptionHub {
+impl<I: SpatialIndex> SubscriptionHub<RangeQuery, I> {
     /// Subscribe to all objects inside `query`'s region (unbounded
     /// result — no `k`).
     pub fn subscribe_region(&mut self, id: QueryId, query: RangeQuery) {
@@ -438,7 +448,7 @@ impl RangeSubscriptionHub {
 /// only forwards to the concrete geometry.
 pub type UnifiedSubscriptionHub = SubscriptionHub<AnyQuerySpec>;
 
-impl UnifiedSubscriptionHub {
+impl<I: SpatialIndex> SubscriptionHub<AnyQuerySpec, I> {
     /// Subscribe to the `k` nearest neighbors of `pos`.
     pub fn subscribe_knn(&mut self, id: QueryId, pos: Point, k: usize) {
         self.subscribe(id, AnyQuerySpec::Knn(PointQuery(pos)), k);

@@ -35,7 +35,7 @@
 #![forbid(unsafe_code)]
 
 use cpm_geom::{ObjectId, Point, QueryId, Rect};
-use cpm_grid::{KindMetrics, Metrics, ObjectEvent, QueryKind};
+use cpm_grid::{IndexKind, KindMetrics, Metrics, ObjectEvent, QueryKind};
 
 /// Magic number opening every frame (`"CPMW"` in ASCII).
 pub const FRAME_MAGIC: u32 = 0x4350_4D57;
@@ -602,6 +602,42 @@ impl Decode for QueryKind {
     }
 }
 
+impl Encode for IndexKind {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            IndexKind::Uniform => w.put_u8(0),
+            IndexKind::Quadtree { split_threshold } => {
+                w.put_u8(1);
+                w.put_u32(split_threshold);
+            }
+        }
+    }
+}
+
+impl Decode for IndexKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        match r.take_u8()? {
+            0 => Ok(IndexKind::Uniform),
+            1 => {
+                let split_at = r.offset();
+                let split_threshold = r.take_u32()?;
+                if split_threshold == 0 {
+                    return Err(WireError::Invalid {
+                        offset: split_at,
+                        what: "quadtree split threshold must be at least 1",
+                    });
+                }
+                Ok(IndexKind::Quadtree { split_threshold })
+            }
+            _ => Err(WireError::Invalid {
+                offset: at,
+                what: "unknown index-kind tag",
+            }),
+        }
+    }
+}
+
 impl Encode for ObjectEvent {
     fn encode(&self, w: &mut Writer) {
         match *self {
@@ -978,6 +1014,32 @@ mod tests {
         assert_eq!(got.1.lo, values.1.lo);
         assert_eq!(got.1.hi, values.1.hi);
         assert_eq!(got.2, values.2);
+    }
+
+    #[test]
+    fn index_kinds_roundtrip_and_reject_degenerate_thresholds() {
+        for kind in [
+            IndexKind::Uniform,
+            IndexKind::quadtree(),
+            IndexKind::Quadtree { split_threshold: 1 },
+        ] {
+            assert_eq!(IndexKind::decode_all(&kind.encode_to_vec()).unwrap(), kind);
+        }
+        // A zero split threshold could never have been built.
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u32(0);
+        assert!(matches!(
+            IndexKind::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+        // Unknown backend tag.
+        let mut w = Writer::new();
+        w.put_u8(9);
+        assert!(matches!(
+            IndexKind::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
     }
 
     #[test]

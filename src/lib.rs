@@ -7,7 +7,9 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`geom`] — geometry & utility substrate ([`cpm_geom`]).
-//! * [`grid`] — the uniform main-memory object index ([`cpm_grid`]).
+//! * [`grid`] — the main-memory object index with pluggable
+//!   [`SpatialIndex`] backends (uniform cells or adaptive quadtree,
+//!   selected via [`GridBuilder`]/[`IndexKind`]) ([`cpm_grid`]).
 //! * [`core`] — CPM itself: the unified multi-query [`core::CpmServer`]
 //!   facade (every query kind on one grid with one ingest pass per
 //!   cycle), continuous k-NN, aggregate-NN, constrained-NN, reverse-NN
@@ -60,3 +62,8 @@ pub use cpm_grid as grid;
 pub use cpm_sim as sim;
 pub use cpm_sub as sub;
 pub use cpm_wire as wire;
+
+// The pluggable spatial-index surface, re-exported flat: embedders pick
+// a backend (`CpmServerBuilder::index(IndexKind::quadtree())`, or a
+// standalone `GridBuilder`) without importing `cpm_grid` internals.
+pub use cpm_grid::{DynIndex, GridBuilder, GridStats, IndexKind, SpatialIndex};

@@ -171,6 +171,7 @@ fn space_accounting_tracks_analysis_order_of_magnitude() {
         delta: 1.0 / 64.0,
         f_obj: 0.5,
         f_qry: 0.3,
+        skew: 1.0,
     };
     let measured = m.space_units() as f64;
     let predicted = model.space_total();

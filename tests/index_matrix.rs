@@ -1,0 +1,166 @@
+//! Index-matrix conformance suite: the spatial-index backend behind the
+//! grid facade is an implementation detail the paper's algorithm cannot
+//! observe. Every lane of the matrix — backend ∈ {uniform `CellIndex`,
+//! adaptive `QuadtreeIndex`} × shards S ∈ {1, 4} — must report results,
+//! changed lists and delta streams **bit-identical** to the uniform
+//! reference, including across mid-run re-grids and a full
+//! snapshot → restore round-trip, and for *every* exact query kind via
+//! the unified server sweep.
+
+use cpm_suite::core::{CpmError, CpmServerBuilder, EngineSnapshot, PointQuery, ShardedCpmEngine};
+use cpm_suite::geom::{ObjectId, Point, QueryId};
+use cpm_suite::grid::{GridBuilder, IndexKind, SpatialIndex};
+use cpm_suite::sim::{
+    verify_index, verify_unified_server_with, SimParams, SimulationInput, WorkloadKind,
+};
+use proptest::prelude::*;
+
+/// Shard counts each backend runs at (the acceptance spec's S ∈ {1, 4}).
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// The full backend matrix every suite below sweeps.
+const BACKENDS: [IndexKind; 2] = [IndexKind::Uniform, IndexKind::quadtree()];
+
+/// Per-test case budget, capped by `PROPTEST_CASES` (the CI conformance
+/// job's wall-time bound) but never raised by it.
+fn case_budget(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(default_cases, |cap: u32| cap.min(default_cases))
+}
+
+fn drift_params() -> SimParams {
+    SimParams {
+        n_objects: 250,
+        n_queries: 10,
+        k: 4,
+        timestamps: 12,
+        grid_dim: 32,
+        workload: WorkloadKind::Drift { peak_factor: 4.0 },
+        ..SimParams::default()
+    }
+}
+
+/// The acceptance sweep: both backends × S ∈ {1, 4} on the drifting
+/// hotspot workload, re-gridding mid-run (refine then coarsen) and
+/// round-tripping every lane through a snapshot between the two re-grid
+/// points — all bit-identical to the uniform reference and anchored to
+/// the brute-force oracle.
+#[test]
+fn index_matrix_is_bit_identical_across_regrids_and_snapshots() {
+    let input = SimulationInput::generate(&drift_params());
+    verify_index(
+        &input,
+        &BACKENDS,
+        &[(3, 64), (8, 16)],
+        &SHARD_COUNTS,
+        Some(5),
+    );
+}
+
+/// Every exact query kind — k-NN, range, aggregate-NN, constrained and
+/// reverse-NN — on a quadtree-backed unified server matches the dedicated
+/// uniform-grid engines bit-for-bit and the brute-force oracles, at
+/// S ∈ {1, 4}. This is the cross-backend leg of the unified-server
+/// conformance sweep (`tests/unified_server.rs` runs the uniform leg).
+#[test]
+fn unified_server_on_quadtree_matches_uniform_dedicated_engines() {
+    verify_unified_server_with(IndexKind::quadtree(), 90, 14, 16, &SHARD_COUNTS);
+}
+
+/// A denser grid sharpens the quadtree's bucket structure (deeper splits,
+/// more partially-occupied internal nodes); results must not care.
+#[test]
+fn unified_server_on_quadtree_conformance_on_fine_grid() {
+    verify_unified_server_with(IndexKind::quadtree(), 220, 6, 64, &SHARD_COUNTS);
+}
+
+/// Restoring a snapshot under a different configured backend is a typed
+/// refusal at every API level; restoring under the recorded backend
+/// resumes bit-identically (the engine-level round-trip inside
+/// [`verify_index`] covers mid-stream state — this covers the error
+/// surface end to end, including a non-default split threshold).
+#[test]
+fn snapshot_restore_refuses_backend_swaps() {
+    let kind = IndexKind::Quadtree {
+        split_threshold: 16,
+    };
+    let grid = GridBuilder::new(32).index(kind).build();
+    let mut engine: ShardedCpmEngine<PointQuery, _> = ShardedCpmEngine::with_grid(grid, 2);
+    engine.populate((0..64u32).map(|i| {
+        let t = f64::from(i) / 64.0;
+        (ObjectId(i), Point::new(t, (t * 7.0) % 1.0))
+    }));
+    engine
+        .install(QueryId(0), PointQuery(Point::new(0.3, 0.6)), 5)
+        .unwrap();
+    engine.process_cycle(&[], &[]);
+
+    let snap = EngineSnapshot::capture(&engine);
+    match snap.restore_expecting(IndexKind::Uniform) {
+        Err(CpmError::IndexMismatch { expected, actual }) => {
+            assert_eq!(expected, kind);
+            assert_eq!(actual, IndexKind::Uniform);
+        }
+        other => panic!("expected an index mismatch, got {other:?}"),
+    }
+    // The default-threshold quadtree is a *different* backend config too.
+    assert!(matches!(
+        snap.restore_expecting(IndexKind::quadtree()),
+        Err(CpmError::IndexMismatch { .. })
+    ));
+    let restored = snap.restore_expecting(kind).unwrap();
+    assert_eq!(restored.grid().index().kind(), kind);
+    assert_eq!(
+        restored.result(QueryId(0)).unwrap(),
+        engine.result(QueryId(0)).unwrap()
+    );
+}
+
+/// The server builder surfaces backend misconfiguration as a typed error
+/// (quadtrees need power-of-two resolutions), and the panicking `build`
+/// matches it.
+#[test]
+fn builder_rejects_non_power_of_two_quadtree_dims() {
+    let err = CpmServerBuilder::new(48)
+        .index(IndexKind::quadtree())
+        .try_build()
+        .unwrap_err();
+    assert!(matches!(err, CpmError::InvalidDim(_)), "got {err:?}");
+    // Uniform grids accept any dim ≥ 1.
+    let server = CpmServerBuilder::new(48).try_build().unwrap();
+    assert_eq!(server.grid().dim(), 48);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: case_budget(12), ..ProptestConfig::default()
+    })]
+
+    /// Randomized index-matrix sweep: arbitrary seeds, populations and
+    /// grid resolutions (power-of-two, so the whole matrix is buildable)
+    /// must stay bit-identical across backends — no re-grid schedule, one
+    /// shard per backend, so shrinking stays tractable.
+    #[test]
+    fn random_streams_are_backend_independent(
+        seed in 0u64..1_000_000,
+        n_objects in 40usize..160,
+        dim_pow in 3u32..7,
+        snapshot in 0u32..2,
+    ) {
+        let params = SimParams {
+            n_objects,
+            n_queries: 6,
+            k: 3,
+            timestamps: 6,
+            grid_dim: 1 << dim_pow,
+            workload: WorkloadKind::Drift { peak_factor: 3.0 },
+            seed,
+            ..SimParams::default()
+        };
+        let input = SimulationInput::generate(&params);
+        let snapshot_at = (snapshot == 1).then_some(3);
+        verify_index(&input, &BACKENDS, &[], &[1], snapshot_at);
+    }
+}
