@@ -7,24 +7,29 @@
 //! algorithm of YPK-CNN", Section 6).
 
 use cpm_geom::{Point, Rect};
-use cpm_grid::{CellCoord, Grid, Metrics};
+use cpm_grid::{kernels, CellCoord, Grid, Metrics};
 
 use cpm_core::neighbors::NeighborList;
 
 /// Scan one cell into `best` (a *cell access* in the experiment metrics).
+/// Distances come from the shared batched kernel over the grid's
+/// struct-of-arrays columns — the same (bit-identical) kernel CPM's
+/// engines use — with `dist_buf` as the reused per-search output buffer.
 #[inline]
 pub(crate) fn scan_cell(
     grid: &Grid,
     q: Point,
     cell: CellCoord,
     best: &mut NeighborList,
+    dist_buf: &mut Vec<f64>,
     metrics: &mut Metrics,
 ) {
     metrics.cell_accesses += 1;
-    for &oid in grid.objects_in(cell) {
-        let p = grid.position(oid).expect("indexed object has position");
-        metrics.objects_processed += 1;
-        best.offer(oid, q.dist(p));
+    let oids = grid.objects_in(cell);
+    kernels::dist_into(grid.coords(), q, oids, dist_buf);
+    metrics.objects_processed += oids.len() as u64;
+    for (&oid, &d) in oids.iter().zip(dist_buf.iter()) {
+        best.offer(oid, d);
     }
 }
 
@@ -36,6 +41,7 @@ pub(crate) fn expanding_square_candidates(
     grid: &Grid,
     q: Point,
     k: usize,
+    dist_buf: &mut Vec<f64>,
     metrics: &mut Metrics,
 ) -> (NeighborList, u32) {
     let dim = grid.dim();
@@ -48,7 +54,7 @@ pub(crate) fn expanding_square_candidates(
         for cell in chebyshev_ring(cq, radius, dim) {
             any_cell = true;
             found += grid.cell_len(cell);
-            scan_cell(grid, q, cell, &mut best, metrics);
+            scan_cell(grid, q, cell, &mut best, dist_buf, metrics);
         }
         // A ring is empty only once it lies entirely outside the grid, at
         // which point every farther ring is empty too: the grid is
@@ -101,6 +107,7 @@ pub(crate) fn scan_square(
     d: f64,
     best: &mut NeighborList,
     skip_within: Option<u32>,
+    dist_buf: &mut Vec<f64>,
     metrics: &mut Metrics,
 ) {
     let cq = grid.cell_of(q);
@@ -116,7 +123,7 @@ pub(crate) fn scan_square(
                 continue; // already contributed its objects in step 1
             }
         }
-        scan_cell(grid, q, cell, best, metrics);
+        scan_cell(grid, q, cell, best, dist_buf, metrics);
     }
 }
 
@@ -127,7 +134,8 @@ pub(crate) fn two_step_search(
     k: usize,
     metrics: &mut Metrics,
 ) -> NeighborList {
-    let (mut best, radius) = expanding_square_candidates(grid, q, k, metrics);
+    let mut dist_buf = Vec::new();
+    let (mut best, radius) = expanding_square_candidates(grid, q, k, &mut dist_buf, metrics);
     metrics.computations += 1;
     let d = if best.is_full() {
         best.best_dist()
@@ -137,7 +145,7 @@ pub(crate) fn two_step_search(
             None => return best, // empty grid
         }
     };
-    scan_square(grid, q, d, &mut best, Some(radius), metrics);
+    scan_square(grid, q, d, &mut best, Some(radius), &mut dist_buf, metrics);
     best
 }
 
@@ -152,8 +160,9 @@ pub(crate) fn scan_circle(
     metrics: &mut Metrics,
 ) -> NeighborList {
     let mut best = NeighborList::new(k);
+    let mut dist_buf = Vec::new();
     for cell in grid.cells_in_circle(center, r) {
-        scan_cell(grid, q, cell, &mut best, metrics);
+        scan_cell(grid, q, cell, &mut best, &mut dist_buf, metrics);
     }
     best
 }

@@ -4,21 +4,23 @@
 //! cargo run --release -p cpm-bench --bin bench_check
 //! ```
 //!
-//! Re-runs the grid-storage and shard-scaling micro-benchmarks at reduced
-//! scale and compares them against the checked-in `BENCH_grid.json` /
-//! `BENCH_shards.json` baselines (see [`cpm_bench::check`] for exactly
-//! what each gate enforces). Exits non-zero on any regression.
+//! Re-runs the micro-benchmarks at reduced scale and compares them
+//! against the checked-in `BENCH_*.json` baselines (see
+//! [`cpm_bench::check`] for exactly what each gate enforces). Exits
+//! non-zero on any regression; baseline-hygiene problems (e.g. an
+//! under-threaded `BENCH_shards.json`) print loud `WARN` lines without
+//! failing.
 //!
 //! The tolerance (default +25%) can be widened for noisy hosts via the
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_index, check_recovery, check_regrid, check_server,
-    check_shards, parse_deltas_baseline, parse_grid_baseline, parse_index_baseline,
-    parse_recovery_baseline, parse_regrid_baseline, parse_server_baseline, parse_shards_baseline,
-    GateReport, DEFAULT_TOLERANCE,
+    check_deltas, check_grid, check_index, check_kernels, check_recovery, check_regrid,
+    check_server, check_shards, parse_deltas_baseline, parse_grid_baseline, parse_index_baseline,
+    parse_kernels_baseline, parse_recovery_baseline, parse_regrid_baseline, parse_server_baseline,
+    parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, index, recovery, regrid, server, shards};
+use cpm_bench::{deltas, grid_storage, index, kernels, recovery, regrid, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -215,6 +217,37 @@ fn main() {
     );
     failed |= print_report(check_index(&run, cfg.n_base, index_baseline, tolerance));
 
+    // Gate 8: batched distance kernel vs the scalar per-object idiom.
+    // Both lanes run in this process under the paired protocol with
+    // bit-identical outputs asserted, so the >= 1.3x acceptance bar
+    // (minus a fixed noise margin) is machine-independent and never
+    // widened by BENCH_CHECK_TOLERANCE.
+    let cfg = kernels::KernelBenchConfig::reduced();
+    let kernels_baseline = std::fs::read_to_string(format!("{root}/BENCH_kernels.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_kernels_baseline);
+    println!(
+        "\n## distance kernels (reduced: dims {:?}, buckets {:?}, simd feature: {})",
+        cfg.dims,
+        cfg.buckets,
+        cfg!(feature = "simd"),
+    );
+    let measured = kernels::run(&cfg);
+    for m in &measured {
+        println!(
+            "   dim {:>4} bucket {:>3}: scalar {:>6.2} ns/obj vs batched {:>6.2} ns/obj \
+             ({:>4.2}x)",
+            m.dim, m.bucket, m.scalar_ns, m.batched_ns, m.speedup
+        );
+    }
+    failed |= print_report(check_kernels(
+        &measured,
+        cfg!(feature = "simd"),
+        kernels_baseline,
+        tolerance,
+    ));
+
     if failed {
         eprintln!("\nbench_check FAILED (widen with BENCH_CHECK_TOLERANCE if this host is noisy)");
         std::process::exit(1);
@@ -222,10 +255,14 @@ fn main() {
     println!("\nbench_check passed");
 }
 
-/// Print a gate's comparisons; returns `true` if it failed.
+/// Print a gate's comparisons; returns `true` if it failed. Warnings are
+/// loud (stderr, `WARN` prefix) but do not fail the gate.
 fn print_report(report: GateReport) -> bool {
     for line in &report.lines {
         println!("   {line}");
+    }
+    for warning in &report.warnings {
+        eprintln!("   WARN: {warning}");
     }
     for failure in &report.failures {
         eprintln!("   FAIL: {failure}");

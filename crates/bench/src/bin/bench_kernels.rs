@@ -1,0 +1,42 @@
+//! Distance-kernel micro-benchmark front end (see [`cpm_bench::kernels`]
+//! for the workload): the batched struct-of-arrays kernel vs the scalar
+//! `Option<Point>` idiom, over position-table sizes 64/256/1024 × bucket
+//! sizes 1–256. Output checksums are asserted bit-identical in-run.
+//!
+//! Run with `cargo run --release -p cpm-bench --bin bench_kernels`
+//! (add `--features simd` for the explicit-SIMD lane). Results are
+//! printed and overwrite `BENCH_kernels.json` at the workspace root so
+//! later PRs have a perf trajectory (and the `bench_check` CI gate has a
+//! baseline).
+
+use cpm_bench::kernels::{gate_speedup, render_json, run, KernelBenchConfig};
+
+fn main() {
+    let cfg = KernelBenchConfig::default();
+    println!(
+        "distance-kernel micro-benchmark: dims {:?} x buckets {:?}, \
+         {} buckets/cell, ~{} ops/lane/cell, simd feature: {}",
+        cfg.dims,
+        cfg.buckets,
+        cfg.n_buckets,
+        cfg.target_ops,
+        cfg!(feature = "simd"),
+    );
+    let results = run(&cfg);
+    for m in &results {
+        println!(
+            "dim {:>4} bucket {:>3}: scalar {:>6.2} ns/obj vs batched {:>6.2} ns/obj \
+             ({:>4.2}x)",
+            m.dim, m.bucket, m.scalar_ns, m.batched_ns, m.speedup
+        );
+    }
+    println!(
+        "gate statistic (min speedup, dim 64, bucket >= 32): {:.2}x",
+        gate_speedup(&results).unwrap_or(0.0)
+    );
+
+    let json = render_json(&cfg, &results);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -164,6 +164,9 @@ fn build_workload(cfg: &GridStorageConfig) -> Workload {
     }
 }
 
+/// Read-only scan passes per lane; each lane reports its fastest pass.
+const BENCH_PASSES: usize = 3;
+
 /// Cells of the (clipped) `(2·scan_half+1)²` block around `center`.
 fn scan_block(center: CellCoord, dim: u32, scan_half: i64) -> impl Iterator<Item = CellCoord> {
     (-scan_half..=scan_half).flat_map(move |dr| {
@@ -194,32 +197,50 @@ fn bench_dense(dim: u32, cfg: &GridStorageConfig, w: &Workload) -> Measurement {
     for &(oid, p) in &w.initial {
         g.insert(oid, p);
     }
-    let start = Instant::now();
-    for cycle in &w.cycles {
-        for &(oid, to) in cycle {
-            g.update_position(oid, to);
-        }
-    }
-    let update_ns =
-        start.elapsed().as_nanos() as f64 / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
-
-    let mut checksum = 0u64;
-    let mut objects_scanned = 0u64;
-    let start = Instant::now();
-    for &q in &w.queries {
-        for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
-            for &oid in g.objects_in(cell) {
-                checksum ^= oid.0 as u64;
-                objects_scanned += 1;
+    // Best-of-passes, like the scan phase below: replaying the same
+    // pre-generated cycles is the same workload (every transition after
+    // each object's first move is identical), and the min discards
+    // passes a scheduler preemption landed in.
+    let mut update_total_ns = f64::INFINITY;
+    for _ in 0..BENCH_PASSES {
+        let start = Instant::now();
+        for cycle in &w.cycles {
+            for &(oid, to) in cycle {
+                g.update_position(oid, to);
             }
         }
+        update_total_ns = update_total_ns.min(start.elapsed().as_nanos() as f64);
     }
-    let scan_elapsed = start.elapsed();
+    let update_ns = update_total_ns / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
+
+    // The scan phase is read-only, so run it BENCH_PASSES times and keep
+    // the fastest pass: a single scheduler preemption landing inside one
+    // lane's only timed window would otherwise dominate the control
+    // ratio on a busy host. Checksums/counts accumulate on pass 0 only.
+    let mut checksum = 0u64;
+    let mut objects_scanned = 0u64;
+    let mut scan_ns = f64::INFINITY;
+    for pass in 0..BENCH_PASSES {
+        let start = Instant::now();
+        for &q in &w.queries {
+            for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
+                for &oid in g.objects_in(cell) {
+                    if pass == 0 {
+                        checksum ^= oid.0 as u64;
+                        objects_scanned += 1;
+                    } else {
+                        std::hint::black_box(oid);
+                    }
+                }
+            }
+        }
+        scan_ns = scan_ns.min(start.elapsed().as_nanos() as f64);
+    }
     Measurement {
         layout: "dense-buckets",
         dim,
         update_ns,
-        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
+        scan_ns_per_obj: scan_ns / objects_scanned.max(1) as f64,
         objects_scanned,
         checksum,
     }
@@ -230,34 +251,46 @@ fn bench_hashset(dim: u32, cfg: &GridStorageConfig, w: &Workload) -> Measurement
     for &(oid, p) in &w.initial {
         g.insert(oid, p);
     }
-    let start = Instant::now();
-    for cycle in &w.cycles {
-        for &(oid, to) in cycle {
-            g.update_position(oid, to);
+    // Same best-of-passes protocol as the dense lane (see above).
+    let mut update_total_ns = f64::INFINITY;
+    for _ in 0..BENCH_PASSES {
+        let start = Instant::now();
+        for cycle in &w.cycles {
+            for &(oid, to) in cycle {
+                g.update_position(oid, to);
+            }
         }
+        update_total_ns = update_total_ns.min(start.elapsed().as_nanos() as f64);
     }
-    let update_ns =
-        start.elapsed().as_nanos() as f64 / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
+    let update_ns = update_total_ns / (w.cycles.len() as f64 * w.cycles[0].len() as f64);
 
+    // Same best-of-passes protocol as the dense lane (see above).
     let mut checksum = 0u64;
     let mut objects_scanned = 0u64;
-    let start = Instant::now();
-    for &q in &w.queries {
-        for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
-            if let Some(objects) = g.objects_in(cell) {
-                for &oid in objects {
-                    checksum ^= oid.0 as u64;
-                    objects_scanned += 1;
+    let mut scan_ns = f64::INFINITY;
+    for pass in 0..BENCH_PASSES {
+        let start = Instant::now();
+        for &q in &w.queries {
+            for cell in scan_block(g.cell_of(q), dim, cfg.scan_half) {
+                if let Some(objects) = g.objects_in(cell) {
+                    for &oid in objects {
+                        if pass == 0 {
+                            checksum ^= oid.0 as u64;
+                            objects_scanned += 1;
+                        } else {
+                            std::hint::black_box(oid);
+                        }
+                    }
                 }
             }
         }
+        scan_ns = scan_ns.min(start.elapsed().as_nanos() as f64);
     }
-    let scan_elapsed = start.elapsed();
     Measurement {
         layout: "hash-sets",
         dim,
         update_ns,
-        scan_ns_per_obj: scan_elapsed.as_nanos() as f64 / objects_scanned.max(1) as f64,
+        scan_ns_per_obj: scan_ns / objects_scanned.max(1) as f64,
         objects_scanned,
         checksum,
     }

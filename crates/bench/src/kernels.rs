@@ -1,0 +1,312 @@
+//! Distance-kernel micro-benchmark: the batched struct-of-arrays kernel
+//! (`cpm_grid::kernels::dist_into`) vs the pre-kernel scalar idiom (an
+//! array-of-`Option<Point>` lookup plus one `Point::dist` per object —
+//! the exact inner loop every monitor ran before the SoA refactor).
+//!
+//! Both lanes replay identical pre-generated bucket scans under a paired
+//! protocol (lanes alternate per timed block, so host drift hits both
+//! equally, and each lane reports its fastest block so scheduler
+//! preemptions don't pollute the ratio) and their outputs are folded
+//! into checksums that must match **bit-for-bit** — the bench doubles as
+//! an end-to-end smoke test of the kernel-conformance guarantee.
+//!
+//! The sweep covers position-table sizes 64 / 256 / 1024 (spanning
+//! cache-resident to gather-heavy) × bucket sizes 1–256 (including an
+//! odd size for the SIMD tail lane). The `bench_kernels` binary runs
+//! [`KernelBenchConfig::default`] and records `BENCH_kernels.json`; the
+//! CI gate (`bench_check`) runs [`KernelBenchConfig::reduced`] and
+//! enforces the ≥ 1.3× acceptance bar on dim-64 buckets of ≥ 32 objects
+//! (`check_kernels`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cpm_geom::{ObjectId, Point};
+use cpm_grid::kernels::{self, Coords};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters for one kernel benchmark run.
+#[derive(Debug, Clone)]
+pub struct KernelBenchConfig {
+    /// Position-table sizes (slot counts) measured.
+    pub dims: Vec<usize>,
+    /// Bucket sizes measured (objects per cell scan).
+    pub buckets: Vec<usize>,
+    /// Distinct pre-generated buckets per (dim, bucket-size) cell.
+    pub n_buckets: usize,
+    /// Target distance evaluations per lane per cell (repetitions are
+    /// derived from this so small buckets are not under-sampled).
+    pub target_ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KernelBenchConfig {
+    /// The full sweep recorded in `BENCH_kernels.json`.
+    fn default() -> Self {
+        Self {
+            dims: vec![64, 256, 1024],
+            buckets: vec![1, 2, 4, 8, 16, 32, 33, 64, 128, 256],
+            n_buckets: 64,
+            target_ops: 8_000_000,
+            seed: 2005,
+        }
+    }
+}
+
+impl KernelBenchConfig {
+    /// The reduced configuration the CI bench gate runs on every PR:
+    /// only the gated cells (dim 64, buckets ≥ 32 including the odd
+    /// tail-lane size) at a lighter sampling budget.
+    pub fn reduced() -> Self {
+        Self {
+            dims: vec![64],
+            buckets: vec![32, 33, 64],
+            target_ops: 1_500_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Paired scalar/batched timings of one (table size, bucket size) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelMeasurement {
+    /// Position-table slot count.
+    pub dim: usize,
+    /// Objects per bucket scan.
+    pub bucket: usize,
+    /// Nanoseconds per distance evaluation, scalar `Option<Point>` lane.
+    pub scalar_ns: f64,
+    /// Nanoseconds per distance evaluation, batched SoA-kernel lane.
+    pub batched_ns: f64,
+    /// `scalar_ns / batched_ns`.
+    pub speedup: f64,
+}
+
+/// One (dim, bucket) cell's pre-generated inputs, identical for both
+/// lanes: the position table in both layouts plus the gather patterns.
+struct Cell {
+    aos: Vec<Option<Point>>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    queries: Vec<Point>,
+    buckets: Vec<Vec<ObjectId>>,
+}
+
+fn build_cell(rng: &mut StdRng, dim: usize, bucket: usize, n_buckets: usize) -> Cell {
+    let points: Vec<Point> = (0..dim).map(|_| Point::new(rng.gen(), rng.gen())).collect();
+    let (xs, ys) = points.iter().map(|p| (p.x, p.y)).unzip();
+    let aos = points.into_iter().map(Some).collect();
+    let queries = (0..n_buckets)
+        .map(|_| Point::new(rng.gen(), rng.gen()))
+        .collect();
+    let buckets = (0..n_buckets)
+        .map(|_| {
+            (0..bucket)
+                .map(|_| ObjectId(rng.gen_range(0..dim) as u32))
+                .collect()
+        })
+        .collect();
+    Cell {
+        aos,
+        xs,
+        ys,
+        queries,
+        buckets,
+    }
+}
+
+/// The pre-kernel scalar idiom, verbatim: decode the `Option<Point>` slot
+/// per object and take one serial `Point::dist`.
+#[inline(never)]
+fn scalar_scan(aos: &[Option<Point>], q: Point, oids: &[ObjectId], out: &mut Vec<f64>) {
+    out.clear();
+    for &oid in oids {
+        let p = aos[oid.index()].expect("indexed object has position");
+        out.push(q.dist(p));
+    }
+}
+
+fn fold(checksum: &mut u64, out: &[f64]) {
+    for d in out {
+        *checksum ^= d.to_bits();
+    }
+}
+
+/// Measure one (dim, bucket) cell under the paired protocol.
+fn bench_cell(
+    rng: &mut StdRng,
+    cfg: &KernelBenchConfig,
+    dim: usize,
+    bucket: usize,
+) -> KernelMeasurement {
+    let cell = build_cell(rng, dim, bucket, cfg.n_buckets);
+    let coords = Coords::from_columns(&cell.xs, &cell.ys);
+    let ops_per_rep = cfg.n_buckets * bucket;
+    let reps = (cfg.target_ops / ops_per_rep.max(1)).clamp(50, 400_000);
+
+    // Conformance first (outside timing): every bucket's outputs must
+    // match bit-for-bit between the lanes, and the folded checksums pin
+    // that for the whole cell. The inputs never change across
+    // repetitions, so checking once covers every timed scan below.
+    let mut out = Vec::new();
+    let mut scalar_sum = 0u64;
+    let mut batched_sum = 0u64;
+    for (q, oids) in cell.queries.iter().zip(&cell.buckets) {
+        scalar_scan(&cell.aos, *q, oids, &mut out);
+        fold(&mut scalar_sum, &out);
+        kernels::dist_into(coords, *q, oids, &mut out);
+        fold(&mut batched_sum, &out);
+    }
+    assert_eq!(
+        scalar_sum, batched_sum,
+        "lanes diverged bitwise at dim {dim}, bucket {bucket}"
+    );
+
+    // Timed repetitions: the scans alone, with `black_box` keeping each
+    // bucket's output live (folding checksums inside the timed region
+    // would add a constant per-object cost to both lanes and compress
+    // the measured ratio). The reps are split into blocks with the lanes
+    // alternating per block, and each lane reports its *fastest* block:
+    // one lane's timed window is only microseconds, so a single
+    // millisecond-scale scheduler preemption landing inside it would
+    // dominate a summed total, while the min statistic discards every
+    // block a preemption hit. Block 0 is an untimed warm-up.
+    const BLOCKS: usize = 25;
+    let reps_per_block = (reps / BLOCKS).max(1);
+    let block_ops = (reps_per_block * ops_per_rep).max(1) as f64;
+    let mut scalar_ns = f64::INFINITY;
+    let mut batched_ns = f64::INFINITY;
+    for block in 0..BLOCKS + 1 {
+        let start = Instant::now();
+        for _ in 0..reps_per_block {
+            for (q, oids) in cell.queries.iter().zip(&cell.buckets) {
+                scalar_scan(&cell.aos, *q, oids, &mut out);
+                std::hint::black_box(&mut out);
+            }
+        }
+        if block > 0 {
+            scalar_ns = scalar_ns.min(start.elapsed().as_nanos() as f64);
+        }
+
+        let start = Instant::now();
+        for _ in 0..reps_per_block {
+            for (q, oids) in cell.queries.iter().zip(&cell.buckets) {
+                kernels::dist_into(coords, *q, oids, &mut out);
+                std::hint::black_box(&mut out);
+            }
+        }
+        if block > 0 {
+            batched_ns = batched_ns.min(start.elapsed().as_nanos() as f64);
+        }
+    }
+    let scalar = scalar_ns / block_ops;
+    let batched = batched_ns / block_ops;
+    KernelMeasurement {
+        dim,
+        bucket,
+        scalar_ns: scalar,
+        batched_ns: batched,
+        speedup: scalar / batched,
+    }
+}
+
+/// Run the sweep: one paired measurement per (dim, bucket-size) cell.
+pub fn run(cfg: &KernelBenchConfig) -> Vec<KernelMeasurement> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut results = Vec::new();
+    for &dim in &cfg.dims {
+        for &bucket in &cfg.buckets {
+            results.push(bench_cell(&mut rng, cfg, dim, bucket));
+        }
+    }
+    results
+}
+
+/// The gate statistic: the *minimum* batched-vs-scalar speedup over the
+/// dim-64 cells with buckets of ≥ 32 objects (the acceptance-bar cells).
+/// `None` if the sweep measured no such cell.
+pub fn gate_speedup(results: &[KernelMeasurement]) -> Option<f64> {
+    results
+        .iter()
+        .filter(|m| m.dim == 64 && m.bucket >= 32)
+        .map(|m| m.speedup)
+        .min_by(|a, b| a.total_cmp(b))
+}
+
+/// Render the `BENCH_kernels.json` document for a run.
+pub fn render_json(cfg: &KernelBenchConfig, results: &[KernelMeasurement]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"bench_kernels\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n_buckets\": {}, \"target_ops\": {}, \"seed\": {}, \
+         \"simd_feature\": {}}},",
+        cfg.n_buckets,
+        cfg.target_ops,
+        cfg.seed,
+        cfg!(feature = "simd"),
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dim\": {}, \"bucket\": {}, \"scalar_ns_per_obj\": {:.3}, \
+             \"batched_ns_per_obj\": {:.3}, \"speedup\": {:.2}}}",
+            m.dim, m.bucket, m.scalar_ns, m.batched_ns, m.speedup
+        );
+        json.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"gate_speedup_dim64_bucket32plus\": {:.2}\n}}",
+        gate_speedup(results).unwrap_or(0.0)
+    );
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_consistent_and_renders() {
+        let cfg = KernelBenchConfig {
+            dims: vec![64],
+            buckets: vec![3, 32],
+            n_buckets: 4,
+            target_ops: 2_000,
+            ..KernelBenchConfig::default()
+        };
+        let results = run(&cfg);
+        assert_eq!(results.len(), 2);
+        for m in &results {
+            assert!(m.scalar_ns > 0.0 && m.batched_ns > 0.0);
+        }
+        assert!(gate_speedup(&results).is_some());
+        let json = render_json(&cfg, &results);
+        assert!(json.contains("\"bucket\": 32"));
+        assert!(json.contains("gate_speedup_dim64_bucket32plus"));
+    }
+
+    #[test]
+    fn gate_speedup_is_the_minimum_over_gated_cells() {
+        let m = |dim, bucket, speedup| KernelMeasurement {
+            dim,
+            bucket,
+            scalar_ns: 1.0,
+            batched_ns: 1.0,
+            speedup,
+        };
+        let results = [
+            m(64, 16, 0.9),
+            m(64, 32, 1.6),
+            m(64, 64, 1.4),
+            m(256, 64, 9.0),
+        ];
+        assert_eq!(gate_speedup(&results), Some(1.4));
+        assert_eq!(gate_speedup(&[m(256, 64, 2.0)]), None);
+    }
+}

@@ -7,10 +7,11 @@
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
 //! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
-//!   / [`recovery`] / [`index`] — the micro-benchmarks behind the
-//!   `BENCH_grid.json` / `BENCH_shards.json` / `BENCH_deltas.json` /
-//!   `BENCH_server.json` / `BENCH_regrid.json` / `BENCH_recovery.json` /
-//!   `BENCH_index.json` baselines.
+//!   / [`recovery`] / [`index`] / [`kernels`] — the micro-benchmarks
+//!   behind the `BENCH_grid.json` / `BENCH_shards.json` /
+//!   `BENCH_deltas.json` / `BENCH_server.json` / `BENCH_regrid.json` /
+//!   `BENCH_recovery.json` / `BENCH_index.json` / `BENCH_kernels.json`
+//!   baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -27,6 +28,7 @@ pub mod deltas;
 pub mod figures;
 pub mod grid_storage;
 pub mod index;
+pub mod kernels;
 mod movers;
 pub mod recovery;
 pub mod regrid;

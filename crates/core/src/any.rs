@@ -13,8 +13,8 @@
 //! **bit-identical** to the dedicated single-kind engines (asserted by
 //! `tests/unified_server.rs`).
 
-use cpm_geom::Point;
-use cpm_grid::{CellCoord, GridGeom, QueryKind};
+use cpm_geom::{ObjectId, Point};
+use cpm_grid::{CellCoord, Coords, GridGeom, QueryKind};
 
 use crate::ann::AnnQuery;
 use crate::constrained::ConstrainedQuery;
@@ -156,6 +156,13 @@ impl QuerySpec for AnyQuerySpec {
         dispatch!(self, q => q.dist(p))
     }
 
+    // Forwarded explicitly (not left to the trait default) so the point
+    // variant reaches `PointQuery`'s vectorized kernel override.
+    #[inline]
+    fn dist_batch(&self, coords: Coords<'_>, oids: &[ObjectId], out: &mut Vec<f64>) {
+        dispatch!(self, q => q.dist_batch(coords, oids, out))
+    }
+
     fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
         dispatch!(self, q => q.base_block(geom))
     }
@@ -205,6 +212,14 @@ mod tests {
         let pw = Pinwheel::around_block(lo, hi, grid.dim());
         for p in [Point::new(0.41, 0.61), Point::new(0.9, 0.9)] {
             assert!(any.dist(p).to_bits() == range.dist(p).to_bits());
+        }
+        let (xs, ys) = ([0.41, 0.9, 0.2], [0.61, 0.9, 0.7]);
+        let coords = Coords::from_columns(&xs, &ys);
+        let oids = [ObjectId(0), ObjectId(1), ObjectId(2)];
+        let mut batched = Vec::new();
+        any.dist_batch(coords, &oids, &mut batched);
+        for (&oid, &d) in oids.iter().zip(&batched) {
+            assert_eq!(d.to_bits(), range.dist(coords.point(oid)).to_bits());
         }
         for cell in [CellCoord::new(3, 3), CellCoord::new(20, 12)] {
             assert_eq!(

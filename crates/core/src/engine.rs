@@ -39,8 +39,8 @@
 
 use cpm_geom::{FastHashMap, FastHashSet, ObjectId, Point, QueryId};
 use cpm_grid::{
-    apply_events, CellCoord, CellIndex, Grid, GridGeom, InfluenceTable, Metrics, ObjectEvent,
-    QueryKind, SpatialIndex, UpdateRecord,
+    apply_events, kernels, CellCoord, CellIndex, Coords, Grid, GridGeom, InfluenceTable, Metrics,
+    ObjectEvent, QueryKind, SpatialIndex, UpdateRecord,
 };
 
 use crate::delta::{DeltaBuf, NeighborDelta};
@@ -72,6 +72,24 @@ pub trait QuerySpec: std::fmt::Debug + Clone {
     /// `+∞` to signal that `p` can never be part of the result
     /// (constrained queries).
     fn dist(&self, p: Point) -> f64;
+
+    /// Batched [`QuerySpec::dist`] over one cell bucket: fill `out` with
+    /// the distance to every object of `oids`, reading positions from
+    /// the grid's struct-of-arrays columns (`out[i] =
+    /// dist(position(oids[i]))`). The engine's bucket scans call this
+    /// with a per-query reused buffer.
+    ///
+    /// Implementations must be **bit-identical** to the per-object
+    /// scalar path — same `f64` bits, hence the same `total_cmp`
+    /// ordering, results, changed lists and delta streams. The default
+    /// simply loops over `dist`; [`PointQuery`] overrides it with the
+    /// vectorized kernel ([`cpm_grid::kernels`]), whose conformance
+    /// suite asserts the bit-equality.
+    #[inline]
+    fn dist_batch(&self, coords: Coords<'_>, oids: &[ObjectId], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(oids.iter().map(|&oid| self.dist(coords.point(oid))));
+    }
 
     /// The inclusive cell block that seeds the search: `(lo, hi)` corners.
     /// For a point query this is the query cell twice.
@@ -114,6 +132,11 @@ impl QuerySpec for PointQuery {
     #[inline]
     fn dist(&self, p: Point) -> f64 {
         self.0.dist(p)
+    }
+
+    #[inline]
+    fn dist_batch(&self, coords: Coords<'_>, oids: &[ObjectId], out: &mut Vec<f64>) {
+        kernels::dist_into(coords, self.0, oids, out);
     }
 
     fn base_block(&self, geom: GridGeom) -> (CellCoord, CellCoord) {
@@ -200,6 +223,9 @@ pub struct SpecQueryState<S> {
     in_list: InList,
     in_removed: bool,
     dirty: bool,
+    /// Reused output buffer for [`QuerySpec::dist_batch`] bucket scans;
+    /// scratch only, never part of the observable query state.
+    dist_buf: Vec<f64>,
     /// Delta log: `(id, cycle-start distance)` of every result entry
     /// mutated in place this cycle (first mutation wins), recorded only
     /// when delta collection is on. Together with the finalize-phase
@@ -224,6 +250,7 @@ impl<S: QuerySpec> SpecQueryState<S> {
             in_list: InList::with_cap(k),
             in_removed: false,
             dirty: false,
+            dist_buf: Vec::new(),
             delta_log: DeltaBuf::new(),
         }
     }
@@ -685,10 +712,10 @@ impl<S: QuerySpec> EngineCore<S> {
                 break;
             }
             metrics.cell_accesses += 1;
-            for &oid in grid.objects_in(cell) {
-                let p = grid.position(oid).expect("indexed object has position");
-                metrics.objects_processed += 1;
-                let d = st.spec.dist(p);
+            let oids = grid.objects_in(cell);
+            st.spec.dist_batch(grid.coords(), oids, &mut st.dist_buf);
+            metrics.objects_processed += oids.len() as u64;
+            for (&oid, &d) in oids.iter().zip(&st.dist_buf) {
                 if d.is_finite() {
                     st.best.offer(oid, d);
                 }
@@ -717,10 +744,10 @@ impl<S: QuerySpec> EngineCore<S> {
             match entry {
                 HeapEntry::Cell(cell) => {
                     metrics.cell_accesses += 1;
-                    for &oid in grid.objects_in(cell) {
-                        let p = grid.position(oid).expect("indexed object has position");
-                        metrics.objects_processed += 1;
-                        let d = st.spec.dist(p);
+                    let oids = grid.objects_in(cell);
+                    st.spec.dist_batch(grid.coords(), oids, &mut st.dist_buf);
+                    metrics.objects_processed += oids.len() as u64;
+                    for (&oid, &d) in oids.iter().zip(&st.dist_buf) {
                         if d.is_finite() {
                             st.best.offer(oid, d);
                         }

@@ -14,7 +14,7 @@
 //! neighbor sitting at distance exactly `best_dist` always lives in a
 //! registered cell and its future updates cannot be missed.
 
-use cpm_grid::{Grid, InfluenceTable, Metrics};
+use cpm_grid::{kernels, Grid, InfluenceTable, Metrics};
 
 use crate::heap::HeapEntry;
 use crate::knn::state::KnnQueryState;
@@ -75,10 +75,11 @@ pub(crate) fn recompute(
             break;
         }
         metrics.cell_accesses += 1;
-        for &oid in grid.objects_in(cell) {
-            let p = grid.position(oid).expect("indexed object has position");
-            metrics.objects_processed += 1;
-            st.best.offer(oid, st.q.dist(p));
+        let oids = grid.objects_in(cell);
+        kernels::dist_into(grid.coords(), st.q, oids, &mut st.dist_buf);
+        metrics.objects_processed += oids.len() as u64;
+        for (&oid, &d) in oids.iter().zip(&st.dist_buf) {
+            st.best.offer(oid, d);
         }
     }
 
@@ -105,10 +106,11 @@ fn drain_heap(grid: &Grid, st: &mut KnnQueryState, metrics: &mut Metrics) {
         match entry {
             HeapEntry::Cell(cell) => {
                 metrics.cell_accesses += 1;
-                for &oid in grid.objects_in(cell) {
-                    let p = grid.position(oid).expect("indexed object has position");
-                    metrics.objects_processed += 1;
-                    st.best.offer(oid, st.q.dist(p));
+                let oids = grid.objects_in(cell);
+                kernels::dist_into(grid.coords(), st.q, oids, &mut st.dist_buf);
+                metrics.objects_processed += oids.len() as u64;
+                for (&oid, &d) in oids.iter().zip(&st.dist_buf) {
+                    st.best.offer(oid, d);
                 }
                 st.visit_list.push((cell, key));
             }

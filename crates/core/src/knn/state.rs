@@ -47,6 +47,10 @@ pub struct KnnQueryState {
     pub(crate) in_removed: bool,
     /// Result contents changed during the batch (evictions/reorders).
     pub(crate) dirty: bool,
+    /// Reused output buffer for the batched distance kernel
+    /// ([`cpm_grid::kernels::dist_into`]); scratch only, never part of
+    /// the observable query state.
+    pub(crate) dist_buf: Vec<f64>,
 }
 
 impl KnnQueryState {
@@ -67,6 +71,7 @@ impl KnnQueryState {
             in_list: InList::with_cap(k),
             in_removed: false,
             dirty: false,
+            dist_buf: Vec::new(),
         }
     }
 

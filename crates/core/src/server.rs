@@ -1067,6 +1067,7 @@ impl CpmServer {
         id: QueryId,
     ) -> Vec<ObjectId> {
         let mut out = Vec::new();
+        let mut dist_buf = Vec::new();
         for sector in 0..SECTORS {
             let Some(result) = engine.result(Self::sector_id(id, sector)) else {
                 continue;
@@ -1076,7 +1077,7 @@ impl CpmServer {
             };
             let (cid, cdist) = (candidate.id, candidate.dist);
             let cpos = engine.grid().position(cid).expect("candidate is live");
-            if Self::circle_is_empty(engine.grid(), metrics, cpos, cdist, cid) {
+            if Self::circle_is_empty(engine.grid(), metrics, cpos, cdist, cid, &mut dist_buf) {
                 out.push(cid);
             }
         }
@@ -1093,19 +1094,25 @@ impl CpmServer {
         center: Point,
         radius: f64,
         exclude: ObjectId,
+        dist_buf: &mut Vec<f64>,
     ) -> bool {
         let rnn = QueryKind::Rnn as usize;
         for cell in grid.cells_in_circle(center, radius) {
             metrics.cell_accesses += 1;
             metrics.by_kind[rnn].cell_accesses += 1;
-            for &oid in grid.objects_in(cell) {
+            // Distances come from the shared batched kernel; the consume
+            // loop below keeps the pre-kernel early-exit semantics (and
+            // work counters) exactly: `exclude` is skipped before
+            // counting, and the first hit stops the scan mid-bucket.
+            let oids = grid.objects_in(cell);
+            cpm_grid::kernels::dist_into(grid.coords(), center, oids, dist_buf);
+            for (&oid, &d) in oids.iter().zip(dist_buf.iter()) {
                 if oid == exclude {
                     continue;
                 }
                 metrics.objects_processed += 1;
                 metrics.by_kind[rnn].objects_processed += 1;
-                let p = grid.position(oid).expect("indexed object has position");
-                if center.dist(p) < radius {
+                if d < radius {
                     return false;
                 }
             }

@@ -7,13 +7,19 @@ use std::fmt;
 ///
 /// The search heap of the NN computation module (Figure 3.4) is keyed by
 /// `mindist` values. `f64` itself is only `PartialOrd`; `TotalF64` applies
-/// [`f64::total_cmp`]. NaN keys are rejected in debug builds — no distance
-/// computed from finite coordinates can be NaN.
+/// [`f64::total_cmp`]. NaN keys are rejected in debug builds only — the
+/// hard guarantee lives at the ingest boundary: `ObjectStore::activate`
+/// rejects non-finite positions with a release-mode assert, so every
+/// coordinate the distance kernels read is finite and no distance they
+/// produce can be NaN (pinned by the grid crate's `nan_boundary` release
+/// regression test).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TotalF64(pub f64);
 
 impl TotalF64 {
-    /// Wrap a distance value. Debug-asserts that the value is not NaN.
+    /// Wrap a distance value. Debug-asserts that the value is not NaN;
+    /// release builds rely on the ingest boundary keeping coordinates
+    /// finite (see the type-level docs).
     #[inline]
     pub fn new(v: f64) -> Self {
         debug_assert!(!v.is_nan(), "NaN is not a valid distance key");

@@ -504,6 +504,15 @@ impl<I: SpatialIndex> Grid<I> {
         self.store.position(oid)
     }
 
+    /// The store's raw coordinate columns, for the batched distance
+    /// kernels in [`crate::kernels`]. Pair with [`Grid::objects_in`]:
+    /// buckets reference only live objects, whose column slots are
+    /// guaranteed finite.
+    #[inline]
+    pub fn coords(&self) -> crate::kernels::Coords<'_> {
+        self.store.coords()
+    }
+
     /// Insert a (new or re-appearing) object at `p`.
     ///
     /// Returns the cell it was placed in.

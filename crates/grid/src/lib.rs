@@ -52,7 +52,12 @@
 //! maintains its own influence information.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for one `#[target_feature]` call
+// boundary inside the opt-in explicit-SIMD kernel lane; see
+// `kernels::simd` for the SAFETY argument. Without the `simd` feature
+// the historical `forbid` is kept verbatim.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 
 mod coord;
 pub mod events;
@@ -60,6 +65,7 @@ mod geom;
 mod grid;
 mod index;
 mod influence;
+pub mod kernels;
 mod metrics;
 mod quadtree;
 mod store;
@@ -70,6 +76,7 @@ pub use geom::GridGeom;
 pub use grid::{CellIndex, Grid, GridBuilder, GridStats};
 pub use index::{DynIndex, GridConfigError, IndexKind, SpatialIndex, DEFAULT_SPLIT_THRESHOLD};
 pub use influence::InfluenceTable;
+pub use kernels::Coords;
 pub use metrics::{KindMetrics, Metrics, QueryKind};
 pub use quadtree::QuadtreeIndex;
 pub use store::ObjectStore;

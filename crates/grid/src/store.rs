@@ -1,11 +1,10 @@
 //! The δ-independent half of the grid index: the central object tables.
 //!
 //! [`ObjectStore`] owns the per-object state that does **not** depend on
-//! the cell side `δ`: the dense position table (`oid → Option<Point>`,
-//! `None` = off-line) and the parallel back-pointer table that makes
-//! bucket removal O(1). Everything keyed by `δ` — cell buckets, coordinate
-//! math, packed cell ids — lives in [`crate::CellIndex`]; the composed
-//! [`crate::Grid`] orchestrates the two.
+//! the cell side `δ`: the dense position table and the parallel
+//! back-pointer table that makes bucket removal O(1). Everything keyed by
+//! `δ` — cell buckets, coordinate math, packed cell ids — lives in
+//! [`crate::CellIndex`]; the composed [`crate::Grid`] orchestrates the two.
 //!
 //! The split exists so that **changing resolution never touches the
 //! object tables**: [`crate::Grid::regrid`] rebuilds the cell index from
@@ -13,11 +12,25 @@
 //! while the tables themselves (their allocations, their `oid → slot`
 //! addressing, the live population) are carried over untouched. The
 //! regrid property suite asserts exactly this invariance.
+//!
+//! # Struct-of-arrays layout
+//!
+//! Positions are stored as two parallel `Vec<f64>` columns (`xs`, `ys`)
+//! rather than a `Vec<Option<Point>>`. An off-line slot holds `NaN` in
+//! both columns — a safe sentinel because [`ObjectStore::activate`]
+//! rejects non-finite coordinates with a hard (release-mode) assert, so
+//! no *live* object can ever carry a `NaN` coordinate. The columnar
+//! layout is what the batched distance kernels in [`crate::kernels`]
+//! consume: a bucket scan reads two contiguous gather streams instead of
+//! decoding an `Option<Point>` per object, and the per-bucket loops
+//! auto-vectorize. The public API is unchanged: `position(oid)` still
+//! answers `Option<Point>`.
 
+use crate::kernels::Coords;
 use cpm_geom::{clamp_coord, ObjectId, Point};
 
 /// Back-pointer of one indexed object: which bucket it lives in and at
-/// which slot. Valid only while the object's position slot is `Some`.
+/// which slot. Valid only while the object's position slot is live.
 ///
 /// The *table* is δ-independent (one entry per object id); the stored
 /// `cell_id` values are in the current index's packed-id space and are
@@ -35,11 +48,18 @@ pub(crate) struct BackRef {
 /// split: [`crate::Grid::regrid`] rebuilds the [`crate::CellIndex`]
 /// around it while these tables — and every `oid → position` answer read
 /// through them — are carried over untouched.
+///
+/// Positions live in two parallel `f64` columns (struct-of-arrays) with
+/// `NaN` marking off-line slots; see the module docs for why that is
+/// safe and what the layout buys the distance kernels.
 #[derive(Debug, Clone, Default)]
 pub struct ObjectStore {
-    /// Central position table, one slot per object id. `None` = off-line.
-    positions: Vec<Option<Point>>,
-    /// Back-pointer table, parallel to `positions`: `oid → (cell, slot)`.
+    /// X column of the position table, one slot per object id.
+    /// `NaN` = off-line.
+    xs: Vec<f64>,
+    /// Y column, parallel to `xs`. `NaN` = off-line.
+    ys: Vec<f64>,
+    /// Back-pointer table, parallel to the columns: `oid → (cell, slot)`.
     pub(crate) backrefs: Vec<BackRef>,
     /// Number of live (indexed) objects.
     live: usize,
@@ -66,16 +86,33 @@ impl ObjectStore {
     /// Current position of object `oid`, or `None` if it is off-line.
     #[inline]
     pub fn position(&self, oid: ObjectId) -> Option<Point> {
-        self.positions.get(oid.index()).copied().flatten()
+        let idx = oid.index();
+        let x = *self.xs.get(idx)?;
+        if x.is_nan() {
+            None
+        } else {
+            Some(Point::new(x, self.ys[idx]))
+        }
+    }
+
+    /// Borrow the raw coordinate columns for the batched distance
+    /// kernels. Live slots hold finite coordinates; off-line slots hold
+    /// `NaN`. Cell buckets only ever reference live objects, so a kernel
+    /// gathering through a bucket's `&[ObjectId]` never reads a `NaN`.
+    #[inline]
+    pub fn coords(&self) -> Coords<'_> {
+        Coords::from_columns(&self.xs, &self.ys)
     }
 
     /// Iterate over `(oid, position)` for every live object, ascending by
     /// object id.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Point)> + '_ {
-        self.positions
+        self.xs
             .iter()
+            .zip(&self.ys)
             .enumerate()
-            .filter_map(|(i, p)| p.map(|p| (ObjectId(i as u32), p)))
+            .filter(|(_, (x, _))| !x.is_nan())
+            .map(|(i, (&x, &y))| (ObjectId(i as u32), Point::new(x, y)))
     }
 
     /// Memory footprint estimate in the paper's "memory units" (one unit =
@@ -90,21 +127,24 @@ impl ObjectStore {
     /// and writing its back-pointer.
     ///
     /// # Panics
-    /// Panics if the object is already live.
+    /// Panics if the object is already live, or if `p` is not finite.
+    /// The finiteness check is a **hard assert even in release builds**:
+    /// it is the ingest boundary that lets `NaN` serve as the off-line
+    /// sentinel in the coordinate columns and lets every distance key
+    /// downstream satisfy [`cpm_geom::TotalF64`]'s no-NaN contract.
     #[inline]
     pub(crate) fn activate(&mut self, oid: ObjectId, p: Point) -> Point {
-        debug_assert!(p.is_finite(), "object position must be finite");
+        assert!(p.is_finite(), "object position must be finite");
         let idx = oid.index();
-        if idx >= self.positions.len() {
-            self.positions.resize(idx + 1, None);
+        if idx >= self.xs.len() {
+            self.xs.resize(idx + 1, f64::NAN);
+            self.ys.resize(idx + 1, f64::NAN);
             self.backrefs.resize(idx + 1, BackRef::default());
         }
-        assert!(
-            self.positions[idx].is_none(),
-            "object {oid} is already indexed"
-        );
+        assert!(self.xs[idx].is_nan(), "object {oid} is already indexed");
         let p = Point::new(clamp_coord(p.x), clamp_coord(p.y));
-        self.positions[idx] = Some(p);
+        self.xs[idx] = p.x;
+        self.ys[idx] = p.y;
         self.live += 1;
         p
     }
@@ -114,7 +154,14 @@ impl ObjectStore {
     /// first (its back-pointer is only meaningful while live).
     #[inline]
     pub(crate) fn deactivate(&mut self, oid: ObjectId) -> Option<Point> {
-        let p = self.positions.get_mut(oid.index())?.take()?;
+        let idx = oid.index();
+        let x = *self.xs.get(idx)?;
+        if x.is_nan() {
+            return None;
+        }
+        let p = Point::new(x, self.ys[idx]);
+        self.xs[idx] = f64::NAN;
+        self.ys[idx] = f64::NAN;
         self.live -= 1;
         Some(p)
     }
@@ -123,10 +170,21 @@ impl ObjectStore {
     /// against the cell index live in [`crate::Grid::check_integrity`]).
     #[doc(hidden)]
     pub fn check_integrity(&self) {
-        let live_positions = self.positions.iter().flatten().count();
+        let live_positions = self.xs.iter().filter(|x| !x.is_nan()).count();
         assert_eq!(live_positions, self.live, "position table != live count");
+        assert_eq!(self.xs.len(), self.ys.len(), "coordinate columns diverge");
+        for (i, (x, y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            assert_eq!(
+                x.is_nan(),
+                y.is_nan(),
+                "slot {i}: x/y off-line sentinels out of sync"
+            );
+            if !x.is_nan() {
+                assert!(x.is_finite() && y.is_finite(), "slot {i}: non-finite live");
+            }
+        }
         assert_eq!(
-            self.positions.len(),
+            self.xs.len(),
             self.backrefs.len(),
             "back-pointer table not parallel to positions"
         );
@@ -177,5 +235,24 @@ mod tests {
         let mut s = ObjectStore::new();
         s.activate(ObjectId(0), Point::new(0.1, 0.1));
         s.activate(ObjectId(0), Point::new(0.2, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_position_is_rejected_at_the_ingest_boundary() {
+        let mut s = ObjectStore::new();
+        s.activate(ObjectId(0), Point::new(f64::NAN, 0.5));
+    }
+
+    #[test]
+    fn coords_expose_live_slots_and_nan_sentinels() {
+        let mut s = ObjectStore::new();
+        s.activate(ObjectId(2), Point::new(0.25, 0.75));
+        let c = s.coords();
+        assert_eq!(c.slots(), 3);
+        assert_eq!(c.point(ObjectId(2)), Point::new(0.25, 0.75));
+        s.deactivate(ObjectId(2)).unwrap();
+        let c = s.coords();
+        assert!(c.point(ObjectId(2)).x.is_nan());
     }
 }

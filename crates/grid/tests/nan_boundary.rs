@@ -1,0 +1,56 @@
+//! Release-mode regression for the non-NaN ingest guarantee.
+//!
+//! `TotalF64::new` rejects NaN distance keys only via `debug_assert!`
+//! (it sits on the hot path), and the struct-of-arrays position table
+//! uses NaN as its off-line sentinel. Both are sound **only because**
+//! `ObjectStore::activate` rejects non-finite coordinates with a hard
+//! `assert!` that survives `--release`. This suite pins that boundary:
+//! CI runs it in release mode explicitly, where a `debug_assert!`-only
+//! check would silently admit the NaN.
+
+use cpm_geom::{ObjectId, Point};
+use cpm_grid::GridBuilder;
+
+#[test]
+#[should_panic(expected = "must be finite")]
+fn nan_insert_panics_even_in_release() {
+    let mut g = GridBuilder::new(16).build_uniform();
+    g.insert(ObjectId(0), Point::new(f64::NAN, 0.5));
+}
+
+#[test]
+#[should_panic(expected = "must be finite")]
+fn infinite_insert_panics_even_in_release() {
+    let mut g = GridBuilder::new(16).build_uniform();
+    g.insert(ObjectId(0), Point::new(0.5, f64::INFINITY));
+}
+
+#[test]
+#[should_panic(expected = "must be finite")]
+fn nan_move_panics_even_in_release() {
+    let mut g = GridBuilder::new(16).build_uniform();
+    g.insert(ObjectId(0), Point::new(0.5, 0.5));
+    g.update_position(ObjectId(0), Point::new(f64::NAN, 0.5));
+}
+
+/// The flip side of the boundary: every *finite* position is accepted,
+/// stored clamped, and read back without tripping the sentinel logic.
+#[test]
+fn finite_extremes_are_accepted_and_live() {
+    let mut g = GridBuilder::new(16).build_uniform();
+    for (i, p) in [
+        Point::new(0.0, 0.0),
+        Point::new(-0.0, 1.0 - 1e-12),
+        Point::new(f64::MIN_POSITIVE, 5e-324),
+        Point::new(1e300, -1e300), // clamped into the workspace
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let id = ObjectId(i as u32);
+        g.insert(id, p);
+        let stored = g.position(id).expect("finite insert is live");
+        assert!(stored.is_finite());
+    }
+    g.check_integrity();
+}
