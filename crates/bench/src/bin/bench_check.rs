@@ -15,12 +15,13 @@
 //! `BENCH_CHECK_TOLERANCE` environment variable (e.g. `0.40`).
 
 use cpm_bench::check::{
-    check_deltas, check_grid, check_index, check_kernels, check_recovery, check_regrid,
-    check_server, check_shards, parse_deltas_baseline, parse_grid_baseline, parse_index_baseline,
-    parse_kernels_baseline, parse_recovery_baseline, parse_regrid_baseline, parse_server_baseline,
-    parse_shards_baseline, GateReport, DEFAULT_TOLERANCE,
+    check_cluster, check_deltas, check_grid, check_index, check_kernels, check_recovery,
+    check_regrid, check_server, check_shards, parse_cluster_baseline, parse_deltas_baseline,
+    parse_grid_baseline, parse_index_baseline, parse_kernels_baseline, parse_recovery_baseline,
+    parse_regrid_baseline, parse_server_baseline, parse_shards_baseline, GateReport,
+    DEFAULT_TOLERANCE,
 };
-use cpm_bench::{deltas, grid_storage, index, kernels, recovery, regrid, server, shards};
+use cpm_bench::{cluster, deltas, grid_storage, index, kernels, recovery, regrid, server, shards};
 
 fn main() {
     let tolerance = std::env::var("BENCH_CHECK_TOLERANCE")
@@ -245,6 +246,41 @@ fn main() {
         &measured,
         cfg!(feature = "simd"),
         kernels_baseline,
+        tolerance,
+    ));
+
+    // Gate 9: coordinator merge overhead vs the single node. Both lanes
+    // run in this process under the paired protocol with per-cycle
+    // bit-identical merged deltas asserted; the gated statistic is the
+    // coordinator's *serial merge slice* (the only part of a cluster
+    // cycle that cannot be bought back with cores), so the <= 1.25x
+    // bound (plus a fixed noise margin) is machine-independent and never
+    // widened by BENCH_CHECK_TOLERANCE. The full-cycle ratio prints as
+    // a host diagnostic.
+    let cfg = cluster::ClusterBenchConfig::reduced();
+    let cluster_baseline = std::fs::read_to_string(format!("{root}/BENCH_cluster.json"))
+        .ok()
+        .as_deref()
+        .and_then(parse_cluster_baseline);
+    println!(
+        "\n## cluster merge (reduced: N={}, queries={}, {} cycles, {} workers, overlap {})",
+        cfg.n_objects, cfg.n_queries, cfg.cycles, cfg.workers, cfg.overlap
+    );
+    let run = cluster::run(&cfg);
+    for m in &run.modes {
+        println!(
+            "   {:>11}: {:>8.3} ms/cycle   {:>6} result changes",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+    }
+    println!(
+        "   merge {:.4} ms/cycle ({:.3}x of a single-node cycle); full-cycle ratio {:.3}x",
+        run.merge_ms_per_cycle, run.merge_over_single, run.cluster_over_single
+    );
+    failed |= print_report(check_cluster(
+        &run,
+        cfg.n_objects,
+        cluster_baseline,
         tolerance,
     ));
 

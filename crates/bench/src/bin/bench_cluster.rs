@@ -1,0 +1,77 @@
+//! Record the cluster-merge overhead baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_cluster
+//! ```
+//!
+//! Runs the cluster-vs-single-node comparison at the acceptance scale
+//! (see [`cpm_bench::cluster`]) **three times** and records the
+//! median-ratio run to `BENCH_cluster.json` at the workspace root: on a
+//! shared host, single-run ratios scatter by a few percentage points
+//! even under the paired-cycle protocol, and a baseline should pin the
+//! center of the distribution, not one draw. The recorded
+//! `merge_over_single` — the coordinator's serial merge slice over the
+//! single-node cycle — is the PR acceptance number (bar: ≤ 1.25 at
+//! `W = 4`) and the curve `bench_check` compares equal-scale re-runs
+//! against; `cluster_over_single` rides along as host-dependent
+//! diagnostics next to the recorded thread count. Every cycle of every
+//! run asserts the merged deltas bit-identical to the single node, so a
+//! completed recording already proves conformance.
+
+use cpm_bench::cluster::{render_json, run, ClusterBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = ClusterBenchConfig::default();
+    println!(
+        "bench_cluster: N={}, queries={}, k={}, {} cycles (+{} warmup), grid {}², \
+         {} workers (overlap {}), median of {RUNS} runs",
+        cfg.n_objects,
+        cfg.n_queries,
+        cfg.k,
+        cfg.cycles,
+        cfg.warmup_cycles,
+        cfg.grid_dim,
+        cfg.workers,
+        cfg.overlap
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: merge {:.3}x, full cycle {:.3}x (single {:.3} ms/cycle, cluster \
+                 {:.3} ms/cycle)",
+                i + 1,
+                r.merge_over_single,
+                r.cluster_over_single,
+                r.modes[0].ms_per_cycle,
+                r.modes[1].ms_per_cycle
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.merge_over_single
+            .partial_cmp(&b.merge_over_single)
+            .expect("finite ratios")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    for m in &result.modes {
+        println!(
+            "  {:>11}: {:>8.3} ms/cycle (max {:>8.3})   {} result changes",
+            m.mode, m.ms_per_cycle, m.max_cycle_ms, m.result_changes
+        );
+    }
+    println!(
+        "  coordinator merge vs single-node cycle (median run): {:.3}x \
+         ({:.4} ms/cycle; full-cycle ratio {:.3}x on this host)",
+        result.merge_over_single, result.merge_ms_per_cycle, result.cluster_over_single
+    );
+
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(path, &json).expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+}

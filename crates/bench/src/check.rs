@@ -40,6 +40,16 @@
 //!   cycle within [`REGRID_PAUSE_FACTOR`] median cycles; the recorded
 //!   curve binds only at equal scale (speedup grows with the
 //!   base-vs-peak mismatch).
+//! * **Cluster merge** (`BENCH_cluster.json`): the coordinator's
+//!   serial per-cycle merge (payload reassembly + delta decode +
+//!   canonical interleave) for a `W = 4` in-process cluster may cost at
+//!   most [`CLUSTER_MERGE_LIMIT`]× the single-node cycle it coordinates
+//!   (same-process paired ratio with per-cycle bit-identical merged
+//!   deltas asserted inside the benchmark; fixed noise margin, never
+//!   `tolerance`-widened), with the checked-in curve binding at equal
+//!   scale. The full-cycle cluster/single ratio is reported as
+//!   host-dependent diagnostics, not gated — on an under-threaded host
+//!   the workers time-slice one core.
 //! * **Distance kernels** (`BENCH_kernels.json`): the batched
 //!   struct-of-arrays kernel must beat the scalar `Option<Point>` idiom
 //!   on every dim-64 cell with buckets of ≥ 32 objects — by ≥ 1.3× when
@@ -736,6 +746,109 @@ pub fn check_index(
     report
 }
 
+/// Hard bound on the coordinator: its serial per-cycle merge (payload
+/// reassembly + delta decode + canonical interleave) at `W = 4`
+/// in-process workers may cost at most this multiple of the single-node
+/// cycle it coordinates (the PR acceptance bar recorded in
+/// `BENCH_cluster.json`). The merge is the one part of a cluster cycle
+/// that stays serial on the coordinator no matter how many cores the
+/// workers get — a merge that outweighs the cycle it merges caps
+/// scale-out at `W = 1` no matter the hardware.
+pub const CLUSTER_MERGE_LIMIT: f64 = 1.25;
+
+/// Multiplicative noise allowance on the cluster-merge bar. Both lanes
+/// run in one process under the paired-cycle protocol and the estimator
+/// is a median of per-pair ratios, but the merge slice is short enough
+/// that timer granularity and cache state scatter the run-level median
+/// a few percent on busy shared hosts. Like every same-process bar, it
+/// is **never** widened by the cross-host `tolerance`; sustained creep
+/// is additionally caught by the checked-in-curve comparison.
+pub const CLUSTER_NOISE_MARGIN: f64 = 0.10;
+
+/// The context a `BENCH_cluster.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterBaseline {
+    /// Recorded median `coordinator merge ms / single-node ms` ratio.
+    pub merge_over_single: f64,
+    /// Object population of the recording run. The ratio shrinks as
+    /// per-cycle maintenance work grows relative to the merge's
+    /// churn-proportional cost, so the curve only binds between runs at
+    /// the same scale (like the re-grid and recovery gates).
+    pub n_objects: usize,
+}
+
+/// Parse the merge ratio and recording scale of a `BENCH_cluster.json`
+/// document.
+pub fn parse_cluster_baseline(json: &str) -> Option<ClusterBaseline> {
+    let merge_over_single = json
+        .lines()
+        .find(|line| line.contains("merge_over_single"))
+        .and_then(|line| field_f64(line, "merge_over_single"))?;
+    let n_objects = json
+        .lines()
+        .find(|line| line.contains("\"n_objects\""))
+        .and_then(|line| field_f64(line, "n_objects"))? as usize;
+    Some(ClusterBaseline {
+        merge_over_single,
+        n_objects,
+    })
+}
+
+/// Gate the cluster benchmark: the lanes must have done identical work
+/// (per-cycle bit-identicality is asserted inside the benchmark itself),
+/// the measured `coordinator merge / single-node` cycle-cost ratio must
+/// stay under [`CLUSTER_MERGE_LIMIT`] plus the fixed same-process noise
+/// margin (never widened by `tolerance`), and within `tolerance` of the
+/// checked-in baseline curve when one was recorded at the same scale.
+/// The full-cycle cluster/single ratio is host-parallelism-dependent
+/// and only reported.
+pub fn check_cluster(
+    run: &crate::cluster::ClusterBenchRun,
+    measured_n_objects: usize,
+    baseline: Option<ClusterBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if run.modes[0].result_changes == 0 {
+        report
+            .failures
+            .push("no result changes over the measured cycles — the bench measured nothing".into());
+        return report;
+    }
+    report.lines.push(format!(
+        "lanes: single-node {:.3} ms/cycle vs cluster {:.3} ms/cycle ({} result changes)",
+        run.modes[0].ms_per_cycle, run.modes[1].ms_per_cycle, run.modes[0].result_changes
+    ));
+    report.lines.push(format!(
+        "full-cycle cluster/single ratio {:.3}x on a {}-thread host (diagnostic, not gated)",
+        run.cluster_over_single,
+        crate::shards::available_threads()
+    ));
+    report.compare(
+        "coordinator merge cost vs single-node cycle (W = 4 merge bound)",
+        run.merge_over_single,
+        CLUSTER_MERGE_LIMIT * (1.0 + CLUSTER_NOISE_MARGIN),
+        CLUSTER_MERGE_LIMIT,
+    );
+    match baseline {
+        Some(b) if b.n_objects == measured_n_objects => report.compare(
+            "cluster merge ratio vs checked-in baseline curve",
+            run.merge_over_single,
+            b.merge_over_single * (1.0 + tolerance),
+            b.merge_over_single,
+        ),
+        Some(b) => report.lines.push(format!(
+            "baseline recorded at N={} (this run: N={measured_n_objects}): merge ratios are \
+             only comparable at equal scale, curve comparison skipped",
+            b.n_objects
+        )),
+        None => report
+            .lines
+            .push("no BENCH_cluster.json baseline: curve comparison skipped".into()),
+    }
+    report
+}
+
 /// Required batched-vs-scalar distance-kernel speedup on dim-64 buckets
 /// of ≥ 32 objects when the explicit-SIMD lane is compiled in (the PR
 /// acceptance bar recorded in `BENCH_kernels.json`): the validated
@@ -1340,6 +1453,82 @@ mod tests {
             .warnings
             .is_empty());
         assert!(check_shards(&sweep(2.0), 8, None, 0.25).warnings.is_empty());
+    }
+
+    /// A synthetic run whose gated merge ratio is `ratio`; the full-cycle
+    /// ratio is deliberately far above the bar to prove it is diagnostic
+    /// only.
+    fn cluster_run(ratio: f64, changes: usize) -> crate::cluster::ClusterBenchRun {
+        let m = crate::cluster::ClusterMeasurement {
+            mode: "single-node",
+            ms_per_cycle: 10.0,
+            max_cycle_ms: 12.0,
+            result_changes: changes,
+        };
+        crate::cluster::ClusterBenchRun {
+            modes: [
+                m,
+                crate::cluster::ClusterMeasurement {
+                    mode: "cluster",
+                    ms_per_cycle: 35.0,
+                    ..m
+                },
+            ],
+            merge_ms_per_cycle: 10.0 * ratio,
+            merge_over_single: ratio,
+            cluster_over_single: 3.5,
+        }
+    }
+
+    #[test]
+    fn cluster_gate_enforces_the_merge_bound() {
+        assert!(check_cluster(&cluster_run(1.05, 40), 4_000, None, 0.25).passed());
+        assert!(check_cluster(&cluster_run(1.25, 40), 4_000, None, 0.25).passed());
+        // Just over the bar but inside the fixed noise margin: ok.
+        assert!(check_cluster(&cluster_run(1.35, 40), 4_000, None, 0.25).passed());
+        assert!(!check_cluster(&cluster_run(1.45, 40), 4_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_cluster(&cluster_run(1.45, 40), 4_000, None, 10.0).passed());
+        // A run with no result churn measured nothing.
+        assert!(!check_cluster(&cluster_run(1.05, 0), 4_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn cluster_gate_compares_against_the_baseline_curve() {
+        let baseline = Some(ClusterBaseline {
+            merge_over_single: 1.05,
+            n_objects: 4_000,
+        });
+        assert!(check_cluster(&cluster_run(1.10, 40), 4_000, baseline, 0.25).passed());
+        // Under the hard bar but far beyond our own recorded curve.
+        assert!(!check_cluster(&cluster_run(1.35, 40), 4_000, baseline, 0.0).passed());
+        // A baseline recorded at another scale pins nothing: the ratio
+        // shrinks as maintenance work amortizes the merge's fixed costs.
+        let full_scale = Some(ClusterBaseline {
+            merge_over_single: 1.05,
+            n_objects: 10_000,
+        });
+        assert!(check_cluster(&cluster_run(1.35, 40), 4_000, full_scale, 0.25).passed());
+    }
+
+    #[test]
+    fn cluster_baseline_roundtrips_through_json() {
+        let cfg = crate::cluster::ClusterBenchConfig {
+            n_objects: 400,
+            n_queries: 8,
+            k: 2,
+            cycles: 2,
+            warmup_cycles: 1,
+            grid_dim: 16,
+            workers: 2,
+            overlap: 4,
+            ..crate::cluster::ClusterBenchConfig::default()
+        };
+        let run = crate::cluster::run(&cfg);
+        let json = crate::cluster::render_json(&cfg, &run);
+        let parsed = parse_cluster_baseline(&json).expect("ratio recorded");
+        assert!((parsed.merge_over_single - run.merge_over_single).abs() < 1e-3);
+        assert_eq!(parsed.n_objects, 400);
     }
 
     fn kernel_cells(speedups: &[(usize, usize, f64)]) -> Vec<KernelMeasurement> {

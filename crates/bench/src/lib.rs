@@ -7,11 +7,11 @@
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
 //! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
-//!   / [`recovery`] / [`index`] / [`kernels`] — the micro-benchmarks
-//!   behind the `BENCH_grid.json` / `BENCH_shards.json` /
-//!   `BENCH_deltas.json` / `BENCH_server.json` / `BENCH_regrid.json` /
-//!   `BENCH_recovery.json` / `BENCH_index.json` / `BENCH_kernels.json`
-//!   baselines.
+//!   / [`recovery`] / [`index`] / [`kernels`] / [`cluster`] — the
+//!   micro-benchmarks behind the `BENCH_grid.json` / `BENCH_shards.json`
+//!   / `BENCH_deltas.json` / `BENCH_server.json` / `BENCH_regrid.json` /
+//!   `BENCH_recovery.json` / `BENCH_index.json` / `BENCH_kernels.json` /
+//!   `BENCH_cluster.json` baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod cluster;
 pub mod deltas;
 pub mod figures;
 pub mod grid_storage;

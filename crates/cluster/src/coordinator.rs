@@ -1,0 +1,600 @@
+//! The coordinator: query installation, update-batch routing with
+//! boundary-overlap replication, the epoch-aligned merge, and worker
+//! lifecycle (handshake, snapshot-transfer restart).
+//!
+//! # Routing model
+//!
+//! The coordinator is the only component that sees the whole workspace.
+//! It tracks every live object's position and every query's owner, and
+//! translates each global update batch into one per-worker batch:
+//!
+//! * an object **entering** a worker's coverage appears there, one
+//!   **leaving** disappears there, one **moving within** it moves there —
+//!   so by induction each worker's live set is exactly the objects in
+//!   its coverage;
+//! * a query belongs to the worker whose tile contains its anchor
+//!   (sticky: an update that moves the anchor off the owner's tile is a
+//!   typed [`ClusterError::QueryOutOfTile`], not a silent migration).
+//!
+//! Every worker receives a batch every cycle — empty batches included —
+//! so worker epochs advance in lockstep and the [`MergeBuffer`] barrier
+//! can never mix epochs.
+//!
+//! # Failure model
+//!
+//! Fail-stop: the first typed refusal (from validation here, a worker's
+//! `Reject`, or a transport failure) poisons the cycle — the coordinator
+//! returns the error and makes no further guarantees about worker
+//! alignment. Recovery is explicit: restart workers from a snapshot
+//! ([`ClusterCoordinator::restart_worker`]) or rebuild the cluster.
+
+use std::net::TcpListener;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use cpm_core::{AnyQuerySpec, CycleDeltas, SpecEvent};
+use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
+use cpm_grid::{IndexKind, ObjectEvent};
+use cpm_sub::{CycleReceipt, DeltaFanout};
+use cpm_wire::cluster::ClusterMsg;
+use cpm_wire::{Encode, WIRE_VERSION};
+
+use crate::error::ClusterError;
+use crate::merge::MergeBuffer;
+use crate::partition::{anchor_of, Partition};
+use crate::tcp::TcpTransport;
+use crate::transport::{duplex, ChannelTransport, Transport};
+use crate::worker::run_worker;
+
+/// Static cluster shape: grid resolution, worker count, overlap margin
+/// and index backend (every worker runs the same one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Grid resolution (`dim × dim` cells), shared by every worker.
+    pub dim: u32,
+    /// Number of workers / partition tiles.
+    pub workers: u32,
+    /// Coverage margin in grid cells on each side of a tile. Wider
+    /// margins certify larger influence regions at the cost of more
+    /// object replication.
+    pub overlap: u32,
+    /// Spatial-index backend each worker builds.
+    pub index: IndexKind,
+}
+
+impl ClusterConfig {
+    /// A `workers`-way split of a `dim × dim` grid with a 2-cell overlap
+    /// and the uniform-grid index.
+    pub fn new(dim: u32, workers: u32) -> Self {
+        Self {
+            dim,
+            workers,
+            overlap: 2,
+            index: IndexKind::Uniform,
+        }
+    }
+
+    /// Builder-style overlap margin override.
+    pub fn overlap(mut self, cells: u32) -> Self {
+        self.overlap = cells;
+        self
+    }
+
+    /// Builder-style index backend override.
+    pub fn index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
+}
+
+/// A spawned worker thread's join handle, resolving to the worker
+/// loop's exit status (join after [`ClusterCoordinator::shutdown`]).
+pub type WorkerHandle = JoinHandle<Result<(), ClusterError>>;
+
+/// The routing coordinator over `workers` connected [`Transport`] links;
+/// see the [module docs](self) for the routing and failure model.
+#[derive(Debug)]
+pub struct ClusterCoordinator<T: Transport> {
+    partition: Partition,
+    config: ClusterConfig,
+    links: Vec<T>,
+    merge: MergeBuffer,
+    epoch: u64,
+    /// Every live object's current position — the source of truth the
+    /// per-worker appear/move/disappear translation derives from.
+    positions: FastHashMap<ObjectId, Point>,
+    /// Each installed query's owning worker (sticky from install time).
+    owners: FastHashMap<QueryId, usize>,
+    /// Merge cost of the last committed cycle (see
+    /// [`last_cycle_merge`](Self::last_cycle_merge)).
+    last_merge: Duration,
+}
+
+impl ClusterCoordinator<ChannelTransport> {
+    /// Spawn `config.workers` in-process workers on [`duplex`] channels,
+    /// one thread each, and hand back the connected coordinator plus the
+    /// worker join handles (join after [`shutdown`](Self::shutdown)).
+    ///
+    /// # Errors
+    /// Any handshake refusal, as [`connect`](Self::connect).
+    pub fn spawn_in_process(
+        config: ClusterConfig,
+    ) -> Result<(Self, Vec<WorkerHandle>), ClusterError> {
+        let mut links = Vec::with_capacity(config.workers as usize);
+        let mut handles = Vec::with_capacity(config.workers as usize);
+        for _ in 0..config.workers {
+            let (near, far) = duplex();
+            links.push(near);
+            handles.push(thread::spawn(move || run_worker(far)));
+        }
+        Ok((Self::connect(config, links)?, handles))
+    }
+
+    /// Spawn one replacement in-process worker and hot-swap it in for
+    /// worker `w` via [`restart_worker`](Self::restart_worker).
+    ///
+    /// # Errors
+    /// As [`restart_worker`](Self::restart_worker).
+    pub fn restart_worker_in_process(&mut self, w: usize) -> Result<WorkerHandle, ClusterError> {
+        let (near, far) = duplex();
+        let handle = thread::spawn(move || run_worker(far));
+        self.restart_worker(w, near)?;
+        Ok(handle)
+    }
+}
+
+impl ClusterCoordinator<TcpTransport> {
+    /// Spawn `config.workers` workers as threads serving TCP loopback
+    /// connections (one ephemeral listener each) and connect to them.
+    ///
+    /// # Errors
+    /// Socket errors as [`ClusterError::Transport`]; handshake refusals
+    /// as [`connect`](Self::connect).
+    pub fn spawn_tcp_loopback(
+        config: ClusterConfig,
+    ) -> Result<(Self, Vec<WorkerHandle>), ClusterError> {
+        let mut links = Vec::with_capacity(config.workers as usize);
+        let mut handles = Vec::with_capacity(config.workers as usize);
+        for _ in 0..config.workers {
+            let listener = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
+            handles.push(thread::spawn(move || {
+                run_worker(TcpTransport::accept_one(&listener)?)
+            }));
+            links.push(TcpTransport::connect(addr)?);
+        }
+        Ok((Self::connect(config, links)?, handles))
+    }
+}
+
+impl<T: Transport> ClusterCoordinator<T> {
+    /// Handshake with `links.len() == config.workers` already-serving
+    /// workers: send each its `Hello` (worker index, grid, index
+    /// backend, tile, coverage) and check the `HelloAck`.
+    ///
+    /// # Errors
+    /// [`ClusterError::VersionSkew`] / typed worker rejections /
+    /// [`ClusterError::Protocol`] on a malformed handshake.
+    ///
+    /// # Panics
+    /// Panics if `links.len() != config.workers`, if `config.workers`
+    /// is 0, or if `config.dim < config.workers`.
+    pub fn connect(config: ClusterConfig, mut links: Vec<T>) -> Result<Self, ClusterError> {
+        assert_eq!(
+            links.len(),
+            config.workers as usize,
+            "one transport link per worker"
+        );
+        let partition = Partition::new(config.dim, config.workers, config.overlap);
+        for (w, link) in links.iter_mut().enumerate() {
+            Self::handshake(&config, &partition, w as u32, link, 0)?;
+        }
+        Ok(Self {
+            partition,
+            config,
+            links,
+            merge: MergeBuffer::new(config.workers as usize, 0),
+            epoch: 0,
+            positions: FastHashMap::default(),
+            owners: FastHashMap::default(),
+            last_merge: Duration::ZERO,
+        })
+    }
+
+    fn handshake(
+        config: &ClusterConfig,
+        partition: &Partition,
+        w: u32,
+        link: &mut T,
+        expect_epoch: u64,
+    ) -> Result<(), ClusterError> {
+        let hello = ClusterMsg::Hello {
+            version: WIRE_VERSION,
+            worker: w,
+            dim: config.dim,
+            index: config.index,
+            tile: partition.tile(w as usize),
+            coverage: partition.coverage(w as usize),
+        };
+        link.send(&hello.to_frame())?;
+        match ClusterMsg::from_frame(&link.recv()?)? {
+            ClusterMsg::HelloAck {
+                worker,
+                version,
+                epoch,
+            } => {
+                if version != WIRE_VERSION {
+                    return Err(ClusterError::VersionSkew {
+                        worker: w,
+                        ours: WIRE_VERSION,
+                        theirs: version,
+                    });
+                }
+                if worker != w {
+                    return Err(ClusterError::Protocol {
+                        what: "HelloAck from the wrong worker index",
+                    });
+                }
+                if epoch != expect_epoch {
+                    return Err(ClusterError::EpochGap {
+                        worker: w,
+                        expected: expect_epoch,
+                        got: epoch,
+                    });
+                }
+                Ok(())
+            }
+            ClusterMsg::Reject { worker, reject } => Err(ClusterError::from_reject(worker, reject)),
+            _ => Err(ClusterError::Protocol {
+                what: "handshake expected a HelloAck",
+            }),
+        }
+    }
+
+    /// The partition map the cluster routes over.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The configuration the cluster was built with.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Epoch of the last committed cycle (0 before the first).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Currently live (routed) object count.
+    pub fn objects(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The worker owning query `id`, if installed.
+    pub fn owner(&self, id: QueryId) -> Option<usize> {
+        self.owners.get(&id).copied()
+    }
+
+    /// Route query maintenance to the owning workers *between* cycles
+    /// (no epoch advance): installs pick their owner by anchor tile,
+    /// updates and terminations go to the sticky owner. Each contacted
+    /// worker applies the sub-batch and re-certifies its coverage.
+    ///
+    /// # Errors
+    /// Typed routing refusals ([`ClusterError::QueryOutOfTile`],
+    /// [`ClusterError::Protocol`] for composite/unknown queries) before
+    /// anything is sent; worker rejections (engine errors,
+    /// [`ClusterError::CoverageExceeded`]) after.
+    pub fn install(&mut self, events: &[SpecEvent<AnyQuerySpec>]) -> Result<(), ClusterError> {
+        let (batches, owners) = self.route_queries(events)?;
+        self.owners = owners;
+        for (w, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let msg = ClusterMsg::Install {
+                payload: batch.encode_to_vec(),
+            };
+            self.links[w].send(&msg.to_frame())?;
+        }
+        for (w, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            match ClusterMsg::from_frame(&self.links[w].recv()?)? {
+                ClusterMsg::Ack { .. } => {}
+                ClusterMsg::Reject { worker, reject } => {
+                    return Err(ClusterError::from_reject(worker, reject))
+                }
+                _ => {
+                    return Err(ClusterError::Protocol {
+                        what: "install expected an Ack",
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one cluster-wide processing cycle: translate and route the
+    /// global batches, collect every worker's deltas, and commit the
+    /// epoch-aligned merge. The returned batch is bit-identical to what
+    /// a single-node [`cpm_core::CpmServer`] emits for the same cycle.
+    ///
+    /// # Errors
+    /// Typed routing refusals before anything is sent; worker
+    /// rejections, transport and merge errors after (the cycle is then
+    /// poisoned — see the [module docs](self) failure model).
+    pub fn process_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<CycleDeltas, ClusterError> {
+        let epoch = self.epoch + 1;
+        let (query_batches, owners) = self.route_queries(query_events)?;
+        let (object_batches, positions) = self.route_objects(object_events)?;
+        self.owners = owners;
+        self.positions = positions;
+        for w in 0..self.links.len() {
+            let msg = ClusterMsg::Batch {
+                epoch,
+                objects: object_batches[w].clone(),
+                queries: query_batches[w].encode_to_vec(),
+            };
+            self.links[w].send(&msg.to_frame())?;
+        }
+        let mut merge_spent = Duration::ZERO;
+        for link in &mut self.links {
+            match ClusterMsg::from_frame(&link.recv()?)? {
+                ClusterMsg::Deltas {
+                    worker,
+                    epoch: got,
+                    payload,
+                } => {
+                    let t = Instant::now();
+                    self.merge.offer(worker, got, payload)?;
+                    merge_spent += t.elapsed();
+                }
+                ClusterMsg::Reject { worker, reject } => {
+                    return Err(ClusterError::from_reject(worker, reject))
+                }
+                _ => {
+                    return Err(ClusterError::Protocol {
+                        what: "cycle expected a Deltas batch",
+                    })
+                }
+            }
+        }
+        let t = Instant::now();
+        let merged = self.merge.try_commit()?.ok_or(ClusterError::Protocol {
+            what: "all workers replied yet the merge barrier is incomplete",
+        })?;
+        merge_spent += t.elapsed();
+        self.last_merge = merge_spent;
+        self.epoch = epoch;
+        Ok(merged)
+    }
+
+    /// Coordinator-side merge cost of the last committed cycle: payload
+    /// reassembly into the epoch barrier, engine-delta decoding and the
+    /// canonical query-id interleave. This is the cost the cluster adds
+    /// *serially* on the coordinator regardless of how many cores the
+    /// host gives the workers, which is why the bench gate bounds it
+    /// (total cycle cost also depends on host parallelism; see
+    /// `cpm-bench`'s cluster module).
+    pub fn last_cycle_merge(&self) -> Duration {
+        self.last_merge
+    }
+
+    /// [`process_cycle`](Self::process_cycle), publishing the merged
+    /// batch into a subscription fan-out — the hub-boundary handoff: the
+    /// fan-out (and every [`cpm_sub::Replica`] downstream) cannot tell a
+    /// cluster from a single node.
+    ///
+    /// # Errors
+    /// As [`process_cycle`](Self::process_cycle).
+    pub fn process_cycle_fanout(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+        fanout: &mut DeltaFanout,
+    ) -> Result<CycleReceipt, ClusterError> {
+        let merged = self.process_cycle(object_events, query_events)?;
+        Ok(fanout.publish(&merged))
+    }
+
+    /// Hot-swap worker `w`: capture its engine snapshot over the old
+    /// link, shut the old worker down, handshake the replacement serving
+    /// on `replacement`, and seed it with the snapshot. The cluster
+    /// resumes at the current epoch with no other worker involved.
+    ///
+    /// # Errors
+    /// Transport/handshake/restore failures as typed errors; on error
+    /// the old link may already be gone (rebuild the cluster).
+    pub fn restart_worker(&mut self, w: usize, mut replacement: T) -> Result<(), ClusterError> {
+        self.links[w].send(&ClusterMsg::SnapshotReq.to_frame())?;
+        let snapshot = match ClusterMsg::from_frame(&self.links[w].recv()?)? {
+            ClusterMsg::SnapshotXfer { payload, .. } => payload,
+            ClusterMsg::Reject { worker, reject } => {
+                return Err(ClusterError::from_reject(worker, reject))
+            }
+            _ => {
+                return Err(ClusterError::Protocol {
+                    what: "snapshot request expected a SnapshotXfer",
+                })
+            }
+        };
+        self.links[w].send(&ClusterMsg::Shutdown.to_frame())?;
+        // A fresh worker starts at epoch 0; the snapshot then fast-forwards
+        // it to the cluster epoch.
+        Self::handshake(&self.config, &self.partition, w as u32, &mut replacement, 0)?;
+        let xfer = ClusterMsg::SnapshotXfer {
+            worker: w as u32,
+            epoch: self.epoch,
+            payload: snapshot,
+        };
+        replacement.send(&xfer.to_frame())?;
+        match ClusterMsg::from_frame(&replacement.recv()?)? {
+            ClusterMsg::Ack { epoch, .. } if epoch == self.epoch => {}
+            ClusterMsg::Ack { epoch, .. } => {
+                return Err(ClusterError::EpochGap {
+                    worker: w as u32,
+                    expected: self.epoch,
+                    got: epoch,
+                })
+            }
+            ClusterMsg::Reject { worker, reject } => {
+                return Err(ClusterError::from_reject(worker, reject))
+            }
+            _ => {
+                return Err(ClusterError::Protocol {
+                    what: "snapshot transfer expected an Ack",
+                })
+            }
+        }
+        self.links[w] = replacement;
+        Ok(())
+    }
+
+    /// Shut every worker down cleanly. Join the spawn handles afterwards
+    /// to observe their exit status.
+    ///
+    /// # Errors
+    /// The first send failure (a worker that already hung up).
+    pub fn shutdown(mut self) -> Result<(), ClusterError> {
+        for link in &mut self.links {
+            link.send(&ClusterMsg::Shutdown.to_frame())?;
+        }
+        Ok(())
+    }
+
+    /// Route query events to per-worker batches against a *copy* of the
+    /// ownership map, so a refusal leaves the coordinator untouched.
+    #[allow(clippy::type_complexity)]
+    fn route_queries(
+        &self,
+        events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<
+        (
+            Vec<Vec<SpecEvent<AnyQuerySpec>>>,
+            FastHashMap<QueryId, usize>,
+        ),
+        ClusterError,
+    > {
+        let mut owners = self.owners.clone();
+        let mut batches = vec![Vec::new(); self.links.len()];
+        for ev in events {
+            let w = match ev {
+                SpecEvent::Install { id, spec, .. } => {
+                    let Some(anchor) = anchor_of(spec) else {
+                        return Err(ClusterError::Protocol {
+                            what: "composite (RNN) queries cannot be installed on a cluster",
+                        });
+                    };
+                    if owners.contains_key(id) {
+                        return Err(ClusterError::Protocol {
+                            what: "install of a query id that is already installed",
+                        });
+                    }
+                    let w = self.partition.owner_of(anchor);
+                    owners.insert(*id, w);
+                    w
+                }
+                SpecEvent::Update { id, spec } => {
+                    let Some(&w) = owners.get(id) else {
+                        return Err(ClusterError::Protocol {
+                            what: "update of a query the coordinator never installed",
+                        });
+                    };
+                    let Some(anchor) = anchor_of(spec) else {
+                        return Err(ClusterError::Protocol {
+                            what: "composite (RNN) queries cannot be installed on a cluster",
+                        });
+                    };
+                    // Sticky ownership: the anchor must stay on the
+                    // owner's tile.
+                    if self.partition.owner_of(anchor) != w {
+                        return Err(ClusterError::QueryOutOfTile {
+                            qid: *id,
+                            tile: self.partition.tile(w),
+                        });
+                    }
+                    w
+                }
+                SpecEvent::Terminate { id } => {
+                    let Some(w) = owners.remove(id) else {
+                        return Err(ClusterError::Protocol {
+                            what: "terminate of a query the coordinator never installed",
+                        });
+                    };
+                    w
+                }
+            };
+            batches[w].push(ev.clone());
+        }
+        Ok((batches, owners))
+    }
+
+    /// Translate global object events into per-worker batches against a
+    /// *copy* of the position map: appear/move/disappear are rewritten
+    /// relative to each worker's coverage so its live set tracks exactly
+    /// the objects inside it.
+    #[allow(clippy::type_complexity)]
+    fn route_objects(
+        &self,
+        events: &[ObjectEvent],
+    ) -> Result<(Vec<Vec<ObjectEvent>>, FastHashMap<ObjectId, Point>), ClusterError> {
+        let mut positions = self.positions.clone();
+        let mut batches = vec![Vec::new(); self.links.len()];
+        for ev in events {
+            match *ev {
+                ObjectEvent::Appear { id, pos } => {
+                    if positions.insert(id, pos).is_some() {
+                        return Err(ClusterError::Protocol {
+                            what: "appear of an object that is already live",
+                        });
+                    }
+                    for (w, batch) in batches.iter_mut().enumerate() {
+                        if self.partition.covers(w, pos) {
+                            batch.push(ObjectEvent::Appear { id, pos });
+                        }
+                    }
+                }
+                ObjectEvent::Move { id, to } => {
+                    let Some(old) = positions.insert(id, to) else {
+                        return Err(ClusterError::Protocol {
+                            what: "move of an object that is not live",
+                        });
+                    };
+                    for (w, batch) in batches.iter_mut().enumerate() {
+                        let was = self.partition.covers(w, old);
+                        let is = self.partition.covers(w, to);
+                        match (was, is) {
+                            (true, true) => batch.push(ObjectEvent::Move { id, to }),
+                            (false, true) => batch.push(ObjectEvent::Appear { id, pos: to }),
+                            (true, false) => batch.push(ObjectEvent::Disappear { id }),
+                            (false, false) => {}
+                        }
+                    }
+                }
+                ObjectEvent::Disappear { id } => {
+                    let Some(old) = positions.remove(&id) else {
+                        return Err(ClusterError::Protocol {
+                            what: "disappear of an object that is not live",
+                        });
+                    };
+                    for (w, batch) in batches.iter_mut().enumerate() {
+                        if self.partition.covers(w, old) {
+                            batch.push(ObjectEvent::Disappear { id });
+                        }
+                    }
+                }
+            }
+        }
+        Ok((batches, positions))
+    }
+}

@@ -1,0 +1,378 @@
+//! Epoch-aligned deterministic merging of per-worker delta batches.
+//!
+//! Workers ship one engine-encoded `CycleDeltas` per cycle. The
+//! [`MergeBuffer`] is the coordinator's reassembly point: it holds each
+//! worker's payloads keyed by epoch, enforces per-worker epoch
+//! contiguity (the transports are FIFO, so an out-of-order epoch from
+//! one worker means a frame was lost — a typed
+//! [`ClusterError::EpochGap`], never a silent skip), absorbs
+//! at-least-once redelivery (byte-identical duplicates collapse;
+//! conflicting payloads for one epoch are a typed
+//! [`ClusterError::ConflictingDeltas`]), and commits an epoch only when
+//! **every** worker's batch for it has arrived — the epoch-aligned
+//! barrier that makes a mixed-epoch commit impossible by construction.
+//!
+//! Committed batches merge in canonical ascending query-id order
+//! ([`merge_deltas`]): query ownership is disjoint across workers, so
+//! the merge is a permutation-free interleave and the result is
+//! bit-identical to the single-node engine's `CycleDeltas` for the same
+//! cycle.
+
+use cpm_core::CycleDeltas;
+use cpm_wire::Decode;
+use std::collections::BTreeMap;
+
+use crate::error::ClusterError;
+
+/// Reassembles per-worker delta payloads into committed epochs.
+#[derive(Debug)]
+pub struct MergeBuffer {
+    /// Per worker: payloads received but not yet committed, by epoch.
+    pending: Vec<BTreeMap<u64, Vec<u8>>>,
+    /// Per worker: highest epoch received (contiguously) from it.
+    delivered: Vec<u64>,
+    /// The epoch the next commit will carry.
+    next_epoch: u64,
+}
+
+impl MergeBuffer {
+    /// A buffer for `workers` workers whose engines are currently at
+    /// `epoch` (the next committed cycle will be `epoch + 1`).
+    pub fn new(workers: usize, epoch: u64) -> Self {
+        assert!(workers >= 1, "a merge needs at least one worker");
+        Self {
+            pending: vec![BTreeMap::new(); workers],
+            delivered: vec![epoch; workers],
+            next_epoch: epoch + 1,
+        }
+    }
+
+    /// The epoch the next commit will produce.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Feed one `Deltas` payload from `worker`.
+    ///
+    /// * a byte-identical redelivery of a pending epoch is absorbed;
+    /// * a redelivery of an epoch at or below the worker's contiguous
+    ///   high-water mark is ignored (already committed or pending);
+    ///   if still pending, its bytes must match;
+    /// * an epoch that skips ahead of the contiguous sequence is a typed
+    ///   [`ClusterError::EpochGap`];
+    /// * two different payloads for one epoch are a typed
+    ///   [`ClusterError::ConflictingDeltas`].
+    pub fn offer(&mut self, worker: u32, epoch: u64, payload: Vec<u8>) -> Result<(), ClusterError> {
+        let w = worker as usize;
+        assert!(w < self.pending.len(), "worker index out of range");
+        if epoch <= self.delivered[w] {
+            if let Some(existing) = self.pending[w].get(&epoch) {
+                if *existing != payload {
+                    return Err(ClusterError::ConflictingDeltas { worker, epoch });
+                }
+            }
+            return Ok(());
+        }
+        if epoch != self.delivered[w] + 1 {
+            return Err(ClusterError::EpochGap {
+                worker,
+                expected: self.delivered[w] + 1,
+                got: epoch,
+            });
+        }
+        self.delivered[w] = epoch;
+        self.pending[w].insert(epoch, payload);
+        Ok(())
+    }
+
+    /// `true` once every worker's batch for the next epoch has arrived.
+    pub fn ready(&self) -> bool {
+        self.pending
+            .iter()
+            .all(|p| p.contains_key(&self.next_epoch))
+    }
+
+    /// Commit the next epoch if the barrier is complete: decode every
+    /// worker's payload, verify the stamped epochs agree, and merge in
+    /// canonical query-id order. Returns `None` while batches are still
+    /// missing.
+    pub fn try_commit(&mut self) -> Result<Option<CycleDeltas>, ClusterError> {
+        if !self.ready() {
+            return Ok(None);
+        }
+        let epoch = self.next_epoch;
+        let mut parts = Vec::with_capacity(self.pending.len());
+        for p in &mut self.pending {
+            let payload = p.remove(&epoch).expect("barrier checked");
+            parts.push(CycleDeltas::decode_all(&payload)?);
+        }
+        let merged = merge_deltas(parts, epoch)?;
+        self.next_epoch += 1;
+        Ok(Some(merged))
+    }
+}
+
+/// Merge per-worker `CycleDeltas` for one epoch into the cluster-wide
+/// batch, in canonical ascending query-id order — the same order the
+/// single-node engine emits. Every part must be stamped with `epoch`
+/// (a mismatch is a typed protocol error: committing it would mix
+/// epochs).
+pub fn merge_deltas(parts: Vec<CycleDeltas>, epoch: u64) -> Result<CycleDeltas, ClusterError> {
+    let mut merged = CycleDeltas {
+        epoch,
+        changed: Vec::new(),
+        deltas: Vec::new(),
+    };
+    for part in parts {
+        if part.epoch != epoch {
+            return Err(ClusterError::Protocol {
+                what: "worker delta batch stamped with a different epoch (mixed-epoch commit)",
+            });
+        }
+        merged.changed.extend(part.changed);
+        merged.deltas.extend(part.deltas);
+    }
+    // Ownership is disjoint, so sorting by query id is a pure interleave
+    // — exactly the canonical order `CycleDeltas::canonicalize` pins.
+    merged.changed.sort_unstable();
+    merged.deltas.sort_unstable_by_key(|(qid, _)| *qid);
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::delta::DeltaBuf;
+    use cpm_core::NeighborDelta;
+    use cpm_geom::{ObjectId, QueryId};
+    use cpm_wire::Encode;
+
+    /// A tiny synthetic per-worker batch: `qids` changed, one delta per
+    /// qid removing object `epoch`.
+    fn batch(epoch: u64, qids: &[u32]) -> CycleDeltas {
+        CycleDeltas {
+            epoch,
+            changed: qids.iter().map(|&q| QueryId(q)).collect(),
+            deltas: qids
+                .iter()
+                .map(|&q| {
+                    let mut removed = DeltaBuf::new();
+                    removed.push(ObjectId(epoch as u32));
+                    (
+                        QueryId(q),
+                        NeighborDelta {
+                            epoch,
+                            added: DeltaBuf::new(),
+                            removed,
+                            reordered: DeltaBuf::new(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn payload(epoch: u64, qids: &[u32]) -> Vec<u8> {
+        batch(epoch, qids).encode_to_vec()
+    }
+
+    #[test]
+    fn barrier_commits_only_complete_epochs_in_canonical_order() {
+        let mut m = MergeBuffer::new(2, 0);
+        m.offer(0, 1, payload(1, &[0, 4])).unwrap();
+        assert!(m.try_commit().unwrap().is_none(), "worker 1 still missing");
+        m.offer(1, 1, payload(1, &[2])).unwrap();
+        let c = m.try_commit().unwrap().unwrap();
+        assert_eq!(c.epoch, 1);
+        assert_eq!(c.changed, vec![QueryId(0), QueryId(2), QueryId(4)]);
+        let qids: Vec<u32> = c.deltas.iter().map(|(q, _)| q.0).collect();
+        assert_eq!(qids, vec![0, 2, 4]);
+        assert_eq!(m.next_epoch(), 2);
+    }
+
+    #[test]
+    fn duplicates_collapse_and_conflicts_are_typed() {
+        let mut m = MergeBuffer::new(1, 0);
+        m.offer(0, 1, payload(1, &[3])).unwrap();
+        // Byte-identical redelivery: absorbed.
+        m.offer(0, 1, payload(1, &[3])).unwrap();
+        // Same epoch, different bytes: refused.
+        assert_eq!(
+            m.offer(0, 1, payload(1, &[5])),
+            Err(ClusterError::ConflictingDeltas {
+                worker: 0,
+                epoch: 1
+            })
+        );
+    }
+
+    #[test]
+    fn skipping_an_epoch_is_a_typed_gap() {
+        let mut m = MergeBuffer::new(1, 0);
+        m.offer(0, 1, payload(1, &[1])).unwrap();
+        assert_eq!(
+            m.offer(0, 3, payload(3, &[1])),
+            Err(ClusterError::EpochGap {
+                worker: 0,
+                expected: 2,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn stale_redelivery_of_a_committed_epoch_is_ignored() {
+        let mut m = MergeBuffer::new(1, 0);
+        m.offer(0, 1, payload(1, &[1])).unwrap();
+        m.try_commit().unwrap().unwrap();
+        m.offer(0, 1, payload(1, &[1])).unwrap();
+        assert!(m.try_commit().unwrap().is_none());
+        m.offer(0, 2, payload(2, &[1])).unwrap();
+        assert_eq!(m.try_commit().unwrap().unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn mismatched_epoch_stamp_cannot_commit() {
+        // A payload whose *stamped* epoch disagrees with its frame epoch
+        // would mix epochs in one commit; the merge refuses.
+        let mut m = MergeBuffer::new(1, 0);
+        m.offer(0, 1, payload(9, &[1])).unwrap();
+        assert!(matches!(m.try_commit(), Err(ClusterError::Protocol { .. })));
+    }
+
+    #[test]
+    fn corrupt_payload_bytes_are_wire_errors() {
+        let mut m = MergeBuffer::new(1, 0);
+        let mut bytes = payload(1, &[1]);
+        bytes.truncate(bytes.len() - 1);
+        m.offer(0, 1, bytes).unwrap();
+        assert!(matches!(m.try_commit(), Err(ClusterError::Wire(_))));
+    }
+
+    mod prop {
+        use super::*;
+        use cpm_gen::{Corruption, FaultPlan};
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        /// Replay a mangled frame schedule into a fresh buffer exactly as
+        /// the coordinator would — decode each `ClusterMsg::Deltas` frame
+        /// (this is where the CRC catches in-flight damage), then offer
+        /// its payload. Returns the committed epochs, or the typed error
+        /// that stopped them.
+        fn drive(workers: u32, frames: &[Vec<u8>]) -> Result<Vec<CycleDeltas>, ClusterError> {
+            let mut m = MergeBuffer::new(workers as usize, 0);
+            let mut committed = Vec::new();
+            for f in frames {
+                match cpm_wire::cluster::ClusterMsg::from_frame(f)? {
+                    cpm_wire::cluster::ClusterMsg::Deltas {
+                        worker,
+                        epoch,
+                        payload,
+                    } => m.offer(worker, epoch, payload)?,
+                    _ => {
+                        return Err(ClusterError::Protocol {
+                            what: "delta plane expected a Deltas frame",
+                        })
+                    }
+                }
+                while let Some(c) = m.try_commit()? {
+                    committed.push(c);
+                }
+            }
+            Ok(committed)
+        }
+
+        proptest! {
+            /// Satellite: delayed/duplicated/reordered `Deltas` frames —
+            /// the fault vocabulary of `cpm-gen`'s recovery plans applied
+            /// to the delta plane — either merge identically to the
+            /// clean schedule or surface a typed epoch-gap/conflict
+            /// error; a commit never mixes epochs.
+            #[test]
+            fn faulted_delta_streams_merge_identically_or_fail_typed(
+                seed in 0u64..1u64 << 48,
+                workers in 1u32..4,
+                epochs in 1u64..6,
+            ) {
+                let qid_of = |w: u32, e: u64| w + workers * (e as u32 % 2);
+                // The clean per-worker schedule, one wire frame per
+                // (worker, epoch) — the shape workers actually ship.
+                let mut frames: Vec<Vec<u8>> = Vec::new();
+                for e in 1..=epochs {
+                    for w in 0..workers {
+                        let msg = cpm_wire::cluster::ClusterMsg::Deltas {
+                            worker: w,
+                            epoch: e,
+                            payload: payload(e, &[qid_of(w, e)]),
+                        };
+                        frames.push(msg.to_frame());
+                    }
+                }
+                let reference = drive(workers, &frames).unwrap();
+                prop_assert_eq!(reference.len() as u64, epochs);
+
+                // Mangle the schedule with the seeded fault plan.
+                let plan = FaultPlan::from_seed(seed, epochs as u32);
+                let mut rng = StdRng::seed_from_u64(plan.site_seed);
+                let mut mangled = frames.clone();
+                match plan.corruption {
+                    Corruption::None => {}
+                    // The relay redelivered a frame (at-least-once).
+                    Corruption::DuplicateFrame => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let dup = mangled[i].clone();
+                        let at = rng.gen_range(i..=mangled.len());
+                        mangled.insert(at, dup);
+                    }
+                    // Two frames arrive swapped (delay = reorder).
+                    Corruption::ReorderFrames => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let j = rng.gen_range(0..mangled.len());
+                        mangled.swap(i, j);
+                    }
+                    // The stream tail never arrives (indefinite delay):
+                    // the barrier holds the incomplete epoch back and the
+                    // committed prefix stays identical.
+                    Corruption::TruncateTail => {
+                        let keep = rng.gen_range(0..mangled.len());
+                        mangled.truncate(keep);
+                    }
+                    // A frame got damaged in flight: the CRC (or header
+                    // validation) catches it at decode as a typed wire
+                    // error — damaged bytes never reach the merge.
+                    Corruption::BitFlipJournal | Corruption::BitFlipSnapshot => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let b = rng.gen_range(0..mangled[i].len());
+                        mangled[i][b] ^= 1 << rng.gen_range(0..8u8);
+                    }
+                }
+
+                match drive(workers, &mangled) {
+                    Ok(committed) => {
+                        // Every commit is epoch-pure and consecutive…
+                        for (i, c) in committed.iter().enumerate() {
+                            prop_assert_eq!(c.epoch, i as u64 + 1);
+                            for (_, d) in &c.deltas {
+                                prop_assert_eq!(d.epoch, c.epoch);
+                            }
+                        }
+                        // …and a fully committed run is bit-identical to
+                        // the clean schedule.
+                        for (got, want) in committed.iter().zip(&reference) {
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                    Err(
+                        ClusterError::EpochGap { .. }
+                        | ClusterError::ConflictingDeltas { .. }
+                        | ClusterError::Wire(_)
+                        | ClusterError::Protocol { .. },
+                    ) => {}
+                    Err(other) => prop_assert!(false, "untyped failure: {}", other),
+                }
+            }
+        }
+    }
+}

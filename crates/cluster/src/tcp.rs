@@ -1,0 +1,137 @@
+//! TCP loopback backend for the cluster [`Transport`] — plain
+//! `std::net::TcpStream`, no extra dependencies.
+//!
+//! Frames are already self-delimiting (`cpm-wire` puts the payload
+//! length at a fixed header offset), so the socket carries them
+//! back-to-back with no additional envelope: a reader pulls the
+//! 12-byte header, learns the payload length, then pulls payload + CRC.
+//! Corruption is the frame codec's problem (typed `WireError`s);
+//! this layer only turns socket failures into
+//! [`TransportError`]s.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::transport::{Transport, TransportError};
+
+/// Bytes before the `len` field in a `cpm-wire` frame header
+/// (magic `u32` + version `u16` + kind `u16`).
+const LEN_OFFSET: usize = 8;
+/// Full header size: the fields above plus the `len: u32` itself.
+const HEADER: usize = 12;
+/// Trailing CRC-32 size.
+const TRAILER: usize = 4;
+/// Refuse frames claiming more than this (a corrupt length prefix must
+/// not trigger a giant allocation; a snapshot of millions of objects
+/// fits comfortably).
+const MAX_FRAME: usize = 1 << 30;
+
+fn io_err(e: std::io::Error) -> TransportError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        TransportError::Closed
+    } else {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// A connected TCP transport end.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connect to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(Self { stream })
+    }
+
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(Self { stream })
+    }
+
+    /// Accept exactly one connection on `listener`.
+    pub fn accept_one(listener: &TcpListener) -> Result<Self, TransportError> {
+        let (stream, _) = listener.accept().map_err(io_err)?;
+        Self::from_stream(stream)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(frame).map_err(io_err)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let mut header = [0u8; HEADER];
+        if let Err(e) = self.stream.read_exact(&mut header) {
+            // EOF on a frame boundary is a clean hang-up.
+            return Err(io_err(e));
+        }
+        let len = u32::from_le_bytes(
+            header[LEN_OFFSET..HEADER]
+                .try_into()
+                .expect("fixed 4-byte slice"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Io(format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        let mut frame = vec![0u8; HEADER + len + TRAILER];
+        frame[..HEADER].copy_from_slice(&header);
+        self.stream
+            .read_exact(&mut frame[HEADER..])
+            .map_err(io_err)?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_wire::cluster::ClusterMsg;
+
+    #[test]
+    fn frames_roundtrip_over_a_loopback_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept_one(&listener).unwrap();
+            // Echo two frames back-to-back, then read one.
+            let f1 = t.recv().unwrap();
+            let f2 = t.recv().unwrap();
+            t.send(&f2).unwrap();
+            t.send(&f1).unwrap();
+        });
+        let mut t = TcpTransport::connect(addr).unwrap();
+        let a = ClusterMsg::SnapshotReq.to_frame();
+        let b = ClusterMsg::Ack {
+            worker: 3,
+            epoch: 9,
+        }
+        .to_frame();
+        t.send(&a).unwrap();
+        t.send(&b).unwrap();
+        assert_eq!(t.recv().unwrap(), b);
+        assert_eq!(t.recv().unwrap(), a);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn peer_hangup_is_a_clean_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let t = TcpTransport::connect(addr).unwrap();
+            drop(t);
+        });
+        let mut t = TcpTransport::accept_one(&listener).unwrap();
+        client.join().unwrap();
+        assert_eq!(t.recv(), Err(TransportError::Closed));
+    }
+}

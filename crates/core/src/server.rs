@@ -822,6 +822,39 @@ impl CpmServer {
         self.engine.update_spec(id, spec)
     }
 
+    /// Install a (non-RNN) query from its unified spec — the
+    /// programmatic twin of a batched [`SpecEvent::Install`], for
+    /// routing layers (e.g. a cluster worker) that carry
+    /// [`AnyQuerySpec`] values instead of typed handles. Range installs
+    /// have `k` normalized to [`RangeQuery::UNBOUNDED_K`], matching the
+    /// batched event surface. Returns the freshly computed result.
+    ///
+    /// # Errors
+    /// [`CpmError::ReservedId`], [`CpmError::DuplicateQuery`],
+    /// [`CpmError::InvalidK`]; [`CpmError::CompositeQuery`] for an RNN
+    /// sector spec (composite queries install via
+    /// [`CpmServer::install_rnn`]).
+    pub fn install_spec(
+        &mut self,
+        id: QueryId,
+        spec: AnyQuerySpec,
+        k: usize,
+    ) -> Result<&[Neighbor], CpmError> {
+        self.check_fresh(id)?;
+        let kind = spec.kind();
+        if kind == QueryKind::Rnn {
+            return Err(CpmError::CompositeQuery(id));
+        }
+        let k = if kind == QueryKind::Range {
+            RangeQuery::UNBOUNDED_K
+        } else {
+            k
+        };
+        self.engine.install(id, spec, k)?;
+        self.kinds.insert(id, kind);
+        Ok(self.engine.result(id).expect("just installed"))
+    }
+
     /// Terminate query `id`, of any kind.
     ///
     /// # Errors

@@ -10,6 +10,9 @@
 //! * [`recovery`] — the crash-recovery chaos harness
 //!   ([`verify_recovery`]): seeded crash/corruption schedules over the
 //!   durable server, asserting bit-identical recovery.
+//! * [`cluster`] — the distributed conformance harness
+//!   ([`verify_cluster`]): coordinator-routed multi-worker runs asserting
+//!   merged delta streams bit-identical to a single node.
 //! * [`runner`] — timed replay, per-run reports, and the
 //!   oracle-verification harnesses used by the integration tests
 //!   (contender agreement, sharded determinism, delta-stream replay,
@@ -20,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algo;
+pub mod cluster;
 pub mod oracle;
 pub mod params;
 pub mod recovery;
@@ -28,6 +32,7 @@ pub mod stream;
 pub mod viz;
 
 pub use algo::{AlgoKind, KnnMonitorAlgo};
+pub use cluster::{verify_cluster, verify_cluster_tcp};
 pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
 pub use recovery::verify_recovery;

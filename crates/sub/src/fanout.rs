@@ -1,0 +1,250 @@
+//! Engine-less delta fan-out: the hub's mailbox delivery model fed from
+//! an externally produced [`CycleDeltas`] stream instead of a local
+//! engine.
+//!
+//! A [`SubscriptionHub`](crate::SubscriptionHub) runs the engine itself;
+//! a [`DeltaFanout`] sits one layer downstream and only *distributes* —
+//! a cluster coordinator publishes each merged cross-worker
+//! `CycleDeltas` batch into it and subscribers drain per-query mailboxes
+//! exactly as they would from a hub. Because the merged batches are
+//! bit-identical to a single-node engine's, everything downstream of the
+//! hub boundary (mailboxes, lag accounting, [`Replica`] folding, resync)
+//! carries over unchanged.
+//!
+//! The fan-out keeps one authoritative [`Replica`] per subscription, so
+//! a lagged subscriber can [`resync`](DeltaFanout::resync) from the
+//! fan-out itself without reaching back to the delta producer.
+
+use std::collections::VecDeque;
+
+use cpm_core::{CycleDeltas, Neighbor, NeighborDelta};
+use cpm_geom::{FastHashMap, QueryId};
+
+use crate::hub::CycleReceipt;
+use crate::replica::Replica;
+
+/// One subscription's delivery state.
+#[derive(Debug, Default)]
+struct Mailbox {
+    queue: VecDeque<NeighborDelta>,
+    /// Deltas evicted because the queue was full; non-zero means the
+    /// stream is no longer lossless for this subscriber.
+    dropped: u64,
+}
+
+/// Per-query mailbox delivery over an external epoch-numbered
+/// [`CycleDeltas`] stream; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct DeltaFanout {
+    epoch: u64,
+    subs: FastHashMap<QueryId, (Mailbox, Replica)>,
+    mailbox_cap: usize,
+}
+
+impl DeltaFanout {
+    /// An empty fan-out at epoch 0 with unbounded mailboxes.
+    pub fn new() -> Self {
+        Self {
+            epoch: 0,
+            subs: FastHashMap::default(),
+            mailbox_cap: usize::MAX,
+        }
+    }
+
+    /// A fan-out that resumes at `epoch` (a coordinator restarted from a
+    /// snapshot publishes its next cycle as `epoch + 1`).
+    pub fn from_epoch(epoch: u64) -> Self {
+        Self {
+            epoch,
+            ..Self::new()
+        }
+    }
+
+    /// Epoch of the last published batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bound every mailbox to `cap ≥ 1` buffered deltas; on overflow the
+    /// **oldest** delta is evicted and the subscriber flagged as lagged.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn set_mailbox_capacity(&mut self, cap: usize) {
+        assert!(cap >= 1, "a mailbox must hold at least one delta");
+        self.mailbox_cap = cap;
+    }
+
+    /// Register a subscription. Returns `false` (and changes nothing) if
+    /// `id` is already registered. Registration only opens the delivery
+    /// channel — installing the query where results are computed is the
+    /// producer's job.
+    pub fn subscribe(&mut self, id: QueryId) -> bool {
+        if self.subs.contains_key(&id) {
+            return false;
+        }
+        self.subs.insert(
+            id,
+            (
+                Mailbox::default(),
+                Replica::from_snapshot(self.epoch, Vec::new()),
+            ),
+        );
+        true
+    }
+
+    /// Drop a subscription and its undelivered backlog. Returns `false`
+    /// if `id` was not registered.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        self.subs.remove(&id).is_some()
+    }
+
+    /// Registered subscription count.
+    pub fn subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Publish one cycle's merged batch: fold every delta into its
+    /// subscription's authoritative replica and enqueue it for delivery.
+    /// Deltas for queries nobody subscribed to are counted in the receipt
+    /// but not buffered.
+    ///
+    /// # Panics
+    /// Panics if `batch.epoch` is not exactly one past the last published
+    /// epoch — the producer skipped or replayed a cycle, and folding it
+    /// would corrupt every replica.
+    pub fn publish(&mut self, batch: &CycleDeltas) -> CycleReceipt {
+        assert_eq!(
+            batch.epoch,
+            self.epoch + 1,
+            "publish of epoch {} onto a fan-out at {}",
+            batch.epoch,
+            self.epoch
+        );
+        self.epoch = batch.epoch;
+        let mut entries = 0;
+        for (qid, delta) in &batch.deltas {
+            entries += delta.added.len() + delta.removed.len() + delta.reordered.len();
+            let Some((mailbox, replica)) = self.subs.get_mut(qid) else {
+                continue;
+            };
+            replica.apply(delta);
+            if mailbox.queue.len() >= self.mailbox_cap {
+                mailbox.queue.pop_front();
+                mailbox.dropped += 1;
+            }
+            mailbox.queue.push_back(delta.clone());
+        }
+        CycleReceipt {
+            epoch: batch.epoch,
+            changed: batch.changed.len(),
+            deltas: batch.deltas.len(),
+            entries,
+        }
+    }
+
+    /// Drain subscription `id`'s buffered deltas, oldest first. Unknown
+    /// ids drain empty.
+    pub fn drain(&mut self, id: QueryId) -> Vec<NeighborDelta> {
+        self.subs
+            .get_mut(&id)
+            .map(|(m, _)| m.queue.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// `true` if subscription `id` has lost deltas to mailbox overflow
+    /// since its last [`resync`](Self::resync).
+    pub fn lagged(&self, id: QueryId) -> bool {
+        self.subs.get(&id).is_some_and(|(m, _)| m.dropped > 0)
+    }
+
+    /// A lagged subscriber's recovery path: the authoritative result as
+    /// of the last published epoch. Clears the backlog and the lag flag —
+    /// deltas published after this call replay losslessly on top.
+    /// Returns `None` for unknown ids.
+    pub fn resync(&mut self, id: QueryId) -> Option<(u64, Vec<Neighbor>)> {
+        let (mailbox, replica) = self.subs.get_mut(&id)?;
+        mailbox.queue.clear();
+        mailbox.dropped = 0;
+        Some((replica.epoch(), replica.result().to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_geom::ObjectId;
+
+    fn n(id: u32, dist: f64) -> Neighbor {
+        Neighbor {
+            id: ObjectId(id),
+            dist,
+        }
+    }
+
+    fn batch(epoch: u64, qid: u32, added: Vec<Neighbor>) -> CycleDeltas {
+        CycleDeltas {
+            epoch,
+            changed: vec![QueryId(qid)],
+            deltas: vec![(
+                QueryId(qid),
+                NeighborDelta {
+                    epoch,
+                    added: added.into(),
+                    ..NeighborDelta::default()
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn publishes_into_mailboxes_and_replicas() {
+        let mut f = DeltaFanout::new();
+        assert!(f.subscribe(QueryId(7)));
+        assert!(!f.subscribe(QueryId(7)));
+        let receipt = f.publish(&batch(1, 7, vec![n(1, 0.2), n(2, 0.5)]));
+        assert_eq!((receipt.epoch, receipt.deltas, receipt.entries), (1, 1, 2));
+        let drained = f.drain(QueryId(7));
+        assert_eq!(drained.len(), 1);
+        let mut r = Replica::new();
+        r.apply(&drained[0]);
+        assert_eq!(r.result(), &[n(1, 0.2), n(2, 0.5)]);
+        // The fan-out's own replica agrees.
+        assert_eq!(
+            f.resync(QueryId(7)).unwrap(),
+            (1, vec![n(1, 0.2), n(2, 0.5)])
+        );
+    }
+
+    #[test]
+    fn bounded_mailboxes_lag_and_resync_recovers() {
+        let mut f = DeltaFanout::new();
+        f.set_mailbox_capacity(1);
+        f.subscribe(QueryId(3));
+        f.publish(&batch(1, 3, vec![n(1, 0.2)]));
+        f.publish(&batch(2, 3, vec![n(2, 0.1)]));
+        assert!(f.lagged(QueryId(3)));
+        // The backlog is no longer lossless; resync hands the full result.
+        let (epoch, result) = f.resync(QueryId(3)).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(result, vec![n(2, 0.1), n(1, 0.2)]);
+        assert!(!f.lagged(QueryId(3)));
+        assert!(f.drain(QueryId(3)).is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_queries_are_counted_but_not_buffered() {
+        let mut f = DeltaFanout::new();
+        let receipt = f.publish(&batch(1, 9, vec![n(1, 0.2)]));
+        assert_eq!(receipt.deltas, 1);
+        assert!(f.drain(QueryId(9)).is_empty());
+        assert_eq!(f.subscriptions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "publish of epoch")]
+    fn rejects_non_contiguous_epochs() {
+        let mut f = DeltaFanout::from_epoch(4);
+        f.publish(&batch(6, 1, vec![n(1, 0.2)]));
+    }
+}

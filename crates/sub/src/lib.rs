@@ -60,9 +60,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fanout;
 pub mod hub;
 pub mod replica;
 
+pub use fanout::DeltaFanout;
 pub use hub::{
     CycleReceipt, KnnSubscriptionHub, RangeSubscriptionHub, SubscriptionHub, UnifiedSubscriptionHub,
 };

@@ -1,0 +1,732 @@
+//! The coordinator/worker message schema of the `cpm-cluster` subsystem.
+//!
+//! Every message crossing the cluster boundary is one [`ClusterMsg`]
+//! wrapped in a [`crate::FRAME_CLUSTER`] frame, so the transport layer
+//! ships opaque length-prefixed byte strings and version skew, truncation
+//! and bit rot all surface as typed [`WireError`]s before any cluster
+//! logic runs.
+//!
+//! The schema layers the same way [`crate`] itself does: fields whose
+//! types live *below* the engine (ids, events, cell rectangles, epochs)
+//! are first-class and individually validated, while engine-owned values
+//! (query-event batches, per-cycle delta batches, full snapshots — all of
+//! which already have `Encode`/`Decode` impls in `cpm-core`) travel as
+//! pre-encoded `payload` byte strings. That keeps `cpm-wire` free of a
+//! dependency on the engine crate while every byte still rides one
+//! checksummed frame format.
+//!
+//! Worker tiles are [`TileRect`]s: inclusive cell-coordinate rectangles
+//! over the coordinator's grid geometry. The coordinator partitions the
+//! workspace into disjoint tiles and hands each worker a *coverage*
+//! rectangle — its tile expanded by the boundary-overlap margin — so the
+//! messages carry both.
+
+use crate::{
+    decode_framed, encode_framed, Decode, Encode, Reader, WireError, Writer, FRAME_CLUSTER,
+};
+use cpm_geom::{ObjectId, QueryId};
+use cpm_grid::{CellCoord, IndexKind, ObjectEvent};
+
+/// An inclusive rectangle of grid cells: columns `c0..=c1`, rows
+/// `r0..=r1`. The unit of workspace partitioning (worker tiles and
+/// coverage regions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRect {
+    /// First column (inclusive).
+    pub c0: u32,
+    /// First row (inclusive).
+    pub r0: u32,
+    /// Last column (inclusive).
+    pub c1: u32,
+    /// Last row (inclusive).
+    pub r1: u32,
+}
+
+impl TileRect {
+    /// Build a tile rectangle.
+    ///
+    /// # Panics
+    /// Panics if the bounds are inverted.
+    pub fn new(c0: u32, r0: u32, c1: u32, r1: u32) -> Self {
+        assert!(c0 <= c1 && r0 <= r1, "inverted tile bounds");
+        Self { c0, r0, c1, r1 }
+    }
+
+    /// `true` if cell `(col, row)` lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, col: u32, row: u32) -> bool {
+        self.c0 <= col && col <= self.c1 && self.r0 <= row && row <= self.r1
+    }
+
+    /// `true` if `cell` lies inside the rectangle.
+    #[inline]
+    pub fn contains_cell(&self, cell: CellCoord) -> bool {
+        self.contains(cell.col, cell.row)
+    }
+
+    /// `true` if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &TileRect) -> bool {
+        self.c0 <= other.c0 && other.c1 <= self.c1 && self.r0 <= other.r0 && other.r1 <= self.r1
+    }
+
+    /// The rectangle grown by `margin` cells on every side, clamped to a
+    /// `dim × dim` grid.
+    pub fn expanded(&self, margin: u32, dim: u32) -> Self {
+        Self {
+            c0: self.c0.saturating_sub(margin),
+            r0: self.r0.saturating_sub(margin),
+            c1: (self.c1 + margin).min(dim - 1),
+            r1: (self.r1 + margin).min(dim - 1),
+        }
+    }
+}
+
+impl Encode for TileRect {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.c0);
+        w.put_u32(self.r0);
+        w.put_u32(self.c1);
+        w.put_u32(self.r1);
+    }
+}
+
+impl Decode for TileRect {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        let (c0, r0, c1, r1) = (r.take_u32()?, r.take_u32()?, r.take_u32()?, r.take_u32()?);
+        if c0 > c1 || r0 > r1 {
+            return Err(WireError::Invalid {
+                offset: at,
+                what: "inverted tile rectangle bounds",
+            });
+        }
+        Ok(Self { c0, r0, c1, r1 })
+    }
+}
+
+/// Why a worker refused a message — the wire image of the cluster
+/// layer's typed errors. Carried by [`ClusterMsg::Reject`]; never a
+/// silent drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterReject {
+    /// The peer speaks a different wire version.
+    VersionSkew {
+        /// The rejecting side's version.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// A batch arrived out of sequence: the worker expected the next
+    /// epoch and refuses to fabricate or skip history.
+    EpochGap {
+        /// The epoch the worker was ready to run.
+        expected: u64,
+        /// The epoch the message carried.
+        got: u64,
+    },
+    /// An object event was routed to a worker whose coverage does not
+    /// contain it — the whole batch is refused before any state changes.
+    PartitionMismatch {
+        /// The misrouted object.
+        oid: ObjectId,
+        /// The coverage tile the position falls outside of.
+        tile: TileRect,
+    },
+    /// A query was routed to a worker whose tile does not own its anchor
+    /// point.
+    QueryOutOfTile {
+        /// The misrouted query.
+        qid: QueryId,
+        /// The ownership tile the anchor falls outside of.
+        tile: TileRect,
+    },
+    /// A query's influence region grew past the worker's coverage, so
+    /// local results can no longer be certified globally correct.
+    CoverageExceeded {
+        /// The escaping query.
+        qid: QueryId,
+        /// The coverage tile the influence region escaped.
+        tile: TileRect,
+    },
+    /// The worker's engine refused the batch (a `CpmError`, rendered).
+    Engine {
+        /// The engine error's display form.
+        detail: String,
+    },
+}
+
+impl Encode for ClusterReject {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ClusterReject::VersionSkew { ours, theirs } => {
+                w.put_u8(0);
+                w.put_u16(*ours);
+                w.put_u16(*theirs);
+            }
+            ClusterReject::EpochGap { expected, got } => {
+                w.put_u8(1);
+                w.put_u64(*expected);
+                w.put_u64(*got);
+            }
+            ClusterReject::PartitionMismatch { oid, tile } => {
+                w.put_u8(2);
+                oid.encode(w);
+                tile.encode(w);
+            }
+            ClusterReject::QueryOutOfTile { qid, tile } => {
+                w.put_u8(3);
+                qid.encode(w);
+                tile.encode(w);
+            }
+            ClusterReject::CoverageExceeded { qid, tile } => {
+                w.put_u8(4);
+                qid.encode(w);
+                tile.encode(w);
+            }
+            ClusterReject::Engine { detail } => {
+                w.put_u8(5);
+                detail.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ClusterReject {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        Ok(match r.take_u8()? {
+            0 => ClusterReject::VersionSkew {
+                ours: r.take_u16()?,
+                theirs: r.take_u16()?,
+            },
+            1 => ClusterReject::EpochGap {
+                expected: r.take_u64()?,
+                got: r.take_u64()?,
+            },
+            2 => ClusterReject::PartitionMismatch {
+                oid: ObjectId::decode(r)?,
+                tile: TileRect::decode(r)?,
+            },
+            3 => ClusterReject::QueryOutOfTile {
+                qid: QueryId::decode(r)?,
+                tile: TileRect::decode(r)?,
+            },
+            4 => ClusterReject::CoverageExceeded {
+                qid: QueryId::decode(r)?,
+                tile: TileRect::decode(r)?,
+            },
+            5 => ClusterReject::Engine {
+                detail: String::decode(r)?,
+            },
+            _ => {
+                return Err(WireError::Invalid {
+                    offset: at,
+                    what: "unknown cluster-reject tag",
+                })
+            }
+        })
+    }
+}
+
+/// One message of the coordinator ⇄ worker protocol.
+///
+/// `payload` fields are pre-encoded engine values (the engine crate owns
+/// their `Encode`/`Decode` impls): query-event batches for `Install` and
+/// `Batch`, a `CycleDeltas` batch for `Deltas`, and a full snapshot
+/// frame for `SnapshotXfer`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterMsg {
+    /// Coordinator → worker: your assignment. The worker checks the
+    /// version and builds a server for `dim`/`index`, owning `tile` and
+    /// ingesting `coverage`.
+    Hello {
+        /// The coordinator's wire version ([`crate::WIRE_VERSION`]).
+        version: u16,
+        /// The worker's index in the cluster.
+        worker: u32,
+        /// Grid resolution (cells per axis).
+        dim: u32,
+        /// Spatial-index backend every worker must run.
+        index: IndexKind,
+        /// The worker's ownership tile (disjoint across workers).
+        tile: TileRect,
+        /// The worker's ingest region: `tile` plus the overlap margin.
+        coverage: TileRect,
+    },
+    /// Worker → coordinator: assignment accepted; echoes the version and
+    /// reports the engine epoch (non-zero after a snapshot restore).
+    HelloAck {
+        /// The worker's index.
+        worker: u32,
+        /// The worker's wire version.
+        version: u16,
+        /// The worker engine's current epoch.
+        epoch: u64,
+    },
+    /// Coordinator → worker: install queries *between* cycles (no epoch
+    /// advance). Payload: an engine-encoded query-event batch.
+    Install {
+        /// Engine-encoded `Vec<SpecEvent<AnyQuerySpec>>`.
+        payload: Vec<u8>,
+    },
+    /// Coordinator → worker: run one processing cycle.
+    Batch {
+        /// The epoch this cycle will produce (worker epoch + 1).
+        epoch: u64,
+        /// Object events, already routed/translated to this worker's
+        /// coverage.
+        objects: Vec<ObjectEvent>,
+        /// Engine-encoded `Vec<SpecEvent<AnyQuerySpec>>` for queries this
+        /// worker owns.
+        queries: Vec<u8>,
+    },
+    /// Worker → coordinator: the cycle's result deltas.
+    Deltas {
+        /// The worker's index.
+        worker: u32,
+        /// The epoch the cycle produced.
+        epoch: u64,
+        /// Engine-encoded `CycleDeltas`.
+        payload: Vec<u8>,
+    },
+    /// Coordinator → worker: ship your full state (for a restart
+    /// handoff).
+    SnapshotReq,
+    /// Worker ⇄ coordinator: a full engine snapshot. Sent by a worker
+    /// answering [`ClusterMsg::SnapshotReq`]; sent by the coordinator to
+    /// seed a replacement worker.
+    SnapshotXfer {
+        /// The worker's index.
+        worker: u32,
+        /// The epoch the snapshot captures.
+        epoch: u64,
+        /// A full snapshot frame (`Snapshot::to_frame` bytes).
+        payload: Vec<u8>,
+    },
+    /// Worker → coordinator: message applied, no deltas to report.
+    Ack {
+        /// The worker's index.
+        worker: u32,
+        /// The worker engine's epoch after applying.
+        epoch: u64,
+    },
+    /// Worker → coordinator: message refused, nothing changed.
+    Reject {
+        /// The worker's index.
+        worker: u32,
+        /// Why.
+        reject: ClusterReject,
+    },
+    /// Coordinator → worker: exit the serve loop.
+    Shutdown,
+}
+
+impl ClusterMsg {
+    /// Encode into one [`FRAME_CLUSTER`] frame, ready for a transport.
+    pub fn to_frame(&self) -> Vec<u8> {
+        encode_framed(FRAME_CLUSTER, self)
+    }
+
+    /// Decode from one [`FRAME_CLUSTER`] frame.
+    pub fn from_frame(bytes: &[u8]) -> Result<Self, WireError> {
+        decode_framed(FRAME_CLUSTER, bytes)
+    }
+}
+
+impl Encode for ClusterMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ClusterMsg::Hello {
+                version,
+                worker,
+                dim,
+                index,
+                tile,
+                coverage,
+            } => {
+                w.put_u8(0);
+                w.put_u16(*version);
+                w.put_u32(*worker);
+                w.put_u32(*dim);
+                index.encode(w);
+                tile.encode(w);
+                coverage.encode(w);
+            }
+            ClusterMsg::HelloAck {
+                worker,
+                version,
+                epoch,
+            } => {
+                w.put_u8(1);
+                w.put_u32(*worker);
+                w.put_u16(*version);
+                w.put_u64(*epoch);
+            }
+            ClusterMsg::Install { payload } => {
+                w.put_u8(2);
+                payload.encode(w);
+            }
+            ClusterMsg::Batch {
+                epoch,
+                objects,
+                queries,
+            } => {
+                w.put_u8(3);
+                w.put_u64(*epoch);
+                objects.encode(w);
+                queries.encode(w);
+            }
+            ClusterMsg::Deltas {
+                worker,
+                epoch,
+                payload,
+            } => {
+                w.put_u8(4);
+                w.put_u32(*worker);
+                w.put_u64(*epoch);
+                payload.encode(w);
+            }
+            ClusterMsg::SnapshotReq => w.put_u8(5),
+            ClusterMsg::SnapshotXfer {
+                worker,
+                epoch,
+                payload,
+            } => {
+                w.put_u8(6);
+                w.put_u32(*worker);
+                w.put_u64(*epoch);
+                payload.encode(w);
+            }
+            ClusterMsg::Ack { worker, epoch } => {
+                w.put_u8(7);
+                w.put_u32(*worker);
+                w.put_u64(*epoch);
+            }
+            ClusterMsg::Reject { worker, reject } => {
+                w.put_u8(8);
+                w.put_u32(*worker);
+                reject.encode(w);
+            }
+            ClusterMsg::Shutdown => w.put_u8(9),
+        }
+    }
+}
+
+impl Decode for ClusterMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let at = r.offset();
+        Ok(match r.take_u8()? {
+            0 => {
+                let version = r.take_u16()?;
+                let worker = r.take_u32()?;
+                let dim = r.take_u32()?;
+                let index = IndexKind::decode(r)?;
+                let tile = TileRect::decode(r)?;
+                let coverage = TileRect::decode(r)?;
+                if !coverage.contains_rect(&tile) {
+                    return Err(WireError::Invalid {
+                        offset: at,
+                        what: "worker coverage does not contain its tile",
+                    });
+                }
+                ClusterMsg::Hello {
+                    version,
+                    worker,
+                    dim,
+                    index,
+                    tile,
+                    coverage,
+                }
+            }
+            1 => ClusterMsg::HelloAck {
+                worker: r.take_u32()?,
+                version: r.take_u16()?,
+                epoch: r.take_u64()?,
+            },
+            2 => ClusterMsg::Install {
+                payload: Vec::<u8>::decode(r)?,
+            },
+            3 => ClusterMsg::Batch {
+                epoch: r.take_u64()?,
+                objects: Vec::<ObjectEvent>::decode(r)?,
+                queries: Vec::<u8>::decode(r)?,
+            },
+            4 => ClusterMsg::Deltas {
+                worker: r.take_u32()?,
+                epoch: r.take_u64()?,
+                payload: Vec::<u8>::decode(r)?,
+            },
+            5 => ClusterMsg::SnapshotReq,
+            6 => ClusterMsg::SnapshotXfer {
+                worker: r.take_u32()?,
+                epoch: r.take_u64()?,
+                payload: Vec::<u8>::decode(r)?,
+            },
+            7 => ClusterMsg::Ack {
+                worker: r.take_u32()?,
+                epoch: r.take_u64()?,
+            },
+            8 => ClusterMsg::Reject {
+                worker: r.take_u32()?,
+                reject: ClusterReject::decode(r)?,
+            },
+            9 => ClusterMsg::Shutdown,
+            _ => {
+                return Err(WireError::Invalid {
+                    offset: at,
+                    what: "unknown cluster-message tag",
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<ClusterMsg> {
+        vec![
+            ClusterMsg::Hello {
+                version: crate::WIRE_VERSION,
+                worker: 2,
+                dim: 16,
+                index: IndexKind::quadtree(),
+                tile: TileRect::new(8, 0, 11, 15),
+                coverage: TileRect::new(5, 0, 14, 15),
+            },
+            ClusterMsg::HelloAck {
+                worker: 2,
+                version: crate::WIRE_VERSION,
+                epoch: 7,
+            },
+            ClusterMsg::Install {
+                payload: vec![1, 2, 3],
+            },
+            ClusterMsg::Batch {
+                epoch: 9,
+                objects: vec![ObjectEvent::Disappear { id: ObjectId(4) }],
+                queries: vec![],
+            },
+            ClusterMsg::Deltas {
+                worker: 0,
+                epoch: 9,
+                payload: vec![0xFF; 9],
+            },
+            ClusterMsg::SnapshotReq,
+            ClusterMsg::SnapshotXfer {
+                worker: 1,
+                epoch: 9,
+                payload: vec![9, 9],
+            },
+            ClusterMsg::Ack {
+                worker: 3,
+                epoch: 0,
+            },
+            ClusterMsg::Reject {
+                worker: 1,
+                reject: ClusterReject::PartitionMismatch {
+                    oid: ObjectId(77),
+                    tile: TileRect::new(0, 0, 3, 15),
+                },
+            },
+            ClusterMsg::Reject {
+                worker: 0,
+                reject: ClusterReject::Engine {
+                    detail: "duplicate query id 5".to_owned(),
+                },
+            },
+            ClusterMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_a_frame() {
+        for msg in sample_messages() {
+            let frame = msg.to_frame();
+            assert_eq!(ClusterMsg::from_frame(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tile_rect_validates_and_expands() {
+        let t = TileRect::new(4, 0, 7, 15);
+        assert!(t.contains(4, 0) && t.contains(7, 15));
+        assert!(!t.contains(3, 0) && !t.contains(8, 15));
+        let cov = t.expanded(2, 16);
+        assert_eq!(cov, TileRect::new(2, 0, 9, 15));
+        assert!(cov.contains_rect(&t));
+        // Clamped at the workspace edge.
+        assert_eq!(
+            TileRect::new(0, 0, 3, 15).expanded(2, 16),
+            TileRect::new(0, 0, 5, 15)
+        );
+        // Inverted bounds are refused by the decoder.
+        let mut w = Writer::new();
+        for v in [5u32, 0, 2, 15] {
+            w.put_u32(v);
+        }
+        assert!(matches!(
+            TileRect::decode_all(w.as_slice()),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn hello_with_coverage_smaller_than_tile_is_refused() {
+        let mut w = Writer::new();
+        ClusterMsg::Hello {
+            version: 1,
+            worker: 0,
+            dim: 16,
+            index: IndexKind::Uniform,
+            tile: TileRect::new(4, 0, 7, 15),
+            coverage: TileRect::new(4, 0, 7, 15),
+        }
+        .encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // Shrink the coverage rectangle's last column below the tile's.
+        let n = bytes.len();
+        bytes[n - 8] = 5;
+        assert!(matches!(
+            ClusterMsg::decode_all(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_errors() {
+        let frame = sample_messages()[0].to_frame();
+        // Truncation at every split point.
+        for cut in 0..frame.len() {
+            assert!(ClusterMsg::from_frame(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        // A flipped bit anywhere fails the CRC (or an earlier check).
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(ClusterMsg::from_frame(&bad).is_err(), "flip {i}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        fn arb_tile(dim: u32) -> impl Strategy<Value = TileRect> {
+            (0..dim, 0..dim, 0..dim, 0..dim)
+                .prop_map(|(a, b, c, d)| TileRect::new(a.min(c), b.min(d), a.max(c), b.max(d)))
+        }
+
+        fn arb_reject() -> impl Strategy<Value = ClusterReject> {
+            prop_oneof![
+                (any::<u16>(), any::<u16>())
+                    .prop_map(|(ours, theirs)| ClusterReject::VersionSkew { ours, theirs }),
+                (any::<u64>(), any::<u64>())
+                    .prop_map(|(expected, got)| ClusterReject::EpochGap { expected, got }),
+                (any::<u32>(), arb_tile(64)).prop_map(|(o, tile)| {
+                    ClusterReject::PartitionMismatch {
+                        oid: ObjectId(o),
+                        tile,
+                    }
+                }),
+                (any::<u32>(), arb_tile(64)).prop_map(|(q, tile)| {
+                    ClusterReject::QueryOutOfTile {
+                        qid: QueryId(q),
+                        tile,
+                    }
+                }),
+                (any::<u32>(), arb_tile(64)).prop_map(|(q, tile)| {
+                    ClusterReject::CoverageExceeded {
+                        qid: QueryId(q),
+                        tile,
+                    }
+                }),
+                pvec(0x20u8..0x7F, 0..24).prop_map(|bytes| ClusterReject::Engine {
+                    detail: String::from_utf8(bytes).unwrap(),
+                }),
+            ]
+        }
+
+        fn arb_msg() -> impl Strategy<Value = ClusterMsg> {
+            let payload = pvec(any::<u8>(), 0..64);
+            prop_oneof![
+                (1u16..4, any::<u32>(), 1u32..64, arb_tile(64), 0u32..8).prop_map(
+                    |(version, worker, dim, tile, margin)| {
+                        let dim = dim.max(tile.c1 + 1).max(tile.r1 + 1);
+                        ClusterMsg::Hello {
+                            version,
+                            worker,
+                            dim,
+                            index: IndexKind::Uniform,
+                            tile,
+                            coverage: tile.expanded(margin, dim),
+                        }
+                    }
+                ),
+                (any::<u32>(), any::<u16>(), any::<u64>()).prop_map(|(worker, version, epoch)| {
+                    ClusterMsg::HelloAck {
+                        worker,
+                        version,
+                        epoch,
+                    }
+                }),
+                pvec(any::<u8>(), 0..64).prop_map(|payload| ClusterMsg::Install { payload }),
+                (
+                    any::<u64>(),
+                    pvec(any::<u32>(), 0..8),
+                    pvec(any::<u8>(), 0..64)
+                )
+                    .prop_map(|(epoch, ids, queries)| ClusterMsg::Batch {
+                        epoch,
+                        objects: ids
+                            .into_iter()
+                            .map(|id| ObjectEvent::Disappear { id: ObjectId(id) })
+                            .collect(),
+                        queries,
+                    }),
+                (any::<u32>(), any::<u64>(), payload).prop_map(|(worker, epoch, payload)| {
+                    ClusterMsg::Deltas {
+                        worker,
+                        epoch,
+                        payload,
+                    }
+                }),
+                Just(ClusterMsg::SnapshotReq),
+                (any::<u32>(), any::<u64>(), pvec(any::<u8>(), 0..64)).prop_map(
+                    |(worker, epoch, payload)| ClusterMsg::SnapshotXfer {
+                        worker,
+                        epoch,
+                        payload,
+                    }
+                ),
+                (any::<u32>(), any::<u64>())
+                    .prop_map(|(worker, epoch)| ClusterMsg::Ack { worker, epoch }),
+                (any::<u32>(), arb_reject())
+                    .prop_map(|(worker, reject)| ClusterMsg::Reject { worker, reject }),
+                Just(ClusterMsg::Shutdown),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn cluster_messages_roundtrip(msg in arb_msg()) {
+                let frame = msg.to_frame();
+                prop_assert_eq!(ClusterMsg::from_frame(&frame).unwrap(), msg);
+            }
+
+            #[test]
+            fn mangled_frames_never_panic(msg in arb_msg(), at in 0usize..1024, bit in 0u8..8) {
+                let mut frame = msg.to_frame();
+                let at = at % frame.len();
+                frame[at] ^= 1 << bit;
+                // Either it fails typed, or (if the flip landed in a
+                // payload byte *and* the CRC happens to collide — it
+                // cannot) decodes to something; it must never panic.
+                let _ = ClusterMsg::from_frame(&frame);
+            }
+        }
+    }
+}

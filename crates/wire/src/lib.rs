@@ -49,6 +49,12 @@ pub const FRAME_SNAPSHOT: u16 = 1;
 /// Frame kind: one journal record.
 pub const FRAME_JOURNAL: u16 = 2;
 
+/// Frame kind: one [`cluster::ClusterMsg`] of the coordinator/worker
+/// protocol.
+pub const FRAME_CLUSTER: u16 = 3;
+
+pub mod cluster;
+
 /// A typed decoding failure, carrying the byte offset where the input
 /// stopped making sense.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -511,6 +517,25 @@ impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
     }
 }
 
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(u32::try_from(self.len()).expect("string fits a u32 length prefix"));
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(1)?;
+        let at = r.offset();
+        let bytes = r.take_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid {
+            offset: at,
+            what: "string bytes are not valid UTF-8",
+        })
+    }
+}
+
 impl Encode for ObjectId {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(self.0);
@@ -886,6 +911,16 @@ impl Journal {
         self.next_seq - 1
     }
 
+    /// Sequence number the *next* [`Journal::append`] will stamp.
+    ///
+    /// This is the journal's at-least-once delivery cursor: a receiver
+    /// that remembers the last sequence it applied can hand it to
+    /// [`Journal::replay`] (as `after`) or to [`dedup`] and redelivered
+    /// records collapse away. Always `watermark() + 1`.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Drop every record and restart the sequence after a checkpoint at
     /// `watermark`.
     pub fn truncate_to(&mut self, watermark: u64) {
@@ -927,35 +962,54 @@ impl Journal {
                 }
             }
         }
-        records.retain(|&(seq, _)| seq > after);
-        records.sort_by_key(|&(seq, _)| seq);
-        let mut deduped: Vec<(u64, Vec<u8>)> = Vec::with_capacity(records.len());
-        for (seq, payload) in records {
-            match deduped.last() {
-                Some((prev, prev_payload)) if *prev == seq => {
-                    if *prev_payload != payload {
-                        return Err(WireError::Invalid {
-                            offset: 0,
-                            what: "conflicting journal records with the same sequence number",
-                        });
-                    }
-                }
-                _ => deduped.push((seq, payload)),
-            }
-        }
-        for (i, (seq, _)) in deduped.iter().enumerate() {
-            if *seq != after + 1 + i as u64 {
-                return Err(WireError::Invalid {
-                    offset: 0,
-                    what: "gap in journal sequence numbers",
-                });
-            }
-        }
         Ok(JournalReplay {
-            records: deduped,
+            records: dedup(records, after)?,
             tail_error,
         })
     }
+}
+
+/// Collapse an at-least-once record stream into the unique, contiguous
+/// suffix after `after` — the journal's sequence-number dedup, exposed so
+/// any receiver of sequence-stamped frames (recovery, the cluster delta
+/// plane) can apply the same semantics:
+///
+/// * records with `seq <= after` are already applied and dropped;
+/// * **reordered** records are sorted by sequence;
+/// * **duplicated** records (same sequence, same bytes) collapse to one;
+/// * two records claiming the same sequence with *different* payloads are
+///   a hard [`WireError::Invalid`] — so is a gap in the sequence, because
+///   replaying around either would fabricate a history that was never
+///   run.
+pub fn dedup(
+    mut records: Vec<(u64, Vec<u8>)>,
+    after: u64,
+) -> Result<Vec<(u64, Vec<u8>)>, WireError> {
+    records.retain(|&(seq, _)| seq > after);
+    records.sort_by_key(|&(seq, _)| seq);
+    let mut deduped: Vec<(u64, Vec<u8>)> = Vec::with_capacity(records.len());
+    for (seq, payload) in records {
+        match deduped.last() {
+            Some((prev, prev_payload)) if *prev == seq => {
+                if *prev_payload != payload {
+                    return Err(WireError::Invalid {
+                        offset: 0,
+                        what: "conflicting journal records with the same sequence number",
+                    });
+                }
+            }
+            _ => deduped.push((seq, payload)),
+        }
+    }
+    for (i, (seq, _)) in deduped.iter().enumerate() {
+        if *seq != after + 1 + i as u64 {
+            return Err(WireError::Invalid {
+                offset: 0,
+                what: "gap in journal sequence numbers",
+            });
+        }
+    }
+    Ok(deduped)
 }
 
 #[cfg(test)]
@@ -1189,6 +1243,51 @@ mod tests {
         conflict.extend_from_slice(other.bytes());
         assert!(matches!(
             Journal::replay(&conflict, 0),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn next_seq_tracks_appends_and_truncation() {
+        let mut j = Journal::new(7);
+        assert_eq!(j.next_seq(), 8);
+        j.append(b"a");
+        assert_eq!(j.next_seq(), 9);
+        assert_eq!(j.next_seq(), j.watermark() + 1);
+        j.truncate_to(20);
+        assert_eq!(j.next_seq(), 21);
+    }
+
+    #[test]
+    fn dedup_collapses_redelivery_and_rejects_gaps_and_conflicts() {
+        let rec = |seq: u64, b: &[u8]| (seq, b.to_vec());
+        // Reordered + duplicated at-least-once stream collapses to the
+        // contiguous suffix after the watermark.
+        let stream = vec![
+            rec(3, b"c"),
+            rec(1, b"a"),
+            rec(2, b"b"),
+            rec(2, b"b"),
+            rec(1, b"a"),
+        ];
+        assert_eq!(
+            dedup(stream, 0).unwrap(),
+            vec![rec(1, b"a"), rec(2, b"b"), rec(3, b"c")]
+        );
+        // Records at or below the watermark are already applied.
+        assert_eq!(
+            dedup(vec![rec(1, b"a"), rec(2, b"b"), rec(3, b"c")], 2).unwrap(),
+            vec![rec(3, b"c")]
+        );
+        assert_eq!(dedup(vec![rec(1, b"a")], 5).unwrap(), vec![]);
+        // A gap is a hard error, not a silent skip.
+        assert!(matches!(
+            dedup(vec![rec(1, b"a"), rec(3, b"c")], 0),
+            Err(WireError::Invalid { .. })
+        ));
+        // So is the same sequence claiming two different payloads.
+        assert!(matches!(
+            dedup(vec![rec(1, b"a"), rec(1, b"A")], 0),
             Err(WireError::Invalid { .. })
         ));
     }

@@ -21,6 +21,9 @@
 //!   durability layer: framing, the append-only journal, typed decode
 //!   errors ([`cpm_wire`]); snapshots and crash recovery live in
 //!   [`core::snapshot`].
+//! * [`cluster`] — multi-node operation: workspace-partitioned workers
+//!   behind a routing coordinator, merged delta streams bit-identical to
+//!   a single node ([`cpm_cluster`]).
 //! * [`baselines`] — YPK-CNN and SEA-CNN ([`cpm_baselines`]).
 //! * [`gen`] — Brinkhoff-style network workloads ([`cpm_gen`]).
 //! * [`sim`] — simulation driver, oracle and experiment harness
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub use cpm_baselines as baselines;
+pub use cpm_cluster as cluster;
 pub use cpm_core as core;
 pub use cpm_gen as gen;
 pub use cpm_geom as geom;

@@ -1,0 +1,276 @@
+//! Distributed conformance: the single-node-equivalence guarantee over
+//! worker counts, transports and index backends, plus the typed failure
+//! surface (misrouted batches, version skew, escaped influence regions,
+//! composite-query refusal).
+
+use cpm_suite::cluster::{
+    duplex, run_worker, ClusterConfig, ClusterCoordinator, ClusterError, Transport,
+};
+use cpm_suite::core::{AnyQuerySpec, PointQuery, SpecEvent};
+use cpm_suite::geom::{ObjectId, Point, QueryId};
+use cpm_suite::grid::ObjectEvent;
+use cpm_suite::sim::{verify_cluster, verify_cluster_tcp};
+use cpm_suite::sub::DeltaFanout;
+use cpm_suite::wire::cluster::{ClusterMsg, ClusterReject, TileRect};
+use cpm_suite::wire::{Encode, WIRE_VERSION};
+
+/// The headline conformance run: seeded mixed-kind workloads over
+/// W ∈ {1, 2, 4} in-process workers × both index backends, each lane
+/// with a mid-run snapshot-transfer worker restart and an out-of-band
+/// install. Every merged delta batch, changed list and replicated final
+/// result must be bit-identical to the single-node reference.
+#[test]
+fn cluster_is_bit_identical_to_single_node() {
+    verify_cluster(120, 10, 16, &[1, 5], &[1, 2, 4]);
+}
+
+/// The same protocol over real `std::net::TcpStream` loopback links.
+#[test]
+fn tcp_loopback_cluster_is_bit_identical_to_single_node() {
+    verify_cluster_tcp(100, 8, 16, 9, 2);
+}
+
+/// Satellite: a misrouted object event is a *batch-level* typed
+/// rejection — the worker refuses before any state change, so a
+/// corrected batch for the same epoch still applies cleanly.
+#[test]
+fn misrouted_update_is_rejected_without_state_change() {
+    let (mut coord_side, worker_side) = duplex();
+    let handle = std::thread::spawn(move || run_worker(worker_side));
+
+    // Worker 0 of a 4-way 16×16 split, no overlap: coverage is columns
+    // 0..=3, i.e. x < 0.25.
+    let tile = TileRect::new(0, 0, 3, 15);
+    let hello = ClusterMsg::Hello {
+        version: WIRE_VERSION,
+        worker: 0,
+        dim: 16,
+        index: cpm_suite::IndexKind::Uniform,
+        tile,
+        coverage: tile,
+    };
+    coord_side.send(&hello.to_frame()).unwrap();
+    let ack = ClusterMsg::from_frame(&coord_side.recv().unwrap()).unwrap();
+    assert!(matches!(ack, ClusterMsg::HelloAck { epoch: 0, .. }));
+
+    // A batch mixing one in-coverage appear with one misrouted appear.
+    let queries: Vec<SpecEvent<AnyQuerySpec>> = Vec::new();
+    let bad = ClusterMsg::Batch {
+        epoch: 1,
+        objects: vec![
+            ObjectEvent::Appear {
+                id: ObjectId(1),
+                pos: Point::new(0.1, 0.5),
+            },
+            ObjectEvent::Appear {
+                id: ObjectId(2),
+                pos: Point::new(0.9, 0.5),
+            },
+        ],
+        queries: queries.encode_to_vec(),
+    };
+    coord_side.send(&bad.to_frame()).unwrap();
+    match ClusterMsg::from_frame(&coord_side.recv().unwrap()).unwrap() {
+        ClusterMsg::Reject { worker, reject } => {
+            assert_eq!(worker, 0);
+            assert_eq!(
+                ClusterError::from_reject(worker, reject),
+                ClusterError::PartitionMismatch {
+                    oid: ObjectId(2),
+                    tile,
+                }
+            );
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
+    // The whole batch was refused: epoch 1 is still open, and the
+    // corrected batch (including the event that *was* valid) applies.
+    let good = ClusterMsg::Batch {
+        epoch: 1,
+        objects: vec![ObjectEvent::Appear {
+            id: ObjectId(1),
+            pos: Point::new(0.1, 0.5),
+        }],
+        queries: queries.encode_to_vec(),
+    };
+    coord_side.send(&good.to_frame()).unwrap();
+    match ClusterMsg::from_frame(&coord_side.recv().unwrap()).unwrap() {
+        ClusterMsg::Deltas { epoch, .. } => assert_eq!(epoch, 1),
+        other => panic!("expected the corrected batch to apply, got {other:?}"),
+    }
+
+    coord_side.send(&ClusterMsg::Shutdown.to_frame()).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// A worker greeting a coordinator from a different wire version refuses
+/// the handshake with a typed skew on both ends.
+#[test]
+fn version_skew_is_refused_on_both_ends() {
+    let (mut coord_side, worker_side) = duplex();
+    let handle = std::thread::spawn(move || run_worker(worker_side));
+    let tile = TileRect::new(0, 0, 15, 15);
+    let hello = ClusterMsg::Hello {
+        version: WIRE_VERSION + 1,
+        worker: 0,
+        dim: 16,
+        index: cpm_suite::IndexKind::Uniform,
+        tile,
+        coverage: tile,
+    };
+    coord_side.send(&hello.to_frame()).unwrap();
+    match ClusterMsg::from_frame(&coord_side.recv().unwrap()).unwrap() {
+        ClusterMsg::Reject { reject, .. } => assert_eq!(
+            reject,
+            ClusterReject::VersionSkew {
+                ours: WIRE_VERSION,
+                theirs: WIRE_VERSION + 1,
+            }
+        ),
+        other => panic!("expected a version-skew rejection, got {other:?}"),
+    }
+    assert_eq!(
+        handle.join().unwrap(),
+        Err(ClusterError::VersionSkew {
+            worker: 0,
+            ours: WIRE_VERSION,
+            theirs: WIRE_VERSION + 1,
+        })
+    );
+}
+
+/// Sticky ownership: an update that moves a query's anchor off its
+/// owner's tile is refused by the coordinator before anything is sent.
+#[test]
+fn query_anchor_leaving_its_tile_is_typed() {
+    let (mut coord, handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 4)).unwrap();
+    // Objects first (an unfilled k-NN would be unbounded), then the query.
+    let appears: Vec<ObjectEvent> = (0..32)
+        .map(|i| ObjectEvent::Appear {
+            id: ObjectId(i),
+            pos: Point::new(f64::from(i % 8).mul_add(0.124, 0.01), 0.5),
+        })
+        .collect();
+    coord.process_cycle(&appears, &[]).unwrap();
+    coord
+        .process_cycle(
+            &[],
+            &[SpecEvent::Install {
+                id: QueryId(0),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.1, 0.5))),
+                k: 2,
+            }],
+        )
+        .unwrap();
+    assert_eq!(coord.owner(QueryId(0)), Some(0));
+    let err = coord
+        .process_cycle(
+            &[],
+            &[SpecEvent::Update {
+                id: QueryId(0),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.9, 0.5))),
+            }],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::QueryOutOfTile { qid, .. } if qid == QueryId(0)),
+        "expected a typed out-of-tile refusal, got {err}"
+    );
+    // Nothing was sent: the cluster is still aligned and keeps running.
+    coord.process_cycle(&[], &[]).unwrap();
+    coord.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap().unwrap();
+    }
+}
+
+/// A k-NN whose influence region no finite coverage can certify (the
+/// result cannot fill) fails typed, never silently wrong.
+#[test]
+fn uncertifiable_influence_region_is_typed() {
+    let (mut coord, handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 2).overlap(1)).unwrap();
+    // One object in the whole workspace: a k = 2 query can never fill.
+    let err = coord
+        .process_cycle(
+            &[ObjectEvent::Appear {
+                id: ObjectId(0),
+                pos: Point::new(0.1, 0.5),
+            }],
+            &[SpecEvent::Install {
+                id: QueryId(0),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.1, 0.5))),
+                k: 2,
+            }],
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::CoverageExceeded { qid, .. } if qid == QueryId(0)),
+        "expected a typed coverage refusal, got {err}"
+    );
+    drop(coord);
+    for h in handles {
+        let _ = h.join().unwrap();
+    }
+}
+
+/// Composite (reverse-NN) queries have no single anchor and are refused
+/// at the routing layer.
+#[test]
+fn composite_queries_are_refused_by_the_router() {
+    let (mut coord, handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 2)).unwrap();
+    let err = coord
+        .install(&[SpecEvent::Install {
+            id: QueryId(0),
+            spec: AnyQuerySpec::Rnn(cpm_suite::core::RnnQuery::new(Point::new(0.5, 0.5), 0)),
+            k: 1,
+        }])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Protocol { .. }));
+    coord.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap().unwrap();
+    }
+}
+
+/// The fan-out handoff: merged batches published straight into a
+/// [`DeltaFanout`] reach subscribers with contiguous epochs.
+#[test]
+fn merged_deltas_feed_the_subscription_fanout() {
+    let (mut coord, handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 2)).unwrap();
+    let mut fanout = DeltaFanout::new();
+    fanout.subscribe(QueryId(7));
+    let appears: Vec<ObjectEvent> = (0..16)
+        .map(|i| ObjectEvent::Appear {
+            id: ObjectId(i),
+            pos: Point::new(f64::from(i).mul_add(0.06, 0.02), 0.5),
+        })
+        .collect();
+    let r1 = coord
+        .process_cycle_fanout(&appears, &[], &mut fanout)
+        .unwrap();
+    assert_eq!(r1.epoch, 1);
+    let r2 = coord
+        .process_cycle_fanout(
+            &[],
+            &[SpecEvent::Install {
+                id: QueryId(7),
+                spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.5, 0.5))),
+                k: 3,
+            }],
+            &mut fanout,
+        )
+        .unwrap();
+    assert_eq!((r2.epoch, r2.deltas), (2, 1));
+    let drained = fanout.drain(QueryId(7));
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].added.len(), 3);
+    coord.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap().unwrap();
+    }
+}
