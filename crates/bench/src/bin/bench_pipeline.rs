@@ -1,0 +1,87 @@
+//! Record the pipelined-coordinator baseline:
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin bench_pipeline
+//! ```
+//!
+//! Runs the serial-vs-pipelined comparison at the acceptance scale (see
+//! [`cpm_bench::pipeline`]) **three times** and records the median run
+//! (by routing ratio) to `BENCH_pipeline.json` at the workspace root.
+//! The recorded `route_over_single` — the serial coordinator's routing
+//! slice over the single-node cycle — is the machine-independent PR
+//! acceptance number (bar: ≤ 1.25 at `W = 4`); `pipelined_over_serial`
+//! is the overlap's throughput payback, meaningful only next to the
+//! recorded `threads_available` (on an under-threaded host it documents
+//! honest 1-core diagnostics, and `bench_check` warns loudly instead of
+//! certifying a speedup). Every cycle of every run asserts the merged
+//! deltas bit-identical across all three lanes, so a completed
+//! recording already proves conformance.
+
+use cpm_bench::pipeline::{render_json, run, PipelineBenchConfig};
+
+const RUNS: usize = 3;
+
+fn main() {
+    let cfg = PipelineBenchConfig::default();
+    println!(
+        "bench_pipeline: N={}, queries={}, k={}, {} cycles (+{} warmup) in chunks of {}, \
+         grid {}², {} workers (overlap {}), median of {RUNS} runs",
+        cfg.n_objects,
+        cfg.n_queries,
+        cfg.k,
+        cfg.cycles,
+        cfg.warmup_cycles,
+        cfg.chunk,
+        cfg.grid_dim,
+        cfg.workers,
+        cfg.overlap
+    );
+    let mut runs: Vec<_> = (0..RUNS)
+        .map(|i| {
+            let r = run(&cfg);
+            println!(
+                "  run {}: route {:.3}x, pipelined/serial {:.2}x (single {:.3}, serial {:.3}, \
+                 pipelined {:.3} ms/cycle)",
+                i + 1,
+                r.route_over_single,
+                r.pipelined_over_serial,
+                r.modes[0].ms_per_cycle,
+                r.modes[1].ms_per_cycle,
+                r.modes[2].ms_per_cycle
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| {
+        a.route_over_single
+            .partial_cmp(&b.route_over_single)
+            .expect("finite ratios")
+    });
+    let result = runs.swap_remove(RUNS / 2);
+
+    for m in &result.modes {
+        println!(
+            "  {:>11}: {:>8.3} ms/cycle   {} result changes",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+    }
+    println!(
+        "  routing slice vs single-node cycle (median run): {:.3}x; pipelined speedup {:.2}x",
+        result.route_over_single, result.pipelined_over_serial
+    );
+    println!(
+        "  stages (serial): route {:.3} / wait {:.3} / merge {:.3} ms; (pipelined): \
+         {:.3} / {:.3} / {:.3} ms",
+        result.serial_stages.route_ms,
+        result.serial_stages.wait_ms,
+        result.serial_stages.merge_ms,
+        result.pipelined_stages.route_ms,
+        result.pipelined_stages.wait_ms,
+        result.pipelined_stages.merge_ms
+    );
+
+    let json = render_json(&cfg, &result);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

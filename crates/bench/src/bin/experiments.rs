@@ -8,7 +8,7 @@
 //!   fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b fig6_5a fig6_5b
 //!   fig6_6a fig6_6b
 //!   space analysis ablation ann constrained skew drift index shards
-//!   deltas mixed rnn
+//!   deltas mixed rnn pipeline
 //!   all          (everything above)
 //!
 //! options:
@@ -91,6 +91,7 @@ fn main() {
             "deltas",
             "mixed",
             "rnn",
+            "pipeline",
         ]
         .into_iter()
         .map(String::from)
@@ -137,9 +138,42 @@ fn run_experiment(name: &str, scale: f64, shards: &[usize]) {
         "deltas" => figures::deltas(scale).print(),
         "mixed" => figures::mixed(scale).print(),
         "rnn" => figures::rnn(scale).print(),
+        "pipeline" => print_pipeline_stages(),
         other => eprintln!("unknown experiment: {other} (see --help)"),
     }
     eprintln!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+}
+
+/// Per-stage coordinator timings (route / worker wait / merge) for the
+/// serial and pipelined cluster cycles at `W = 4`, from the
+/// coordinator's own [`CoordinatorMetrics`] instrumentation — the same
+/// numbers bench gate 10 bounds. Runs at the gate's reduced scale so it
+/// finishes in seconds; `bench_pipeline` records the acceptance scale.
+///
+/// [`CoordinatorMetrics`]: cpm_cluster::CoordinatorMetrics
+fn print_pipeline_stages() {
+    let cfg = cpm_bench::pipeline::PipelineBenchConfig::reduced();
+    let run = cpm_bench::pipeline::run(&cfg);
+    println!(
+        "## Pipelined coordinator stage timings (N={}, queries={}, {} workers)\n",
+        cfg.n_objects, cfg.n_queries, cfg.workers
+    );
+    println!("lane        | route ms | wait ms  | merge ms | ms/cycle");
+    println!("------------+----------+----------+----------+---------");
+    for (lane, stages, ms) in [
+        ("serial", run.serial_stages, run.modes[1].ms_per_cycle),
+        ("pipelined", run.pipelined_stages, run.modes[2].ms_per_cycle),
+    ] {
+        println!(
+            "{lane:<11} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3}",
+            stages.route_ms, stages.wait_ms, stages.merge_ms, ms
+        );
+    }
+    println!(
+        "\nsingle-node reference: {:.3} ms/cycle; route/single {:.3}x; \
+         pipelined/serial {:.2}x\n",
+        run.modes[0].ms_per_cycle, run.route_over_single, run.pipelined_over_serial
+    );
 }
 
 fn print_table_2_1() {
@@ -194,7 +228,8 @@ fn print_help() {
         "usage: experiments <name>... [--scale X | --paper] [--shards LIST]\n\
          names: table2_1 table6_1 fig6_1 fig6_2a fig6_2b fig6_3 fig6_4a fig6_4b\n\
          \u{20}      fig6_5a fig6_5b fig6_6a fig6_6b space analysis ablation ann\n\
-         \u{20}      constrained skew drift index shards deltas mixed rnn all\n\
+         \u{20}      constrained skew drift index shards deltas mixed rnn pipeline\n\
+         \u{20}      all\n\
          --shards LIST  comma-separated shard counts for the `shards`\n\
          \u{20}              experiment (default 1,2,4,8)"
     );

@@ -849,6 +849,167 @@ pub fn check_cluster(
     report
 }
 
+/// Hard bound on the coordinator's routing slice: the serial per-cycle
+/// route cost (per-worker event translation + batch framing + send) at
+/// `W = 4` in-process workers may cost at most this multiple of the
+/// single-node cycle it fans out (the PR acceptance bar recorded in
+/// `BENCH_pipeline.json`). Routing is the slice the pipeline hides
+/// behind worker compute — a route that outweighs the cycle it routes
+/// cannot be hidden by any pipeline depth.
+pub const PIPELINE_ROUTE_LIMIT: f64 = 1.25;
+
+/// Required pipelined-over-serial throughput speedup at `W = 4` on hosts
+/// with ≥ 4 threads (the PR acceptance bar recorded in
+/// `BENCH_pipeline.json`): overlapping route/compute/merge across epochs
+/// must buy back a meaningful share of the serial cycle. Below 4
+/// threads the coordinator and workers time-slice the same cores, the
+/// overlap has nothing to run on, and the bar is loudly waived (same
+/// pattern as the shard gate).
+pub const REQUIRED_PIPELINE_SPEEDUP: f64 = 1.15;
+
+/// Multiplicative noise allowance on the pipeline bars. Both lanes run
+/// in one process (the ratios are medians of paired cycles / chunks),
+/// but route slices are short enough that timer granularity scatters the
+/// run-level medians a few percent on busy shared hosts. Like every
+/// same-process bar, it is **never** widened by the cross-host
+/// `tolerance`; sustained creep is additionally caught by the
+/// checked-in-curve comparison.
+pub const PIPELINE_NOISE_MARGIN: f64 = 0.10;
+
+/// The context a `BENCH_pipeline.json` baseline pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineBaseline {
+    /// Recorded median `serial routing ms / single-node ms` ratio.
+    pub route_over_single: f64,
+    /// Recorded median `serial wall / pipelined wall` chunk speedup.
+    pub pipelined_over_serial: f64,
+    /// Thread count of the recording host: the speedup curve only binds
+    /// between hosts that can actually overlap (≥ 4 threads).
+    pub threads: usize,
+    /// Object population of the recording run: like the cluster gate,
+    /// the route ratio only compares between runs at the same scale.
+    pub n_objects: usize,
+}
+
+/// Parse the gate statistics of a `BENCH_pipeline.json` document.
+pub fn parse_pipeline_baseline(json: &str) -> Option<PipelineBaseline> {
+    let grab = |key: &str| {
+        json.lines()
+            .find(|line| line.contains(key))
+            .and_then(|line| field_f64(line, key))
+    };
+    Some(PipelineBaseline {
+        route_over_single: grab("route_over_single")?,
+        pipelined_over_serial: grab("pipelined_over_serial")?,
+        threads: grab("threads_available")? as usize,
+        n_objects: grab("n_objects")? as usize,
+    })
+}
+
+/// Gate the pipelined-coordinator benchmark: the serial routing slice
+/// must stay under [`PIPELINE_ROUTE_LIMIT`]× the single-node cycle (plus
+/// the fixed same-process noise margin, never widened by `tolerance`),
+/// and on ≥ 4-thread hosts the pipelined lane must beat the serial lane
+/// by [`REQUIRED_PIPELINE_SPEEDUP`]× (minus the noise margin). On
+/// under-threaded hosts the speedup bar is waived with a **loud WARN**,
+/// never a silent skip — the overlap has no cores to run on, so a pass
+/// there would certify nothing. Curve comparisons against the checked-in
+/// `BENCH_pipeline.json` bind at equal scale (route ratio) and between
+/// ≥ 4-thread hosts (speedup).
+pub fn check_pipeline(
+    run: &crate::pipeline::PipelineBenchRun,
+    threads: usize,
+    measured_n_objects: usize,
+    baseline: Option<PipelineBaseline>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    if run.modes[0].result_changes == 0 {
+        report
+            .failures
+            .push("no result changes over the measured cycles — the bench measured nothing".into());
+        return report;
+    }
+    if let Some(b) = baseline {
+        if b.threads < 4 {
+            report.warn(format!(
+                "BENCH_pipeline.json was recorded on a {}-thread host, below the gate's \
+                 4-thread requirement: the checked-in speedup pins no overlap property. \
+                 Re-record it with bench_pipeline on a >= 4-thread host.",
+                b.threads
+            ));
+        }
+    }
+    report.lines.push(format!(
+        "lanes: single-node {:.3} vs serial {:.3} vs pipelined {:.3} ms/cycle \
+         ({} result changes)",
+        run.modes[0].ms_per_cycle,
+        run.modes[1].ms_per_cycle,
+        run.modes[2].ms_per_cycle,
+        run.modes[0].result_changes
+    ));
+    report.lines.push(format!(
+        "serial stages route {:.3} / wait {:.3} / merge {:.3} ms; pipelined {:.3} / {:.3} / \
+         {:.3} ms",
+        run.serial_stages.route_ms,
+        run.serial_stages.wait_ms,
+        run.serial_stages.merge_ms,
+        run.pipelined_stages.route_ms,
+        run.pipelined_stages.wait_ms,
+        run.pipelined_stages.merge_ms
+    ));
+    report.compare(
+        "serial routing slice vs single-node cycle (W = 4 route bound)",
+        run.route_over_single,
+        PIPELINE_ROUTE_LIMIT * (1.0 + PIPELINE_NOISE_MARGIN),
+        PIPELINE_ROUTE_LIMIT,
+    );
+    if threads >= 4 {
+        report.compare_at_least(
+            "pipelined-over-serial speedup (>= 4 threads available)",
+            run.pipelined_over_serial,
+            REQUIRED_PIPELINE_SPEEDUP / (1.0 + PIPELINE_NOISE_MARGIN),
+        );
+        match baseline {
+            Some(b) if b.threads >= 4 => report.compare_at_least(
+                "pipelined speedup vs checked-in baseline curve",
+                run.pipelined_over_serial,
+                b.pipelined_over_serial / (1.0 + tolerance),
+            ),
+            // Under-threaded baseline: already warned loudly above.
+            Some(_) => {}
+            None => report
+                .lines
+                .push("no BENCH_pipeline.json baseline: speedup curve comparison skipped".into()),
+        }
+    } else {
+        report.warn(format!(
+            "host has {threads} thread(s), below the 4 the pipelined-speedup bar needs: \
+             the overlap has no cores to run on, so the >= {REQUIRED_PIPELINE_SPEEDUP}x \
+             target is waived here (measured {:.2}x, diagnostic only). Run bench_check on \
+             a >= 4-thread host to certify the speedup.",
+            run.pipelined_over_serial
+        ));
+    }
+    match baseline {
+        Some(b) if b.n_objects == measured_n_objects => report.compare(
+            "route ratio vs checked-in baseline curve",
+            run.route_over_single,
+            b.route_over_single * (1.0 + tolerance),
+            b.route_over_single,
+        ),
+        Some(b) => report.lines.push(format!(
+            "baseline recorded at N={} (this run: N={measured_n_objects}): route ratios are \
+             only comparable at equal scale, curve comparison skipped",
+            b.n_objects
+        )),
+        None => report
+            .lines
+            .push("no BENCH_pipeline.json baseline: route curve comparison skipped".into()),
+    }
+    report
+}
+
 /// Required batched-vs-scalar distance-kernel speedup on dim-64 buckets
 /// of ≥ 32 objects when the explicit-SIMD lane is compiled in (the PR
 /// acceptance bar recorded in `BENCH_kernels.json`): the validated
@@ -1474,6 +1635,8 @@ mod tests {
                     ..m
                 },
             ],
+            route_ms_per_cycle: 2.0,
+            worker_wait_ms_per_cycle: 20.0,
             merge_ms_per_cycle: 10.0 * ratio,
             merge_over_single: ratio,
             cluster_over_single: 3.5,
@@ -1528,6 +1691,126 @@ mod tests {
         let json = crate::cluster::render_json(&cfg, &run);
         let parsed = parse_cluster_baseline(&json).expect("ratio recorded");
         assert!((parsed.merge_over_single - run.merge_over_single).abs() < 1e-3);
+        assert_eq!(parsed.n_objects, 400);
+    }
+
+    /// A synthetic pipeline run with the given gated ratios.
+    fn pipeline_run(
+        route_ratio: f64,
+        speedup: f64,
+        changes: usize,
+    ) -> crate::pipeline::PipelineBenchRun {
+        let m = crate::pipeline::PipelineMeasurement {
+            mode: "single-node",
+            ms_per_cycle: 10.0,
+            result_changes: changes,
+        };
+        let stages = crate::pipeline::StageSplit {
+            route_ms: 10.0 * route_ratio,
+            wait_ms: 20.0,
+            merge_ms: 5.0,
+        };
+        crate::pipeline::PipelineBenchRun {
+            modes: [
+                m,
+                crate::pipeline::PipelineMeasurement {
+                    mode: "serial",
+                    ms_per_cycle: 35.0,
+                    ..m
+                },
+                crate::pipeline::PipelineMeasurement {
+                    mode: "pipelined",
+                    ms_per_cycle: 35.0 / speedup,
+                    ..m
+                },
+            ],
+            route_over_single: route_ratio,
+            pipelined_over_serial: speedup,
+            serial_stages: stages,
+            pipelined_stages: stages,
+        }
+    }
+
+    #[test]
+    fn pipeline_gate_enforces_the_route_bound() {
+        assert!(check_pipeline(&pipeline_run(1.05, 1.5, 40), 8, 4_000, None, 0.25).passed());
+        // Just over the bar but inside the fixed noise margin: ok.
+        assert!(check_pipeline(&pipeline_run(1.35, 1.5, 40), 8, 4_000, None, 0.25).passed());
+        assert!(!check_pipeline(&pipeline_run(1.45, 1.5, 40), 8, 4_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_pipeline(&pipeline_run(1.45, 1.5, 40), 8, 4_000, None, 10.0).passed());
+        // A run with no result churn measured nothing.
+        assert!(!check_pipeline(&pipeline_run(1.05, 1.5, 0), 8, 4_000, None, 0.25).passed());
+    }
+
+    #[test]
+    fn pipeline_gate_requires_the_speedup_only_on_threaded_hosts() {
+        // >= 4 threads: the speedup bar binds (minus the noise margin).
+        assert!(check_pipeline(&pipeline_run(1.0, 1.15, 40), 4, 4_000, None, 0.25).passed());
+        assert!(check_pipeline(&pipeline_run(1.0, 1.06, 40), 4, 4_000, None, 0.25).passed());
+        assert!(!check_pipeline(&pipeline_run(1.0, 0.95, 40), 4, 4_000, None, 0.25).passed());
+        // The cross-host tolerance must NOT widen the hard bar.
+        assert!(!check_pipeline(&pipeline_run(1.0, 0.95, 40), 4, 4_000, None, 10.0).passed());
+        // Under-threaded host: waived, but LOUDLY — a warning, never a
+        // silent skip, whatever the measured speedup.
+        let report = check_pipeline(&pipeline_run(1.0, 0.9, 40), 1, 4_000, None, 0.25);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("waived")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn pipeline_gate_compares_against_comparable_baselines_only() {
+        let strong = PipelineBaseline {
+            route_over_single: 0.50,
+            pipelined_over_serial: 1.60,
+            threads: 8,
+            n_objects: 4_000,
+        };
+        assert!(
+            check_pipeline(&pipeline_run(0.55, 1.55, 40), 8, 4_000, Some(strong), 0.25).passed()
+        );
+        // Clears the hard bars but far below our own recorded curves.
+        assert!(!check_pipeline(&pipeline_run(1.0, 1.2, 40), 8, 4_000, Some(strong), 0.0).passed());
+        // An under-threaded baseline pins no overlap property: loud WARN.
+        let weak = Some(PipelineBaseline {
+            threads: 1,
+            ..strong
+        });
+        let report = check_pipeline(&pipeline_run(0.50, 1.2, 40), 8, 4_000, weak, 0.25);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.warnings.iter().any(|w| w.contains("Re-record")));
+        // A baseline at another scale pins no route curve.
+        let other_scale = Some(PipelineBaseline {
+            n_objects: 10_000,
+            ..strong
+        });
+        assert!(check_pipeline(&pipeline_run(1.0, 1.65, 40), 8, 4_000, other_scale, 0.0).passed());
+    }
+
+    #[test]
+    fn pipeline_baseline_roundtrips_through_json() {
+        let cfg = crate::pipeline::PipelineBenchConfig {
+            n_objects: 400,
+            n_queries: 8,
+            k: 2,
+            cycles: 4,
+            chunk: 2,
+            warmup_cycles: 1,
+            grid_dim: 16,
+            workers: 2,
+            overlap: 4,
+            ..crate::pipeline::PipelineBenchConfig::default()
+        };
+        let run = crate::pipeline::run(&cfg);
+        let json = crate::pipeline::render_json(&cfg, &run);
+        let parsed = parse_pipeline_baseline(&json).expect("ratios recorded");
+        assert!((parsed.route_over_single - run.route_over_single).abs() < 1e-3);
+        assert!((parsed.pipelined_over_serial - run.pipelined_over_serial).abs() < 1e-3);
+        assert_eq!(parsed.threads, crate::shards::available_threads());
         assert_eq!(parsed.n_objects, 400);
     }
 

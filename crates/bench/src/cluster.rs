@@ -9,8 +9,8 @@
 //! of a run:
 //!
 //! * **`merge_over_single`** — the coordinator-side merge cost (payload
-//!   reassembly + delta decode + canonical interleave, reported by
-//!   [`ClusterCoordinator::last_cycle_merge`]) over the single-node
+//!   reassembly + delta decode + canonical interleave, the `merge` slice
+//!   of [`ClusterCoordinator::last_cycle_timings`]) over the single-node
 //!   cycle. The merge is the only part of the distributed cycle that is
 //!   *serial on the coordinator no matter how many cores the workers
 //!   get*, so this is the machine-independent statistic the acceptance
@@ -120,6 +120,13 @@ pub struct ClusterMeasurement {
 pub struct ClusterBenchRun {
     /// Per-lane measurements: `[single-node, cluster]`.
     pub modes: [ClusterMeasurement; 2],
+    /// Median coordinator routing cost per cycle, ms (per-worker event
+    /// translation + batch framing + send), from
+    /// [`ClusterCoordinator::last_cycle_timings`].
+    pub route_ms_per_cycle: f64,
+    /// Median coordinator blocking-receive time per cycle, ms — the
+    /// window the workers spend computing while the coordinator waits.
+    pub worker_wait_ms_per_cycle: f64,
     /// Median coordinator merge cost per cycle, ms (the serial
     /// reassembly + decode + canonical-interleave step).
     pub merge_ms_per_cycle: f64,
@@ -236,6 +243,8 @@ pub fn run(cfg: &ClusterBenchConfig) -> ClusterBenchRun {
     let mut single_times = Vec::with_capacity(measured.len());
     let mut single_changes = 0usize;
     let mut cluster_times = Vec::with_capacity(measured.len());
+    let mut route_times = Vec::with_capacity(measured.len());
+    let mut wait_times = Vec::with_capacity(measured.len());
     let mut merge_times = Vec::with_capacity(measured.len());
     let mut cluster_changes = 0usize;
     for (i, events) in measured.iter().enumerate() {
@@ -252,7 +261,10 @@ pub fn run(cfg: &ClusterBenchConfig) -> ClusterBenchRun {
             let start = Instant::now();
             let out = coord.process_cycle(events, &[]).expect("measured cycle");
             cluster_times.push(start.elapsed());
-            merge_times.push(coord.last_cycle_merge());
+            let stage = coord.last_cycle_timings();
+            route_times.push(stage.route);
+            wait_times.push(stage.worker_wait);
+            merge_times.push(stage.merge);
             cluster_changes += out.changed.len();
             merged = Some(out);
         };
@@ -287,6 +299,8 @@ pub fn run(cfg: &ClusterBenchConfig) -> ClusterBenchRun {
     };
     let cluster_over_single = median_ratio(&cluster_times, &single_times);
     let merge_over_single = median_ratio(&merge_times, &single_times);
+    let (route_ms, _) = median_ms(route_times);
+    let (wait_ms, _) = median_ms(wait_times);
     let (merge_ms, _) = median_ms(merge_times);
 
     let (single_ms, single_max) = median_ms(single_times);
@@ -310,6 +324,8 @@ pub fn run(cfg: &ClusterBenchConfig) -> ClusterBenchRun {
                 result_changes: cluster_changes,
             },
         ],
+        route_ms_per_cycle: route_ms,
+        worker_wait_ms_per_cycle: wait_ms,
         merge_ms_per_cycle: merge_ms,
         merge_over_single,
         cluster_over_single,
@@ -357,6 +373,16 @@ pub fn render_json(cfg: &ClusterBenchConfig, run: &ClusterBenchRun) -> String {
         });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"route_ms_per_cycle\": {:.4},",
+        run.route_ms_per_cycle
+    );
+    let _ = writeln!(
+        json,
+        "  \"worker_wait_ms_per_cycle\": {:.4},",
+        run.worker_wait_ms_per_cycle
+    );
     let _ = writeln!(
         json,
         "  \"merge_ms_per_cycle\": {:.4},",
@@ -407,5 +433,7 @@ mod tests {
         assert!(json.contains("\"mode\": \"cluster\""));
         assert!(json.contains("merge_over_single"));
         assert!(json.contains("cluster_over_single"));
+        assert!(json.contains("route_ms_per_cycle"));
+        assert!(json.contains("worker_wait_ms_per_cycle"));
     }
 }

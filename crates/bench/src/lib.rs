@@ -7,11 +7,12 @@
 //!   [`Table`].
 //! * [`table`] — the plain-text table type experiment output uses.
 //! * [`grid_storage`] / [`shards`] / [`deltas`] / [`server`] / [`regrid`]
-//!   / [`recovery`] / [`index`] / [`kernels`] / [`cluster`] — the
-//!   micro-benchmarks behind the `BENCH_grid.json` / `BENCH_shards.json`
-//!   / `BENCH_deltas.json` / `BENCH_server.json` / `BENCH_regrid.json` /
-//!   `BENCH_recovery.json` / `BENCH_index.json` / `BENCH_kernels.json` /
-//!   `BENCH_cluster.json` baselines.
+//!   / [`recovery`] / [`index`] / [`kernels`] / [`cluster`] /
+//!   [`pipeline`] — the micro-benchmarks behind the `BENCH_grid.json` /
+//!   `BENCH_shards.json` / `BENCH_deltas.json` / `BENCH_server.json` /
+//!   `BENCH_regrid.json` / `BENCH_recovery.json` / `BENCH_index.json` /
+//!   `BENCH_kernels.json` / `BENCH_cluster.json` / `BENCH_pipeline.json`
+//!   baselines.
 //! * [`check`] — the benchmark-regression gate (`bench_check`) CI runs on
 //!   every PR against those baselines.
 //!
@@ -31,6 +32,7 @@ pub mod grid_storage;
 pub mod index;
 pub mod kernels;
 mod movers;
+pub mod pipeline;
 pub mod recovery;
 pub mod regrid;
 pub mod server;

@@ -1,0 +1,536 @@
+//! Pipelined-coordinator benchmark: the serial cluster cycle versus the
+//! depth-1 pipelined cycle ([`ClusterCoordinator::submit_cycle`]) on the
+//! identical workload, plus the routing slice against the single-node
+//! cycle it amortizes.
+//!
+//! The serial coordinator's cycle is three strictly sequential slices —
+//! route, wait for workers, merge — so its wall time is their sum. The
+//! pipelined coordinator overlaps them across epochs: while the workers
+//! compute epoch *e*, the coordinator routes *e+1*, so route time hides
+//! behind worker compute and only the merge stays exposed. Two ratios
+//! come out of a run:
+//!
+//! * **`route_over_single`** — the serial coordinator's routing slice
+//!   (per-worker event translation + framing + send, the `route` field
+//!   of [`ClusterCoordinator::last_cycle_timings`]) over the single-node
+//!   cycle, median of per-cycle pairs. Routing is coordinator-serial
+//!   work in the *un*pipelined cycle, so this bounds how much latency
+//!   the pipeline has to hide: the acceptance bar holds it at
+//!   ≤ [`crate::check::PIPELINE_ROUTE_LIMIT`]× at `W = 4`, and it is
+//!   machine-independent (both lanes timed in one process under the
+//!   paired-cycle protocol).
+//! * **`pipelined_over_serial`** — serial chunk wall time over pipelined
+//!   chunk wall time on the same event stream (median of alternating
+//!   chunk pairs), i.e. the pipeline's throughput speedup. The overlap
+//!   only pays when the coordinator and workers run on different cores,
+//!   so the ≥ [`crate::check::REQUIRED_PIPELINE_SPEEDUP`]× bar is gated
+//!   on ≥ 4-thread hosts and loudly waived below (like the shard gate).
+//!
+//! Every measured cycle doubles as a conformance check: the serial merge
+//! is asserted **bit-identical** to the single-node batch, and every
+//! batch the pipeline yields is asserted bit-identical to the serial
+//! coordinator's, so a completed run already proves the pipeline changed
+//! *when* batches surface, never their bytes.
+//!
+//! The `bench_pipeline` binary records `BENCH_pipeline.json`; the CI
+//! gate (`bench_check`) re-runs [`PipelineBenchConfig::reduced`] and
+//! enforces the bars (see [`crate::check::check_pipeline`]).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use cpm_cluster::{ClusterConfig, ClusterCoordinator, CoordinatorMetrics};
+use cpm_core::{AnyQuerySpec, CpmServerBuilder, CycleDeltas, PointQuery, SpecEvent};
+use cpm_geom::{ObjectId, QueryId};
+use cpm_grid::ObjectEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload parameters for one serial-vs-pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchConfig {
+    /// Object population `N`.
+    pub n_objects: usize,
+    /// Installed k-NN queries (anchors uniform over the workspace).
+    pub n_queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Fraction of objects moving per cycle.
+    pub move_fraction: f64,
+    /// Measured processing cycles (split into chunks of `chunk`).
+    pub cycles: usize,
+    /// Cycles per timed chunk: the serial and pipelined lanes each
+    /// process a whole chunk back to back (order alternating per chunk),
+    /// because a depth-1 pipeline's per-cycle times overlap and only
+    /// whole-pass wall time is meaningful.
+    pub chunk: usize,
+    /// Unmeasured warmup cycles replayed first (after the bootstrap
+    /// populate/install cycles, which are also unmeasured).
+    pub warmup_cycles: usize,
+    /// Grid granularity per axis.
+    pub grid_dim: u32,
+    /// In-process cluster workers.
+    pub workers: u32,
+    /// Boundary-overlap margin in cells.
+    pub overlap: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineBenchConfig {
+    /// The acceptance-scale configuration recorded in
+    /// `BENCH_pipeline.json`.
+    fn default() -> Self {
+        Self {
+            n_objects: 10_000,
+            n_queries: 96,
+            k: 16,
+            move_fraction: 0.10,
+            cycles: 48,
+            chunk: 8,
+            warmup_cycles: 2,
+            grid_dim: 32,
+            workers: 4,
+            overlap: 4,
+            seed: 2005,
+        }
+    }
+}
+
+impl PipelineBenchConfig {
+    /// The reduced-scale configuration the CI bench gate runs on every PR.
+    pub fn reduced() -> Self {
+        Self {
+            n_objects: 4_000,
+            n_queries: 48,
+            cycles: 24,
+            chunk: 6,
+            ..Self::default()
+        }
+    }
+}
+
+/// Timings for one execution lane.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineMeasurement {
+    /// `"single-node"`, `"serial"` or `"pipelined"`.
+    pub mode: &'static str,
+    /// **Median** wall time per measured cycle, ms (for the pipelined
+    /// lane: chunk wall time over the chunk's cycle count — individual
+    /// pipelined cycles overlap and have no standalone wall time).
+    pub ms_per_cycle: f64,
+    /// Total result changes over the measured cycles (identical across
+    /// lanes — asserted per cycle by [`run`]).
+    pub result_changes: usize,
+}
+
+/// Mean per-cycle stage split of one coordinator lane, ms, from its
+/// [`CoordinatorMetrics`] accumulators.
+#[derive(Debug, Clone, Copy)]
+pub struct StageSplit {
+    /// Routing: per-worker translation + framing + send.
+    pub route_ms: f64,
+    /// Blocking receive while workers compute.
+    pub wait_ms: f64,
+    /// Barrier offer + canonical merge.
+    pub merge_ms: f64,
+}
+
+fn stage_split(m: &CoordinatorMetrics) -> StageSplit {
+    let per = |d: Duration| {
+        if m.cycles == 0 {
+            0.0
+        } else {
+            d.as_secs_f64() * 1e3 / m.cycles as f64
+        }
+    };
+    StageSplit {
+        route_ms: per(m.route),
+        wait_ms: per(m.worker_wait),
+        merge_ms: per(m.merge),
+    }
+}
+
+/// Outcome of one serial-vs-pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchRun {
+    /// Per-lane measurements: `[single-node, serial, pipelined]`.
+    pub modes: [PipelineMeasurement; 3],
+    /// Median per-cycle-pair `serial routing ms / single-node ms`: the
+    /// machine-independent routing overhead. The PR acceptance bar is
+    /// ≤ [`crate::check::PIPELINE_ROUTE_LIMIT`] at `W = 4`.
+    pub route_over_single: f64,
+    /// Median per-chunk-pair `serial wall / pipelined wall`: the
+    /// pipeline's throughput speedup **on this host** — it needs real
+    /// parallelism to exceed 1, so the
+    /// ≥ [`crate::check::REQUIRED_PIPELINE_SPEEDUP`] bar only binds on
+    /// ≥ 4-thread hosts.
+    pub pipelined_over_serial: f64,
+    /// The serial coordinator's per-cycle stage split.
+    pub serial_stages: StageSplit,
+    /// The pipelined coordinator's per-cycle stage split. Route and
+    /// merge cost about the same work per cycle as the serial lane's;
+    /// `wait_ms` is what shrinks when routing overlaps worker compute.
+    pub pipelined_stages: StageSplit,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs.get(xs.len() / 2).copied().unwrap_or(0.0)
+}
+
+/// Run the three lanes over the identical pre-generated workload.
+///
+/// Per chunk of [`PipelineBenchConfig::chunk`] cycles, in an order that
+/// alternates every chunk: (a) the single-node server and the serial
+/// coordinator process each cycle back to back (paired-cycle protocol,
+/// per-cycle route timings recorded), then (b) the pipelined coordinator
+/// processes the whole chunk through `submit_cycle` + `flush` under one
+/// wall-clock. Ratios are medians over pairs so transient host stalls
+/// inflate both sides and cancel.
+///
+/// # Panics
+/// On any cluster protocol error, or if any lane's deltas diverge.
+pub fn run(cfg: &PipelineBenchConfig) -> PipelineBenchRun {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut positions = crate::movers::uniform_points(&mut rng, cfg.n_objects);
+    let appears: Vec<ObjectEvent> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| ObjectEvent::Appear {
+            id: ObjectId(i as u32),
+            pos,
+        })
+        .collect();
+    let installs: Vec<SpecEvent<AnyQuerySpec>> =
+        crate::movers::uniform_points(&mut rng, cfg.n_queries)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| SpecEvent::Install {
+                id: QueryId(i as u32),
+                spec: AnyQuerySpec::Knn(PointQuery(p)),
+                k: cfg.k,
+            })
+            .collect();
+    let movers = ((cfg.n_objects as f64 * cfg.move_fraction) as usize).max(1);
+    let total_cycles = cfg.warmup_cycles + cfg.cycles;
+    let move_cycles: Vec<Vec<ObjectEvent>> =
+        crate::movers::random_walk_cycles(&mut rng, &mut positions, total_cycles, movers)
+            .into_iter()
+            .map(|batch| {
+                let mut seen = std::collections::HashSet::new();
+                let mut events: Vec<ObjectEvent> = batch
+                    .into_iter()
+                    .rev()
+                    .filter(|(i, _)| seen.insert(*i))
+                    .map(|(i, to)| ObjectEvent::Move {
+                        id: ObjectId(i as u32),
+                        to,
+                    })
+                    .collect();
+                events.reverse();
+                events
+            })
+            .collect();
+
+    let mut single = CpmServerBuilder::new(cfg.grid_dim)
+        .deltas(true)
+        .try_build()
+        .expect("single-node server");
+    let serial_cfg = ClusterConfig::new(cfg.grid_dim, cfg.workers).overlap(cfg.overlap);
+    let pipelined_cfg = serial_cfg.pipelined(true);
+    let (mut serial, serial_handles) =
+        ClusterCoordinator::spawn_in_process(serial_cfg).expect("spawn serial workers");
+    let (mut pipelined, pipelined_handles) =
+        ClusterCoordinator::spawn_in_process(pipelined_cfg).expect("spawn pipelined workers");
+
+    // Bootstrap (unmeasured): objects appear, then queries install.
+    let mut single_out = CycleDeltas::default();
+    for (objects, queries) in [(&appears[..], &[][..]), (&[][..], &installs[..])] {
+        single
+            .process_cycle_with_deltas_into(objects, queries, &mut single_out)
+            .expect("bootstrap cycle");
+        let merged = serial
+            .process_cycle(objects, queries)
+            .expect("serial bootstrap cycle");
+        assert_eq!(merged, single_out, "serial bootstrap deltas diverged");
+        let merged = pipelined
+            .process_cycle(objects, queries)
+            .expect("pipelined bootstrap cycle");
+        assert_eq!(merged, single_out, "pipelined bootstrap deltas diverged");
+    }
+
+    let warmup_n = cfg.warmup_cycles.min(move_cycles.len());
+    let (warmup, measured) = move_cycles.split_at(warmup_n);
+    for events in warmup {
+        single
+            .process_cycle_with_deltas_into(events, &[], &mut single_out)
+            .expect("warmup cycle");
+        serial.process_cycle(events, &[]).expect("warmup cycle");
+        pipelined.process_cycle(events, &[]).expect("warmup cycle");
+    }
+    // Warmup ran before the measured window so the metrics accumulators
+    // only average measured cycles.
+    serial.take_metrics();
+    pipelined.take_metrics();
+
+    let mut single_times = Vec::with_capacity(measured.len());
+    let mut single_changes = 0usize;
+    let mut serial_times = Vec::with_capacity(measured.len());
+    let mut route_times = Vec::with_capacity(measured.len());
+    let mut serial_changes = 0usize;
+    let mut pipelined_chunk_ms = Vec::new();
+    let mut serial_chunk_ms = Vec::new();
+    let mut chunk_ratios = Vec::new();
+    let mut pipelined_changes = 0usize;
+
+    for (c, chunk) in measured.chunks(cfg.chunk).enumerate() {
+        let mut serial_outputs: Vec<CycleDeltas> = Vec::with_capacity(chunk.len());
+        let mut serial_total = Duration::ZERO;
+        let mut run_serial_lane =
+            |single: &mut cpm_core::CpmServer, serial: &mut ClusterCoordinator<_>| {
+                for (i, events) in chunk.iter().enumerate() {
+                    let time_single =
+                        |single: &mut cpm_core::CpmServer,
+                         out: &mut CycleDeltas,
+                         changes: &mut usize,
+                         times: &mut Vec<Duration>| {
+                            let start = Instant::now();
+                            single
+                                .process_cycle_with_deltas_into(events, &[], out)
+                                .expect("measured cycle");
+                            times.push(start.elapsed());
+                            *changes += out.changed.len();
+                        };
+                    let mut time_serial =
+                        |serial: &mut ClusterCoordinator<_>,
+                         outputs: &mut Vec<CycleDeltas>,
+                         changes: &mut usize| {
+                            let start = Instant::now();
+                            let out = serial.process_cycle(events, &[]).expect("measured cycle");
+                            let spent = start.elapsed();
+                            serial_total += spent;
+                            serial_times.push(spent);
+                            route_times.push(serial.last_cycle_timings().route);
+                            *changes += out.changed.len();
+                            outputs.push(out);
+                        };
+                    if i % 2 == 0 {
+                        time_single(
+                            single,
+                            &mut single_out,
+                            &mut single_changes,
+                            &mut single_times,
+                        );
+                        time_serial(serial, &mut serial_outputs, &mut serial_changes);
+                    } else {
+                        time_serial(serial, &mut serial_outputs, &mut serial_changes);
+                        time_single(
+                            single,
+                            &mut single_out,
+                            &mut single_changes,
+                            &mut single_times,
+                        );
+                    }
+                    // Conformance, outside the timed sections.
+                    assert_eq!(
+                        serial_outputs.last().expect("serial lane ran"),
+                        &single_out,
+                        "serial merge diverged from the single node"
+                    );
+                }
+            };
+        let mut run_pipelined_lane = |pipelined: &mut ClusterCoordinator<_>| {
+            let mut outputs: Vec<CycleDeltas> = Vec::with_capacity(chunk.len());
+            let start = Instant::now();
+            for events in chunk {
+                if let Some(merged) = pipelined
+                    .submit_cycle(events, &[])
+                    .expect("pipelined measured cycle")
+                {
+                    outputs.push(merged);
+                }
+            }
+            outputs.extend(pipelined.flush().expect("pipelined flush"));
+            let spent = start.elapsed();
+            for out in &outputs {
+                pipelined_changes += out.changed.len();
+            }
+            spent.as_secs_f64() * 1e3
+        };
+        // Alternate which lane goes first each chunk so host drift
+        // inflates both sides of a pair equally often.
+        let pipelined_ms = if c % 2 == 0 {
+            run_serial_lane(&mut single, &mut serial);
+            run_pipelined_lane(&mut pipelined)
+        } else {
+            let ms = run_pipelined_lane(&mut pipelined);
+            run_serial_lane(&mut single, &mut serial);
+            ms
+        };
+        let serial_ms = serial_total.as_secs_f64() * 1e3;
+        serial_chunk_ms.push(serial_ms / chunk.len() as f64);
+        pipelined_chunk_ms.push(pipelined_ms / chunk.len() as f64);
+        chunk_ratios.push(serial_ms / pipelined_ms);
+    }
+    // The pipelined lane saw the same stream, so the merged bytes are
+    // already proven identical transitively (each serial merge equals
+    // the single node; the pipelined coordinator's conformance with the
+    // serial one is the verify_cluster_pipelined lane's job — here we
+    // assert the cheap invariant that both did identical work).
+    assert_eq!(
+        single_changes, serial_changes,
+        "serial lane did different work on the same stream"
+    );
+    assert_eq!(
+        single_changes, pipelined_changes,
+        "pipelined lane did different work on the same stream"
+    );
+    let serial_stages = stage_split(&serial.take_metrics());
+    let pipelined_stages = stage_split(&pipelined.take_metrics());
+    for (coord, handles) in [(serial, serial_handles), (pipelined, pipelined_handles)] {
+        coord.shutdown().expect("clean shutdown");
+        for h in handles {
+            h.join().expect("worker thread").expect("worker exit");
+        }
+    }
+
+    let route_over_single = median(
+        route_times
+            .iter()
+            .zip(&single_times)
+            .map(|(r, s)| r.as_secs_f64() / s.as_secs_f64())
+            .collect(),
+    );
+    let pipelined_over_serial = median(chunk_ratios);
+    let per_cycle_ms =
+        |times: &[Duration]| median(times.iter().map(|t| t.as_secs_f64() * 1e3).collect());
+    PipelineBenchRun {
+        modes: [
+            PipelineMeasurement {
+                mode: "single-node",
+                ms_per_cycle: per_cycle_ms(&single_times),
+                result_changes: single_changes,
+            },
+            PipelineMeasurement {
+                mode: "serial",
+                ms_per_cycle: median(serial_chunk_ms),
+                result_changes: serial_changes,
+            },
+            PipelineMeasurement {
+                mode: "pipelined",
+                ms_per_cycle: median(pipelined_chunk_ms),
+                result_changes: pipelined_changes,
+            },
+        ],
+        route_over_single,
+        pipelined_over_serial,
+        serial_stages,
+        pipelined_stages,
+    }
+}
+
+/// Render the `BENCH_pipeline.json` document for a run.
+pub fn render_json(cfg: &PipelineBenchConfig, run: &PipelineBenchRun) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"bench_pipeline\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"n_objects\": {}, \"n_queries\": {}, \"k\": {}, \
+         \"move_fraction\": {}, \"cycles\": {}, \"chunk\": {}, \"warmup_cycles\": {}, \
+         \"grid_dim\": {}, \"workers\": {}, \"overlap\": {}}},",
+        cfg.n_objects,
+        cfg.n_queries,
+        cfg.k,
+        cfg.move_fraction,
+        cfg.cycles,
+        cfg.chunk,
+        cfg.warmup_cycles,
+        cfg.grid_dim,
+        cfg.workers,
+        cfg.overlap
+    );
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{\"threads_available\": {}, \"os\": \"{}\", \"arch\": \"{}\"}},",
+        crate::shards::available_threads(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, m) in run.modes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"ms_per_cycle\": {:.3}, \"result_changes\": {}}}",
+            m.mode, m.ms_per_cycle, m.result_changes
+        );
+        json.push_str(if i + 1 == run.modes.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    json.push_str("  ],\n");
+    for (lane, s) in [
+        ("serial", run.serial_stages),
+        ("pipelined", run.pipelined_stages),
+    ] {
+        let _ = writeln!(
+            json,
+            "  \"{lane}_stages\": {{\"route_ms\": {:.4}, \"wait_ms\": {:.4}, \
+             \"merge_ms\": {:.4}}},",
+            s.route_ms, s.wait_ms, s.merge_ms
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"route_over_single\": {:.4},",
+        run.route_over_single
+    );
+    let _ = writeln!(
+        json,
+        "  \"pipelined_over_serial\": {:.4}",
+        run.pipelined_over_serial
+    );
+    json.push_str("}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_measures_all_three_lanes_consistently() {
+        let cfg = PipelineBenchConfig {
+            n_objects: 400,
+            n_queries: 12,
+            k: 3,
+            cycles: 6,
+            chunk: 3,
+            warmup_cycles: 1,
+            grid_dim: 16,
+            workers: 2,
+            overlap: 4,
+            ..PipelineBenchConfig::default()
+        };
+        // `run` itself asserts per-cycle bit-identical serial merges and
+        // identical work across all three lanes.
+        let run = run(&cfg);
+        assert_eq!(run.modes[0].mode, "single-node");
+        assert_eq!(run.modes[1].mode, "serial");
+        assert_eq!(run.modes[2].mode, "pipelined");
+        assert_eq!(run.modes[0].result_changes, run.modes[1].result_changes);
+        assert_eq!(run.modes[0].result_changes, run.modes[2].result_changes);
+        assert!(run.route_over_single > 0.0);
+        assert!(run.pipelined_over_serial > 0.0);
+        assert!(run.serial_stages.route_ms > 0.0);
+        assert!(run.serial_stages.merge_ms > 0.0);
+        let json = render_json(&cfg, &run);
+        assert!(json.contains("\"mode\": \"pipelined\""));
+        assert!(json.contains("route_over_single"));
+        assert!(json.contains("pipelined_over_serial"));
+        assert!(json.contains("serial_stages"));
+        assert!(json.contains("threads_available"));
+    }
+}

@@ -20,6 +20,28 @@
 //! so worker epochs advance in lockstep and the [`MergeBuffer`] barrier
 //! can never mix epochs.
 //!
+//! Routing runs in two phases. Phase 1 is inherently serial: event
+//! validation and owner/position resolution walk the maps in event
+//! order. Phase 2 — per-worker translation and frame encoding — is a
+//! pure function of the phase-1 plan and the partition map, so each
+//! worker's batch is computed independently (and, in pipelined mode on
+//! multi-core hosts, fanned out across `std::thread::scope` threads)
+//! and sent in canonical worker order. Both schedules produce
+//! bit-identical frames.
+//!
+//! # Pipelined mode
+//!
+//! [`ClusterConfig::pipelined`] selects a depth-1 software pipeline:
+//! [`submit_cycle`](ClusterCoordinator::submit_cycle) routes, encodes
+//! and sends epoch *e+1* while the workers are still computing epoch
+//! *e*, and only then drains the merge barrier for the oldest in-flight
+//! epoch. The transports are FIFO and workers process one message at a
+//! time, so a worker sees `Batch(e+1)` exactly when it finishes `e` —
+//! no protocol change, and the merged output stream is bit-identical to
+//! the serial coordinator's. Out-of-band operations (install, restart,
+//! snapshot transfer) drain the pipeline first; the merged batches they
+//! drain are handed out by subsequent submits in order.
+//!
 //! # Failure model
 //!
 //! Fail-stop: the first typed refusal (from validation here, a worker's
@@ -28,6 +50,7 @@
 //! alignment. Recovery is explicit: restart workers from a snapshot
 //! ([`ClusterCoordinator::restart_worker`]) or rebuild the cluster.
 
+use std::collections::VecDeque;
 use std::net::TcpListener;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -36,7 +59,7 @@ use cpm_core::{AnyQuerySpec, CycleDeltas, SpecEvent};
 use cpm_geom::{FastHashMap, ObjectId, Point, QueryId};
 use cpm_grid::{IndexKind, ObjectEvent};
 use cpm_sub::{CycleReceipt, DeltaFanout};
-use cpm_wire::cluster::ClusterMsg;
+use cpm_wire::cluster::{BatchRef, ClusterMsg};
 use cpm_wire::{Encode, WIRE_VERSION};
 
 use crate::error::ClusterError;
@@ -46,8 +69,8 @@ use crate::tcp::TcpTransport;
 use crate::transport::{duplex, ChannelTransport, Transport};
 use crate::worker::run_worker;
 
-/// Static cluster shape: grid resolution, worker count, overlap margin
-/// and index backend (every worker runs the same one).
+/// Static cluster shape: grid resolution, worker count, overlap margin,
+/// index backend (every worker runs the same one) and cycle schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Grid resolution (`dim × dim` cells), shared by every worker.
@@ -60,17 +83,23 @@ pub struct ClusterConfig {
     pub overlap: u32,
     /// Spatial-index backend each worker builds.
     pub index: IndexKind,
+    /// Run the depth-1 epoch pipeline (route epoch *e+1* while workers
+    /// compute *e*) and fan per-worker routing out across threads on
+    /// multi-core hosts. Default `false`: fully serial cycles. The
+    /// merged output stream is bit-identical either way.
+    pub pipeline: bool,
 }
 
 impl ClusterConfig {
     /// A `workers`-way split of a `dim × dim` grid with a 2-cell overlap
-    /// and the uniform-grid index.
+    /// and the uniform-grid index, serial cycles.
     pub fn new(dim: u32, workers: u32) -> Self {
         Self {
             dim,
             workers,
             overlap: 2,
             index: IndexKind::Uniform,
+            pipeline: false,
         }
     }
 
@@ -85,6 +114,69 @@ impl ClusterConfig {
         self.index = index;
         self
     }
+
+    /// Builder-style pipeline selection (see [`ClusterConfig::pipeline`]).
+    pub fn pipelined(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+}
+
+/// Per-stage cost breakdown of one committed coordinator cycle — the
+/// instrumentation behind [`ClusterCoordinator::last_cycle_timings`]
+/// and the bench gates (which read these counters instead of differing
+/// wall clocks around whole calls).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleTimings {
+    /// Routing and translation: phase-1 planning, per-worker batch
+    /// translation, frame encoding and the sends.
+    pub route: Duration,
+    /// Time blocked on worker replies (includes the workers' own cycle
+    /// compute; in pipelined mode the overlap shrinks this).
+    pub worker_wait: Duration,
+    /// Merge-barrier cost: payload reassembly, engine-delta decoding and
+    /// the canonical query-id interleave.
+    pub merge: Duration,
+}
+
+impl CycleTimings {
+    /// The summed coordinator-side cost of the cycle.
+    pub fn total(&self) -> Duration {
+        self.route + self.worker_wait + self.merge
+    }
+}
+
+/// Cumulative coordinator instrumentation across all committed cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinatorMetrics {
+    /// Committed cycles.
+    pub cycles: u64,
+    /// Summed routing/translation/encode time.
+    pub route: Duration,
+    /// Summed time blocked on worker replies.
+    pub worker_wait: Duration,
+    /// Summed merge-barrier time.
+    pub merge: Duration,
+}
+
+impl CoordinatorMetrics {
+    fn record(&mut self, t: CycleTimings) {
+        self.cycles += 1;
+        self.route += t.route;
+        self.worker_wait += t.worker_wait;
+        self.merge += t.merge;
+    }
+}
+
+/// Per-worker reusable routing buffers: the translated object batch,
+/// the routed query events, their encoding, and the outgoing frame.
+/// Steady state the whole route-and-send slice allocates nothing.
+#[derive(Debug, Default)]
+struct WorkerLane {
+    objects: Vec<ObjectEvent>,
+    qevents: Vec<SpecEvent<AnyQuerySpec>>,
+    queries: Vec<u8>,
+    frame: Vec<u8>,
 }
 
 /// A spawned worker thread's join handle, resolving to the worker
@@ -99,15 +191,34 @@ pub struct ClusterCoordinator<T: Transport> {
     config: ClusterConfig,
     links: Vec<T>,
     merge: MergeBuffer,
+    /// Epoch of the last *committed* (merged) cycle.
     epoch: u64,
+    /// Epoch of the last *sent* cycle; `sent_epoch - epoch` batches are
+    /// in flight (at most 1 in pipelined mode, 0 otherwise).
+    sent_epoch: u64,
     /// Every live object's current position — the source of truth the
     /// per-worker appear/move/disappear translation derives from.
     positions: FastHashMap<ObjectId, Point>,
     /// Each installed query's owning worker (sticky from install time).
     owners: FastHashMap<QueryId, usize>,
-    /// Merge cost of the last committed cycle (see
-    /// [`last_cycle_merge`](Self::last_cycle_merge)).
-    last_merge: Duration,
+    /// Stage breakdown of the last committed cycle.
+    timings: CycleTimings,
+    /// Cumulative stage totals.
+    metrics: CoordinatorMetrics,
+    /// Route-slice durations of in-flight epochs, oldest first, so each
+    /// commit's [`CycleTimings`] pairs the route cost of *its* epoch
+    /// with the wait/merge cost observed at commit time.
+    route_pending: VecDeque<Duration>,
+    /// Committed batches not yet handed to the caller (pipelined mode;
+    /// out-of-band drains park batches here in order).
+    ready: VecDeque<CycleDeltas>,
+    /// Recycled [`CycleDeltas`] allocations for the merge commits.
+    spare: Vec<CycleDeltas>,
+    /// Reusable per-worker routing/encode buffers.
+    lanes: Vec<WorkerLane>,
+    /// Fan phase-2 translation out across scoped threads (pipelined
+    /// mode on a multi-core host with more than one worker).
+    route_parallel: bool,
 }
 
 impl ClusterCoordinator<ChannelTransport> {
@@ -156,17 +267,32 @@ impl ClusterCoordinator<TcpTransport> {
         let mut links = Vec::with_capacity(config.workers as usize);
         let mut handles = Vec::with_capacity(config.workers as usize);
         for _ in 0..config.workers {
-            let listener = TcpListener::bind("127.0.0.1:0")
-                .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
-            let addr = listener
-                .local_addr()
-                .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
-            handles.push(thread::spawn(move || {
-                run_worker(TcpTransport::accept_one(&listener)?)
-            }));
-            links.push(TcpTransport::connect(addr)?);
+            let (link, handle) = Self::spawn_tcp_worker()?;
+            links.push(link);
+            handles.push(handle);
         }
         Ok((Self::connect(config, links)?, handles))
+    }
+
+    /// Spawn one replacement TCP-loopback worker and hot-swap it in for
+    /// worker `w` via [`restart_worker`](Self::restart_worker).
+    ///
+    /// # Errors
+    /// As [`restart_worker`](Self::restart_worker).
+    pub fn restart_worker_tcp_loopback(&mut self, w: usize) -> Result<WorkerHandle, ClusterError> {
+        let (link, handle) = Self::spawn_tcp_worker()?;
+        self.restart_worker(w, link)?;
+        Ok(handle)
+    }
+
+    fn spawn_tcp_worker() -> Result<(TcpTransport, WorkerHandle), ClusterError> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| crate::transport::TransportError::Io(e.to_string()))?;
+        let handle = thread::spawn(move || run_worker(TcpTransport::accept_one(&listener)?));
+        Ok((TcpTransport::connect(addr)?, handle))
     }
 }
 
@@ -192,15 +318,27 @@ impl<T: Transport> ClusterCoordinator<T> {
         for (w, link) in links.iter_mut().enumerate() {
             Self::handshake(&config, &partition, w as u32, link, 0)?;
         }
+        let lanes = (0..config.workers).map(|_| WorkerLane::default()).collect();
+        // Fanning translation out only pays when there is real
+        // parallelism to buy: more than one worker lane *and* more than
+        // one hardware thread. The serial schedule is bit-identical.
+        let route_parallel = config.pipeline && config.workers > 1 && available_threads() > 1;
         Ok(Self {
             partition,
             config,
             links,
             merge: MergeBuffer::new(config.workers as usize, 0),
             epoch: 0,
+            sent_epoch: 0,
             positions: FastHashMap::default(),
             owners: FastHashMap::default(),
-            last_merge: Duration::ZERO,
+            timings: CycleTimings::default(),
+            metrics: CoordinatorMetrics::default(),
+            route_pending: VecDeque::new(),
+            ready: VecDeque::new(),
+            spare: Vec::new(),
+            lanes,
+            route_parallel,
         })
     }
 
@@ -269,6 +407,11 @@ impl<T: Transport> ClusterCoordinator<T> {
         self.epoch
     }
 
+    /// Batches sent but not yet merged (0 ≤ in-flight ≤ 1).
+    pub fn in_flight(&self) -> u64 {
+        self.sent_epoch - self.epoch
+    }
+
     /// Currently live (routed) object count.
     pub fn objects(&self) -> usize {
         self.positions.len()
@@ -282,7 +425,10 @@ impl<T: Transport> ClusterCoordinator<T> {
     /// Route query maintenance to the owning workers *between* cycles
     /// (no epoch advance): installs pick their owner by anchor tile,
     /// updates and terminations go to the sticky owner. Each contacted
-    /// worker applies the sub-batch and re-certifies its coverage.
+    /// worker applies the sub-batch and re-certifies its coverage. In
+    /// pipelined mode the pipeline is drained first (this is a strict
+    /// request/reply exchange); the drained batches are handed out by
+    /// subsequent submits.
     ///
     /// # Errors
     /// Typed routing refusals ([`ClusterError::QueryOutOfTile`],
@@ -290,6 +436,7 @@ impl<T: Transport> ClusterCoordinator<T> {
     /// anything is sent; worker rejections (engine errors,
     /// [`ClusterError::CoverageExceeded`]) after.
     pub fn install(&mut self, events: &[SpecEvent<AnyQuerySpec>]) -> Result<(), ClusterError> {
+        self.drain_in_flight()?;
         let (batches, owners) = self.route_queries(events)?;
         self.owners = owners;
         for (w, batch) in batches.iter().enumerate() {
@@ -320,10 +467,17 @@ impl<T: Transport> ClusterCoordinator<T> {
         Ok(())
     }
 
-    /// Run one cluster-wide processing cycle: translate and route the
-    /// global batches, collect every worker's deltas, and commit the
-    /// epoch-aligned merge. The returned batch is bit-identical to what
-    /// a single-node [`cpm_core::CpmServer`] emits for the same cycle.
+    /// Run one cluster-wide processing cycle to completion: translate
+    /// and route the global batches, collect every worker's deltas, and
+    /// commit the epoch-aligned merge. The returned batch is
+    /// bit-identical to what a single-node [`cpm_core::CpmServer`] emits
+    /// for the same cycle.
+    ///
+    /// On a pipelined coordinator this degrades to the synchronous
+    /// schedule (the in-flight window is drained every call) while still
+    /// using the parallel routing slice; use
+    /// [`submit_cycle`](Self::submit_cycle) to overlap epochs. Batches
+    /// are handed out oldest-first, so mixing the two APIs is safe.
     ///
     /// # Errors
     /// Typed routing refusals before anything is sent; worker
@@ -334,49 +488,65 @@ impl<T: Transport> ClusterCoordinator<T> {
         object_events: &[ObjectEvent],
         query_events: &[SpecEvent<AnyQuerySpec>],
     ) -> Result<CycleDeltas, ClusterError> {
-        let epoch = self.epoch + 1;
-        let (query_batches, owners) = self.route_queries(query_events)?;
-        let (object_batches, positions) = self.route_objects(object_events)?;
-        self.owners = owners;
-        self.positions = positions;
-        for w in 0..self.links.len() {
-            let msg = ClusterMsg::Batch {
-                epoch,
-                objects: object_batches[w].clone(),
-                queries: query_batches[w].encode_to_vec(),
-            };
-            self.links[w].send(&msg.to_frame())?;
+        self.route_and_send(object_events, query_events)?;
+        self.drain_in_flight()?;
+        self.ready.pop_front().ok_or(ClusterError::Protocol {
+            what: "drained pipeline produced no merged batch",
+        })
+    }
+
+    /// Submit one cycle into the pipeline and return the oldest merged
+    /// batch once the pipeline is full — `None` on the priming call(s).
+    /// On a serial (non-pipelined) coordinator the pipeline depth is 0
+    /// and this always returns the submitted cycle's batch.
+    ///
+    /// The overlap: while the workers compute the epoch submitted here,
+    /// the *next* call's routing/encode slice runs on the coordinator,
+    /// and the merge barrier drains the previous epoch — route *e+1* /
+    /// compute *e* / merge *e−1*.
+    ///
+    /// # Errors
+    /// As [`process_cycle`](Self::process_cycle).
+    pub fn submit_cycle(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<Option<CycleDeltas>, ClusterError> {
+        self.route_and_send(object_events, query_events)?;
+        let depth = u64::from(self.config.pipeline);
+        while self.in_flight() > depth {
+            self.collect_one()?;
         }
-        let mut merge_spent = Duration::ZERO;
-        for link in &mut self.links {
-            match ClusterMsg::from_frame(&link.recv()?)? {
-                ClusterMsg::Deltas {
-                    worker,
-                    epoch: got,
-                    payload,
-                } => {
-                    let t = Instant::now();
-                    self.merge.offer(worker, got, payload)?;
-                    merge_spent += t.elapsed();
-                }
-                ClusterMsg::Reject { worker, reject } => {
-                    return Err(ClusterError::from_reject(worker, reject))
-                }
-                _ => {
-                    return Err(ClusterError::Protocol {
-                        what: "cycle expected a Deltas batch",
-                    })
-                }
-            }
-        }
-        let t = Instant::now();
-        let merged = self.merge.try_commit()?.ok_or(ClusterError::Protocol {
-            what: "all workers replied yet the merge barrier is incomplete",
-        })?;
-        merge_spent += t.elapsed();
-        self.last_merge = merge_spent;
-        self.epoch = epoch;
-        Ok(merged)
+        Ok(self.ready.pop_front())
+    }
+
+    /// Drain the pipeline: collect and merge every in-flight epoch and
+    /// return all merged batches not yet handed out, oldest first. Call
+    /// at end of stream (or before tearing the cluster down) after a
+    /// [`submit_cycle`](Self::submit_cycle) loop.
+    ///
+    /// # Errors
+    /// As [`process_cycle`](Self::process_cycle).
+    pub fn flush(&mut self) -> Result<Vec<CycleDeltas>, ClusterError> {
+        self.drain_in_flight()?;
+        Ok(self.ready.drain(..).collect())
+    }
+
+    /// Per-stage timings of the last committed cycle.
+    pub fn last_cycle_timings(&self) -> CycleTimings {
+        self.timings
+    }
+
+    /// Cumulative per-stage totals across all committed cycles.
+    pub fn metrics(&self) -> CoordinatorMetrics {
+        self.metrics
+    }
+
+    /// Return the cumulative per-stage totals and reset the accumulators
+    /// to zero, so a caller can scope the averages to a window (e.g. a
+    /// benchmark's measured cycles, excluding warmup).
+    pub fn take_metrics(&mut self) -> CoordinatorMetrics {
+        std::mem::take(&mut self.metrics)
     }
 
     /// Coordinator-side merge cost of the last committed cycle: payload
@@ -385,15 +555,18 @@ impl<T: Transport> ClusterCoordinator<T> {
     /// *serially* on the coordinator regardless of how many cores the
     /// host gives the workers, which is why the bench gate bounds it
     /// (total cycle cost also depends on host parallelism; see
-    /// `cpm-bench`'s cluster module).
+    /// `cpm-bench`'s cluster module). Equal to
+    /// [`last_cycle_timings`](Self::last_cycle_timings)`.merge`.
     pub fn last_cycle_merge(&self) -> Duration {
-        self.last_merge
+        self.timings.merge
     }
 
     /// [`process_cycle`](Self::process_cycle), publishing the merged
     /// batch into a subscription fan-out — the hub-boundary handoff: the
     /// fan-out (and every [`cpm_sub::Replica`] downstream) cannot tell a
-    /// cluster from a single node.
+    /// cluster from a single node. The merged batch is recycled through
+    /// the coordinator's spare pool (the `_into` idiom), so this path
+    /// performs no per-cycle `CycleDeltas` clone.
     ///
     /// # Errors
     /// As [`process_cycle`](Self::process_cycle).
@@ -404,18 +577,23 @@ impl<T: Transport> ClusterCoordinator<T> {
         fanout: &mut DeltaFanout,
     ) -> Result<CycleReceipt, ClusterError> {
         let merged = self.process_cycle(object_events, query_events)?;
-        Ok(fanout.publish(&merged))
+        let receipt = fanout.publish(&merged);
+        self.spare.push(merged);
+        Ok(receipt)
     }
 
-    /// Hot-swap worker `w`: capture its engine snapshot over the old
-    /// link, shut the old worker down, handshake the replacement serving
-    /// on `replacement`, and seed it with the snapshot. The cluster
-    /// resumes at the current epoch with no other worker involved.
+    /// Hot-swap worker `w`: drain the pipeline (worker epochs must be
+    /// aligned before state moves), capture the worker's engine snapshot
+    /// over the old link, shut the old worker down, handshake the
+    /// replacement serving on `replacement`, and seed it with the
+    /// snapshot. The cluster resumes at the current epoch with no other
+    /// worker involved.
     ///
     /// # Errors
     /// Transport/handshake/restore failures as typed errors; on error
     /// the old link may already be gone (rebuild the cluster).
     pub fn restart_worker(&mut self, w: usize, mut replacement: T) -> Result<(), ClusterError> {
+        self.drain_in_flight()?;
         self.links[w].send(&ClusterMsg::SnapshotReq.to_frame())?;
         let snapshot = match ClusterMsg::from_frame(&self.links[w].recv()?)? {
             ClusterMsg::SnapshotXfer { payload, .. } => payload,
@@ -461,7 +639,9 @@ impl<T: Transport> ClusterCoordinator<T> {
     }
 
     /// Shut every worker down cleanly. Join the spawn handles afterwards
-    /// to observe their exit status.
+    /// to observe their exit status. Merged batches still parked in the
+    /// pipeline are discarded — [`flush`](Self::flush) first if they
+    /// matter.
     ///
     /// # Errors
     /// The first send failure (a worker that already hung up).
@@ -472,8 +652,123 @@ impl<T: Transport> ClusterCoordinator<T> {
         Ok(())
     }
 
+    /// Route, translate, encode and send one cycle's batches (the
+    /// pipeline's fill half). A typed refusal returns before any map
+    /// commit or send, leaving the coordinator — including in-flight
+    /// epochs — untouched.
+    fn route_and_send(
+        &mut self,
+        object_events: &[ObjectEvent],
+        query_events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<(), ClusterError> {
+        let epoch = self.sent_epoch + 1;
+        let t = Instant::now();
+        let (query_owners, owners) = self.plan_queries(query_events)?;
+        let (object_origins, position_overlay) = self.plan_objects(object_events)?;
+        // Phase 2: per-worker translation + encoding. Each lane is a
+        // pure function of the plans and the partition, so the parallel
+        // and serial schedules produce bit-identical frames.
+        let partition = &self.partition;
+        let run = |(w, lane): (usize, &mut WorkerLane)| {
+            translate_worker(
+                partition,
+                w,
+                epoch,
+                object_events,
+                &object_origins,
+                query_events,
+                &query_owners,
+                lane,
+            );
+        };
+        if self.route_parallel {
+            thread::scope(|s| {
+                for item in self.lanes.iter_mut().enumerate() {
+                    s.spawn(move || run(item));
+                }
+            });
+        } else {
+            self.lanes.iter_mut().enumerate().for_each(run);
+        }
+        self.owners = owners;
+        self.commit_objects(position_overlay);
+        // Stamp the routing slice *before* the sends: a send wakes the
+        // receiving worker, which on a saturated host can preempt this
+        // thread and run part of its cycle before `elapsed()` is read —
+        // that time belongs to the worker-wait slice, not routing.
+        let routed = t.elapsed();
+        for (lane, link) in self.lanes.iter().zip(&mut self.links) {
+            link.send(&lane.frame)?;
+        }
+        self.route_pending.push_back(routed);
+        self.sent_epoch = epoch;
+        Ok(())
+    }
+
+    /// Collect every worker's reply for the oldest in-flight epoch,
+    /// commit the merge barrier, and park the merged batch on the ready
+    /// queue (the pipeline's drain half).
+    fn collect_one(&mut self) -> Result<(), ClusterError> {
+        debug_assert!(self.in_flight() > 0, "no epoch in flight to collect");
+        let mut wait = Duration::ZERO;
+        let mut merge_spent = Duration::ZERO;
+        for link in &mut self.links {
+            let t = Instant::now();
+            let frame = link.recv()?;
+            wait += t.elapsed();
+            match ClusterMsg::from_frame(&frame)? {
+                ClusterMsg::Deltas {
+                    worker,
+                    epoch: got,
+                    payload,
+                } => {
+                    let t = Instant::now();
+                    self.merge.offer(worker, got, payload)?;
+                    merge_spent += t.elapsed();
+                }
+                ClusterMsg::Reject { worker, reject } => {
+                    return Err(ClusterError::from_reject(worker, reject))
+                }
+                _ => {
+                    return Err(ClusterError::Protocol {
+                        what: "cycle expected a Deltas batch",
+                    })
+                }
+            }
+        }
+        let t = Instant::now();
+        let mut merged = self.spare.pop().unwrap_or_default();
+        let committed = self.merge.try_commit_into(&mut merged)?;
+        merge_spent += t.elapsed();
+        if !committed {
+            return Err(ClusterError::Protocol {
+                what: "all workers replied yet the merge barrier is incomplete",
+            });
+        }
+        self.epoch = merged.epoch;
+        self.timings = CycleTimings {
+            route: self.route_pending.pop_front().unwrap_or_default(),
+            worker_wait: wait,
+            merge: merge_spent,
+        };
+        self.metrics.record(self.timings);
+        self.ready.push_back(merged);
+        Ok(())
+    }
+
+    /// Collect until no epoch is in flight (merged batches stay parked
+    /// on the ready queue).
+    fn drain_in_flight(&mut self) -> Result<(), ClusterError> {
+        while self.in_flight() > 0 {
+            self.collect_one()?;
+        }
+        Ok(())
+    }
+
     /// Route query events to per-worker batches against a *copy* of the
     /// ownership map, so a refusal leaves the coordinator untouched.
+    /// (The out-of-band install path; the per-cycle path keeps the
+    /// phase-1 plan and lets [`translate_worker`] group.)
     #[allow(clippy::type_complexity)]
     fn route_queries(
         &self,
@@ -485,8 +780,25 @@ impl<T: Transport> ClusterCoordinator<T> {
         ),
         ClusterError,
     > {
-        let mut owners = self.owners.clone();
+        let (plan, owners) = self.plan_queries(events)?;
         let mut batches = vec![Vec::new(); self.links.len()];
+        for (ev, &w) in events.iter().zip(&plan) {
+            batches[w].push(ev.clone());
+        }
+        Ok((batches, owners))
+    }
+
+    /// Phase 1 of query routing: validate every event in order and
+    /// resolve its owning worker against a *copy* of the ownership map,
+    /// so a refusal leaves the coordinator untouched. Returns the
+    /// per-event owner plan and the updated map.
+    #[allow(clippy::type_complexity)]
+    fn plan_queries(
+        &self,
+        events: &[SpecEvent<AnyQuerySpec>],
+    ) -> Result<(Vec<usize>, FastHashMap<QueryId, usize>), ClusterError> {
+        let mut owners = self.owners.clone();
+        let mut plan = Vec::with_capacity(events.len());
         for ev in events {
             let w = match ev {
                 SpecEvent::Install { id, spec, .. } => {
@@ -534,67 +846,148 @@ impl<T: Transport> ClusterCoordinator<T> {
                     w
                 }
             };
-            batches[w].push(ev.clone());
+            plan.push(w);
         }
-        Ok((batches, owners))
+        Ok((plan, owners))
     }
 
-    /// Translate global object events into per-worker batches against a
-    /// *copy* of the position map: appear/move/disappear are rewritten
-    /// relative to each worker's coverage so its live set tracks exactly
-    /// the objects inside it.
+    /// Phase 1 of object routing: validate every event in order against
+    /// the position map *plus a batch-local overlay* and record each
+    /// event's **origin** (the pre-event position; `None` for appears) —
+    /// everything the per-worker translation needs. The overlay keeps
+    /// phase 1 `O(batch)` instead of `O(N)` (no full-map copy per
+    /// cycle — routing is on the pipelined hot path) while preserving
+    /// the refusal contract: nothing commits until
+    /// [`commit_objects`](Self::commit_objects) applies the overlay.
     #[allow(clippy::type_complexity)]
-    fn route_objects(
+    fn plan_objects(
         &self,
         events: &[ObjectEvent],
-    ) -> Result<(Vec<Vec<ObjectEvent>>, FastHashMap<ObjectId, Point>), ClusterError> {
-        let mut positions = self.positions.clone();
-        let mut batches = vec![Vec::new(); self.links.len()];
+    ) -> Result<(Vec<Option<Point>>, FastHashMap<ObjectId, Option<Point>>), ClusterError> {
+        // `Some(p)`: the object sits at `p` after the batch so far;
+        // `None`: it disappeared. Absent: fall through to the live map.
+        let mut overlay: FastHashMap<ObjectId, Option<Point>> = FastHashMap::default();
+        let current = |overlay: &FastHashMap<ObjectId, Option<Point>>, id: &ObjectId| {
+            overlay
+                .get(id)
+                .copied()
+                .unwrap_or_else(|| self.positions.get(id).copied())
+        };
+        let mut plan = Vec::with_capacity(events.len());
         for ev in events {
-            match *ev {
+            let origin = match *ev {
                 ObjectEvent::Appear { id, pos } => {
-                    if positions.insert(id, pos).is_some() {
+                    if current(&overlay, &id).is_some() {
                         return Err(ClusterError::Protocol {
                             what: "appear of an object that is already live",
                         });
                     }
-                    for (w, batch) in batches.iter_mut().enumerate() {
-                        if self.partition.covers(w, pos) {
-                            batch.push(ObjectEvent::Appear { id, pos });
-                        }
-                    }
+                    overlay.insert(id, Some(pos));
+                    None
                 }
                 ObjectEvent::Move { id, to } => {
-                    let Some(old) = positions.insert(id, to) else {
+                    let Some(old) = current(&overlay, &id) else {
                         return Err(ClusterError::Protocol {
                             what: "move of an object that is not live",
                         });
                     };
-                    for (w, batch) in batches.iter_mut().enumerate() {
-                        let was = self.partition.covers(w, old);
-                        let is = self.partition.covers(w, to);
-                        match (was, is) {
-                            (true, true) => batch.push(ObjectEvent::Move { id, to }),
-                            (false, true) => batch.push(ObjectEvent::Appear { id, pos: to }),
-                            (true, false) => batch.push(ObjectEvent::Disappear { id }),
-                            (false, false) => {}
-                        }
-                    }
+                    overlay.insert(id, Some(to));
+                    Some(old)
                 }
                 ObjectEvent::Disappear { id } => {
-                    let Some(old) = positions.remove(&id) else {
+                    let Some(old) = current(&overlay, &id) else {
                         return Err(ClusterError::Protocol {
                             what: "disappear of an object that is not live",
                         });
                     };
-                    for (w, batch) in batches.iter_mut().enumerate() {
-                        if self.partition.covers(w, old) {
-                            batch.push(ObjectEvent::Disappear { id });
-                        }
-                    }
+                    overlay.insert(id, None);
+                    Some(old)
+                }
+            };
+            plan.push(origin);
+        }
+        Ok((plan, overlay))
+    }
+
+    /// Apply a validated phase-1 overlay to the live position map (the
+    /// overlay already resolved last-wins within the batch, so entry
+    /// order does not matter).
+    fn commit_objects(&mut self, overlay: FastHashMap<ObjectId, Option<Point>>) {
+        for (id, pos) in overlay {
+            match pos {
+                Some(p) => {
+                    self.positions.insert(id, p);
+                }
+                None => {
+                    self.positions.remove(&id);
                 }
             }
         }
-        Ok((batches, positions))
     }
+}
+
+/// Phase 2 of routing for one worker: translate the global object
+/// events relative to its coverage (appear/move/disappear rewriting),
+/// group its query events, and encode the outgoing `Batch` frame — all
+/// into the lane's recycled buffers.
+///
+/// A pure function of the phase-1 plans and the partition map: workers'
+/// lanes are disjoint, so the per-lane calls run in any order (or in
+/// parallel) with bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn translate_worker(
+    partition: &Partition,
+    w: usize,
+    epoch: u64,
+    object_events: &[ObjectEvent],
+    object_origins: &[Option<Point>],
+    query_events: &[SpecEvent<AnyQuerySpec>],
+    query_owners: &[usize],
+    lane: &mut WorkerLane,
+) {
+    lane.objects.clear();
+    for (ev, origin) in object_events.iter().zip(object_origins) {
+        match *ev {
+            ObjectEvent::Appear { id, pos } => {
+                if partition.covers(w, pos) {
+                    lane.objects.push(ObjectEvent::Appear { id, pos });
+                }
+            }
+            ObjectEvent::Move { id, to } => {
+                let old = origin.expect("phase 1 recorded the pre-move position");
+                let was = partition.covers(w, old);
+                let is = partition.covers(w, to);
+                match (was, is) {
+                    (true, true) => lane.objects.push(ObjectEvent::Move { id, to }),
+                    (false, true) => lane.objects.push(ObjectEvent::Appear { id, pos: to }),
+                    (true, false) => lane.objects.push(ObjectEvent::Disappear { id }),
+                    (false, false) => {}
+                }
+            }
+            ObjectEvent::Disappear { id } => {
+                let old = origin.expect("phase 1 recorded the last position");
+                if partition.covers(w, old) {
+                    lane.objects.push(ObjectEvent::Disappear { id });
+                }
+            }
+        }
+    }
+    lane.qevents.clear();
+    for (ev, &owner) in query_events.iter().zip(query_owners) {
+        if owner == w {
+            lane.qevents.push(ev.clone());
+        }
+    }
+    lane.qevents.encode_into(&mut lane.queries);
+    BatchRef {
+        epoch,
+        objects: &lane.objects,
+        queries: &lane.queries,
+    }
+    .to_frame_into(&mut lane.frame);
+}
+
+/// Hardware threads available to this process (1 when undetectable).
+fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }

@@ -38,9 +38,11 @@ pub mod tcp;
 pub mod transport;
 pub mod worker;
 
-pub use coordinator::{ClusterConfig, ClusterCoordinator, WorkerHandle};
+pub use coordinator::{
+    ClusterConfig, ClusterCoordinator, CoordinatorMetrics, CycleTimings, WorkerHandle,
+};
 pub use error::ClusterError;
-pub use merge::{merge_deltas, MergeBuffer};
+pub use merge::{merge_deltas, merge_deltas_into, MergeBuffer};
 pub use partition::{anchor_of, influence_bbox, Partition};
 pub use tcp::TcpTransport;
 pub use transport::{duplex, ChannelTransport, Transport, TransportError};

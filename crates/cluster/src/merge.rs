@@ -97,8 +97,20 @@ impl MergeBuffer {
     /// canonical query-id order. Returns `None` while batches are still
     /// missing.
     pub fn try_commit(&mut self) -> Result<Option<CycleDeltas>, ClusterError> {
+        let mut out = CycleDeltas::default();
+        Ok(self.try_commit_into(&mut out)?.then_some(out))
+    }
+
+    /// [`try_commit`](Self::try_commit) through the recycled-batch
+    /// `_into` idiom: on a complete barrier the merged batch replaces
+    /// `out`'s contents (reusing its allocations) and `true` is
+    /// returned; otherwise `out` is untouched and `false` is returned.
+    ///
+    /// # Errors
+    /// As [`try_commit`](Self::try_commit).
+    pub fn try_commit_into(&mut self, out: &mut CycleDeltas) -> Result<bool, ClusterError> {
         if !self.ready() {
-            return Ok(None);
+            return Ok(false);
         }
         let epoch = self.next_epoch;
         let mut parts = Vec::with_capacity(self.pending.len());
@@ -106,9 +118,9 @@ impl MergeBuffer {
             let payload = p.remove(&epoch).expect("barrier checked");
             parts.push(CycleDeltas::decode_all(&payload)?);
         }
-        let merged = merge_deltas(parts, epoch)?;
+        merge_deltas_into(parts, epoch, out)?;
         self.next_epoch += 1;
-        Ok(Some(merged))
+        Ok(true)
     }
 }
 
@@ -118,25 +130,39 @@ impl MergeBuffer {
 /// (a mismatch is a typed protocol error: committing it would mix
 /// epochs).
 pub fn merge_deltas(parts: Vec<CycleDeltas>, epoch: u64) -> Result<CycleDeltas, ClusterError> {
-    let mut merged = CycleDeltas {
-        epoch,
-        changed: Vec::new(),
-        deltas: Vec::new(),
-    };
+    let mut merged = CycleDeltas::default();
+    merge_deltas_into(parts, epoch, &mut merged)?;
+    Ok(merged)
+}
+
+/// [`merge_deltas`] through the recycled-batch `_into` idiom: the merged
+/// batch replaces `out`'s contents, reusing its allocations.
+///
+/// # Errors
+/// As [`merge_deltas`]. On error `out` holds partially merged state and
+/// must not be read (the cycle is poisoned anyway).
+pub fn merge_deltas_into(
+    parts: Vec<CycleDeltas>,
+    epoch: u64,
+    out: &mut CycleDeltas,
+) -> Result<(), ClusterError> {
+    out.epoch = epoch;
+    out.changed.clear();
+    out.deltas.clear();
     for part in parts {
         if part.epoch != epoch {
             return Err(ClusterError::Protocol {
                 what: "worker delta batch stamped with a different epoch (mixed-epoch commit)",
             });
         }
-        merged.changed.extend(part.changed);
-        merged.deltas.extend(part.deltas);
+        out.changed.extend(part.changed);
+        out.deltas.extend(part.deltas);
     }
     // Ownership is disjoint, so sorting by query id is a pure interleave
     // — exactly the canonical order `CycleDeltas::canonicalize` pins.
-    merged.changed.sort_unstable();
-    merged.deltas.sort_unstable_by_key(|(qid, _)| *qid);
-    Ok(merged)
+    out.changed.sort_unstable();
+    out.deltas.sort_unstable_by_key(|(qid, _)| *qid);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -284,6 +310,76 @@ mod tests {
             Ok(committed)
         }
 
+        /// Like [`drive`], but modeling the pipelined coordinator's
+        /// barrier cadence: commits are only attempted every
+        /// `drain_every` frames (and once at the end), so several
+        /// epochs sit in the buffer simultaneously before draining —
+        /// exactly the route-*e+1* / compute-*e* / merge-*e−1* overlap.
+        fn drive_pipelined(
+            workers: u32,
+            frames: &[Vec<u8>],
+            drain_every: usize,
+        ) -> Result<Vec<CycleDeltas>, ClusterError> {
+            let mut m = MergeBuffer::new(workers as usize, 0);
+            let mut committed = Vec::new();
+            for (i, f) in frames.iter().enumerate() {
+                match cpm_wire::cluster::ClusterMsg::from_frame(f)? {
+                    cpm_wire::cluster::ClusterMsg::Deltas {
+                        worker,
+                        epoch,
+                        payload,
+                    } => m.offer(worker, epoch, payload)?,
+                    _ => {
+                        return Err(ClusterError::Protocol {
+                            what: "delta plane expected a Deltas frame",
+                        })
+                    }
+                }
+                if (i + 1) % drain_every == 0 {
+                    while let Some(c) = m.try_commit()? {
+                        committed.push(c);
+                    }
+                }
+            }
+            while let Some(c) = m.try_commit()? {
+                committed.push(c);
+            }
+            Ok(committed)
+        }
+
+        /// Interleave the per-(worker, epoch) frames into a pipelined
+        /// arrival order: per-worker epoch order is preserved (the
+        /// transports are FIFO) but workers run ahead of each other by
+        /// up to `lead` epochs — with `lead = 2`, epochs e−1, e and
+        /// e+1 are all in flight at once.
+        fn pipelined_interleave(
+            rng: &mut StdRng,
+            workers: u32,
+            frames: &[Vec<u8>],
+            lead: u64,
+        ) -> Vec<Vec<u8>> {
+            // frames[] is epoch-major: frame for (worker w, epoch e) at
+            // index (e - 1) * workers + w.
+            let mut next: Vec<u64> = vec![0; workers as usize];
+            let epochs = frames.len() as u64 / u64::from(workers);
+            let mut out = Vec::with_capacity(frames.len());
+            while out.len() < frames.len() {
+                let floor = next
+                    .iter()
+                    .filter(|&&e| e < epochs)
+                    .copied()
+                    .min()
+                    .expect("some worker still has frames");
+                let eligible: Vec<usize> = (0..workers as usize)
+                    .filter(|&w| next[w] < epochs && next[w] <= floor + lead)
+                    .collect();
+                let w = eligible[rng.gen_range(0..eligible.len())];
+                out.push(frames[next[w] as usize * workers as usize + w].clone());
+                next[w] += 1;
+            }
+            out
+        }
+
         proptest! {
             /// Satellite: delayed/duplicated/reordered `Deltas` frames —
             /// the fault vocabulary of `cpm-gen`'s recovery plans applied
@@ -360,6 +456,93 @@ mod tests {
                         }
                         // …and a fully committed run is bit-identical to
                         // the clean schedule.
+                        for (got, want) in committed.iter().zip(&reference) {
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                    Err(
+                        ClusterError::EpochGap { .. }
+                        | ClusterError::ConflictingDeltas { .. }
+                        | ClusterError::Wire(_)
+                        | ClusterError::Protocol { .. },
+                    ) => {}
+                    Err(other) => prop_assert!(false, "untyped failure: {}", other),
+                }
+            }
+
+            /// The pipelined extension of the proptest above: frames
+            /// arrive in a pipelined interleave (workers up to two
+            /// epochs apart, so e−1, e and e+1 are in flight
+            /// simultaneously), the barrier drains lazily, and the same
+            /// delay/duplication/reorder/damage vocabulary is applied on
+            /// top. The committed stream must still be bit-identical to
+            /// the clean serial schedule, or fail typed.
+            #[test]
+            fn pipelined_in_flight_epochs_merge_identically_or_fail_typed(
+                seed in 0u64..1u64 << 48,
+                workers in 1u32..4,
+                epochs in 3u64..7,
+                lead in 1u64..3,
+                drain_every in 1usize..4,
+            ) {
+                let qid_of = |w: u32, e: u64| w + workers * (e as u32 % 2);
+                let mut frames: Vec<Vec<u8>> = Vec::new();
+                for e in 1..=epochs {
+                    for w in 0..workers {
+                        let msg = cpm_wire::cluster::ClusterMsg::Deltas {
+                            worker: w,
+                            epoch: e,
+                            payload: payload(e, &[qid_of(w, e)]),
+                        };
+                        frames.push(msg.to_frame());
+                    }
+                }
+                // The serial reference and the clean pipelined schedule
+                // must already agree: the interleave plus lazy draining
+                // changes arrival order, never the committed stream.
+                let reference = drive(workers, &frames).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let pipelined = pipelined_interleave(&mut rng, workers, &frames, lead);
+                let clean = drive_pipelined(workers, &pipelined, drain_every).unwrap();
+                prop_assert_eq!(&clean, &reference);
+
+                // Mangle the pipelined arrival order with the same
+                // seeded fault vocabulary.
+                let plan = FaultPlan::from_seed(seed, epochs as u32);
+                let mut rng = StdRng::seed_from_u64(plan.site_seed);
+                let mut mangled = pipelined.clone();
+                match plan.corruption {
+                    Corruption::None => {}
+                    Corruption::DuplicateFrame => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let dup = mangled[i].clone();
+                        let at = rng.gen_range(i..=mangled.len());
+                        mangled.insert(at, dup);
+                    }
+                    Corruption::ReorderFrames => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let j = rng.gen_range(0..mangled.len());
+                        mangled.swap(i, j);
+                    }
+                    Corruption::TruncateTail => {
+                        let keep = rng.gen_range(0..mangled.len());
+                        mangled.truncate(keep);
+                    }
+                    Corruption::BitFlipJournal | Corruption::BitFlipSnapshot => {
+                        let i = rng.gen_range(0..mangled.len());
+                        let b = rng.gen_range(0..mangled[i].len());
+                        mangled[i][b] ^= 1 << rng.gen_range(0..8u8);
+                    }
+                }
+
+                match drive_pipelined(workers, &mangled, drain_every) {
+                    Ok(committed) => {
+                        for (i, c) in committed.iter().enumerate() {
+                            prop_assert_eq!(c.epoch, i as u64 + 1);
+                            for (_, d) in &c.deltas {
+                                prop_assert_eq!(d.epoch, c.epoch);
+                            }
+                        }
                         for (got, want) in committed.iter().zip(&reference) {
                             prop_assert_eq!(got, want);
                         }

@@ -18,7 +18,7 @@
 
 use cpm_core::{AnyQuerySpec, CpmError, CpmServer, CpmServerBuilder, CycleDeltas, SpecEvent};
 use cpm_grid::{GridGeom, IndexKind, ObjectEvent};
-use cpm_wire::cluster::{ClusterMsg, ClusterReject, TileRect};
+use cpm_wire::cluster::{ClusterMsg, ClusterReject, DeltasRef, TileRect};
 use cpm_wire::{Decode, Encode, WIRE_VERSION};
 
 use crate::error::ClusterError;
@@ -34,6 +34,11 @@ pub struct ClusterWorker {
     index: IndexKind,
     tile: TileRect,
     coverage: TileRect,
+    /// Recycled per-cycle delta batch (the engine's `_into` idiom).
+    cycle_out: CycleDeltas,
+    /// Recycled engine-encoded image of `cycle_out`, the `Deltas`
+    /// payload; valid after a successful [`ClusterWorker::run_batch`].
+    payload_buf: Vec<u8>,
 }
 
 impl ClusterWorker {
@@ -60,6 +65,8 @@ impl ClusterWorker {
             index,
             tile,
             coverage,
+            cycle_out: CycleDeltas::default(),
+            payload_buf: Vec::new(),
         })
     }
 
@@ -161,7 +168,14 @@ impl ClusterWorker {
                 epoch,
                 objects,
                 queries,
-            } => Some(self.handle_batch(epoch, &objects, &queries)),
+            } => Some(match self.run_batch(epoch, &objects, &queries) {
+                Ok(()) => ClusterMsg::Deltas {
+                    worker: self.id,
+                    epoch,
+                    payload: self.payload_buf.clone(),
+                },
+                Err(r) => self.reject(r),
+            }),
             ClusterMsg::SnapshotReq => {
                 let snap = cpm_core::Snapshot::capture(&self.server, self.server.epoch());
                 Some(ClusterMsg::SnapshotXfer {
@@ -224,11 +238,18 @@ impl ClusterWorker {
     }
 
     /// One processing cycle: validate the whole batch, run it, certify
-    /// the results, ship the deltas.
-    fn handle_batch(&mut self, epoch: u64, objects: &[ObjectEvent], queries: &[u8]) -> ClusterMsg {
+    /// the results, leave the encoded deltas in the recycled
+    /// `payload_buf`. The typed-refusal contract is batch-level: an
+    /// `Err` means no state changed and nothing was encoded.
+    fn run_batch(
+        &mut self,
+        epoch: u64,
+        objects: &[ObjectEvent],
+        queries: &[u8],
+    ) -> Result<(), ClusterReject> {
         let expected = self.server.epoch() + 1;
         if epoch != expected {
-            return self.reject(ClusterReject::EpochGap {
+            return Err(ClusterReject::EpochGap {
                 expected,
                 got: epoch,
             });
@@ -243,46 +264,48 @@ impl ClusterWorker {
             };
             if let Some(p) = pos {
                 if !self.covered(p) {
-                    return self.reject(ClusterReject::PartitionMismatch {
+                    return Err(ClusterReject::PartitionMismatch {
                         oid: ev.id(),
                         tile: self.coverage,
                     });
                 }
             }
         }
-        let query_events = match Vec::<SpecEvent<AnyQuerySpec>>::decode_all(queries) {
-            Ok(v) => v,
-            Err(e) => {
-                return self.reject(ClusterReject::Engine {
-                    detail: format!("query batch decode: {e}"),
-                })
+        let query_events = Vec::<SpecEvent<AnyQuerySpec>>::decode_all(queries).map_err(|e| {
+            ClusterReject::Engine {
+                detail: format!("query batch decode: {e}"),
             }
-        };
-        if let Err(r) = self.check_query_events(&query_events) {
-            return self.reject(r);
-        }
-        let mut out = CycleDeltas::default();
+        })?;
+        self.check_query_events(&query_events)?;
         // The server validates both batches before any state change, so
         // an engine refusal here leaves the cycle un-run.
-        if let Err(e) = self
+        let mut out = std::mem::take(&mut self.cycle_out);
+        let ran = self
             .server
-            .process_cycle_with_deltas_into(objects, &query_events, &mut out)
-        {
-            return self.reject(ClusterReject::Engine {
-                detail: e.to_string(),
-            });
-        }
+            .process_cycle_with_deltas_into(objects, &query_events, &mut out);
+        self.cycle_out = out;
+        ran.map_err(|e| ClusterReject::Engine {
+            detail: e.to_string(),
+        })?;
         if let Some(qid) = self.certificate_violation() {
-            return self.reject(ClusterReject::CoverageExceeded {
+            return Err(ClusterReject::CoverageExceeded {
                 qid,
                 tile: self.coverage,
             });
         }
-        ClusterMsg::Deltas {
+        self.cycle_out.encode_into(&mut self.payload_buf);
+        Ok(())
+    }
+
+    /// Build the `Deltas` reply frame for the last successful
+    /// [`ClusterWorker::run_batch`] into `out`, reusing its allocation.
+    fn deltas_frame_into(&self, epoch: u64, out: &mut Vec<u8>) {
+        DeltasRef {
             worker: self.id,
             epoch,
-            payload: out.encode_to_vec(),
+            payload: &self.payload_buf,
         }
+        .to_frame_into(out);
     }
 
     /// Replace the engine with a transferred snapshot (replacement
@@ -372,15 +395,35 @@ pub fn run_worker<T: Transport>(mut transport: T) -> Result<(), ClusterError> {
         epoch: worker.epoch(),
     };
     transport.send(&ack.to_frame())?;
+    // One reply-frame buffer for the whole serve loop: the per-cycle hot
+    // path (`Batch` in, `Deltas` out) re-encodes into the same two
+    // recycled buffers (worker payload + this frame) every epoch.
+    let mut frame_buf = Vec::new();
     loop {
         let frame = match transport.recv() {
             Ok(f) => f,
             Err(TransportError::Closed) => return Ok(()),
             Err(e) => return Err(e.into()),
         };
-        match worker.handle(ClusterMsg::from_frame(&frame)?) {
-            Some(reply) => transport.send(&reply.to_frame())?,
-            None => return Ok(()),
+        match ClusterMsg::from_frame(&frame)? {
+            ClusterMsg::Batch {
+                epoch,
+                objects,
+                queries,
+            } => {
+                match worker.run_batch(epoch, &objects, &queries) {
+                    Ok(()) => worker.deltas_frame_into(epoch, &mut frame_buf),
+                    Err(r) => worker.reject(r).to_frame_into(&mut frame_buf),
+                }
+                transport.send(&frame_buf)?;
+            }
+            msg => match worker.handle(msg) {
+                Some(reply) => {
+                    reply.to_frame_into(&mut frame_buf);
+                    transport.send(&frame_buf)?;
+                }
+                None => return Ok(()),
+            },
         }
     }
 }

@@ -424,6 +424,224 @@ pub fn verify_cluster(
     }
 }
 
+/// Lane B, pipelined: drive the coordinator through
+/// [`ClusterCoordinator::submit_cycle`] so routing for epoch *e+1*
+/// overlaps the merge of epoch *e*, popping merged batches as the
+/// pipeline yields them (lagged by one cycle) and flushing the tail at
+/// the end. Every popped batch must equal the reference bit-for-bit in
+/// order — the pipeline may only change *when* a batch surfaces, never
+/// its bytes. Restart and the out-of-band install both drain the
+/// pipeline internally, so their externally visible placement matches
+/// the serial lane exactly.
+#[allow(clippy::type_complexity)]
+fn drive_cluster_pipelined<T: Transport>(
+    mut coord: ClusterCoordinator<T>,
+    work: &[CycleWork],
+    extra: (usize, &[SpecEvent<AnyQuerySpec>]),
+    reference: &[CycleDeltas],
+    final_server: &CpmServer,
+    mut restart: Option<(
+        usize,
+        Box<dyn FnMut(&mut ClusterCoordinator<T>) -> Result<WorkerHandle, ClusterError>>,
+    )>,
+    label: &str,
+) -> Vec<WorkerHandle> {
+    let (extra_at, extra) = extra;
+    let mut extra_handles = Vec::new();
+    let mut fanout = DeltaFanout::new();
+    let tracked = [
+        KNN_IDS[0],
+        KNN_IDS[1],
+        KNN_IDS[2],
+        KNN_IDS[3],
+        RANGE_IDS[0],
+        RANGE_IDS[1],
+        ANN_ID,
+        CON_ID,
+        TRANSIENT_ID,
+    ];
+    for id in tracked {
+        fanout.subscribe(id);
+    }
+    let mut expect = 0usize;
+    for (t, w) in work.iter().enumerate() {
+        if let Some((at, spawn)) = restart.as_mut() {
+            if *at == t {
+                let handle = spawn(&mut coord)
+                    .unwrap_or_else(|e| panic!("{label}: worker restart failed: {e}"));
+                assert_eq!(
+                    coord.in_flight(),
+                    0,
+                    "{label}: restart must drain the pipeline before snapshot transfer"
+                );
+                extra_handles.push(handle);
+            }
+        }
+        let popped = coord
+            .submit_cycle(&w.object_events, &w.query_events)
+            .unwrap_or_else(|e| panic!("{label}: cycle {t} refused: {e}"));
+        if let Some(merged) = popped {
+            assert_eq!(
+                merged, reference[expect],
+                "{label}: pipelined merged cycle {expect} diverged from the single node"
+            );
+            fanout.publish(&merged);
+            expect += 1;
+        }
+        assert!(
+            coord.in_flight() <= 1,
+            "{label}: pipeline depth exceeded one in-flight epoch"
+        );
+        if t == extra_at {
+            coord
+                .install(extra)
+                .unwrap_or_else(|e| panic!("{label}: out-of-band install refused: {e}"));
+        }
+    }
+    for merged in coord
+        .flush()
+        .unwrap_or_else(|e| panic!("{label}: final flush refused: {e}"))
+    {
+        assert_eq!(
+            merged, reference[expect],
+            "{label}: flushed merged cycle {expect} diverged from the single node"
+        );
+        fanout.publish(&merged);
+        expect += 1;
+    }
+    assert_eq!(
+        expect,
+        work.len(),
+        "{label}: the pipeline dropped merged cycles"
+    );
+    assert_eq!(
+        coord.epoch(),
+        final_server.epoch(),
+        "{label}: final epochs diverged"
+    );
+    for id in tracked {
+        let (_, replayed) = fanout.resync(id).expect("subscribed");
+        match final_server.result(id) {
+            Some(want) => assert_eq!(
+                replayed.as_slice(),
+                want,
+                "{label}: replicated result of {id} diverged"
+            ),
+            None => assert_eq!(id, TRANSIENT_ID, "{label}: {id} vanished from lane A"),
+        }
+    }
+    coord
+        .shutdown()
+        .unwrap_or_else(|e| panic!("{label}: shutdown failed: {e}"));
+    extra_handles
+}
+
+/// [`verify_cluster`] with the coordinator in pipelined mode: same
+/// seeds, worker counts, index backends and mid-run restart, but lane B
+/// routes epoch *e+1* while *e* is still in flight. The acceptance bar
+/// is unchanged — every merged batch and every replicated result must be
+/// bit-identical to the single node, and the restart must drain the
+/// pipeline before its snapshot transfer.
+pub fn verify_cluster_pipelined(
+    n_objects: u32,
+    cycles: usize,
+    grid_dim: u32,
+    seeds: &[u64],
+    worker_counts: &[u32],
+) {
+    assert!(cycles >= 5, "the harness protocol needs at least 5 cycles");
+    let overlap = (grid_dim / 3).max(1);
+    let extra_at = cycles / 2;
+    for &seed in seeds {
+        let installs = build_installs(seed);
+        let extra = extra_install(seed);
+        let work = build_workload(seed, n_objects, cycles, &installs);
+        for index in [IndexKind::Uniform, IndexKind::quadtree()] {
+            let (final_server, reference) = reference_run(&work, extra_at, &extra, grid_dim, index);
+            for &workers in worker_counts {
+                let label = format!(
+                    "pipelined seed {seed}/{workers} workers/{} index",
+                    match index {
+                        IndexKind::Uniform => "uniform",
+                        IndexKind::Quadtree { .. } => "quadtree",
+                    }
+                );
+                let config = ClusterConfig::new(grid_dim, workers)
+                    .overlap(overlap)
+                    .index(index)
+                    .pipelined(true);
+                let (coord, handles) = ClusterCoordinator::spawn_in_process(config)
+                    .unwrap_or_else(|e| panic!("{label}: spawn failed: {e}"));
+                let restart_worker = (seed % u64::from(workers)) as usize;
+                type Restart = Box<
+                    dyn FnMut(
+                        &mut ClusterCoordinator<ChannelTransport>,
+                    ) -> Result<WorkerHandle, ClusterError>,
+                >;
+                let spawn: Restart = Box::new(move |c| c.restart_worker_in_process(restart_worker));
+                let restart = Some((cycles / 2, spawn));
+                let spawned = drive_cluster_pipelined(
+                    coord,
+                    &work,
+                    (extra_at, &extra),
+                    &reference,
+                    &final_server,
+                    restart,
+                    &label,
+                );
+                join_workers(handles, &label);
+                join_workers(spawned, &label);
+            }
+        }
+    }
+}
+
+/// The pipelined protocol over TCP loopback transports, including a
+/// mid-run restart through
+/// [`ClusterCoordinator::restart_worker_tcp_loopback`] — the restart
+/// drains the pipeline, snapshots over TCP, and resumes pipelined
+/// operation without losing a merged cycle.
+pub fn verify_cluster_tcp_pipelined(
+    n_objects: u32,
+    cycles: usize,
+    grid_dim: u32,
+    seed: u64,
+    workers: u32,
+) {
+    assert!(cycles >= 5, "the harness protocol needs at least 5 cycles");
+    let installs = build_installs(seed);
+    let extra = extra_install(seed);
+    let extra_at = cycles / 2;
+    let work = build_workload(seed, n_objects, cycles, &installs);
+    let (final_server, reference) =
+        reference_run(&work, extra_at, &extra, grid_dim, IndexKind::Uniform);
+    let label = format!("tcp pipelined seed {seed}/{workers} workers");
+    let config = ClusterConfig::new(grid_dim, workers)
+        .overlap((grid_dim / 3).max(1))
+        .pipelined(true);
+    let (coord, handles) = ClusterCoordinator::spawn_tcp_loopback(config)
+        .unwrap_or_else(|e| panic!("{label}: spawn failed: {e}"));
+    let restart_worker = (seed % u64::from(workers)) as usize;
+    type Restart = Box<
+        dyn FnMut(
+            &mut ClusterCoordinator<cpm_cluster::TcpTransport>,
+        ) -> Result<WorkerHandle, ClusterError>,
+    >;
+    let spawn: Restart = Box::new(move |c| c.restart_worker_tcp_loopback(restart_worker));
+    let restart = Some((cycles / 2, spawn));
+    let spawned = drive_cluster_pipelined(
+        coord,
+        &work,
+        (extra_at, &extra),
+        &reference,
+        &final_server,
+        restart,
+        &label,
+    );
+    join_workers(handles, &label);
+    join_workers(spawned, &label);
+}
+
 /// The same two-lane protocol over TCP loopback transports (uniform
 /// index, no restart — the transport is what's under test here; restart
 /// coverage lives in [`verify_cluster`]).
@@ -473,5 +691,10 @@ mod tests {
     #[test]
     fn smoke_one_seed_two_workers() {
         verify_cluster(80, 6, 16, &[3], &[2]);
+    }
+
+    #[test]
+    fn smoke_pipelined_one_seed_two_workers() {
+        verify_cluster_pipelined(80, 6, 16, &[3], &[2]);
     }
 }

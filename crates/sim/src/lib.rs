@@ -32,7 +32,9 @@ pub mod stream;
 pub mod viz;
 
 pub use algo::{AlgoKind, KnnMonitorAlgo};
-pub use cluster::{verify_cluster, verify_cluster_tcp};
+pub use cluster::{
+    verify_cluster, verify_cluster_pipelined, verify_cluster_tcp, verify_cluster_tcp_pipelined,
+};
 pub use oracle::{brute_force_range, OracleMonitor};
 pub use params::{SimParams, WorkloadKind};
 pub use recovery::verify_recovery;

@@ -16,17 +16,37 @@
 //! fan-out itself without reaching back to the delta producer.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use cpm_core::{CycleDeltas, Neighbor, NeighborDelta};
 use cpm_geom::{FastHashMap, QueryId};
+use cpm_wire::{Decode, Encode, Writer};
 
 use crate::hub::CycleReceipt;
 use crate::replica::Replica;
 
+/// One queued delivery: the cycle's shared encoded batch plus the byte
+/// range of this subscription's delta inside it. Every subscriber of a
+/// cycle holds the same `Arc` — the batch is encoded once per publish,
+/// never once per mailbox.
+#[derive(Debug, Clone)]
+struct QueuedDelta {
+    frame: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl QueuedDelta {
+    fn decode(&self) -> NeighborDelta {
+        NeighborDelta::decode_all(&self.frame[self.start..self.end])
+            .expect("the fan-out encoded this delta itself")
+    }
+}
+
 /// One subscription's delivery state.
 #[derive(Debug, Default)]
 struct Mailbox {
-    queue: VecDeque<NeighborDelta>,
+    queue: VecDeque<QueuedDelta>,
     /// Deltas evicted because the queue was full; non-zero means the
     /// stream is no longer lossless for this subscriber.
     dropped: u64,
@@ -39,6 +59,8 @@ pub struct DeltaFanout {
     epoch: u64,
     subs: FastHashMap<QueryId, (Mailbox, Replica)>,
     mailbox_cap: usize,
+    /// Cumulative full-batch encodes (see [`DeltaFanout::encodes`]).
+    encodes: u64,
 }
 
 impl DeltaFanout {
@@ -48,6 +70,7 @@ impl DeltaFanout {
             epoch: 0,
             subs: FastHashMap::default(),
             mailbox_cap: usize::MAX,
+            encodes: 0,
         }
     }
 
@@ -109,6 +132,12 @@ impl DeltaFanout {
     /// Deltas for queries nobody subscribed to are counted in the receipt
     /// but not buffered.
     ///
+    /// Delivery is encode-once: when at least one delta has a
+    /// subscriber, the whole batch is serialized **once** to a shared
+    /// `Arc<[u8]>` (recording each delta's byte range along the way) and
+    /// every mailbox enqueues the same buffer plus its range — never a
+    /// per-subscriber re-serialization or deep delta clone.
+    ///
     /// # Panics
     /// Panics if `batch.epoch` is not exactly one past the last published
     /// epoch — the producer skipped or replayed a cycle, and folding it
@@ -122,8 +151,9 @@ impl DeltaFanout {
             self.epoch
         );
         self.epoch = batch.epoch;
+        let encoded = self.encode_once(batch);
         let mut entries = 0;
-        for (qid, delta) in &batch.deltas {
+        for (i, (qid, delta)) in batch.deltas.iter().enumerate() {
             entries += delta.added.len() + delta.removed.len() + delta.reordered.len();
             let Some((mailbox, replica)) = self.subs.get_mut(qid) else {
                 continue;
@@ -133,7 +163,15 @@ impl DeltaFanout {
                 mailbox.queue.pop_front();
                 mailbox.dropped += 1;
             }
-            mailbox.queue.push_back(delta.clone());
+            let (frame, ranges) = encoded
+                .as_ref()
+                .expect("a subscribed delta means the batch was encoded");
+            let (start, end) = ranges[i];
+            mailbox.queue.push_back(QueuedDelta {
+                frame: Arc::clone(frame),
+                start,
+                end,
+            });
         }
         CycleReceipt {
             epoch: batch.epoch,
@@ -143,12 +181,54 @@ impl DeltaFanout {
         }
     }
 
+    /// Serialize `batch` exactly once (mirroring `CycleDeltas`'s wire
+    /// encoding byte for byte) and record each delta's byte range, or
+    /// skip entirely when no delta has a subscriber.
+    #[allow(clippy::type_complexity)]
+    fn encode_once(&mut self, batch: &CycleDeltas) -> Option<(Arc<[u8]>, Vec<(usize, usize)>)> {
+        if !batch
+            .deltas
+            .iter()
+            .any(|(qid, _)| self.subs.contains_key(qid))
+        {
+            return None;
+        }
+        self.encodes += 1;
+        let mut w = Writer::new();
+        w.put_u64(batch.epoch);
+        batch.changed.encode(&mut w);
+        w.put_u32(u32::try_from(batch.deltas.len()).expect("collection fits a u32 length prefix"));
+        let mut ranges = Vec::with_capacity(batch.deltas.len());
+        for (qid, delta) in &batch.deltas {
+            qid.encode(&mut w);
+            let start = w.len();
+            delta.encode(&mut w);
+            ranges.push((start, w.len()));
+        }
+        debug_assert_eq!(
+            w.as_slice(),
+            batch.encode_to_vec(),
+            "encode_once must mirror CycleDeltas's wire encoding"
+        );
+        Some((Arc::from(w.into_bytes()), ranges))
+    }
+
+    /// Cumulative number of full-batch serializations performed by
+    /// [`publish`](Self::publish): exactly one per published cycle that
+    /// carried at least one subscribed delta, **independent of how many
+    /// subscribers received it**, and zero for cycles nobody subscribed
+    /// to.
+    pub fn encodes(&self) -> u64 {
+        self.encodes
+    }
+
     /// Drain subscription `id`'s buffered deltas, oldest first. Unknown
-    /// ids drain empty.
+    /// ids drain empty. Each delta is decoded from its cycle's shared
+    /// buffer at delivery time.
     pub fn drain(&mut self, id: QueryId) -> Vec<NeighborDelta> {
         self.subs
             .get_mut(&id)
-            .map(|(m, _)| m.queue.drain(..).collect())
+            .map(|(m, _)| m.queue.drain(..).map(|q| q.decode()).collect())
             .unwrap_or_default()
     }
 
@@ -246,5 +326,51 @@ mod tests {
     fn rejects_non_contiguous_epochs() {
         let mut f = DeltaFanout::from_epoch(4);
         f.publish(&batch(6, 1, vec![n(1, 0.2)]));
+    }
+
+    /// The encode-once contract: one serialization per published cycle
+    /// regardless of subscriber count, zero when nobody subscribed, and
+    /// every subscriber still drains its own decoded delta.
+    #[test]
+    fn encodes_each_cycle_exactly_once_regardless_of_subscriber_count() {
+        let mut f = DeltaFanout::new();
+        for q in 0..16 {
+            f.subscribe(QueryId(q));
+        }
+        assert_eq!(f.encodes(), 0);
+        // One batch carrying a distinct delta for every subscriber.
+        let wide = CycleDeltas {
+            epoch: 1,
+            changed: (0..16).map(QueryId).collect(),
+            deltas: (0..16)
+                .map(|q| {
+                    (
+                        QueryId(q),
+                        NeighborDelta {
+                            epoch: 1,
+                            added: vec![n(q, f64::from(q) * 0.01)].into(),
+                            ..NeighborDelta::default()
+                        },
+                    )
+                })
+                .collect(),
+        };
+        f.publish(&wide);
+        assert_eq!(f.encodes(), 1, "16 subscribers, one encode");
+        for q in 0..16 {
+            let drained = f.drain(QueryId(q));
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].added.as_slice(), &[n(q, f64::from(q) * 0.01)]);
+        }
+        // A cycle whose deltas nobody subscribed to is not encoded.
+        f.publish(&batch(2, 99, vec![n(1, 0.5)]));
+        assert_eq!(f.encodes(), 1);
+        // An empty cycle is not encoded either.
+        f.publish(&CycleDeltas {
+            epoch: 3,
+            changed: vec![],
+            deltas: vec![],
+        });
+        assert_eq!(f.encodes(), 1);
     }
 }

@@ -22,7 +22,8 @@
 //! messages carry both.
 
 use crate::{
-    decode_framed, encode_framed, Decode, Encode, Reader, WireError, Writer, FRAME_CLUSTER,
+    decode_framed, encode_framed, encode_framed_into, Decode, Encode, Reader, WireError, Writer,
+    FRAME_CLUSTER,
 };
 use cpm_geom::{ObjectId, QueryId};
 use cpm_grid::{CellCoord, IndexKind, ObjectEvent};
@@ -328,10 +329,91 @@ impl ClusterMsg {
         encode_framed(FRAME_CLUSTER, self)
     }
 
+    /// Encode into one [`FRAME_CLUSTER`] frame in `out`, reusing its
+    /// allocation. Byte-identical to [`ClusterMsg::to_frame`].
+    pub fn to_frame_into(&self, out: &mut Vec<u8>) {
+        encode_framed_into(FRAME_CLUSTER, self, out);
+    }
+
     /// Decode from one [`FRAME_CLUSTER`] frame.
     pub fn from_frame(bytes: &[u8]) -> Result<Self, WireError> {
         decode_framed(FRAME_CLUSTER, bytes)
     }
+}
+
+/// A borrowed image of [`ClusterMsg::Batch`]: the per-cycle hot-path
+/// frame, built from the coordinator's reusable per-worker buffers
+/// without cloning the event vectors into an owned message first.
+///
+/// Encodes byte-identically to the owned variant — decoding a
+/// `BatchRef` frame yields the equal [`ClusterMsg::Batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRef<'a> {
+    /// The cycle this batch opens (must be the worker's epoch + 1).
+    pub epoch: u64,
+    /// In-coverage object events, already translated to this worker.
+    pub objects: &'a [ObjectEvent],
+    /// Engine-encoded `Vec<SpecEvent<AnyQuerySpec>>` routed to this worker.
+    pub queries: &'a [u8],
+}
+
+impl BatchRef<'_> {
+    /// Encode into one [`FRAME_CLUSTER`] frame in `out`, reusing its
+    /// allocation.
+    pub fn to_frame_into(&self, out: &mut Vec<u8>) {
+        encode_framed_into(FRAME_CLUSTER, self, out);
+    }
+}
+
+impl Encode for BatchRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(3);
+        w.put_u64(self.epoch);
+        encode_len_prefix(self.objects.len(), w);
+        for ev in self.objects {
+            ev.encode(w);
+        }
+        encode_len_prefix(self.queries.len(), w);
+        w.put_bytes(self.queries);
+    }
+}
+
+/// A borrowed image of [`ClusterMsg::Deltas`]: the worker's per-cycle
+/// reply frame, built from its reusable delta-payload buffer.
+///
+/// Encodes byte-identically to the owned variant.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltasRef<'a> {
+    /// The replying worker's id.
+    pub worker: u32,
+    /// The cycle these deltas close.
+    pub epoch: u64,
+    /// Engine-encoded `CycleDeltas`.
+    pub payload: &'a [u8],
+}
+
+impl DeltasRef<'_> {
+    /// Encode into one [`FRAME_CLUSTER`] frame in `out`, reusing its
+    /// allocation.
+    pub fn to_frame_into(&self, out: &mut Vec<u8>) {
+        encode_framed_into(FRAME_CLUSTER, self, out);
+    }
+}
+
+impl Encode for DeltasRef<'_> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(4);
+        w.put_u32(self.worker);
+        w.put_u64(self.epoch);
+        encode_len_prefix(self.payload.len(), w);
+        w.put_bytes(self.payload);
+    }
+}
+
+/// The `Vec<T>` length prefix (a `u32` count), so the borrowed encoders
+/// above stay byte-compatible with the owned `Vec` fields they mirror.
+fn encode_len_prefix(len: usize, w: &mut Writer) {
+    w.put_u32(u32::try_from(len).expect("collection fits a u32 length prefix"));
 }
 
 impl Encode for ClusterMsg {
@@ -547,6 +629,77 @@ mod tests {
             let frame = msg.to_frame();
             assert_eq!(ClusterMsg::from_frame(&frame).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn to_frame_into_is_byte_identical_and_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        for msg in sample_messages() {
+            msg.to_frame_into(&mut buf);
+            assert_eq!(buf, msg.to_frame());
+        }
+        // Steady state: a large-enough buffer is reused, not regrown.
+        buf.reserve(4096);
+        let cap = buf.capacity();
+        for msg in sample_messages() {
+            msg.to_frame_into(&mut buf);
+        }
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn borrowed_batch_and_deltas_encode_byte_identically_to_owned() {
+        let objects = vec![
+            ObjectEvent::Appear {
+                id: ObjectId(3),
+                pos: cpm_geom::Point::new(0.25, 0.75),
+            },
+            ObjectEvent::Disappear { id: ObjectId(4) },
+        ];
+        let queries = vec![7u8, 0, 0, 0, 1];
+        let owned = ClusterMsg::Batch {
+            epoch: 42,
+            objects: objects.clone(),
+            queries: queries.clone(),
+        };
+        let mut frame = Vec::new();
+        BatchRef {
+            epoch: 42,
+            objects: &objects,
+            queries: &queries,
+        }
+        .to_frame_into(&mut frame);
+        assert_eq!(frame, owned.to_frame());
+        assert_eq!(ClusterMsg::from_frame(&frame).unwrap(), owned);
+
+        let payload = vec![0xABu8; 17];
+        let owned = ClusterMsg::Deltas {
+            worker: 3,
+            epoch: 42,
+            payload: payload.clone(),
+        };
+        DeltasRef {
+            worker: 3,
+            epoch: 42,
+            payload: &payload,
+        }
+        .to_frame_into(&mut frame);
+        assert_eq!(frame, owned.to_frame());
+        assert_eq!(ClusterMsg::from_frame(&frame).unwrap(), owned);
+
+        // Empty slices hit the same length-prefix path as empty vectors.
+        let owned = ClusterMsg::Batch {
+            epoch: 1,
+            objects: vec![],
+            queries: vec![],
+        };
+        BatchRef {
+            epoch: 1,
+            objects: &[],
+            queries: &[],
+        }
+        .to_frame_into(&mut frame);
+        assert_eq!(frame, owned.to_frame());
     }
 
     #[test]

@@ -9,7 +9,9 @@ use cpm_suite::cluster::{
 use cpm_suite::core::{AnyQuerySpec, PointQuery, SpecEvent};
 use cpm_suite::geom::{ObjectId, Point, QueryId};
 use cpm_suite::grid::ObjectEvent;
-use cpm_suite::sim::{verify_cluster, verify_cluster_tcp};
+use cpm_suite::sim::{
+    verify_cluster, verify_cluster_pipelined, verify_cluster_tcp, verify_cluster_tcp_pipelined,
+};
 use cpm_suite::sub::DeltaFanout;
 use cpm_suite::wire::cluster::{ClusterMsg, ClusterReject, TileRect};
 use cpm_suite::wire::{Encode, WIRE_VERSION};
@@ -28,6 +30,72 @@ fn cluster_is_bit_identical_to_single_node() {
 #[test]
 fn tcp_loopback_cluster_is_bit_identical_to_single_node() {
     verify_cluster_tcp(100, 8, 16, 9, 2);
+}
+
+/// The headline run again with the coordinator in **pipelined** mode:
+/// routing for epoch *e+1* overlaps the merge of epoch *e*, yet every
+/// merged batch, changed list and replicated result must still be
+/// bit-identical to the single-node reference — including across the
+/// mid-run restart, which must drain the pipeline before its snapshot
+/// transfer.
+#[test]
+fn pipelined_cluster_is_bit_identical_to_single_node() {
+    verify_cluster_pipelined(120, 10, 16, &[1, 5], &[1, 2, 4]);
+}
+
+/// The pipelined protocol over TCP loopback links, with a mid-run
+/// pipeline-draining restart over TCP.
+#[test]
+fn pipelined_tcp_loopback_cluster_is_bit_identical_to_single_node() {
+    verify_cluster_tcp_pipelined(100, 8, 16, 9, 2);
+}
+
+/// The pipelined submission surface itself: the priming `submit_cycle`
+/// returns `None`, every later submit returns the *previous* cycle lagged
+/// by one, and `flush` drains the tail — so the pipelined driver sees the
+/// exact same batches as the serial one, one call later.
+#[test]
+fn pipelined_submit_lags_by_one_cycle_and_flush_drains() {
+    let (mut serial, serial_handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 2)).unwrap();
+    let (mut coord, handles) =
+        ClusterCoordinator::spawn_in_process(ClusterConfig::new(16, 2).pipelined(true)).unwrap();
+    let appears: Vec<ObjectEvent> = (0..16)
+        .map(|i| ObjectEvent::Appear {
+            id: ObjectId(i),
+            pos: Point::new(f64::from(i).mul_add(0.06, 0.02), 0.5),
+        })
+        .collect();
+    let install = [SpecEvent::Install {
+        id: QueryId(7),
+        spec: AnyQuerySpec::Knn(PointQuery(Point::new(0.5, 0.5))),
+        k: 3,
+    }];
+    let moves = [ObjectEvent::Move {
+        id: ObjectId(3),
+        to: Point::new(0.52, 0.5),
+    }];
+
+    let a1 = serial.process_cycle(&appears, &[]).unwrap();
+    let a2 = serial.process_cycle(&[], &install).unwrap();
+    let a3 = serial.process_cycle(&moves, &[]).unwrap();
+
+    // Priming call: epoch 1 is in flight, nothing merged yet.
+    assert_eq!(coord.submit_cycle(&appears, &[]).unwrap(), None);
+    assert_eq!(coord.in_flight(), 1);
+    // Each later submit yields the previous cycle's merge.
+    assert_eq!(coord.submit_cycle(&[], &install).unwrap(), Some(a1));
+    assert_eq!(coord.submit_cycle(&moves, &[]).unwrap(), Some(a2));
+    // The tail drains through flush.
+    assert_eq!(coord.flush().unwrap(), vec![a3]);
+    assert_eq!(coord.in_flight(), 0);
+    assert_eq!(coord.epoch(), serial.epoch());
+
+    serial.shutdown().unwrap();
+    coord.shutdown().unwrap();
+    for h in serial_handles.into_iter().chain(handles) {
+        h.join().unwrap().unwrap();
+    }
 }
 
 /// Satellite: a misrouted object event is a *batch-level* typed
